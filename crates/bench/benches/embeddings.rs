@@ -1,0 +1,71 @@
+//! Benchmarks for the dataset-embedding substrate — the costs behind
+//! §3.2 similarity search and Figure 10's t-SNE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgpip_benchdata::generate::{synthesize, SynthSpec};
+use kgpip_embeddings::tsne::{tsne, TsneConfig};
+use kgpip_embeddings::{table_embedding, VectorIndex};
+use std::hint::black_box;
+
+fn spec(name: &str, rows: usize) -> SynthSpec {
+    SynthSpec {
+        name: name.to_string(),
+        rows,
+        num: 8,
+        cat: 2,
+        text: 1,
+        classes: 2,
+        ceiling: 0.9,
+        missing: 0.02,
+    }
+}
+
+fn bench_embeddings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_embeddings");
+    group.sample_size(20);
+
+    let ds = synthesize(&spec("embed_bench", 500), 0);
+    group.bench_function("table_embedding_500x11", |b| {
+        b.iter(|| table_embedding(black_box(&ds.features)))
+    });
+
+    // Similarity search over a 104-dataset index (the paper's training
+    // corpus size).
+    let mut index = VectorIndex::new();
+    for i in 0..104 {
+        let d = synthesize(&spec(&format!("idx_{i}"), 120), i as u64);
+        index.add(format!("idx_{i}"), table_embedding(&d.features));
+    }
+    let query = table_embedding(&ds.features);
+    group.bench_function("exact_top3_of_104", |b| {
+        b.iter(|| index.top_k(black_box(&query), 3))
+    });
+    let mut ivf = index.clone();
+    ivf.train_ivf(8, 2, 0);
+    group.bench_function("ivf_top3_of_104", |b| {
+        b.iter(|| ivf.top_k_ivf(black_box(&query), 3))
+    });
+
+    // Figure 10: t-SNE over 38 dataset embeddings.
+    let points: Vec<Vec<f64>> = (0..38)
+        .map(|i| {
+            let d = synthesize(&spec(&format!("tsne_{i}"), 100), i as u64);
+            table_embedding(&d.features)
+        })
+        .collect();
+    group.bench_function("tsne_38_datasets", |b| {
+        b.iter(|| {
+            tsne(
+                black_box(&points),
+                &TsneConfig {
+                    iterations: 200,
+                    ..TsneConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embeddings);
+criterion_main!(benches);

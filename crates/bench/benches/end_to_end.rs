@@ -1,0 +1,37 @@
+//! End-to-end benchmarks: KGpip training (offline) and full runs
+//! (online) — the units of work behind Figures 5–7 and Tables 2/5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgpip_bench::runner::{build_model, run_on_dataset, ExperimentConfig, SystemKind};
+use kgpip_benchdata::benchmark;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_end_to_end");
+    group.sample_size(10);
+    let cfg = ExperimentConfig {
+        budget_secs: 0.2,
+        ..ExperimentConfig::quick()
+    };
+
+    group.bench_function("kgpip_offline_training", |b| {
+        b.iter(|| build_model(black_box(&cfg)))
+    });
+
+    let model = build_model(&cfg);
+    let entry = benchmark().iter().find(|e| e.name == "phoneme").unwrap();
+    for system in [
+        SystemKind::Flaml,
+        SystemKind::KgpipFlaml,
+        SystemKind::AutoSklearn,
+        SystemKind::KgpipAutoSklearn,
+    ] {
+        group.bench_function(format!("run_{}_on_phoneme", system.name()), |b| {
+            b.iter(|| run_on_dataset(system, Some(&model), black_box(entry), &cfg, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

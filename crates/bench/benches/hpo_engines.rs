@@ -1,0 +1,75 @@
+//! Benchmarks for the HPO engines — trial throughput underpins every
+//! budgeted comparison (Figure 5, Table 2, Figure 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgpip_benchdata::generate::{synthesize, SynthSpec};
+use kgpip_hpo::space::{self, Skeleton};
+use kgpip_hpo::trial::Evaluator;
+use kgpip_hpo::{Al, AutoSklearn, Flaml, Optimizer, TimeBudget};
+use kgpip_learners::EstimatorKind;
+use std::hint::black_box;
+
+fn dataset(rows: usize) -> kgpip_tabular::Dataset {
+    synthesize(
+        &SynthSpec {
+            name: "hpo_bench".to_string(),
+            rows,
+            num: 8,
+            cat: 1,
+            text: 0,
+            classes: 2,
+            ceiling: 0.9,
+            missing: 0.0,
+        },
+        0,
+    )
+}
+
+fn bench_hpo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_hpo_engines");
+    group.sample_size(10);
+    let ds = dataset(400);
+    let evaluator = Evaluator::new(&ds, 0).unwrap();
+
+    // Single-trial costs for the cheap-first ordering FLAML relies on.
+    for kind in [
+        EstimatorKind::GaussianNb,
+        EstimatorKind::DecisionTree,
+        EstimatorKind::Lgbm,
+        EstimatorKind::XgBoost,
+        EstimatorKind::RandomForest,
+    ] {
+        group.bench_function(format!("trial_{}", kind.name()), |b| {
+            b.iter(|| {
+                evaluator.evaluate(
+                    &Skeleton::bare(kind),
+                    black_box(space::low_cost_config(kind)),
+                )
+            })
+        });
+    }
+
+    // Fixed-budget engine runs (the Figure-5 unit of work).
+    group.bench_function("flaml_cold_200ms_budget", |b| {
+        b.iter(|| {
+            let mut engine = Flaml::new(0);
+            engine.optimize(black_box(&ds), &TimeBudget::seconds(0.2)).unwrap()
+        })
+    });
+    group.bench_function("autosklearn_cold_200ms_budget", |b| {
+        b.iter(|| {
+            let mut engine = AutoSklearn::new(0);
+            engine.optimize(black_box(&ds), &TimeBudget::seconds(0.2)).unwrap()
+        })
+    });
+    group.bench_function("al_replay", |b| {
+        b.iter(|| {
+            let mut engine = Al::new(0);
+            engine.optimize(black_box(&ds), &TimeBudget::seconds(1.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpo);
+criterion_main!(benches);

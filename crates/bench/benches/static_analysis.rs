@@ -1,0 +1,66 @@
+//! Benchmarks for the static-analysis substrate — the costs behind
+//! Table 3's raw-vs-filtered comparison and §3.3's scalability claim
+//! ("GraphGen4Code can scale static analysis to millions of programs").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+use kgpip_codegraph::{analyze, filter_graph};
+use std::hint::black_box;
+
+fn scripts(n: usize, noise: usize) -> Vec<String> {
+    generate_corpus(
+        &[DatasetProfile::new("bench_ds", false)],
+        &CorpusConfig {
+            scripts_per_dataset: n,
+            eda_noise: noise,
+            unsupported_fraction: 0.0,
+            seed: 1,
+        },
+    )
+    .into_iter()
+    .map(|r| r.source)
+    .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_static_analysis");
+    group.sample_size(20);
+
+    let small = scripts(1, 4).pop().unwrap();
+    group.bench_function("analyze_one_notebook", |b| {
+        b.iter(|| analyze(black_box(&small)).unwrap())
+    });
+
+    let noisy = scripts(1, 16).pop().unwrap();
+    group.bench_function("analyze_eda_heavy_notebook", |b| {
+        b.iter(|| analyze(black_box(&noisy)).unwrap())
+    });
+
+    let graph = analyze(&noisy).unwrap();
+    group.bench_function("filter_code_graph", |b| {
+        b.iter(|| filter_graph(black_box(&graph)))
+    });
+
+    // Corpus-scale throughput: 50 notebooks through the whole mining path.
+    let corpus: Vec<String> = scripts(50, 6);
+    group.bench_function("mine_50_notebook_corpus", |b| {
+        b.iter_batched(
+            || corpus.clone(),
+            |corpus| {
+                let mut kept = 0usize;
+                for src in &corpus {
+                    let g = analyze(src).unwrap();
+                    if filter_graph(&g).skeleton().is_some() {
+                        kept += 1;
+                    }
+                }
+                kept
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

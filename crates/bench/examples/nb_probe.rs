@@ -1,0 +1,50 @@
+//! Shape-learnability probe: noiseless datasets of each shape must be
+//! nearly perfectly learnable by their intended winning family at the
+//! default scale, or difficulty calibration is meaningless.
+use kgpip_benchdata::generate::{domain_of, shape_of, synthesize, SynthSpec, NUM_DOMAINS};
+use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
+use kgpip_learners::EstimatorKind;
+use kgpip_tabular::train_test_split;
+
+fn main() {
+    // One representative name per shape.
+    let mut names: Vec<String> = vec![];
+    for want in ["Boost", "Linear", "Neighbor"] {
+        for i in 0..200 {
+            let cand = format!("shape_probe_{i}");
+            if format!("{:?}", shape_of(domain_of(&cand))) == want {
+                names.push(cand);
+                break;
+            }
+        }
+    }
+    let _ = NUM_DOMAINS;
+    for name in names {
+        let shape = shape_of(domain_of(&name));
+        let spec = SynthSpec {
+            name: name.clone(), rows: 600, num: 12, cat: 0, text: 0,
+            classes: 2, ceiling: 0.995, missing: 0.0,
+        };
+        let ds = synthesize(&spec, 5);
+        let (tr, te) = train_test_split(&ds, 0.3, 0).unwrap();
+        print!("{name} {shape:?}: ");
+        for kind in [
+            EstimatorKind::XgBoost,
+            EstimatorKind::LogisticRegression,
+            EstimatorKind::Knn,
+            EstimatorKind::RandomForest,
+        ] {
+            let s = Pipeline::from_spec(PipelineSpec::bare(kind))
+                .unwrap().fit_score(&tr, &te).unwrap_or(f64::NAN);
+            print!("{}={s:.2} ", kind.name());
+        }
+        // Scaled k-NN: the transformer choice the corpus pairs with knn.
+        let scaled_knn = PipelineSpec {
+            transformers: vec![(kgpip_learners::TransformerKind::StandardScaler, Default::default())],
+            estimator: EstimatorKind::Knn,
+            params: Default::default(),
+        };
+        let s = Pipeline::from_spec(scaled_knn).unwrap().fit_score(&tr, &te).unwrap_or(f64::NAN);
+        println!("scaler+knn={s:.2}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Diagnostic probe: for a handful of benchmark datasets, prints how each
+//! learner family scores at default hyperparameters, plus how many trials
+//! the cold FLAML-style engine completes per second — the two quantities
+//! that determine whether an experiment runs in the paper's trial-starved
+//! regime (see `kgpip_hpo::budget`).
+//!
+//! ```sh
+//! cargo run --release -p kgpip-bench --example probe
+//! ```
+
+use kgpip_benchdata::{benchmark, generate_dataset, ScaleConfig};
+use kgpip_hpo::{Flaml, Optimizer, TimeBudget};
+use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
+use kgpip_learners::EstimatorKind;
+use kgpip_tabular::train_test_split;
+
+fn main() {
+    let scale = ScaleConfig::default();
+    for name in [
+        "phoneme",
+        "higgs",
+        "car",
+        "houses",
+        "pol",
+        "spooky-author-identification",
+        "bng_echomonths",
+        "housing-prices",
+    ] {
+        let entry = benchmark().iter().find(|e| e.name == name).unwrap();
+        let ds = generate_dataset(entry, &scale, entry.id as u64 * 1000);
+        let (train, test) = train_test_split(&ds, 0.3, entry.id as u64 * 1000).unwrap();
+        print!("{name:30} task={:?} ", entry.task);
+        let mut scores = vec![];
+        for kind in EstimatorKind::ALL {
+            if !kind.supports(ds.task) {
+                continue;
+            }
+            let s = Pipeline::from_spec(PipelineSpec::bare(kind))
+                .unwrap()
+                .fit_score(&train, &test)
+                .unwrap_or(f64::NAN);
+            scores.push((kind.name(), s));
+        }
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = scores.iter().take(3).map(|(n, s)| format!("{n}:{s:.2}")).collect();
+        let bot: Vec<String> = scores.iter().rev().take(2).map(|(n, s)| format!("{n}:{s:.2}")).collect();
+        let mut f = Flaml::new(0);
+        let r = f.optimize(&train, &TimeBudget::seconds(1.0)).unwrap();
+        println!(
+            "trials_1s={} best={} | top {:?} bottom {:?}",
+            r.trials,
+            r.spec.estimator.name(),
+            top,
+            bot
+        );
+    }
+}

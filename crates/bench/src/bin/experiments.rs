@@ -1,0 +1,128 @@
+//! CLI regenerating every table and figure of the KGpip paper.
+//!
+//! ```text
+//! experiments <target> [--budget-secs S] [--runs N] [--limit L] [--seed X] [--full]
+//!
+//! targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
+//!          fig10 mrr diversity prop-rounds conditioning all
+//! ```
+//!
+//! `fig5`/`table5`/`table2`/`fig8`/`mrr` share one sweep of the four main
+//! systems; `--limit` restricts the number of benchmark datasets (default
+//! 12 for quick runs; `--full` uses all 77 as in the paper).
+
+use kgpip_bench::experiments::{self, ablation, analysis};
+use kgpip_bench::runner::ExperimentConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let full = args.iter().any(|a| a == "--full");
+
+    let mut cfg = ExperimentConfig::default();
+    if let Some(b) = flag("--budget-secs").and_then(|v| v.parse().ok()) {
+        cfg.budget_secs = b;
+    }
+    if let Some(r) = flag("--runs").and_then(|v| v.parse().ok()) {
+        cfg.runs = r;
+    }
+    if let Some(t) = flag("--trials").and_then(|v| v.parse().ok()) {
+        cfg.trials_per_system = t;
+    }
+    if let Some(s) = flag("--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    let limit = if full {
+        None
+    } else {
+        Some(
+            flag("--limit")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12usize),
+        )
+    };
+
+    eprintln!(
+        "# config: budget {:.1}s + {} trials /dataset/system, runs {}, datasets {}, seed {}",
+        cfg.budget_secs,
+        cfg.trials_per_system,
+        cfg.runs,
+        limit.map(|l| l.to_string()).unwrap_or_else(|| "77 (full)".into()),
+        cfg.seed
+    );
+
+    let needs_sweep = matches!(
+        target.as_str(),
+        "table2" | "table5" | "fig5" | "fig8" | "mrr" | "all"
+    );
+    let sweep = if needs_sweep {
+        eprintln!("# running main four-system sweep...");
+        Some(experiments::run_main_sweep(&cfg, limit))
+    } else {
+        None
+    };
+
+    let mut emitted = false;
+    let mut emit = |name: &str, report: String| {
+        println!("==== {name} ====\n{report}");
+        emitted = true;
+    };
+    let want = |name: &str| target == name || target == "all";
+
+    if want("table1") {
+        emit("table1", experiments::table1());
+    }
+    if want("table4") {
+        emit("table4", experiments::table4());
+    }
+    if let Some(sweep) = &sweep {
+        if want("fig5") || want("table5") {
+            emit("fig5 / table5", experiments::table5(sweep));
+        }
+        if want("table2") {
+            emit("table2", experiments::table2(sweep));
+        }
+        if want("fig8") {
+            emit("fig8", analysis::fig8(sweep));
+        }
+        if want("mrr") {
+            emit("mrr (4.5.2)", analysis::mrr_report(sweep));
+        }
+    }
+    if want("fig6") {
+        emit("fig6", experiments::fig6(&cfg, limit));
+    }
+    if want("table3") {
+        emit("table3", ablation::table3(&cfg));
+    }
+    if want("fig7") {
+        emit("fig7", analysis::fig7(&cfg, Some(limit.unwrap_or(8).min(8))));
+    }
+    if want("fig9") {
+        emit("fig9", ablation::fig9(&cfg, 3));
+    }
+    if want("fig10") {
+        emit("fig10", analysis::fig10(cfg.seed));
+    }
+    if want("diversity") {
+        emit("diversity (4.5.3)", analysis::diversity(&cfg, Some(limit.unwrap_or(6).min(6))));
+    }
+    if want("prop-rounds") {
+        emit("ablation: prop rounds", ablation::prop_rounds_ablation(&cfg));
+    }
+    if want("conditioning") {
+        emit("ablation: conditioning", ablation::conditioning_ablation(&cfg, 8));
+    }
+    if !emitted {
+        eprintln!(
+            "unknown target `{target}`; valid: table1 table2 table3 table4 table5 \
+             fig5 fig6 fig7 fig8 fig9 fig10 mrr diversity prop-rounds conditioning all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,331 @@
+//! The per-table / per-figure experiment implementations.
+
+pub mod ablation;
+pub mod analysis;
+
+use crate::runner::{evaluate, ExperimentConfig, SystemKind, SystemResults};
+use crate::stats;
+use kgpip_benchdata::{benchmark, table1_counts, CatalogEntry, Source, TaskKind};
+use std::fmt::Write as _;
+
+/// The shared main sweep: the four Figure-5 systems over a benchmark
+/// subset. Tables 2/5 and Figures 5/8 plus the MRR and diversity analyses
+/// all read from this.
+pub struct Sweep {
+    /// Results per system, in [`SystemKind::MAIN`] order.
+    pub systems: Vec<SystemResults>,
+    /// The catalog entries the sweep ran on.
+    pub entries: Vec<&'static CatalogEntry>,
+}
+
+/// Selects a benchmark subset: every dataset when `limit` is `None`,
+/// otherwise an even spread of `limit` datasets covering all three tasks.
+pub fn select_entries(limit: Option<usize>) -> Vec<&'static CatalogEntry> {
+    let all: Vec<&CatalogEntry> = benchmark().iter().collect();
+    let Some(limit) = limit else { return all };
+    if limit >= all.len() {
+        return all;
+    }
+    // Round-robin over tasks for an even mix.
+    let mut by_task: Vec<Vec<&CatalogEntry>> = vec![Vec::new(); 3];
+    for e in all {
+        let slot = match e.task {
+            TaskKind::Binary => 0,
+            TaskKind::MultiClass => 1,
+            TaskKind::Regression => 2,
+        };
+        by_task[slot].push(e);
+    }
+    let mut out = Vec::with_capacity(limit);
+    let mut i = 0;
+    while out.len() < limit {
+        let bucket = &by_task[i % 3];
+        let idx = i / 3;
+        if idx < bucket.len() {
+            out.push(bucket[idx]);
+        }
+        i += 1;
+        if i > 300 {
+            break;
+        }
+    }
+    out
+}
+
+/// Runs the main four-system sweep.
+pub fn run_main_sweep(cfg: &ExperimentConfig, limit: Option<usize>) -> Sweep {
+    let entries = select_entries(limit);
+    let systems = evaluate(cfg, &SystemKind::MAIN, &entries);
+    Sweep { systems, entries }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 / Table 4 — catalog reproductions
+// ---------------------------------------------------------------------------
+
+/// Table 1: benchmark composition by task and source.
+pub fn table1() -> String {
+    let counts = table1_counts();
+    let get = |t: TaskKind, s: Source| {
+        counts
+            .iter()
+            .find(|((ct, cs), _)| *ct == t && *cs == s)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    let mut out = String::from("Table 1. Benchmark statistics (datasets per task and source)\n");
+    out.push_str("Task         | AutoML | PMLB | OpenML | Kaggle | Total\n");
+    let mut col_totals = [0usize; 4];
+    for (label, task) in [
+        ("Binary     ", TaskKind::Binary),
+        ("Multi-class", TaskKind::MultiClass),
+        ("Regression ", TaskKind::Regression),
+    ] {
+        let row = [
+            get(task, Source::AutoMl),
+            get(task, Source::Pmlb),
+            get(task, Source::OpenMl),
+            get(task, Source::Kaggle),
+        ];
+        for (t, r) in col_totals.iter_mut().zip(row) {
+            *t += r;
+        }
+        let total: usize = row.iter().sum();
+        let _ = writeln!(
+            out,
+            "{label}  | {:6} | {:4} | {:6} | {:6} | {total:5}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Total        | {:6} | {:4} | {:6} | {:6} | {:5}",
+        col_totals[0],
+        col_totals[1],
+        col_totals[2],
+        col_totals[3],
+        col_totals.iter().sum::<usize>()
+    );
+    out
+}
+
+/// Table 4: the full dataset inventory.
+pub fn table4() -> String {
+    let mut out = String::from(
+        "Table 4. Dataset statistics (as synthesized; original schema from the paper)\n",
+    );
+    out.push_str("id  name                                     rows      cols   num   cat  text  classes  source  papers\n");
+    for e in benchmark() {
+        let papers = match (e.used_by_flaml, e.used_by_al) {
+            (true, true) => "FLAML, AL",
+            (true, false) => "FLAML",
+            (false, true) => "AL",
+            (false, false) => "-",
+        };
+        let _ = writeln!(
+            out,
+            "{:3} {:40} {:9} {:6} {:5} {:5} {:5} {:8} {:7} {}",
+            e.id, e.name, e.rows, e.cols, e.num, e.cat, e.text, e.classes, e.source.to_string(), papers
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Table 5 — per-dataset scores of the four systems
+// ---------------------------------------------------------------------------
+
+/// Figure 5 / Table 5: per-dataset measured scores for the four systems,
+/// next to the paper's reference numbers.
+pub fn table5(sweep: &Sweep) -> String {
+    let mut out = String::from(
+        "Table 5 / Figure 5 series. Measured (this reproduction) vs paper reference.\n",
+    );
+    out.push_str(
+        "dataset                                  task         FLAML  KG+FL   ASK  KG+ASK |  paper: FLAML KG+FL  ASK KG+ASK\n",
+    );
+    for (i, entry) in sweep.entries.iter().enumerate() {
+        let measured: Vec<String> = sweep
+            .systems
+            .iter()
+            .map(|sys| {
+                sys.datasets[i]
+                    .mean_score()
+                    .map(|s| format!("{s:5.2}"))
+                    .unwrap_or_else(|| " fail".to_string())
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:40} {:12} {} {} {} {} |        {:5.2} {:5.2} {:5.2} {:5.2}",
+            entry.name,
+            entry.task.to_string(),
+            measured[0],
+            measured[1],
+            measured[2],
+            measured[3],
+            entry.paper.flaml,
+            entry.paper.kgpip_flaml,
+            entry.paper.autosklearn,
+            entry.paper.kgpip_autosklearn,
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — task-level averages + paired t-tests
+// ---------------------------------------------------------------------------
+
+/// Table 2: mean (sd) per task for the four systems plus the two paired
+/// t-tests (paper: KGpipFLAML vs FLAML p = 0.0129; KGpipAutoSklearn vs
+/// Auto-Sklearn p = 0.0002).
+pub fn table2(sweep: &Sweep) -> String {
+    let mut out = String::from("Table 2. Average performance: mean (sd) per task.\n");
+    out.push_str("System            | Binary        | Multi-class   | Regression    | t-test p (KGpip vs base)\n");
+    let flaml = &sweep.systems[0];
+    let kg_flaml = &sweep.systems[1];
+    let ask = &sweep.systems[2];
+    let kg_ask = &sweep.systems[3];
+    let (_, p_flaml) =
+        stats::paired_t_test(&kg_flaml.scores_or_zero(), &flaml.scores_or_zero());
+    let (_, p_ask) = stats::paired_t_test(&kg_ask.scores_or_zero(), &ask.scores_or_zero());
+    for (sys, p) in [
+        (flaml, None),
+        (kg_flaml, Some(p_flaml)),
+        (ask, None),
+        (kg_ask, Some(p_ask)),
+    ] {
+        let cell = |task| {
+            let (m, s) = sys.task_summary(task);
+            format!("{m:.2} ({s:.2})")
+        };
+        let _ = writeln!(
+            out,
+            "{:17} | {:13} | {:13} | {:13} | {}",
+            sys.system.name(),
+            cell(TaskKind::Binary),
+            cell(TaskKind::MultiClass),
+            cell(TaskKind::Regression),
+            p.map(|p| format!("{p:.4}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    let kg_f_mean = stats::mean(&kg_flaml.scores_or_zero());
+    let f_mean = stats::mean(&flaml.scores_or_zero());
+    let kg_a_mean = stats::mean(&kg_ask.scores_or_zero());
+    let a_mean = stats::mean(&ask.scores_or_zero());
+    let _ = writeln!(
+        out,
+        "\nOverall means: FLAML {f_mean:.3} -> KGpipFLAML {kg_f_mean:.3} (Δ {:+.3}); \
+         AutoSklearn {a_mean:.3} -> KGpipAutoSklearn {kg_a_mean:.3} (Δ {:+.3})",
+        kg_f_mean - f_mean,
+        kg_a_mean - a_mean
+    );
+    let _ = writeln!(
+        out,
+        "Paper reference: KGpip vs FLAML p = 0.0129; KGpip vs Auto-Sklearn p = 0.0002 (both < 0.05)."
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — comparison including AL on the AL-working subset
+// ---------------------------------------------------------------------------
+
+/// Figure 6: all five systems on the AL-evaluation datasets; AL fails on
+/// part of them, and the report is restricted to where it worked —
+/// exactly the paper's protocol.
+pub fn fig6(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
+    let mut entries: Vec<&CatalogEntry> =
+        benchmark().iter().filter(|e| e.used_by_al).collect();
+    if let Some(limit) = limit {
+        entries.truncate(limit);
+    }
+    let systems = [
+        SystemKind::Flaml,
+        SystemKind::KgpipFlaml,
+        SystemKind::AutoSklearn,
+        SystemKind::KgpipAutoSklearn,
+        SystemKind::Al,
+    ];
+    let results = evaluate(cfg, &systems, &entries);
+    let al = &results[4];
+    let worked: Vec<usize> = (0..entries.len())
+        .filter(|&i| al.datasets[i].mean_score().is_some())
+        .collect();
+    let mut out = String::from("Figure 6. Systems on the AL benchmark subset.\n");
+    let _ = writeln!(
+        out,
+        "AL attempted {} datasets, worked on {} ({} hard failures — paper: \"it failed on many of the datasets\").",
+        entries.len(),
+        worked.len(),
+        entries.len() - worked.len()
+    );
+    out.push_str("\nMean score on the datasets where AL worked:\n");
+    for sys in &results {
+        let scores: Vec<f64> = worked
+            .iter()
+            .map(|&i| sys.datasets[i].mean_score().unwrap_or(0.0))
+            .collect();
+        let _ = writeln!(out, "  {:17} {:.3}", sys.system.name(), stats::mean(&scores));
+    }
+    // The paper's headline: AL is the weakest; KGpip variants lead.
+    let al_mean = stats::mean(
+        &worked
+            .iter()
+            .map(|&i| al.datasets[i].mean_score().unwrap_or(0.0))
+            .collect::<Vec<_>>(),
+    );
+    let kg_mean = stats::mean(
+        &worked
+            .iter()
+            .map(|&i| results[1].datasets[i].mean_score().unwrap_or(0.0))
+            .collect::<Vec<_>>(),
+    );
+    let _ = writeln!(
+        out,
+        "\nShape check: KGpipFLAML ({kg_mean:.3}) vs AL ({al_mean:.3}) — paper reports 0.79 vs 0.36."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_report_matches_paper_totals() {
+        let t = table1();
+        assert!(t.contains("39"), "AutoML total present:\n{t}");
+        assert!(t.ends_with("77\n") || t.contains("    77"), "grand total 77:\n{t}");
+    }
+
+    #[test]
+    fn table4_lists_all_datasets() {
+        let t = table4();
+        assert_eq!(t.lines().count(), 2 + 77);
+        assert!(t.contains("titanic"));
+        assert!(t.contains("FLAML, AL"));
+    }
+
+    #[test]
+    fn select_entries_mixes_tasks() {
+        let sel = select_entries(Some(6));
+        assert_eq!(sel.len(), 6);
+        let tasks: std::collections::HashSet<_> =
+            sel.iter().map(|e| format!("{:?}", e.task)).collect();
+        assert_eq!(tasks.len(), 3, "all three tasks in a small selection");
+        assert_eq!(select_entries(None).len(), 77);
+    }
+
+    #[test]
+    fn small_sweep_produces_reports() {
+        let cfg = ExperimentConfig::quick();
+        let sweep = run_main_sweep(&cfg, Some(3));
+        let t5 = table5(&sweep);
+        assert_eq!(t5.lines().count(), 2 + 3);
+        let t2 = table2(&sweep);
+        assert!(t2.contains("KGpipFLAML"));
+        assert!(t2.contains("t-test"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the KGpip
+//! paper, plus the ablations called out in DESIGN.md.
+//!
+//! Each experiment is a function returning a printable report, so the
+//! `experiments` binary, the Criterion benches, and integration tests all
+//! share one implementation. Absolute numbers are not expected to match
+//! the paper (the substrate is synthetic, budgets are scaled down); the
+//! *shape* — who wins, by roughly what factor, where crossovers fall — is
+//! what each report asserts and records (see EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{build_model, evaluate, ExperimentConfig, SystemKind, SystemResults};

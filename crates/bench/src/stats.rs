@@ -1,0 +1,281 @@
+//! Statistics for the evaluation: paired t-tests (Table 2, Figure 7),
+//! mean reciprocal rank (§4.5.2), and rank correlations (§4.5.3).
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Two-tailed paired t-test. Returns `(t statistic, p value)`; the paper
+/// reports the p-values (Table 2: 0.0129 and 0.0002 for KGpip vs FLAML and
+/// vs Auto-Sklearn).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "paired test needs equal lengths");
+    let n = a.len();
+    if n < 2 {
+        return (0.0, 1.0);
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let d_mean = mean(&diffs);
+    let d_var =
+        diffs.iter().map(|d| (d - d_mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    if d_var <= 1e-300 {
+        return if d_mean.abs() < 1e-12 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY * d_mean.signum(), 0.0)
+        };
+    }
+    let t = d_mean / (d_var / n as f64).sqrt();
+    let df = (n - 1) as f64;
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    (t, p.clamp(0.0, 1.0))
+}
+
+/// Survival function of Student's t distribution: `P(T > t)` for t ≥ 0,
+/// via the regularized incomplete beta function.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes `betai`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Mean reciprocal rank from 1-based ranks.
+pub fn mrr(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().map(|&r| 1.0 / r.max(1) as f64).sum::<f64>() / ranks.len() as f64
+}
+
+/// Pearson correlation of two equal-length sequences.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va <= 1e-300 || vb <= 1e-300 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation (Pearson over ranks, mean ranks for ties).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    pearson(&ranks_of(a), &ranks_of(b))
+}
+
+fn ranks_of(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_sf_matches_reference_values() {
+        // t = 2.0, df = 10: one-sided p ≈ 0.03669.
+        assert!((student_t_sf(2.0, 10.0) - 0.03669).abs() < 1e-4);
+        // t = 1.0, df = 1 (Cauchy): P(T > 1) = 0.25.
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-6);
+        // t = 0: exactly 0.5.
+        assert!((student_t_sf(0.0, 5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_t_detects_consistent_improvement() {
+        let a: Vec<f64> = (0..20).map(|i| 0.8 + (i % 5) as f64 * 0.01).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.05).collect();
+        let (t, p) = paired_t_test(&a, &b);
+        assert!(t > 10.0);
+        assert!(p < 0.001, "p = {p}");
+        // Identical samples: p = 1.
+        let (t0, p0) = paired_t_test(&a, &a);
+        assert_eq!(t0, 0.0);
+        assert_eq!(p0, 1.0);
+    }
+
+    #[test]
+    fn paired_t_is_insignificant_for_noise() {
+        let a: Vec<f64> = (0..30).map(|i| 0.5 + ((i * 7919) % 100) as f64 * 0.001).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.5 + ((i * 104729) % 100) as f64 * 0.001).collect();
+        let (_, p) = paired_t_test(&a, &b);
+        assert!(p > 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn mrr_values() {
+        assert!((mrr(&[1, 1, 1]) - 1.0).abs() < 1e-12);
+        assert!((mrr(&[1, 2]) - 0.75).abs() < 1e-12);
+        assert_eq!(mrr(&[]), 0.0);
+    }
+
+    #[test]
+    fn correlations() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let up = vec![2.0, 4.0, 6.0, 8.0];
+        let down = vec![8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-12);
+        // Monotone nonlinear: Spearman 1, Pearson < 1.
+        let exp: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&a, &exp) - 1.0).abs() < 1e-12);
+        assert!(pearson(&a, &exp) < 1.0);
+        // Constant input: correlation 0 by convention.
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = vec![1.0, 1.0, 2.0, 3.0];
+        let b = vec![1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_bounds() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x.
+        assert!((incomplete_beta(1.0, 1.0, 0.3) - 0.3).abs() < 1e-10);
+    }
+}

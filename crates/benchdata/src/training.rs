@@ -1,0 +1,177 @@
+//! The training-side setup: domain-matched training tables and corpus
+//! profiles — the stand-in for the paper's mined Kaggle corpus (§4.3:
+//! "11.7K scripts associated with 142 datasets ... the selection of 2,046
+//! notebooks for 104 datasets").
+
+use crate::generate::{domain_of, shape_of, synthesize, DataShape, ScaleConfig, SynthSpec};
+use kgpip_codegraph::corpus::DatasetProfile;
+use kgpip_codegraph::vocab::ESTIMATOR_NAMES;
+use kgpip_tabular::DataFrame;
+
+/// The training corpus configuration: tables (for content embeddings) and
+/// per-dataset profiles (for script generation).
+#[derive(Debug, Clone)]
+pub struct TrainingSetup {
+    /// Per-dataset corpus profiles (feed `kgpip_codegraph::corpus`).
+    pub profiles: Vec<DatasetProfile>,
+    /// Per-dataset content tables (feed `Kgpip::train` embeddings).
+    pub tables: Vec<(String, DataFrame)>,
+}
+
+/// Learner preferences of a shape's community: the scripts mined for
+/// datasets of this shape are dominated by the family that actually wins
+/// there (domain experts converge on what works).
+pub fn shape_weights(shape: DataShape, regression: bool) -> Vec<f64> {
+    ESTIMATOR_NAMES
+        .iter()
+        .map(|name| {
+            let classification_only = matches!(
+                *name,
+                "logistic_regression" | "linear_svm" | "gaussian_nb"
+            );
+            let regression_only = matches!(*name, "linear_regression" | "ridge" | "lasso");
+            if (regression && classification_only) || (!regression && regression_only) {
+                return 0.0;
+            }
+            match shape {
+                DataShape::Boost => match *name {
+                    "xgboost" => 30.0,
+                    "gradient_boost" => 20.0,
+                    "lgbm" => 14.0,
+                    "random_forest" => 6.0,
+                    _ => 1.0,
+                },
+                DataShape::Linear => match *name {
+                    "logistic_regression" | "ridge" => 40.0,
+                    "linear_svm" | "lasso" | "linear_regression" => 14.0,
+                    "xgboost" | "gradient_boost" => 2.0,
+                    _ => 0.5,
+                },
+                DataShape::Neighbor => match *name {
+                    "knn" => 20.0,
+                    "random_forest" => 18.0,
+                    "extra_trees" => 10.0,
+                    "xgboost" | "gradient_boost" => 5.0,
+                    _ => 1.0,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Builds the training setup: `per_domain` datasets for each of the
+/// [`crate::generate::NUM_DOMAINS`] domains, half classification and half
+/// regression, with shape-matched learner preferences.
+pub fn training_setup(per_domain: usize, scale: &ScaleConfig, seed: u64) -> TrainingSetup {
+    let mut profiles = Vec::new();
+    let mut tables = Vec::new();
+    for domain in 0..crate::generate::NUM_DOMAINS {
+        for i in 0..per_domain {
+            // Choose a name that actually lands in this domain.
+            let name = find_name_in_domain(domain, i);
+            let regression = i % 2 == 1;
+            let shape = shape_of(domain);
+            let spec = SynthSpec {
+                name: name.clone(),
+                rows: scale.max_rows.clamp(60, 300),
+                num: (4 + domain % 4).min(scale.max_cols),
+                cat: usize::from(domain % 2 == 0),
+                text: usize::from(domain % 4 == 3),
+                classes: if regression { 0 } else { 2 + i % 3 },
+                ceiling: 0.9,
+                missing: if domain % 3 == 0 { 0.03 } else { 0.0 },
+            };
+            let ds = synthesize(&spec, seed.wrapping_add((domain * 97 + i) as u64));
+            let mut profile = DatasetProfile::new(name.clone(), regression);
+            profile.has_categorical = spec.cat > 0;
+            profile.has_text = spec.text > 0;
+            profile.has_missing = spec.missing > 0.0;
+            profile.estimator_weights = shape_weights(shape, regression);
+            profiles.push(profile);
+            tables.push((name, ds.features));
+        }
+    }
+    TrainingSetup { profiles, tables }
+}
+
+/// Finds the `skip`-th synthetic name whose hash lands in `domain`.
+fn find_name_in_domain(domain: usize, skip: usize) -> String {
+    let mut found = 0usize;
+    for i in 0..100_000 {
+        let cand = format!("train_ds_{i}");
+        if domain_of(&cand) == domain {
+            if found == skip {
+                return cand;
+            }
+            found += 1;
+        }
+    }
+    unreachable!("domains are dense under hashing");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::NUM_DOMAINS;
+
+    #[test]
+    fn setup_covers_all_domains() {
+        let setup = training_setup(2, &ScaleConfig::default(), 0);
+        assert_eq!(setup.profiles.len(), NUM_DOMAINS * 2);
+        assert_eq!(setup.tables.len(), NUM_DOMAINS * 2);
+        let mut domains: Vec<usize> = setup
+            .tables
+            .iter()
+            .map(|(name, _)| domain_of(name))
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert_eq!(domains.len(), NUM_DOMAINS);
+    }
+
+    #[test]
+    fn names_are_unique_and_tables_nonempty() {
+        let setup = training_setup(3, &ScaleConfig::default(), 1);
+        let mut names: Vec<&String> = setup.tables.iter().map(|(n, _)| n).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for (_, t) in &setup.tables {
+            assert!(t.num_rows() >= 60);
+            assert!(t.num_columns() >= 1);
+        }
+    }
+
+    #[test]
+    fn shape_weights_respect_task_compatibility() {
+        for shape in [DataShape::Boost, DataShape::Linear, DataShape::Neighbor] {
+            let reg = shape_weights(shape, true);
+            let cls = shape_weights(shape, false);
+            let idx = |n: &str| ESTIMATOR_NAMES.iter().position(|e| *e == n).unwrap();
+            assert_eq!(reg[idx("logistic_regression")], 0.0);
+            assert_eq!(cls[idx("ridge")], 0.0);
+            assert!(reg.iter().sum::<f64>() > 0.0);
+        }
+    }
+
+    #[test]
+    fn boost_shape_prefers_boosting() {
+        let w = shape_weights(DataShape::Boost, false);
+        let idx = |n: &str| ESTIMATOR_NAMES.iter().position(|e| *e == n).unwrap();
+        assert!(w[idx("xgboost")] > w[idx("knn")]);
+        let w = shape_weights(DataShape::Neighbor, false);
+        assert!(w[idx("knn")] > w[idx("xgboost")]);
+    }
+
+    #[test]
+    fn profiles_match_table_schemas() {
+        let setup = training_setup(2, &ScaleConfig::default(), 0);
+        for (profile, (name, table)) in setup.profiles.iter().zip(&setup.tables) {
+            assert_eq!(&profile.name, name);
+            let (_, cat, text) = table.kind_counts();
+            assert_eq!(profile.has_categorical, cat > 0);
+            assert_eq!(profile.has_text, text > 0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the synthetic benchmark generator.
+
+use kgpip_benchdata::generate::{domain_of, synthesize, SynthSpec, NUM_DOMAINS};
+use kgpip_benchdata::{benchmark, generate_dataset, ScaleConfig};
+use kgpip_tabular::Task;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
+    (
+        "[a-z_]{3,16}",
+        60usize..300,
+        0usize..8,
+        0usize..4,
+        0usize..2,
+        0usize..6,
+        0.1f64..0.99,
+        0.0f64..0.2,
+    )
+        .prop_map(|(name, rows, num, cat, text, classes, ceiling, missing)| SynthSpec {
+            name,
+            rows,
+            // At least one feature column of some kind.
+            num: num.max(usize::from(cat == 0 && text == 0)),
+            cat,
+            text,
+            classes: if classes == 1 { 2 } else { classes },
+            ceiling,
+            missing,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synthesis is total and schema-faithful over arbitrary specs.
+    #[test]
+    fn synthesis_matches_spec(spec in spec_strategy(), seed in 0u64..50) {
+        let ds = synthesize(&spec, seed);
+        prop_assert_eq!(ds.num_rows(), spec.rows);
+        let (num, cat, text) = ds.features.kind_counts();
+        prop_assert_eq!(num, spec.num);
+        prop_assert_eq!(cat, spec.cat);
+        prop_assert_eq!(text, spec.text);
+        match ds.task {
+            Task::Regression => prop_assert_eq!(spec.classes, 0),
+            t => prop_assert_eq!(t.num_classes(), spec.classes.max(2)),
+        }
+        // Targets are finite; class indices in range.
+        for &y in &ds.target {
+            prop_assert!(y.is_finite());
+            if ds.task.is_classification() {
+                prop_assert!((y as usize) < ds.task.num_classes());
+            }
+        }
+    }
+
+    /// Classification targets carry every class when rows allow it.
+    #[test]
+    fn all_classes_appear(seed in 0u64..50, classes in 2usize..6) {
+        let spec = SynthSpec {
+            name: "classcover".into(),
+            rows: 240,
+            num: 4,
+            cat: 0,
+            text: 0,
+            classes,
+            ceiling: 0.9,
+            missing: 0.0,
+        };
+        let ds = synthesize(&spec, seed);
+        let counts = ds.class_counts();
+        prop_assert_eq!(counts.len(), classes);
+        prop_assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    /// Domain assignment is stable and covers the full range.
+    #[test]
+    fn domain_of_is_stable(name in "[ -~]{1,30}") {
+        let d = domain_of(&name);
+        prop_assert!(d < NUM_DOMAINS);
+        prop_assert_eq!(d, domain_of(&name));
+    }
+
+    /// Catalog generation respects arbitrary scale configs.
+    #[test]
+    fn scale_config_caps_hold(
+        entry_idx in 0usize..77,
+        max_rows in 60usize..400,
+        max_cols in 2usize..12,
+    ) {
+        let entry = &benchmark()[entry_idx];
+        let scale = ScaleConfig { max_rows, max_cols };
+        let ds = generate_dataset(entry, &scale, 0);
+        prop_assert!(ds.num_rows() <= max_rows.max(60));
+        // Text columns are capped separately (≤ 2 extra).
+        prop_assert!(ds.num_features() <= max_cols + 3);
+    }
+}

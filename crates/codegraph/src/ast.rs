@@ -1,0 +1,150 @@
+//! Abstract syntax tree for the analyzed Python subset.
+
+/// A parsed script: a sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level statements in source order.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `import pandas as pd` (alias = `pd`) or `import xgboost`
+    /// (alias = `xgboost`).
+    Import {
+        /// Dotted module path.
+        module: String,
+        /// Binding name in the script's namespace.
+        alias: String,
+    },
+    /// `from sklearn.svm import SVC, LinearSVC as LSVC`.
+    FromImport {
+        /// Dotted module path.
+        module: String,
+        /// `(imported name, binding alias)` pairs.
+        names: Vec<(String, String)>,
+    },
+    /// `x = expr` or `a, b = expr` (tuple unpacking).
+    Assign {
+        /// Target variable names, one per unpacked slot.
+        targets: Vec<String>,
+        /// Right-hand side, with its source line.
+        value: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A bare expression statement (typically a call like `model.fit(...)`).
+    Expr {
+        /// The expression.
+        value: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `for <var> in <iter>: <body>` — analyzed linearly.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `if <cond>: <body> [else: <orelse>]` — both branches analyzed.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then-branch statements.
+        body: Vec<Stmt>,
+        /// Else-branch statements.
+        orelse: Vec<Stmt>,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Name(String),
+    /// Attribute access `base.attr`.
+    Attribute {
+        /// The object expression.
+        base: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A call `func(args, kw=value, ...)`.
+    Call {
+        /// Callee expression (name or attribute chain).
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// Subscript `base[index]`.
+    Subscript {
+        /// The subscripted expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// A string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A boolean or `None` literal (True=1, False=0, None=NaN).
+    Keyword(String),
+    /// A list or tuple display.
+    Sequence(Vec<Expr>),
+    /// Any binary operation (operator identity is irrelevant for dataflow).
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Operator lexeme, kept for fidelity.
+        op: String,
+    },
+}
+
+impl Expr {
+    /// The dotted name of this expression if it is a pure name/attribute
+    /// chain, e.g. `svm.SVC` → `Some("svm.SVC")`.
+    pub fn dotted_name(&self) -> Option<String> {
+        match self {
+            Expr::Name(n) => Some(n.clone()),
+            Expr::Attribute { base, attr } => {
+                base.dotted_name().map(|b| format!("{b}.{attr}"))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_name_on_chains() {
+        let e = Expr::Attribute {
+            base: Box::new(Expr::Attribute {
+                base: Box::new(Expr::Name("a".into())),
+                attr: "b".into(),
+            }),
+            attr: "c".into(),
+        };
+        assert_eq!(e.dotted_name().as_deref(), Some("a.b.c"));
+        let call = Expr::Call {
+            func: Box::new(e),
+            args: vec![],
+            kwargs: vec![],
+        };
+        assert_eq!(call.dotted_name(), None);
+    }
+}

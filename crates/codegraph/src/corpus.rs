@@ -1,0 +1,538 @@
+//! Synthetic notebook-corpus generator.
+//!
+//! Substitute for the paper's mined corpus (§4.3: "we performed program
+//! analysis on 11.7K scripts associated with 142 datasets, and then
+//! selected those with estimators from sklearn, XGBoost and LightGBM ...
+//! This resulted in the selection of 2,046 notebooks for 104 datasets; a
+//! vast portion of the 11.7K programs were about exploratory data
+//! analysis, or involved libraries that were not supported"). The
+//! generator reproduces exactly those phenomena: per-dataset collections
+//! of scripts with EDA noise, a configurable fraction of unsupported
+//! (torch/keras) notebooks that the filter must reject, and an empirically
+//! shaped learner distribution dominated by xgboost and gradient boosting
+//! (Figures 8–9).
+
+use crate::vocab::{ESTIMATOR_NAMES, TRANSFORMER_NAMES};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Schema-level description of a dataset, driving which pipelines make
+/// sense for it (e.g. text columns attract vectorization-heavy scripts).
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name (also its csv file stem in generated scripts).
+    pub name: String,
+    /// True for regression targets.
+    pub regression: bool,
+    /// Dataset has categorical columns.
+    pub has_categorical: bool,
+    /// Dataset has text columns.
+    pub has_text: bool,
+    /// Dataset has missing values.
+    pub has_missing: bool,
+    /// Unnormalized preference weight per estimator index (see
+    /// [`ESTIMATOR_NAMES`]); defaults to the community-shaped
+    /// [`default_estimator_weights`].
+    pub estimator_weights: Vec<f64>,
+}
+
+impl DatasetProfile {
+    /// A profile with community-default learner preferences.
+    pub fn new(name: impl Into<String>, regression: bool) -> DatasetProfile {
+        DatasetProfile {
+            name: name.into(),
+            regression,
+            has_categorical: false,
+            has_text: false,
+            has_missing: false,
+            estimator_weights: default_estimator_weights(regression),
+        }
+    }
+}
+
+/// The empirical learner distribution of mined Kaggle pipelines: xgboost
+/// and gradient boosting dominate, with a long tail (paper Figure 9).
+pub fn default_estimator_weights(regression: bool) -> Vec<f64> {
+    ESTIMATOR_NAMES
+        .iter()
+        .map(|name| match *name {
+            "xgboost" => 30.0,
+            "gradient_boost" => 24.0,
+            "lgbm" => 14.0,
+            "random_forest" => 12.0,
+            "logistic_regression" => {
+                if regression {
+                    0.0
+                } else {
+                    9.0
+                }
+            }
+            "linear_svm" => {
+                if regression {
+                    0.0
+                } else {
+                    4.0
+                }
+            }
+            "linear_regression" | "ridge" => {
+                if regression {
+                    8.0
+                } else {
+                    0.0
+                }
+            }
+            "lasso" => {
+                if regression {
+                    3.0
+                } else {
+                    0.0
+                }
+            }
+            "knn" => 3.0,
+            "gaussian_nb" => {
+                if regression {
+                    0.0
+                } else {
+                    2.0
+                }
+            }
+            "decision_tree" => 4.0,
+            "extra_trees" => 2.0,
+            _ => 1.0,
+        })
+        .collect()
+}
+
+/// Corpus generation knobs.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Scripts generated per dataset.
+    pub scripts_per_dataset: usize,
+    /// Expected EDA-noise statements per script (describe/plot/heatmap...).
+    pub eda_noise: usize,
+    /// Fraction of scripts using unsupported frameworks (torch/keras),
+    /// which the filter must reject — the paper found "a vast portion" of
+    /// raw scripts unusable.
+    pub unsupported_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            scripts_per_dataset: 20,
+            eda_noise: 6,
+            unsupported_fraction: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// One generated notebook.
+#[derive(Debug, Clone)]
+pub struct ScriptRecord {
+    /// The dataset this script was written against (the Kaggle association
+    /// KGpip exploits, §3.4).
+    pub dataset: String,
+    /// Python source text.
+    pub source: String,
+}
+
+/// Generates a corpus of scripts for the given dataset profiles.
+pub fn generate_corpus(profiles: &[DatasetProfile], cfg: &CorpusConfig) -> Vec<ScriptRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(profiles.len() * cfg.scripts_per_dataset);
+    for profile in profiles {
+        for _ in 0..cfg.scripts_per_dataset {
+            let source = if rng.gen::<f64>() < cfg.unsupported_fraction {
+                generate_unsupported_script(profile, &mut rng)
+            } else {
+                generate_sklearn_script(profile, cfg, &mut rng)
+            };
+            out.push(ScriptRecord {
+                dataset: profile.name.clone(),
+                source,
+            });
+        }
+    }
+    out
+}
+
+/// Weighted index sample.
+fn weighted_choice(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// `(class name, module, needs regression variant)` for each estimator.
+fn estimator_api(index: usize, regression: bool) -> (&'static str, &'static str) {
+    match ESTIMATOR_NAMES[index] {
+        "logistic_regression" => ("sklearn.linear_model", "LogisticRegression"),
+        "linear_svm" => {
+            if regression {
+                ("sklearn.svm", "LinearSVR")
+            } else {
+                ("sklearn.svm", "SVC")
+            }
+        }
+        "linear_regression" => ("sklearn.linear_model", "LinearRegression"),
+        "ridge" => ("sklearn.linear_model", "Ridge"),
+        "lasso" => ("sklearn.linear_model", "Lasso"),
+        "knn" => {
+            if regression {
+                ("sklearn.neighbors", "KNeighborsRegressor")
+            } else {
+                ("sklearn.neighbors", "KNeighborsClassifier")
+            }
+        }
+        "gaussian_nb" => ("sklearn.naive_bayes", "GaussianNB"),
+        "decision_tree" => {
+            if regression {
+                ("sklearn.tree", "DecisionTreeRegressor")
+            } else {
+                ("sklearn.tree", "DecisionTreeClassifier")
+            }
+        }
+        "random_forest" => {
+            if regression {
+                ("sklearn.ensemble", "RandomForestRegressor")
+            } else {
+                ("sklearn.ensemble", "RandomForestClassifier")
+            }
+        }
+        "extra_trees" => {
+            if regression {
+                ("sklearn.ensemble", "ExtraTreesRegressor")
+            } else {
+                ("sklearn.ensemble", "ExtraTreesClassifier")
+            }
+        }
+        "gradient_boost" => {
+            if regression {
+                ("sklearn.ensemble", "GradientBoostingRegressor")
+            } else {
+                ("sklearn.ensemble", "GradientBoostingClassifier")
+            }
+        }
+        "xgboost" => {
+            if regression {
+                ("xgboost", "XGBRegressor")
+            } else {
+                ("xgboost", "XGBClassifier")
+            }
+        }
+        "lgbm" => {
+            if regression {
+                ("lightgbm", "LGBMRegressor")
+            } else {
+                ("lightgbm", "LGBMClassifier")
+            }
+        }
+        other => unreachable!("unknown estimator {other}"),
+    }
+}
+
+fn transformer_api(index: usize) -> (&'static str, &'static str) {
+    match TRANSFORMER_NAMES[index] {
+        "simple_imputer" => ("sklearn.impute", "SimpleImputer"),
+        "standard_scaler" => ("sklearn.preprocessing", "StandardScaler"),
+        "min_max_scaler" => ("sklearn.preprocessing", "MinMaxScaler"),
+        "robust_scaler" => ("sklearn.preprocessing", "RobustScaler"),
+        "normalizer" => ("sklearn.preprocessing", "Normalizer"),
+        "one_hot_encoder" => ("sklearn.preprocessing", "OneHotEncoder"),
+        "variance_threshold" => ("sklearn.feature_selection", "VarianceThreshold"),
+        "select_k_best" => ("sklearn.feature_selection", "SelectKBest"),
+        "pca" => ("sklearn.decomposition", "PCA"),
+        "polynomial_features" => ("sklearn.preprocessing", "PolynomialFeatures"),
+        other => unreachable!("unknown transformer {other}"),
+    }
+}
+
+/// Picks 0–3 transformers that make sense for the profile + estimator.
+fn pick_transformers(
+    profile: &DatasetProfile,
+    estimator: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut picks = Vec::new();
+    let t_index = |name: &str| TRANSFORMER_NAMES.iter().position(|n| *n == name).unwrap();
+    if profile.has_missing && rng.gen::<f64>() < 0.8 {
+        picks.push(t_index("simple_imputer"));
+    }
+    if profile.has_categorical && rng.gen::<f64>() < 0.6 {
+        picks.push(t_index("one_hot_encoder"));
+    }
+    // Scale-sensitive learners attract scalers.
+    let scale_sensitive = matches!(
+        ESTIMATOR_NAMES[estimator],
+        "logistic_regression" | "linear_svm" | "knn" | "ridge" | "lasso" | "linear_regression"
+    );
+    let scaler_prob = if scale_sensitive { 0.8 } else { 0.25 };
+    if rng.gen::<f64>() < scaler_prob {
+        let scalers = ["standard_scaler", "min_max_scaler", "robust_scaler", "normalizer"];
+        let pick = *scalers.choose(rng).unwrap();
+        picks.push(t_index(pick));
+    }
+    if rng.gen::<f64>() < 0.15 {
+        let extras = [
+            "variance_threshold",
+            "select_k_best",
+            "pca",
+            "polynomial_features",
+        ];
+        picks.push(t_index(extras.choose(rng).unwrap()));
+    }
+    picks
+}
+
+fn generate_sklearn_script(
+    profile: &DatasetProfile,
+    cfg: &CorpusConfig,
+    rng: &mut StdRng,
+) -> String {
+    let estimator = weighted_choice(&profile.estimator_weights, rng);
+    let transformers = pick_transformers(profile, estimator, rng);
+    let (est_module, est_class) = estimator_api(estimator, profile.regression);
+
+    let mut src = String::new();
+    src.push_str("import pandas as pd\nimport numpy as np\n");
+    src.push_str("import matplotlib.pyplot as plt\n");
+    src.push_str("from sklearn.model_selection import train_test_split\n");
+    for &t in &transformers {
+        let (m, c) = transformer_api(t);
+        src.push_str(&format!("from {m} import {c}\n"));
+    }
+    if est_module.starts_with("sklearn") {
+        src.push_str(&format!("from {est_module} import {est_class}\n"));
+    } else {
+        src.push_str(&format!("import {est_module}\n"));
+    }
+    src.push_str(&format!("df = pd.read_csv('{}.csv')\n", profile.name));
+
+    // EDA noise interleaved with light pandas manipulation.
+    let noise_templates = [
+        "df.describe()",
+        "df.head()",
+        "df.info()",
+        "plt.hist(df['col0'])",
+        "plt.show()",
+        "df.corr()",
+        "print(df.shape)",
+        "df.isnull().sum()",
+    ];
+    let n_noise = rng.gen_range(cfg.eda_noise / 2..=cfg.eda_noise.max(1) + cfg.eda_noise / 2);
+    for _ in 0..n_noise {
+        src.push_str(noise_templates.choose(rng).unwrap());
+        src.push('\n');
+    }
+    if profile.has_missing && rng.gen::<f64>() < 0.4 {
+        src.push_str("df = df.fillna(0)\n");
+    }
+    src.push_str("y = df['target']\nX = df.drop('target', 1)\n");
+    src.push_str("X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)\n");
+
+    let mut data = "X_train".to_string();
+    let mut test_data = "X_test".to_string();
+    for (i, &t) in transformers.iter().enumerate() {
+        let (_, class) = transformer_api(t);
+        let var = format!("prep{i}");
+        let ctor_args = match TRANSFORMER_NAMES[t] {
+            "pca" => format!("n_components={}", rng.gen_range(2..20)),
+            "select_k_best" => format!("k={}", rng.gen_range(5..30)),
+            _ => String::new(),
+        };
+        src.push_str(&format!("{var} = {class}({ctor_args})\n"));
+        src.push_str(&format!("{data}2 = {var}.fit_transform({data})\n"));
+        src.push_str(&format!("{test_data}2 = {var}.transform({test_data})\n"));
+        data = format!("{data}2");
+        test_data = format!("{test_data}2");
+    }
+
+    let ctor = if est_module.starts_with("sklearn") {
+        est_class.to_string()
+    } else {
+        format!("{est_module}.{est_class}")
+    };
+    let hp = match ESTIMATOR_NAMES[estimator] {
+        "xgboost" | "lgbm" | "gradient_boost" => format!(
+            "n_estimators={}, learning_rate=0.{}",
+            rng.gen_range(50..300),
+            rng.gen_range(1..4)
+        ),
+        "random_forest" | "extra_trees" => format!("n_estimators={}", rng.gen_range(50..300)),
+        "knn" => format!("n_neighbors={}", rng.gen_range(3..15)),
+        "logistic_regression" | "linear_svm" => format!("C=1.{}", rng.gen_range(0..9)),
+        _ => String::new(),
+    };
+    src.push_str(&format!("model = {ctor}({hp})\n"));
+    src.push_str(&format!("model.fit({data}, y_train)\n"));
+    src.push_str(&format!("preds = model.predict({test_data})\n"));
+    src.push_str("print(preds)\n");
+    src
+}
+
+/// A deep-learning notebook the §3.4 filter must reject entirely.
+fn generate_unsupported_script(profile: &DatasetProfile, rng: &mut StdRng) -> String {
+    let framework = if rng.gen::<bool>() { "torch" } else { "keras" };
+    let mut src = String::new();
+    src.push_str("import pandas as pd\n");
+    src.push_str(&format!("import {framework}\n"));
+    src.push_str(&format!("df = pd.read_csv('{}.csv')\n", profile.name));
+    src.push_str("df.describe()\n");
+    match framework {
+        "torch" => {
+            src.push_str("net = torch.nn.Linear(64, 2)\nopt = torch.optim.Adam(net.parameters())\n");
+            src.push_str("out = net.forward(df)\n");
+        }
+        _ => {
+            src.push_str("model = keras.Sequential()\nmodel.compile('adam')\n");
+            src.push_str("model.fit(df, df)\n");
+        }
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::filter::filter_graph;
+
+    fn profiles() -> Vec<DatasetProfile> {
+        vec![
+            DatasetProfile {
+                has_missing: true,
+                has_categorical: true,
+                ..DatasetProfile::new("titanic", false)
+            },
+            DatasetProfile::new("houses", true),
+        ]
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 5,
+            ..CorpusConfig::default()
+        };
+        let a = generate_corpus(&profiles(), &cfg);
+        let b = generate_corpus(&profiles(), &cfg);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn every_script_parses_and_analyzes() {
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 30,
+            ..CorpusConfig::default()
+        };
+        for record in generate_corpus(&profiles(), &cfg) {
+            let g = analyze(&record.source)
+                .unwrap_or_else(|e| panic!("script failed analysis: {e}\n{}", record.source));
+            assert!(g.num_nodes() > 0);
+        }
+    }
+
+    #[test]
+    fn supported_scripts_filter_to_valid_pipelines() {
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 40,
+            unsupported_fraction: 0.0,
+            ..CorpusConfig::default()
+        };
+        let mut valid = 0;
+        for record in generate_corpus(&profiles(), &cfg) {
+            let filtered = filter_graph(&analyze(&record.source).unwrap());
+            if filtered.skeleton().is_some() {
+                valid += 1;
+            }
+        }
+        assert_eq!(valid, 80, "every supported script yields a skeleton");
+    }
+
+    #[test]
+    fn unsupported_scripts_are_rejected_by_filter() {
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 20,
+            unsupported_fraction: 1.0,
+            ..CorpusConfig::default()
+        };
+        for record in generate_corpus(&profiles(), &cfg) {
+            let filtered = filter_graph(&analyze(&record.source).unwrap());
+            assert_eq!(
+                filtered.skeleton(),
+                None,
+                "torch/keras script must not produce a skeleton"
+            );
+        }
+    }
+
+    #[test]
+    fn learner_distribution_is_boosting_heavy() {
+        // Fig 9 shape: xgboost + gradient_boost dominate the corpus.
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 150,
+            unsupported_fraction: 0.0,
+            ..CorpusConfig::default()
+        };
+        let mut boosting = 0usize;
+        let mut total = 0usize;
+        for record in generate_corpus(&profiles(), &cfg) {
+            let filtered = filter_graph(&analyze(&record.source).unwrap());
+            if let Some((_, est)) = filtered.skeleton() {
+                total += 1;
+                if est == "xgboost" || est == "gradient_boost" || est == "lgbm" {
+                    boosting += 1;
+                }
+            }
+        }
+        let frac = boosting as f64 / total as f64;
+        assert!(
+            (0.4..0.95).contains(&frac),
+            "boosting fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn regression_profiles_never_pick_classifiers() {
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 80,
+            unsupported_fraction: 0.0,
+            ..CorpusConfig::default()
+        };
+        let reg_profiles = vec![DatasetProfile::new("houses", true)];
+        for record in generate_corpus(&reg_profiles, &cfg) {
+            let filtered = filter_graph(&analyze(&record.source).unwrap());
+            if let Some((_, est)) = filtered.skeleton() {
+                assert!(
+                    !matches!(est, "logistic_regression" | "gaussian_nb"),
+                    "classifier {est} on a regression dataset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = weighted_choice(&[0.0, 1.0, 0.0], &mut rng);
+            assert_eq!(i, 1);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The §3.4 code-graph filter.
+//!
+//! "We filter out these types of nodes and edges [data analysis,
+//! visualization, model evaluation], as well as calls to modules outside
+//! the target ML libraries, namely, Scikit-learn, XGBoost, and LGBM" —
+//! keeping "a sub-graph representing mainly a flow of objects through
+//! transformation and modelling functions". The paper reports a ≥96%
+//! node/edge reduction (Table 3, Figure 4).
+
+use crate::graph::{CodeGraph, EdgeKind, NodeId, NodeKind};
+use crate::vocab::{canonical_op, PipelineOp};
+use serde::{Deserialize, Serialize};
+
+/// A filtered, compact pipeline graph. Node ids are dense indices into
+/// `ops`; edges are directed dataflow.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineGraph {
+    /// Node types in insertion order.
+    pub ops: Vec<PipelineOp>,
+    /// Directed dataflow edges between node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl PipelineGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Prepends a dataset node connected to every `read_csv` node (or to
+    /// node 0 if the graph has no read_csv), shifting all indices by one.
+    /// This is the Graph4ML interconnection step of §3.4/Figure 4.
+    pub fn with_dataset_node(&self) -> PipelineGraph {
+        let mut ops = Vec::with_capacity(self.ops.len() + 1);
+        ops.push(PipelineOp::Dataset);
+        ops.extend(self.ops.iter().copied());
+        let mut edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(f, t)| (f + 1, t + 1))
+            .collect();
+        let mut attached = false;
+        for (i, op) in self.ops.iter().enumerate() {
+            if *op == PipelineOp::ReadCsv {
+                edges.push((0, i + 1));
+                attached = true;
+            }
+        }
+        if !attached && !self.ops.is_empty() {
+            edges.push((0, 1));
+        }
+        PipelineGraph { ops, edges }
+    }
+
+    /// Extracts the pipeline skeleton: ordered transformer names plus the
+    /// estimator name (paper §3.6: "each skeleton is a set of
+    /// pre-processors and an estimator"). Returns `None` when the graph
+    /// contains no estimator — an invalid pipeline.
+    pub fn skeleton(&self) -> Option<(Vec<&'static str>, &'static str)> {
+        let estimator = self.ops.iter().find(|op| op.is_estimator())?;
+        // Transformers ordered by their position in the dataflow chain:
+        // a stable topological-ish order by node index (builders insert in
+        // flow order).
+        let transformers: Vec<&'static str> = self
+            .ops
+            .iter()
+            .filter(|op| op.is_transformer())
+            .map(|op| op.name())
+            .collect();
+        Some((transformers, estimator.name()))
+    }
+
+    /// Out-neighbours of a node.
+    pub fn successors(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == node)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+}
+
+/// Maps a resolved call label to its canonical pipeline op, treating
+/// `fit`-family methods (`fit`, `fit_transform`, `transform`) as [`PipelineOp::Fit`]
+/// and `predict`-family methods (`predict`, `predict_proba`, `score`) as
+/// [`PipelineOp::Predict`] when the receiver is a recognized ML object.
+pub fn op_of_label(label: &str) -> Option<PipelineOp> {
+    if let Some(op) = canonical_op(label) {
+        return Some(op);
+    }
+    for suffix in [".fit_transform", ".transform"] {
+        if let Some(prefix) = label.strip_suffix(suffix) {
+            if canonical_op(prefix).is_some() {
+                return Some(PipelineOp::Fit);
+            }
+        }
+    }
+    for suffix in [".predict_proba", ".score"] {
+        if let Some(prefix) = label.strip_suffix(suffix) {
+            if canonical_op(prefix).is_some() {
+                return Some(PipelineOp::Predict);
+            }
+        }
+    }
+    None
+}
+
+/// Filters a raw code graph into a [`PipelineGraph`].
+///
+/// Keep rule: call nodes whose label maps to a canonical op AND that are
+/// weakly connected to a `read_csv` node through dataflow (if the script
+/// has one; scripts without read_csv keep all canonical nodes — their
+/// dataset association comes from portal metadata, §3.4: "In some cases,
+/// the code ... does not explicitly mention the dataset name").
+///
+/// Edges: kept node *i* → kept node *j* when a directed dataflow path from
+/// *i* to *j* exists whose interior passes through no other kept node
+/// (paths through dropped pandas-manipulation calls collapse to one edge).
+pub fn filter_graph(graph: &CodeGraph) -> PipelineGraph {
+    let flow_kinds = [EdgeKind::DataFlow, EdgeKind::ConstantArg];
+    // Candidate canonical nodes.
+    let candidates: Vec<(NodeId, PipelineOp)> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.kind == NodeKind::Call)
+        .filter_map(|(i, n)| op_of_label(&n.label).map(|op| (i, op)))
+        .collect();
+    if candidates.is_empty() {
+        return PipelineGraph::default();
+    }
+    // Weak connectivity to read_csv over dataflow.
+    let read_nodes: Vec<NodeId> = candidates
+        .iter()
+        .filter(|(_, op)| *op == PipelineOp::ReadCsv)
+        .map(|(i, _)| *i)
+        .collect();
+    let kept: Vec<(NodeId, PipelineOp)> = if read_nodes.is_empty() {
+        candidates
+    } else {
+        let component = weak_component(graph, &read_nodes, &flow_kinds);
+        candidates
+            .into_iter()
+            .filter(|(i, _)| component[*i])
+            .collect()
+    };
+    let index_of: std::collections::HashMap<NodeId, usize> = kept
+        .iter()
+        .enumerate()
+        .map(|(dense, (raw, _))| (*raw, dense))
+        .collect();
+    let mut out = PipelineGraph {
+        ops: kept.iter().map(|(_, op)| *op).collect(),
+        edges: Vec::new(),
+    };
+    // Collapsed dataflow edges.
+    let n = graph.num_nodes();
+    let mut succ: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for e in &graph.edges {
+        if e.kind == EdgeKind::DataFlow {
+            succ[e.from].push(e.to);
+        }
+    }
+    for (raw, _) in &kept {
+        // BFS that stops at kept nodes (they become edge targets).
+        let mut seen = vec![false; n];
+        seen[*raw] = true;
+        let mut stack: Vec<NodeId> = succ[*raw].clone();
+        while let Some(at) = stack.pop() {
+            if seen[at] {
+                continue;
+            }
+            seen[at] = true;
+            if let Some(&dense_to) = index_of.get(&at) {
+                let dense_from = index_of[raw];
+                if dense_from != dense_to {
+                    out.edges.push((dense_from, dense_to));
+                }
+                continue; // do not pass through kept nodes
+            }
+            stack.extend(succ[at].iter().copied());
+        }
+    }
+    out.edges.sort_unstable();
+    out.edges.dedup();
+    out
+}
+
+/// Marks all nodes weakly connected (undirected) to any seed over the
+/// given edge kinds.
+fn weak_component(graph: &CodeGraph, seeds: &[NodeId], kinds: &[EdgeKind]) -> Vec<bool> {
+    let n = graph.num_nodes();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for e in &graph.edges {
+        if kinds.contains(&e.kind) {
+            adj[e.from].push(e.to);
+            adj[e.to].push(e.from);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<NodeId> = seeds.to_vec();
+    for s in seeds {
+        seen[*s] = true;
+    }
+    while let Some(at) = stack.pop() {
+        for &next in &adj[at] {
+            if !seen[next] {
+                seen[next] = true;
+                stack.push(next);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    const FIG2: &str = "\
+import pandas as pd
+from sklearn.model_selection import train_test_split
+from sklearn import svm
+df = pd.read_csv('example.csv')
+df_train, df_test = train_test_split(df)
+X = df_train['X']
+model = svm.SVC()
+model.fit(X, df_train['Y'])
+";
+
+    #[test]
+    fn figure2_filters_to_figure4() {
+        let raw = analyze(FIG2).unwrap();
+        let filtered = filter_graph(&raw);
+        assert_eq!(
+            filtered.ops,
+            vec![
+                PipelineOp::ReadCsv,
+                PipelineOp::TrainTestSplit,
+                PipelineOp::Estimator(1), // linear_svm (SVC)
+                PipelineOp::Fit,
+            ]
+        );
+        // read_csv -> split, split -> fit, svc -> fit.
+        assert!(filtered.edges.contains(&(0, 1)));
+        assert!(filtered.edges.contains(&(1, 3)));
+        assert!(filtered.edges.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn filter_achieves_papers_reduction_rate() {
+        // A realistic notebook with heavy EDA noise: the filter must drop
+        // well over 90% of nodes and edges (Table 3 reports >= 96%).
+        let mut src = String::from(
+            "import pandas as pd\nimport matplotlib.pyplot as plt\nfrom sklearn.ensemble import GradientBoostingClassifier\ndf = pd.read_csv('train.csv')\n",
+        );
+        for i in 0..15 {
+            src.push_str(&format!("df.describe()\nplt.plot(df['c{i}'])\nplt.show()\ndf_{i} = df.fillna({i})\ndf = df_{i}.dropna()\n"));
+        }
+        src.push_str("m = GradientBoostingClassifier(n_estimators=100, learning_rate=0.1)\nm.fit(df, df)\n");
+        let raw = analyze(&src).unwrap();
+        let filtered = filter_graph(&raw);
+        let node_reduction = 1.0 - filtered.num_nodes() as f64 / raw.num_nodes() as f64;
+        let edge_reduction = 1.0 - filtered.num_edges() as f64 / raw.num_edges() as f64;
+        assert!(
+            node_reduction > 0.9,
+            "node reduction {node_reduction} (raw {} -> {})",
+            raw.num_nodes(),
+            filtered.num_nodes()
+        );
+        assert!(edge_reduction > 0.95, "edge reduction {edge_reduction}");
+        // But the ML essentials survive.
+        assert!(filtered.ops.contains(&PipelineOp::ReadCsv));
+        assert!(filtered.ops.contains(&PipelineOp::Estimator(10)));
+    }
+
+    #[test]
+    fn collapsed_edges_skip_dropped_nodes() {
+        // read_csv -> fillna (dropped) -> scaler.fit_transform: the filter
+        // must connect read_csv directly to the scaler fit node.
+        let src = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+df = pd.read_csv('a.csv')
+df2 = df.fillna(0)
+s = StandardScaler()
+x = s.fit_transform(df2)
+";
+        let raw = analyze(src).unwrap();
+        let filtered = filter_graph(&raw);
+        assert_eq!(
+            filtered.ops,
+            vec![
+                PipelineOp::ReadCsv,
+                PipelineOp::Transformer(1),
+                PipelineOp::Fit
+            ]
+        );
+        assert!(
+            filtered.edges.contains(&(0, 2)),
+            "read_csv should reach the fit through the dropped fillna: {:?}",
+            filtered.edges
+        );
+    }
+
+    #[test]
+    fn torch_only_script_filters_to_nothing() {
+        let src = "import torch\nnet = torch.nn.Linear(4, 2)\nnet.forward(x)\n";
+        let raw = analyze(src).unwrap();
+        let filtered = filter_graph(&raw);
+        assert_eq!(filtered.num_nodes(), 0);
+        assert_eq!(filtered.skeleton(), None, "no estimator => invalid");
+    }
+
+    #[test]
+    fn skeleton_extraction() {
+        let src = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+from sklearn.decomposition import PCA
+import xgboost
+df = pd.read_csv('a.csv')
+s = StandardScaler()
+x = s.fit_transform(df)
+p = PCA(n_components=5)
+x2 = p.fit_transform(x)
+m = xgboost.XGBClassifier()
+m.fit(x2, df)
+";
+        let raw = analyze(src).unwrap();
+        let filtered = filter_graph(&raw);
+        let (transformers, estimator) = filtered.skeleton().unwrap();
+        assert_eq!(transformers, vec!["standard_scaler", "pca"]);
+        assert_eq!(estimator, "xgboost");
+    }
+
+    #[test]
+    fn with_dataset_node_prepends_and_links() {
+        let src = "import pandas as pd\nfrom sklearn.svm import SVC\ndf = pd.read_csv('a.csv')\nm = SVC()\nm.fit(df, df)\n";
+        let raw = analyze(src).unwrap();
+        let g = filter_graph(&raw).with_dataset_node();
+        assert_eq!(g.ops[0], PipelineOp::Dataset);
+        assert_eq!(g.ops[1], PipelineOp::ReadCsv);
+        assert!(g.edges.contains(&(0, 1)), "dataset flows into read_csv");
+    }
+
+    #[test]
+    fn op_of_label_handles_method_families() {
+        assert_eq!(
+            op_of_label("sklearn.preprocessing.StandardScaler.fit_transform"),
+            Some(PipelineOp::Fit)
+        );
+        assert_eq!(
+            op_of_label("xgboost.XGBClassifier.predict_proba"),
+            Some(PipelineOp::Predict)
+        );
+        assert_eq!(op_of_label("pandas.DataFrame.fillna"), None);
+        assert_eq!(op_of_label("object.fit"), None);
+    }
+
+    #[test]
+    fn disconnected_ml_island_is_dropped_when_read_csv_exists() {
+        // An SVC never connected to the data must be filtered out (it is
+        // not part of the object flow from read_csv).
+        let src = "\
+import pandas as pd
+from sklearn.svm import SVC
+df = pd.read_csv('a.csv')
+df.describe()
+m = SVC()
+";
+        let raw = analyze(src).unwrap();
+        let filtered = filter_graph(&raw);
+        assert_eq!(filtered.ops, vec![PipelineOp::ReadCsv]);
+    }
+}

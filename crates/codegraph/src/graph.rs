@@ -1,0 +1,208 @@
+//! The code-graph model produced by static analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside a [`CodeGraph`].
+pub type NodeId = usize;
+
+/// The kind of a code-graph node. The kinds mirror GraphGen4Code's node
+/// vocabulary as described in paper §3.3: call nodes, constants, plus the
+/// "numerous other nodes, such as nodes for locations in code files" that
+/// the §3.4 filter later removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An API/function invocation; the label is the resolved dotted path
+    /// (e.g. `sklearn.svm.SVC` or `pandas.read_csv`).
+    Call,
+    /// A literal constant argument.
+    Constant,
+    /// A source-location node (file/line bookkeeping) — filter noise.
+    Location,
+    /// A formal-parameter node attached to a call — filter noise.
+    Parameter,
+    /// A documentation node attached to a call — filter noise.
+    Documentation,
+    /// A dataset anchor node added by Graph4ML assembly (§3.4/Figure 4).
+    Dataset,
+}
+
+/// The kind of a code-graph edge. Control flow is rendered gray and data
+/// flow black in the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Value flows from producer to consumer.
+    DataFlow,
+    /// Execution order between consecutive calls.
+    ControlFlow,
+    /// Transitive closure of data flow (GraphGen4Code's `flowsTo`-style
+    /// reachability edges; the bulk of raw-graph edge volume).
+    TransitiveDataFlow,
+    /// Call → parameter-node linkage — filter noise.
+    Parameter,
+    /// Call → location-node linkage — filter noise.
+    Location,
+    /// Call → documentation-node linkage — filter noise.
+    Documentation,
+    /// Constant argument feeding a call.
+    ConstantArg,
+}
+
+/// A node of a code graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's kind.
+    pub kind: NodeKind,
+    /// Human-readable label: dotted API path for calls, rendered literal
+    /// for constants, bookkeeping text for noise nodes.
+    pub label: String,
+    /// 1-based source line the node originates from (0 for synthetic).
+    pub line: usize,
+}
+
+/// An edge of a code graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+/// A static-analysis graph of one script (GraphGen4Code substitute).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CodeGraph {
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// All edges.
+    pub edges: Vec<Edge>,
+}
+
+impl CodeGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>, line: usize) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+            line,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        debug_assert!(from < self.nodes.len() && to < self.nodes.len());
+        self.edges.push(Edge { from, to, kind });
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ids of nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Out-neighbours reachable via edges of the given kinds.
+    pub fn successors(&self, from: NodeId, kinds: &[EdgeKind]) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == from && kinds.contains(&e.kind))
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// All nodes reachable from `start` via edges of the given kinds
+    /// (including `start`).
+    pub fn reachable(&self, start: NodeId, kinds: &[EdgeKind]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut out = Vec::new();
+        while let Some(at) = stack.pop() {
+            out.push(at);
+            for next in self.successors(at, kinds) {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = CodeGraph::new();
+        let a = g.add_node(NodeKind::Call, "pandas.read_csv", 1);
+        let b = g.add_node(NodeKind::Call, "sklearn.svm.SVC", 2);
+        let c = g.add_node(NodeKind::Location, "file:2", 2);
+        g.add_edge(a, b, EdgeKind::DataFlow);
+        g.add_edge(b, c, EdgeKind::Location);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.nodes_of_kind(NodeKind::Call), vec![a, b]);
+        assert_eq!(g.successors(a, &[EdgeKind::DataFlow]), vec![b]);
+        assert!(g.successors(a, &[EdgeKind::Location]).is_empty());
+    }
+
+    #[test]
+    fn reachability_respects_edge_kinds() {
+        let mut g = CodeGraph::new();
+        let a = g.add_node(NodeKind::Call, "a", 1);
+        let b = g.add_node(NodeKind::Call, "b", 2);
+        let c = g.add_node(NodeKind::Call, "c", 3);
+        g.add_edge(a, b, EdgeKind::DataFlow);
+        g.add_edge(b, c, EdgeKind::ControlFlow);
+        assert_eq!(g.reachable(a, &[EdgeKind::DataFlow]), vec![a, b]);
+        assert_eq!(
+            g.reachable(a, &[EdgeKind::DataFlow, EdgeKind::ControlFlow]),
+            vec![a, b, c]
+        );
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let mut g = CodeGraph::new();
+        let a = g.add_node(NodeKind::Call, "a", 1);
+        let b = g.add_node(NodeKind::Call, "b", 2);
+        g.add_edge(a, b, EdgeKind::DataFlow);
+        g.add_edge(b, a, EdgeKind::DataFlow);
+        assert_eq!(g.reachable(a, &[EdgeKind::DataFlow]), vec![a, b]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut g = CodeGraph::new();
+        let a = g.add_node(NodeKind::Call, "pandas.read_csv", 1);
+        let b = g.add_node(NodeKind::Constant, "'x.csv'", 1);
+        g.add_edge(b, a, EdgeKind::ConstantArg);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: CodeGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,344 @@
+//! Tokenizer for the analyzed Python subset, with indentation tracking.
+
+use crate::{CodeGraphError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Name(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Any operator or punctuation lexeme (`=`, `(`, `.`, `==`, ...).
+    Op(String),
+    /// Logical end of statement.
+    Newline,
+    /// Block start (indentation increased).
+    Indent,
+    /// Block end (indentation decreased).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes a script. Comments (`# ...`) and blank lines are skipped;
+/// indentation produces `Indent`/`Dedent` tokens; parentheses suppress
+/// newline tokens (implicit line joining).
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut paren_depth = 0usize;
+
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        // Strip comments outside strings.
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() && paren_depth == 0 {
+            continue;
+        }
+        if paren_depth == 0 {
+            let indent = line.len() - line.trim_start_matches(' ').len();
+            let current = *indents.last().expect("non-empty indent stack");
+            match indent.cmp(&current) {
+                std::cmp::Ordering::Greater => {
+                    indents.push(indent);
+                    out.push(Spanned {
+                        token: Token::Indent,
+                        line: line_no,
+                    });
+                }
+                std::cmp::Ordering::Less => {
+                    while *indents.last().unwrap() > indent {
+                        indents.pop();
+                        out.push(Spanned {
+                            token: Token::Dedent,
+                            line: line_no,
+                        });
+                    }
+                    if *indents.last().unwrap() != indent {
+                        return Err(CodeGraphError::Lex {
+                            line: line_no,
+                            message: "inconsistent dedent".into(),
+                        });
+                    }
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        tokenize_line(&line, line_no, &mut out, &mut paren_depth)?;
+        if paren_depth == 0 {
+            out.push(Spanned {
+                token: Token::Newline,
+                line: line_no,
+            });
+        }
+    }
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(Spanned {
+            token: Token::Dedent,
+            line: source.lines().count(),
+        });
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line: source.lines().count().max(1),
+    });
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut quote: Option<char> = None;
+    for ch in line.chars() {
+        match quote {
+            Some(q) => {
+                out.push(ch);
+                if ch == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if ch == '#' {
+                    break;
+                }
+                if ch == '\'' || ch == '"' {
+                    quote = Some(ch);
+                }
+                out.push(ch);
+            }
+        }
+    }
+    out
+}
+
+fn tokenize_line(
+    line: &str,
+    line_no: usize,
+    out: &mut Vec<Spanned>,
+    paren_depth: &mut usize,
+) -> Result<()> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    let push = |out: &mut Vec<Spanned>, token: Token| {
+        out.push(Spanned {
+            token,
+            line: line_no,
+        })
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        if c == ' ' || c == '\t' {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            push(out, Token::Name(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || (chars[i] == '.' && !seen_dot)
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && i > start
+                        && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+            {
+                if chars[i] == '.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text.parse::<f64>().map_err(|_| CodeGraphError::Lex {
+                line: line_no,
+                message: format!("bad number `{text}`"),
+            })?;
+            push(out, Token::Num(value));
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            let quote = c;
+            i += 1;
+            let mut s = String::new();
+            let mut closed = false;
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    let esc = chars[i + 1];
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == quote {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            if !closed {
+                return Err(CodeGraphError::Lex {
+                    line: line_no,
+                    message: "unterminated string".into(),
+                });
+            }
+            push(out, Token::Str(s));
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if matches!(two.as_str(), "==" | "!=" | "<=" | ">=" | "**" | "//") {
+            push(out, Token::Op(two));
+            i += 2;
+            continue;
+        }
+        match c {
+            '(' | '[' | '{' => {
+                *paren_depth += 1;
+                push(out, Token::Op(c.to_string()));
+            }
+            ')' | ']' | '}' => {
+                *paren_depth = paren_depth.saturating_sub(1);
+                push(out, Token::Op(c.to_string()));
+            }
+            '=' | '.' | ',' | ':' | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' => {
+                push(out, Token::Op(c.to_string()));
+            }
+            other => {
+                return Err(CodeGraphError::Lex {
+                    line: line_no,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        let t = kinds("x = pd.read_csv('a.csv')\n");
+        assert_eq!(
+            t,
+            vec![
+                Token::Name("x".into()),
+                Token::Op("=".into()),
+                Token::Name("pd".into()),
+                Token::Op(".".into()),
+                Token::Name("read_csv".into()),
+                Token::Op("(".into()),
+                Token::Str("a.csv".into()),
+                Token::Op(")".into()),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = kinds("# full comment\n\nx = 1  # trailing\n");
+        assert_eq!(
+            t,
+            vec![
+                Token::Name("x".into()),
+                Token::Op("=".into()),
+                Token::Num(1.0),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let t = kinds("x = 'a#b'\n");
+        assert!(t.contains(&Token::Str("a#b".into())));
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(t.contains(&Token::Indent));
+        assert!(t.contains(&Token::Dedent));
+    }
+
+    #[test]
+    fn implicit_line_joining_inside_parens() {
+        let t = kinds("f(a,\n  b)\n");
+        // Only one Newline (after the closing paren).
+        let newlines = t.iter().filter(|x| **x == Token::Newline).count();
+        assert_eq!(newlines, 1);
+        assert!(!t.contains(&Token::Indent), "no block from continuation");
+    }
+
+    #[test]
+    fn numbers_with_exponent_and_dots() {
+        let t = kinds("a = 1.5e-3\nb = .25\n");
+        assert!(t.contains(&Token::Num(0.0015)));
+        assert!(t.contains(&Token::Num(0.25)));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = kinds("a == b ** 2\n");
+        assert!(t.contains(&Token::Op("==".into())));
+        assert!(t.contains(&Token::Op("**".into())));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            tokenize("x = 'oops\n"),
+            Err(CodeGraphError::Lex { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_dedents_emitted_at_eof() {
+        let t = kinds("if x:\n    y = 1\n");
+        let dedents = t.iter().filter(|x| **x == Token::Dedent).count();
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = kinds("x = 'a\\'b\\nc'\n");
+        assert!(t.contains(&Token::Str("a'b\nc".into())));
+    }
+}

@@ -1,0 +1,567 @@
+//! Recursive-descent parser for the analyzed Python subset.
+
+use crate::ast::{Expr, Module, Stmt};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::{CodeGraphError, Result};
+
+/// Parses a script into a [`Module`].
+pub fn parse(source: &str) -> Result<Module> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, at: 0 };
+    let body = p.parse_block_body(true)?;
+    Ok(Module { body })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.at].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].token.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(CodeGraphError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Token::Op(o) if o == op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<()> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{op}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Name(n) => Ok(n),
+            other => self.err(format!("expected name, found {other:?}")),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.bump();
+        }
+    }
+
+    /// Parses statements until Dedent (nested) or Eof (top level).
+    fn parse_block_body(&mut self, top_level: bool) -> Result<Vec<Stmt>> {
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Eof => {
+                    if top_level {
+                        return Ok(body);
+                    }
+                    return self.err("unexpected end of input inside block");
+                }
+                Token::Dedent => {
+                    if top_level {
+                        return self.err("unexpected dedent at top level");
+                    }
+                    self.bump();
+                    return Ok(body);
+                }
+                _ => body.push(self.parse_stmt()?),
+            }
+        }
+    }
+
+    fn parse_indented_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect_op(":")?;
+        if !matches!(self.peek(), Token::Newline) {
+            // Single-line suite: `if x: y = 1`.
+            let stmt = self.parse_simple_stmt()?;
+            return Ok(vec![stmt]);
+        }
+        self.skip_newlines();
+        match self.peek() {
+            Token::Indent => {
+                self.bump();
+                self.parse_block_body(false)
+            }
+            _ => self.err("expected indented block"),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Token::Name(kw) if kw == "import" => {
+                self.bump();
+                let mut module = self.expect_name()?;
+                while self.eat_op(".") {
+                    module = format!("{module}.{}", self.expect_name()?);
+                }
+                let alias = if matches!(self.peek(), Token::Name(n) if n == "as") {
+                    self.bump();
+                    self.expect_name()?
+                } else {
+                    // `import a.b` binds `a`; `import a` binds `a`.
+                    module.split('.').next().unwrap_or(&module).to_string()
+                };
+                Ok(Stmt::Import { module, alias })
+            }
+            Token::Name(kw) if kw == "from" => {
+                self.bump();
+                let mut module = self.expect_name()?;
+                while self.eat_op(".") {
+                    module = format!("{module}.{}", self.expect_name()?);
+                }
+                match self.bump() {
+                    Token::Name(n) if n == "import" => {}
+                    other => return self.err(format!("expected `import`, found {other:?}")),
+                }
+                let mut names = Vec::new();
+                loop {
+                    let name = self.expect_name()?;
+                    let alias = if matches!(self.peek(), Token::Name(n) if n == "as") {
+                        self.bump();
+                        self.expect_name()?
+                    } else {
+                        name.clone()
+                    };
+                    names.push((name, alias));
+                    if !self.eat_op(",") {
+                        break;
+                    }
+                }
+                Ok(Stmt::FromImport { module, names })
+            }
+            Token::Name(kw) if kw == "for" => {
+                self.bump();
+                let var = self.expect_name()?;
+                match self.bump() {
+                    Token::Name(n) if n == "in" => {}
+                    other => return self.err(format!("expected `in`, found {other:?}")),
+                }
+                let iter = self.parse_expr()?;
+                let body = self.parse_indented_block()?;
+                Ok(Stmt::For {
+                    var,
+                    iter,
+                    body,
+                    line,
+                })
+            }
+            Token::Name(kw) if kw == "if" => {
+                self.bump();
+                let cond = self.parse_expr()?;
+                let body = self.parse_indented_block()?;
+                self.skip_newlines();
+                let orelse = if matches!(self.peek(), Token::Name(n) if n == "else") {
+                    self.bump();
+                    self.parse_indented_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    body,
+                    orelse,
+                    line,
+                })
+            }
+            _ => self.parse_simple_stmt(),
+        }
+    }
+
+    /// Assignment or expression statement.
+    fn parse_simple_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        let first = self.parse_expr()?;
+        // Tuple target: `a, b = ...`
+        let mut targets_exprs = vec![first];
+        while self.eat_op(",") {
+            targets_exprs.push(self.parse_expr()?);
+        }
+        if self.eat_op("=") {
+            let mut targets = Vec::with_capacity(targets_exprs.len());
+            for t in &targets_exprs {
+                match t {
+                    Expr::Name(n) => targets.push(n.clone()),
+                    // Attribute/subscript targets (df['x'] = ...) bind the base
+                    // variable for dataflow purposes.
+                    Expr::Subscript { base, .. } | Expr::Attribute { base, .. } => {
+                        match base.dotted_name() {
+                            Some(n) => {
+                                targets.push(n.split('.').next().unwrap_or(&n).to_string())
+                            }
+                            None => return self.err("unsupported assignment target"),
+                        }
+                    }
+                    _ => return self.err("unsupported assignment target"),
+                }
+            }
+            let mut values = vec![self.parse_expr()?];
+            while self.eat_op(",") {
+                values.push(self.parse_expr()?);
+            }
+            let value = if values.len() == 1 {
+                values.into_iter().next().unwrap()
+            } else {
+                Expr::Sequence(values)
+            };
+            return Ok(Stmt::Assign {
+                targets,
+                value,
+                line,
+            });
+        }
+        if targets_exprs.len() != 1 {
+            return self.err("bare tuple expression statement");
+        }
+        Ok(Stmt::Expr {
+            value: targets_exprs.into_iter().next().unwrap(),
+            line,
+        })
+    }
+
+    /// Binary-operator expression (all operators at one precedence level —
+    /// dataflow analysis does not care about arithmetic precedence).
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut left = self.parse_postfix()?;
+        loop {
+            let op = match self.peek() {
+                Token::Op(o)
+                    if matches!(
+                        o.as_str(),
+                        "+" | "-" | "*" | "/" | "%" | "**" | "//" | "==" | "!=" | "<" | ">"
+                            | "<=" | ">=" | "&" | "|"
+                    ) =>
+                {
+                    o.clone()
+                }
+                Token::Name(n) if n == "in" || n == "and" || n == "or" || n == "not" => n.clone(),
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_postfix()?;
+            left = Expr::BinOp {
+                left: Box::new(left),
+                right: Box::new(right),
+                op,
+            };
+        }
+        Ok(left)
+    }
+
+    /// Primary expression with `.attr`, `(...)`, `[...]` trailers.
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_op(".") {
+                let attr = self.expect_name()?;
+                e = Expr::Attribute {
+                    base: Box::new(e),
+                    attr,
+                };
+            } else if matches!(self.peek(), Token::Op(o) if o == "(") {
+                self.bump();
+                let (args, kwargs) = self.parse_args()?;
+                e = Expr::Call {
+                    func: Box::new(e),
+                    args,
+                    kwargs,
+                };
+            } else if matches!(self.peek(), Token::Op(o) if o == "[") {
+                self.bump();
+                let index = self.parse_expr()?;
+                // Slices like a[1:3] — consume the rest loosely.
+                if self.eat_op(":") && !matches!(self.peek(), Token::Op(o) if o == "]") {
+                    let _ = self.parse_expr()?;
+                }
+                self.expect_op("]")?;
+                e = Expr::Subscript {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    #[allow(clippy::type_complexity)] // (positional args, keyword args)
+    fn parse_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>)> {
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        if self.eat_op(")") {
+            return Ok((args, kwargs));
+        }
+        loop {
+            // kwarg: NAME '=' expr (lookahead two tokens).
+            if let Token::Name(n) = self.peek().clone() {
+                if matches!(&self.tokens[self.at + 1].token, Token::Op(o) if o == "=") {
+                    self.bump();
+                    self.bump();
+                    kwargs.push((n, self.parse_expr()?));
+                    if self.eat_op(",") {
+                        continue;
+                    }
+                    self.expect_op(")")?;
+                    break;
+                }
+            }
+            args.push(self.parse_expr()?);
+            if self.eat_op(",") {
+                continue;
+            }
+            self.expect_op(")")?;
+            break;
+        }
+        Ok((args, kwargs))
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Token::Name(n) if n == "True" || n == "False" || n == "None" => Ok(Expr::Keyword(n)),
+            Token::Name(n) => Ok(Expr::Name(n)),
+            Token::Num(v) => Ok(Expr::Num(v)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Op(o) if o == "(" => {
+                if self.eat_op(")") {
+                    return Ok(Expr::Sequence(vec![]));
+                }
+                let mut items = vec![self.parse_expr()?];
+                while self.eat_op(",") {
+                    if matches!(self.peek(), Token::Op(o) if o == ")") {
+                        break;
+                    }
+                    items.push(self.parse_expr()?);
+                }
+                self.expect_op(")")?;
+                if items.len() == 1 {
+                    Ok(items.into_iter().next().unwrap())
+                } else {
+                    Ok(Expr::Sequence(items))
+                }
+            }
+            Token::Op(o) if o == "[" => {
+                let mut items = Vec::new();
+                if !self.eat_op("]") {
+                    items.push(self.parse_expr()?);
+                    while self.eat_op(",") {
+                        if matches!(self.peek(), Token::Op(o) if o == "]") {
+                            break;
+                        }
+                        items.push(self.parse_expr()?);
+                    }
+                    self.expect_op("]")?;
+                }
+                Ok(Expr::Sequence(items))
+            }
+            Token::Op(o) if o == "-" => {
+                // Unary minus on a number.
+                match self.parse_primary()? {
+                    Expr::Num(v) => Ok(Expr::Num(-v)),
+                    other => Ok(Expr::BinOp {
+                        left: Box::new(Expr::Num(0.0)),
+                        right: Box::new(other),
+                        op: "-".into(),
+                    }),
+                }
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_figure_2_snippet() {
+        let src = "\
+df = pd.read_csv('example.csv')
+df_train, df_test = train_test_split(df)
+X = df_train['X']
+model = svm.SVC()
+model.fit(X, df_train['Y'])
+";
+        let m = parse(src).unwrap();
+        assert_eq!(m.body.len(), 5);
+        match &m.body[1] {
+            Stmt::Assign { targets, .. } => {
+                assert_eq!(targets, &["df_train".to_string(), "df_test".to_string()])
+            }
+            other => panic!("expected tuple assign, got {other:?}"),
+        }
+        match &m.body[4] {
+            Stmt::Expr {
+                value: Expr::Call { func, args, .. },
+                ..
+            } => {
+                assert_eq!(func.dotted_name().as_deref(), Some("model.fit"));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call stmt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn imports_and_aliases() {
+        let m = parse("import pandas as pd\nimport xgboost\nfrom sklearn.svm import SVC, LinearSVC as LSVC\n").unwrap();
+        assert_eq!(
+            m.body[0],
+            Stmt::Import {
+                module: "pandas".into(),
+                alias: "pd".into()
+            }
+        );
+        assert_eq!(
+            m.body[1],
+            Stmt::Import {
+                module: "xgboost".into(),
+                alias: "xgboost".into()
+            }
+        );
+        match &m.body[2] {
+            Stmt::FromImport { module, names } => {
+                assert_eq!(module, "sklearn.svm");
+                assert_eq!(
+                    names,
+                    &[
+                        ("SVC".to_string(), "SVC".to_string()),
+                        ("LinearSVC".to_string(), "LSVC".to_string())
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dotted_import_binds_root() {
+        let m = parse("import sklearn.svm\n").unwrap();
+        assert_eq!(
+            m.body[0],
+            Stmt::Import {
+                module: "sklearn.svm".into(),
+                alias: "sklearn".into()
+            }
+        );
+    }
+
+    #[test]
+    fn kwargs_and_numbers() {
+        let m = parse("m = RandomForestClassifier(n_estimators=100, max_depth=5.5)\n").unwrap();
+        match &m.body[0] {
+            Stmt::Assign {
+                value: Expr::Call { kwargs, .. },
+                ..
+            } => {
+                assert_eq!(kwargs[0].0, "n_estimators");
+                assert_eq!(kwargs[0].1, Expr::Num(100.0));
+                assert_eq!(kwargs[1].1, Expr::Num(5.5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_and_if_blocks() {
+        let src = "\
+for c in cols:
+    df[c] = df[c] + 1
+if ok:
+    x = 1
+else:
+    x = 2
+";
+        let m = parse(src).unwrap();
+        assert_eq!(m.body.len(), 2);
+        match &m.body[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "c");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &m.body[1] {
+            Stmt::If { body, orelse, .. } => {
+                assert_eq!(body.len(), 1);
+                assert_eq!(orelse.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscript_assignment_targets_base() {
+        let m = parse("df['col'] = scaler.fit_transform(df)\n").unwrap();
+        match &m.body[0] {
+            Stmt::Assign { targets, .. } => assert_eq!(targets, &["df".to_string()]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_call_via_parens() {
+        let m = parse("m = XGBClassifier(\n    n_estimators=10,\n    max_depth=3)\n").unwrap();
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn list_and_tuple_literals() {
+        let m = parse("x = [1, 2, 3]\ny = (a, b)\n").unwrap();
+        match &m.body[0] {
+            Stmt::Assign {
+                value: Expr::Sequence(items),
+                ..
+            } => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_literal() {
+        let m = parse("x = -2.5\n").unwrap();
+        match &m.body[0] {
+            Stmt::Assign { value, .. } => assert_eq!(*value, Expr::Num(-2.5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_line() {
+        let err = parse("x = 1\ny = =\n").unwrap_err();
+        assert!(matches!(err, CodeGraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn slice_subscript() {
+        let m = parse("x = data[1:5]\n").unwrap();
+        assert_eq!(m.body.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the static-analysis substrate.
+
+use kgpip_codegraph::lexer::tokenize;
+use kgpip_codegraph::parser::parse;
+use kgpip_codegraph::{analyze, filter_graph, NodeKind, OpVocab, PipelineOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer is total: it returns Ok or Err but never panics, on
+    /// arbitrary printable input.
+    #[test]
+    fn lexer_is_total(src in "[ -~\n]{0,200}") {
+        let _ = tokenize(&src);
+    }
+
+    /// The parser is total over arbitrary printable input.
+    #[test]
+    fn parser_is_total(src in "[ -~\n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Analysis of syntactically valid assignment chains succeeds and
+    /// produces one call node per call.
+    #[test]
+    fn analysis_counts_calls(n_calls in 1usize..15) {
+        let mut src = String::from("import pandas as pd\ndf = pd.read_csv('x.csv')\n");
+        for i in 0..n_calls {
+            src.push_str(&format!("df_{i} = df.step_{i}()\n"));
+        }
+        let g = analyze(&src).unwrap();
+        // read_csv + n_calls method calls.
+        prop_assert_eq!(g.nodes_of_kind(NodeKind::Call).len(), 1 + n_calls);
+        // Control flow chains them all.
+        let cf = g.edges.iter()
+            .filter(|e| e.kind == kgpip_codegraph::EdgeKind::ControlFlow)
+            .count();
+        prop_assert_eq!(cf, n_calls);
+    }
+
+    /// Filtering is monotone: the filtered graph never has more nodes than
+    /// the raw graph has call nodes, and all its ops are canonical.
+    #[test]
+    fn filter_is_a_projection(
+        n_noise in 0usize..10,
+        with_estimator in proptest::bool::ANY,
+    ) {
+        let mut src = String::from("import pandas as pd\nfrom sklearn.svm import SVC\ndf = pd.read_csv('a.csv')\n");
+        for _ in 0..n_noise {
+            src.push_str("df.describe()\n");
+        }
+        if with_estimator {
+            src.push_str("m = SVC()\nm.fit(df, df)\n");
+        }
+        let raw = analyze(&src).unwrap();
+        let filtered = filter_graph(&raw);
+        prop_assert!(filtered.num_nodes() <= raw.nodes_of_kind(NodeKind::Call).len());
+        prop_assert_eq!(filtered.skeleton().is_some(), with_estimator);
+        for &(f, t) in &filtered.edges {
+            prop_assert!(f < filtered.num_nodes() && t < filtered.num_nodes());
+        }
+    }
+
+    /// with_dataset_node is idempotent in node count growth and keeps all
+    /// edges valid.
+    #[test]
+    fn dataset_node_attachment_shifts_consistently(
+        ops_idx in proptest::collection::vec(0usize..28, 1..8),
+    ) {
+        let vocab = OpVocab::new();
+        let ops: Vec<PipelineOp> = ops_idx.iter().map(|&i| vocab.op(i)).collect();
+        let edges: Vec<(usize, usize)> =
+            (0..ops.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let g = kgpip_codegraph::PipelineGraph { ops: ops.clone(), edges };
+        let with = g.with_dataset_node();
+        prop_assert_eq!(with.num_nodes(), g.num_nodes() + 1);
+        prop_assert_eq!(with.ops[0], PipelineOp::Dataset);
+        for &(f, t) in &with.edges {
+            prop_assert!(f < with.num_nodes() && t < with.num_nodes());
+        }
+        // The dataset node reaches at least one other node.
+        prop_assert!(with.edges.iter().any(|(f, _)| *f == 0));
+    }
+
+    /// Corpus scripts always analyze, whatever the seed and noise level.
+    #[test]
+    fn corpus_scripts_always_analyze(seed in 0u64..300, noise in 0usize..20) {
+        use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+        let scripts = generate_corpus(
+            &[DatasetProfile::new("prop_ds", seed % 2 == 0)],
+            &CorpusConfig {
+                scripts_per_dataset: 1,
+                eda_noise: noise,
+                unsupported_fraction: if seed % 3 == 0 { 1.0 } else { 0.0 },
+                seed,
+            },
+        );
+        for s in scripts {
+            let g = analyze(&s.source).unwrap();
+            prop_assert!(g.num_nodes() > 0);
+        }
+    }
+}

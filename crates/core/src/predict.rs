@@ -1,0 +1,309 @@
+//! The online KGpip workflow: embed → nearest neighbour → conditional
+//! generation → skeleton decoding → `(T − t)/K` hyperparameter search.
+
+use crate::skeleton::{decode_skeleton, validate_against_capabilities};
+use crate::train::Kgpip;
+use crate::{KgpipError, Result};
+use kgpip_embeddings::table_embedding;
+use kgpip_graphgen::model::TypedGraph;
+use kgpip_hpo::{HpoResult, Optimizer, Skeleton, TimeBudget};
+use kgpip_learners::EstimatorKind;
+use kgpip_tabular::Dataset;
+use std::time::Duration;
+
+/// The outcome of HPO on one predicted skeleton.
+#[derive(Debug)]
+pub struct SkeletonResult {
+    /// The predicted skeleton, in generation-score order (rank 0 = the
+    /// generator's most probable pipeline).
+    pub skeleton: Skeleton,
+    /// The generator's log-probability score for the source graph.
+    pub generation_score: f64,
+    /// HPO outcome (`None` when the backend failed on this skeleton).
+    pub hpo: Option<HpoResult>,
+}
+
+/// A complete KGpip run on one dataset.
+#[derive(Debug)]
+pub struct KgpipRun {
+    /// Name of the nearest seen dataset used to seed generation.
+    pub neighbour: String,
+    /// Time consumed by generation + validation (the paper's `t`).
+    pub generation_time: Duration,
+    /// Per-skeleton results in generation-rank order.
+    pub results: Vec<SkeletonResult>,
+    /// Index into `results` of the best pipeline by validation score.
+    pub best_index: usize,
+}
+
+impl KgpipRun {
+    /// The best HPO result.
+    pub fn best(&self) -> &HpoResult {
+        self.results[self.best_index]
+            .hpo
+            .as_ref()
+            .expect("best_index points at a successful result")
+    }
+
+    /// The best validation score.
+    pub fn best_score(&self) -> f64 {
+        self.best().valid_score
+    }
+
+    /// Reciprocal rank of the eventual best pipeline in the generator's
+    /// ranking (§4.5.2: "we measure where in our ranked list of predicted
+    /// pipelines the best pipeline turned out to be ... MRR is 0.71").
+    pub fn reciprocal_rank(&self) -> f64 {
+        1.0 / (self.best_index + 1) as f64
+    }
+
+    /// Estimator kinds in generation-rank order (for the §4.5.3 diversity
+    /// analysis and Figure 8).
+    pub fn predicted_estimators(&self) -> Vec<EstimatorKind> {
+        self.results.iter().map(|r| r.skeleton.estimator).collect()
+    }
+}
+
+impl Kgpip {
+    /// Embeds an unseen dataset and finds its nearest training dataset
+    /// (name, similarity) by content.
+    pub fn nearest_dataset(&self, ds: &Dataset) -> Option<(String, f64)> {
+        let e = table_embedding(&ds.features);
+        self.index.top_k(&e, 1).into_iter().next()
+    }
+
+    /// Predicts up to `k` pipeline skeletons for an unseen dataset,
+    /// without running HPO — the paper notes this step is near-instant
+    /// ("if the user desires only to know what learners would work best
+    /// for their dataset, KGpip can do that almost instantaneously").
+    /// Returns `(skeletons with scores, nearest-neighbour name)`.
+    pub fn predict_skeletons(
+        &self,
+        ds: &Dataset,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> (Vec<(Skeleton, f64)>, String) {
+        let (neighbour, _) = self
+            .nearest_dataset(ds)
+            .expect("training set is non-empty by construction");
+        // Seed generation with the *neighbour's* stored content embedding
+        // (§3.5: generation starts from "the closest seen dataset node —
+        // more specifically, its content embedding").
+        let embedding = self.embeddings[&neighbour].clone();
+        let skeletons =
+            self.predict_with_embedding(&embedding, ds.task, k, capabilities_json, seed);
+        (skeletons, neighbour)
+        // (predict_with_embedding centres the vector; passing the raw
+        // stored embedding here keeps the two paths consistent.)
+    }
+
+    /// Like [`Kgpip::predict_skeletons`] but with an explicit conditioning
+    /// embedding — the hook for the content-vs-random conditioning
+    /// ablation (DESIGN.md).
+    pub fn predict_with_embedding(
+        &self,
+        embedding: &[f64],
+        task: kgpip_tabular::Task,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Vec<(Skeleton, f64)> {
+        let prefix = TypedGraph::conditioning_prefix(&self.vocab);
+        let conditioned = self.condition_vector(embedding);
+        // Oversample: generated graphs can be invalid or unsupported.
+        let candidates = self.generator.generate_top_k(
+            &conditioned,
+            &prefix,
+            k * 3,
+            self.config.temperature,
+            seed,
+        );
+        let mut out: Vec<(Skeleton, f64)> = Vec::new();
+        for c in candidates {
+            let graph = c.graph.decode(&self.vocab);
+            let Some(skeleton) = decode_skeleton(&graph, task) else {
+                continue;
+            };
+            if !validate_against_capabilities(&skeleton, capabilities_json) {
+                continue;
+            }
+            if out.iter().any(|(s, _)| *s == skeleton) {
+                continue;
+            }
+            out.push((skeleton, c.log_prob));
+            if out.len() >= k {
+                break;
+            }
+        }
+        if out.is_empty() {
+            // Fallback: the corpus' dominant learner with no transformers
+            // (boosting, which supports both tasks).
+            out.push((Skeleton::bare(EstimatorKind::XgBoost), f64::NEG_INFINITY));
+        }
+        out
+    }
+
+    /// Runs the full KGpip workflow on one dataset: predict K skeletons,
+    /// split the remaining budget `(T − t)/K`, run backend HPO per
+    /// skeleton, return everything. Uses the configured `top_k`.
+    pub fn run(
+        &self,
+        train: &Dataset,
+        backend: &mut dyn Optimizer,
+        budget: TimeBudget,
+    ) -> Result<KgpipRun> {
+        self.run_k(train, backend, budget, self.config.top_k)
+    }
+
+    /// [`Kgpip::run`] with an explicit K (Figure 7 sweeps K ∈ {3, 5, 7}).
+    pub fn run_k(
+        &self,
+        train: &Dataset,
+        backend: &mut dyn Optimizer,
+        budget: TimeBudget,
+        k: usize,
+    ) -> Result<KgpipRun> {
+        let started = std::time::Instant::now();
+        let capabilities = backend.capabilities();
+        let (skeletons, neighbour) =
+            self.predict_skeletons(train, k, &capabilities, self.config.seed);
+        let generation_time = started.elapsed();
+
+        let total = skeletons.len();
+        let mut results = Vec::with_capacity(total);
+        for (i, (skeleton, generation_score)) in skeletons.into_iter().enumerate() {
+            // Sequential (T - t)/K split over both time and trials; the
+            // divisor shrinks as skeletons complete, so unused share rolls
+            // forward.
+            let sub = budget.sub_budget_k(total - i);
+            let hpo = backend.optimize_skeleton(train, &skeleton, &sub).ok();
+            results.push(SkeletonResult {
+                skeleton,
+                generation_score,
+                hpo,
+            });
+        }
+        let best_index = results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.hpo.as_ref().map(|h| (i, h.valid_score)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(i, _)| i)
+            .ok_or(KgpipError::AllSkeletonsFailed)?;
+        Ok(KgpipRun {
+            neighbour,
+            generation_time,
+            results,
+            best_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::KgpipConfig;
+    use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+    use kgpip_graphgen::GeneratorConfig;
+    use kgpip_hpo::Flaml;
+    use kgpip_tabular::{Column, DataFrame, Task};
+
+    fn table_like(offset: f64, n: usize) -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "f0".to_string(),
+                Column::from_f64((0..n).map(|i| offset + (i % 10) as f64).collect::<Vec<_>>()),
+            ),
+            (
+                "f1".to_string(),
+                Column::from_f64((0..n).map(|i| offset + (i % 7) as f64).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn trained_model() -> Kgpip {
+        let profiles = vec![
+            DatasetProfile::new("alpha", false),
+            DatasetProfile::new("beta", false),
+        ];
+        let scripts = generate_corpus(
+            &profiles,
+            &CorpusConfig {
+                scripts_per_dataset: 8,
+                unsupported_fraction: 0.0,
+                ..CorpusConfig::default()
+            },
+        );
+        let tables = vec![
+            ("alpha".to_string(), table_like(0.0, 30)),
+            ("beta".to_string(), table_like(500.0, 30)),
+        ];
+        Kgpip::train(
+            &scripts,
+            &tables,
+            KgpipConfig {
+                generator: GeneratorConfig {
+                    hidden: 12,
+                    prop_rounds: 1,
+                    epochs: 6,
+                    ..GeneratorConfig::default()
+                },
+                ..KgpipConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn unseen_dataset(n: usize) -> Dataset {
+        let f = table_like(1.0, n);
+        let y: Vec<f64> = (0..n).map(|i| f64::from(i % 10 > 4)).collect();
+        Dataset::new("unseen", f, y, Task::Binary).unwrap()
+    }
+
+    #[test]
+    fn predicts_valid_skeletons_quickly() {
+        let model = trained_model();
+        let ds = unseen_dataset(100);
+        let backend = Flaml::new(0);
+        use kgpip_hpo::Optimizer as _;
+        let caps = backend.capabilities();
+        let started = std::time::Instant::now();
+        let (skeletons, neighbour) = model.predict_skeletons(&ds, 3, &caps, 0);
+        assert!(!skeletons.is_empty());
+        assert!(skeletons.len() <= 3);
+        assert!(neighbour == "alpha" || neighbour == "beta");
+        for (s, _) in &skeletons {
+            assert!(s.estimator.supports(Task::Binary));
+        }
+        // "almost instantaneously" — generation without HPO is fast.
+        assert!(started.elapsed().as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn full_run_returns_ranked_results() {
+        let model = trained_model();
+        let ds = unseen_dataset(150);
+        let mut backend = Flaml::new(1);
+        let run = model.run(&ds, &mut backend, TimeBudget::seconds(3.0)).unwrap();
+        assert!(!run.results.is_empty());
+        assert!(run.best_score() > 0.5, "score {}", run.best_score());
+        assert!(run.reciprocal_rank() > 0.0 && run.reciprocal_rank() <= 1.0);
+        assert!(!run.predicted_estimators().is_empty());
+        // Generation scores are in descending rank order (fallbacks aside).
+        for pair in run.results.windows(2) {
+            assert!(pair[0].generation_score >= pair[1].generation_score);
+        }
+    }
+
+    #[test]
+    fn nearest_dataset_picks_the_similar_table() {
+        let model = trained_model();
+        // Unseen table built exactly like "alpha" (offset 0).
+        let ds = unseen_dataset(60);
+        let (name, sim) = model.nearest_dataset(&ds).unwrap();
+        assert!(name == "alpha" || name == "beta");
+        assert!(sim > 0.5);
+    }
+}

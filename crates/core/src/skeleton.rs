@@ -1,0 +1,123 @@
+//! Decoding generated graphs into pipeline skeletons and validating them
+//! against a backend's capability document (§3.6).
+
+use kgpip_codegraph::PipelineGraph;
+use kgpip_hpo::{parse_capabilities, Skeleton};
+use kgpip_learners::{EstimatorKind, TransformerKind};
+use kgpip_tabular::Task;
+
+/// Decodes a generated pipeline graph into a [`Skeleton`].
+///
+/// A graph is a *valid* pipeline when it contains exactly one estimator
+/// family (the first is used) whose kind supports the task; transformers
+/// are kept in graph order with duplicates removed. Graphs with no
+/// estimator — what the paper's Table 3 calls failing "to generate any
+/// valid ML pipeline" — decode to `None`.
+pub fn decode_skeleton(graph: &PipelineGraph, task: Task) -> Option<Skeleton> {
+    let (transformer_names, estimator_name) = graph.skeleton()?;
+    let estimator = EstimatorKind::from_name(estimator_name)?;
+    if !estimator.supports(task) {
+        return None;
+    }
+    let mut transformers = Vec::new();
+    for name in transformer_names {
+        if let Some(kind) = TransformerKind::from_name(name) {
+            if !transformers.contains(&kind) {
+                transformers.push(kind);
+            }
+        }
+    }
+    Some(Skeleton {
+        transformers,
+        estimator,
+    })
+}
+
+/// Validates a skeleton against a backend's JSON capability document:
+/// the estimator and every transformer must be supported. This is the
+/// §3.6 integration contract ("a JSON document of the particular
+/// preprocessors and estimators supported by the hyperparameter
+/// optimizer").
+pub fn validate_against_capabilities(skeleton: &Skeleton, capabilities_json: &str) -> bool {
+    let Some((estimators, preprocessors)) = parse_capabilities(capabilities_json) else {
+        return false;
+    };
+    estimators.contains(&skeleton.estimator)
+        && skeleton
+            .transformers
+            .iter()
+            .all(|t| preprocessors.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_codegraph::PipelineOp;
+    use kgpip_hpo::space::capabilities_json;
+
+    fn graph(ops: Vec<PipelineOp>) -> PipelineGraph {
+        let edges = (0..ops.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        PipelineGraph { ops, edges }
+    }
+
+    #[test]
+    fn decodes_standard_chain() {
+        let g = graph(vec![
+            PipelineOp::Dataset,
+            PipelineOp::ReadCsv,
+            PipelineOp::Transformer(1), // standard_scaler
+            PipelineOp::Estimator(11),  // xgboost
+            PipelineOp::Fit,
+        ]);
+        let s = decode_skeleton(&g, Task::Binary).unwrap();
+        assert_eq!(s.estimator, EstimatorKind::XgBoost);
+        assert_eq!(s.transformers, vec![TransformerKind::StandardScaler]);
+    }
+
+    #[test]
+    fn rejects_estimatorless_graph() {
+        let g = graph(vec![PipelineOp::Dataset, PipelineOp::ReadCsv]);
+        assert_eq!(decode_skeleton(&g, Task::Binary), None);
+    }
+
+    #[test]
+    fn rejects_task_mismatch() {
+        let g = graph(vec![
+            PipelineOp::Dataset,
+            PipelineOp::ReadCsv,
+            PipelineOp::Estimator(0), // logistic_regression
+        ]);
+        assert!(decode_skeleton(&g, Task::Binary).is_some());
+        assert_eq!(decode_skeleton(&g, Task::Regression), None);
+    }
+
+    #[test]
+    fn deduplicates_transformers() {
+        let g = graph(vec![
+            PipelineOp::Dataset,
+            PipelineOp::ReadCsv,
+            PipelineOp::Transformer(1),
+            PipelineOp::Transformer(1),
+            PipelineOp::Transformer(8),
+            PipelineOp::Estimator(12),
+        ]);
+        let s = decode_skeleton(&g, Task::Binary).unwrap();
+        assert_eq!(
+            s.transformers,
+            vec![TransformerKind::StandardScaler, TransformerKind::Pca]
+        );
+    }
+
+    #[test]
+    fn capability_validation() {
+        let s = Skeleton {
+            transformers: vec![TransformerKind::Pca],
+            estimator: EstimatorKind::Lgbm,
+        };
+        let full = capabilities_json("x", &[EstimatorKind::Lgbm]);
+        assert!(validate_against_capabilities(&s, &full));
+        let narrow = capabilities_json("x", &[EstimatorKind::Knn]);
+        assert!(!validate_against_capabilities(&s, &narrow));
+        assert!(!validate_against_capabilities(&s, "garbage"));
+    }
+}

@@ -1,0 +1,340 @@
+//! The offline KGpip workflow: corpus → code graphs → filtered Graph4ML →
+//! dataset embeddings → trained graph generator.
+
+use crate::{KgpipError, Result};
+use kgpip_codegraph::corpus::ScriptRecord;
+use kgpip_codegraph::{analyze, filter_graph, Graph4Ml, OpVocab};
+use kgpip_embeddings::{table_embedding, VectorIndex};
+use kgpip_graphgen::model::TypedGraph;
+use kgpip_graphgen::{GeneratorConfig, GraphGenerator, TrainExample};
+use kgpip_tabular::DataFrame;
+use std::collections::HashMap;
+
+/// Amplification applied to centred conditioning embeddings.
+const CONDITION_GAIN: f64 = 8.0;
+
+/// KGpip system configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KgpipConfig {
+    /// Number of pipeline graphs to predict per dataset (the paper's K;
+    /// Figure 7 sweeps 3/5/7).
+    pub top_k: usize,
+    /// Sampling temperature for graph generation (>1 = more diverse
+    /// pipelines across runs, §4.5.3).
+    pub temperature: f64,
+    /// Generator hyperparameters.
+    pub generator: GeneratorConfig,
+    /// Seed for prediction-time sampling.
+    pub seed: u64,
+}
+
+impl Default for KgpipConfig {
+    fn default() -> Self {
+        KgpipConfig {
+            top_k: 3,
+            temperature: 1.2,
+            generator: GeneratorConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics of one training run (reported by the Table-3 ablation).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainingStats {
+    /// Scripts in the input corpus.
+    pub scripts: usize,
+    /// Scripts that survived filtering with a valid pipeline (the paper's
+    /// 11.7K → 2,046 selection).
+    pub valid_pipelines: usize,
+    /// Scripts that failed static analysis entirely (skipped, as the
+    /// paper's mining pipeline skips unusable notebooks).
+    pub unparsable: usize,
+    /// Datasets with at least one valid pipeline.
+    pub datasets: usize,
+    /// Total nodes across the filtered training graphs.
+    pub total_nodes: usize,
+    /// Total edges across the filtered training graphs.
+    pub total_edges: usize,
+    /// Wall-clock seconds spent training the generator.
+    pub training_secs: f64,
+    /// Per-epoch generator losses.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// A trained KGpip model.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Kgpip {
+    // (GraphGenerator holds its parameter store, which has no meaningful
+    // Debug rendering; a manual impl below summarizes instead.)
+    pub(crate) config: KgpipConfig,
+    /// Mean of the training-dataset embeddings. Raw table embeddings share
+    /// large common components (type indicators, size features), leaving
+    /// the between-dataset signal microscopic; the generator is therefore
+    /// conditioned on centred, amplified embeddings instead.
+    pub(crate) embedding_center: Vec<f64>,
+    pub(crate) vocab: OpVocab,
+    pub(crate) generator: GraphGenerator,
+    pub(crate) index: VectorIndex,
+    pub(crate) embeddings: HashMap<String, Vec<f64>>,
+    pub(crate) graph4ml: Graph4Ml,
+    pub(crate) stats: TrainingStats,
+}
+
+impl Kgpip {
+    /// Trains KGpip from a script corpus and the content of the training
+    /// datasets (`tables` maps dataset name → its table, used for content
+    /// embeddings; scripts referencing unknown datasets are skipped).
+    pub fn train(
+        scripts: &[ScriptRecord],
+        tables: &[(String, DataFrame)],
+        config: KgpipConfig,
+    ) -> Result<Kgpip> {
+        let vocab = OpVocab::new();
+        // Content embeddings + similarity index over training datasets.
+        let mut embeddings: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut index = VectorIndex::new();
+        for (name, table) in tables {
+            let e = table_embedding(table);
+            index.add(name.clone(), e.clone());
+            embeddings.insert(name.clone(), e);
+        }
+
+        // Static analysis + filtering → Graph4ML.
+        let mut graph4ml = Graph4Ml::new();
+        let mut valid_pipelines = 0usize;
+        let mut unparsable = 0usize;
+        for record in scripts {
+            if !embeddings.contains_key(&record.dataset) {
+                continue;
+            }
+            // Mining is lenient: a notebook the analyzer cannot handle is
+            // dropped, exactly as the paper's pipeline drops unusable
+            // scripts, rather than failing the whole training run.
+            let Ok(code_graph) = analyze(&record.source) else {
+                unparsable += 1;
+                continue;
+            };
+            let filtered = filter_graph(&code_graph);
+            if filtered.skeleton().is_none() {
+                continue; // EDA-only or unsupported-framework notebook
+            }
+            graph4ml.add_pipeline(&record.dataset, &filtered);
+            valid_pipelines += 1;
+        }
+        if graph4ml.pipelines().is_empty() {
+            return Err(KgpipError::EmptyTrainingSet);
+        }
+
+        // Whitening for the conditioning pathway (see `embedding_center`).
+        let dim = embeddings.values().next().map(Vec::len).unwrap_or(0);
+        let mut embedding_center = vec![0.0f64; dim];
+        for e in embeddings.values() {
+            for (c, x) in embedding_center.iter_mut().zip(e) {
+                *c += x;
+            }
+        }
+        for c in &mut embedding_center {
+            *c /= embeddings.len().max(1) as f64;
+        }
+        let condition = |e: &[f64]| -> Vec<f64> {
+            e.iter()
+                .zip(&embedding_center)
+                .map(|(x, c)| (x - c) * CONDITION_GAIN)
+                .collect()
+        };
+
+        // Training examples: each pipeline conditioned on its dataset's
+        // centred content embedding.
+        let examples: Vec<TrainExample> = graph4ml
+            .pipelines()
+            .iter()
+            .map(|(ds_idx, graph)| {
+                let name = &graph4ml.datasets()[*ds_idx];
+                TrainExample {
+                    dataset_embedding: condition(&embeddings[name]),
+                    graph: TypedGraph::encode(graph, &vocab),
+                }
+            })
+            .collect();
+
+        let mut generator = GraphGenerator::new(config.generator.clone());
+        let started = std::time::Instant::now();
+        let epoch_losses = generator.train(&examples);
+        let training_secs = started.elapsed().as_secs_f64();
+
+        let stats = TrainingStats {
+            scripts: scripts.len(),
+            valid_pipelines,
+            unparsable,
+            datasets: graph4ml.datasets().len(),
+            total_nodes: graph4ml.total_nodes(),
+            total_edges: graph4ml.total_edges(),
+            training_secs,
+            epoch_losses,
+        };
+        Ok(Kgpip {
+            config,
+            embedding_center,
+            vocab,
+            generator,
+            index,
+            embeddings,
+            graph4ml,
+            stats,
+        })
+    }
+
+    /// Centres and amplifies an embedding for the conditioning pathway.
+    pub(crate) fn condition_vector(&self, e: &[f64]) -> Vec<f64> {
+        e.iter()
+            .zip(&self.embedding_center)
+            .map(|(x, c)| (x - c) * CONDITION_GAIN)
+            .collect()
+    }
+
+    /// Training statistics.
+    pub fn stats(&self) -> &TrainingStats {
+        &self.stats
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &KgpipConfig {
+        &self.config
+    }
+
+    /// The assembled Graph4ML (for corpus analyses like Figure 9).
+    pub fn graph4ml(&self) -> &Graph4Ml {
+        &self.graph4ml
+    }
+
+    /// The op vocabulary.
+    pub fn vocab(&self) -> &OpVocab {
+        &self.vocab
+    }
+
+    /// Content embedding of a training dataset, if known.
+    pub fn embedding_of(&self, dataset: &str) -> Option<&[f64]> {
+        self.embeddings.get(dataset).map(Vec::as_slice)
+    }
+}
+
+impl Kgpip {
+    /// Serializes the trained model (generator parameters, embedding
+    /// index, Graph4ML, configuration) to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| KgpipError::Persistence(e.to_string()))
+    }
+
+    /// Restores a model from [`Kgpip::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Kgpip> {
+        serde_json::from_str(json).map_err(|e| KgpipError::Persistence(e.to_string()))
+    }
+
+    /// Saves the trained model to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_json()?)
+            .map_err(|e| KgpipError::Persistence(e.to_string()))
+    }
+
+    /// Loads a trained model from a file produced by [`Kgpip::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Kgpip> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| KgpipError::Persistence(e.to_string()))?;
+        Kgpip::from_json(&json)
+    }
+}
+
+impl std::fmt::Debug for Kgpip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kgpip")
+            .field("datasets", &self.graph4ml.datasets().len())
+            .field("pipelines", &self.graph4ml.pipelines().len())
+            .field("generator_params", &self.generator.num_parameters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+    use kgpip_tabular::Column;
+
+    fn tiny_table(offset: f64) -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "a".to_string(),
+                Column::from_f64((0..20).map(|i| offset + i as f64).collect::<Vec<_>>()),
+            ),
+            (
+                "target".to_string(),
+                Column::from_f64((0..20).map(|i| (i % 2) as f64).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn tiny_setup() -> (Vec<ScriptRecord>, Vec<(String, DataFrame)>) {
+        let profiles = vec![
+            DatasetProfile::new("alpha", false),
+            DatasetProfile::new("beta", false),
+        ];
+        let scripts = generate_corpus(
+            &profiles,
+            &CorpusConfig {
+                scripts_per_dataset: 6,
+                unsupported_fraction: 0.2,
+                ..CorpusConfig::default()
+            },
+        );
+        let tables = vec![
+            ("alpha".to_string(), tiny_table(0.0)),
+            ("beta".to_string(), tiny_table(100.0)),
+        ];
+        (scripts, tables)
+    }
+
+    fn fast_config() -> KgpipConfig {
+        KgpipConfig {
+            generator: GeneratorConfig {
+                hidden: 8,
+                prop_rounds: 1,
+                epochs: 2,
+                ..GeneratorConfig::default()
+            },
+            ..KgpipConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_end_to_end_on_synthetic_corpus() {
+        let (scripts, tables) = tiny_setup();
+        let model = Kgpip::train(&scripts, &tables, fast_config()).unwrap();
+        let stats = model.stats();
+        assert_eq!(stats.scripts, 12);
+        assert!(stats.valid_pipelines >= 6, "most sklearn scripts survive");
+        assert!(stats.valid_pipelines < 12, "torch/keras scripts are dropped");
+        assert_eq!(stats.datasets, 2);
+        assert!(stats.total_nodes > 0);
+        assert_eq!(stats.epoch_losses.len(), 2);
+        assert!(model.embedding_of("alpha").is_some());
+        assert!(model.embedding_of("nope").is_none());
+    }
+
+    #[test]
+    fn empty_corpus_errors() {
+        let tables = vec![("alpha".to_string(), tiny_table(0.0))];
+        let err = Kgpip::train(&[], &tables, fast_config()).unwrap_err();
+        assert!(matches!(err, KgpipError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn scripts_for_unknown_datasets_are_skipped() {
+        let (scripts, _) = tiny_setup();
+        // Provide only one of the two tables.
+        let tables = vec![("alpha".to_string(), tiny_table(0.0))];
+        let model = Kgpip::train(&scripts, &tables, fast_config()).unwrap();
+        assert_eq!(model.stats().datasets, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Vector similarity index — the FAISS substitute.
+//!
+//! Exact cosine top-k by default; an IVF (inverted file) mode partitions
+//! vectors with k-means and probes only the nearest partitions, the same
+//! accuracy/speed trade FAISS's `IndexIVFFlat` makes.
+
+use crate::column::cosine;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A named-vector index with exact and IVF-approximate top-k search.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct VectorIndex {
+    names: Vec<String>,
+    vectors: Vec<Vec<f64>>,
+    /// IVF state: centroid vectors and per-partition member lists.
+    ivf: Option<Ivf>,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct Ivf {
+    centroids: Vec<Vec<f64>>,
+    members: Vec<Vec<usize>>,
+    nprobe: usize,
+}
+
+impl VectorIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named vector. Invalidates any trained IVF partitioning.
+    pub fn add(&mut self, name: impl Into<String>, vector: Vec<f64>) {
+        self.names.push(name.into());
+        self.vectors.push(vector);
+        self.ivf = None;
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the index stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Name of the i-th stored vector.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Exact top-k by cosine similarity: `(name, similarity)` descending.
+    pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(usize, f64)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine(query, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.names[i].clone(), s))
+            .collect()
+    }
+
+    /// Trains an IVF partitioning with `nlist` k-means partitions, probing
+    /// `nprobe` partitions at query time.
+    pub fn train_ivf(&mut self, nlist: usize, nprobe: usize, seed: u64) {
+        let n = self.vectors.len();
+        if n == 0 {
+            return;
+        }
+        let nlist = nlist.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // k-means++ style init: random distinct seeds.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f64>> = order[..nlist]
+            .iter()
+            .map(|&i| self.vectors[i].clone())
+            .collect();
+        let mut assignment = vec![0usize; n];
+        for _iter in 0..20 {
+            let mut changed = false;
+            for (i, v) in self.vectors.iter().enumerate() {
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| cosine(v, a.1).partial_cmp(&cosine(v, b.1)).unwrap())
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids as member means.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&i| assignment[i] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let dim = centroid.len();
+                let mut mean = vec![0.0; dim];
+                for &m in &members {
+                    for (s, x) in mean.iter_mut().zip(&self.vectors[m]) {
+                        *s += x;
+                    }
+                }
+                for s in &mut mean {
+                    *s /= members.len() as f64;
+                }
+                *centroid = mean;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut members = vec![Vec::new(); nlist];
+        for (i, &c) in assignment.iter().enumerate() {
+            members[c].push(i);
+        }
+        self.ivf = Some(Ivf {
+            centroids,
+            members,
+            nprobe: nprobe.clamp(1, nlist),
+        });
+    }
+
+    /// IVF-approximate top-k: probes the `nprobe` partitions whose
+    /// centroids are most similar to the query. Falls back to exact search
+    /// when IVF has not been trained.
+    pub fn top_k_ivf(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        let Some(ivf) = &self.ivf else {
+            return self.top_k(query, k);
+        };
+        let mut parts: Vec<(usize, f64)> = ivf
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(c, v)| (c, cosine(query, v)))
+            .collect();
+        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        for &(c, _) in parts.iter().take(ivf.nprobe) {
+            for &i in &ivf.members[c] {
+                scored.push((i, cosine(query, &self.vectors[i])));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.names[i].clone(), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dir: usize, dim: usize) -> Vec<f64> {
+        let mut v = vec![0.0; dim];
+        v[dir] = 1.0;
+        v
+    }
+
+    #[test]
+    fn exact_top_k_orders_by_similarity() {
+        let mut idx = VectorIndex::new();
+        idx.add("x", unit(0, 4));
+        idx.add("y", unit(1, 4));
+        idx.add("xy", vec![0.7, 0.7, 0.0, 0.0]);
+        let hits = idx.top_k(&unit(0, 4), 2);
+        assert_eq!(hits[0].0, "x");
+        assert!((hits[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(hits[1].0, "xy");
+    }
+
+    #[test]
+    fn top_k_caps_at_len() {
+        let mut idx = VectorIndex::new();
+        idx.add("only", unit(0, 2));
+        assert_eq!(idx.top_k(&unit(0, 2), 10).len(), 1);
+        assert!(VectorIndex::new().top_k(&unit(0, 2), 3).is_empty());
+    }
+
+    #[test]
+    fn ivf_with_full_probe_matches_exact() {
+        let mut idx = VectorIndex::new();
+        for i in 0..40 {
+            let mut v = vec![0.0; 8];
+            v[i % 8] = 1.0;
+            v[(i + 1) % 8] = 0.3;
+            idx.add(format!("v{i}"), v);
+        }
+        let exact = idx.top_k(&unit(3, 8), 5);
+        idx.train_ivf(4, 4, 7);
+        let approx = idx.top_k_ivf(&unit(3, 8), 5);
+        assert_eq!(
+            exact.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            approx.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ivf_narrow_probe_still_finds_near_cluster() {
+        let mut idx = VectorIndex::new();
+        // Two tight clusters along axes 0 and 5.
+        for i in 0..20 {
+            let mut v = vec![0.0; 8];
+            v[0] = 1.0;
+            v[1] = 0.01 * i as f64;
+            idx.add(format!("a{i}"), v);
+            let mut w = vec![0.0; 8];
+            w[5] = 1.0;
+            w[6] = 0.01 * i as f64;
+            idx.add(format!("b{i}"), w);
+        }
+        idx.train_ivf(2, 1, 3);
+        let hits = idx.top_k_ivf(&unit(0, 8), 3);
+        assert!(hits.iter().all(|(n, _)| n.starts_with('a')));
+    }
+
+    #[test]
+    fn adding_invalidates_ivf() {
+        let mut idx = VectorIndex::new();
+        idx.add("a", unit(0, 4));
+        idx.train_ivf(1, 1, 0);
+        idx.add("b", unit(1, 4));
+        // Falls back to exact search and still sees the new vector.
+        let hits = idx.top_k_ivf(&unit(1, 4), 1);
+        assert_eq!(hits[0].0, "b");
+    }
+}

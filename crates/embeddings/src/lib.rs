@@ -1,0 +1,27 @@
+//! Content-based dataset embeddings, similarity search, and t-SNE.
+//!
+//! Paper §3.2: KGpip "generate[s] fixed-size, dense columnar embeddings for
+//! input datasets ... The content similarity is calculated using dense
+//! vector representations (embeddings) of column values. Table embeddings
+//! are computed by pooling over their individual column embeddings ... We
+//! then use efficient libraries [FAISS] for similarity search of dense
+//! vectors to retrieve the most similar dataset."
+//!
+//! This crate provides the whole chain:
+//! * [`column_embedding`] — a fixed-size dense vector per column computed
+//!   from actual values (distribution sketches for numerics, hashed
+//!   character n-grams for strings) — the KGLac substitute,
+//! * [`table_embedding`] — mean-pooled, L2-normalized table vectors,
+//! * [`index::VectorIndex`] — exact and IVF-partitioned top-k cosine
+//!   search — the FAISS substitute,
+//! * [`tsne`] — exact t-SNE for the Figure-10 qualitative analysis.
+
+pub mod column;
+pub mod index;
+pub mod table;
+pub mod tsne;
+
+pub use column::{column_embedding, EMBED_DIM};
+pub use index::VectorIndex;
+pub use table::table_embedding;
+pub use tsne::tsne;

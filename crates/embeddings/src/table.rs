@@ -1,0 +1,102 @@
+//! Table-level embeddings via column pooling.
+
+use crate::column::{column_embedding, EMBED_DIM};
+use kgpip_tabular::DataFrame;
+
+/// Embeds a table by mean-pooling its column embeddings and L2-normalizing
+/// the result (paper §3.2: "Table embeddings are computed by pooling over
+/// their individual column embeddings").
+pub fn table_embedding(frame: &DataFrame) -> Vec<f64> {
+    let mut pooled = vec![0.0f64; EMBED_DIM];
+    if frame.num_columns() == 0 {
+        return pooled;
+    }
+    for col in frame.columns() {
+        let e = column_embedding(col);
+        for (p, x) in pooled.iter_mut().zip(e.iter()) {
+            *p += x;
+        }
+    }
+    let n = frame.num_columns() as f64;
+    for p in &mut pooled {
+        *p /= n;
+    }
+    let norm = pooled.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for p in &mut pooled {
+            *p /= norm;
+        }
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::cosine;
+    use kgpip_tabular::Column;
+
+    fn sales_table(seed: u64) -> DataFrame {
+        let offset = seed as f64;
+        DataFrame::from_columns(vec![
+            (
+                "revenue".to_string(),
+                Column::from_f64((0..50).map(|i| offset + i as f64 * 10.0).collect::<Vec<_>>()),
+            ),
+            (
+                "region".to_string(),
+                Column::categorical(
+                    (0..50)
+                        .map(|i| Some(["north", "south", "east", "west"][i % 4]))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn review_table() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "review".to_string(),
+                Column::text(
+                    (0..50)
+                        .map(|i| Some(format!("this product review number {i} is quite long and wordy")))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "stars".to_string(),
+                Column::from_f64((0..50).map(|i| (i % 5) as f64).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn embedding_is_unit_norm() {
+        let e = table_embedding(&sales_table(0));
+        let norm: f64 = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_domain_tables_are_closer_than_cross_domain() {
+        let a = table_embedding(&sales_table(1));
+        let b = table_embedding(&sales_table(500));
+        let c = table_embedding(&review_table());
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "sales~sales {} vs sales~reviews {}",
+            cosine(&a, &b),
+            cosine(&a, &c)
+        );
+    }
+
+    #[test]
+    fn empty_table_embeds_to_zero() {
+        let e = table_embedding(&DataFrame::new());
+        assert!(e.iter().all(|x| *x == 0.0));
+        assert_eq!(e.len(), EMBED_DIM);
+    }
+}

@@ -1,0 +1,239 @@
+//! Exact t-SNE (van der Maaten & Hinton) for small point sets.
+//!
+//! Used to regenerate the paper's Figure 10: "t-SNE plot of KGpip's dataset
+//! embeddings for 38 Kaggle datasets ... datasets from the same domains
+//! have close embeddings". Exact O(n²) t-SNE is the right tool at that
+//! scale.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbour count).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 5.0,
+            iterations: 800,
+            learning_rate: 20.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds high-dimensional points into 2-D with exact t-SNE. Returns one
+/// `(x, y)` per input point.
+pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    // Per-point bandwidth by binary search on perplexity.
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                    sum += p[i * n + j];
+                }
+            }
+            let sum = sum.max(1e-12);
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let pj = p[i * n + j] / sum;
+                    if pj > 1e-12 {
+                        entropy -= pj * pj.ln();
+                    }
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
+            }
+        }
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum();
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] /= row_sum.max(1e-12);
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent with momentum and early exaggeration.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * 1e-2, rng.gen::<f64>() * 1e-2))
+        .collect();
+    let mut velocity = vec![(0.0f64, 0.0f64); n];
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        // Low-dim affinities (Student-t kernel).
+        let mut q = vec![0.0f64; n * n];
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+        let momentum = if iter < 100 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * pij[i * n + j] - qij) * w;
+                gx += coeff * (y[i].0 - y[j].0);
+                gy += coeff * (y[i].1 - y[j].1);
+            }
+            velocity[i].0 = momentum * velocity[i].0 - config.learning_rate * gx;
+            velocity[i].1 = momentum * velocity[i].1 - config.learning_rate * gy;
+        }
+        for (yi, v) in y.iter_mut().zip(&velocity) {
+            yi.0 += v.0;
+            yi.1 += v.1;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated clusters in 10-D.
+    fn clustered_points() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for i in 0..8usize {
+                let mut v = vec![0.0; 10];
+                v[c * 3] = 10.0;
+                v[c * 3 + 1] = 10.0;
+                v[9] = (i as f64) * 0.1; // within-cluster jitter
+                points.push(v);
+                labels.push(c);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn clusters_stay_separated_in_2d() {
+        let (points, labels) = clustered_points();
+        let layout = tsne(&points, &TsneConfig::default());
+        // Mean within-cluster distance must be far below between-cluster.
+        let dist = |a: (f64, f64), b: (f64, f64)| {
+            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+        };
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..layout.len() {
+            for j in i + 1..layout.len() {
+                if labels[i] == labels[j] {
+                    within.push(dist(layout[i], layout[j]));
+                } else {
+                    between.push(dist(layout[i], layout[j]));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&between) > 2.0 * mean(&within),
+            "between {} vs within {}",
+            mean(&between),
+            mean(&within)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (points, _) = clustered_points();
+        let a = tsne(&points, &TsneConfig::default());
+        let b = tsne(&points, &TsneConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(tsne(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(
+            tsne(&[vec![1.0, 2.0]], &TsneConfig::default()),
+            vec![(0.0, 0.0)]
+        );
+        // Two identical points must not produce NaN.
+        let layout = tsne(
+            &[vec![1.0, 1.0], vec![1.0, 1.0]],
+            &TsneConfig {
+                iterations: 50,
+                ..TsneConfig::default()
+            },
+        );
+        assert!(layout.iter().all(|(x, y)| x.is_finite() && y.is_finite()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the embedding substrate.
+
+use kgpip_embeddings::column::{column_embedding, cosine, EMBED_DIM};
+use kgpip_embeddings::tsne::{tsne, TsneConfig};
+use kgpip_embeddings::{table_embedding, VectorIndex};
+use kgpip_tabular::{Column, DataFrame};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Column embeddings are finite and bounded for arbitrary content.
+    #[test]
+    fn column_embedding_is_finite(
+        values in proptest::collection::vec(proptest::option::of(-1e9f64..1e9), 0..60)
+    ) {
+        let e = column_embedding(&Column::numeric(values));
+        prop_assert_eq!(e.len(), EMBED_DIM);
+        prop_assert!(e.iter().all(|v| v.is_finite()));
+        prop_assert!(e.iter().all(|v| v.abs() <= 2.0), "components are squashed");
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_is_symmetric_and_bounded(
+        a in proptest::collection::vec(-10.0f64..10.0, 4),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-9 || a.iter().all(|v| *v == 0.0));
+    }
+
+    /// Table embeddings are unit-norm (or zero for empty tables) whatever
+    /// the column mix.
+    #[test]
+    fn table_embedding_norm(
+        nums in proptest::collection::vec(-100.0f64..100.0, 1..40),
+        with_cat in proptest::bool::ANY,
+    ) {
+        let mut frame = DataFrame::new();
+        frame.push("n", Column::from_f64(nums.clone())).unwrap();
+        if with_cat {
+            let cats: Vec<Option<String>> =
+                nums.iter().map(|v| Some(format!("c{}", (*v as i64) % 3))).collect();
+            frame.push("c", Column::categorical(cats)).unwrap();
+        }
+        let e = table_embedding(&frame);
+        let norm: f64 = e.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    /// Exact top-k results are sorted by similarity and unique.
+    #[test]
+    fn top_k_is_sorted_and_unique(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 6), 1..25
+        ),
+        k in 1usize..10,
+    ) {
+        let mut idx = VectorIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            idx.add(format!("v{i}"), v.clone());
+        }
+        let query = vectors[0].clone();
+        let hits = idx.top_k(&query, k);
+        prop_assert!(hits.len() <= k.min(vectors.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let mut names: Vec<&String> = hits.iter().map(|(n, _)| n).collect();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), hits.len());
+    }
+
+    /// t-SNE yields finite coordinates for arbitrary point clouds.
+    #[test]
+    fn tsne_is_finite(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-3.0f64..3.0, 4), 2..15
+        ),
+    ) {
+        let layout = tsne(&points, &TsneConfig { iterations: 60, ..TsneConfig::default() });
+        prop_assert_eq!(layout.len(), points.len());
+        prop_assert!(layout.iter().all(|(x, y)| x.is_finite() && y.is_finite()));
+    }
+}

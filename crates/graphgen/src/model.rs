@@ -1,0 +1,695 @@
+//! The graph generator model: typed-graph GNN with decision heads.
+//!
+//! The model is deliberately generic over the node-type vocabulary (a
+//! `vocab_size` and dense type ids) so that the same machinery trains on
+//! both KGpip's filtered pipeline vocabulary and — for the Table 3 ablation
+//! — on raw code-graph label vocabularies.
+
+use crate::sequence::{decisions_for, Decision};
+use kgpip_codegraph::{OpVocab, PipelineGraph, PipelineOp};
+use kgpip_nn::{Adam, GruCell, Linear, Mlp, ParamId, ParamStore, Tape, Tensor, TensorRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph over dense type ids — the generator's native representation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TypedGraph {
+    /// Node type ids (`types[0]` is the dataset anchor).
+    pub types: Vec<usize>,
+    /// Directed edges `(from, to)` with `from < to`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TypedGraph {
+    /// Encodes a pipeline graph through the op vocabulary.
+    pub fn encode(graph: &PipelineGraph, vocab: &OpVocab) -> TypedGraph {
+        TypedGraph {
+            types: graph.ops.iter().map(|op| vocab.id(*op)).collect(),
+            edges: graph.edges.clone(),
+        }
+    }
+
+    /// Decodes back into a pipeline graph.
+    pub fn decode(&self, vocab: &OpVocab) -> PipelineGraph {
+        PipelineGraph {
+            ops: self.types.iter().map(|&t| vocab.op(t)).collect(),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// The standard conditional-generation prefix (paper §3.5): a dataset
+    /// node connected to a `read_csv` node.
+    pub fn conditioning_prefix(vocab: &OpVocab) -> TypedGraph {
+        TypedGraph {
+            types: vec![vocab.id(PipelineOp::Dataset), vocab.id(PipelineOp::ReadCsv)],
+            edges: vec![(0, 1)],
+        }
+    }
+}
+
+/// Generator hyperparameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GeneratorConfig {
+    /// Node-type vocabulary size (decision head emits `vocab_size + 1`
+    /// logits; the extra class is STOP).
+    pub vocab_size: usize,
+    /// Dataset content-embedding input dimension.
+    pub embed_dim: usize,
+    /// Hidden state width.
+    pub hidden: usize,
+    /// Message-passing rounds per state computation (paper §3.5: "node
+    /// embeddings that are learned throughout the training via graph
+    /// propagation rounds").
+    pub prop_rounds: usize,
+    /// Training epochs (the paper's Table 3 ablation uses 15).
+    pub epochs: usize,
+    /// Examples per optimizer step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Hard cap on generated nodes (including the prefix).
+    pub max_nodes: usize,
+    /// Hard cap on incoming edges per generated node.
+    pub max_edges_per_node: usize,
+    /// Parameter-init and training-shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            vocab_size: OpVocab::new().len(),
+            embed_dim: 48,
+            hidden: 32,
+            prop_rounds: 2,
+            epochs: 15,
+            batch_size: 8,
+            learning_rate: 0.01,
+            max_nodes: 12,
+            max_edges_per_node: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// One training example: a dataset's content embedding plus one filtered
+/// pipeline graph mined for it.
+#[derive(Debug, Clone)]
+pub struct TrainExample {
+    /// Content embedding of the associated dataset (length = `embed_dim`).
+    pub dataset_embedding: Vec<f64>,
+    /// The pipeline graph in typed form (node 0 = dataset anchor).
+    pub graph: TypedGraph,
+}
+
+/// A generated graph with its sampling score.
+#[derive(Debug, Clone)]
+pub struct GeneratedGraph {
+    /// The generated typed graph (includes the conditioning prefix).
+    pub graph: TypedGraph,
+    /// Sum of log-probabilities of all sampled decisions — the "score
+    /// (probability) of each graph" of §3.5.
+    pub log_prob: f64,
+}
+
+/// The deep graph generator.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct GraphGenerator {
+    config: GeneratorConfig,
+    store: ParamStore,
+    type_emb: ParamId,
+    ds_proj: Linear,
+    msg_fwd: Mlp,
+    msg_bwd: Mlp,
+    gru: GruCell,
+    graph_proj: Linear,
+    head_addnode: Mlp,
+    head_addedge: Mlp,
+    head_pick: Mlp,
+}
+
+impl GraphGenerator {
+    /// Creates a generator with freshly initialized parameters.
+    pub fn new(config: GeneratorConfig) -> GraphGenerator {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let h = config.hidden;
+        let type_emb = store.xavier("type_emb", config.vocab_size, h, &mut rng);
+        let ds_proj = Linear::new(&mut store, "ds_proj", config.embed_dim, h, &mut rng);
+        let msg_fwd = Mlp::new(&mut store, "msg_fwd", 2 * h, h, h, &mut rng);
+        let msg_bwd = Mlp::new(&mut store, "msg_bwd", 2 * h, h, h, &mut rng);
+        let gru = GruCell::new(&mut store, "gru", h, h, &mut rng);
+        let graph_proj = Linear::new(&mut store, "graph_proj", h, h, &mut rng);
+        let head_addnode = Mlp::new(&mut store, "addnode", 2 * h, h, config.vocab_size + 1, &mut rng);
+        let head_addedge = Mlp::new(&mut store, "addedge", 3 * h, h, 1, &mut rng);
+        let head_pick = Mlp::new(&mut store, "pick", 2 * h, h, 1, &mut rng);
+        GraphGenerator {
+            config,
+            store,
+            type_emb,
+            ds_proj,
+            msg_fwd,
+            msg_bwd,
+            gru,
+            graph_proj,
+            head_addnode,
+            head_addedge,
+            head_pick,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Computes node states for a partial graph: initial embeddings (type
+    /// table rows; the dataset anchor uses the projected content
+    /// embedding) refined by `prop_rounds` of bidirectional message
+    /// passing with GRU updates.
+    fn node_states(
+        &self,
+        tape: &mut Tape,
+        graph: &TypedGraph,
+        ds_input: TensorRef,
+    ) -> kgpip_nn::Result<TensorRef> {
+        let n = graph.types.len();
+        let hdim = self.config.hidden;
+        let ds_base = self.ds_proj.forward(tape, ds_input)?;
+        let h0 = if n == 1 {
+            ds_base
+        } else {
+            let table = tape.param(self.type_emb);
+            let rest = tape.gather_rows(table, &graph.types[1..])?;
+            tape.concat_rows(ds_base, rest)?
+        };
+        let mut h = tape.tanh(h0);
+        for _ in 0..self.config.prop_rounds {
+            let agg = if graph.edges.is_empty() {
+                tape.input(Tensor::zeros(n, hdim))
+            } else {
+                let src: Vec<usize> = graph.edges.iter().map(|(u, _)| *u).collect();
+                let dst: Vec<usize> = graph.edges.iter().map(|(_, v)| *v).collect();
+                let hs = tape.gather_rows(h, &src)?;
+                let hd = tape.gather_rows(h, &dst)?;
+                let fwd_in = tape.concat_cols(hs, hd)?;
+                let m_f = self.msg_fwd.forward(tape, fwd_in)?;
+                let agg_f = tape.scatter_sum_rows(m_f, &dst, n)?;
+                let bwd_in = tape.concat_cols(hd, hs)?;
+                let m_b = self.msg_bwd.forward(tape, bwd_in)?;
+                let agg_b = tape.scatter_sum_rows(m_b, &src, n)?;
+                tape.add(agg_f, agg_b)?
+            };
+            h = self.gru.forward(tape, h, agg)?;
+        }
+        Ok(h)
+    }
+
+    /// Graph-level readout: projected sum of node states.
+    fn graph_state(&self, tape: &mut Tape, h: TensorRef) -> kgpip_nn::Result<TensorRef> {
+        let s = tape.sum_rows(h);
+        let p = self.graph_proj.forward(tape, s)?;
+        Ok(tape.tanh(p))
+    }
+
+    fn addnode_logits(
+        &self,
+        tape: &mut Tape,
+        graph: &TypedGraph,
+        ds_input: TensorRef,
+    ) -> kgpip_nn::Result<TensorRef> {
+        let h = self.node_states(tape, graph, ds_input)?;
+        let hg = self.graph_state(tape, h)?;
+        // Condition the decision directly on the dataset embedding (the
+        // conditional-generation modification of §3.5): without this the
+        // dataset signal must survive propagation + sum pooling, and in
+        // practice the head collapses to the corpus-global mode.
+        let ds = self.ds_proj.forward(tape, ds_input)?;
+        let joint = tape.concat_cols(hg, ds)?;
+        self.head_addnode.forward(tape, joint)
+    }
+
+    fn addedge_logit(
+        &self,
+        tape: &mut Tape,
+        graph: &TypedGraph,
+        ds_input: TensorRef,
+    ) -> kgpip_nn::Result<TensorRef> {
+        let h = self.node_states(tape, graph, ds_input)?;
+        let hg = self.graph_state(tape, h)?;
+        let newest = graph.types.len() - 1;
+        let ht = tape.gather_rows(h, &[newest])?;
+        let ds = self.ds_proj.forward(tape, ds_input)?;
+        let pair = tape.concat_cols(hg, ht)?;
+        let joint = tape.concat_cols(pair, ds)?;
+        self.head_addedge.forward(tape, joint)
+    }
+
+    /// 1×(n−1) logits over candidate source nodes for an edge into the
+    /// newest node.
+    fn pick_logits(
+        &self,
+        tape: &mut Tape,
+        graph: &TypedGraph,
+        ds_input: TensorRef,
+    ) -> kgpip_nn::Result<TensorRef> {
+        let h = self.node_states(tape, graph, ds_input)?;
+        let newest = graph.types.len() - 1;
+        let candidates: Vec<usize> = (0..newest).collect();
+        let hu = tape.gather_rows(h, &candidates)?;
+        let ht = tape.gather_rows(h, &vec![newest; newest])?;
+        let joint = tape.concat_cols(hu, ht)?;
+        let scores = self.head_pick.forward(tape, joint)?;
+        tape.reshape(scores, 1, newest)
+    }
+
+    fn ds_tensor(&self, embedding: &[f64]) -> Tensor {
+        let mut data: Vec<f32> = embedding.iter().map(|x| *x as f32).collect();
+        data.resize(self.config.embed_dim, 0.0);
+        Tensor::from_vec(data, 1, self.config.embed_dim).expect("resized to embed_dim")
+    }
+
+    /// Teacher-forced loss of one example; returns the scalar loss ref.
+    fn example_loss(
+        &self,
+        tape: &mut Tape,
+        example: &TrainExample,
+    ) -> kgpip_nn::Result<TensorRef> {
+        let ds_input = tape.input(self.ds_tensor(&example.dataset_embedding));
+        let decisions = decisions_for(&example.graph.types, &example.graph.edges);
+        let mut partial = TypedGraph {
+            types: vec![example.graph.types[0]],
+            edges: Vec::new(),
+        };
+        let mut losses: Vec<TensorRef> = Vec::new();
+        for decision in decisions {
+            match decision {
+                Decision::AddNode(ty) => {
+                    let logits = self.addnode_logits(tape, &partial, ds_input)?;
+                    losses.push(tape.softmax_ce(logits, &[ty])?);
+                    partial.types.push(ty);
+                }
+                Decision::Stop => {
+                    let logits = self.addnode_logits(tape, &partial, ds_input)?;
+                    losses.push(tape.softmax_ce(logits, &[self.config.vocab_size])?);
+                }
+                Decision::AddEdge(yes) => {
+                    let logit = self.addedge_logit(tape, &partial, ds_input)?;
+                    losses.push(tape.sigmoid_bce(logit, &[f32::from(yes)])?);
+                }
+                Decision::PickNode(u) => {
+                    let logits = self.pick_logits(tape, &partial, ds_input)?;
+                    losses.push(tape.softmax_ce(logits, &[u])?);
+                    let newest = partial.types.len() - 1;
+                    partial.edges.push((u, newest));
+                }
+            }
+        }
+        let mut total = losses[0];
+        for l in &losses[1..] {
+            total = tape.add(total, *l)?;
+        }
+        Ok(tape.scale(total, 1.0 / losses.len() as f32))
+    }
+
+    /// Trains with Adam over shuffled mini-batches; returns the mean loss
+    /// per epoch.
+    pub fn train(&mut self, examples: &[TrainExample]) -> Vec<f32> {
+        assert!(!examples.is_empty(), "training set must be non-empty");
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                self.store.zero_grads();
+                let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
+                for &i in batch {
+                    let mut tape = Tape::new(&self.store);
+                    let loss = self
+                        .example_loss(&mut tape, &examples[i])
+                        .expect("training graph shapes are internally consistent");
+                    epoch_loss += tape.value(loss).get(0, 0);
+                    batch_grads.extend(tape.backward(loss).expect("loss is scalar"));
+                }
+                let scale = 1.0 / batch.len() as f32;
+                for (id, mut g) in batch_grads {
+                    g.scale_assign(scale);
+                    self.store.accumulate_grad(id, &g);
+                }
+                self.store.clip_grads(5.0);
+                adam.step(&mut self.store);
+            }
+            epoch_losses.push(epoch_loss / examples.len() as f32);
+        }
+        epoch_losses
+    }
+
+    /// Mean teacher-forced loss over a set of examples (no training).
+    pub fn evaluate(&self, examples: &[TrainExample]) -> f32 {
+        let mut total = 0.0f32;
+        for ex in examples {
+            let mut tape = Tape::new(&self.store);
+            let loss = self
+                .example_loss(&mut tape, ex)
+                .expect("evaluation graph shapes are internally consistent");
+            total += tape.value(loss).get(0, 0);
+        }
+        total / examples.len().max(1) as f32
+    }
+
+    /// Generates one graph conditionally from a prefix subgraph and a
+    /// dataset content embedding. `temperature` > 1 flattens the decision
+    /// distributions (more exploration); 1.0 samples the model faithfully.
+    pub fn generate(
+        &self,
+        dataset_embedding: &[f64],
+        prefix: &TypedGraph,
+        temperature: f64,
+        rng: &mut StdRng,
+    ) -> GeneratedGraph {
+        let mut graph = prefix.clone();
+        let mut log_prob = 0.0f64;
+        let stop_class = self.config.vocab_size;
+        while graph.types.len() < self.config.max_nodes {
+            // Decide the next node type (or stop).
+            let (choice, lp) = {
+                let mut tape = Tape::new(&self.store);
+                let ds = tape.input(self.ds_tensor(dataset_embedding));
+                let logits = self
+                    .addnode_logits(&mut tape, &graph, ds)
+                    .expect("generation shapes are internally consistent");
+                sample_softmax(tape.value(logits).row(0), temperature, &mut [], rng)
+            };
+            log_prob += lp;
+            if choice == stop_class {
+                break;
+            }
+            graph.types.push(choice);
+            let newest = graph.types.len() - 1;
+            // Edge loop for the new node.
+            let mut edges_added = 0usize;
+            while edges_added < self.config.max_edges_per_node {
+                let (add, lp) = {
+                    let mut tape = Tape::new(&self.store);
+                    let ds = tape.input(self.ds_tensor(dataset_embedding));
+                    let logit = self
+                        .addedge_logit(&mut tape, &graph, ds)
+                        .expect("generation shapes are internally consistent");
+                    let p = sigmoid(tape.value(logit).get(0, 0) as f64 / temperature);
+                    let add = rng.gen::<f64>() < p;
+                    (add, if add { p.max(1e-12).ln() } else { (1.0 - p).max(1e-12).ln() })
+                };
+                log_prob += lp;
+                if !add {
+                    break;
+                }
+                // Pick the source node, masking already-present edges.
+                let mut masked: Vec<usize> = graph
+                    .edges
+                    .iter()
+                    .filter(|(_, v)| *v == newest)
+                    .map(|(u, _)| *u)
+                    .collect();
+                let (source, lp) = {
+                    let mut tape = Tape::new(&self.store);
+                    let ds = tape.input(self.ds_tensor(dataset_embedding));
+                    let logits = self
+                        .pick_logits(&mut tape, &graph, ds)
+                        .expect("generation shapes are internally consistent");
+                    sample_softmax(tape.value(logits).row(0), temperature, &mut masked, rng)
+                };
+                log_prob += lp;
+                graph.edges.push((source, newest));
+                edges_added += 1;
+                if graph.edges.iter().filter(|(_, v)| *v == newest).count() >= newest {
+                    break; // connected to every earlier node already
+                }
+            }
+        }
+        GeneratedGraph { graph, log_prob }
+    }
+
+    /// Generates `k` graphs (deduplicated by structure, ranked by score),
+    /// sampling up to `attempts` candidates — the top-K predicted
+    /// pipelines of §3.6.
+    pub fn generate_top_k(
+        &self,
+        dataset_embedding: &[f64],
+        prefix: &TypedGraph,
+        k: usize,
+        temperature: f64,
+        seed: u64,
+    ) -> Vec<GeneratedGraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attempts = (k * 4).max(8);
+        let mut out: Vec<GeneratedGraph> = Vec::new();
+        for _ in 0..attempts {
+            let g = self.generate(dataset_embedding, prefix, temperature, &mut rng);
+            if !out.iter().any(|o| o.graph == g.graph) {
+                out.push(g);
+            }
+            if out.len() >= attempts {
+                break;
+            }
+        }
+        out.sort_by(|a, b| b.log_prob.partial_cmp(&a.log_prob).unwrap());
+        out.truncate(k);
+        out
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Temperature softmax sample over logits with class masking. Returns
+/// `(choice, log probability of the choice at temperature 1)`.
+fn sample_softmax(
+    logits: &[f32],
+    temperature: f64,
+    masked: &mut [usize],
+    rng: &mut StdRng,
+) -> (usize, f64) {
+    let n = logits.len();
+    masked.sort_unstable();
+    let allowed: Vec<usize> = (0..n).filter(|i| masked.binary_search(i).is_err()).collect();
+    debug_assert!(!allowed.is_empty());
+    let max = allowed
+        .iter()
+        .map(|&i| logits[i] as f64)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = allowed
+        .iter()
+        .map(|&i| ((logits[i] as f64 - max) / temperature).exp())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    let mut pick = allowed.len() - 1;
+    for (j, w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            pick = j;
+            break;
+        }
+    }
+    let choice = allowed[pick];
+    // Report the temperature-1 log-prob for comparable scores across
+    // temperatures.
+    let lse: f64 = {
+        let s: f64 = allowed
+            .iter()
+            .map(|&i| (logits[i] as f64 - max).exp())
+            .sum();
+        max + s.ln()
+    };
+    (choice, logits[choice] as f64 - lse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic corpus: dataset A always uses
+    /// [read_csv -> standard_scaler -> xgboost], dataset B always uses
+    /// [read_csv -> logistic_regression].
+    fn corpus(vocab: &OpVocab) -> Vec<TrainExample> {
+        let ds = vocab.id(PipelineOp::Dataset);
+        let read = vocab.id(PipelineOp::ReadCsv);
+        let scaler = vocab.id(PipelineOp::Transformer(1));
+        let xgb = vocab.id(PipelineOp::Estimator(11));
+        let logreg = vocab.id(PipelineOp::Estimator(0));
+        let mut emb_a = vec![0.0; 48];
+        emb_a[0] = 1.0;
+        let mut emb_b = vec![0.0; 48];
+        emb_b[1] = 1.0;
+        let mut out = Vec::new();
+        for _ in 0..6 {
+            out.push(TrainExample {
+                dataset_embedding: emb_a.clone(),
+                graph: TypedGraph {
+                    types: vec![ds, read, scaler, xgb],
+                    edges: vec![(0, 1), (1, 2), (2, 3)],
+                },
+            });
+            out.push(TrainExample {
+                dataset_embedding: emb_b.clone(),
+                graph: TypedGraph {
+                    types: vec![ds, read, logreg],
+                    edges: vec![(0, 1), (1, 2)],
+                },
+            });
+        }
+        out
+    }
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            hidden: 16,
+            prop_rounds: 1,
+            epochs: 25,
+            batch_size: 4,
+            learning_rate: 0.02,
+            seed: 3,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let vocab = OpVocab::new();
+        let examples = corpus(&vocab);
+        let mut generator = GraphGenerator::new(small_config());
+        let losses = generator.train(&examples);
+        assert!(losses.len() == 25);
+        assert!(
+            losses[losses.len() - 1] < losses[0] * 0.5,
+            "loss {} -> {}",
+            losses[0],
+            losses[losses.len() - 1]
+        );
+    }
+
+    #[test]
+    fn trained_generator_reproduces_conditioned_pipelines() {
+        let vocab = OpVocab::new();
+        let examples = corpus(&vocab);
+        let mut generator = GraphGenerator::new(small_config());
+        generator.train(&examples);
+        let prefix = TypedGraph::conditioning_prefix(&vocab);
+        // Dataset A should mostly produce pipelines ending in xgboost.
+        let mut emb_a = vec![0.0; 48];
+        emb_a[0] = 1.0;
+        let graphs = generator.generate_top_k(&emb_a, &prefix, 3, 1.0, 7);
+        assert!(!graphs.is_empty());
+        let xgb = vocab.id(PipelineOp::Estimator(11));
+        assert!(
+            graphs[0].graph.types.contains(&xgb),
+            "top graph for dataset A should contain xgboost: {:?}",
+            graphs[0]
+                .graph
+                .types
+                .iter()
+                .map(|&t| vocab.op(t).name())
+                .collect::<Vec<_>>()
+        );
+        // Scores are finite and sorted descending.
+        for pair in graphs.windows(2) {
+            assert!(pair[0].log_prob >= pair[1].log_prob);
+        }
+        assert!(graphs.iter().all(|g| g.log_prob.is_finite()));
+    }
+
+    #[test]
+    fn generation_respects_caps_and_prefix() {
+        let vocab = OpVocab::new();
+        let generator = GraphGenerator::new(GeneratorConfig {
+            max_nodes: 5,
+            max_edges_per_node: 2,
+            hidden: 8,
+            prop_rounds: 1,
+            ..GeneratorConfig::default()
+        });
+        let prefix = TypedGraph::conditioning_prefix(&vocab);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let g = generator.generate(&vec![0.1; 48], &prefix, 1.0, &mut rng);
+            assert!(g.graph.types.len() <= 5);
+            assert_eq!(g.graph.types[0], vocab.id(PipelineOp::Dataset));
+            assert_eq!(g.graph.types[1], vocab.id(PipelineOp::ReadCsv));
+            assert!(g.graph.edges.contains(&(0, 1)));
+            // No duplicate edges.
+            let mut edges = g.graph.edges.clone();
+            edges.sort_unstable();
+            let before = edges.len();
+            edges.dedup();
+            assert_eq!(edges.len(), before);
+            // Per-node incoming cap.
+            for t in 0..g.graph.types.len() {
+                let incoming = g.graph.edges.iter().filter(|(_, v)| *v == t).count();
+                assert!(incoming <= 2 || t == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let vocab = OpVocab::new();
+        let generator = GraphGenerator::new(GeneratorConfig {
+            hidden: 8,
+            prop_rounds: 1,
+            ..GeneratorConfig::default()
+        });
+        let prefix = TypedGraph::conditioning_prefix(&vocab);
+        let a = generator.generate_top_k(&vec![0.5; 48], &prefix, 3, 1.0, 42);
+        let b = generator.generate_top_k(&vec![0.5; 48], &prefix, 3, 1.0, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn typed_graph_encode_decode_roundtrip() {
+        let vocab = OpVocab::new();
+        let g = PipelineGraph {
+            ops: vec![
+                PipelineOp::Dataset,
+                PipelineOp::ReadCsv,
+                PipelineOp::Transformer(3),
+                PipelineOp::Estimator(12),
+            ],
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        };
+        let typed = TypedGraph::encode(&g, &vocab);
+        assert_eq!(typed.decode(&vocab), g);
+    }
+
+    #[test]
+    fn evaluate_matches_training_direction() {
+        let vocab = OpVocab::new();
+        let examples = corpus(&vocab);
+        let mut generator = GraphGenerator::new(small_config());
+        let before = generator.evaluate(&examples);
+        generator.train(&examples);
+        let after = generator.evaluate(&examples);
+        assert!(after < before, "eval loss {before} -> {after}");
+    }
+
+    #[test]
+    fn sample_softmax_masks_and_normalizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Class 1 has overwhelming logit but is masked.
+        let (choice, lp) = sample_softmax(&[0.0, 100.0, 0.1], 1.0, &mut [1], &mut rng);
+        assert_ne!(choice, 1);
+        assert!(lp <= 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Decision sequences for teacher-forced generator training.
+//!
+//! A graph's canonical generation order is its node insertion order (the
+//! filter emits nodes in dataflow order, with the dataset anchor first).
+//! The sequence for each node `t ≥ 1`:
+//!
+//! 1. `AddNode(type of node t)`,
+//! 2. for every edge `(u, t)` with `u < t`, in ascending `u`:
+//!    `AddEdge(true)` then `PickNode(u)`,
+//! 3. `AddEdge(false)` to close the node's edge loop,
+//!
+//! terminated by `Stop` after the last node. Node 0 (the dataset anchor)
+//! is the conditioning prefix and emits no decisions.
+
+/// A single teacher-forcing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Add a node with the given vocabulary type id.
+    AddNode(usize),
+    /// Whether to add (another) edge to the newly added node.
+    AddEdge(bool),
+    /// Which existing node the new edge comes from.
+    PickNode(usize),
+    /// Stop generating.
+    Stop,
+}
+
+/// Builds the decision sequence for a graph whose node types have already
+/// been mapped to vocabulary ids. Edges must satisfy `from < to` (the
+/// filter's flow order guarantees this); violating edges are skipped.
+#[allow(clippy::needless_range_loop)] // t is also the edge-target index
+pub fn decisions_for(type_ids: &[usize], edges: &[(usize, usize)]) -> Vec<Decision> {
+    let mut out = Vec::new();
+    for t in 1..type_ids.len() {
+        out.push(Decision::AddNode(type_ids[t]));
+        let mut sources: Vec<usize> = edges
+            .iter()
+            .filter(|(u, v)| *v == t && *u < t)
+            .map(|(u, _)| *u)
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        for u in sources {
+            out.push(Decision::AddEdge(true));
+            out.push(Decision::PickNode(u));
+        }
+        out.push(Decision::AddEdge(false));
+    }
+    out.push(Decision::Stop);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_sequence() {
+        // dataset -> read_csv -> estimator
+        let seq = decisions_for(&[0, 1, 15], &[(0, 1), (1, 2)]);
+        assert_eq!(
+            seq,
+            vec![
+                Decision::AddNode(1),
+                Decision::AddEdge(true),
+                Decision::PickNode(0),
+                Decision::AddEdge(false),
+                Decision::AddNode(15),
+                Decision::AddEdge(true),
+                Decision::PickNode(1),
+                Decision::AddEdge(false),
+                Decision::Stop,
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_parent_node_emits_multiple_edges() {
+        // fit (node 3) receives from both split (1) and estimator (2).
+        let seq = decisions_for(&[0, 1, 5, 26], &[(0, 1), (1, 3), (2, 3)]);
+        let picks: Vec<usize> = seq
+            .iter()
+            .filter_map(|d| match d {
+                Decision::PickNode(u) => Some(*u),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2]);
+        // Node 2 (the estimator) has no incoming edge: its edge loop is
+        // AddEdge(false) immediately.
+        let node2_at = seq
+            .iter()
+            .position(|d| *d == Decision::AddNode(5))
+            .unwrap();
+        assert_eq!(seq[node2_at + 1], Decision::AddEdge(false));
+    }
+
+    #[test]
+    fn backward_edges_are_skipped() {
+        let seq = decisions_for(&[0, 1], &[(1, 0)]);
+        assert_eq!(
+            seq,
+            vec![
+                Decision::AddNode(1),
+                Decision::AddEdge(false),
+                Decision::Stop
+            ]
+        );
+    }
+
+    #[test]
+    fn singleton_graph_is_just_stop() {
+        assert_eq!(decisions_for(&[0], &[]), vec![Decision::Stop]);
+    }
+}

@@ -1,0 +1,305 @@
+//! The AL baseline (Cambronero & Rinard 2019).
+//!
+//! AL "mined existing Kaggle notebooks using dynamic analysis (i.e.
+//! actually running the scripts)" and replays the best historical pipeline
+//! of the nearest dataset — nearest by *meta-features*, not content. The
+//! paper's evaluation found that "it failed on many of the datasets during
+//! the fitting process" (§4.4, Figure 6 is restricted to "the datasets on
+//! which AL worked"). Both behaviours are reproduced: verbatim replay from
+//! a small replay table (dynamic analysis scales poorly — AL's paper used
+//! fewer than 10 datasets), and hard failures whenever the new dataset's
+//! schema leaves the replay entry's supported envelope.
+
+use crate::budget::TimeBudget;
+use crate::meta::{meta_distance, meta_features, META_DIM};
+use crate::space::{self, Skeleton};
+use crate::trial::{Evaluator, HpoResult, Optimizer};
+use crate::{HpoError, Result};
+use kgpip_learners::{EstimatorKind, TransformerKind};
+use kgpip_tabular::{Dataset, Task};
+
+/// One replay-table entry: the best pipeline AL observed running on one
+/// historical dataset, plus the schema envelope that run covered.
+#[derive(Debug, Clone)]
+pub struct ReplayEntry {
+    /// Meta-features of the historical dataset.
+    pub features: [f64; META_DIM],
+    /// The pipeline skeleton that won there.
+    pub skeleton: Skeleton,
+    /// Whether the historical run involved text columns (replaying it on
+    /// text requires the exact vectorization path it executed).
+    pub handles_text: bool,
+    /// Whether it involved missing values.
+    pub handles_missing: bool,
+    /// The task of the historical run.
+    pub task_classification: bool,
+}
+
+/// The AL baseline.
+pub struct Al {
+    seed: u64,
+    replay: Vec<ReplayEntry>,
+}
+
+impl Al {
+    /// Creates AL with its small built-in replay table (dynamic analysis
+    /// limited AL to a handful of datasets).
+    pub fn new(seed: u64) -> Al {
+        Al {
+            seed,
+            replay: builtin_replay_table(),
+        }
+    }
+
+    /// Creates AL with an explicit replay table.
+    pub fn with_table(seed: u64, replay: Vec<ReplayEntry>) -> Al {
+        Al { seed, replay }
+    }
+
+    /// Number of replay entries.
+    pub fn table_len(&self) -> usize {
+        self.replay.len()
+    }
+}
+
+impl Optimizer for Al {
+    fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult> {
+        let target = meta_features(train);
+        let classification = train.task.is_classification();
+        let (_, num_cat, num_text) = {
+            let (n, c, t) = train.features.kind_counts();
+            (n, c, t)
+        };
+        let has_missing = train.features.missing_cells() > 0;
+
+        // Nearest historical dataset with a matching task.
+        let entry = self
+            .replay
+            .iter()
+            .filter(|e| e.task_classification == classification)
+            .min_by(|a, b| {
+                meta_distance(&a.features, &target)
+                    .partial_cmp(&meta_distance(&b.features, &target))
+                    .unwrap()
+            })
+            .ok_or_else(|| {
+                HpoError::BaselineFailure("no replay entry for this task type".into())
+            })?
+            .clone();
+
+        // Dynamic-analysis brittleness: the replayed script only covers
+        // the exact data situations it once executed.
+        if num_text > 0 && !entry.handles_text {
+            return Err(HpoError::BaselineFailure(
+                "replayed script has no text-vectorization path".into(),
+            ));
+        }
+        if has_missing && !entry.handles_missing {
+            return Err(HpoError::BaselineFailure(
+                "replayed script crashes on missing values".into(),
+            ));
+        }
+        if let Task::MultiClass(k) = train.task {
+            // AL's mined binary scripts hard-code binary label handling.
+            if k > 10 {
+                return Err(HpoError::BaselineFailure(format!(
+                    "replayed script cannot handle {k} classes"
+                )));
+            }
+        }
+        if num_cat > 0 && entry.skeleton.transformers.is_empty()
+            && matches!(
+                entry.skeleton.estimator,
+                EstimatorKind::LogisticRegression | EstimatorKind::LinearSvm | EstimatorKind::Knn
+            )
+        {
+            return Err(HpoError::BaselineFailure(
+                "replayed linear script lacks categorical encoding".into(),
+            ));
+        }
+
+        // Verbatim replay: one evaluation, default hyperparameters, no
+        // search (AL does not do HPO). The budget only gates whether the
+        // single run may proceed.
+        if budget.expired() {
+            return Err(HpoError::BudgetExhausted);
+        }
+        let evaluator = Evaluator::new(train, self.seed)?;
+        budget.consume_trial();
+        let outcome = evaluator.evaluate(
+            &entry.skeleton,
+            space::default_config(entry.skeleton.estimator),
+        );
+        let score = outcome
+            .score
+            .ok_or_else(|| HpoError::BaselineFailure("replayed pipeline failed to fit".into()))?;
+        let spec = outcome.spec.clone();
+        Ok(HpoResult::single(spec, score, vec![outcome]))
+    }
+
+    fn optimize_skeleton(
+        &mut self,
+        _train: &Dataset,
+        _skeleton: &Skeleton,
+        _budget: &TimeBudget,
+    ) -> Result<HpoResult> {
+        // AL is a whole-pipeline replayer; it exposes no skeleton-mode HPO.
+        Err(HpoError::BaselineFailure(
+            "AL does not support skeleton-mode hyperparameter search".into(),
+        ))
+    }
+
+    fn capabilities(&self) -> String {
+        let estimators: Vec<EstimatorKind> = self
+            .replay
+            .iter()
+            .map(|e| e.skeleton.estimator)
+            .collect();
+        space::capabilities_json("al", &estimators)
+    }
+}
+
+/// AL's built-in replay table: a handful of historical runs, as in the
+/// original paper's small dynamic-analysis corpus.
+fn builtin_replay_table() -> Vec<ReplayEntry> {
+    let f = |v: [f64; META_DIM]| v;
+    vec![
+        ReplayEntry {
+            features: f([0.5, 0.2, 1.0, 0.0, 0.0, 0.2, 0.1, 0.0, 0.2, 0.4]),
+            skeleton: Skeleton {
+                transformers: vec![TransformerKind::StandardScaler],
+                estimator: EstimatorKind::RandomForest,
+            },
+            handles_text: false,
+            handles_missing: false,
+            task_classification: true,
+        },
+        ReplayEntry {
+            features: f([0.6, 0.3, 0.9, 0.1, 0.0, 0.3, 0.2, 0.0, 0.3, 0.5]),
+            skeleton: Skeleton::bare(EstimatorKind::GradientBoosting),
+            handles_text: false,
+            handles_missing: true,
+            task_classification: true,
+        },
+        ReplayEntry {
+            features: f([0.4, 0.15, 0.8, 0.2, 0.0, 0.15, 0.0, 0.05, 0.1, 0.3]),
+            skeleton: Skeleton {
+                transformers: vec![TransformerKind::OneHotEncoder],
+                estimator: EstimatorKind::LogisticRegression,
+            },
+            handles_text: false,
+            handles_missing: true,
+            task_classification: true,
+        },
+        ReplayEntry {
+            features: f([0.55, 0.25, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.5]),
+            skeleton: Skeleton::bare(EstimatorKind::XgBoost),
+            handles_text: false,
+            handles_missing: false,
+            task_classification: false,
+        },
+        ReplayEntry {
+            features: f([0.45, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.4]),
+            skeleton: Skeleton {
+                transformers: vec![TransformerKind::StandardScaler],
+                estimator: EstimatorKind::Ridge,
+            },
+            handles_text: false,
+            handles_missing: false,
+            task_classification: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_tabular::{Column, DataFrame};
+
+    fn numeric_dataset(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 4.5)).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        Dataset::new("num", f, y, Task::Binary).unwrap()
+    }
+
+    #[test]
+    fn replays_on_clean_numeric_data() {
+        let ds = numeric_dataset(200);
+        let mut al = Al::new(0);
+        let result = al.optimize(&ds, &TimeBudget::seconds(2.0)).unwrap();
+        assert_eq!(result.trials, 1, "AL replays exactly one pipeline");
+        assert!(result.valid_score > 0.8);
+    }
+
+    #[test]
+    fn fails_on_text_features() {
+        let f = DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            (
+                "review".to_string(),
+                Column::text(vec![
+                    Some("great product would buy again and again"),
+                    Some("terrible quality waste of money for sure"),
+                    Some("mediocre experience overall but acceptable price"),
+                    Some("excellent service and very fast shipping here"),
+                ]),
+            ),
+        ])
+        .unwrap();
+        let ds = Dataset::new("text", f, vec![1.0, 0.0, 0.0, 1.0], Task::Binary).unwrap();
+        let mut al = Al::new(0);
+        assert!(matches!(
+            al.optimize(&ds, &TimeBudget::seconds(1.0)),
+            Err(HpoError::BaselineFailure(_))
+        ));
+    }
+
+    #[test]
+    fn fails_on_many_classes() {
+        let x: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..300).map(|i| (i % 20) as f64).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        let ds = Dataset::new("many", f, y, Task::MultiClass(20)).unwrap();
+        let mut al = Al::new(0);
+        assert!(matches!(
+            al.optimize(&ds, &TimeBudget::seconds(1.0)),
+            Err(HpoError::BaselineFailure(_))
+        ));
+    }
+
+    #[test]
+    fn regression_uses_regression_entries() {
+        let x: Vec<f64> = (0..150).map(|i| (i % 20) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        let ds = Dataset::new("reg", f, y, Task::Regression).unwrap();
+        let mut al = Al::new(0);
+        let result = al.optimize(&ds, &TimeBudget::seconds(2.0)).unwrap();
+        assert!(!result.spec.estimator.supports(Task::Binary) || result.spec.estimator == EstimatorKind::XgBoost);
+        assert!(result.valid_score > 0.8, "r2 {}", result.valid_score);
+    }
+
+    #[test]
+    fn no_skeleton_mode() {
+        let ds = numeric_dataset(50);
+        let mut al = Al::new(0);
+        assert!(al
+            .optimize_skeleton(
+                &ds,
+                &Skeleton::bare(EstimatorKind::XgBoost),
+                &TimeBudget::seconds(1.0)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn empty_replay_table_fails_cleanly() {
+        let ds = numeric_dataset(50);
+        let mut al = Al::with_table(0, vec![]);
+        assert!(matches!(
+            al.optimize(&ds, &TimeBudget::seconds(1.0)),
+            Err(HpoError::BaselineFailure(_))
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! Time budgets: wall clock plus an optional trial cap.
+//!
+//! Paper §3.6: "KGpip works within a provided time budget per dataset ...
+//! Given a time budget (T), KGpip calculates t, the time consumed in
+//! generating and validating the graphs. KGpip then divides the rest of
+//! the time budget between the K graphs."
+//!
+//! On the authors' testbed a single pipeline fit takes seconds to minutes,
+//! so a 1-hour budget buys only tens-to-hundreds of trials — every
+//! comparison in the paper happens in that *trial-starved* regime. Our
+//! scaled-down synthetic datasets make trials ~10⁴× cheaper, which would
+//! silently move all systems into a saturation regime where search
+//! strategy stops mattering. To preserve the paper's regime, a budget can
+//! carry an optional **trial cap** alongside the wall clock: engines
+//! consume one unit per evaluated configuration, and `(T − t)/K` splitting
+//! divides both resources (see DESIGN.md's substitution table).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A budget combining wall-clock time with an optional trial cap.
+/// Cloning shares the trial counter (a budget is one pool of resources).
+/// Sub-budgets keep a handle on their parent so consumed trials drain the
+/// parent pool too — `(T − t)/K` splitting must never mint extra trials.
+#[derive(Debug, Clone)]
+pub struct TimeBudget {
+    start: Instant,
+    total: Duration,
+    trial_cap: Option<usize>,
+    trials_used: Arc<AtomicUsize>,
+    parent: Option<Box<TimeBudget>>,
+}
+
+impl TimeBudget {
+    /// Starts a budget of the given total duration now.
+    pub fn start(total: Duration) -> TimeBudget {
+        TimeBudget {
+            start: Instant::now(),
+            total,
+            trial_cap: None,
+            trials_used: Arc::new(AtomicUsize::new(0)),
+            parent: None,
+        }
+    }
+
+    /// Convenience: a budget of `secs` seconds (fractional allowed).
+    pub fn seconds(secs: f64) -> TimeBudget {
+        TimeBudget::start(Duration::from_secs_f64(secs.max(0.0)))
+    }
+
+    /// Adds a trial cap: the budget also expires after `cap` consumed
+    /// trials.
+    pub fn with_trial_cap(mut self, cap: usize) -> TimeBudget {
+        self.trial_cap = Some(cap);
+        self
+    }
+
+    /// Total allotted duration.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// The trial cap, if any.
+    pub fn trial_cap(&self) -> Option<usize> {
+        self.trial_cap
+    }
+
+    /// Time spent since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Remaining duration (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.total.saturating_sub(self.start.elapsed())
+    }
+
+    /// Records one evaluated configuration, draining every ancestor pool
+    /// as well.
+    pub fn consume_trial(&self) {
+        self.trials_used.fetch_add(1, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            parent.consume_trial();
+        }
+    }
+
+    /// Trials consumed so far.
+    pub fn trials_used(&self) -> usize {
+        self.trials_used.load(Ordering::Relaxed)
+    }
+
+    /// Remaining trials under the cap (`None` = uncapped).
+    pub fn remaining_trials(&self) -> Option<usize> {
+        self.trial_cap
+            .map(|cap| cap.saturating_sub(self.trials_used()))
+    }
+
+    /// True once either resource is used up, here or in any ancestor.
+    pub fn expired(&self) -> bool {
+        if self.remaining().is_zero() || matches!(self.remaining_trials(), Some(0)) {
+            return true;
+        }
+        self.parent.as_ref().is_some_and(|p| p.expired())
+    }
+
+    /// Splits the *remaining* time into `k` equal sub-budgets — the
+    /// `(T − t)/K` rule. Each sub-budget starts when this method is
+    /// called; callers should create them sequentially as work proceeds.
+    pub fn split_remaining(&self, k: usize) -> Duration {
+        let k = k.max(1) as u32;
+        self.remaining() / k
+    }
+
+    /// A fresh budget over a share of the remaining time. A trial cap, if
+    /// present, is split the same way: the sub-budget receives
+    /// `remaining_trials / k` of its own.
+    pub fn sub_budget_k(&self, k: usize) -> TimeBudget {
+        let share = self.split_remaining(k);
+        let mut sub = TimeBudget::start(share.min(self.remaining()));
+        if let Some(remaining) = self.remaining_trials() {
+            sub.trial_cap = Some((remaining / k.max(1)).max(1));
+        }
+        sub.parent = Some(Box::new(self.clone()));
+        sub
+    }
+
+    /// A fresh budget over an explicit share of the remaining time
+    /// (uncapped unless the parent had a cap, in which case the whole
+    /// remainder is inherited).
+    pub fn sub_budget(&self, share: Duration) -> TimeBudget {
+        let mut sub = TimeBudget::start(share.min(self.remaining()));
+        sub.trial_cap = self.remaining_trials();
+        sub.parent = Some(Box::new(self.clone()));
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn remaining_decreases_and_expires() {
+        let b = TimeBudget::seconds(0.05);
+        assert!(!b.expired());
+        assert!(b.remaining() <= Duration::from_millis(50));
+        sleep(Duration::from_millis(60));
+        assert!(b.expired());
+        assert!(b.remaining().is_zero());
+    }
+
+    #[test]
+    fn split_remaining_divides_evenly() {
+        let b = TimeBudget::seconds(1.0);
+        let share = b.split_remaining(4);
+        assert!(share <= Duration::from_millis(250));
+        assert!(share > Duration::from_millis(200));
+        // k = 0 is clamped.
+        assert!(b.split_remaining(0) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn sub_budget_cannot_exceed_parent() {
+        let b = TimeBudget::seconds(0.05);
+        let sub = b.sub_budget(Duration::from_secs(10));
+        assert!(sub.total() <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        assert!(TimeBudget::seconds(0.0).expired());
+        assert!(TimeBudget::seconds(-1.0).expired());
+    }
+
+    #[test]
+    fn trial_cap_expires_the_budget() {
+        let b = TimeBudget::seconds(100.0).with_trial_cap(3);
+        assert!(!b.expired());
+        b.consume_trial();
+        b.consume_trial();
+        assert!(!b.expired());
+        assert_eq!(b.remaining_trials(), Some(1));
+        b.consume_trial();
+        assert!(b.expired());
+        assert_eq!(b.trials_used(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_trial_pool() {
+        let a = TimeBudget::seconds(100.0).with_trial_cap(2);
+        let b = a.clone();
+        a.consume_trial();
+        b.consume_trial();
+        assert!(a.expired());
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn sub_budget_k_splits_trials_and_drains_the_parent() {
+        let b = TimeBudget::seconds(9.0).with_trial_cap(30);
+        let sub = b.sub_budget_k(3);
+        assert_eq!(sub.trial_cap(), Some(10));
+        assert!(sub.total() <= Duration::from_secs(3));
+        // Sub-budget consumption drains the parent pool too: (T−t)/K
+        // splitting must never mint extra trials.
+        sub.consume_trial();
+        assert_eq!(sub.trials_used(), 1);
+        assert_eq!(b.trials_used(), 1);
+        // Consuming from the parent shrinks later sub-budgets.
+        for _ in 0..14 {
+            b.consume_trial();
+        }
+        let sub2 = b.sub_budget_k(3);
+        assert_eq!(sub2.trial_cap(), Some(5));
+    }
+
+    #[test]
+    fn sequential_k_splits_never_exceed_the_parent_cap() {
+        // Simulate KGpip's per-skeleton loop: each skeleton exhausts its
+        // sub-budget; the total across skeletons must stay within the cap.
+        let parent = TimeBudget::seconds(100.0).with_trial_cap(40);
+        let mut total = 0usize;
+        for i in 0..3 {
+            let sub = parent.sub_budget_k(3 - i);
+            while !sub.expired() {
+                sub.consume_trial();
+                total += 1;
+                assert!(total <= 40, "minted extra trials");
+            }
+        }
+        assert_eq!(parent.trials_used(), total);
+        assert!(total <= 40);
+        assert!(total >= 38, "roll-forward should use nearly the whole pool, got {total}");
+    }
+
+    #[test]
+    fn parent_exhaustion_expires_sub_budgets() {
+        let parent = TimeBudget::seconds(100.0).with_trial_cap(4);
+        let sub = parent.sub_budget_k(2); // cap 2
+        for _ in 0..2 {
+            parent.consume_trial();
+        }
+        // Parent has 2 left; sub has its own cap 2 — not yet expired.
+        assert!(!sub.expired());
+        parent.consume_trial();
+        parent.consume_trial();
+        assert!(sub.expired(), "parent pool exhausted must expire the sub");
+    }
+
+    #[test]
+    fn uncapped_budget_reports_no_trial_limits() {
+        let b = TimeBudget::seconds(1.0);
+        b.consume_trial();
+        assert_eq!(b.remaining_trials(), None);
+        assert!(!b.expired());
+        assert_eq!(b.trial_cap(), None);
+    }
+}

@@ -1,0 +1,337 @@
+//! FLAML-style cost-frugal hyperparameter optimization.
+//!
+//! Reproduces the defining behaviours of FLAML (Wang et al. 2021, "a fast
+//! and lightweight AutoML library ... designed with both accuracy and
+//! computational cost in mind"):
+//!
+//! * every learner starts at its **low-cost configuration** (small
+//!   ensembles, few iterations) so cheap anytime results appear first,
+//! * within a learner, search moves by **randomized directional steps**
+//!   with step-size adaptation (grow on improvement, shrink on failure) —
+//!   FLAML's CFO search,
+//! * across learners, trials are scheduled by **estimated cost of
+//!   improvement**: a learner that is cheap to evaluate and has improved
+//!   recently is tried before an expensive, stalled one.
+//!
+//! The paper integrates KGpip with FLAML precisely because FLAML "does not
+//! yet have any meta-learning component for the cold start problem" — so
+//! the cold-start mode here searches all supported learners with no
+//! warm-start knowledge, exactly the baseline of Figure 5.
+
+use crate::budget::TimeBudget;
+use crate::space::{self, Skeleton};
+use crate::trial::{Evaluator, HpoResult, Optimizer, TrialOutcome};
+use crate::{HpoError, Result};
+use kgpip_learners::{EstimatorKind, Params};
+use kgpip_tabular::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One learner's search thread.
+struct Thread {
+    skeleton: Skeleton,
+    incumbent: Params,
+    best_score: f64,
+    step: f64,
+    /// Exponentially weighted average trial cost in seconds.
+    avg_cost: f64,
+    /// Trials since the last improvement.
+    stall: usize,
+    trials: usize,
+}
+
+impl Thread {
+    fn new(skeleton: Skeleton) -> Thread {
+        let incumbent = space::low_cost_config(skeleton.estimator);
+        Thread {
+            skeleton,
+            incumbent,
+            best_score: f64::NEG_INFINITY,
+            step: 0.2,
+            avg_cost: 0.0,
+            stall: 0,
+            trials: 0,
+        }
+    }
+
+    /// FLAML-style priority: estimated cost to achieve the next
+    /// improvement. Lower is scheduled sooner. Untried threads use the
+    /// learner's static relative cost so cheap learners lead.
+    fn priority(&self) -> f64 {
+        if self.trials == 0 {
+            return self.skeleton.estimator.relative_cost() * 1e-3;
+        }
+        self.avg_cost * (1 << self.stall.min(16)) as f64
+    }
+}
+
+/// The FLAML-style optimizer.
+pub struct Flaml {
+    seed: u64,
+    /// Learners this engine supports (its §3.6 capability set).
+    estimators: Vec<EstimatorKind>,
+}
+
+impl Flaml {
+    /// Creates the engine with its full learner set.
+    pub fn new(seed: u64) -> Flaml {
+        Flaml {
+            seed,
+            estimators: EstimatorKind::ALL.to_vec(),
+        }
+    }
+
+    /// Restricts the supported learner set (for ablations).
+    pub fn with_estimators(seed: u64, estimators: Vec<EstimatorKind>) -> Flaml {
+        Flaml { seed, estimators }
+    }
+
+    fn run(
+        &self,
+        train: &Dataset,
+        mut threads: Vec<Thread>,
+        budget: &TimeBudget,
+    ) -> Result<HpoResult> {
+        if threads.is_empty() {
+            return Err(HpoError::NoUsableLearner);
+        }
+        let evaluator = Evaluator::new(train, self.seed)?;
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x1f1a_4d1f));
+        let mut history: Vec<TrialOutcome> = Vec::new();
+        let mut best: Option<(usize, f64)> = None; // (history index, score)
+
+        loop {
+            // Always complete at least one trial so a result exists even
+            // under a degenerate budget (anytime behaviour).
+            if !history.is_empty() && budget.expired() {
+                break;
+            }
+            let Some(t_idx) = threads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.priority().partial_cmp(&b.1.priority()).unwrap())
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let candidate = {
+                let thread = &threads[t_idx];
+                if thread.trials == 0 {
+                    thread.incumbent.clone()
+                } else {
+                    space::neighbor(
+                        thread.skeleton.estimator,
+                        &thread.incumbent,
+                        thread.step,
+                        &mut rng,
+                    )
+                }
+            };
+            let outcome = evaluator.evaluate(&threads[t_idx].skeleton, candidate.clone());
+            budget.consume_trial();
+            let thread = &mut threads[t_idx];
+            thread.trials += 1;
+            let cost = outcome.cost.as_secs_f64().max(1e-6);
+            thread.avg_cost = if thread.avg_cost == 0.0 {
+                cost
+            } else {
+                0.7 * thread.avg_cost + 0.3 * cost
+            };
+            match outcome.score {
+                Some(score) if score > thread.best_score => {
+                    thread.best_score = score;
+                    thread.incumbent = candidate;
+                    thread.step = (thread.step * 1.3).min(0.8);
+                    thread.stall = 0;
+                }
+                _ => {
+                    thread.step = (thread.step * 0.8).max(0.02);
+                    thread.stall += 1;
+                }
+            }
+            history.push(outcome);
+            let idx = history.len() - 1;
+            if let Some(score) = history[idx].score {
+                if best.is_none_or(|(_, b)| score > b) {
+                    best = Some((idx, score));
+                }
+            }
+            // A learner whose single-trial cost exceeds the remaining
+            // budget is effectively done; its stall keeps growing so the
+            // scheduler moves past it naturally.
+        }
+        let Some((idx, score)) = best else {
+            return Err(HpoError::BudgetExhausted);
+        };
+        let spec = history[idx].spec.clone();
+        Ok(HpoResult::single(spec, score, history))
+    }
+}
+
+impl Optimizer for Flaml {
+    fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult> {
+        let mut threads: Vec<Thread> = self
+            .estimators
+            .iter()
+            .filter(|k| k.supports(train.task))
+            .map(|k| Thread::new(Skeleton::bare(*k)))
+            .collect();
+        // Cheap learners first (cost-frugal ordering).
+        threads.sort_by(|a, b| {
+            a.skeleton
+                .estimator
+                .relative_cost()
+                .partial_cmp(&b.skeleton.estimator.relative_cost())
+                .unwrap()
+        });
+        self.run(train, threads, budget)
+    }
+
+    fn optimize_skeleton(
+        &mut self,
+        train: &Dataset,
+        skeleton: &Skeleton,
+        budget: &TimeBudget,
+    ) -> Result<HpoResult> {
+        if !skeleton.estimator.supports(train.task) {
+            return Err(HpoError::NoUsableLearner);
+        }
+        self.run(train, vec![Thread::new(skeleton.clone())], budget)
+    }
+
+    fn capabilities(&self) -> String {
+        space::capabilities_json("flaml", &self.estimators)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_learners::TransformerKind;
+    use kgpip_tabular::{train_test_split, Column, DataFrame, Task};
+
+    fn xor_dataset(n: usize) -> Dataset {
+        let rows: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                (
+                    f64::from(i % 2 == 0) + (i % 7) as f64 * 0.01,
+                    f64::from((i / 2) % 2 == 0) + (i % 5) as f64 * 0.01,
+                )
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|(a, b)| f64::from((*a > 0.5) != (*b > 0.5)))
+            .collect();
+        let f = DataFrame::from_columns(vec![
+            (
+                "a".to_string(),
+                Column::from_f64(rows.iter().map(|r| r.0).collect::<Vec<_>>()),
+            ),
+            (
+                "b".to_string(),
+                Column::from_f64(rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+            ),
+        ])
+        .unwrap();
+        Dataset::new("xor", f, y, Task::Binary).unwrap()
+    }
+
+    #[test]
+    fn cold_start_finds_a_nonlinear_learner_on_xor() {
+        let ds = xor_dataset(240);
+        let mut engine = Flaml::new(0);
+        let result = engine
+            .optimize(&ds, &TimeBudget::seconds(3.0))
+            .unwrap();
+        assert!(
+            result.valid_score > 0.9,
+            "score {} with {}",
+            result.valid_score,
+            result.spec.describe()
+        );
+        assert!(result.trials >= 3, "should complete several trials");
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_a_result() {
+        let ds = xor_dataset(120);
+        let mut engine = Flaml::new(0);
+        let result = engine.optimize(&ds, &TimeBudget::seconds(0.0)).unwrap();
+        assert!(result.trials >= 1);
+        assert!(result.valid_score.is_finite());
+    }
+
+    #[test]
+    fn skeleton_mode_respects_the_skeleton() {
+        let ds = xor_dataset(200);
+        let mut engine = Flaml::new(1);
+        let skeleton = Skeleton {
+            transformers: vec![TransformerKind::StandardScaler],
+            estimator: EstimatorKind::XgBoost,
+        };
+        let result = engine
+            .optimize_skeleton(&ds, &skeleton, &TimeBudget::seconds(2.0))
+            .unwrap();
+        assert_eq!(result.spec.estimator, EstimatorKind::XgBoost);
+        assert_eq!(
+            result.spec.transformers[0].0,
+            TransformerKind::StandardScaler
+        );
+        assert!(result.valid_score > 0.9);
+    }
+
+    #[test]
+    fn skeleton_mode_rejects_unsupported_task() {
+        let ds = xor_dataset(60);
+        let mut engine = Flaml::new(0);
+        let skeleton = Skeleton::bare(EstimatorKind::Ridge);
+        assert!(matches!(
+            engine.optimize_skeleton(&ds, &skeleton, &TimeBudget::seconds(1.0)),
+            Err(HpoError::NoUsableLearner)
+        ));
+    }
+
+    #[test]
+    fn first_trials_use_cheap_learners() {
+        let ds = xor_dataset(150);
+        let mut engine = Flaml::new(2);
+        let result = engine.optimize(&ds, &TimeBudget::seconds(1.0)).unwrap();
+        // The very first completed trial must come from a cheap family,
+        // never from the expensive forests.
+        let first = result.history[0].spec.estimator;
+        assert!(
+            first.relative_cost() <= EstimatorKind::DecisionTree.relative_cost(),
+            "first learner {first} too expensive"
+        );
+    }
+
+    #[test]
+    fn refit_end_to_end_beats_chance() {
+        let ds = xor_dataset(300);
+        let (train, test) = train_test_split(&ds, 0.3, 5).unwrap();
+        let mut engine = Flaml::new(3);
+        let result = engine.optimize(&train, &TimeBudget::seconds(3.0)).unwrap();
+        let score = result.refit_score(&train, &test).unwrap();
+        assert!(score > 0.85, "test score {score}");
+    }
+
+    #[test]
+    fn capability_document_is_parseable() {
+        let engine = Flaml::new(0);
+        let (est, _) = space::parse_capabilities(&engine.capabilities()).unwrap();
+        assert_eq!(est.len(), EstimatorKind::ALL.len());
+    }
+
+    #[test]
+    fn regression_support() {
+        let x: Vec<f64> = (0..200).map(|i| (i % 20) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let f =
+            DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        let ds = Dataset::new("sq", f, y, Task::Regression).unwrap();
+        let mut engine = Flaml::new(4);
+        let result = engine.optimize(&ds, &TimeBudget::seconds(2.0)).unwrap();
+        assert!(result.valid_score > 0.8, "r2 {}", result.valid_score);
+    }
+}

@@ -1,0 +1,122 @@
+//! Dataset meta-features.
+//!
+//! The meta-feature school of cold-starting (paper §2: "dataset properties
+//! such as the number of numerical attributes, the number of samples or
+//! skewness of the features") — used by the Auto-Sklearn-style warm start
+//! and by the AL baseline's nearest-dataset lookup. KGpip itself pointedly
+//! does *not* use these (it embeds content); keeping both mechanisms side
+//! by side is what lets the experiments compare them.
+
+use kgpip_tabular::{ColumnStats, Dataset, Task};
+
+/// Number of meta-feature dimensions.
+pub const META_DIM: usize = 10;
+
+/// Computes a fixed meta-feature vector for a dataset: log #rows, log
+/// #cols, fractions of numeric/categorical/text columns, classes, class
+/// imbalance, missing ratio, mean skewness, mean cardinality ratio.
+pub fn meta_features(ds: &Dataset) -> [f64; META_DIM] {
+    let n = ds.num_rows().max(1) as f64;
+    let d = ds.num_features().max(1) as f64;
+    let (num, cat, text) = ds.features.kind_counts();
+    let stats: Vec<ColumnStats> = ds.features.columns().iter().map(ColumnStats::compute).collect();
+    let missing: usize = stats.iter().map(|s| s.missing).sum();
+    let mean_skew = if stats.is_empty() {
+        0.0
+    } else {
+        stats.iter().map(|s| s.skewness.abs()).sum::<f64>() / stats.len() as f64
+    };
+    let mean_card = if stats.is_empty() {
+        0.0
+    } else {
+        stats
+            .iter()
+            .map(|s| s.cardinality as f64 / s.len.max(1) as f64)
+            .sum::<f64>()
+            / stats.len() as f64
+    };
+    let (classes, imbalance) = match ds.task {
+        Task::Regression => (0.0, 0.0),
+        _ => {
+            let counts = ds.class_counts();
+            let max = counts.iter().copied().max().unwrap_or(0) as f64;
+            let min = counts.iter().copied().min().unwrap_or(0) as f64;
+            (
+                counts.len() as f64,
+                if max > 0.0 { 1.0 - min / max } else { 0.0 },
+            )
+        }
+    };
+    [
+        n.ln() / 15.0,
+        d.ln() / 10.0,
+        num as f64 / d,
+        cat as f64 / d,
+        text as f64 / d,
+        (classes + 1.0).ln() / 6.0,
+        imbalance,
+        missing as f64 / (n * d),
+        (mean_skew / 3.0).tanh(),
+        mean_card,
+    ]
+}
+
+/// Euclidean distance between meta-feature vectors.
+pub fn meta_distance(a: &[f64; META_DIM], b: &[f64; META_DIM]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_tabular::{Column, DataFrame};
+
+    fn dataset(rows: usize, classes: usize) -> Dataset {
+        let x: Vec<f64> = (0..rows).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..rows).map(|i| (i % classes) as f64).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        Dataset::new("d", f, y, Task::classification(classes)).unwrap()
+    }
+
+    #[test]
+    fn features_are_finite_and_deterministic() {
+        let ds = dataset(100, 3);
+        let a = meta_features(&ds);
+        let b = meta_features(&ds);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn similar_datasets_are_closer_than_dissimilar() {
+        let a = meta_features(&dataset(100, 2));
+        let b = meta_features(&dataset(120, 2));
+        let c = meta_features(&dataset(10000, 30));
+        assert!(meta_distance(&a, &b) < meta_distance(&a, &c));
+    }
+
+    #[test]
+    fn regression_has_zero_class_features() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let f =
+            DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x.clone()))]).unwrap();
+        let ds = Dataset::new("r", f, x, Task::Regression).unwrap();
+        let m = meta_features(&ds);
+        assert_eq!(m[5], (1.0f64).ln() / 6.0);
+        assert_eq!(m[6], 0.0);
+    }
+
+    #[test]
+    fn imbalance_is_detected() {
+        // 99:1 imbalance.
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i == 0)).collect();
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        let ds = Dataset::new("i", f, y, Task::Binary).unwrap();
+        assert!(meta_features(&ds)[6] > 0.9);
+    }
+}

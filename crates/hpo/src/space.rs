@@ -1,0 +1,334 @@
+//! Per-learner hyperparameter spaces and the JSON capability contract.
+
+use kgpip_learners::{EstimatorKind, Params, TransformerKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A pipeline skeleton: the output of KGpip's graph decoding and the input
+/// to skeleton-mode HPO (paper §3.6: "each skeleton is a set of
+/// pre-processors and an estimator").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skeleton {
+    /// Ordered preprocessors.
+    pub transformers: Vec<TransformerKind>,
+    /// The estimator.
+    pub estimator: EstimatorKind,
+}
+
+impl Skeleton {
+    /// A bare-estimator skeleton.
+    pub fn bare(estimator: EstimatorKind) -> Skeleton {
+        Skeleton {
+            transformers: Vec::new(),
+            estimator,
+        }
+    }
+}
+
+/// Definition of one tunable hyperparameter.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamDef {
+    /// Parameter key in the flat [`Params`] map.
+    pub name: &'static str,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+    /// Search on a log scale.
+    pub log: bool,
+    /// Round to an integer.
+    pub int: bool,
+    /// Default value.
+    pub default: f64,
+    /// Cheapest value (FLAML-style low-cost initialization).
+    pub low_cost: f64,
+}
+
+/// The tunable space of an estimator.
+pub fn param_space(kind: EstimatorKind) -> Vec<ParamDef> {
+    let p = |name, lo, hi, log, int, default, low_cost| ParamDef {
+        name,
+        lo,
+        hi,
+        log,
+        int,
+        default,
+        low_cost,
+    };
+    match kind {
+        EstimatorKind::LogisticRegression | EstimatorKind::LinearSvm => vec![
+            p("c", 0.03, 100.0, true, false, 1.0, 1.0),
+            p("max_iter", 50.0, 1000.0, true, true, 200.0, 50.0),
+        ],
+        EstimatorKind::LinearRegression => vec![],
+        EstimatorKind::Ridge => vec![p("alpha", 1e-3, 100.0, true, false, 1.0, 1.0)],
+        EstimatorKind::Lasso => vec![
+            p("alpha", 1e-4, 10.0, true, false, 0.1, 0.1),
+            p("max_iter", 50.0, 1000.0, true, true, 300.0, 50.0),
+        ],
+        EstimatorKind::Knn => vec![
+            p("n_neighbors", 1.0, 50.0, true, true, 5.0, 5.0),
+            p("weights", 0.0, 1.0, false, true, 0.0, 0.0),
+        ],
+        EstimatorKind::GaussianNb => vec![p("var_smoothing", 1e-12, 1e-3, true, false, 1e-9, 1e-9)],
+        EstimatorKind::DecisionTree => vec![
+            p("max_depth", 2.0, 24.0, false, true, 10.0, 4.0),
+            p("min_samples_split", 2.0, 32.0, true, true, 2.0, 2.0),
+            p("min_samples_leaf", 1.0, 16.0, true, true, 1.0, 1.0),
+        ],
+        EstimatorKind::RandomForest | EstimatorKind::ExtraTrees => vec![
+            p("n_estimators", 4.0, 200.0, true, true, 50.0, 8.0),
+            p("max_depth", 3.0, 20.0, false, true, 12.0, 6.0),
+            p("max_features", 0.1, 1.0, false, false, 0.5, 0.5),
+        ],
+        EstimatorKind::GradientBoosting => vec![
+            p("n_estimators", 4.0, 200.0, true, true, 60.0, 8.0),
+            p("learning_rate", 0.01, 1.0, true, false, 0.1, 0.3),
+            p("max_depth", 2.0, 8.0, false, true, 3.0, 2.0),
+            p("subsample", 0.5, 1.0, false, false, 1.0, 1.0),
+        ],
+        EstimatorKind::XgBoost => vec![
+            p("n_estimators", 4.0, 250.0, true, true, 60.0, 8.0),
+            p("learning_rate", 0.01, 1.0, true, false, 0.1, 0.3),
+            p("max_depth", 2.0, 10.0, false, true, 6.0, 3.0),
+            p("lambda", 0.01, 10.0, true, false, 1.0, 1.0),
+            p("gamma", 0.0, 2.0, false, false, 0.0, 0.0),
+            p("subsample", 0.5, 1.0, false, false, 1.0, 1.0),
+        ],
+        EstimatorKind::Lgbm => vec![
+            p("n_estimators", 4.0, 250.0, true, true, 60.0, 8.0),
+            p("learning_rate", 0.01, 1.0, true, false, 0.1, 0.3),
+            p("max_leaves", 4.0, 64.0, true, true, 31.0, 8.0),
+            p("max_bins", 8.0, 64.0, true, true, 32.0, 16.0),
+            p("lambda", 0.01, 10.0, true, false, 1.0, 1.0),
+        ],
+    }
+}
+
+/// The default configuration of an estimator.
+pub fn default_config(kind: EstimatorKind) -> Params {
+    param_space(kind)
+        .into_iter()
+        .map(|d| (d.name.to_string(), d.default))
+        .collect()
+}
+
+/// FLAML-style low-cost initial configuration: the cheapest corner of the
+/// space that still trains a meaningful model.
+pub fn low_cost_config(kind: EstimatorKind) -> Params {
+    param_space(kind)
+        .into_iter()
+        .map(|d| (d.name.to_string(), d.low_cost))
+        .collect()
+}
+
+/// Uniform (log-uniform where declared) random configuration.
+pub fn sample_config(kind: EstimatorKind, rng: &mut StdRng) -> Params {
+    param_space(kind)
+        .into_iter()
+        .map(|d| {
+            let v = sample_dim(&d, rng);
+            (d.name.to_string(), v)
+        })
+        .collect()
+}
+
+fn sample_dim(d: &ParamDef, rng: &mut StdRng) -> f64 {
+    let v = if d.log {
+        let lo = d.lo.max(1e-300).ln();
+        let hi = d.hi.ln();
+        (lo + rng.gen::<f64>() * (hi - lo)).exp()
+    } else {
+        d.lo + rng.gen::<f64>() * (d.hi - d.lo)
+    };
+    clamp_dim(d, v)
+}
+
+fn clamp_dim(d: &ParamDef, v: f64) -> f64 {
+    let v = v.clamp(d.lo, d.hi);
+    if d.int {
+        v.round()
+    } else {
+        v
+    }
+}
+
+/// Moves a configuration along a random direction with relative step size
+/// `step` in normalized space (FLAML-style randomized directional search).
+pub fn neighbor(kind: EstimatorKind, params: &Params, step: f64, rng: &mut StdRng) -> Params {
+    let space = param_space(kind);
+    let mut out = params.clone();
+    for d in &space {
+        let current = params.get(d.name).copied().unwrap_or(d.default);
+        // Direction component in [-1, 1].
+        let dir: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = if d.log {
+            let span = (d.hi / d.lo.max(1e-300)).ln();
+            (current.max(d.lo).ln() + dir * step * span).exp()
+        } else {
+            current + dir * step * (d.hi - d.lo)
+        };
+        out.insert(d.name.to_string(), clamp_dim(d, v));
+    }
+    out
+}
+
+/// Encodes a configuration as a normalized [0, 1] vector (for surrogate
+/// models). Dimensions follow [`param_space`] order.
+pub fn encode_config(kind: EstimatorKind, params: &Params) -> Vec<f64> {
+    param_space(kind)
+        .iter()
+        .map(|d| {
+            let v = params.get(d.name).copied().unwrap_or(d.default);
+            if d.log {
+                let lo = d.lo.max(1e-300).ln();
+                let hi = d.hi.ln();
+                ((v.max(d.lo).ln() - lo) / (hi - lo).max(1e-12)).clamp(0.0, 1.0)
+            } else {
+                ((v - d.lo) / (d.hi - d.lo).max(1e-12)).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+/// The JSON capability document of §3.6 — what an optimizer supports.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Name of the optimizer.
+    pub optimizer: String,
+    /// Supported estimator canonical names.
+    pub estimators: Vec<String>,
+    /// Supported preprocessor canonical names.
+    pub preprocessors: Vec<String>,
+}
+
+/// Serializes the capability document for an optimizer supporting the
+/// given estimators (all transformers are supported by both engines here).
+pub fn capabilities_json(optimizer: &str, estimators: &[EstimatorKind]) -> String {
+    let doc = Capabilities {
+        optimizer: optimizer.to_string(),
+        estimators: estimators.iter().map(|k| k.name().to_string()).collect(),
+        preprocessors: TransformerKind::ALL
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("capability document serializes")
+}
+
+/// Parses a capability document back into kind sets. Unknown names are
+/// ignored (forward compatibility).
+pub fn parse_capabilities(json: &str) -> Option<(Vec<EstimatorKind>, Vec<TransformerKind>)> {
+    let doc: Capabilities = serde_json::from_str(json).ok()?;
+    let estimators = doc
+        .estimators
+        .iter()
+        .filter_map(|n| EstimatorKind::from_name(n))
+        .collect();
+    let preprocessors = doc
+        .preprocessors
+        .iter()
+        .filter_map(|n| TransformerKind::from_name(n))
+        .collect();
+    Some((estimators, preprocessors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_estimator_has_valid_space() {
+        for kind in EstimatorKind::ALL {
+            for d in param_space(kind) {
+                assert!(d.lo <= d.hi, "{kind} {}", d.name);
+                assert!(d.default >= d.lo && d.default <= d.hi, "{kind} {}", d.name);
+                assert!(d.low_cost >= d.lo && d.low_cost <= d.hi, "{kind} {}", d.name);
+                if d.log {
+                    assert!(d.lo > 0.0, "{kind} {} log scale requires lo > 0", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_bounds_and_build() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in EstimatorKind::ALL {
+            for _ in 0..20 {
+                let cfg = sample_config(kind, &mut rng);
+                for d in param_space(kind) {
+                    let v = cfg[d.name];
+                    assert!(v >= d.lo && v <= d.hi, "{kind} {} = {v}", d.name);
+                    if d.int {
+                        assert_eq!(v, v.round());
+                    }
+                }
+                kgpip_learners::build_estimator(kind, &cfg)
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_moves_but_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kind = EstimatorKind::XgBoost;
+        let base = default_config(kind);
+        let mut moved = false;
+        for _ in 0..10 {
+            let n = neighbor(kind, &base, 0.3, &mut rng);
+            for d in param_space(kind) {
+                let v = n[d.name];
+                assert!(v >= d.lo && v <= d.hi);
+            }
+            if n != base {
+                moved = true;
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn encode_config_normalizes() {
+        let kind = EstimatorKind::GradientBoosting;
+        let lo: Params = param_space(kind)
+            .iter()
+            .map(|d| (d.name.to_string(), d.lo))
+            .collect();
+        let hi: Params = param_space(kind)
+            .iter()
+            .map(|d| (d.name.to_string(), d.hi))
+            .collect();
+        assert!(encode_config(kind, &lo).iter().all(|v| *v == 0.0));
+        assert!(encode_config(kind, &hi).iter().all(|v| (*v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn capability_document_roundtrip() {
+        let json = capabilities_json(
+            "flaml",
+            &[EstimatorKind::XgBoost, EstimatorKind::Lgbm],
+        );
+        let (est, pre) = parse_capabilities(&json).unwrap();
+        assert_eq!(est, vec![EstimatorKind::XgBoost, EstimatorKind::Lgbm]);
+        assert_eq!(pre.len(), TransformerKind::ALL.len());
+        assert!(parse_capabilities("not json").is_none());
+    }
+
+    #[test]
+    fn low_cost_is_cheaper_than_default_for_ensembles() {
+        for kind in [
+            EstimatorKind::RandomForest,
+            EstimatorKind::XgBoost,
+            EstimatorKind::Lgbm,
+            EstimatorKind::GradientBoosting,
+        ] {
+            let low = low_cost_config(kind);
+            let def = default_config(kind);
+            assert!(low["n_estimators"] < def["n_estimators"], "{kind}");
+        }
+    }
+}

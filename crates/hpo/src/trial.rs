@@ -1,0 +1,262 @@
+//! Trial evaluation and the shared optimizer interface.
+
+use crate::budget::TimeBudget;
+use crate::space::Skeleton;
+use crate::Result;
+use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
+use kgpip_learners::Params;
+use kgpip_tabular::{train_test_split, Dataset};
+use std::time::Duration;
+
+/// Fraction of training rows held out for trial validation.
+pub const HOLDOUT_FRACTION: f64 = 0.2;
+
+/// The outcome of one pipeline-spec evaluation.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The evaluated spec.
+    pub spec: PipelineSpec,
+    /// Validation score (macro-F1 / R²); `None` when the fit failed.
+    pub score: Option<f64>,
+    /// Wall-clock cost of the trial.
+    pub cost: Duration,
+}
+
+/// The result of a full optimization run.
+#[derive(Debug, Clone)]
+pub struct HpoResult {
+    /// Best pipeline spec found.
+    pub spec: PipelineSpec,
+    /// Its validation score.
+    pub valid_score: f64,
+    /// Number of completed trials.
+    pub trials: usize,
+    /// Full trial history (for diagnostics and the Fig-8 logs).
+    pub history: Vec<TrialOutcome>,
+    /// Optional ensemble members (Auto-Sklearn-style greedy selection);
+    /// empty means deploy `spec` alone. Members may repeat (weighting).
+    pub ensemble: Vec<PipelineSpec>,
+}
+
+impl HpoResult {
+    /// A single-spec result.
+    pub fn single(spec: PipelineSpec, valid_score: f64, history: Vec<TrialOutcome>) -> HpoResult {
+        HpoResult {
+            spec,
+            valid_score,
+            trials: history.len(),
+            history,
+            ensemble: Vec::new(),
+        }
+    }
+
+    /// Refits the deployed model (ensemble if present, else the best
+    /// single spec) on the full training set and scores it on a held-out
+    /// test set with the paper's metric.
+    pub fn refit_score(&self, train: &Dataset, test: &Dataset) -> Result<f64> {
+        let members: Vec<&PipelineSpec> = if self.ensemble.is_empty() {
+            vec![&self.spec]
+        } else {
+            self.ensemble.iter().collect()
+        };
+        let mut all_preds: Vec<Vec<f64>> = Vec::new();
+        for spec in members {
+            let mut pipeline = Pipeline::from_spec(spec.clone())
+                .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
+            pipeline
+                .fit(train)
+                .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
+            all_preds.push(
+                pipeline
+                    .predict(test)
+                    .map_err(|e| crate::HpoError::Learner(e.to_string()))?,
+            );
+        }
+        let combined = combine_predictions(&all_preds, train.task.is_classification());
+        Ok(kgpip_learners::pipeline::score_predictions(test, &combined))
+    }
+}
+
+/// Combines member predictions: majority vote for classification, mean
+/// for regression.
+pub fn combine_predictions(preds: &[Vec<f64>], classification: bool) -> Vec<f64> {
+    if preds.len() == 1 {
+        return preds[0].clone();
+    }
+    let n = preds[0].len();
+    (0..n)
+        .map(|i| {
+            if classification {
+                let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+                for p in preds {
+                    *counts.entry(p[i].to_bits()).or_insert(0) += 1;
+                }
+                counts
+                    .into_iter()
+                    .max_by_key(|(_, c)| *c)
+                    .map(|(bits, _)| f64::from_bits(bits))
+                    .unwrap_or(0.0)
+            } else {
+                preds.iter().map(|p| p[i]).sum::<f64>() / preds.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// The uniform optimizer interface shared by both engines.
+pub trait Optimizer {
+    /// Cold-start mode: full search over the engine's supported learners.
+    fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult>;
+
+    /// Skeleton mode: hyperparameter search for a fixed skeleton — the
+    /// entry point KGpip drives (§3.6).
+    fn optimize_skeleton(
+        &mut self,
+        train: &Dataset,
+        skeleton: &Skeleton,
+        budget: &TimeBudget,
+    ) -> Result<HpoResult>;
+
+    /// The engine's §3.6 JSON capability document.
+    fn capabilities(&self) -> String;
+}
+
+/// A deterministic holdout evaluator: splits the training set once and
+/// scores every trial spec on the same validation part.
+pub struct Evaluator {
+    train: Dataset,
+    valid: Dataset,
+}
+
+impl Evaluator {
+    /// Builds an evaluator with a seeded holdout split.
+    pub fn new(train: &Dataset, seed: u64) -> Result<Evaluator> {
+        let (fit_part, valid) = train_test_split(train, HOLDOUT_FRACTION, seed)
+            .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
+        Ok(Evaluator {
+            train: fit_part,
+            valid,
+        })
+    }
+
+    /// The validation part (used by ensemble selection).
+    pub fn validation(&self) -> &Dataset {
+        &self.valid
+    }
+
+    /// The fitting part.
+    pub fn fit_part(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// Evaluates one spec, returning its outcome. Learner errors become
+    /// `score: None` rather than aborting the search (an optimizer must
+    /// survive bad configurations).
+    pub fn evaluate(&self, skeleton: &Skeleton, params: Params) -> TrialOutcome {
+        let spec = PipelineSpec {
+            transformers: skeleton
+                .transformers
+                .iter()
+                .map(|k| (*k, Params::new()))
+                .collect(),
+            estimator: skeleton.estimator,
+            params,
+        };
+        let started = std::time::Instant::now();
+        let score = Pipeline::from_spec(spec.clone())
+            .and_then(|mut p| p.fit_score(&self.train, &self.valid))
+            .ok();
+        TrialOutcome {
+            spec,
+            score,
+            cost: started.elapsed(),
+        }
+    }
+
+    /// Per-trial validation predictions for ensemble selection.
+    pub fn predictions(&self, spec: &PipelineSpec) -> Option<Vec<f64>> {
+        let mut p = Pipeline::from_spec(spec.clone()).ok()?;
+        p.fit(&self.train).ok()?;
+        p.predict(&self.valid).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_learners::EstimatorKind;
+    use kgpip_tabular::{Column, DataFrame, Task};
+
+    fn toy(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 4.5)).collect();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        Dataset::new("toy", f, y, Task::Binary).unwrap()
+    }
+
+    #[test]
+    fn evaluator_scores_good_and_bad_specs() {
+        let ds = toy(200);
+        let ev = Evaluator::new(&ds, 0).unwrap();
+        let good = ev.evaluate(
+            &Skeleton::bare(EstimatorKind::DecisionTree),
+            Params::new(),
+        );
+        assert!(good.score.unwrap() > 0.9);
+        // Regression-only learner on classification: survives as None.
+        let bad = ev.evaluate(&Skeleton::bare(EstimatorKind::Ridge), Params::new());
+        assert_eq!(bad.score, None);
+    }
+
+    #[test]
+    fn holdout_is_deterministic() {
+        let ds = toy(100);
+        let a = Evaluator::new(&ds, 7).unwrap();
+        let b = Evaluator::new(&ds, 7).unwrap();
+        assert_eq!(a.validation().target, b.validation().target);
+        assert_eq!(a.fit_part().num_rows(), 80);
+    }
+
+    #[test]
+    fn refit_score_runs_end_to_end() {
+        let ds = toy(200);
+        let (train, test) = train_test_split(&ds, 0.3, 1).unwrap();
+        let result = HpoResult::single(
+            PipelineSpec::bare(EstimatorKind::DecisionTree),
+            1.0,
+            vec![],
+        );
+        let score = result.refit_score(&train, &test).unwrap();
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    fn ensemble_majority_vote_and_mean() {
+        let votes = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        assert_eq!(combine_predictions(&votes, true), vec![0.0, 1.0, 0.0]);
+        let values = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(combine_predictions(&values, false), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn ensemble_refit_runs() {
+        let ds = toy(200);
+        let (train, test) = train_test_split(&ds, 0.3, 1).unwrap();
+        let result = HpoResult {
+            spec: PipelineSpec::bare(EstimatorKind::DecisionTree),
+            valid_score: 1.0,
+            trials: 2,
+            history: vec![],
+            ensemble: vec![
+                PipelineSpec::bare(EstimatorKind::DecisionTree),
+                PipelineSpec::bare(EstimatorKind::Knn),
+            ],
+        };
+        let score = result.refit_score(&train, &test).unwrap();
+        assert!(score > 0.8);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the HPO layer.
+
+use kgpip_hpo::space::{self, Skeleton};
+use kgpip_hpo::{Flaml, Optimizer, TimeBudget};
+use kgpip_learners::EstimatorKind;
+use kgpip_tabular::{Column, DataFrame, Dataset, Task};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_dataset(n: usize, seed: u64) -> Dataset {
+    let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 7 + seed) % 10) as f64).collect();
+    let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 4.5)).collect();
+    let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+    Dataset::new("prop", f, y, Task::Binary).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Repeated neighbour moves never escape the declared bounds, for any
+    /// estimator, step size, and seed.
+    #[test]
+    fn neighbour_chains_stay_in_bounds(
+        kind_idx in 0usize..EstimatorKind::ALL.len(),
+        step in 0.01f64..1.0,
+        seed in 0u64..100,
+        hops in 1usize..10,
+    ) {
+        let kind = EstimatorKind::ALL[kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut config = space::low_cost_config(kind);
+        for _ in 0..hops {
+            config = space::neighbor(kind, &config, step, &mut rng);
+            for d in space::param_space(kind) {
+                let v = config[d.name];
+                prop_assert!(v >= d.lo && v <= d.hi, "{}: {} = {v}", kind.name(), d.name);
+                if d.int {
+                    prop_assert_eq!(v, v.round());
+                }
+            }
+            // The configuration must always build.
+            prop_assert!(kgpip_learners::build_estimator(kind, &config).is_ok());
+        }
+    }
+
+    /// encode_config is a [0,1] embedding for any sampled configuration.
+    #[test]
+    fn encode_config_is_normalized(kind_idx in 0usize..EstimatorKind::ALL.len(), seed in 0u64..100) {
+        let kind = EstimatorKind::ALL[kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space::sample_config(kind, &mut rng);
+        for v in space::encode_config(kind, &cfg) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Trial caps are exact: the engine runs at most `cap` trials (and at
+    /// least one).
+    #[test]
+    fn flaml_respects_trial_caps(cap in 1usize..12, seed in 0u64..20) {
+        let ds = toy_dataset(80, seed);
+        let mut engine = Flaml::new(seed);
+        let budget = TimeBudget::seconds(30.0).with_trial_cap(cap);
+        let result = engine.optimize(&ds, &budget).unwrap();
+        prop_assert!(result.trials >= 1);
+        prop_assert!(result.trials <= cap, "{} trials for cap {cap}", result.trials);
+        prop_assert_eq!(budget.trials_used(), result.trials);
+    }
+
+    /// Skeleton-mode results always deploy the requested skeleton.
+    #[test]
+    fn skeleton_mode_is_faithful(seed in 0u64..20, kind_idx in 0usize..EstimatorKind::ALL.len()) {
+        let kind = EstimatorKind::ALL[kind_idx];
+        prop_assume!(kind.supports(Task::Binary));
+        let ds = toy_dataset(80, seed);
+        let mut engine = Flaml::new(seed);
+        let budget = TimeBudget::seconds(10.0).with_trial_cap(4);
+        let result = engine
+            .optimize_skeleton(&ds, &Skeleton::bare(kind), &budget)
+            .unwrap();
+        prop_assert_eq!(result.spec.estimator, kind);
+        for t in &result.history {
+            prop_assert_eq!(t.spec.estimator, kind);
+        }
+    }
+
+    /// Capability documents round-trip any subset of learners.
+    #[test]
+    fn capabilities_roundtrip_subsets(mask in 1u16..(1 << 13)) {
+        let subset: Vec<EstimatorKind> = EstimatorKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        let json = space::capabilities_json("prop", &subset);
+        let (parsed, _) = space::parse_capabilities(&json).unwrap();
+        prop_assert_eq!(parsed, subset);
+    }
+}

@@ -1,0 +1,202 @@
+//! k-nearest-neighbours classification and regression (brute force).
+
+use super::{argmax_rows, check_fit_inputs, Estimator, EstimatorKind};
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+use kgpip_tabular::Task;
+
+/// Upper bound on stored training rows; larger training sets are uniformly
+/// subsampled so prediction stays tractable inside HPO loops.
+const MAX_STORED_ROWS: usize = 4096;
+
+/// Brute-force k-NN with optional inverse-distance weighting.
+#[derive(Debug)]
+pub struct KNearestNeighbors {
+    k: usize,
+    distance_weighted: bool,
+    train_x: Option<Matrix>,
+    train_y: Vec<f64>,
+    task: Option<Task>,
+}
+
+impl KNearestNeighbors {
+    /// Creates a model with `k` neighbours; `distance_weighted` switches
+    /// from uniform to 1/d voting.
+    pub fn new(k: usize, distance_weighted: bool) -> Self {
+        KNearestNeighbors {
+            k: k.max(1),
+            distance_weighted,
+            train_x: None,
+            train_y: Vec::new(),
+            task: None,
+        }
+    }
+
+    /// Indices and distances of the k nearest stored rows to `row`.
+    fn neighbours(&self, row: &[f64]) -> Vec<(usize, f64)> {
+        let x = self.train_x.as_ref().expect("checked by callers");
+        let mut dists: Vec<(usize, f64)> = (0..x.rows())
+            .map(|r| {
+                let d = x
+                    .row(r)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>();
+                (r, d)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.1.partial_cmp(&b.1).unwrap());
+        dists.truncate(k);
+        dists
+    }
+}
+
+impl Estimator for KNearestNeighbors {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("knn", x, y)?;
+        if x.rows() > MAX_STORED_ROWS {
+            // Deterministic uniform subsample by stride.
+            let stride = x.rows().div_ceil(MAX_STORED_ROWS);
+            let rows: Vec<usize> = (0..x.rows()).step_by(stride).collect();
+            self.train_x = Some(x.take_rows(&rows));
+            self.train_y = rows.iter().map(|&r| y[r]).collect();
+        } else {
+            self.train_x = Some(x.clone());
+            self.train_y = y.to_vec();
+        }
+        self.task = Some(task);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let task = self.task.ok_or(LearnError::NotFitted("knn"))?;
+        if task.is_classification() {
+            return Ok(argmax_rows(&self.predict_proba(x)?));
+        }
+        Ok((0..x.rows())
+            .map(|r| {
+                let nb = self.neighbours(x.row(r));
+                if self.distance_weighted {
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (i, d) in nb {
+                        let w = 1.0 / (d.sqrt() + 1e-9);
+                        num += w * self.train_y[i];
+                        den += w;
+                    }
+                    num / den
+                } else {
+                    nb.iter().map(|(i, _)| self.train_y[*i]).sum::<f64>() / nb.len() as f64
+                }
+            })
+            .collect())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let task = self.task.ok_or(LearnError::NotFitted("knn"))?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("knn (regression proba)"));
+        }
+        let k = task.num_classes().max(2);
+        let mut out = Matrix::zeros(x.rows(), k);
+        for r in 0..x.rows() {
+            let nb = self.neighbours(x.row(r));
+            let mut total = 0.0;
+            for (i, d) in &nb {
+                let w = if self.distance_weighted {
+                    1.0 / (d.sqrt() + 1e-9)
+                } else {
+                    1.0
+                };
+                let c = self.train_y[*i] as usize;
+                if c < k {
+                    out.set(r, c, out.get(r, c) + w);
+                    total += w;
+                }
+            }
+            if total > 0.0 {
+                for c in 0..k {
+                    out.set(r, c, out.get(r, c) / total);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Knn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_memorizes_with_k1() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let mut m = KNearestNeighbors::new(1, false);
+        m.fit(&x, &y, Task::Binary).unwrap();
+        assert_eq!(m.predict(&x).unwrap(), y);
+        let test = Matrix::from_rows(&[vec![0.4], vec![10.6]]).unwrap();
+        assert_eq!(m.predict(&test).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn regression_averages_neighbours() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let y = vec![0.0, 10.0, 20.0];
+        let mut m = KNearestNeighbors::new(2, false);
+        m.fit(&x, &y, Task::Regression).unwrap();
+        let p = m.predict(&Matrix::from_rows(&[vec![0.4]]).unwrap()).unwrap();
+        // Neighbours are x=0 and x=1 -> mean 5.
+        assert!((p[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_weighting_pulls_toward_closer_point() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = vec![0.0, 10.0];
+        let mut m = KNearestNeighbors::new(2, true);
+        m.fit(&x, &y, Task::Regression).unwrap();
+        let p = m.predict(&Matrix::from_rows(&[vec![0.1]]).unwrap()).unwrap();
+        assert!(p[0] < 5.0, "weighted mean should lean to the nearer label");
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]).unwrap();
+        let y = vec![0.0, 1.0, 2.0];
+        let mut m = KNearestNeighbors::new(3, false);
+        m.fit(&x, &y, Task::MultiClass(3)).unwrap();
+        let proba = m.predict_proba(&x).unwrap();
+        for r in 0..proba.rows() {
+            assert!((proba.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_training_set_is_subsampled() {
+        let n = MAX_STORED_ROWS * 2;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let mut m = KNearestNeighbors::new(3, false);
+        m.fit(&Matrix::from_rows(&rows).unwrap(), &y, Task::Binary)
+            .unwrap();
+        assert!(m.train_x.as_ref().unwrap().rows() <= MAX_STORED_ROWS);
+        // Still predicts without panicking.
+        m.predict(&Matrix::from_rows(&[vec![5.0]]).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = KNearestNeighbors::new(3, false);
+        assert!(matches!(
+            m.predict(&Matrix::zeros(1, 1)),
+            Err(LearnError::NotFitted(_))
+        ));
+    }
+}

@@ -1,0 +1,674 @@
+//! Linear models: ridge / OLS, lasso, logistic regression, linear SVM.
+
+use super::{argmax_rows, check_fit_inputs, softmax_rows, Estimator, EstimatorKind};
+use crate::matrix::{solve_spd, Matrix};
+use crate::{LearnError, Result};
+use kgpip_tabular::Task;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Appends a constant-1 intercept column.
+fn with_intercept(x: &Matrix) -> Matrix {
+    let ones = Matrix::from_vec(vec![1.0; x.rows()], x.rows(), 1).expect("shape");
+    x.hcat(&ones).expect("row counts match")
+}
+
+// ---------------------------------------------------------------------------
+// Ridge / OLS
+// ---------------------------------------------------------------------------
+
+/// Ridge regression solved in closed form via the normal equations; with
+/// `alpha ≈ 0` this is ordinary least squares.
+#[derive(Debug)]
+pub struct RidgeRegression {
+    alpha: f64,
+    weights: Option<Vec<f64>>,
+}
+
+impl RidgeRegression {
+    /// Creates a ridge model with L2 strength `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        RidgeRegression {
+            alpha,
+            weights: None,
+        }
+    }
+
+    /// The fitted coefficient vector (last entry = intercept).
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Estimator for RidgeRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("ridge", x, y)?;
+        if task.is_classification() {
+            return Err(LearnError::UnsupportedTask("ridge"));
+        }
+        let xi = with_intercept(x);
+        let gram = xi.gram();
+        let xty = xi.t_vec(y)?;
+        self.weights = Some(solve_spd(&gram, &xty, self.alpha.max(1e-12))?);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let w = self.weights.as_ref().ok_or(LearnError::NotFitted("ridge"))?;
+        with_intercept(x).matvec(w)
+    }
+
+    fn predict_proba(&self, _x: &Matrix) -> Result<Matrix> {
+        Err(LearnError::UnsupportedTask("ridge"))
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        if self.alpha <= 1e-7 {
+            EstimatorKind::LinearRegression
+        } else {
+            EstimatorKind::Ridge
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lasso
+// ---------------------------------------------------------------------------
+
+/// Lasso regression via cyclic coordinate descent with soft-thresholding.
+#[derive(Debug)]
+pub struct LassoRegression {
+    alpha: f64,
+    max_iter: usize,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl LassoRegression {
+    /// Creates a lasso model with L1 strength `alpha`.
+    pub fn new(alpha: f64, max_iter: usize) -> Self {
+        LassoRegression {
+            alpha,
+            max_iter,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+
+    /// Number of exactly-zero coefficients in the fitted model.
+    pub fn num_zero_coefficients(&self) -> usize {
+        self.weights
+            .as_ref()
+            .map(|w| w.iter().filter(|v| **v == 0.0).count())
+            .unwrap_or(0)
+    }
+}
+
+impl Estimator for LassoRegression {
+    #[allow(clippy::needless_range_loop)] // residual/x indexed in lockstep
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("lasso", x, y)?;
+        if task.is_classification() {
+            return Err(LearnError::UnsupportedTask("lasso"));
+        }
+        let n = x.rows();
+        let d = x.cols();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        // Center target; feature means for intercept recovery.
+        let x_mean: Vec<f64> = (0..d)
+            .map(|c| x.col(c).iter().sum::<f64>() / n as f64)
+            .collect();
+        let mut w = vec![0.0f64; d];
+        let mut residual: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        // Per-feature squared norms of centered columns.
+        let sq_norm: Vec<f64> = (0..d)
+            .map(|c| {
+                x.col(c)
+                    .iter()
+                    .map(|v| (v - x_mean[c]).powi(2))
+                    .sum::<f64>()
+            })
+            .collect();
+        let thresh = self.alpha * n as f64;
+        for _ in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for j in 0..d {
+                if sq_norm[j] < 1e-12 {
+                    continue;
+                }
+                // rho = x_jᵀ(residual + w_j·x_j), with centered x_j.
+                let mut rho = 0.0;
+                for r in 0..n {
+                    let xc = x.get(r, j) - x_mean[j];
+                    rho += xc * (residual[r] + w[j] * xc);
+                }
+                let new_w = soft_threshold(rho, thresh) / sq_norm[j];
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for r in 0..n {
+                        residual[r] -= delta * (x.get(r, j) - x_mean[j]);
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < 1e-8 {
+                break;
+            }
+        }
+        self.intercept = y_mean - w.iter().zip(&x_mean).map(|(a, b)| a * b).sum::<f64>();
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let w = self.weights.as_ref().ok_or(LearnError::NotFitted("lasso"))?;
+        Ok(x.matvec(w)?.into_iter().map(|v| v + self.intercept).collect())
+    }
+
+    fn predict_proba(&self, _x: &Matrix) -> Result<Matrix> {
+        Err(LearnError::UnsupportedTask("lasso"))
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Lasso
+    }
+}
+
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression
+// ---------------------------------------------------------------------------
+
+/// L2-regularized logistic regression trained by IRLS (Newton's method),
+/// which converges in a handful of iterations regardless of feature scale.
+/// Binary tasks fit a single sigmoid head; multi-class fits one-vs-rest
+/// heads whose sigmoid outputs are normalized into probabilities.
+#[derive(Debug)]
+pub struct LogisticRegression {
+    c: f64,
+    max_iter: usize,
+    /// Row-major (heads × (d+1)) weights including intercept; 1 head for
+    /// binary, k heads (one-vs-rest) for multi-class.
+    weights: Option<Vec<f64>>,
+    classes: usize,
+    dims: usize,
+}
+
+impl LogisticRegression {
+    /// Creates a model with inverse regularization strength `c`.
+    pub fn new(c: f64, max_iter: usize) -> Self {
+        LogisticRegression {
+            c,
+            max_iter,
+            weights: None,
+            classes: 0,
+            dims: 0,
+        }
+    }
+
+    fn logits(&self, x: &Matrix) -> Result<Matrix> {
+        let w = self
+            .weights
+            .as_ref()
+            .ok_or(LearnError::NotFitted("logistic_regression"))?;
+        let xi = with_intercept(x);
+        let k = if self.classes == 2 { 1 } else { self.classes };
+        let mut out = Matrix::zeros(x.rows(), k);
+        for r in 0..x.rows() {
+            let row = xi.row(r);
+            for c in 0..k {
+                let mut acc = 0.0;
+                for (j, v) in row.iter().enumerate() {
+                    acc += v * w[c * (self.dims + 1) + j];
+                }
+                out.set(r, c, acc);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One binary IRLS (Newton) fit: returns a (d+1)-vector of weights for
+/// targets in {0, 1}. `reg` is the L2 strength on the mean-loss scale.
+#[allow(clippy::needless_range_loop)] // rows/targets indexed in lockstep
+fn irls_binary(xi: &Matrix, targets: &[f64], reg: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let n = xi.rows();
+    let dp1 = xi.cols();
+    let mut w = vec![0.0f64; dp1];
+    for _ in 0..max_iter.min(50) {
+        // Gradient Xᵀ(p − y)/n + reg·w and Hessian XᵀWX/n + reg·I.
+        let mut grad = vec![0.0f64; dp1];
+        let mut hess = Matrix::zeros(dp1, dp1);
+        for r in 0..n {
+            let row = xi.row(r);
+            let z: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum();
+            let p = 1.0 / (1.0 + (-z).exp());
+            let err = p - targets[r];
+            let wt = (p * (1.0 - p)).max(1e-6);
+            for (j, vj) in row.iter().enumerate() {
+                grad[j] += err * vj;
+                for (k2, vk) in row.iter().enumerate().skip(j) {
+                    let h = hess.get(j, k2) + wt * vj * vk;
+                    hess.set(j, k2, h);
+                }
+            }
+        }
+        for j in 0..dp1 {
+            grad[j] = grad[j] / n as f64 + reg * w[j];
+            for k2 in 0..j {
+                let v = hess.get(k2, j);
+                hess.set(j, k2, v);
+            }
+        }
+        for j in 0..dp1 {
+            for k2 in 0..dp1 {
+                let v = hess.get(j, k2) / n as f64;
+                hess.set(j, k2, v);
+            }
+        }
+        let step = solve_spd(&hess, &grad, reg.max(1e-8))?;
+        let step_norm: f64 = step.iter().map(|s| s * s).sum::<f64>().sqrt();
+        for (wv, s) in w.iter_mut().zip(&step) {
+            *wv -= s;
+        }
+        if step_norm < 1e-8 {
+            break;
+        }
+    }
+    Ok(w)
+}
+
+impl Estimator for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("logistic_regression", x, y)?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("logistic_regression"));
+        }
+        let k = task.num_classes().max(2);
+        self.classes = k;
+        self.dims = x.cols();
+        let xi = with_intercept(x);
+        let n = x.rows();
+        let dp1 = self.dims + 1;
+        let heads = if k == 2 { 1 } else { k };
+        let reg = 1.0 / (self.c * n as f64);
+        let mut w = Vec::with_capacity(heads * dp1);
+        for head in 0..heads {
+            let targets: Vec<f64> = if heads == 1 {
+                y.to_vec()
+            } else {
+                y.iter().map(|&t| f64::from(t as usize == head)).collect()
+            };
+            w.extend(irls_binary(&xi, &targets, reg, self.max_iter)?);
+        }
+        self.weights = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let logits = self.logits(x)?;
+        if self.classes == 2 {
+            let mut out = Matrix::zeros(x.rows(), 2);
+            for r in 0..x.rows() {
+                let p = 1.0 / (1.0 + (-logits.get(r, 0)).exp());
+                out.set(r, 0, 1.0 - p);
+                out.set(r, 1, p);
+            }
+            Ok(out)
+        } else {
+            // One-vs-rest sigmoid heads, normalized to a distribution.
+            let mut out = Matrix::zeros(x.rows(), self.classes);
+            for r in 0..x.rows() {
+                let mut sum = 0.0;
+                for c in 0..self.classes {
+                    let p = 1.0 / (1.0 + (-logits.get(r, c)).exp());
+                    out.set(r, c, p);
+                    sum += p;
+                }
+                if sum > 0.0 {
+                    for c in 0..self.classes {
+                        out.set(r, c, out.get(r, c) / sum);
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::LogisticRegression
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear SVM
+// ---------------------------------------------------------------------------
+
+/// Linear SVM trained with Pegasos-style SGD on the hinge loss; multi-class
+/// via one-vs-rest. Probability estimates use a logistic squash of the
+/// margin (Platt-style with fixed scale).
+#[derive(Debug)]
+pub struct LinearSvm {
+    c: f64,
+    max_iter: usize,
+    seed: u64,
+    /// One weight vector (d+1, intercept last) per one-vs-rest head.
+    heads: Vec<Vec<f64>>,
+    classes: usize,
+}
+
+impl LinearSvm {
+    /// Creates an SVM with inverse regularization `c`.
+    pub fn new(c: f64, max_iter: usize, seed: u64) -> Self {
+        LinearSvm {
+            c,
+            max_iter,
+            seed,
+            heads: Vec::new(),
+            classes: 0,
+        }
+    }
+
+    fn margins(&self, x: &Matrix) -> Result<Matrix> {
+        if self.heads.is_empty() {
+            return Err(LearnError::NotFitted("linear_svm"));
+        }
+        let xi = with_intercept(x);
+        let mut out = Matrix::zeros(x.rows(), self.heads.len());
+        for r in 0..x.rows() {
+            let row = xi.row(r);
+            for (h, w) in self.heads.iter().enumerate() {
+                let m: f64 = row.iter().zip(w).map(|(a, b)| a * b).sum();
+                out.set(r, h, m);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Estimator for LinearSvm {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("linear_svm", x, y)?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("linear_svm"));
+        }
+        let k = task.num_classes().max(2);
+        self.classes = k;
+        let xi = with_intercept(x);
+        let n = x.rows();
+        let dp1 = xi.cols();
+        let lambda = 1.0 / (self.c * n as f64);
+        let heads = if k == 2 { 1 } else { k };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let epochs = self.max_iter.div_ceil(n).max(10);
+        self.heads = (0..heads)
+            .map(|h| {
+                let mut w = vec![0.0f64; dp1];
+                // Averaged Pegasos: the returned weights are the running
+                // average over the second half of training, which removes
+                // the last-iterate noise of plain Pegasos.
+                let mut w_avg = vec![0.0f64; dp1];
+                let mut avg_count = 0usize;
+                let avg_start = epochs / 2;
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut t = 1usize;
+                for epoch in 0..epochs {
+                    order.shuffle(&mut rng);
+                    for &r in &order {
+                        let target = if heads == 1 {
+                            if y[r] > 0.5 { 1.0 } else { -1.0 }
+                        } else if (y[r] as usize) == h {
+                            1.0
+                        } else {
+                            -1.0
+                        };
+                        let eta = 1.0 / (lambda * t as f64);
+                        let row = xi.row(r);
+                        let margin: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum();
+                        // L2 shrink then hinge subgradient step.
+                        let shrink = 1.0 - eta * lambda;
+                        for wv in w.iter_mut() {
+                            *wv *= shrink.max(0.0);
+                        }
+                        if target * margin < 1.0 {
+                            for (wv, v) in w.iter_mut().zip(row) {
+                                *wv += eta * target * v;
+                            }
+                        }
+                        t += 1;
+                        if epoch >= avg_start {
+                            for (a, wv) in w_avg.iter_mut().zip(&w) {
+                                *a += wv;
+                            }
+                            avg_count += 1;
+                        }
+                    }
+                }
+                if avg_count > 0 {
+                    for a in w_avg.iter_mut() {
+                        *a /= avg_count as f64;
+                    }
+                    w_avg
+                } else {
+                    w
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let margins = self.margins(x)?;
+        if self.classes == 2 {
+            Ok((0..x.rows())
+                .map(|r| f64::from(margins.get(r, 0) > 0.0))
+                .collect())
+        } else {
+            Ok(argmax_rows(&margins))
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let margins = self.margins(x)?;
+        if self.classes == 2 {
+            let mut out = Matrix::zeros(x.rows(), 2);
+            for r in 0..x.rows() {
+                let p = 1.0 / (1.0 + (-2.0 * margins.get(r, 0)).exp());
+                out.set(r, 0, 1.0 - p);
+                out.set(r, 1, p);
+            }
+            Ok(out)
+        } else {
+            let mut out = margins;
+            softmax_rows(&mut out);
+            Ok(out)
+        }
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::LinearSvm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
+        // y = 2x0 - 3x1 + 1
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 13) as f64 * 0.5, (i % 7) as f64 * 0.3])
+            .collect();
+        let y = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn separable_binary(n: usize) -> (Matrix, Vec<f64>) {
+        // Class 1 iff x0 + x1 > 6.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 10) as f64, ((i * 3) % 10) as f64])
+            .collect();
+        let y = rows
+            .iter()
+            .map(|r| f64::from(r[0] + r[1] > 6.0))
+            .collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let (x, y) = linear_data(60);
+        let mut m = RidgeRegression::new(1e-10);
+        m.fit(&x, &y, Task::Regression).unwrap();
+        let w = m.coefficients().unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-5, "slope x0: {w:?}");
+        assert!((w[1] + 3.0).abs() < 1e-5, "slope x1: {w:?}");
+        assert!((w[2] - 1.0).abs() < 1e-5, "intercept: {w:?}");
+        let pred = m.predict(&x).unwrap();
+        assert!(crate::metrics::r2(&y, &pred) > 0.999999);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let (x, y) = linear_data(60);
+        let mut weak = RidgeRegression::new(1e-10);
+        let mut strong = RidgeRegression::new(1e4);
+        weak.fit(&x, &y, Task::Regression).unwrap();
+        strong.fit(&x, &y, Task::Regression).unwrap();
+        let norm = |m: &RidgeRegression| {
+            m.coefficients().unwrap()[..2]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+        };
+        assert!(norm(&strong) < norm(&weak));
+    }
+
+    #[test]
+    fn ridge_rejects_classification() {
+        let (x, y) = linear_data(10);
+        let mut m = RidgeRegression::new(1.0);
+        assert!(matches!(
+            m.fit(&x, &y, Task::Binary),
+            Err(LearnError::UnsupportedTask(_))
+        ));
+    }
+
+    #[test]
+    fn lasso_zeroes_irrelevant_features() {
+        // Feature 1 is pure noise; strong alpha should zero it.
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![i as f64 * 0.1, ((i * 7919) % 13) as f64 * 0.01])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = LassoRegression::new(0.5, 500);
+        m.fit(&x, &y, Task::Regression).unwrap();
+        assert!(m.num_zero_coefficients() >= 1);
+        let pred = m.predict(&x).unwrap();
+        assert!(crate::metrics::r2(&y, &pred) > 0.95);
+    }
+
+    #[test]
+    fn logistic_separates_linear_data() {
+        let (x, y) = separable_binary(120);
+        let mut m = LogisticRegression::new(10.0, 300);
+        m.fit(&x, &y, Task::Binary).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!(crate::metrics::accuracy(&y, &pred) > 0.95);
+        let proba = m.predict_proba(&x).unwrap();
+        for r in 0..x.rows() {
+            let s = proba.row(r).iter().sum::<f64>();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn logistic_multiclass() {
+        // Three bands by x0.
+        let rows: Vec<Vec<f64>> = (0..150).map(|i| vec![(i % 30) as f64, 1.0]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                if r[0] < 10.0 {
+                    0.0
+                } else if r[0] < 20.0 {
+                    1.0
+                } else {
+                    2.0
+                }
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = LogisticRegression::new(50.0, 500);
+        m.fit(&x, &y, Task::MultiClass(3)).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!(crate::metrics::accuracy(&y, &pred) > 0.9);
+    }
+
+    #[test]
+    fn svm_separates_and_is_seed_deterministic() {
+        let (x, y) = separable_binary(120);
+        let mut a = LinearSvm::new(20.0, 2000, 42);
+        let mut b = LinearSvm::new(20.0, 2000, 42);
+        a.fit(&x, &y, Task::Binary).unwrap();
+        b.fit(&x, &y, Task::Binary).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        assert!(crate::metrics::accuracy(&y, &a.predict(&x).unwrap()) > 0.9);
+    }
+
+    #[test]
+    fn svm_multiclass_ovr() {
+        // Three well-separated blobs; each class is linearly separable from
+        // the rest, which is the regime one-vs-rest hinge handles.
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            rows.push(vec![
+                cx + ((i * 7) % 10) as f64 * 0.1,
+                cy + ((i * 13) % 10) as f64 * 0.1,
+            ]);
+            y.push(c as f64);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = LinearSvm::new(20.0, 3000, 1);
+        m.fit(&x, &y, Task::MultiClass(3)).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!(crate::metrics::accuracy(&y, &pred) > 0.95);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let x = Matrix::zeros(1, 2);
+        assert!(matches!(
+            RidgeRegression::new(1.0).predict(&x),
+            Err(LearnError::NotFitted(_))
+        ));
+        assert!(matches!(
+            LogisticRegression::new(1.0, 10).predict(&x),
+            Err(LearnError::NotFitted(_))
+        ));
+        assert!(matches!(
+            LinearSvm::new(1.0, 10, 0).predict(&x),
+            Err(LearnError::NotFitted(_))
+        ));
+    }
+}

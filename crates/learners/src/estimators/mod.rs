@@ -1,0 +1,385 @@
+//! Estimators (learners) — the "learner" half of KGpip's pipeline
+//! vocabulary.
+//!
+//! The kinds below cover the learner families visible in the paper's mined
+//! pipelines (Figures 8–9): `xgboost` and `gradient_boost` dominate, with a
+//! long tail of random forests, extra trees, decision trees, logistic
+//! regression, linear models, SVMs, k-NN and naive Bayes. The XGBoost and
+//! LightGBM families are reproduced as distinct boosting configurations —
+//! second-order regularized exact boosting and histogram-binned leaf-wise
+//! boosting respectively — because AutoML systems (and the paper's HPO
+//! backends) treat them as different estimators with different cost
+//! profiles.
+
+pub mod gbt;
+pub mod knn;
+pub mod linear;
+pub mod naive_bayes;
+pub mod tree;
+
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+use kgpip_tabular::Task;
+use std::collections::BTreeMap;
+
+/// Flat numeric hyperparameter map. All hyperparameters are encoded as
+/// `f64` (integers rounded, booleans as 0/1) so HPO engines can search a
+/// uniform space.
+pub type Params = BTreeMap<String, f64>;
+
+/// A supervised learner with the uniform fit/predict contract.
+pub trait Estimator: Send + Sync {
+    /// Fits to a NaN-free matrix and target vector. For classification the
+    /// targets are class indices `0..k`.
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()>;
+    /// Predicts class indices (classification) or values (regression).
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>>;
+    /// Predicts class probabilities (n × k). Errors for regression tasks.
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix>;
+    /// The estimator's kind.
+    fn kind(&self) -> EstimatorKind;
+}
+
+/// Identifier of a learner family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EstimatorKind {
+    /// L2-regularized logistic regression (binary and softmax multi-class).
+    LogisticRegression,
+    /// Linear SVM trained with Pegasos-style SGD on the hinge loss.
+    LinearSvm,
+    /// Ordinary least squares (regression only).
+    LinearRegression,
+    /// Ridge regression (regression only).
+    Ridge,
+    /// Lasso regression via coordinate descent (regression only).
+    Lasso,
+    /// k-nearest neighbours.
+    Knn,
+    /// Gaussian naive Bayes (classification only).
+    GaussianNb,
+    /// Single CART decision tree.
+    DecisionTree,
+    /// Bootstrap-aggregated random forest.
+    RandomForest,
+    /// Extremely randomized trees.
+    ExtraTrees,
+    /// First-order gradient boosting (sklearn `GradientBoosting*` style).
+    GradientBoosting,
+    /// Second-order regularized boosting with exact splits (XGBoost style).
+    XgBoost,
+    /// Second-order histogram-binned leaf-wise boosting (LightGBM style).
+    Lgbm,
+}
+
+impl EstimatorKind {
+    /// All estimator kinds in a stable order.
+    pub const ALL: [EstimatorKind; 13] = [
+        EstimatorKind::LogisticRegression,
+        EstimatorKind::LinearSvm,
+        EstimatorKind::LinearRegression,
+        EstimatorKind::Ridge,
+        EstimatorKind::Lasso,
+        EstimatorKind::Knn,
+        EstimatorKind::GaussianNb,
+        EstimatorKind::DecisionTree,
+        EstimatorKind::RandomForest,
+        EstimatorKind::ExtraTrees,
+        EstimatorKind::GradientBoosting,
+        EstimatorKind::XgBoost,
+        EstimatorKind::Lgbm,
+    ];
+
+    /// Canonical snake_case name, matching the mined-pipeline vocabulary
+    /// (the paper's figures label the boosting families `xgboost` and
+    /// `gradient_boost`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorKind::LogisticRegression => "logistic_regression",
+            EstimatorKind::LinearSvm => "linear_svm",
+            EstimatorKind::LinearRegression => "linear_regression",
+            EstimatorKind::Ridge => "ridge",
+            EstimatorKind::Lasso => "lasso",
+            EstimatorKind::Knn => "knn",
+            EstimatorKind::GaussianNb => "gaussian_nb",
+            EstimatorKind::DecisionTree => "decision_tree",
+            EstimatorKind::RandomForest => "random_forest",
+            EstimatorKind::ExtraTrees => "extra_trees",
+            EstimatorKind::GradientBoosting => "gradient_boost",
+            EstimatorKind::XgBoost => "xgboost",
+            EstimatorKind::Lgbm => "lgbm",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn from_name(name: &str) -> Option<EstimatorKind> {
+        EstimatorKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Whether this estimator supports the given task.
+    pub fn supports(&self, task: Task) -> bool {
+        match self {
+            EstimatorKind::LinearRegression | EstimatorKind::Ridge | EstimatorKind::Lasso => {
+                !task.is_classification()
+            }
+            EstimatorKind::GaussianNb
+            | EstimatorKind::LogisticRegression
+            | EstimatorKind::LinearSvm => task.is_classification(),
+            _ => true,
+        }
+    }
+
+    /// Rough relative cost of one fit at default hyperparameters, used by
+    /// cost-frugal HPO to order learners (1.0 = a single decision tree).
+    pub fn relative_cost(&self) -> f64 {
+        match self {
+            EstimatorKind::GaussianNb => 0.1,
+            EstimatorKind::LinearRegression | EstimatorKind::Ridge => 0.2,
+            EstimatorKind::Lasso => 0.4,
+            EstimatorKind::LogisticRegression | EstimatorKind::LinearSvm => 0.5,
+            EstimatorKind::Knn => 0.6,
+            EstimatorKind::DecisionTree => 1.0,
+            EstimatorKind::Lgbm => 3.0,
+            EstimatorKind::XgBoost => 5.0,
+            EstimatorKind::GradientBoosting => 6.0,
+            EstimatorKind::ExtraTrees => 8.0,
+            EstimatorKind::RandomForest => 10.0,
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Builds an estimator of the given kind from a flat parameter map.
+/// Unknown keys are ignored; out-of-domain values error.
+pub fn build_estimator(kind: EstimatorKind, params: &Params) -> Result<Box<dyn Estimator>> {
+    let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
+    let get_pos = |key: &str, default: f64| -> Result<f64> {
+        let v = get(key, default);
+        if v <= 0.0 || !v.is_finite() {
+            return Err(LearnError::InvalidParam(format!(
+                "{}: `{key}` must be positive, got {v}",
+                kind.name()
+            )));
+        }
+        Ok(v)
+    };
+    Ok(match kind {
+        EstimatorKind::LogisticRegression => Box::new(linear::LogisticRegression::new(
+            get_pos("c", 1.0)?,
+            get_pos("max_iter", 200.0)? as usize,
+        )),
+        EstimatorKind::LinearSvm => Box::new(linear::LinearSvm::new(
+            get_pos("c", 1.0)?,
+            get_pos("max_iter", 300.0)? as usize,
+            get("seed", 0.0) as u64,
+        )),
+        EstimatorKind::LinearRegression => Box::new(linear::RidgeRegression::new(1e-8)),
+        EstimatorKind::Ridge => Box::new(linear::RidgeRegression::new(get_pos("alpha", 1.0)?)),
+        EstimatorKind::Lasso => Box::new(linear::LassoRegression::new(
+            get_pos("alpha", 0.1)?,
+            get_pos("max_iter", 300.0)? as usize,
+        )),
+        EstimatorKind::Knn => Box::new(knn::KNearestNeighbors::new(
+            get_pos("n_neighbors", 5.0)? as usize,
+            get("weights", 0.0) > 0.5,
+        )),
+        EstimatorKind::GaussianNb => Box::new(naive_bayes::GaussianNb::new(
+            get_pos("var_smoothing", 1e-9)?,
+        )),
+        EstimatorKind::DecisionTree => Box::new(tree::DecisionTree::new(tree::TreeConfig {
+            max_depth: get_pos("max_depth", 10.0)? as usize,
+            min_samples_split: get_pos("min_samples_split", 2.0)? as usize,
+            min_samples_leaf: get_pos("min_samples_leaf", 1.0)? as usize,
+            max_features: get("max_features", 1.0).clamp(0.01, 1.0),
+            random_thresholds: false,
+            seed: get("seed", 0.0) as u64,
+        })),
+        EstimatorKind::RandomForest => Box::new(tree::Forest::new(
+            get_pos("n_estimators", 50.0)? as usize,
+            tree::TreeConfig {
+                max_depth: get_pos("max_depth", 12.0)? as usize,
+                min_samples_split: get_pos("min_samples_split", 2.0)? as usize,
+                min_samples_leaf: get_pos("min_samples_leaf", 1.0)? as usize,
+                max_features: get("max_features", 0.5).clamp(0.01, 1.0),
+                random_thresholds: false,
+                seed: get("seed", 0.0) as u64,
+            },
+            true,
+            EstimatorKind::RandomForest,
+        )),
+        EstimatorKind::ExtraTrees => Box::new(tree::Forest::new(
+            get_pos("n_estimators", 50.0)? as usize,
+            tree::TreeConfig {
+                max_depth: get_pos("max_depth", 12.0)? as usize,
+                min_samples_split: get_pos("min_samples_split", 2.0)? as usize,
+                min_samples_leaf: get_pos("min_samples_leaf", 1.0)? as usize,
+                max_features: get("max_features", 0.5).clamp(0.01, 1.0),
+                random_thresholds: true,
+                seed: get("seed", 0.0) as u64,
+            },
+            false,
+            EstimatorKind::ExtraTrees,
+        )),
+        EstimatorKind::GradientBoosting => Box::new(gbt::GradientBoosting::new(gbt::GbtConfig {
+            n_estimators: get_pos("n_estimators", 60.0)? as usize,
+            learning_rate: get_pos("learning_rate", 0.1)?,
+            max_depth: get_pos("max_depth", 3.0)? as usize,
+            subsample: get("subsample", 1.0).clamp(0.1, 1.0),
+            lambda: 0.0,
+            gamma: 0.0,
+            min_child_weight: get_pos("min_child_weight", 1.0)?,
+            second_order: false,
+            histogram: false,
+            max_bins: 32,
+            max_leaves: 0,
+            seed: get("seed", 0.0) as u64,
+            kind: EstimatorKind::GradientBoosting,
+        })),
+        EstimatorKind::XgBoost => Box::new(gbt::GradientBoosting::new(gbt::GbtConfig {
+            n_estimators: get_pos("n_estimators", 60.0)? as usize,
+            learning_rate: get_pos("learning_rate", 0.1)?,
+            max_depth: get_pos("max_depth", 6.0)? as usize,
+            subsample: get("subsample", 1.0).clamp(0.1, 1.0),
+            lambda: get("lambda", 1.0).max(0.0),
+            gamma: get("gamma", 0.0).max(0.0),
+            min_child_weight: get_pos("min_child_weight", 1.0)?,
+            second_order: true,
+            histogram: false,
+            max_bins: 32,
+            max_leaves: 0,
+            seed: get("seed", 0.0) as u64,
+            kind: EstimatorKind::XgBoost,
+        })),
+        EstimatorKind::Lgbm => Box::new(gbt::GradientBoosting::new(gbt::GbtConfig {
+            n_estimators: get_pos("n_estimators", 60.0)? as usize,
+            learning_rate: get_pos("learning_rate", 0.1)?,
+            max_depth: get_pos("max_depth", 16.0)? as usize,
+            subsample: get("subsample", 1.0).clamp(0.1, 1.0),
+            lambda: get("lambda", 1.0).max(0.0),
+            gamma: get("gamma", 0.0).max(0.0),
+            min_child_weight: get_pos("min_child_weight", 1.0)?,
+            second_order: true,
+            histogram: true,
+            max_bins: get_pos("max_bins", 32.0)? as usize,
+            max_leaves: get_pos("max_leaves", 31.0)? as usize,
+            seed: get("seed", 0.0) as u64,
+            kind: EstimatorKind::Lgbm,
+        })),
+    })
+}
+
+/// Validates fit inputs shared by every estimator.
+pub(crate) fn check_fit_inputs(name: &'static str, x: &Matrix, y: &[f64]) -> Result<()> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LearnError::Shape(format!("{name}: empty training matrix")));
+    }
+    if x.rows() != y.len() {
+        return Err(LearnError::Shape(format!(
+            "{name}: {} rows vs {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.has_nan() {
+        return Err(LearnError::Shape(format!(
+            "{name}: training matrix contains NaN; impute first"
+        )));
+    }
+    Ok(())
+}
+
+/// Row-wise softmax over a logits matrix, in place.
+pub(crate) fn softmax_rows(logits: &mut Matrix) {
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Argmax per row of a probability matrix → class indices.
+pub(crate) fn argmax_rows(proba: &Matrix) -> Vec<f64> {
+    (0..proba.rows())
+        .map(|r| {
+            let row = proba.row(r);
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as f64)
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in EstimatorKind::ALL {
+            assert_eq!(EstimatorKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EstimatorKind::from_name("resnet"), None);
+    }
+
+    #[test]
+    fn task_support_matrix() {
+        assert!(!EstimatorKind::Ridge.supports(Task::Binary));
+        assert!(EstimatorKind::Ridge.supports(Task::Regression));
+        assert!(!EstimatorKind::GaussianNb.supports(Task::Regression));
+        assert!(EstimatorKind::XgBoost.supports(Task::Regression));
+        assert!(EstimatorKind::XgBoost.supports(Task::MultiClass(5)));
+    }
+
+    #[test]
+    fn build_estimator_rejects_bad_params() {
+        let mut p = Params::new();
+        p.insert("c".into(), -1.0);
+        assert!(build_estimator(EstimatorKind::LogisticRegression, &p).is_err());
+        p.clear();
+        p.insert("n_estimators".into(), 0.0);
+        assert!(build_estimator(EstimatorKind::RandomForest, &p).is_err());
+        assert!(build_estimator(EstimatorKind::Knn, &Params::new()).is_ok());
+    }
+
+    #[test]
+    fn check_fit_inputs_catches_problems() {
+        let x = Matrix::zeros(2, 2);
+        assert!(check_fit_inputs("t", &x, &[1.0]).is_err());
+        assert!(check_fit_inputs("t", &Matrix::zeros(0, 0), &[]).is_err());
+        let mut nan = Matrix::zeros(1, 1);
+        nan.set(0, 0, f64::NAN);
+        assert!(check_fit_inputs("t", &nan, &[0.0]).is_err());
+        assert!(check_fit_inputs("t", &x, &[0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn softmax_and_argmax() {
+        let mut m = Matrix::from_vec(vec![0.0, 100.0, 3.0, 1.0], 2, 2).unwrap();
+        softmax_rows(&mut m);
+        assert!(m.get(0, 1) > 0.999);
+        assert!((m.row(0)[0] + m.row(0)[1] - 1.0).abs() < 1e-12);
+        assert_eq!(argmax_rows(&m), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn relative_costs_are_ordered_sensibly() {
+        assert!(
+            EstimatorKind::GaussianNb.relative_cost()
+                < EstimatorKind::RandomForest.relative_cost()
+        );
+        assert!(EstimatorKind::Lgbm.relative_cost() < EstimatorKind::XgBoost.relative_cost());
+    }
+}

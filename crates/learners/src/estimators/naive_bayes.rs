@@ -1,0 +1,204 @@
+//! Gaussian naive Bayes classification.
+
+use super::{argmax_rows, check_fit_inputs, Estimator, EstimatorKind};
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+use kgpip_tabular::Task;
+
+/// Gaussian naive Bayes: per-class, per-feature normal likelihoods with
+/// variance smoothing.
+#[derive(Debug)]
+pub struct GaussianNb {
+    var_smoothing: f64,
+    /// Per class: (log prior, per-feature mean, per-feature variance).
+    classes: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+impl GaussianNb {
+    /// Creates a model; `var_smoothing` is added to every variance as a
+    /// fraction of the largest feature variance (as in scikit-learn).
+    pub fn new(var_smoothing: f64) -> Self {
+        GaussianNb {
+            var_smoothing,
+            classes: Vec::new(),
+        }
+    }
+}
+
+impl Estimator for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("gaussian_nb", x, y)?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("gaussian_nb"));
+        }
+        let k = task.num_classes().max(2);
+        let d = x.cols();
+        let n = x.rows();
+        // Global max variance for smoothing scale.
+        let mut max_var = 0.0f64;
+        for c in 0..d {
+            let col = x.col(c);
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            max_var = max_var.max(var);
+        }
+        let eps = self.var_smoothing * max_var.max(1e-12);
+
+        self.classes = (0..k)
+            .map(|class| {
+                let rows: Vec<usize> = (0..n).filter(|&r| y[r] as usize == class).collect();
+                if rows.is_empty() {
+                    // Unobserved class: flat prior-less fallback with global stats.
+                    return (f64::NEG_INFINITY, vec![0.0; d], vec![eps.max(1e-9); d]);
+                }
+                let m = rows.len() as f64;
+                let mut mean = vec![0.0f64; d];
+                for &r in &rows {
+                    for (j, v) in x.row(r).iter().enumerate() {
+                        mean[j] += v;
+                    }
+                }
+                for v in &mut mean {
+                    *v /= m;
+                }
+                let mut var = vec![0.0f64; d];
+                for &r in &rows {
+                    for (j, v) in x.row(r).iter().enumerate() {
+                        var[j] += (v - mean[j]).powi(2);
+                    }
+                }
+                for v in &mut var {
+                    *v = *v / m + eps;
+                    if *v < 1e-12 {
+                        *v = 1e-12;
+                    }
+                }
+                ((m / n as f64).ln(), mean, var)
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        Ok(argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        if self.classes.is_empty() {
+            return Err(LearnError::NotFitted("gaussian_nb"));
+        }
+        let k = self.classes.len();
+        let mut out = Matrix::zeros(x.rows(), k);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mut log_post: Vec<f64> = self
+                .classes
+                .iter()
+                .map(|(prior, mean, var)| {
+                    if prior.is_infinite() {
+                        return f64::NEG_INFINITY;
+                    }
+                    let mut lp = *prior;
+                    for ((v, m), s2) in row.iter().zip(mean).zip(var) {
+                        lp -= 0.5 * ((2.0 * std::f64::consts::PI * s2).ln() + (v - m).powi(2) / s2);
+                    }
+                    lp
+                })
+                .collect();
+            let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for lp in log_post.iter_mut() {
+                *lp = (*lp - max).exp();
+                sum += *lp;
+            }
+            for (c, lp) in log_post.iter().enumerate() {
+                out.set(r, c, lp / sum);
+            }
+        }
+        Ok(out)
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::GaussianNb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        // Class 0 around (0,0), class 1 around (5,5).
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let base = if i < 50 { 0.0 } else { 5.0 };
+                vec![
+                    base + ((i * 37) % 10) as f64 * 0.1,
+                    base + ((i * 53) % 10) as f64 * 0.1,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i >= 50)).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&x, &y, Task::Binary).unwrap();
+        assert!(crate::metrics::accuracy(&y, &m.predict(&x).unwrap()) > 0.99);
+    }
+
+    #[test]
+    fn priors_matter_for_ambiguous_points() {
+        // 90/10 imbalance; a point equidistant from both means should go to
+        // the majority class.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            rows.push(vec![0.0 + (i % 3) as f64 * 0.01]);
+            y.push(0.0);
+        }
+        for i in 0..10 {
+            rows.push(vec![1.0 + (i % 3) as f64 * 0.01]);
+            y.push(1.0);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut m = GaussianNb::new(1e-2);
+        m.fit(&x, &y, Task::Binary).unwrap();
+        let p = m
+            .predict_proba(&Matrix::from_rows(&[vec![0.5]]).unwrap())
+            .unwrap();
+        assert!(p.get(0, 0) > p.get(0, 1), "prior favours majority class");
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]])
+            .unwrap();
+        let y = vec![0.0, 1.0, 0.0, 1.0];
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&x, &y, Task::Binary).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        assert!(crate::metrics::accuracy(&y, &m.predict(&x).unwrap()) > 0.99);
+    }
+
+    #[test]
+    fn rejects_regression() {
+        let mut m = GaussianNb::new(1e-9);
+        assert!(matches!(
+            m.fit(&Matrix::zeros(2, 1), &[0.0, 1.0], Task::Regression),
+            Err(LearnError::UnsupportedTask(_))
+        ));
+    }
+
+    #[test]
+    fn unseen_class_gets_zero_probability() {
+        // Task declares 3 classes but class 2 never appears.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let y = vec![0.0, 1.0];
+        let mut m = GaussianNb::new(1e-9);
+        m.fit(&x, &y, Task::MultiClass(3)).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        assert_eq!(p.get(0, 2), 0.0);
+        assert!((p.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

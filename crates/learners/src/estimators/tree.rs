@@ -1,0 +1,728 @@
+//! CART decision trees and tree ensembles (random forest, extra trees).
+
+use super::{argmax_rows, check_fit_inputs, Estimator, EstimatorKind};
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+use kgpip_tabular::Task;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters shared by single trees and per-tree inside ensembles.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered per split (0, 1].
+    pub max_features: f64,
+    /// Extra-trees mode: draw one random threshold per candidate feature
+    /// instead of scanning all cut points.
+    pub random_thresholds: bool,
+    /// RNG seed for feature subsampling / random thresholds.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: 1.0,
+            random_thresholds: false,
+            seed: 0,
+        }
+    }
+}
+
+/// A node of a fitted tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Class distribution (classification) or `[mean]` (regression).
+    Leaf(Vec<f64>),
+}
+
+/// A fitted CART tree.
+#[derive(Debug, Clone)]
+struct FittedTree {
+    nodes: Vec<Node>,
+    outputs: usize,
+}
+
+impl FittedTree {
+    fn predict_row(&self, row: &[f64]) -> &[f64] {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf(v) => return v,
+            }
+        }
+    }
+
+    fn depth_from(&self, at: usize) -> usize {
+        match &self.nodes[at] {
+            Node::Leaf(_) => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_from(*left).max(self.depth_from(*right))
+            }
+        }
+    }
+}
+
+/// Impurity accumulator: gini for classification, variance for regression.
+enum Criterion {
+    Gini { classes: usize },
+    Mse,
+}
+
+impl Criterion {
+    fn leaf_value(&self, y: &[f64], rows: &[usize]) -> Vec<f64> {
+        match self {
+            Criterion::Gini { classes } => {
+                let mut dist = vec![0.0f64; *classes];
+                for &r in rows {
+                    let c = y[r] as usize;
+                    if c < *classes {
+                        dist[c] += 1.0;
+                    }
+                }
+                let total: f64 = dist.iter().sum();
+                if total > 0.0 {
+                    for v in &mut dist {
+                        *v /= total;
+                    }
+                }
+                dist
+            }
+            Criterion::Mse => {
+                let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len().max(1) as f64;
+                vec![mean]
+            }
+        }
+    }
+
+    fn outputs(&self) -> usize {
+        match self {
+            Criterion::Gini { classes } => *classes,
+            Criterion::Mse => 1,
+        }
+    }
+}
+
+/// State for an incremental best-split scan of one feature.
+struct SplitScan {
+    /// Classification: left class counts; regression: (sum, sumsq) packed.
+    left: Vec<f64>,
+    right: Vec<f64>,
+    left_n: usize,
+    right_n: usize,
+}
+
+impl SplitScan {
+    fn init(criterion: &Criterion, y: &[f64], rows: &[usize]) -> SplitScan {
+        match criterion {
+            Criterion::Gini { classes } => {
+                let mut right = vec![0.0; *classes];
+                for &r in rows {
+                    let c = y[r] as usize;
+                    if c < *classes {
+                        right[c] += 1.0;
+                    }
+                }
+                SplitScan {
+                    left: vec![0.0; *classes],
+                    right,
+                    left_n: 0,
+                    right_n: rows.len(),
+                }
+            }
+            Criterion::Mse => {
+                let sum: f64 = rows.iter().map(|&r| y[r]).sum();
+                let sumsq: f64 = rows.iter().map(|&r| y[r] * y[r]).sum();
+                SplitScan {
+                    left: vec![0.0, 0.0],
+                    right: vec![sum, sumsq],
+                    left_n: 0,
+                    right_n: rows.len(),
+                }
+            }
+        }
+    }
+
+    fn move_left(&mut self, criterion: &Criterion, yv: f64) {
+        match criterion {
+            Criterion::Gini { classes } => {
+                let c = yv as usize;
+                if c < *classes {
+                    self.left[c] += 1.0;
+                    self.right[c] -= 1.0;
+                }
+            }
+            Criterion::Mse => {
+                self.left[0] += yv;
+                self.left[1] += yv * yv;
+                self.right[0] -= yv;
+                self.right[1] -= yv * yv;
+            }
+        }
+        self.left_n += 1;
+        self.right_n -= 1;
+    }
+
+    /// Weighted impurity of the current partition (lower is better).
+    fn impurity(&self, criterion: &Criterion) -> f64 {
+        match criterion {
+            Criterion::Gini { .. } => {
+                let gini = |counts: &[f64], n: usize| -> f64 {
+                    if n == 0 {
+                        return 0.0;
+                    }
+                    let nf = n as f64;
+                    1.0 - counts.iter().map(|c| (c / nf) * (c / nf)).sum::<f64>()
+                };
+                let total = (self.left_n + self.right_n) as f64;
+                (self.left_n as f64 * gini(&self.left, self.left_n)
+                    + self.right_n as f64 * gini(&self.right, self.right_n))
+                    / total
+            }
+            Criterion::Mse => {
+                let var_part = |acc: &[f64], n: usize| -> f64 {
+                    if n == 0 {
+                        return 0.0;
+                    }
+                    let nf = n as f64;
+                    // n * variance = sumsq - sum^2/n
+                    acc[1] - acc[0] * acc[0] / nf
+                };
+                let total = (self.left_n + self.right_n) as f64;
+                (var_part(&self.left, self.left_n) + var_part(&self.right, self.right_n)) / total
+            }
+        }
+    }
+}
+
+fn build_tree(
+    x: &Matrix,
+    y: &[f64],
+    rows: Vec<usize>,
+    config: &TreeConfig,
+    criterion: &Criterion,
+    rng: &mut StdRng,
+) -> FittedTree {
+    let mut nodes = Vec::new();
+    build_node(x, y, rows, 0, config, criterion, rng, &mut nodes);
+    FittedTree {
+        nodes,
+        outputs: criterion.outputs(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    x: &Matrix,
+    y: &[f64],
+    rows: Vec<usize>,
+    depth: usize,
+    config: &TreeConfig,
+    criterion: &Criterion,
+    rng: &mut StdRng,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let make_leaf = |nodes: &mut Vec<Node>, rows: &[usize]| -> usize {
+        nodes.push(Node::Leaf(criterion.leaf_value(y, rows)));
+        nodes.len() - 1
+    };
+    if depth >= config.max_depth || rows.len() < config.min_samples_split || is_pure(y, &rows) {
+        return make_leaf(nodes, &rows);
+    }
+    // Feature subset for this node.
+    let d = x.cols();
+    let n_feats = ((config.max_features * d as f64).ceil() as usize).clamp(1, d);
+    let mut feats: Vec<usize> = (0..d).collect();
+    if n_feats < d {
+        feats.shuffle(rng);
+        feats.truncate(n_feats);
+    }
+
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in &feats {
+        let candidate = if config.random_thresholds {
+            random_threshold_split(x, y, &rows, f, config, criterion, rng)
+        } else {
+            best_exact_split(x, y, &rows, f, config, criterion)
+        };
+        if let Some((imp, thr)) = candidate {
+            if best.is_none_or(|(bi, _, _)| imp < bi) {
+                best = Some((imp, f, thr));
+            }
+        }
+    }
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(nodes, &rows);
+    };
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| x.get(r, feature) <= threshold);
+    if left_rows.len() < config.min_samples_leaf || right_rows.len() < config.min_samples_leaf {
+        return make_leaf(nodes, &rows);
+    }
+    let at = nodes.len();
+    nodes.push(Node::Leaf(Vec::new())); // placeholder, patched below
+    let left = build_node(x, y, left_rows, depth + 1, config, criterion, rng, nodes);
+    let right = build_node(x, y, right_rows, depth + 1, config, criterion, rng, nodes);
+    nodes[at] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    at
+}
+
+fn is_pure(y: &[f64], rows: &[usize]) -> bool {
+    rows.windows(2).all(|w| y[w[0]] == y[w[1]]) || rows.len() <= 1
+}
+
+/// Exhaustive scan of all cut points on one feature; returns the best
+/// (weighted impurity, threshold) honouring `min_samples_leaf`.
+fn best_exact_split(
+    x: &Matrix,
+    y: &[f64],
+    rows: &[usize],
+    feature: usize,
+    config: &TreeConfig,
+    criterion: &Criterion,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = rows.to_vec();
+    order.sort_by(|&a, &b| x.get(a, feature).partial_cmp(&x.get(b, feature)).unwrap());
+    let mut scan = SplitScan::init(criterion, y, rows);
+    let mut best: Option<(f64, f64)> = None;
+    for w in 0..order.len() - 1 {
+        let r = order[w];
+        scan.move_left(criterion, y[r]);
+        let v = x.get(r, feature);
+        let next = x.get(order[w + 1], feature);
+        if v == next {
+            continue; // can't cut between equal values
+        }
+        if scan.left_n < config.min_samples_leaf || scan.right_n < config.min_samples_leaf {
+            continue;
+        }
+        let imp = scan.impurity(criterion);
+        let thr = v + (next - v) * 0.5;
+        if best.is_none_or(|(bi, _)| imp < bi) {
+            best = Some((imp, thr));
+        }
+    }
+    best
+}
+
+/// Extra-trees split: one uniform random threshold in the feature's range.
+fn random_threshold_split(
+    x: &Matrix,
+    y: &[f64],
+    rows: &[usize],
+    feature: usize,
+    config: &TreeConfig,
+    criterion: &Criterion,
+    rng: &mut StdRng,
+) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &r in rows {
+        let v = x.get(r, feature);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi <= lo {
+        return None;
+    }
+    let thr = rng.gen_range(lo..hi);
+    let mut scan = SplitScan::init(criterion, y, rows);
+    for &r in rows {
+        if x.get(r, feature) <= thr {
+            scan.move_left(criterion, y[r]);
+        }
+    }
+    if scan.left_n < config.min_samples_leaf || scan.right_n < config.min_samples_leaf {
+        return None;
+    }
+    Some((scan.impurity(criterion), thr))
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree estimator
+// ---------------------------------------------------------------------------
+
+/// A single CART decision tree for classification (gini) or regression
+/// (variance reduction).
+#[derive(Debug)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    tree: Option<FittedTree>,
+    task: Option<Task>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree {
+            config,
+            tree: None,
+            task: None,
+        }
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> Option<usize> {
+        self.tree.as_ref().map(|t| t.depth_from(0))
+    }
+}
+
+impl Estimator for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("decision_tree", x, y)?;
+        let criterion = if task.is_classification() {
+            Criterion::Gini {
+                classes: task.num_classes().max(2),
+            }
+        } else {
+            Criterion::Mse
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.tree = Some(build_tree(
+            x,
+            y,
+            (0..x.rows()).collect(),
+            &self.config,
+            &criterion,
+            &mut rng,
+        ));
+        self.task = Some(task);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let task = self.task.ok_or(LearnError::NotFitted("decision_tree"))?;
+        if task.is_classification() {
+            Ok(argmax_rows(&self.predict_proba(x)?))
+        } else {
+            let tree = self.tree.as_ref().unwrap();
+            Ok((0..x.rows())
+                .map(|r| tree.predict_row(x.row(r))[0])
+                .collect())
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let task = self.task.ok_or(LearnError::NotFitted("decision_tree"))?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("decision_tree (regression proba)"));
+        }
+        let tree = self.tree.as_ref().unwrap();
+        let mut out = Matrix::zeros(x.rows(), tree.outputs);
+        for r in 0..x.rows() {
+            let dist = tree.predict_row(x.row(r));
+            for (c, v) in dist.iter().enumerate() {
+                out.set(r, c, *v);
+            }
+        }
+        Ok(out)
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::DecisionTree
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forest ensembles
+// ---------------------------------------------------------------------------
+
+/// A bagged ensemble of CART trees: random forest (bootstrap + feature
+/// subsets) or extra trees (no bootstrap, random thresholds).
+#[derive(Debug)]
+pub struct Forest {
+    n_estimators: usize,
+    config: TreeConfig,
+    bootstrap: bool,
+    kind: EstimatorKind,
+    trees: Vec<FittedTree>,
+    task: Option<Task>,
+}
+
+impl Forest {
+    /// Creates an unfitted forest.
+    pub fn new(
+        n_estimators: usize,
+        config: TreeConfig,
+        bootstrap: bool,
+        kind: EstimatorKind,
+    ) -> Self {
+        Forest {
+            n_estimators: n_estimators.max(1),
+            config,
+            bootstrap,
+            kind,
+            trees: Vec::new(),
+            task: None,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-tree raw predictions for each row: regression values, or the
+    /// argmax class per tree for classification. Exposes the ensemble's
+    /// spread, which SMAC-style surrogates use as an uncertainty estimate.
+    pub fn predict_per_tree(&self, x: &Matrix) -> Result<Vec<Vec<f64>>> {
+        let task = self.task.ok_or(LearnError::NotFitted("forest"))?;
+        Ok(self
+            .trees
+            .iter()
+            .map(|tree| {
+                (0..x.rows())
+                    .map(|r| {
+                        let v = tree.predict_row(x.row(r));
+                        if task.is_classification() {
+                            v.iter()
+                                .enumerate()
+                                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                                .map(|(c, _)| c as f64)
+                                .unwrap_or(0.0)
+                        } else {
+                            v[0]
+                        }
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn aggregate(&self, x: &Matrix, outputs: usize) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), outputs);
+        for tree in &self.trees {
+            for r in 0..x.rows() {
+                let v = tree.predict_row(x.row(r));
+                for (c, p) in v.iter().enumerate() {
+                    out.set(r, c, out.get(r, c) + p);
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        for r in 0..out.rows() {
+            for v in out.row_mut(r) {
+                *v /= k;
+            }
+        }
+        out
+    }
+}
+
+impl Estimator for Forest {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("forest", x, y)?;
+        let criterion = if task.is_classification() {
+            Criterion::Gini {
+                classes: task.num_classes().max(2),
+            }
+        } else {
+            Criterion::Mse
+        };
+        let n = x.rows();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees = (0..self.n_estimators)
+            .map(|_| {
+                let rows: Vec<usize> = if self.bootstrap {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                build_tree(x, y, rows, &self.config, &criterion, &mut rng)
+            })
+            .collect();
+        self.task = Some(task);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let task = self.task.ok_or(LearnError::NotFitted("forest"))?;
+        if task.is_classification() {
+            Ok(argmax_rows(&self.predict_proba(x)?))
+        } else {
+            Ok(self.aggregate(x, 1).col(0))
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let task = self.task.ok_or(LearnError::NotFitted("forest"))?;
+        if !task.is_classification() {
+            return Err(LearnError::UnsupportedTask("forest (regression proba)"));
+        }
+        Ok(self.aggregate(x, task.num_classes().max(2)))
+    }
+
+    fn kind(&self) -> EstimatorKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish data no linear model can fit but a depth-2 tree can.
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = f64::from(i % 2 == 0);
+            let b = f64::from((i / 2) % 2 == 0);
+            // Small jitter so values are not identical.
+            rows.push(vec![a + (i % 5) as f64 * 0.01, b + (i % 7) as f64 * 0.01]);
+            y.push(f64::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn tree_fits_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, Task::Binary).unwrap();
+        assert!(crate::metrics::accuracy(&y, &t.predict(&x).unwrap()) > 0.98);
+        assert!(t.depth().unwrap() >= 2);
+    }
+
+    #[test]
+    fn tree_regression_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y, Task::Regression).unwrap();
+        let pred = t.predict(&x).unwrap();
+        assert!(crate::metrics::r2(&y, &pred) > 0.99);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let (x, y) = xor_data();
+        let mut stump = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
+        stump.fit(&x, &y, Task::Binary).unwrap();
+        assert!(stump.depth().unwrap() <= 1);
+        // A stump cannot solve XOR.
+        assert!(crate::metrics::accuracy(&y, &stump.predict(&x).unwrap()) < 0.8);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(TreeConfig {
+            min_samples_leaf: 60,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y, Task::Binary).unwrap();
+        // With 200 rows and 60-per-leaf minimum, depth is strongly limited.
+        assert!(t.depth().unwrap() <= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![1.0, 1.0, 1.0];
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, Task::Binary).unwrap();
+        assert_eq!(t.depth().unwrap(), 0);
+    }
+
+    #[test]
+    fn forest_beats_single_stump_and_is_deterministic() {
+        let (x, y) = xor_data();
+        let config = TreeConfig {
+            max_depth: 4,
+            max_features: 0.7,
+            seed: 9,
+            ..TreeConfig::default()
+        };
+        let mut f1 = Forest::new(20, config.clone(), true, EstimatorKind::RandomForest);
+        let mut f2 = Forest::new(20, config, true, EstimatorKind::RandomForest);
+        f1.fit(&x, &y, Task::Binary).unwrap();
+        f2.fit(&x, &y, Task::Binary).unwrap();
+        assert_eq!(f1.num_trees(), 20);
+        assert_eq!(f1.predict(&x).unwrap(), f2.predict(&x).unwrap());
+        assert!(crate::metrics::accuracy(&y, &f1.predict(&x).unwrap()) > 0.95);
+    }
+
+    #[test]
+    fn extra_trees_regression() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 40) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0] * 0.3).sin() * 5.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut f = Forest::new(
+            30,
+            TreeConfig {
+                max_depth: 8,
+                random_thresholds: true,
+                seed: 3,
+                ..TreeConfig::default()
+            },
+            false,
+            EstimatorKind::ExtraTrees,
+        );
+        f.fit(&x, &y, Task::Regression).unwrap();
+        assert!(crate::metrics::r2(&y, &f.predict(&x).unwrap()) > 0.95);
+    }
+
+    #[test]
+    fn forest_proba_rows_sum_to_one() {
+        let (x, y) = xor_data();
+        let mut f = Forest::new(
+            10,
+            TreeConfig::default(),
+            true,
+            EstimatorKind::RandomForest,
+        );
+        f.fit(&x, &y, Task::Binary).unwrap();
+        let p = f.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let y = vec![0.0, 1.0, 0.0, 1.0];
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, Task::Binary).unwrap();
+        assert_eq!(t.depth().unwrap(), 0, "no valid split on constant data");
+        let p = t.predict_proba(&x).unwrap();
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1074 @@
+//! Preprocessing transformers — the "transformer" half of KGpip's pipeline
+//! vocabulary (paper Figures 8–9 list scalers, one-hot encoding, PCA,
+//! feature selection among the mined transformers).
+//!
+//! All transformers implement [`Transformer`]: `fit` observes training data
+//! (and the target, for supervised selectors) and returns the output
+//! feature roles; `transform` maps matrices of the fitted width.
+
+use crate::encode::FeatureRole;
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+use std::collections::BTreeMap;
+
+/// Identifier of a transformer family. The names mirror the
+/// sklearn-equivalent vocabulary mined from notebooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TransformerKind {
+    /// Mean/median/mode imputation of NaN cells.
+    SimpleImputer,
+    /// Zero-mean unit-variance scaling.
+    StandardScaler,
+    /// Min-max scaling to [0, 1].
+    MinMaxScaler,
+    /// Median/IQR scaling, robust to outliers.
+    RobustScaler,
+    /// Row-wise L2 normalization.
+    Normalizer,
+    /// One-hot expansion of categorical code columns.
+    OneHotEncoder,
+    /// Drops features with variance below a threshold.
+    VarianceThreshold,
+    /// Keeps the k features most correlated with the target.
+    SelectKBest,
+    /// Principal component analysis projection.
+    Pca,
+    /// Degree-2 polynomial interaction features.
+    PolynomialFeatures,
+}
+
+impl TransformerKind {
+    /// All transformer kinds, in a stable order.
+    pub const ALL: [TransformerKind; 10] = [
+        TransformerKind::SimpleImputer,
+        TransformerKind::StandardScaler,
+        TransformerKind::MinMaxScaler,
+        TransformerKind::RobustScaler,
+        TransformerKind::Normalizer,
+        TransformerKind::OneHotEncoder,
+        TransformerKind::VarianceThreshold,
+        TransformerKind::SelectKBest,
+        TransformerKind::Pca,
+        TransformerKind::PolynomialFeatures,
+    ];
+
+    /// Canonical snake_case name (matches the mined-pipeline vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransformerKind::SimpleImputer => "simple_imputer",
+            TransformerKind::StandardScaler => "standard_scaler",
+            TransformerKind::MinMaxScaler => "min_max_scaler",
+            TransformerKind::RobustScaler => "robust_scaler",
+            TransformerKind::Normalizer => "normalizer",
+            TransformerKind::OneHotEncoder => "one_hot_encoder",
+            TransformerKind::VarianceThreshold => "variance_threshold",
+            TransformerKind::SelectKBest => "select_k_best",
+            TransformerKind::Pca => "pca",
+            TransformerKind::PolynomialFeatures => "polynomial_features",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn from_name(name: &str) -> Option<TransformerKind> {
+        TransformerKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for TransformerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Flat numeric hyperparameter map (shared with estimators).
+pub type TParams = BTreeMap<String, f64>;
+
+/// A fit/transform preprocessor.
+pub trait Transformer: Send + Sync {
+    /// Fits to training data, returning the roles of the output columns.
+    /// `y` is used only by supervised selectors.
+    fn fit(&mut self, x: &Matrix, y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>>;
+    /// Transforms a matrix with the fitted state.
+    fn transform(&self, x: &Matrix) -> Result<Matrix>;
+    /// Canonical name.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds a transformer of the given kind from a flat parameter map.
+/// Unknown parameters are ignored; out-of-domain values error.
+pub fn build_transformer(
+    kind: TransformerKind,
+    params: &TParams,
+) -> Result<Box<dyn Transformer>> {
+    let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
+    Ok(match kind {
+        TransformerKind::SimpleImputer => {
+            let strategy = get("strategy", 0.0);
+            if !(0.0..=2.0).contains(&strategy) {
+                return Err(LearnError::InvalidParam(format!(
+                    "simple_imputer strategy must be 0 (mean), 1 (median) or 2 (mode), got {strategy}"
+                )));
+            }
+            Box::new(SimpleImputer::new(strategy as u8))
+        }
+        TransformerKind::StandardScaler => Box::new(StandardScaler::default()),
+        TransformerKind::MinMaxScaler => Box::new(MinMaxScaler::default()),
+        TransformerKind::RobustScaler => Box::new(RobustScaler::default()),
+        TransformerKind::Normalizer => Box::new(Normalizer),
+        TransformerKind::OneHotEncoder => {
+            Box::new(OneHotEncoder::new(get("max_cardinality", 32.0) as usize))
+        }
+        TransformerKind::VarianceThreshold => {
+            let t = get("threshold", 0.0);
+            if t < 0.0 {
+                return Err(LearnError::InvalidParam(format!(
+                    "variance_threshold must be >= 0, got {t}"
+                )));
+            }
+            Box::new(VarianceThreshold::new(t))
+        }
+        TransformerKind::SelectKBest => {
+            let k = get("k", 10.0);
+            if k < 1.0 {
+                return Err(LearnError::InvalidParam(format!(
+                    "select_k_best k must be >= 1, got {k}"
+                )));
+            }
+            Box::new(SelectKBest::new(k as usize))
+        }
+        TransformerKind::Pca => {
+            let n = get("n_components", 8.0);
+            if n < 1.0 {
+                return Err(LearnError::InvalidParam(format!(
+                    "pca n_components must be >= 1, got {n}"
+                )));
+            }
+            Box::new(Pca::new(n as usize))
+        }
+        TransformerKind::PolynomialFeatures => {
+            Box::new(PolynomialFeatures::new(get("max_output", 64.0) as usize))
+        }
+    })
+}
+
+fn check_width(name: &'static str, x: &Matrix, expected: usize) -> Result<()> {
+    if x.cols() != expected {
+        return Err(LearnError::Shape(format!(
+            "{name}: expected {expected} columns, got {}",
+            x.cols()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SimpleImputer
+// ---------------------------------------------------------------------------
+
+/// Fills NaN cells with a per-column statistic: 0 = mean, 1 = median,
+/// 2 = most frequent.
+#[derive(Debug)]
+pub struct SimpleImputer {
+    strategy: u8,
+    fill: Vec<f64>,
+}
+
+impl SimpleImputer {
+    /// Creates an imputer with the given strategy code.
+    pub fn new(strategy: u8) -> Self {
+        SimpleImputer {
+            strategy,
+            fill: Vec::new(),
+        }
+    }
+}
+
+impl Transformer for SimpleImputer {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.fill = (0..x.cols())
+            .map(|c| {
+                let present: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+                if present.is_empty() {
+                    return 0.0;
+                }
+                match self.strategy {
+                    1 => {
+                        let mut s = present.clone();
+                        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        s[s.len() / 2]
+                    }
+                    2 => {
+                        let mut counts: BTreeMap<u64, (usize, f64)> = BTreeMap::new();
+                        for v in &present {
+                            let e = counts.entry(v.to_bits()).or_insert((0, *v));
+                            e.0 += 1;
+                        }
+                        counts
+                            .values()
+                            .max_by_key(|(n, _)| *n)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(0.0)
+                    }
+                    _ => present.iter().sum::<f64>() / present.len() as f64,
+                }
+            })
+            .collect();
+        Ok(roles.to_vec())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("simple_imputer", x, self.fill.len())?;
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                if out.get(r, c).is_nan() {
+                    out.set(r, c, self.fill[c]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "simple_imputer"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalers
+// ---------------------------------------------------------------------------
+
+/// Zero-mean, unit-variance scaling per column (NaN-aware at fit).
+#[derive(Debug, Default)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Transformer for StandardScaler {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.mean.clear();
+        self.std.clear();
+        for c in 0..x.cols() {
+            let vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            let n = vals.len().max(1) as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            self.mean.push(mean);
+            self.std.push(var.sqrt().max(1e-12));
+        }
+        Ok(roles.to_vec())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("standard_scaler", x, self.mean.len())?;
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c);
+                out.set(r, c, (v - self.mean[c]) / self.std[c]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "standard_scaler"
+    }
+}
+
+/// Min-max scaling of each column to [0, 1].
+#[derive(Debug, Default)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    range: Vec<f64>,
+}
+
+impl Transformer for MinMaxScaler {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.min.clear();
+        self.range.clear();
+        for c in 0..x.cols() {
+            let vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let (min, max) = if min.is_finite() { (min, max) } else { (0.0, 1.0) };
+            self.min.push(min);
+            self.range.push((max - min).max(1e-12));
+        }
+        Ok(roles.to_vec())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("min_max_scaler", x, self.min.len())?;
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c);
+                out.set(r, c, (v - self.min[c]) / self.range[c]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "min_max_scaler"
+    }
+}
+
+/// Median/IQR scaling, robust to outliers.
+#[derive(Debug, Default)]
+pub struct RobustScaler {
+    median: Vec<f64>,
+    iqr: Vec<f64>,
+}
+
+impl Transformer for RobustScaler {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.median.clear();
+        self.iqr.clear();
+        for c in 0..x.cols() {
+            let mut vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            if vals.is_empty() {
+                self.median.push(0.0);
+                self.iqr.push(1.0);
+                continue;
+            }
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = |p: f64| vals[((p * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1)];
+            self.median.push(q(0.5));
+            self.iqr.push((q(0.75) - q(0.25)).max(1e-12));
+        }
+        Ok(roles.to_vec())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("robust_scaler", x, self.median.len())?;
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c);
+                out.set(r, c, (v - self.median[c]) / self.iqr[c]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "robust_scaler"
+    }
+}
+
+/// Row-wise L2 normalization (stateless).
+#[derive(Debug)]
+pub struct Normalizer;
+
+impl Transformer for Normalizer {
+    fn fit(&mut self, _x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        Ok(roles.to_vec())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let norm = out.row(r).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for v in out.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "normalizer"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OneHotEncoder
+// ---------------------------------------------------------------------------
+
+/// Expands categorical-code columns (cardinality ≤ `max_cardinality`) into
+/// one-hot indicator groups; other columns pass through. Codes unseen at
+/// fit time (or NaN) produce an all-zero group.
+#[derive(Debug)]
+pub struct OneHotEncoder {
+    max_cardinality: usize,
+    /// Per input column: None = passthrough, Some(k) = expand to k dims.
+    plan: Vec<Option<usize>>,
+}
+
+impl OneHotEncoder {
+    /// Creates an encoder expanding columns up to the given cardinality.
+    pub fn new(max_cardinality: usize) -> Self {
+        OneHotEncoder {
+            max_cardinality: max_cardinality.max(2),
+            plan: Vec::new(),
+        }
+    }
+}
+
+impl Transformer for OneHotEncoder {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        if roles.len() != x.cols() {
+            return Err(LearnError::Shape(format!(
+                "one_hot_encoder: {} roles for {} columns",
+                roles.len(),
+                x.cols()
+            )));
+        }
+        self.plan = roles
+            .iter()
+            .map(|role| match role {
+                FeatureRole::CategoricalCode { cardinality }
+                    if *cardinality >= 2 && *cardinality <= self.max_cardinality =>
+                {
+                    Some(*cardinality)
+                }
+                _ => None,
+            })
+            .collect();
+        let mut out_roles = Vec::new();
+        for (role, plan) in roles.iter().zip(&self.plan) {
+            match plan {
+                Some(k) => out_roles.extend(std::iter::repeat_n(FeatureRole::Numeric, *k)),
+                None => out_roles.push(*role),
+            }
+        }
+        Ok(out_roles)
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("one_hot_encoder", x, self.plan.len())?;
+        let out_cols: usize = self
+            .plan
+            .iter()
+            .map(|p| p.unwrap_or(1))
+            .sum();
+        let mut out = Matrix::zeros(x.rows(), out_cols);
+        for r in 0..x.rows() {
+            let mut c_out = 0usize;
+            for (c_in, plan) in self.plan.iter().enumerate() {
+                let v = x.get(r, c_in);
+                match plan {
+                    Some(k) => {
+                        if !v.is_nan() {
+                            let code = v as usize;
+                            if v >= 0.0 && code < *k {
+                                out.set(r, c_out + code, 1.0);
+                            }
+                        }
+                        c_out += k;
+                    }
+                    None => {
+                        out.set(r, c_out, v);
+                        c_out += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "one_hot_encoder"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VarianceThreshold
+// ---------------------------------------------------------------------------
+
+/// Drops features whose training variance is at or below a threshold. If
+/// every feature would be dropped, the highest-variance one is kept so the
+/// pipeline still produces a usable matrix.
+#[derive(Debug)]
+pub struct VarianceThreshold {
+    threshold: f64,
+    keep: Vec<usize>,
+    fitted_cols: usize,
+}
+
+impl VarianceThreshold {
+    /// Creates a filter with the given variance threshold.
+    pub fn new(threshold: f64) -> Self {
+        VarianceThreshold {
+            threshold,
+            keep: Vec::new(),
+            fitted_cols: 0,
+        }
+    }
+}
+
+impl Transformer for VarianceThreshold {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.fitted_cols = x.cols();
+        let mut variances = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            let vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            let n = vals.len().max(1) as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            variances.push(vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n);
+        }
+        self.keep = (0..x.cols())
+            .filter(|&c| variances[c] > self.threshold)
+            .collect();
+        if self.keep.is_empty() && x.cols() > 0 {
+            let best = variances
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.keep.push(best);
+        }
+        Ok(self.keep.iter().map(|&c| roles[c]).collect())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("variance_threshold", x, self.fitted_cols)?;
+        Ok(x.take_cols(&self.keep))
+    }
+
+    fn name(&self) -> &'static str {
+        "variance_threshold"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SelectKBest
+// ---------------------------------------------------------------------------
+
+/// Keeps the `k` features with the highest absolute Pearson correlation
+/// with the target (a univariate filter in the spirit of sklearn's
+/// `SelectKBest(f_classif)`).
+#[derive(Debug)]
+pub struct SelectKBest {
+    k: usize,
+    keep: Vec<usize>,
+    fitted_cols: usize,
+}
+
+impl SelectKBest {
+    /// Creates a selector keeping `k` features.
+    pub fn new(k: usize) -> Self {
+        SelectKBest {
+            k: k.max(1),
+            keep: Vec::new(),
+            fitted_cols: 0,
+        }
+    }
+}
+
+impl Transformer for SelectKBest {
+    fn fit(&mut self, x: &Matrix, y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        if y.len() != x.rows() {
+            return Err(LearnError::Shape(format!(
+                "select_k_best: target length {} != rows {}",
+                y.len(),
+                x.rows()
+            )));
+        }
+        self.fitted_cols = x.cols();
+        let n = x.rows().max(1) as f64;
+        let y_mean = y.iter().sum::<f64>() / n;
+        let y_std = (y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / n).sqrt();
+        let mut scored: Vec<(usize, f64)> = (0..x.cols())
+            .map(|c| {
+                let col = x.col(c);
+                let vals: Vec<f64> = col.iter().map(|v| if v.is_nan() { 0.0 } else { *v }).collect();
+                let mean = vals.iter().sum::<f64>() / n;
+                let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+                if std < 1e-12 || y_std < 1e-12 {
+                    return (c, 0.0);
+                }
+                let cov = vals
+                    .iter()
+                    .zip(y)
+                    .map(|(v, t)| (v - mean) * (t - y_mean))
+                    .sum::<f64>()
+                    / n;
+                (c, (cov / (std * y_std)).abs())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        self.keep = scored.iter().take(self.k.min(x.cols())).map(|(c, _)| *c).collect();
+        self.keep.sort_unstable();
+        Ok(self.keep.iter().map(|&c| roles[c]).collect())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("select_k_best", x, self.fitted_cols)?;
+        Ok(x.take_cols(&self.keep))
+    }
+
+    fn name(&self) -> &'static str {
+        "select_k_best"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCA
+// ---------------------------------------------------------------------------
+
+/// Principal component analysis via Jacobi eigendecomposition of the
+/// covariance matrix. Input is centered; components are ordered by
+/// decreasing eigenvalue.
+#[derive(Debug)]
+pub struct Pca {
+    n_components: usize,
+    mean: Vec<f64>,
+    /// Row-major (n_components × input_dims) projection.
+    components: Vec<f64>,
+    input_dims: usize,
+    out_dims: usize,
+}
+
+impl Pca {
+    /// Creates a PCA projecting onto up to `n_components` components.
+    pub fn new(n_components: usize) -> Self {
+        Pca {
+            n_components: n_components.max(1),
+            mean: Vec::new(),
+            components: Vec::new(),
+            input_dims: 0,
+            out_dims: 0,
+        }
+    }
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix stored row-major.
+/// Returns (eigenvalues, row-major eigenvector matrix with eigenvectors in
+/// columns).
+fn jacobi_eigen(a: &mut [f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off = off.max(a[i * n + j].abs());
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    (eigenvalues, v)
+}
+
+impl Transformer for Pca {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], _roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        let d = x.cols();
+        self.input_dims = d;
+        let n = x.rows().max(1) as f64;
+        self.mean = (0..d)
+            .map(|c| {
+                let vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            })
+            .collect();
+        // Covariance of centered data (NaN treated as the mean → zero after
+        // centering).
+        let mut cov = vec![0.0f64; d * d];
+        for r in 0..x.rows() {
+            let row: Vec<f64> = (0..d)
+                .map(|c| {
+                    let v = x.get(r, c);
+                    if v.is_nan() { 0.0 } else { v - self.mean[c] }
+                })
+                .collect();
+            for i in 0..d {
+                if row[i] == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    cov[i * d + j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                cov[i * d + j] = cov[j * d + i];
+            }
+        }
+        for v in &mut cov {
+            *v /= n;
+        }
+        let (eigenvalues, vecs) = jacobi_eigen(&mut cov, d);
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).unwrap());
+        self.out_dims = self.n_components.min(d);
+        self.components = Vec::with_capacity(self.out_dims * d);
+        for &k in order.iter().take(self.out_dims) {
+            for i in 0..d {
+                self.components.push(vecs[i * d + k]);
+            }
+        }
+        Ok(vec![FeatureRole::Numeric; self.out_dims])
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("pca", x, self.input_dims)?;
+        let d = self.input_dims;
+        let mut out = Matrix::zeros(x.rows(), self.out_dims);
+        for r in 0..x.rows() {
+            for k in 0..self.out_dims {
+                let mut acc = 0.0;
+                for i in 0..d {
+                    let v = x.get(r, i);
+                    let centered = if v.is_nan() { 0.0 } else { v - self.mean[i] };
+                    acc += centered * self.components[k * d + i];
+                }
+                out.set(r, k, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolynomialFeatures
+// ---------------------------------------------------------------------------
+
+/// Appends degree-2 interaction and square terms, capped at `max_output`
+/// total output columns (original features always kept).
+#[derive(Debug)]
+pub struct PolynomialFeatures {
+    max_output: usize,
+    pairs: Vec<(usize, usize)>,
+    fitted_cols: usize,
+}
+
+impl PolynomialFeatures {
+    /// Creates the expansion with an output-width cap.
+    pub fn new(max_output: usize) -> Self {
+        PolynomialFeatures {
+            max_output: max_output.max(1),
+            pairs: Vec::new(),
+            fitted_cols: 0,
+        }
+    }
+}
+
+impl Transformer for PolynomialFeatures {
+    fn fit(&mut self, x: &Matrix, _y: &[f64], roles: &[FeatureRole]) -> Result<Vec<FeatureRole>> {
+        self.fitted_cols = x.cols();
+        self.pairs.clear();
+        let budget = self.max_output.saturating_sub(x.cols());
+        'outer: for i in 0..x.cols() {
+            for j in i..x.cols() {
+                if self.pairs.len() >= budget {
+                    break 'outer;
+                }
+                self.pairs.push((i, j));
+            }
+        }
+        let mut out_roles = roles.to_vec();
+        out_roles.extend(std::iter::repeat_n(FeatureRole::Numeric, self.pairs.len()));
+        Ok(out_roles)
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        check_width("polynomial_features", x, self.fitted_cols)?;
+        let extra = Matrix::from_rows(
+            &(0..x.rows())
+                .map(|r| {
+                    let row = x.row(r);
+                    self.pairs.iter().map(|&(i, j)| row[i] * row[j]).collect()
+                })
+                .collect::<Vec<Vec<f64>>>(),
+        )?;
+        if extra.cols() == 0 {
+            return Ok(x.clone());
+        }
+        x.hcat(&extra)
+    }
+
+    fn name(&self) -> &'static str {
+        "polynomial_features"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roles_numeric(n: usize) -> Vec<FeatureRole> {
+        vec![FeatureRole::Numeric; n]
+    }
+
+    #[test]
+    fn imputer_mean_median_mode() {
+        // Column 0: [NaN, 1, 3, 5, 3] -> mean 3, median 3, mode 3.
+        // Column 1: [NaN, 0, 0, 9, 0] -> mean 2.25, median 0, mode 0.
+        let x = Matrix::from_vec(
+            vec![
+                f64::NAN,
+                f64::NAN,
+                1.0,
+                0.0,
+                3.0,
+                0.0,
+                5.0,
+                9.0,
+                3.0,
+                0.0,
+            ],
+            5,
+            2,
+        )
+        .unwrap();
+        for (strategy, e0, e1) in [(0u8, 3.0, 2.25), (1, 3.0, 0.0), (2, 3.0, 0.0)] {
+            let mut imp = SimpleImputer::new(strategy);
+            imp.fit(&x, &[], &roles_numeric(2)).unwrap();
+            let out = imp.transform(&x).unwrap();
+            assert!(!out.has_nan());
+            assert_eq!(out.get(0, 0), e0, "strategy {strategy} col0");
+            assert_eq!(out.get(0, 1), e1, "strategy {strategy} col1");
+        }
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let x = Matrix::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], 3, 2).unwrap();
+        let mut s = StandardScaler::default();
+        s.fit(&x, &[], &roles_numeric(2)).unwrap();
+        let out = s.transform(&x).unwrap();
+        for c in 0..2 {
+            let col = out.col(c);
+            let mean: f64 = col.iter().sum::<f64>() / 3.0;
+            let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_bounds() {
+        let x = Matrix::from_vec(vec![-5.0, 0.0, 5.0], 3, 1).unwrap();
+        let mut s = MinMaxScaler::default();
+        s.fit(&x, &[], &roles_numeric(1)).unwrap();
+        let out = s.transform(&x).unwrap();
+        assert_eq!(out.col(0), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn robust_scaler_ignores_outlier() {
+        let x = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1000.0], 5, 1).unwrap();
+        let mut s = RobustScaler::default();
+        s.fit(&x, &[], &roles_numeric(1)).unwrap();
+        let out = s.transform(&x).unwrap();
+        // Median 3, IQR = q75-q25 = 4-2 = 2; so 1000 -> huge, 3 -> 0.
+        assert_eq!(out.get(2, 0), 0.0);
+        assert!(out.get(4, 0) > 100.0);
+    }
+
+    #[test]
+    fn normalizer_unit_rows() {
+        let x = Matrix::from_vec(vec![3.0, 4.0, 0.0, 0.0], 2, 2).unwrap();
+        let out = Normalizer.transform(&x).unwrap();
+        assert!((out.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((out.get(0, 1) - 0.8).abs() < 1e-12);
+        // Zero rows are left untouched.
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_expands_categorical_codes_only() {
+        let x = Matrix::from_vec(vec![0.0, 7.5, 1.0, 8.5, 2.0, 9.5], 3, 2).unwrap();
+        let roles = vec![
+            FeatureRole::CategoricalCode { cardinality: 3 },
+            FeatureRole::Numeric,
+        ];
+        let mut enc = OneHotEncoder::new(32);
+        let out_roles = enc.fit(&x, &[], &roles).unwrap();
+        assert_eq!(out_roles.len(), 4);
+        let out = enc.transform(&x).unwrap();
+        assert_eq!(out.row(0), &[1.0, 0.0, 0.0, 7.5]);
+        assert_eq!(out.row(2), &[0.0, 0.0, 1.0, 9.5]);
+    }
+
+    #[test]
+    fn one_hot_unseen_code_is_all_zero() {
+        let x = Matrix::from_vec(vec![0.0, 1.0], 2, 1).unwrap();
+        let roles = vec![FeatureRole::CategoricalCode { cardinality: 2 }];
+        let mut enc = OneHotEncoder::new(32);
+        enc.fit(&x, &[], &roles).unwrap();
+        let test = Matrix::from_vec(vec![5.0, f64::NAN], 2, 1).unwrap();
+        let out = enc.transform(&test).unwrap();
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_skips_high_cardinality() {
+        let x = Matrix::zeros(2, 1);
+        let roles = vec![FeatureRole::CategoricalCode { cardinality: 100 }];
+        let mut enc = OneHotEncoder::new(32);
+        let out_roles = enc.fit(&x, &[], &roles).unwrap();
+        assert_eq!(out_roles, roles, "high-cardinality passes through");
+    }
+
+    #[test]
+    fn variance_threshold_drops_constant() {
+        let x = Matrix::from_vec(vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0], 3, 2).unwrap();
+        let mut vt = VarianceThreshold::new(0.0);
+        let out_roles = vt.fit(&x, &[], &roles_numeric(2)).unwrap();
+        assert_eq!(out_roles.len(), 1);
+        let out = vt.transform(&x).unwrap();
+        assert_eq!(out.col(0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn variance_threshold_keeps_best_when_all_would_drop() {
+        let x = Matrix::from_vec(vec![1.0, 5.0, 1.0, 5.0], 2, 2).unwrap();
+        let mut vt = VarianceThreshold::new(100.0);
+        let out_roles = vt.fit(&x, &[], &roles_numeric(2)).unwrap();
+        assert_eq!(out_roles.len(), 1, "never emits an empty matrix");
+    }
+
+    #[test]
+    fn select_k_best_prefers_correlated_feature() {
+        // Feature 0 = y exactly, feature 1 = noise-ish constant pattern.
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let x = Matrix::from_vec(
+            vec![1.0, 9.0, 2.0, 1.0, 3.0, 9.0, 4.0, 1.0],
+            4,
+            2,
+        )
+        .unwrap();
+        let mut sel = SelectKBest::new(1);
+        sel.fit(&x, &y, &roles_numeric(2)).unwrap();
+        let out = sel.transform(&x).unwrap();
+        assert_eq!(out.col(0), y);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along y = x; first component should capture ~all variance.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t, t + 0.001 * ((i % 3) as f64)]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut pca = Pca::new(1);
+        let out_roles = pca.fit(&x, &[], &roles_numeric(2)).unwrap();
+        assert_eq!(out_roles.len(), 1);
+        let out = pca.transform(&x).unwrap();
+        // Projection variance should be close to total variance of the data.
+        let proj = out.col(0);
+        let mean = proj.iter().sum::<f64>() / proj.len() as f64;
+        let var_proj: f64 = proj.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / proj.len() as f64;
+        let total_var: f64 = (0..2)
+            .map(|c| {
+                let col = x.col(c);
+                let m = col.iter().sum::<f64>() / col.len() as f64;
+                col.iter().map(|v| (v - m).powi(2)).sum::<f64>() / col.len() as f64
+            })
+            .sum();
+        assert!(var_proj / total_var > 0.99);
+    }
+
+    #[test]
+    fn pca_caps_components_at_input_dims() {
+        let x = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let mut pca = Pca::new(10);
+        let out_roles = pca.fit(&x, &[], &roles_numeric(2)).unwrap();
+        assert_eq!(out_roles.len(), 2);
+    }
+
+    #[test]
+    fn polynomial_features_appends_products() {
+        let x = Matrix::from_vec(vec![2.0, 3.0], 1, 2).unwrap();
+        let mut poly = PolynomialFeatures::new(10);
+        let out_roles = poly.fit(&x, &[], &roles_numeric(2)).unwrap();
+        // 2 original + 3 pairs (0,0), (0,1), (1,1).
+        assert_eq!(out_roles.len(), 5);
+        let out = poly.transform(&x).unwrap();
+        assert_eq!(out.row(0), &[2.0, 3.0, 4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn polynomial_features_respects_cap() {
+        let x = Matrix::zeros(1, 10);
+        let mut poly = PolynomialFeatures::new(12);
+        let out_roles = poly.fit(&x, &[], &roles_numeric(10)).unwrap();
+        assert_eq!(out_roles.len(), 12);
+    }
+
+    #[test]
+    fn build_transformer_validates_params() {
+        let mut p = TParams::new();
+        p.insert("threshold".into(), -1.0);
+        assert!(build_transformer(TransformerKind::VarianceThreshold, &p).is_err());
+        p.clear();
+        p.insert("k".into(), 0.0);
+        assert!(build_transformer(TransformerKind::SelectKBest, &p).is_err());
+        assert!(build_transformer(TransformerKind::StandardScaler, &TParams::new()).is_ok());
+    }
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in TransformerKind::ALL {
+            assert_eq!(TransformerKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(TransformerKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let x = Matrix::zeros(2, 3);
+        let mut s = StandardScaler::default();
+        s.fit(&x, &[], &roles_numeric(3)).unwrap();
+        assert!(s.transform(&Matrix::zeros(2, 2)).is_err());
+    }
+}

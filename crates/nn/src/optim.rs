@@ -1,0 +1,163 @@
+//! Adam optimizer.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// The Adam optimizer (Kingma & Ba) over a [`ParamStore`].
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate and default betas
+    /// (0.9, 0.999).
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update from the store's accumulated gradients. Moment
+    /// buffers are lazily sized on first use; the store must not change its
+    /// parameter set between steps.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let n = store.len();
+        while self.m.len() < n {
+            let i = self.m.len();
+            let (r, c) = {
+                let ids: Vec<_> = store.iter_ids().map(|(id, _)| id).collect();
+                let t = store.value(ids[i]);
+                (t.rows(), t.cols())
+            };
+            self.m.push(Tensor::zeros(r, c));
+            self.v.push(Tensor::zeros(r, c));
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = store.iter_ids().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mv, vv), gv) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let value = store.value_mut(id);
+            for ((pv, mv), vv) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let m_hat = mv / b1t;
+                let v_hat = vv / b2t;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize (w - 3)^2 elementwise.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::full(1, 4, 10.0));
+        let mut adam = Adam::new(0.2);
+        for _ in 0..300 {
+            store.zero_grads();
+            let grad = {
+                let mut data = store.value(w).clone();
+                for v in data.as_mut_slice() {
+                    *v = 2.0 * (*v - 3.0);
+                }
+                data
+            };
+            store.accumulate_grad(w, &grad);
+            adam.step(&mut store);
+        }
+        for v in store.value(w).as_slice() {
+            assert!((v - 3.0).abs() < 1e-2, "converged value {v}");
+        }
+    }
+
+    #[test]
+    fn adam_with_tape_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w = store.xavier("w", 2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, -0.5, 0.3, 2.0], 2, 2).unwrap();
+        let targets = [0usize, 1];
+        let loss_at = |store: &ParamStore| {
+            let mut tape = Tape::new(store);
+            let xi = tape.input(x.clone());
+            let wp = tape.param(w);
+            let z = tape.matmul(xi, wp).unwrap();
+            let l = tape.softmax_ce(z, &targets).unwrap();
+            tape.value(l).get(0, 0)
+        };
+        let before = loss_at(&store);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..50 {
+            let grads = {
+                let mut tape = Tape::new(&store);
+                let xi = tape.input(x.clone());
+                let wp = tape.param(w);
+                let z = tape.matmul(xi, wp).unwrap();
+                let l = tape.softmax_ce(z, &targets).unwrap();
+                tape.backward(l).unwrap()
+            };
+            store.zero_grads();
+            for (id, g) in grads {
+                store.accumulate_grad(id, &g);
+            }
+            adam.step(&mut store);
+        }
+        let after = loss_at(&store);
+        assert!(after < before * 0.2, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut a = Adam::new(0.01);
+        assert_eq!(a.learning_rate(), 0.01);
+        a.set_learning_rate(0.001);
+        assert_eq!(a.learning_rate(), 0.001);
+    }
+}

@@ -1,0 +1,780 @@
+//! Eager reverse-mode autodiff tape.
+//!
+//! Operations execute immediately (values are available right away, which
+//! the graph generator needs to make sampling decisions mid-forward) while
+//! recording themselves on the tape; [`Tape::backward`] then walks the
+//! recorded ops in reverse and returns per-parameter gradients.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use crate::{NnError, Result};
+
+/// Handle to an intermediate value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorRef(usize);
+
+enum Op {
+    /// Parameter or constant input; `Some(id)` receives gradients.
+    Leaf(Option<ParamId>),
+    Matmul(usize, usize),
+    Add(usize, usize),
+    /// `a + bias` with `bias` a 1×c row broadcast over a's rows.
+    AddBias(usize, usize),
+    Mul(usize, usize),
+    Scale(usize, f32),
+    Tanh(usize),
+    Sigmoid(usize),
+    Relu(usize),
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    /// Shape change with identical row-major data (free; gradient passes
+    /// through reshaped).
+    Reshape(usize),
+    SumRows(usize),
+    MeanRows(usize),
+    GatherRows(usize, Vec<usize>),
+    /// Scatter-add rows of the input into an output with `out_rows` rows.
+    ScatterSumRows(usize, Vec<usize>),
+    /// Mean softmax cross-entropy; stores the softmax probabilities.
+    SoftmaxCe {
+        logits: usize,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
+    /// Mean sigmoid binary cross-entropy over an n×1 logit column.
+    SigmoidBce {
+        logits: usize,
+        targets: Vec<f32>,
+        probs: Tensor,
+    },
+}
+
+/// The autodiff tape. Create one per forward pass.
+pub struct Tape<'a> {
+    store: &'a ParamStore,
+    values: Vec<Tensor>,
+    ops: Vec<Op>,
+}
+
+impl<'a> Tape<'a> {
+    /// Creates an empty tape reading parameters from `store`.
+    pub fn new(store: &'a ParamStore) -> Tape<'a> {
+        Tape {
+            store,
+            values: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> TensorRef {
+        self.values.push(value);
+        self.ops.push(op);
+        TensorRef(self.values.len() - 1)
+    }
+
+    /// The computed value behind a ref.
+    pub fn value(&self, r: TensorRef) -> &Tensor {
+        &self.values[r.0]
+    }
+
+    /// Registers a parameter as a tape leaf (its value is copied).
+    pub fn param(&mut self, id: ParamId) -> TensorRef {
+        self.push(self.store.value(id).clone(), Op::Leaf(Some(id)))
+    }
+
+    /// Registers a constant input (no gradient).
+    pub fn input(&mut self, t: Tensor) -> TensorRef {
+        self.push(t, Op::Leaf(None))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        let v = self.values[a.0].matmul(&self.values[b.0])?;
+        Ok(self.push(v, Op::Matmul(a.0, b.0)))
+    }
+
+    /// Elementwise sum of same-shape tensors.
+    pub fn add(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        let mut v = self.values[a.0].clone();
+        v.add_assign(&self.values[b.0])?;
+        Ok(self.push(v, Op::Add(a.0, b.0)))
+    }
+
+    /// Adds a 1×c bias row to every row of `a`.
+    pub fn add_bias(&mut self, a: TensorRef, bias: TensorRef) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        let bt = &self.values[bias.0];
+        if bt.rows() != 1 || bt.cols() != at.cols() {
+            return Err(NnError::Shape(format!(
+                "add_bias: bias {}x{} for value {}x{}",
+                bt.rows(),
+                bt.cols(),
+                at.rows(),
+                at.cols()
+            )));
+        }
+        let mut v = at.clone();
+        for r in 0..v.rows() {
+            for (o, b) in v.row_mut(r).iter_mut().zip(bt.row(0)) {
+                *o += b;
+            }
+        }
+        Ok(self.push(v, Op::AddBias(a.0, bias.0)))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        let bt = &self.values[b.0];
+        if at.rows() != bt.rows() || at.cols() != bt.cols() {
+            return Err(NnError::Shape("mul: shape mismatch".into()));
+        }
+        let data: Vec<f32> = at
+            .as_slice()
+            .iter()
+            .zip(bt.as_slice())
+            .map(|(x, y)| x * y)
+            .collect();
+        let v = Tensor::from_vec(data, at.rows(), at.cols())?;
+        Ok(self.push(v, Op::Mul(a.0, b.0)))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: TensorRef, s: f32) -> TensorRef {
+        let mut v = self.values[a.0].clone();
+        v.scale_assign(s);
+        self.push(v, Op::Scale(a.0, s))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: TensorRef) -> TensorRef {
+        let at = &self.values[a.0];
+        let data: Vec<f32> = at.as_slice().iter().map(|v| v.tanh()).collect();
+        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorRef) -> TensorRef {
+        let at = &self.values[a.0];
+        let data: Vec<f32> = at
+            .as_slice()
+            .iter()
+            .map(|v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: TensorRef) -> TensorRef {
+        let at = &self.values[a.0];
+        let data: Vec<f32> = at.as_slice().iter().map(|v| v.max(0.0)).collect();
+        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Concatenates two matrices with equal row counts along columns.
+    pub fn concat_cols(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        let bt = &self.values[b.0];
+        if at.rows() != bt.rows() {
+            return Err(NnError::Shape("concat_cols: row mismatch".into()));
+        }
+        let mut v = Tensor::zeros(at.rows(), at.cols() + bt.cols());
+        for r in 0..at.rows() {
+            let row = v.row_mut(r);
+            row[..at.cols()].copy_from_slice(at.row(r));
+            row[at.cols()..].copy_from_slice(bt.row(r));
+        }
+        Ok(self.push(v, Op::ConcatCols(a.0, b.0)))
+    }
+
+    /// Stacks two matrices with equal column counts along rows.
+    pub fn concat_rows(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        let bt = &self.values[b.0];
+        if at.cols() != bt.cols() {
+            return Err(NnError::Shape("concat_rows: column mismatch".into()));
+        }
+        let mut data = Vec::with_capacity(at.len() + bt.len());
+        data.extend_from_slice(at.as_slice());
+        data.extend_from_slice(bt.as_slice());
+        let v = Tensor::from_vec(data, at.rows() + bt.rows(), at.cols())?;
+        Ok(self.push(v, Op::ConcatRows(a.0, b.0)))
+    }
+
+    /// Reinterprets a tensor with a new shape of equal element count.
+    pub fn reshape(&mut self, a: TensorRef, rows: usize, cols: usize) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        if at.len() != rows * cols {
+            return Err(NnError::Shape(format!(
+                "reshape: {} elements into {rows}x{cols}",
+                at.len()
+            )));
+        }
+        let v = Tensor::from_vec(at.as_slice().to_vec(), rows, cols)?;
+        Ok(self.push(v, Op::Reshape(a.0)))
+    }
+
+    /// Sums all rows into a 1×c vector.
+    pub fn sum_rows(&mut self, a: TensorRef) -> TensorRef {
+        let at = &self.values[a.0];
+        let mut v = Tensor::zeros(1, at.cols());
+        for r in 0..at.rows() {
+            for (o, x) in v.row_mut(0).iter_mut().zip(at.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::SumRows(a.0))
+    }
+
+    /// Averages all rows into a 1×c vector.
+    pub fn mean_rows(&mut self, a: TensorRef) -> TensorRef {
+        let at = &self.values[a.0];
+        let n = at.rows().max(1) as f32;
+        let mut v = Tensor::zeros(1, at.cols());
+        for r in 0..at.rows() {
+            for (o, x) in v.row_mut(0).iter_mut().zip(at.row(r)) {
+                *o += x / n;
+            }
+        }
+        self.push(v, Op::MeanRows(a.0))
+    }
+
+    /// Selects rows by index (embedding lookup; indices may repeat).
+    pub fn gather_rows(&mut self, a: TensorRef, idx: &[usize]) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        for &i in idx {
+            if i >= at.rows() {
+                return Err(NnError::Index(format!(
+                    "gather_rows: row {i} of {}",
+                    at.rows()
+                )));
+            }
+        }
+        let mut v = Tensor::zeros(idx.len(), at.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(at.row(i));
+        }
+        Ok(self.push(v, Op::GatherRows(a.0, idx.to_vec())))
+    }
+
+    /// Scatter-adds row `e` of the input into output row `idx[e]`
+    /// (message aggregation). The output has `out_rows` rows.
+    pub fn scatter_sum_rows(
+        &mut self,
+        a: TensorRef,
+        idx: &[usize],
+        out_rows: usize,
+    ) -> Result<TensorRef> {
+        let at = &self.values[a.0];
+        if idx.len() != at.rows() {
+            return Err(NnError::Shape(format!(
+                "scatter_sum_rows: {} indices for {} rows",
+                idx.len(),
+                at.rows()
+            )));
+        }
+        for &i in idx {
+            if i >= out_rows {
+                return Err(NnError::Index(format!(
+                    "scatter_sum_rows: target {i} of {out_rows}"
+                )));
+            }
+        }
+        let mut v = Tensor::zeros(out_rows, at.cols());
+        for (e, &i) in idx.iter().enumerate() {
+            for (o, x) in v.row_mut(i).iter_mut().zip(at.row(e)) {
+                *o += x;
+            }
+        }
+        Ok(self.push(v, Op::ScatterSumRows(a.0, idx.to_vec())))
+    }
+
+    /// Mean softmax cross-entropy of n×k logits against n class targets;
+    /// returns a 1×1 loss.
+    #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
+    pub fn softmax_ce(&mut self, logits: TensorRef, targets: &[usize]) -> Result<TensorRef> {
+        let lt = &self.values[logits.0];
+        if targets.len() != lt.rows() {
+            return Err(NnError::Shape(format!(
+                "softmax_ce: {} targets for {} rows",
+                targets.len(),
+                lt.rows()
+            )));
+        }
+        let k = lt.cols();
+        let mut probs = Tensor::zeros(lt.rows(), k);
+        let mut loss = 0.0f32;
+        for r in 0..lt.rows() {
+            let t = targets[r];
+            if t >= k {
+                return Err(NnError::Index(format!("softmax_ce: class {t} of {k}")));
+            }
+            let row = lt.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (c, v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                probs.set(r, c, e);
+                sum += e;
+            }
+            for c in 0..k {
+                probs.set(r, c, probs.get(r, c) / sum);
+            }
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= lt.rows().max(1) as f32;
+        let v = Tensor::from_vec(vec![loss], 1, 1)?;
+        Ok(self.push(
+            v,
+            Op::SoftmaxCe {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs,
+            },
+        ))
+    }
+
+    /// Mean sigmoid binary cross-entropy of n×1 logits against 0/1 targets;
+    /// returns a 1×1 loss.
+    #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
+    pub fn sigmoid_bce(&mut self, logits: TensorRef, targets: &[f32]) -> Result<TensorRef> {
+        let lt = &self.values[logits.0];
+        if lt.cols() != 1 || targets.len() != lt.rows() {
+            return Err(NnError::Shape(format!(
+                "sigmoid_bce: logits {}x{}, {} targets",
+                lt.rows(),
+                lt.cols(),
+                targets.len()
+            )));
+        }
+        let mut probs = Tensor::zeros(lt.rows(), 1);
+        let mut loss = 0.0f32;
+        for r in 0..lt.rows() {
+            let p = 1.0 / (1.0 + (-lt.get(r, 0)).exp());
+            probs.set(r, 0, p);
+            let t = targets[r];
+            loss -= t * p.max(1e-12).ln() + (1.0 - t) * (1.0 - p).max(1e-12).ln();
+        }
+        loss /= lt.rows().max(1) as f32;
+        let v = Tensor::from_vec(vec![loss], 1, 1)?;
+        Ok(self.push(
+            v,
+            Op::SigmoidBce {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs,
+            },
+        ))
+    }
+
+    /// Runs backward from a scalar loss, returning `(param, gradient)`
+    /// pairs for every parameter leaf reached.
+    #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
+    pub fn backward(&self, loss: TensorRef) -> Result<Vec<(ParamId, Tensor)>> {
+        let lt = &self.values[loss.0];
+        if lt.rows() != 1 || lt.cols() != 1 {
+            return Err(NnError::Shape("backward: loss must be 1x1".into()));
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.values.len()];
+        grads[loss.0] = Some(Tensor::full(1, 1, 1.0));
+
+        let mut out = Vec::new();
+        for i in (0..self.ops.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.ops[i] {
+                Op::Leaf(Some(id)) => out.push((*id, g)),
+                Op::Leaf(None) => {}
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul(&self.values[*b].transpose())?;
+                    let gb = self.values[*a].transpose().matmul(&g)?;
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddBias(a, bias) => {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, gb);
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Mul(a, b) => {
+                    let ga = elementwise(&g, &self.values[*b]);
+                    let gb = elementwise(&g, &self.values[*a]);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Scale(a, s) => {
+                    let mut ga = g;
+                    ga.scale_assign(*s);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.values[i];
+                    let data: Vec<f32> = g
+                        .as_slice()
+                        .iter()
+                        .zip(y.as_slice())
+                        .map(|(gv, yv)| gv * (1.0 - yv * yv))
+                        .collect();
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::from_vec(data, g.rows(), g.cols())?,
+                    );
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.values[i];
+                    let data: Vec<f32> = g
+                        .as_slice()
+                        .iter()
+                        .zip(y.as_slice())
+                        .map(|(gv, yv)| gv * yv * (1.0 - yv))
+                        .collect();
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::from_vec(data, g.rows(), g.cols())?,
+                    );
+                }
+                Op::Relu(a) => {
+                    let x = &self.values[*a];
+                    let data: Vec<f32> = g
+                        .as_slice()
+                        .iter()
+                        .zip(x.as_slice())
+                        .map(|(gv, xv)| if *xv > 0.0 { *gv } else { 0.0 })
+                        .collect();
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::from_vec(data, g.rows(), g.cols())?,
+                    );
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.values[*a].cols();
+                    let mut ga = Tensor::zeros(g.rows(), ac);
+                    let mut gb = Tensor::zeros(g.rows(), g.cols() - ac);
+                    for r in 0..g.rows() {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ar = self.values[*a].rows();
+                    let cols = g.cols();
+                    let mut ga = Tensor::zeros(ar, cols);
+                    let mut gb = Tensor::zeros(g.rows() - ar, cols);
+                    for r in 0..ar {
+                        ga.row_mut(r).copy_from_slice(g.row(r));
+                    }
+                    for r in ar..g.rows() {
+                        gb.row_mut(r - ar).copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Reshape(a) => {
+                    let src = &self.values[*a];
+                    let ga = Tensor::from_vec(
+                        g.as_slice().to_vec(),
+                        src.rows(),
+                        src.cols(),
+                    )?;
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SumRows(a) => {
+                    let rows = self.values[*a].rows();
+                    let mut ga = Tensor::zeros(rows, g.cols());
+                    for r in 0..rows {
+                        ga.row_mut(r).copy_from_slice(g.row(0));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::MeanRows(a) => {
+                    let rows = self.values[*a].rows();
+                    let s = 1.0 / rows.max(1) as f32;
+                    let mut ga = Tensor::zeros(rows, g.cols());
+                    for r in 0..rows {
+                        for (o, x) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = x * s;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::GatherRows(a, idx) => {
+                    let mut ga = Tensor::zeros(self.values[*a].rows(), g.cols());
+                    for (r, &i) in idx.iter().enumerate() {
+                        for (o, x) in ga.row_mut(i).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ScatterSumRows(a, idx) => {
+                    let mut ga = Tensor::zeros(idx.len(), g.cols());
+                    for (e, &i) in idx.iter().enumerate() {
+                        ga.row_mut(e).copy_from_slice(g.row(i));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SoftmaxCe {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let upstream = g.get(0, 0);
+                    let n = targets.len().max(1) as f32;
+                    let mut gl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        gl.set(r, t, gl.get(r, t) - 1.0);
+                    }
+                    gl.scale_assign(upstream / n);
+                    accumulate(&mut grads, *logits, gl);
+                }
+                Op::SigmoidBce {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let upstream = g.get(0, 0);
+                    let n = targets.len().max(1) as f32;
+                    let mut gl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        gl.set(r, 0, gl.get(r, 0) - t);
+                    }
+                    gl.scale_assign(upstream / n);
+                    accumulate(&mut grads, *logits, gl);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], at: usize, delta: Tensor) {
+    match &mut grads[at] {
+        Some(g) => g.add_assign(&delta).expect("gradient shapes match"),
+        slot => *slot = Some(delta),
+    }
+}
+
+fn elementwise(a: &Tensor, b: &Tensor) -> Tensor {
+    let data: Vec<f32> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
+    Tensor::from_vec(data, a.rows(), a.cols()).expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference check: perturb each scalar of each parameter and
+    /// compare the loss delta to the analytic gradient.
+    fn check_gradients<F>(store: &mut ParamStore, forward: F)
+    where
+        F: Fn(&mut Tape) -> TensorRef,
+    {
+        let analytic: Vec<(ParamId, Tensor)> = {
+            let mut tape = Tape::new(store);
+            let loss = forward(&mut tape);
+            tape.backward(loss).unwrap()
+        };
+        let eps = 1e-3f32;
+        for (id, grad) in &analytic {
+            let (rows, cols) = {
+                let v = store.value(*id);
+                (v.rows(), v.cols())
+            };
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = store.value(*id).get(r, c);
+                    store.value_mut(*id).set(r, c, orig + eps);
+                    let up = {
+                        let mut tape = Tape::new(store);
+                        let l = forward(&mut tape);
+                        tape.value(l).get(0, 0)
+                    };
+                    store.value_mut(*id).set(r, c, orig - eps);
+                    let down = {
+                        let mut tape = Tape::new(store);
+                        let l = forward(&mut tape);
+                        tape.value(l).get(0, 0)
+                    };
+                    store.value_mut(*id).set(r, c, orig);
+                    let numeric = (up - down) / (2.0 * eps);
+                    let a = grad.get(r, c);
+                    assert!(
+                        (numeric - a).abs() < 2e-2 * (1.0 + a.abs()),
+                        "param grad mismatch at ({r},{c}): numeric {numeric} vs analytic {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_linear_softmax() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.xavier("w", 3, 4, &mut rng);
+        let b = store.xavier("b", 1, 4, &mut rng);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3], 2, 3).unwrap();
+        check_gradients(&mut store, |tape| {
+            let wp = tape.param(w);
+            let bp = tape.param(b);
+            let xi = tape.input(x.clone());
+            let z = tape.matmul(xi, wp).unwrap();
+            let z = tape.add_bias(z, bp).unwrap();
+            tape.softmax_ce(z, &[1, 3]).unwrap()
+        });
+    }
+
+    #[test]
+    fn gradcheck_tanh_sigmoid_relu_mul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let a = store.xavier("a", 2, 3, &mut rng);
+        let b = store.xavier("b", 2, 3, &mut rng);
+        check_gradients(&mut store, |tape| {
+            let ap = tape.param(a);
+            let bp = tape.param(b);
+            let t = tape.tanh(ap);
+            let s = tape.sigmoid(bp);
+            let m = tape.mul(t, s).unwrap();
+            let r = tape.relu(m);
+            let sum = tape.sum_rows(r);
+            let sum2 = tape.mean_rows(sum);
+            // Reduce 1×3 to 1×1 via a fixed projection input.
+            let proj = tape.input(Tensor::from_vec(vec![1.0, -2.0, 0.5], 3, 1).unwrap());
+            tape.matmul(sum2, proj).unwrap()
+        });
+    }
+
+    #[test]
+    fn gradcheck_gather_scatter_concat() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let emb = store.xavier("emb", 4, 3, &mut rng);
+        let w = store.xavier("w", 6, 1, &mut rng);
+        check_gradients(&mut store, |tape| {
+            let e = tape.param(emb);
+            let src = tape.gather_rows(e, &[0, 2, 2]).unwrap();
+            let dst = tape.gather_rows(e, &[1, 3, 0]).unwrap();
+            let cat = tape.concat_cols(src, dst).unwrap();
+            let agg = tape.scatter_sum_rows(cat, &[0, 1, 1], 2).unwrap();
+            let wp = tape.param(w);
+            let z = tape.matmul(agg, wp).unwrap();
+            tape.sigmoid_bce(z, &[1.0, 0.0]).unwrap()
+        });
+    }
+
+    #[test]
+    fn gradcheck_concat_rows() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let a = store.xavier("a", 1, 3, &mut rng);
+        let b = store.xavier("b", 2, 3, &mut rng);
+        check_gradients(&mut store, |tape| {
+            let ap = tape.param(a);
+            let bp = tape.param(b);
+            let cat = tape.concat_rows(ap, bp).unwrap();
+            let pooled = tape.mean_rows(cat);
+            let proj = tape.input(Tensor::from_vec(vec![1.0, -1.0, 2.0], 3, 1).unwrap());
+            tape.matmul(pooled, proj).unwrap()
+        });
+    }
+
+    #[test]
+    fn gradcheck_reshape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let a = store.xavier("a", 3, 1, &mut rng);
+        check_gradients(&mut store, |tape| {
+            let ap = tape.param(a);
+            let row = tape.reshape(ap, 1, 3).unwrap();
+            tape.softmax_ce(row, &[2]).unwrap()
+        });
+    }
+
+    #[test]
+    fn reshape_validates_element_count() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Tensor::zeros(2, 3));
+        assert!(tape.reshape(a, 3, 2).is_ok());
+        assert!(tape.reshape(a, 2, 2).is_err());
+    }
+
+    #[test]
+    fn gradcheck_scale_add() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let a = store.xavier("a", 1, 1, &mut rng);
+        let b = store.xavier("b", 1, 1, &mut rng);
+        check_gradients(&mut store, |tape| {
+            let ap = tape.param(a);
+            let bp = tape.param(b);
+            let s = tape.scale(ap, 3.0);
+            tape.add(s, bp).unwrap()
+        });
+    }
+
+    #[test]
+    fn softmax_ce_value_matches_hand_computation() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let logits = tape.input(Tensor::from_vec(vec![0.0, 0.0], 1, 2).unwrap());
+        let loss = tape.softmax_ce(logits, &[0]).unwrap();
+        // Uniform over 2 classes -> loss = ln 2.
+        assert!((tape.value(loss).get(0, 0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Tensor::zeros(2, 3));
+        let b = tape.input(Tensor::zeros(2, 3));
+        assert!(tape.matmul(a, b).is_err());
+        let bad_bias = tape.input(Tensor::zeros(2, 3));
+        assert!(tape.add_bias(a, bad_bias).is_err());
+        assert!(tape.gather_rows(a, &[5]).is_err());
+        assert!(tape.scatter_sum_rows(a, &[0], 3).is_err());
+        assert!(tape.softmax_ce(a, &[0]).is_err());
+        let non_scalar = tape.input(Tensor::zeros(2, 2));
+        assert!(tape.backward(non_scalar).is_err());
+    }
+
+    #[test]
+    fn backward_ignores_constant_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let w = store.xavier("w", 2, 1, &mut rng);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0], 1, 2).unwrap());
+        let wp = tape.param(w);
+        let z = tape.matmul(x, wp).unwrap();
+        let loss = tape.sigmoid_bce(z, &[1.0]).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense row-major `f32` matrices.
+
+use crate::{NnError, Result};
+
+/// A dense row-major matrix of `f32`. Vectors are 1×n or n×1 matrices.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// Creates a tensor from row-major data.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Result<Tensor> {
+        if data.len() != rows * cols {
+            return Err(NnError::Shape(format!(
+                "data length {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Tensor { data, rows, cols })
+    }
+
+    /// Creates a zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
+        Tensor {
+            data: vec![v; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.cols != other.rows {
+            return Err(NnError::Shape(format!(
+                "matmul: {}x{} · {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NnError::Shape("add_assign: shape mismatch".into()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Scales all elements in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(a.matmul(&Tensor::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::full(2, 2, 1.0);
+        a.add_assign(&Tensor::full(2, 2, 2.0)).unwrap();
+        a.scale_assign(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 1.5, 1.5, 1.5]);
+        assert!(a.add_assign(&Tensor::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn norm() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], 1, 2).unwrap();
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Tensor::from_vec(vec![1.0], 2, 2).is_err());
+    }
+}

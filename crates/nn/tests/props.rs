@@ -1,0 +1,118 @@
+//! Property-based tests for the autodiff substrate: gradient checks on
+//! randomly-shaped composite graphs.
+
+use kgpip_nn::{ParamStore, Tape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random two-layer graphs with mixed activations pass a finite-
+    /// difference gradient check on every parameter.
+    #[test]
+    fn random_composites_gradcheck(
+        seed in 0u64..500,
+        rows in 1usize..4,
+        inner in 1usize..5,
+        act in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w1 = store.xavier("w1", 3, inner, &mut rng);
+        let w2 = store.xavier("w2", inner, 2, &mut rng);
+        let x_data: Vec<f32> = (0..rows * 3).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x = Tensor::from_vec(x_data, rows, 3).unwrap();
+        let targets: Vec<usize> = (0..rows).map(|i| i % 2).collect();
+
+        let forward = |store: &ParamStore| -> (f32, Vec<(kgpip_nn::ParamId, Tensor)>) {
+            let mut tape = Tape::new(store);
+            let xi = tape.input(x.clone());
+            let w1p = tape.param(w1);
+            let h = tape.matmul(xi, w1p).unwrap();
+            let h = match act {
+                0 => tape.tanh(h),
+                1 => tape.sigmoid(h),
+                _ => tape.relu(h),
+            };
+            let w2p = tape.param(w2);
+            let logits = tape.matmul(h, w2p).unwrap();
+            let loss = tape.softmax_ce(logits, &targets).unwrap();
+            (tape.value(loss).get(0, 0), tape.backward(loss).unwrap())
+        };
+        let (_, grads) = forward(&store);
+        let eps = 1e-3f32;
+        for (id, grad) in &grads {
+            for r in 0..grad.rows() {
+                for c in 0..grad.cols() {
+                    let orig = store.value(*id).get(r, c);
+                    store.value_mut(*id).set(r, c, orig + eps);
+                    let (up, _) = forward(&store);
+                    store.value_mut(*id).set(r, c, orig - eps);
+                    let (down, _) = forward(&store);
+                    store.value_mut(*id).set(r, c, orig);
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = grad.get(r, c);
+                    // ReLU kinks make exact agreement impossible; tolerate
+                    // a loose band proportional to magnitude.
+                    prop_assert!(
+                        (numeric - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
+                        "seed {seed} act {act}: ({r},{c}) numeric {numeric} vs {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Matmul distributes over add on the tape exactly as in plain algebra.
+    #[test]
+    fn tape_matches_plain_algebra(
+        a_data in proptest::collection::vec(-2.0f32..2.0, 6),
+        b_data in proptest::collection::vec(-2.0f32..2.0, 6),
+        v_data in proptest::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = Tensor::from_vec(a_data, 2, 3).unwrap();
+        let b = Tensor::from_vec(b_data, 2, 3).unwrap();
+        let v = Tensor::from_vec(v_data, 3, 1).unwrap();
+        let ai = tape.input(a.clone());
+        let bi = tape.input(b.clone());
+        let vi = tape.input(v.clone());
+        // (a + b)·v on tape
+        let sum = tape.add(ai, bi).unwrap();
+        let tape_result = tape.matmul(sum, vi).unwrap();
+        // a·v + b·v off tape
+        let mut direct = a.matmul(&v).unwrap();
+        direct.add_assign(&b.matmul(&v).unwrap()).unwrap();
+        for r in 0..2 {
+            prop_assert!((tape.value(tape_result).get(r, 0) - direct.get(r, 0)).abs() < 1e-4);
+        }
+    }
+
+    /// Gradient clipping caps the global norm without changing direction.
+    #[test]
+    fn clip_preserves_direction(
+        g1 in proptest::collection::vec(-10.0f32..10.0, 4),
+        max_norm in 0.1f32..5.0,
+    ) {
+        prop_assume!(g1.iter().any(|v| v.abs() > 1e-3));
+        let mut store = ParamStore::new();
+        let id = store.zeros("p", 2, 2);
+        store.accumulate_grad(id, &Tensor::from_vec(g1.clone(), 2, 2).unwrap());
+        let before = store.grad(id).clone();
+        store.clip_grads(max_norm);
+        let after = store.grad(id);
+        prop_assert!(store.grad_norm() <= max_norm + 1e-4);
+        // Direction preserved: after = s * before for a single scalar s.
+        let s = if before.as_slice()[0].abs() > 1e-6 {
+            after.as_slice()[0] / before.as_slice()[0]
+        } else {
+            1.0
+        };
+        for (x, y) in before.as_slice().iter().zip(after.as_slice()) {
+            prop_assert!((y - s * x).abs() < 1e-4);
+        }
+    }
+}

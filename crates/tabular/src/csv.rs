@@ -1,0 +1,281 @@
+//! A small RFC-4180-style CSV reader/writer.
+//!
+//! KGpip's mined pipelines almost universally begin with `pandas.read_csv`
+//! (paper §3.4–3.5: the dataset node "is assumed to flow into a read_csv
+//! call"), so the substrate provides an equivalent entry point:
+//! [`read_csv_str`] parses a CSV document into raw string cells and
+//! [`read_frame`] combines it with type inference to produce a typed
+//! [`DataFrame`].
+
+use crate::error::TabularError;
+use crate::frame::DataFrame;
+use crate::infer::infer_column;
+use crate::Result;
+
+/// A parsed CSV document: a header row plus raw string cells.
+/// Empty cells are `None` (missing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawCsv {
+    /// Column names from the header row.
+    pub header: Vec<String>,
+    /// Row-major cells; `cells[r][c]` pairs with `header[c]`.
+    pub cells: Vec<Vec<Option<String>>>,
+}
+
+/// Parses a CSV document with a header row. Supports quoted fields with
+/// embedded commas, newlines, and doubled quotes; both `\n` and `\r\n` line
+/// endings are accepted.
+pub fn read_csv_str(input: &str) -> Result<RawCsv> {
+    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<Option<String>> = Vec::new();
+    let mut in_quotes = false;
+    let mut field_was_quoted = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+
+    fn finish_field(
+        field: &mut String,
+        quoted: &mut bool,
+        record: &mut Vec<Option<String>>,
+    ) {
+        let value = std::mem::take(field);
+        if value.is_empty() && !*quoted {
+            record.push(None);
+        } else {
+            record.push(Some(value));
+        }
+        *quoted = false;
+    }
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push(ch);
+                    line += 1;
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(TabularError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+                field_was_quoted = true;
+            }
+            ',' => finish_field(&mut field, &mut field_was_quoted, &mut record),
+            '\r' => {
+                // Consumed as part of \r\n; a bare \r is treated as a newline.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+                finish_field(&mut field, &mut field_was_quoted, &mut record);
+                rows.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            '\n' => {
+                finish_field(&mut field, &mut field_was_quoted, &mut record);
+                rows.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            _ => field.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || field_was_quoted || !record.is_empty() {
+        finish_field(&mut field, &mut field_was_quoted, &mut record);
+        rows.push(record);
+    }
+
+    let mut iter = rows.into_iter();
+    let header_row = iter.next().ok_or(TabularError::Empty("csv document"))?;
+    let header: Vec<String> = header_row
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| h.unwrap_or_else(|| format!("col{i}")))
+        .collect();
+    let mut cells = Vec::new();
+    for (i, row) in iter.enumerate() {
+        if row.len() != header.len() {
+            return Err(TabularError::Csv {
+                line: i + 2,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    row.len()
+                ),
+            });
+        }
+        cells.push(row);
+    }
+    Ok(RawCsv { header, cells })
+}
+
+/// Parses a CSV document and infers a typed [`DataFrame`] from it.
+pub fn read_frame(input: &str) -> Result<DataFrame> {
+    let raw = read_csv_str(input)?;
+    let ncols = raw.header.len();
+    let mut frame = DataFrame::new();
+    for c in 0..ncols {
+        let values: Vec<Option<&str>> = raw
+            .cells
+            .iter()
+            .map(|row| row[c].as_deref())
+            .collect();
+        let column = infer_column(&values);
+        // Duplicate headers get positional suffixes rather than failing;
+        // keep extending until unique (a file may already contain `a.1`).
+        let mut name = raw.header[c].clone();
+        while frame.names().contains(&name) {
+            name = format!("{name}.{c}");
+        }
+        frame.push(name, column)?;
+    }
+    Ok(frame)
+}
+
+/// Serializes a frame to CSV with a header row. Missing cells render empty;
+/// fields containing commas, quotes or newlines are quoted.
+pub fn write_csv(frame: &DataFrame) -> String {
+    fn escape(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &frame
+            .names()
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for r in 0..frame.num_rows() {
+        let row: Vec<String> = frame
+            .columns()
+            .iter()
+            .map(|c| c.as_string(r).map(|s| escape(&s)).unwrap_or_default())
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let raw = read_csv_str("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(raw.header, vec!["a", "b"]);
+        assert_eq!(raw.cells.len(), 2);
+        assert_eq!(raw.cells[1][0].as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn handles_quotes_commas_and_embedded_newlines() {
+        let raw = read_csv_str("t\n\"a, b\"\n\"line1\nline2\"\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(raw.cells[0][0].as_deref(), Some("a, b"));
+        assert_eq!(raw.cells[1][0].as_deref(), Some("line1\nline2"));
+        assert_eq!(raw.cells[2][0].as_deref(), Some("he said \"hi\""));
+    }
+
+    #[test]
+    fn empty_unquoted_cell_is_missing_but_quoted_empty_is_not() {
+        let raw = read_csv_str("a,b\n,\"\"\n").unwrap();
+        assert_eq!(raw.cells[0][0], None);
+        assert_eq!(raw.cells[0][1].as_deref(), Some(""));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let raw = read_csv_str("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(raw.cells.len(), 1);
+        assert_eq!(raw.cells[0][1].as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_fine() {
+        let raw = read_csv_str("a\n1").unwrap();
+        assert_eq!(raw.cells.len(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let err = read_csv_str("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            read_csv_str("a\n\"oops\n"),
+            Err(TabularError::Csv { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_infers_types() {
+        let f = read_frame("x,city,essay\n1.5,paris,hello there friend\n2.5,lyon,more words here\n3.5,paris,lots of unique text\n").unwrap();
+        assert_eq!(f.column("x").unwrap().kind(), ColumnKind::Numeric);
+        assert_eq!(f.column("city").unwrap().kind(), ColumnKind::Categorical);
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells() {
+        let input = "a,b\n1,hello\n2,\"x,y\"\n";
+        let f = read_frame(input).unwrap();
+        let out = write_csv(&f);
+        let f2 = read_frame(&out).unwrap();
+        assert_eq!(f2.num_rows(), f.num_rows());
+        assert_eq!(
+            f2.column("b").unwrap().as_string(1),
+            f.column("b").unwrap().as_string(1)
+        );
+    }
+
+    #[test]
+    fn duplicate_headers_get_suffixes() {
+        let f = read_frame("a,a\n1,2\n").unwrap();
+        assert_eq!(f.names(), &["a".to_string(), "a.1".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_headers_survive_existing_suffix_collisions() {
+        // `a.1` already exists; the dedup of the second `a` must not
+        // collide with it.
+        let f = read_frame("a,a.1,a\n1,2,3\n").unwrap();
+        assert_eq!(f.num_columns(), 3);
+        let mut names = f.names().to_vec();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! Supervised datasets: a feature frame plus a target column and task type.
+
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::frame::DataFrame;
+use crate::infer::infer_task;
+use crate::Result;
+
+/// The supervised learning task of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Binary classification (2 classes).
+    Binary,
+    /// Multi-class classification with the given number of classes (≥ 3).
+    MultiClass(usize),
+    /// Regression on a continuous target.
+    Regression,
+}
+
+impl Task {
+    /// Builds the right classification variant for `classes` classes.
+    pub fn classification(classes: usize) -> Task {
+        if classes <= 2 {
+            Task::Binary
+        } else {
+            Task::MultiClass(classes)
+        }
+    }
+
+    /// Number of classes; 0 for regression.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            Task::Binary => 2,
+            Task::MultiClass(k) => *k,
+            Task::Regression => 0,
+        }
+    }
+
+    /// True for either classification variant.
+    pub fn is_classification(&self) -> bool {
+        !matches!(self, Task::Regression)
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Task::Binary => write!(f, "binary"),
+            Task::MultiClass(k) => write!(f, "multi-class({k})"),
+            Task::Regression => write!(f, "regression"),
+        }
+    }
+}
+
+/// A named supervised dataset: features, target, and task.
+///
+/// For classification the target is stored as class indices `0..k`; the
+/// original labels are kept in `class_labels`. For regression the target is
+/// the raw numeric value.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. the Table-4 benchmark name).
+    pub name: String,
+    /// Feature columns.
+    pub features: DataFrame,
+    /// Per-row target: class index for classification, value for regression.
+    pub target: Vec<f64>,
+    /// The inferred or declared task.
+    pub task: Task,
+    /// Class labels for classification tasks, indexed by class id.
+    pub class_labels: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a frame by designating one column as the
+    /// target; the task is inferred from the target's distribution.
+    ///
+    /// Rows with a missing target are dropped (they carry no supervision).
+    pub fn from_frame(name: impl Into<String>, mut frame: DataFrame, target: &str) -> Result<Self> {
+        let target_col = frame.remove(target)?;
+        let task = infer_task(&target_col);
+        let keep: Vec<usize> = (0..target_col.len())
+            .filter(|&i| match &target_col {
+                Column::Numeric(v) => v[i].is_some(),
+                Column::Categorical { codes, .. } => codes[i].is_some(),
+                Column::Text(v) => v[i].is_some(),
+            })
+            .collect();
+        if keep.is_empty() {
+            return Err(TabularError::Empty("dataset after dropping missing targets"));
+        }
+        let features = frame.take(&keep);
+        let target_col = target_col.take(&keep);
+
+        let (target, class_labels) = match (&task, &target_col) {
+            (Task::Regression, Column::Numeric(v)) => {
+                (v.iter().map(|x| x.unwrap()).collect(), Vec::new())
+            }
+            (_, col) => {
+                // Classification: map labels (strings or numbers) to 0..k by
+                // sorted label order for determinism.
+                let labels: Vec<String> =
+                    (0..col.len()).map(|i| col.as_string(i).unwrap()).collect();
+                let mut sorted: Vec<String> = labels.clone();
+                sorted.sort();
+                sorted.dedup();
+                let target = labels
+                    .iter()
+                    .map(|l| sorted.binary_search(l).unwrap() as f64)
+                    .collect();
+                (target, sorted)
+            }
+        };
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            target,
+            task,
+            class_labels,
+        })
+    }
+
+    /// Builds a dataset directly from parts, validating lengths.
+    pub fn new(
+        name: impl Into<String>,
+        features: DataFrame,
+        target: Vec<f64>,
+        task: Task,
+    ) -> Result<Self> {
+        if features.num_rows() != target.len() {
+            return Err(TabularError::LengthMismatch {
+                column: "<target>".into(),
+                expected: features.num_rows(),
+                actual: target.len(),
+            });
+        }
+        let class_labels = if task.is_classification() {
+            (0..task.num_classes()).map(|c| c.to_string()).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            target,
+            task,
+            class_labels,
+        })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.features.num_columns()
+    }
+
+    /// Selects rows into a new dataset (rows may repeat).
+    pub fn take(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            features: self.features.take(rows),
+            target: rows.iter().map(|&i| self.target[i]).collect(),
+            task: self.task,
+            class_labels: self.class_labels.clone(),
+        }
+    }
+
+    /// Per-class row counts for classification tasks (empty for regression).
+    pub fn class_counts(&self) -> Vec<usize> {
+        if !self.task.is_classification() {
+            return Vec::new();
+        }
+        let k = self.task.num_classes();
+        let mut counts = vec![0usize; k];
+        for &y in &self.target {
+            let c = y as usize;
+            if c < k {
+                counts[c] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with_target() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            (
+                "y".to_string(),
+                Column::categorical(vec![Some("pos"), Some("neg"), None, Some("pos")]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_frame_drops_missing_targets_and_maps_labels() {
+        let ds = Dataset::from_frame("toy", frame_with_target(), "y").unwrap();
+        assert_eq!(ds.task, Task::Binary);
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.class_labels, vec!["neg".to_string(), "pos".to_string()]);
+        // "pos" -> 1, "neg" -> 0 (sorted order).
+        assert_eq!(ds.target, vec![1.0, 0.0, 1.0]);
+        assert_eq!(ds.num_features(), 1);
+    }
+
+    #[test]
+    fn from_frame_regression() {
+        let f = DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_f64(vec![1.0, 2.0, 3.0])),
+            ("p".to_string(), Column::from_f64(vec![0.5, 1.7, 2.9])),
+        ])
+        .unwrap();
+        let ds = Dataset::from_frame("r", f, "p").unwrap();
+        assert_eq!(ds.task, Task::Regression);
+        assert_eq!(ds.target, vec![0.5, 1.7, 2.9]);
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let f = DataFrame::from_columns(vec![(
+            "x".to_string(),
+            Column::from_f64(vec![1.0, 2.0]),
+        )])
+        .unwrap();
+        assert!(Dataset::new("bad", f, vec![1.0], Task::Regression).is_err());
+    }
+
+    #[test]
+    fn class_counts_and_take() {
+        let ds = Dataset::from_frame("toy", frame_with_target(), "y").unwrap();
+        assert_eq!(ds.class_counts(), vec![1, 2]);
+        let sub = ds.take(&[0, 0]);
+        assert_eq!(sub.target, vec![1.0, 1.0]);
+        assert_eq!(sub.class_counts(), vec![0, 2]);
+    }
+
+    #[test]
+    fn all_missing_target_is_error() {
+        let f = DataFrame::from_columns(vec![
+            ("x".to_string(), Column::from_f64(vec![1.0])),
+            ("y".to_string(), Column::numeric(vec![None])),
+        ])
+        .unwrap();
+        assert!(Dataset::from_frame("bad", f, "y").is_err());
+    }
+
+    #[test]
+    fn task_display() {
+        assert_eq!(Task::Binary.to_string(), "binary");
+        assert_eq!(Task::MultiClass(7).to_string(), "multi-class(7)");
+        assert_eq!(Task::Regression.to_string(), "regression");
+    }
+}

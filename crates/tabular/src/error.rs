@@ -1,0 +1,90 @@
+//! Error type shared across the tabular substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating tabular data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TabularError {
+    /// Columns in a frame must all share the same length.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length the frame expects.
+        expected: usize,
+        /// Length the column actually has.
+        actual: usize,
+    },
+    /// A column name was requested that does not exist in the frame.
+    UnknownColumn(String),
+    /// A column with the same name already exists in the frame.
+    DuplicateColumn(String),
+    /// A CSV document could not be parsed.
+    Csv {
+        /// 1-based line at which parsing failed.
+        line: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// An operation required a non-empty frame or column.
+    Empty(&'static str),
+    /// An operation received an argument outside its domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has length {actual}, frame expects {expected}"
+            ),
+            TabularError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TabularError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            TabularError::Csv { line, message } => write!(f, "csv parse error, line {line}: {message}"),
+            TabularError::Empty(what) => write!(f, "{what} must be non-empty"),
+            TabularError::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(TabularError, &str)> = vec![
+            (
+                TabularError::LengthMismatch {
+                    column: "a".into(),
+                    expected: 3,
+                    actual: 2,
+                },
+                "column `a` has length 2, frame expects 3",
+            ),
+            (TabularError::UnknownColumn("x".into()), "unknown column `x`"),
+            (TabularError::DuplicateColumn("x".into()), "duplicate column `x`"),
+            (
+                TabularError::Csv {
+                    line: 4,
+                    message: "bad quote".into(),
+                },
+                "csv parse error, line 4: bad quote",
+            ),
+            (TabularError::Empty("frame"), "frame must be non-empty"),
+            (
+                TabularError::InvalidArgument("k = 0".into()),
+                "invalid argument: k = 0",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+}

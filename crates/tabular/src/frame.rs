@@ -1,0 +1,229 @@
+//! [`DataFrame`]: an ordered collection of equally-long named columns.
+
+use crate::column::{Column, ColumnKind};
+use crate::error::TabularError;
+use crate::Result;
+use std::collections::HashMap;
+
+/// An ordered collection of named, equally-long [`Column`]s.
+///
+/// Column order is significant (it defines feature order for learners);
+/// lookup by name is O(1) via an internal index.
+#[derive(Debug, Clone, Default)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+    rows: usize,
+}
+
+impl DataFrame {
+    /// Creates an empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a frame from `(name, column)` pairs.
+    pub fn from_columns<I, S>(pairs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (S, Column)>,
+        S: Into<String>,
+    {
+        let mut frame = Self::new();
+        for (name, column) in pairs {
+            frame.push(name, column)?;
+        }
+        Ok(frame)
+    }
+
+    /// Appends a column. The first column fixes the row count.
+    pub fn push<S: Into<String>>(&mut self, name: S, column: Column) -> Result<()> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(TabularError::DuplicateColumn(name));
+        }
+        if self.columns.is_empty() {
+            self.rows = column.len();
+        } else if column.len() != self.rows {
+            return Err(TabularError::LengthMismatch {
+                column: name,
+                expected: self.rows,
+                actual: column.len(),
+            });
+        }
+        self.index.insert(name.clone(), self.columns.len());
+        self.names.push(name);
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Name by position.
+    pub fn name_at(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Removes and returns a column, preserving the order of the rest.
+    pub fn remove(&mut self, name: &str) -> Result<Column> {
+        let pos = *self
+            .index
+            .get(name)
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))?;
+        self.names.remove(pos);
+        let col = self.columns.remove(pos);
+        self.index.remove(name);
+        for v in self.index.values_mut() {
+            if *v > pos {
+                *v -= 1;
+            }
+        }
+        if self.columns.is_empty() {
+            self.rows = 0;
+        }
+        Ok(col)
+    }
+
+    /// Selects the given rows into a new frame (rows may repeat).
+    pub fn take(&self, rows: &[usize]) -> DataFrame {
+        let mut out = DataFrame::new();
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            out.push(name.clone(), col.take(rows))
+                .expect("take preserves uniqueness and lengths");
+        }
+        out.rows = rows.len();
+        out
+    }
+
+    /// Counts of each column kind, in the order (numeric, categorical, text).
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut n = (0, 0, 0);
+        for c in &self.columns {
+            match c.kind() {
+                ColumnKind::Numeric => n.0 += 1,
+                ColumnKind::Categorical => n.1 += 1,
+                ColumnKind::Text => n.2 += 1,
+            }
+        }
+        n
+    }
+
+    /// Total missing cells across all columns.
+    pub fn missing_cells(&self) -> usize {
+        self.columns.iter().map(Column::missing_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("age".to_string(), Column::from_f64(vec![1.0, 2.0, 3.0])),
+            (
+                "color".to_string(),
+                Column::categorical(vec![Some("r"), Some("g"), Some("r")]),
+            ),
+            (
+                "note".to_string(),
+                Column::text(vec![Some("a b"), None, Some("c")]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let f = sample();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.num_columns(), 3);
+        assert_eq!(f.kind_counts(), (1, 1, 1));
+        assert_eq!(f.column("age").unwrap().as_f64(2), Some(3.0));
+        assert!(matches!(
+            f.column("nope"),
+            Err(TabularError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_mismatched_columns() {
+        let mut f = sample();
+        assert!(matches!(
+            f.push("age", Column::from_f64(vec![0.0, 0.0, 0.0])),
+            Err(TabularError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            f.push("short", Column::from_f64(vec![0.0])),
+            Err(TabularError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut f = sample();
+        let removed = f.remove("color").unwrap();
+        assert_eq!(removed.kind(), ColumnKind::Categorical);
+        assert_eq!(f.num_columns(), 2);
+        // "note" shifted left; lookup must still work.
+        assert_eq!(f.column("note").unwrap().as_string(0).as_deref(), Some("a b"));
+        assert_eq!(f.name_at(1), "note");
+    }
+
+    #[test]
+    fn take_subsets_and_repeats() {
+        let f = sample();
+        let t = f.take(&[2, 0, 0]);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column("age").unwrap().as_f64(0), Some(3.0));
+        assert_eq!(t.column("age").unwrap().as_f64(1), Some(1.0));
+    }
+
+    #[test]
+    fn missing_cells_counts_across_columns() {
+        let f = sample();
+        assert_eq!(f.missing_cells(), 1);
+    }
+
+    #[test]
+    fn empty_frame_after_removing_all() {
+        let mut f = DataFrame::new();
+        f.push("x", Column::from_f64(vec![1.0])).unwrap();
+        f.remove("x").unwrap();
+        assert_eq!(f.num_rows(), 0);
+        // Can now push a column of a different length.
+        f.push("y", Column::from_f64(vec![1.0, 2.0])).unwrap();
+        assert_eq!(f.num_rows(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Column-type and task-type inference.
+//!
+//! Paper §3.6: KGpip "applies different pre-processing techniques", among
+//! them "1) detecting task type (i.e. regression or classification)
+//! automatically based on the distribution of the target column 2)
+//! automatically inferring accurate data types of columns". This module
+//! implements both inferences over raw string cells / typed columns.
+
+use crate::column::Column;
+use crate::dataset::Task;
+
+/// Fraction of distinct values below which a string column is treated as
+/// categorical rather than free text.
+const CATEGORICAL_DISTINCT_RATIO: f64 = 0.5;
+/// Absolute distinct-count cap for categorical treatment regardless of size.
+const CATEGORICAL_MAX_DISTINCT: usize = 128;
+/// Mean token count above which a string column is treated as text even if
+/// its cardinality is low.
+const TEXT_MEAN_TOKENS: f64 = 4.0;
+
+/// Infers a typed [`Column`] from raw string cells (`None` = missing).
+///
+/// Heuristics, mirroring the behaviour of pandas-style readers plus KGpip's
+/// categorical/text split:
+/// 1. if every non-missing cell parses as a number → numeric;
+/// 2. else if the column "reads like prose" (mean whitespace-token count
+///    > 4) or has high cardinality → text;
+/// 3. else → categorical.
+pub fn infer_column(values: &[Option<&str>]) -> Column {
+    let present: Vec<&str> = values.iter().filter_map(|v| *v).collect();
+    if present.is_empty() {
+        // All-missing: default to numeric, the cheapest to impute.
+        return Column::numeric(values.iter().map(|_| None));
+    }
+    // A column is numeric when every non-missing cell is either a parseable
+    // number or a recognized missing marker, and at least one real number
+    // exists (markers parse to missing, not to a value).
+    let all_numeric = present
+        .iter()
+        .all(|s| parse_number(s).is_some() || is_missing_marker(s))
+        && present.iter().any(|s| parse_number(s).is_some());
+    if all_numeric {
+        return Column::numeric(
+            values
+                .iter()
+                .map(|v| v.and_then(parse_number)),
+        );
+    }
+    let mut distinct: Vec<&str> = present.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let distinct_ratio = distinct.len() as f64 / present.len() as f64;
+    let mean_tokens = present
+        .iter()
+        .map(|s| s.split_whitespace().count())
+        .sum::<usize>() as f64
+        / present.len() as f64;
+
+    let is_text = mean_tokens > TEXT_MEAN_TOKENS
+        || (distinct.len() > CATEGORICAL_MAX_DISTINCT
+            && distinct_ratio > CATEGORICAL_DISTINCT_RATIO);
+    if is_text {
+        Column::text(values.iter().map(|v| v.map(str::to_string)))
+    } else {
+        Column::categorical(values.iter().copied())
+    }
+}
+
+/// True for cells that conventionally denote a missing value.
+pub fn is_missing_marker(s: &str) -> bool {
+    matches!(
+        s.trim().to_ascii_lowercase().as_str(),
+        "" | "na" | "n/a" | "null" | "nan" | "?"
+    )
+}
+
+/// Parses a cell as a number, accepting surrounding whitespace and treating
+/// common missing markers (`NA`, `N/A`, `null`, `nan`, `?`) as missing.
+pub fn parse_number(s: &str) -> Option<f64> {
+    if is_missing_marker(s) {
+        return None;
+    }
+    s.trim().parse::<f64>().ok().filter(|x| x.is_finite())
+}
+
+/// Maximum distinct target values for a numeric column to still be treated
+/// as classification.
+const CLASSIFICATION_MAX_CLASSES: usize = 50;
+
+/// Infers the supervised task type from a target column, following the
+/// paper's "distribution of the target column" rule:
+///
+/// * categorical or text targets → classification;
+/// * numeric targets that are all integers with few distinct values →
+///   classification (class labels stored as numbers, common in OpenML);
+/// * otherwise → regression.
+pub fn infer_task(target: &Column) -> Task {
+    match target {
+        Column::Categorical { .. } | Column::Text(_) => {
+            let classes = target.cardinality().max(1);
+            Task::classification(classes)
+        }
+        Column::Numeric(values) => {
+            let present: Vec<f64> = values.iter().copied().flatten().collect();
+            if present.is_empty() {
+                return Task::Regression;
+            }
+            let all_integral = present.iter().all(|x| x.fract() == 0.0);
+            let mut distinct: Vec<u64> = present.iter().map(|x| x.to_bits()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let few = distinct.len() <= CLASSIFICATION_MAX_CLASSES
+                && (distinct.len() as f64) < (present.len() as f64).sqrt().max(3.0);
+            if all_integral && few && distinct.len() >= 2 {
+                Task::classification(distinct.len())
+            } else {
+                Task::Regression
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnKind;
+
+    #[test]
+    fn numeric_inference_with_missing_markers() {
+        let c = infer_column(&[Some("1.5"), Some("NA"), Some("-2"), None, Some("?")]);
+        assert_eq!(c.kind(), ColumnKind::Numeric);
+        assert_eq!(c.missing_count(), 3);
+        assert_eq!(c.as_f64(2), Some(-2.0));
+    }
+
+    #[test]
+    fn categorical_inference_for_low_cardinality_strings() {
+        let cells: Vec<Option<&str>> = (0..100)
+            .map(|i| Some(if i % 3 == 0 { "red" } else { "blue" }))
+            .collect();
+        assert_eq!(infer_column(&cells).kind(), ColumnKind::Categorical);
+    }
+
+    #[test]
+    fn text_inference_for_prose() {
+        let cells: Vec<Option<&str>> = vec![
+            Some("this is a long movie review with many words"),
+            Some("another long piece of user generated text content"),
+        ];
+        assert_eq!(infer_column(&cells).kind(), ColumnKind::Text);
+    }
+
+    #[test]
+    fn text_inference_for_high_cardinality_short_strings() {
+        let owned: Vec<String> = (0..500).map(|i| format!("id_{i}")).collect();
+        let cells: Vec<Option<&str>> = owned.iter().map(|s| Some(s.as_str())).collect();
+        assert_eq!(infer_column(&cells).kind(), ColumnKind::Text);
+    }
+
+    #[test]
+    fn all_missing_column_is_numeric() {
+        let c = infer_column(&[None, None]);
+        assert_eq!(c.kind(), ColumnKind::Numeric);
+        assert_eq!(c.missing_count(), 2);
+    }
+
+    #[test]
+    fn task_inference_categorical_target() {
+        let t = Column::categorical(vec![Some("yes"), Some("no"), Some("yes")]);
+        assert_eq!(infer_task(&t), Task::classification(2));
+    }
+
+    #[test]
+    fn task_inference_integer_labels() {
+        let vals: Vec<f64> = (0..300).map(|i| (i % 3) as f64).collect();
+        let t = Column::from_f64(vals);
+        assert_eq!(infer_task(&t), Task::classification(3));
+    }
+
+    #[test]
+    fn task_inference_continuous_target() {
+        let vals: Vec<f64> = (0..300).map(|i| i as f64 * 0.37).collect();
+        let t = Column::from_f64(vals);
+        assert_eq!(infer_task(&t), Task::Regression);
+    }
+
+    #[test]
+    fn task_inference_many_distinct_integers_is_regression() {
+        // e.g. house prices in whole dollars: integral but clearly continuous.
+        let vals: Vec<f64> = (0..300).map(|i| (100_000 + i * 137) as f64).collect();
+        let t = Column::from_f64(vals);
+        assert_eq!(infer_task(&t), Task::Regression);
+    }
+
+    #[test]
+    fn parse_number_rejects_infinite() {
+        assert_eq!(parse_number("inf"), None);
+        assert_eq!(parse_number(" 3.25 "), Some(3.25));
+    }
+}

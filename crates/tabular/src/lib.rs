@@ -1,0 +1,42 @@
+//! Tabular data substrate for the KGpip reproduction.
+//!
+//! The KGpip paper operates on tabular datasets drawn from OpenML, PMLB,
+//! Kaggle and the Open AutoML Benchmark. Its preprocessing stage (paper
+//! §3.6) "detects task type automatically based on the distribution of the
+//! target column", "automatically infers accurate data types of columns",
+//! vectorizes textual columns, and imputes missing values. No mature
+//! dataframe library is assumed; this crate provides the minimal, fully
+//! owned substrate those steps require:
+//!
+//! * [`Column`] — typed columns (numeric, categorical with a dictionary,
+//!   free text) with missing-value support,
+//! * [`DataFrame`] — an ordered collection of named columns,
+//! * [`csv`] — a small RFC-4180-style reader/writer,
+//! * [`infer`] — column-type and task-type inference,
+//! * [`split`] — train/test and (stratified) k-fold splitting,
+//! * [`stats`] — column summary statistics shared by the dataset-embedding
+//!   and meta-feature components,
+//! * [`Dataset`] — a feature frame plus a supervised target.
+//!
+//! Everything is deterministic given an RNG seed; nothing performs I/O
+//! besides the explicit CSV helpers.
+
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod frame;
+pub mod infer;
+pub mod split;
+pub mod stats;
+
+pub use column::{Column, ColumnKind};
+pub use dataset::{Dataset, Task};
+pub use error::TabularError;
+pub use frame::DataFrame;
+pub use infer::{infer_column, infer_task};
+pub use split::{kfold, stratified_kfold, train_test_split};
+pub use stats::{fnv1a, ColumnStats};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TabularError>;

@@ -1,0 +1,249 @@
+//! `kgpip-cli` — train and use KGpip models from the command line.
+//!
+//! ```text
+//! kgpip-cli train   --scripts DIR --tables DIR --out model.json [--epochs N] [--seed S]
+//! kgpip-cli predict --model model.json --data data.csv --target COL [--k 3]
+//! kgpip-cli run     --model model.json --data data.csv --target COL
+//!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn] [--k 3]
+//! kgpip-cli demo    [--budget-secs 5]
+//! ```
+//!
+//! Layout expected by `train`:
+//! * `--scripts DIR` — one subdirectory per dataset, each containing the
+//!   mined `.py` notebooks for that dataset (`DIR/<dataset>/<name>.py`),
+//! * `--tables DIR` — one `<dataset>.csv` per dataset for content
+//!   embeddings.
+
+use kgpip::{Kgpip, KgpipConfig};
+use kgpip_codegraph::corpus::ScriptRecord;
+use kgpip_hpo::{AutoSklearn, Flaml, Optimizer, TimeBudget};
+use kgpip_tabular::{csv, DataFrame, Dataset};
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let result = match command {
+        "train" => cmd_train(&flag),
+        "predict" => cmd_predict(&flag),
+        "run" => cmd_run(&flag),
+        "demo" => cmd_demo(&flag),
+        _ => {
+            eprintln!(
+                "usage: kgpip-cli <train|predict|run|demo> [flags]\n\
+                 see the module docs (`kgpip-cli --help` output) for flags"
+            );
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn require(flag: &impl Fn(&str) -> Option<String>, name: &str) -> Result<String, String> {
+    flag(name).ok_or_else(|| format!("missing required flag {name} <value>"))
+}
+
+fn read_table(path: &Path) -> Result<DataFrame, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(csv::read_frame(&text)?)
+}
+
+fn cmd_train(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    let scripts_dir = require(flag, "--scripts")?;
+    let tables_dir = require(flag, "--tables")?;
+    let out = require(flag, "--out")?;
+    let epochs: usize = flag("--epochs").and_then(|v| v.parse().ok()).unwrap_or(15);
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    // Collect scripts grouped by dataset directory.
+    let mut scripts = Vec::new();
+    for entry in std::fs::read_dir(&scripts_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let dataset = entry.file_name().to_string_lossy().to_string();
+        for file in std::fs::read_dir(entry.path())? {
+            let file = file?;
+            let path = file.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("py") {
+                scripts.push(ScriptRecord {
+                    dataset: dataset.clone(),
+                    source: std::fs::read_to_string(&path)?,
+                });
+            }
+        }
+    }
+    // Collect tables.
+    let mut tables = Vec::new();
+    for entry in std::fs::read_dir(&tables_dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_default();
+            tables.push((name, read_table(&path)?));
+        }
+    }
+    eprintln!(
+        "training on {} scripts across {} tables...",
+        scripts.len(),
+        tables.len()
+    );
+    let mut config = KgpipConfig::default();
+    config.generator.epochs = epochs;
+    config.generator.seed = seed;
+    config.seed = seed;
+    let model = Kgpip::train(&scripts, &tables, config)?;
+    let stats = model.stats();
+    eprintln!(
+        "trained: {}/{} scripts usable, {} datasets, {:.1}s generator training",
+        stats.valid_pipelines, stats.scripts, stats.datasets, stats.training_secs
+    );
+    model.save(&out)?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn load_dataset(flag: &impl Fn(&str) -> Option<String>) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let data = require(flag, "--data")?;
+    let target = require(flag, "--target")?;
+    let frame = read_table(Path::new(&data))?;
+    Ok(Dataset::from_frame(
+        Path::new(&data)
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_string())
+            .unwrap_or_else(|| "dataset".into()),
+        frame,
+        &target,
+    )?)
+}
+
+fn cmd_predict(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    let model_path = require(flag, "--model")?;
+    let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let model = Kgpip::load(&model_path)?;
+    let ds = load_dataset(flag)?;
+    eprintln!(
+        "dataset: {} rows, {} features, task {}",
+        ds.num_rows(),
+        ds.num_features(),
+        ds.task
+    );
+    let caps = Flaml::new(0).capabilities();
+    let (skeletons, neighbour) = model.predict_skeletons(&ds, k, &caps, 0);
+    println!("nearest seen dataset: {neighbour}");
+    for (i, (s, score)) in skeletons.iter().enumerate() {
+        println!(
+            "{}. {} > {}   (generation score {score:.2})",
+            i + 1,
+            s.transformers
+                .iter()
+                .map(|t| t.name())
+                .collect::<Vec<_>>()
+                .join(" > "),
+            s.estimator.name()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    let model_path = require(flag, "--model")?;
+    let budget: f64 = flag("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(30.0);
+    let backend_name = flag("--backend").unwrap_or_else(|| "flaml".into());
+    let model = Kgpip::load(&model_path)?;
+    let ds = load_dataset(flag)?;
+    let mut time_budget = TimeBudget::seconds(budget);
+    if let Some(trials) = flag("--trials").and_then(|v| v.parse().ok()) {
+        time_budget = time_budget.with_trial_cap(trials);
+    }
+    let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let run = match backend_name.as_str() {
+        "autosklearn" => {
+            let mut backend = AutoSklearn::new(0);
+            model.run_k(&ds, &mut backend, time_budget, k)?
+        }
+        _ => {
+            let mut backend = Flaml::new(0);
+            model.run_k(&ds, &mut backend, time_budget, k)?
+        }
+    };
+    println!("nearest seen dataset: {}", run.neighbour);
+    println!(
+        "generation + validation: {:.2}s",
+        run.generation_time.as_secs_f64()
+    );
+    for (i, r) in run.results.iter().enumerate() {
+        let score = r
+            .hpo
+            .as_ref()
+            .map(|h| format!("{:.3}", h.valid_score))
+            .unwrap_or_else(|| "failed".into());
+        println!(
+            "  rank {}: {} -> validation {}{}",
+            i + 1,
+            r.hpo
+                .as_ref()
+                .map(|h| h.spec.describe())
+                .unwrap_or_else(|| r.skeleton.estimator.name().to_string()),
+            score,
+            if i == run.best_index { "  <= best" } else { "" }
+        );
+    }
+    println!(
+        "\nbest pipeline: {}  (validation {:.3})",
+        run.best().spec.describe(),
+        run.best_score()
+    );
+    Ok(())
+}
+
+/// End-to-end demo on synthetic data; no files needed.
+fn cmd_demo(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    use kgpip_benchdata::{training_setup, ScaleConfig};
+    use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig};
+    let budget: f64 = flag("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(5.0);
+    let setup = training_setup(2, &ScaleConfig::default(), 0);
+    let scripts = generate_corpus(
+        &setup.profiles,
+        &CorpusConfig {
+            scripts_per_dataset: 10,
+            ..CorpusConfig::default()
+        },
+    );
+    eprintln!("demo: training KGpip on a synthetic corpus...");
+    let model = Kgpip::train(&scripts, &setup.tables, KgpipConfig::default())?;
+    let entry = kgpip_benchdata::benchmark()
+        .iter()
+        .find(|e| e.name == "phoneme")
+        .expect("catalog entry");
+    let ds = kgpip_benchdata::generate_dataset(entry, &ScaleConfig::default(), 7);
+    let mut backend = Flaml::new(0);
+    let run = model.run(
+        &ds,
+        &mut backend,
+        TimeBudget::seconds(budget).with_trial_cap(60),
+    )?;
+    println!(
+        "demo best pipeline on `{}`: {} (validation {:.3}; nearest seen: {})",
+        entry.name,
+        run.best().spec.describe(),
+        run.best_score(),
+        run.neighbour
+    );
+    Ok(())
+}

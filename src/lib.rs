@@ -1,0 +1,35 @@
+//! # kgpip-repro
+//!
+//! A from-scratch Rust reproduction of *"A Scalable AutoML Approach Based
+//! on Graph Neural Networks"* (KGpip, Helali et al., VLDB 2022).
+//!
+//! This root crate is a convenience facade: it re-exports the workspace
+//! crates and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`kgpip`] | the KGpip system (Figure 1): offline training, online prediction |
+//! | [`kgpip_tabular`] | dataframe substrate: typed columns, CSV, inference, splits |
+//! | [`kgpip_learners`] | classical-ML zoo: 13 learners, 10 preprocessors, metrics |
+//! | [`kgpip_nn`] | tensor + autodiff micro-framework for the GNN |
+//! | [`kgpip_codegraph`] | mini-Python static analyzer, graph filter, Graph4ML, corpus |
+//! | [`kgpip_embeddings`] | content-based dataset embeddings, similarity index, t-SNE |
+//! | [`kgpip_graphgen`] | the deep generative model of graphs (Li et al. 2018) |
+//! | [`kgpip_hpo`] | FLAML-style and Auto-Sklearn-style HPO engines, AL baseline |
+//! | [`kgpip_benchdata`] | synthetic reproduction of the 77-dataset benchmark |
+//! | [`kgpip_bench`] | the experiment harness regenerating every table and figure |
+
+pub use kgpip;
+pub use kgpip_bench;
+pub use kgpip_benchdata;
+pub use kgpip_codegraph;
+pub use kgpip_embeddings;
+pub use kgpip_graphgen;
+pub use kgpip_hpo;
+pub use kgpip_learners;
+pub use kgpip_nn;
+pub use kgpip_tabular;

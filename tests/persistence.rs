@@ -1,0 +1,57 @@
+//! Model persistence: a trained KGpip saved to JSON must reload and make
+//! identical predictions.
+
+use kgpip::Kgpip;
+use kgpip_bench::runner::{build_model, ExperimentConfig};
+use kgpip_benchdata::{benchmark, generate_dataset};
+use kgpip_hpo::{Flaml, Optimizer};
+
+#[test]
+fn save_load_roundtrip_preserves_predictions() {
+    let cfg = ExperimentConfig::quick();
+    let model = build_model(&cfg);
+    let json = model.to_json().unwrap();
+    assert!(json.len() > 1000, "serialized model carries real state");
+    let restored = Kgpip::from_json(&json).unwrap();
+
+    // Identical stats.
+    assert_eq!(model.stats().valid_pipelines, restored.stats().valid_pipelines);
+    assert_eq!(model.stats().datasets, restored.stats().datasets);
+
+    // Identical predictions on several datasets.
+    let caps = Flaml::new(0).capabilities();
+    for entry in benchmark().iter().take(5) {
+        let ds = generate_dataset(entry, &cfg.scale, entry.id as u64);
+        let (a, na) = model.predict_skeletons(&ds, 3, &caps, 42);
+        let (b, nb) = restored.predict_skeletons(&ds, 3, &caps, 42);
+        assert_eq!(na, nb, "{}: neighbour must survive the roundtrip", entry.name);
+        let names = |v: &[(kgpip_hpo::Skeleton, f64)]| {
+            v.iter()
+                .map(|(s, _)| (s.estimator.name(), s.transformers.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&a), names(&b), "{}", entry.name);
+    }
+}
+
+#[test]
+fn save_to_disk_and_reload() {
+    let cfg = ExperimentConfig::quick();
+    let model = build_model(&cfg);
+    let dir = std::env::temp_dir().join("kgpip_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    model.save(&path).unwrap();
+    let restored = Kgpip::load(&path).unwrap();
+    assert_eq!(
+        model.graph4ml().pipelines().len(),
+        restored.graph4ml().pipelines().len()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_rejects_garbage() {
+    assert!(Kgpip::from_json("{not json").is_err());
+    assert!(Kgpip::load("/nonexistent/path/model.json").is_err());
+}
