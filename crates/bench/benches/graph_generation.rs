@@ -21,7 +21,10 @@ fn training_examples(n: usize) -> (Vec<TrainExample>, Vec<TrainExample>) {
         },
     );
     let vocab = OpVocab::new();
-    let raw_graphs: Vec<_> = scripts.iter().map(|s| analyze(&s.source).unwrap()).collect();
+    let raw_graphs: Vec<_> = scripts
+        .iter()
+        .map(|s| analyze(&s.source).unwrap())
+        .collect();
     let filtered: Vec<TrainExample> = raw_graphs
         .iter()
         .filter_map(|g| {

@@ -29,7 +29,8 @@ fn bench_hpo(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_hpo_engines");
     group.sample_size(10);
     let ds = dataset(400);
-    let evaluator = Evaluator::new(&ds, 0).unwrap();
+    let budget = TimeBudget::seconds(3600.0);
+    let evaluator = Evaluator::new(&ds, 0, &budget).unwrap();
 
     // Single-trial costs for the cheap-first ordering FLAML relies on.
     for kind in [
@@ -53,13 +54,17 @@ fn bench_hpo(c: &mut Criterion) {
     group.bench_function("flaml_cold_200ms_budget", |b| {
         b.iter(|| {
             let mut engine = Flaml::new(0);
-            engine.optimize(black_box(&ds), &TimeBudget::seconds(0.2)).unwrap()
+            engine
+                .optimize(black_box(&ds), &TimeBudget::seconds(0.2))
+                .unwrap()
         })
     });
     group.bench_function("autosklearn_cold_200ms_budget", |b| {
         b.iter(|| {
             let mut engine = AutoSklearn::new(0);
-            engine.optimize(black_box(&ds), &TimeBudget::seconds(0.2)).unwrap()
+            engine
+                .optimize(black_box(&ds), &TimeBudget::seconds(0.2))
+                .unwrap()
         })
     });
     group.bench_function("al_replay", |b| {

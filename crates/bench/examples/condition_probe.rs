@@ -18,6 +18,11 @@ fn main() {
         let emb = model.embedding_of(&name).unwrap().to_vec();
         let sk = model.predict_with_embedding(&emb, Task::Binary, 3, &caps, 9);
         let tops: Vec<&str> = sk.iter().map(|(s, _)| s.estimator.name()).collect();
-        println!("{name:14} dom {} {:?} -> {:?}", domain_of(&name), shape_of(domain_of(&name)), tops);
+        println!(
+            "{name:14} dom {} {:?} -> {:?}",
+            domain_of(&name),
+            shape_of(domain_of(&name)),
+            tops
+        );
     }
 }

@@ -22,8 +22,14 @@ fn main() {
     for name in names {
         let shape = shape_of(domain_of(&name));
         let spec = SynthSpec {
-            name: name.clone(), rows: 600, num: 12, cat: 0, text: 0,
-            classes: 2, ceiling: 0.995, missing: 0.0,
+            name: name.clone(),
+            rows: 600,
+            num: 12,
+            cat: 0,
+            text: 0,
+            classes: 2,
+            ceiling: 0.995,
+            missing: 0.0,
         };
         let ds = synthesize(&spec, 5);
         let (tr, te) = train_test_split(&ds, 0.3, 0).unwrap();
@@ -35,16 +41,24 @@ fn main() {
             EstimatorKind::RandomForest,
         ] {
             let s = Pipeline::from_spec(PipelineSpec::bare(kind))
-                .unwrap().fit_score(&tr, &te).unwrap_or(f64::NAN);
+                .unwrap()
+                .fit_score(&tr, &te)
+                .unwrap_or(f64::NAN);
             print!("{}={s:.2} ", kind.name());
         }
         // Scaled k-NN: the transformer choice the corpus pairs with knn.
         let scaled_knn = PipelineSpec {
-            transformers: vec![(kgpip_learners::TransformerKind::StandardScaler, Default::default())],
+            transformers: vec![(
+                kgpip_learners::TransformerKind::StandardScaler,
+                Default::default(),
+            )],
             estimator: EstimatorKind::Knn,
             params: Default::default(),
         };
-        let s = Pipeline::from_spec(scaled_knn).unwrap().fit_score(&tr, &te).unwrap_or(f64::NAN);
+        let s = Pipeline::from_spec(scaled_knn)
+            .unwrap()
+            .fit_score(&tr, &te)
+            .unwrap_or(f64::NAN);
         println!("scaler+knn={s:.2}");
     }
 }

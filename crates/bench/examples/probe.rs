@@ -42,8 +42,17 @@ fn main() {
             scores.push((kind.name(), s));
         }
         scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let top: Vec<String> = scores.iter().take(3).map(|(n, s)| format!("{n}:{s:.2}")).collect();
-        let bot: Vec<String> = scores.iter().rev().take(2).map(|(n, s)| format!("{n}:{s:.2}")).collect();
+        let top: Vec<String> = scores
+            .iter()
+            .take(3)
+            .map(|(n, s)| format!("{n}:{s:.2}"))
+            .collect();
+        let bot: Vec<String> = scores
+            .iter()
+            .rev()
+            .take(2)
+            .map(|(n, s)| format!("{n}:{s:.2}"))
+            .collect();
         let mut f = Flaml::new(0);
         let r = f.optimize(&train, &TimeBudget::seconds(1.0)).unwrap();
         println!(

@@ -19,7 +19,11 @@ fn main() {
     let mut family_hits = 0;
     let mut n = 0;
     for entry in benchmark() {
-        let ds = generate_dataset(entry, &cfg.scale, cfg.seed.wrapping_add(entry.id as u64 * 1000));
+        let ds = generate_dataset(
+            entry,
+            &cfg.scale,
+            cfg.seed.wrapping_add(entry.id as u64 * 1000),
+        );
         let (name, sim) = model.nearest_dataset(&ds).unwrap();
         let want = domain_of(entry.name);
         let got = domain_of(&name);
@@ -27,17 +31,33 @@ fn main() {
         let shape = shape_of(want);
         let fam: &[&str] = match shape {
             DataShape::Boost => &["xgboost", "gradient_boost", "lgbm", "random_forest"],
-            DataShape::Linear => &["logistic_regression", "ridge", "lasso", "linear_svm", "linear_regression"],
+            DataShape::Linear => &[
+                "logistic_regression",
+                "ridge",
+                "lasso",
+                "linear_svm",
+                "linear_regression",
+            ],
             DataShape::Neighbor => &["knn", "random_forest", "extra_trees"],
         };
-        let top = skeletons.first().map(|(s, _)| s.estimator.name()).unwrap_or("-");
+        let top = skeletons
+            .first()
+            .map(|(s, _)| s.estimator.name())
+            .unwrap_or("-");
         let fam_ok = fam.contains(&top);
-        if got == want { domain_hits += 1; }
-        if fam_ok { family_hits += 1; }
+        if got == want {
+            domain_hits += 1;
+        }
+        if fam_ok {
+            family_hits += 1;
+        }
         n += 1;
         if got != want || !fam_ok {
-            println!("{:38} dom {want}->{got} sim {sim:.2} shape {shape:?} top1 {top} {}",
-                entry.name, if fam_ok {"famOK"} else {"famMISS"});
+            println!(
+                "{:38} dom {want}->{got} sim {sim:.2} shape {shape:?} top1 {top} {}",
+                entry.name,
+                if fam_ok { "famOK" } else { "famMISS" }
+            );
         }
     }
     println!("\ndomain retrieval: {domain_hits}/{n}; family match: {family_hits}/{n}");

@@ -52,7 +52,9 @@ fn main() {
         cfg.budget_secs,
         cfg.trials_per_system,
         cfg.runs,
-        limit.map(|l| l.to_string()).unwrap_or_else(|| "77 (full)".into()),
+        limit
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "77 (full)".into()),
         cfg.seed
     );
 
@@ -101,7 +103,10 @@ fn main() {
         emit("table3", ablation::table3(&cfg));
     }
     if want("fig7") {
-        emit("fig7", analysis::fig7(&cfg, Some(limit.unwrap_or(8).min(8))));
+        emit(
+            "fig7",
+            analysis::fig7(&cfg, Some(limit.unwrap_or(8).min(8))),
+        );
     }
     if want("fig9") {
         emit("fig9", ablation::fig9(&cfg, 3));
@@ -110,13 +115,22 @@ fn main() {
         emit("fig10", analysis::fig10(cfg.seed));
     }
     if want("diversity") {
-        emit("diversity (4.5.3)", analysis::diversity(&cfg, Some(limit.unwrap_or(6).min(6))));
+        emit(
+            "diversity (4.5.3)",
+            analysis::diversity(&cfg, Some(limit.unwrap_or(6).min(6))),
+        );
     }
     if want("prop-rounds") {
-        emit("ablation: prop rounds", ablation::prop_rounds_ablation(&cfg));
+        emit(
+            "ablation: prop rounds",
+            ablation::prop_rounds_ablation(&cfg),
+        );
     }
     if want("conditioning") {
-        emit("ablation: conditioning", ablation::conditioning_ablation(&cfg, 8));
+        emit(
+            "ablation: conditioning",
+            ablation::conditioning_ablation(&cfg, 8),
+        );
     }
     if !emitted {
         eprintln!(

@@ -86,7 +86,9 @@ pub fn decode_raw_graph(graph: &TypedGraph, vocab: &[String], task: Task) -> Opt
         return None;
     }
     let pg = PipelineGraph {
-        edges: (0..ops.len().saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+        edges: (0..ops.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect(),
         ops,
     };
     // Valid only if it decodes to a task-compatible skeleton.
@@ -136,12 +138,10 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
     let model = Kgpip::train(
         &scripts,
         &[("ablation_corpus".to_string(), table)],
-        KgpipConfig {
-            top_k: 3,
-            generator: gen_cfg.clone(),
-            seed: cfg.seed,
-            ..KgpipConfig::default()
-        },
+        KgpipConfig::default()
+            .with_k(3)
+            .with_seed(cfg.seed)
+            .with_generator(gen_cfg.clone()),
     )
     .expect("corpus yields valid pipelines");
     let filtered_secs = filtered_start.elapsed().as_secs_f64();
@@ -166,26 +166,28 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
 
     // --- evaluate both on the trivial datasets ---
     let mut out = String::from("Table 3. Raw code graphs vs filtered graphs.\n");
-    let _ = writeln!(out, "{:18} {:>12} {:>14}", "Aspect", "Code Graph", "Filtered Graph");
+    let _ = writeln!(
+        out,
+        "{:18} {:>12} {:>14}",
+        "Aspect", "Code Graph", "Filtered Graph"
+    );
     let mut filtered_f1 = Vec::new();
     let raw_prefix = TypedGraph {
         types: vec![0],
         edges: vec![],
     };
     for name in TRIVIAL_DATASETS {
-        let entry = benchmark().iter().find(|e| e.name == name).expect("known name");
+        let entry = benchmark()
+            .iter()
+            .find(|e| e.name == name)
+            .expect("known name");
         let ds = generate_dataset(entry, &cfg.scale, cfg.seed.wrapping_add(entry.id as u64));
         let (train, test) = train_test_split(&ds, 0.3, cfg.seed).expect("enough rows");
         // Raw model: K=3 generations; valid pipelines only.
         let raw_pipelines: Vec<PipelineGraph> = (0..3)
             .filter_map(|i| {
-                let g = raw_generator.generate_top_k(
-                    &vec![0.0; 48],
-                    &raw_prefix,
-                    1,
-                    1.2,
-                    cfg.seed + i,
-                );
+                let g =
+                    raw_generator.generate_top_k(&vec![0.0; 48], &raw_prefix, 1, 1.2, cfg.seed + i);
                 g.first()
                     .and_then(|c| decode_raw_graph(&c.graph, &raw_vocab, ds.task))
             })
@@ -318,9 +320,7 @@ pub fn prop_rounds_ablation(cfg: &ExperimentConfig) -> String {
             .filter(|i| {
                 let g = generator.generate_top_k(&vec![0.1; 48], &prefix, 1, 1.0, cfg.seed + i);
                 g.first()
-                    .and_then(|c| {
-                        kgpip::decode_skeleton(&c.graph.decode(&vocab), Task::Binary)
-                    })
+                    .and_then(|c| kgpip::decode_skeleton(&c.graph.decode(&vocab), Task::Binary))
                     .is_some()
             })
             .count();
@@ -412,7 +412,10 @@ mod tests {
                 ..CorpusConfig::default()
             },
         );
-        let graphs: Vec<CodeGraph> = scripts.iter().map(|s| analyze(&s.source).unwrap()).collect();
+        let graphs: Vec<CodeGraph> = scripts
+            .iter()
+            .map(|s| analyze(&s.source).unwrap())
+            .collect();
         let (vocab, typed) = encode_raw_graphs(&graphs);
         assert_eq!(vocab[0], "<dataset>");
         for (g, t) in graphs.iter().zip(&typed) {

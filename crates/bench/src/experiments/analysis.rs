@@ -28,7 +28,9 @@ fn run_kgpip_k(
     run_idx: usize,
 ) -> Option<f64> {
     let data_seed = cfg.seed.wrapping_add(entry.id as u64 * 1000);
-    let run_seed = cfg.seed.wrapping_add(run_idx as u64 * 7919 + entry.id as u64);
+    let run_seed = cfg
+        .seed
+        .wrapping_add(run_idx as u64 * 7919 + entry.id as u64);
     let ds = generate_dataset(entry, &cfg.scale, data_seed);
     let (train, test) = train_test_split(&ds, 0.3, data_seed).ok()?;
     let budget = TimeBudget::seconds(cfg.budget_secs).with_trial_cap(cfg.trials_per_system);
@@ -39,7 +41,10 @@ fn run_kgpip_k(
         let mut backend = AutoSklearn::new(run_seed);
         model.run_k(&train, &mut backend, budget, k).ok()?
     };
-    run.best().refit_score(&train, &test).ok().map(|s| s.max(0.0))
+    run.best()
+        .refit_score(&train, &test)
+        .ok()
+        .map(|s| s.max(0.0))
 }
 
 /// Figure 7: performance of both KGpip variants as K varies over
@@ -174,7 +179,10 @@ pub fn diversity(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
                 let (sk, _) = model.predict_skeletons(&ds, 5, &caps, cfg.seed + 100 + run);
                 sk.iter()
                     .map(|(s, _)| {
-                        EstimatorKind::ALL.iter().position(|k| *k == s.estimator).unwrap() as f64
+                        EstimatorKind::ALL
+                            .iter()
+                            .position(|k| *k == s.estimator)
+                            .unwrap() as f64
                     })
                     .collect()
             })
@@ -192,7 +200,10 @@ pub fn diversity(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
         return out;
     }
     let lo = correlations.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = correlations.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let hi = correlations
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let _ = writeln!(
         out,
         "  {} cross-run correlations, mean {:.2}, range {:.2}..{:.2} (paper: 0.60–0.64)",
@@ -241,7 +252,9 @@ pub fn fig10(seed: u64) -> String {
         .collect();
     let layout = tsne(&embeddings, &TsneConfig::default());
 
-    let mut out = String::from("Figure 10. t-SNE of dataset embeddings (38 synthetic Kaggle-domain tables).\n");
+    let mut out = String::from(
+        "Figure 10. t-SNE of dataset embeddings (38 synthetic Kaggle-domain tables).\n",
+    );
     out.push_str("  name         domain   x        y\n");
     for ((spec, &domain), (x, y)) in specs.iter().zip(&domains).zip(&layout) {
         let _ = writeln!(out, "  {:12} {:6}   {x:8.2} {y:8.2}", spec.name, domain);

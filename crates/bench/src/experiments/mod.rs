@@ -125,7 +125,16 @@ pub fn table4() -> String {
         let _ = writeln!(
             out,
             "{:3} {:40} {:9} {:6} {:5} {:5} {:5} {:8} {:7} {}",
-            e.id, e.name, e.rows, e.cols, e.num, e.cat, e.text, e.classes, e.source.to_string(), papers
+            e.id,
+            e.name,
+            e.rows,
+            e.cols,
+            e.num,
+            e.cat,
+            e.text,
+            e.classes,
+            e.source.to_string(),
+            papers
         );
     }
     out
@@ -187,8 +196,7 @@ pub fn table2(sweep: &Sweep) -> String {
     let kg_flaml = &sweep.systems[1];
     let ask = &sweep.systems[2];
     let kg_ask = &sweep.systems[3];
-    let (_, p_flaml) =
-        stats::paired_t_test(&kg_flaml.scores_or_zero(), &flaml.scores_or_zero());
+    let (_, p_flaml) = stats::paired_t_test(&kg_flaml.scores_or_zero(), &flaml.scores_or_zero());
     let (_, p_ask) = stats::paired_t_test(&kg_ask.scores_or_zero(), &ask.scores_or_zero());
     for (sys, p) in [
         (flaml, None),
@@ -236,8 +244,7 @@ pub fn table2(sweep: &Sweep) -> String {
 /// part of them, and the report is restricted to where it worked —
 /// exactly the paper's protocol.
 pub fn fig6(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
-    let mut entries: Vec<&CatalogEntry> =
-        benchmark().iter().filter(|e| e.used_by_al).collect();
+    let mut entries: Vec<&CatalogEntry> = benchmark().iter().filter(|e| e.used_by_al).collect();
     if let Some(limit) = limit {
         entries.truncate(limit);
     }
@@ -267,7 +274,12 @@ pub fn fig6(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
             .iter()
             .map(|&i| sys.datasets[i].mean_score().unwrap_or(0.0))
             .collect();
-        let _ = writeln!(out, "  {:17} {:.3}", sys.system.name(), stats::mean(&scores));
+        let _ = writeln!(
+            out,
+            "  {:17} {:.3}",
+            sys.system.name(),
+            stats::mean(&scores)
+        );
     }
     // The paper's headline: AL is the weakest; KGpip variants lead.
     let al_mean = stats::mean(
@@ -297,7 +309,10 @@ mod tests {
     fn table1_report_matches_paper_totals() {
         let t = table1();
         assert!(t.contains("39"), "AutoML total present:\n{t}");
-        assert!(t.ends_with("77\n") || t.contains("    77"), "grand total 77:\n{t}");
+        assert!(
+            t.ends_with("77\n") || t.contains("    77"),
+            "grand total 77:\n{t}"
+        );
     }
 
     #[test]

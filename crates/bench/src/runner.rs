@@ -2,9 +2,7 @@
 //! and benchmark sweeps.
 
 use kgpip::{Kgpip, KgpipConfig};
-use kgpip_benchdata::{
-    generate_dataset, training_setup, CatalogEntry, ScaleConfig, TaskKind,
-};
+use kgpip_benchdata::{generate_dataset, training_setup, CatalogEntry, ScaleConfig, TaskKind};
 use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig};
 use kgpip_graphgen::GeneratorConfig;
 use kgpip_hpo::{Al, AutoSklearn, Flaml, Optimizer, TimeBudget};
@@ -34,6 +32,9 @@ pub struct ExperimentConfig {
     pub scripts_per_dataset: usize,
     /// Graph-generator training epochs.
     pub generator_epochs: usize,
+    /// Worker threads for KGpip's skeleton searches and trial evaluation
+    /// (1 = the sequential engines of the original evaluation).
+    pub parallelism: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -49,6 +50,7 @@ impl Default for ExperimentConfig {
             per_domain: 3,
             scripts_per_dataset: 12,
             generator_epochs: 20,
+            parallelism: 1,
             seed: 0,
         }
     }
@@ -89,18 +91,17 @@ pub fn build_model(cfg: &ExperimentConfig) -> Kgpip {
     Kgpip::train(
         &scripts,
         &setup.tables,
-        KgpipConfig {
-            top_k: cfg.top_k,
-            generator: GeneratorConfig {
+        KgpipConfig::default()
+            .with_k(cfg.top_k)
+            .with_seed(cfg.seed)
+            .with_parallelism(cfg.parallelism)
+            .with_generator(GeneratorConfig {
                 epochs: cfg.generator_epochs,
                 hidden: 24,
                 prop_rounds: 2,
                 seed: cfg.seed,
                 ..GeneratorConfig::default()
-            },
-            seed: cfg.seed,
-            ..KgpipConfig::default()
-        },
+            }),
     )
     .expect("synthetic corpus always yields valid pipelines")
 }
@@ -185,7 +186,9 @@ pub fn run_on_dataset(
     run_idx: usize,
 ) -> DatasetRun {
     let data_seed = cfg.seed.wrapping_add(entry.id as u64 * 1000);
-    let run_seed = cfg.seed.wrapping_add(run_idx as u64 * 7919 + entry.id as u64);
+    let run_seed = cfg
+        .seed
+        .wrapping_add(run_idx as u64 * 7919 + entry.id as u64);
     let ds = generate_dataset(entry, &cfg.scale, data_seed);
     let (train, test) =
         train_test_split(&ds, 0.3, data_seed).expect("generated datasets have >= 60 rows");

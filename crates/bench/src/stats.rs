@@ -29,8 +29,7 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> (f64, f64) {
     }
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let d_mean = mean(&diffs);
-    let d_var =
-        diffs.iter().map(|d| (d - d_mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let d_var = diffs.iter().map(|d| (d - d_mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
     if d_var <= 1e-300 {
         return if d_mean.abs() < 1e-12 {
             (0.0, 1.0)
@@ -63,8 +62,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -235,8 +233,12 @@ mod tests {
 
     #[test]
     fn paired_t_is_insignificant_for_noise() {
-        let a: Vec<f64> = (0..30).map(|i| 0.5 + ((i * 7919) % 100) as f64 * 0.001).collect();
-        let b: Vec<f64> = (0..30).map(|i| 0.5 + ((i * 104729) % 100) as f64 * 0.001).collect();
+        let a: Vec<f64> = (0..30)
+            .map(|i| 0.5 + ((i * 7919) % 100) as f64 * 0.001)
+            .collect();
+        let b: Vec<f64> = (0..30)
+            .map(|i| 0.5 + ((i * 104729) % 100) as f64 * 0.001)
+            .collect();
         let (_, p) = paired_t_test(&a, &b);
         assert!(p > 0.05, "p = {p}");
     }

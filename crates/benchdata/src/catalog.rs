@@ -139,83 +139,869 @@ macro_rules! entry {
 /// The full 77-dataset benchmark (Tables 4 and 5).
 pub fn benchmark() -> &'static [CatalogEntry] {
     static CATALOG: [CatalogEntry; 77] = [
-        entry!(1, "pc4", 1458, 37, 37, 0, 0, 2, 0.2, OpenMl, false, true, Binary, 0.76, 0.74, 0.74, 0.83),
-        entry!(2, "MagicTelescope", 19020, 11, 11, 0, 0, 2, 1.5, OpenMl, false, true, Binary, 0.00, 1.00, 1.00, 1.00),
-        entry!(3, "OVA_Breast", 1545, 10936, 10936, 0, 0, 2, 103.3, OpenMl, false, true, Binary, 0.93, 0.96, 0.97, 0.96),
-        entry!(4, "kropt", 28056, 6, 3, 3, 0, 18, 0.5, OpenMl, false, true, MultiClass, 0.90, 0.90, 0.85, 0.87),
-        entry!(5, "sick", 3772, 29, 7, 22, 0, 2, 0.3, OpenMl, false, true, Binary, 0.62, 0.93, 0.89, 0.87),
-        entry!(6, "splice", 3190, 61, 0, 61, 0, 3, 0.4, OpenMl, false, true, MultiClass, 0.95, 0.95, 0.96, 0.97),
-        entry!(7, "mnist_784", 70000, 784, 784, 0, 0, 10, 122.0, OpenMl, false, true, MultiClass, 0.98, 0.98, 0.98, 0.95),
-        entry!(8, "quake", 2178, 3, 3, 0, 0, 2, 0.0, OpenMl, false, true, Binary, 0.51, 0.53, 0.49, 0.54),
-        entry!(9, "fri_c1_1000_25", 1000, 25, 25, 0, 0, 2, 0.2, OpenMl, false, true, Binary, 0.88, 0.92, 0.60, 0.93),
-        entry!(10, "breast_cancer_wisconsin", 569, 30, 30, 0, 0, 2, 0.1, Pmlb, false, true, Binary, 0.98, 0.99, 0.99, 0.99),
-        entry!(11, "car_evaluation", 1728, 21, 21, 0, 0, 4, 0.1, Pmlb, false, true, MultiClass, 0.99, 1.00, 0.66, 1.00),
-        entry!(12, "detecting-insults-in-social-commentary", 3947, 2, 0, 1, 1, 2, 0.8, Kaggle, false, true, Binary, 0.58, 0.76, 0.43, 0.82),
-        entry!(13, "glass", 205, 9, 9, 0, 0, 5, 0.0, Pmlb, false, true, MultiClass, 0.58, 0.46, 0.60, 0.67),
-        entry!(14, "Hill_Valley_with_noise", 1212, 100, 100, 0, 0, 2, 0.8, Pmlb, false, true, Binary, 0.38, 0.40, 1.00, 1.00),
-        entry!(15, "Hill_Valley_without_noise", 1212, 100, 100, 0, 0, 2, 1.5, Pmlb, false, true, Binary, 0.73, 0.73, 1.00, 1.00),
-        entry!(16, "ionosphere", 351, 34, 34, 0, 0, 2, 0.1, Pmlb, false, true, Binary, 0.94, 0.93, 0.94, 0.94),
-        entry!(17, "sentiment-analysis-on-movie-reviews", 156060, 3, 2, 0, 1, 5, 8.1, Kaggle, false, true, MultiClass, 0.45, 0.49, 0.43, 0.43),
-        entry!(18, "spambase", 4601, 57, 57, 0, 0, 2, 1.1, Pmlb, false, true, Binary, 0.96, 0.96, 0.97, 0.97),
-        entry!(19, "spooky-author-identification", 19579, 2, 0, 1, 1, 3, 3.1, Kaggle, false, true, MultiClass, 0.00, 0.72, 0.19, 0.72),
-        entry!(20, "titanic", 891, 11, 6, 4, 1, 2, 0.1, Kaggle, false, true, Binary, 0.80, 0.80, 0.55, 0.84),
-        entry!(21, "wine_quality_red", 1599, 11, 11, 0, 0, 6, 0.1, Pmlb, false, true, MultiClass, 0.33, 0.35, 0.30, 0.34),
-        entry!(22, "wine_quality_white", 4898, 11, 11, 0, 0, 7, 0.3, Pmlb, false, true, MultiClass, 0.40, 0.40, 0.36, 0.41),
-        entry!(23, "housing-prices", 1460, 80, 37, 43, 0, 0, 0.4, Kaggle, false, true, Regression, 0.87, 0.89, 0.86, 0.89),
-        entry!(24, "mercedes-benz-greener-manufacturing", 4209, 377, 369, 8, 0, 0, 3.1, Kaggle, false, true, Regression, 0.59, 0.65, 0.59, 0.65),
-        entry!(25, "adult", 48842, 14, 6, 8, 0, 2, 5.7, AutoMl, true, true, Binary, 0.81, 0.81, 0.54, 0.82),
-        entry!(26, "airlines", 539383, 7, 4, 3, 0, 2, 18.3, AutoMl, true, false, Binary, 0.66, 0.66, 0.66, 0.66),
-        entry!(27, "albert", 425240, 78, 78, 0, 0, 2, 155.4, AutoMl, true, false, Binary, 0.66, 0.69, 0.33, 0.69),
-        entry!(28, "Amazon_employee_access", 32769, 9, 9, 0, 0, 2, 1.9, AutoMl, true, false, Binary, 0.74, 0.74, 0.73, 0.76),
-        entry!(29, "APSFailure", 76000, 170, 170, 0, 0, 2, 74.8, AutoMl, true, false, Binary, 0.72, 0.92, 0.88, 0.92),
-        entry!(30, "Australian", 690, 14, 14, 0, 0, 2, 0.0, AutoMl, true, false, Binary, 0.86, 0.87, 0.85, 0.85),
-        entry!(31, "bank-marketing", 45211, 16, 7, 9, 0, 2, 3.5, AutoMl, true, false, Binary, 0.76, 0.75, 0.78, 0.79),
-        entry!(32, "blood-transfusion-service-center", 748, 4, 4, 0, 0, 2, 0.0, AutoMl, true, false, Binary, 0.64, 0.67, 0.64, 0.65),
-        entry!(33, "christine", 5418, 1636, 1636, 0, 0, 2, 31.4, AutoMl, true, false, Binary, 0.73, 0.74, 0.75, 0.74),
-        entry!(34, "credit-g", 1000, 20, 7, 13, 0, 2, 0.1, AutoMl, true, false, Binary, 0.72, 0.70, 0.74, 0.78),
-        entry!(35, "guillermo", 20000, 4296, 4296, 0, 0, 2, 424.5, AutoMl, true, false, Binary, 0.82, 0.82, 0.83, 0.71),
-        entry!(36, "higgs", 98050, 28, 28, 0, 0, 2, 43.3, AutoMl, true, false, Binary, 0.00, 0.73, 0.32, 0.73),
-        entry!(37, "jasmine", 2984, 144, 144, 0, 0, 2, 1.7, AutoMl, true, false, Binary, 0.80, 0.81, 0.81, 0.81),
-        entry!(38, "kc1", 2109, 21, 21, 0, 0, 2, 0.1, AutoMl, true, false, Binary, 0.66, 0.69, 0.70, 0.72),
-        entry!(39, "KDDCup09_appetency", 50000, 230, 192, 38, 0, 2, 32.8, AutoMl, true, false, Binary, 0.52, 0.53, 0.57, 0.57),
-        entry!(40, "kr-vs-kp", 3196, 36, 0, 36, 0, 2, 0.5, AutoMl, true, false, Binary, 0.99, 1.00, 0.99, 1.00),
-        entry!(41, "MiniBooNE", 130064, 50, 50, 0, 0, 2, 69.4, AutoMl, true, false, Binary, 0.94, 0.94, 0.94, 0.94),
-        entry!(42, "nomao", 34465, 118, 118, 0, 0, 2, 19.3, AutoMl, true, false, Binary, 0.97, 0.96, 0.96, 0.96),
-        entry!(43, "numerai28.6", 96320, 21, 21, 0, 0, 2, 34.9, AutoMl, true, false, Binary, 0.52, 0.52, 0.52, 0.52),
-        entry!(44, "phoneme", 5404, 5, 5, 0, 0, 2, 0.3, AutoMl, true, false, Binary, 0.90, 0.91, 0.89, 0.91),
-        entry!(45, "riccardo", 20000, 4296, 4296, 0, 0, 2, 414.0, AutoMl, true, false, Binary, 1.00, 0.99, 0.99, 0.99),
-        entry!(46, "sylvine", 5124, 20, 20, 0, 0, 2, 0.4, AutoMl, true, false, Binary, 0.95, 0.94, 0.63, 0.94),
-        entry!(47, "car", 1728, 6, 0, 6, 0, 4, 0.1, AutoMl, true, false, MultiClass, 0.26, 0.97, 0.65, 1.00),
-        entry!(48, "cnae-9", 1080, 856, 856, 0, 0, 9, 1.8, AutoMl, true, false, MultiClass, 0.96, 0.94, 0.93, 0.95),
-        entry!(49, "connect-4", 67557, 42, 42, 0, 0, 3, 5.5, AutoMl, true, false, MultiClass, 0.74, 0.73, 0.72, 0.73),
-        entry!(50, "covertype", 581012, 54, 54, 0, 0, 7, 71.7, AutoMl, true, true, MultiClass, 0.94, 0.94, 0.30, 0.85),
-        entry!(51, "dilbert", 10000, 2000, 2000, 0, 0, 5, 176.0, AutoMl, true, false, MultiClass, 0.99, 0.99, 0.99, 0.99),
-        entry!(52, "dionis", 416188, 60, 60, 0, 0, 355, 110.1, AutoMl, true, false, MultiClass, 0.88, 0.90, 0.00, 0.00),
-        entry!(53, "fabert", 8237, 800, 800, 0, 0, 7, 13.0, AutoMl, true, false, MultiClass, 0.70, 0.71, 0.70, 0.69),
-        entry!(54, "Fashion-MNIST", 70000, 784, 784, 0, 0, 10, 148.0, AutoMl, true, false, MultiClass, 0.91, 0.90, 0.60, 0.86),
-        entry!(55, "helena", 65196, 27, 27, 0, 0, 100, 14.6, AutoMl, true, false, MultiClass, 0.23, 0.23, 0.24, 0.18),
-        entry!(56, "jannis", 83733, 54, 54, 0, 0, 4, 36.7, AutoMl, true, false, MultiClass, 0.56, 0.57, 0.60, 0.60),
-        entry!(57, "jungle_chess_2pcs_raw_endgame_complete", 44819, 6, 6, 0, 0, 3, 0.6, AutoMl, true, false, MultiClass, 0.83, 0.80, 0.87, 0.87),
-        entry!(58, "mfeat-factors", 2000, 216, 216, 0, 0, 10, 1.4, AutoMl, true, false, MultiClass, 0.97, 0.98, 0.98, 0.99),
-        entry!(59, "robert", 10000, 7200, 7200, 0, 0, 10, 268.1, AutoMl, true, false, MultiClass, 0.35, 0.40, 0.49, 0.45),
-        entry!(60, "segment", 2310, 19, 19, 0, 0, 7, 0.3, AutoMl, true, false, MultiClass, 0.98, 0.98, 0.98, 0.99),
-        entry!(61, "shuttle", 58000, 9, 9, 0, 0, 7, 1.5, AutoMl, true, false, MultiClass, 0.99, 0.98, 0.96, 0.99),
-        entry!(62, "vehicle", 846, 18, 18, 0, 0, 4, 0.1, AutoMl, true, false, MultiClass, 0.78, 0.79, 0.82, 0.81),
-        entry!(63, "volkert", 58310, 180, 180, 0, 0, 10, 65.1, AutoMl, true, false, MultiClass, 0.66, 0.67, 0.68, 0.64),
-        entry!(64, "2dplanes", 40768, 10, 10, 0, 0, 0, 2.4, Pmlb, true, false, Regression, 0.95, 0.95, 0.95, 0.95),
-        entry!(65, "bng_breastTumor", 116640, 9, 9, 0, 0, 0, 6.0, Pmlb, true, false, Regression, 0.18, 0.19, 0.18, 0.19),
-        entry!(66, "bng_echomonths", 17496, 9, 9, 0, 0, 0, 2.3, Pmlb, true, false, Regression, 0.47, 0.45, 0.46, 0.46),
-        entry!(67, "bng_lowbwt", 31104, 9, 9, 0, 0, 0, 2.4, Pmlb, true, false, Regression, 0.62, 0.62, 0.61, 0.62),
-        entry!(68, "bng_pbc", 1000000, 18, 18, 0, 0, 0, 220.8, Pmlb, true, false, Regression, 0.46, 0.45, 0.45, 0.41),
-        entry!(69, "bng_pharynx", 1000000, 10, 10, 0, 0, 0, 68.6, Pmlb, true, false, Regression, 0.51, 0.52, 0.51, 0.52),
-        entry!(70, "bng_pwLinear", 177147, 10, 10, 0, 0, 0, 10.6, Pmlb, true, false, Regression, 0.62, 0.62, 0.62, 0.62),
-        entry!(71, "fried", 40768, 10, 10, 0, 0, 0, 8.1, Pmlb, true, false, Regression, 0.96, 0.95, 0.96, 0.96),
-        entry!(72, "house_16H", 22784, 16, 16, 0, 0, 0, 5.8, Pmlb, true, false, Regression, 0.70, 0.71, 0.70, 0.71),
-        entry!(73, "house_8L", 22784, 8, 8, 0, 0, 0, 2.8, Pmlb, true, false, Regression, 0.71, 0.71, 0.72, 0.72),
-        entry!(74, "houses", 20640, 8, 8, 0, 0, 0, 1.8, Pmlb, true, false, Regression, 0.86, 0.86, 0.85, 0.86),
-        entry!(75, "mv", 40768, 11, 11, 0, 0, 0, 5.9, Pmlb, true, false, Regression, 0.00, 1.00, 1.00, 1.00),
-        entry!(76, "poker", 1025010, 10, 10, 0, 0, 0, 23.0, Pmlb, true, false, Regression, 0.92, 0.87, 0.93, 0.90),
-        entry!(77, "pol", 15000, 48, 48, 0, 0, 0, 3.0, Pmlb, true, false, Regression, 0.99, 0.99, 0.99, 0.99),
+        entry!(
+            1, "pc4", 1458, 37, 37, 0, 0, 2, 0.2, OpenMl, false, true, Binary, 0.76, 0.74, 0.74,
+            0.83
+        ),
+        entry!(
+            2,
+            "MagicTelescope",
+            19020,
+            11,
+            11,
+            0,
+            0,
+            2,
+            1.5,
+            OpenMl,
+            false,
+            true,
+            Binary,
+            0.00,
+            1.00,
+            1.00,
+            1.00
+        ),
+        entry!(
+            3,
+            "OVA_Breast",
+            1545,
+            10936,
+            10936,
+            0,
+            0,
+            2,
+            103.3,
+            OpenMl,
+            false,
+            true,
+            Binary,
+            0.93,
+            0.96,
+            0.97,
+            0.96
+        ),
+        entry!(
+            4, "kropt", 28056, 6, 3, 3, 0, 18, 0.5, OpenMl, false, true, MultiClass, 0.90, 0.90,
+            0.85, 0.87
+        ),
+        entry!(
+            5, "sick", 3772, 29, 7, 22, 0, 2, 0.3, OpenMl, false, true, Binary, 0.62, 0.93, 0.89,
+            0.87
+        ),
+        entry!(
+            6, "splice", 3190, 61, 0, 61, 0, 3, 0.4, OpenMl, false, true, MultiClass, 0.95, 0.95,
+            0.96, 0.97
+        ),
+        entry!(
+            7,
+            "mnist_784",
+            70000,
+            784,
+            784,
+            0,
+            0,
+            10,
+            122.0,
+            OpenMl,
+            false,
+            true,
+            MultiClass,
+            0.98,
+            0.98,
+            0.98,
+            0.95
+        ),
+        entry!(
+            8, "quake", 2178, 3, 3, 0, 0, 2, 0.0, OpenMl, false, true, Binary, 0.51, 0.53, 0.49,
+            0.54
+        ),
+        entry!(
+            9,
+            "fri_c1_1000_25",
+            1000,
+            25,
+            25,
+            0,
+            0,
+            2,
+            0.2,
+            OpenMl,
+            false,
+            true,
+            Binary,
+            0.88,
+            0.92,
+            0.60,
+            0.93
+        ),
+        entry!(
+            10,
+            "breast_cancer_wisconsin",
+            569,
+            30,
+            30,
+            0,
+            0,
+            2,
+            0.1,
+            Pmlb,
+            false,
+            true,
+            Binary,
+            0.98,
+            0.99,
+            0.99,
+            0.99
+        ),
+        entry!(
+            11,
+            "car_evaluation",
+            1728,
+            21,
+            21,
+            0,
+            0,
+            4,
+            0.1,
+            Pmlb,
+            false,
+            true,
+            MultiClass,
+            0.99,
+            1.00,
+            0.66,
+            1.00
+        ),
+        entry!(
+            12,
+            "detecting-insults-in-social-commentary",
+            3947,
+            2,
+            0,
+            1,
+            1,
+            2,
+            0.8,
+            Kaggle,
+            false,
+            true,
+            Binary,
+            0.58,
+            0.76,
+            0.43,
+            0.82
+        ),
+        entry!(
+            13, "glass", 205, 9, 9, 0, 0, 5, 0.0, Pmlb, false, true, MultiClass, 0.58, 0.46, 0.60,
+            0.67
+        ),
+        entry!(
+            14,
+            "Hill_Valley_with_noise",
+            1212,
+            100,
+            100,
+            0,
+            0,
+            2,
+            0.8,
+            Pmlb,
+            false,
+            true,
+            Binary,
+            0.38,
+            0.40,
+            1.00,
+            1.00
+        ),
+        entry!(
+            15,
+            "Hill_Valley_without_noise",
+            1212,
+            100,
+            100,
+            0,
+            0,
+            2,
+            1.5,
+            Pmlb,
+            false,
+            true,
+            Binary,
+            0.73,
+            0.73,
+            1.00,
+            1.00
+        ),
+        entry!(
+            16,
+            "ionosphere",
+            351,
+            34,
+            34,
+            0,
+            0,
+            2,
+            0.1,
+            Pmlb,
+            false,
+            true,
+            Binary,
+            0.94,
+            0.93,
+            0.94,
+            0.94
+        ),
+        entry!(
+            17,
+            "sentiment-analysis-on-movie-reviews",
+            156060,
+            3,
+            2,
+            0,
+            1,
+            5,
+            8.1,
+            Kaggle,
+            false,
+            true,
+            MultiClass,
+            0.45,
+            0.49,
+            0.43,
+            0.43
+        ),
+        entry!(
+            18, "spambase", 4601, 57, 57, 0, 0, 2, 1.1, Pmlb, false, true, Binary, 0.96, 0.96,
+            0.97, 0.97
+        ),
+        entry!(
+            19,
+            "spooky-author-identification",
+            19579,
+            2,
+            0,
+            1,
+            1,
+            3,
+            3.1,
+            Kaggle,
+            false,
+            true,
+            MultiClass,
+            0.00,
+            0.72,
+            0.19,
+            0.72
+        ),
+        entry!(
+            20, "titanic", 891, 11, 6, 4, 1, 2, 0.1, Kaggle, false, true, Binary, 0.80, 0.80, 0.55,
+            0.84
+        ),
+        entry!(
+            21,
+            "wine_quality_red",
+            1599,
+            11,
+            11,
+            0,
+            0,
+            6,
+            0.1,
+            Pmlb,
+            false,
+            true,
+            MultiClass,
+            0.33,
+            0.35,
+            0.30,
+            0.34
+        ),
+        entry!(
+            22,
+            "wine_quality_white",
+            4898,
+            11,
+            11,
+            0,
+            0,
+            7,
+            0.3,
+            Pmlb,
+            false,
+            true,
+            MultiClass,
+            0.40,
+            0.40,
+            0.36,
+            0.41
+        ),
+        entry!(
+            23,
+            "housing-prices",
+            1460,
+            80,
+            37,
+            43,
+            0,
+            0,
+            0.4,
+            Kaggle,
+            false,
+            true,
+            Regression,
+            0.87,
+            0.89,
+            0.86,
+            0.89
+        ),
+        entry!(
+            24,
+            "mercedes-benz-greener-manufacturing",
+            4209,
+            377,
+            369,
+            8,
+            0,
+            0,
+            3.1,
+            Kaggle,
+            false,
+            true,
+            Regression,
+            0.59,
+            0.65,
+            0.59,
+            0.65
+        ),
+        entry!(
+            25, "adult", 48842, 14, 6, 8, 0, 2, 5.7, AutoMl, true, true, Binary, 0.81, 0.81, 0.54,
+            0.82
+        ),
+        entry!(
+            26, "airlines", 539383, 7, 4, 3, 0, 2, 18.3, AutoMl, true, false, Binary, 0.66, 0.66,
+            0.66, 0.66
+        ),
+        entry!(
+            27, "albert", 425240, 78, 78, 0, 0, 2, 155.4, AutoMl, true, false, Binary, 0.66, 0.69,
+            0.33, 0.69
+        ),
+        entry!(
+            28,
+            "Amazon_employee_access",
+            32769,
+            9,
+            9,
+            0,
+            0,
+            2,
+            1.9,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.74,
+            0.74,
+            0.73,
+            0.76
+        ),
+        entry!(
+            29,
+            "APSFailure",
+            76000,
+            170,
+            170,
+            0,
+            0,
+            2,
+            74.8,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.72,
+            0.92,
+            0.88,
+            0.92
+        ),
+        entry!(
+            30,
+            "Australian",
+            690,
+            14,
+            14,
+            0,
+            0,
+            2,
+            0.0,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.86,
+            0.87,
+            0.85,
+            0.85
+        ),
+        entry!(
+            31,
+            "bank-marketing",
+            45211,
+            16,
+            7,
+            9,
+            0,
+            2,
+            3.5,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.76,
+            0.75,
+            0.78,
+            0.79
+        ),
+        entry!(
+            32,
+            "blood-transfusion-service-center",
+            748,
+            4,
+            4,
+            0,
+            0,
+            2,
+            0.0,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.64,
+            0.67,
+            0.64,
+            0.65
+        ),
+        entry!(
+            33,
+            "christine",
+            5418,
+            1636,
+            1636,
+            0,
+            0,
+            2,
+            31.4,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.73,
+            0.74,
+            0.75,
+            0.74
+        ),
+        entry!(
+            34, "credit-g", 1000, 20, 7, 13, 0, 2, 0.1, AutoMl, true, false, Binary, 0.72, 0.70,
+            0.74, 0.78
+        ),
+        entry!(
+            35,
+            "guillermo",
+            20000,
+            4296,
+            4296,
+            0,
+            0,
+            2,
+            424.5,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.82,
+            0.82,
+            0.83,
+            0.71
+        ),
+        entry!(
+            36, "higgs", 98050, 28, 28, 0, 0, 2, 43.3, AutoMl, true, false, Binary, 0.00, 0.73,
+            0.32, 0.73
+        ),
+        entry!(
+            37, "jasmine", 2984, 144, 144, 0, 0, 2, 1.7, AutoMl, true, false, Binary, 0.80, 0.81,
+            0.81, 0.81
+        ),
+        entry!(
+            38, "kc1", 2109, 21, 21, 0, 0, 2, 0.1, AutoMl, true, false, Binary, 0.66, 0.69, 0.70,
+            0.72
+        ),
+        entry!(
+            39,
+            "KDDCup09_appetency",
+            50000,
+            230,
+            192,
+            38,
+            0,
+            2,
+            32.8,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.52,
+            0.53,
+            0.57,
+            0.57
+        ),
+        entry!(
+            40, "kr-vs-kp", 3196, 36, 0, 36, 0, 2, 0.5, AutoMl, true, false, Binary, 0.99, 1.00,
+            0.99, 1.00
+        ),
+        entry!(
+            41,
+            "MiniBooNE",
+            130064,
+            50,
+            50,
+            0,
+            0,
+            2,
+            69.4,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.94,
+            0.94,
+            0.94,
+            0.94
+        ),
+        entry!(
+            42, "nomao", 34465, 118, 118, 0, 0, 2, 19.3, AutoMl, true, false, Binary, 0.97, 0.96,
+            0.96, 0.96
+        ),
+        entry!(
+            43,
+            "numerai28.6",
+            96320,
+            21,
+            21,
+            0,
+            0,
+            2,
+            34.9,
+            AutoMl,
+            true,
+            false,
+            Binary,
+            0.52,
+            0.52,
+            0.52,
+            0.52
+        ),
+        entry!(
+            44, "phoneme", 5404, 5, 5, 0, 0, 2, 0.3, AutoMl, true, false, Binary, 0.90, 0.91, 0.89,
+            0.91
+        ),
+        entry!(
+            45, "riccardo", 20000, 4296, 4296, 0, 0, 2, 414.0, AutoMl, true, false, Binary, 1.00,
+            0.99, 0.99, 0.99
+        ),
+        entry!(
+            46, "sylvine", 5124, 20, 20, 0, 0, 2, 0.4, AutoMl, true, false, Binary, 0.95, 0.94,
+            0.63, 0.94
+        ),
+        entry!(
+            47, "car", 1728, 6, 0, 6, 0, 4, 0.1, AutoMl, true, false, MultiClass, 0.26, 0.97, 0.65,
+            1.00
+        ),
+        entry!(
+            48, "cnae-9", 1080, 856, 856, 0, 0, 9, 1.8, AutoMl, true, false, MultiClass, 0.96,
+            0.94, 0.93, 0.95
+        ),
+        entry!(
+            49,
+            "connect-4",
+            67557,
+            42,
+            42,
+            0,
+            0,
+            3,
+            5.5,
+            AutoMl,
+            true,
+            false,
+            MultiClass,
+            0.74,
+            0.73,
+            0.72,
+            0.73
+        ),
+        entry!(
+            50,
+            "covertype",
+            581012,
+            54,
+            54,
+            0,
+            0,
+            7,
+            71.7,
+            AutoMl,
+            true,
+            true,
+            MultiClass,
+            0.94,
+            0.94,
+            0.30,
+            0.85
+        ),
+        entry!(
+            51, "dilbert", 10000, 2000, 2000, 0, 0, 5, 176.0, AutoMl, true, false, MultiClass,
+            0.99, 0.99, 0.99, 0.99
+        ),
+        entry!(
+            52, "dionis", 416188, 60, 60, 0, 0, 355, 110.1, AutoMl, true, false, MultiClass, 0.88,
+            0.90, 0.00, 0.00
+        ),
+        entry!(
+            53, "fabert", 8237, 800, 800, 0, 0, 7, 13.0, AutoMl, true, false, MultiClass, 0.70,
+            0.71, 0.70, 0.69
+        ),
+        entry!(
+            54,
+            "Fashion-MNIST",
+            70000,
+            784,
+            784,
+            0,
+            0,
+            10,
+            148.0,
+            AutoMl,
+            true,
+            false,
+            MultiClass,
+            0.91,
+            0.90,
+            0.60,
+            0.86
+        ),
+        entry!(
+            55, "helena", 65196, 27, 27, 0, 0, 100, 14.6, AutoMl, true, false, MultiClass, 0.23,
+            0.23, 0.24, 0.18
+        ),
+        entry!(
+            56, "jannis", 83733, 54, 54, 0, 0, 4, 36.7, AutoMl, true, false, MultiClass, 0.56,
+            0.57, 0.60, 0.60
+        ),
+        entry!(
+            57,
+            "jungle_chess_2pcs_raw_endgame_complete",
+            44819,
+            6,
+            6,
+            0,
+            0,
+            3,
+            0.6,
+            AutoMl,
+            true,
+            false,
+            MultiClass,
+            0.83,
+            0.80,
+            0.87,
+            0.87
+        ),
+        entry!(
+            58,
+            "mfeat-factors",
+            2000,
+            216,
+            216,
+            0,
+            0,
+            10,
+            1.4,
+            AutoMl,
+            true,
+            false,
+            MultiClass,
+            0.97,
+            0.98,
+            0.98,
+            0.99
+        ),
+        entry!(
+            59, "robert", 10000, 7200, 7200, 0, 0, 10, 268.1, AutoMl, true, false, MultiClass,
+            0.35, 0.40, 0.49, 0.45
+        ),
+        entry!(
+            60, "segment", 2310, 19, 19, 0, 0, 7, 0.3, AutoMl, true, false, MultiClass, 0.98, 0.98,
+            0.98, 0.99
+        ),
+        entry!(
+            61, "shuttle", 58000, 9, 9, 0, 0, 7, 1.5, AutoMl, true, false, MultiClass, 0.99, 0.98,
+            0.96, 0.99
+        ),
+        entry!(
+            62, "vehicle", 846, 18, 18, 0, 0, 4, 0.1, AutoMl, true, false, MultiClass, 0.78, 0.79,
+            0.82, 0.81
+        ),
+        entry!(
+            63, "volkert", 58310, 180, 180, 0, 0, 10, 65.1, AutoMl, true, false, MultiClass, 0.66,
+            0.67, 0.68, 0.64
+        ),
+        entry!(
+            64, "2dplanes", 40768, 10, 10, 0, 0, 0, 2.4, Pmlb, true, false, Regression, 0.95, 0.95,
+            0.95, 0.95
+        ),
+        entry!(
+            65,
+            "bng_breastTumor",
+            116640,
+            9,
+            9,
+            0,
+            0,
+            0,
+            6.0,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.18,
+            0.19,
+            0.18,
+            0.19
+        ),
+        entry!(
+            66,
+            "bng_echomonths",
+            17496,
+            9,
+            9,
+            0,
+            0,
+            0,
+            2.3,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.47,
+            0.45,
+            0.46,
+            0.46
+        ),
+        entry!(
+            67,
+            "bng_lowbwt",
+            31104,
+            9,
+            9,
+            0,
+            0,
+            0,
+            2.4,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.62,
+            0.62,
+            0.61,
+            0.62
+        ),
+        entry!(
+            68, "bng_pbc", 1000000, 18, 18, 0, 0, 0, 220.8, Pmlb, true, false, Regression, 0.46,
+            0.45, 0.45, 0.41
+        ),
+        entry!(
+            69,
+            "bng_pharynx",
+            1000000,
+            10,
+            10,
+            0,
+            0,
+            0,
+            68.6,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.51,
+            0.52,
+            0.51,
+            0.52
+        ),
+        entry!(
+            70,
+            "bng_pwLinear",
+            177147,
+            10,
+            10,
+            0,
+            0,
+            0,
+            10.6,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.62,
+            0.62,
+            0.62,
+            0.62
+        ),
+        entry!(
+            71, "fried", 40768, 10, 10, 0, 0, 0, 8.1, Pmlb, true, false, Regression, 0.96, 0.95,
+            0.96, 0.96
+        ),
+        entry!(
+            72,
+            "house_16H",
+            22784,
+            16,
+            16,
+            0,
+            0,
+            0,
+            5.8,
+            Pmlb,
+            true,
+            false,
+            Regression,
+            0.70,
+            0.71,
+            0.70,
+            0.71
+        ),
+        entry!(
+            73, "house_8L", 22784, 8, 8, 0, 0, 0, 2.8, Pmlb, true, false, Regression, 0.71, 0.71,
+            0.72, 0.72
+        ),
+        entry!(
+            74, "houses", 20640, 8, 8, 0, 0, 0, 1.8, Pmlb, true, false, Regression, 0.86, 0.86,
+            0.85, 0.86
+        ),
+        entry!(
+            75, "mv", 40768, 11, 11, 0, 0, 0, 5.9, Pmlb, true, false, Regression, 0.00, 1.00, 1.00,
+            1.00
+        ),
+        entry!(
+            76, "poker", 1025010, 10, 10, 0, 0, 0, 23.0, Pmlb, true, false, Regression, 0.92, 0.87,
+            0.93, 0.90
+        ),
+        entry!(
+            77, "pol", 15000, 48, 48, 0, 0, 0, 3.0, Pmlb, true, false, Regression, 0.99, 0.99,
+            0.99, 0.99
+        ),
     ];
     &CATALOG
 }
@@ -282,12 +1068,7 @@ mod tests {
     #[test]
     fn table1_composition_matches_the_paper() {
         // Table 1 totals: AutoML 39, PMLB 23, OpenML 9, Kaggle 6.
-        let per_source = |s: Source| {
-            benchmark()
-                .iter()
-                .filter(|e| e.source == s)
-                .count()
-        };
+        let per_source = |s: Source| benchmark().iter().filter(|e| e.source == s).count();
         assert_eq!(per_source(Source::AutoMl), 39);
         assert_eq!(per_source(Source::Pmlb), 23);
         assert_eq!(per_source(Source::OpenMl), 9);

@@ -90,14 +90,54 @@ fn style_of(domain: usize) -> DomainStyle {
         &["bronze", "silver", "gold", "platinum"],
     ];
     const WORDS: [&[&str]; NUM_DOMAINS] = [
-        &["revenue", "quarter", "sales", "growth", "forecast", "margin", "pipeline"],
-        &["order", "shipment", "customer", "return", "warehouse", "stock", "invoice"],
-        &["account", "balance", "interest", "payment", "credit", "transfer", "rate"],
-        &["engine", "mileage", "fuel", "torque", "transmission", "brake", "wheel"],
-        &["patient", "diagnosis", "treatment", "symptom", "dosage", "clinical", "trial"],
-        &["album", "track", "artist", "melody", "rhythm", "concert", "chorus"],
-        &["rainfall", "temperature", "humidity", "pressure", "wind", "storm", "front"],
-        &["member", "reward", "points", "tier", "upgrade", "renewal", "benefit"],
+        &[
+            "revenue", "quarter", "sales", "growth", "forecast", "margin", "pipeline",
+        ],
+        &[
+            "order",
+            "shipment",
+            "customer",
+            "return",
+            "warehouse",
+            "stock",
+            "invoice",
+        ],
+        &[
+            "account", "balance", "interest", "payment", "credit", "transfer", "rate",
+        ],
+        &[
+            "engine",
+            "mileage",
+            "fuel",
+            "torque",
+            "transmission",
+            "brake",
+            "wheel",
+        ],
+        &[
+            "patient",
+            "diagnosis",
+            "treatment",
+            "symptom",
+            "dosage",
+            "clinical",
+            "trial",
+        ],
+        &[
+            "album", "track", "artist", "melody", "rhythm", "concert", "chorus",
+        ],
+        &[
+            "rainfall",
+            "temperature",
+            "humidity",
+            "pressure",
+            "wind",
+            "storm",
+            "front",
+        ],
+        &[
+            "member", "reward", "points", "tier", "upgrade", "renewal", "benefit",
+        ],
     ];
     DomainStyle {
         offset: domain as f64 * 37.0,
@@ -336,9 +376,7 @@ pub fn synthesize(spec: &SynthSpec, seed: u64) -> Dataset {
         // with probability 1 − ceiling.
         let mut sorted = latent.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let thresholds: Vec<f64> = (1..k)
-            .map(|q| sorted[q * (n - 1) / k])
-            .collect();
+        let thresholds: Vec<f64> = (1..k).map(|q| sorted[q * (n - 1) / k]).collect();
         let flip = (1.0 - ceiling).clamp(0.0, 0.9);
         let y: Vec<f64> = latent
             .iter()
@@ -481,7 +519,10 @@ mod tests {
     #[test]
     fn low_ceiling_datasets_are_noisy() {
         // numerai28.6 has ceiling 0.52: labels should be near-random.
-        let numerai = benchmark().iter().find(|e| e.name == "numerai28.6").unwrap();
+        let numerai = benchmark()
+            .iter()
+            .find(|e| e.name == "numerai28.6")
+            .unwrap();
         let ds = generate_dataset(numerai, &ScaleConfig::default(), 1);
         // kr-vs-kp has ceiling 1.00: labels should be clean.
         let krkp = benchmark().iter().find(|e| e.name == "kr-vs-kp").unwrap();

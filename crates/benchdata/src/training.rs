@@ -25,10 +25,8 @@ pub fn shape_weights(shape: DataShape, regression: bool) -> Vec<f64> {
     ESTIMATOR_NAMES
         .iter()
         .map(|name| {
-            let classification_only = matches!(
-                *name,
-                "logistic_regression" | "linear_svm" | "gaussian_nb"
-            );
+            let classification_only =
+                matches!(*name, "logistic_regression" | "linear_svm" | "gaussian_nb");
             let regression_only = matches!(*name, "linear_regression" | "ridge" | "lasso");
             if (regression && classification_only) || (!regression && regression_only) {
                 return 0.0;

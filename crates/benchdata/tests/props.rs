@@ -16,17 +16,19 @@ fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
         0.1f64..0.99,
         0.0f64..0.2,
     )
-        .prop_map(|(name, rows, num, cat, text, classes, ceiling, missing)| SynthSpec {
-            name,
-            rows,
-            // At least one feature column of some kind.
-            num: num.max(usize::from(cat == 0 && text == 0)),
-            cat,
-            text,
-            classes: if classes == 1 { 2 } else { classes },
-            ceiling,
-            missing,
-        })
+        .prop_map(
+            |(name, rows, num, cat, text, classes, ceiling, missing)| SynthSpec {
+                name,
+                rows,
+                // At least one feature column of some kind.
+                num: num.max(usize::from(cat == 0 && text == 0)),
+                cat,
+                text,
+                classes: if classes == 1 { 2 } else { classes },
+                ceiling,
+                missing,
+            },
+        )
 }
 
 proptest! {

@@ -62,7 +62,8 @@ impl Analyzer {
     fn walk_stmt(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Import { module, alias } => {
-                self.imports.insert(alias.clone(), module_root(module, alias));
+                self.imports
+                    .insert(alias.clone(), module_root(module, alias));
             }
             Stmt::FromImport { module, names } => {
                 for (name, alias) in names {
@@ -128,10 +129,7 @@ impl Analyzer {
     /// resolved API type of that value (if known).
     fn visit_expr(&mut self, expr: &Expr, line: usize) -> (Option<NodeId>, Option<String>) {
         match expr {
-            Expr::Name(n) => (
-                self.env.get(n).copied(),
-                self.types.get(n).cloned(),
-            ),
+            Expr::Name(n) => (self.env.get(n).copied(), self.types.get(n).cloned()),
             Expr::Str(_) | Expr::Num(_) | Expr::Keyword(_) => (None, None),
             Expr::Subscript { base, .. } => {
                 // Value flows through the container: `df['x']` carries df's

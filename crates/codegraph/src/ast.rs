@@ -118,9 +118,7 @@ impl Expr {
     pub fn dotted_name(&self) -> Option<String> {
         match self {
             Expr::Name(n) => Some(n.clone()),
-            Expr::Attribute { base, attr } => {
-                base.dotted_name().map(|b| format!("{b}.{attr}"))
-            }
+            Expr::Attribute { base, attr } => base.dotted_name().map(|b| format!("{b}.{attr}")),
             _ => None,
         }
     }

@@ -261,11 +261,7 @@ fn transformer_api(index: usize) -> (&'static str, &'static str) {
 }
 
 /// Picks 0–3 transformers that make sense for the profile + estimator.
-fn pick_transformers(
-    profile: &DatasetProfile,
-    estimator: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+fn pick_transformers(profile: &DatasetProfile, estimator: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut picks = Vec::new();
     let t_index = |name: &str| TRANSFORMER_NAMES.iter().position(|n| *n == name).unwrap();
     if profile.has_missing && rng.gen::<f64>() < 0.8 {
@@ -281,7 +277,12 @@ fn pick_transformers(
     );
     let scaler_prob = if scale_sensitive { 0.8 } else { 0.25 };
     if rng.gen::<f64>() < scaler_prob {
-        let scalers = ["standard_scaler", "min_max_scaler", "robust_scaler", "normalizer"];
+        let scalers = [
+            "standard_scaler",
+            "min_max_scaler",
+            "robust_scaler",
+            "normalizer",
+        ];
         let pick = *scalers.choose(rng).unwrap();
         picks.push(t_index(pick));
     }
@@ -393,7 +394,9 @@ fn generate_unsupported_script(profile: &DatasetProfile, rng: &mut StdRng) -> St
     src.push_str("df.describe()\n");
     match framework {
         "torch" => {
-            src.push_str("net = torch.nn.Linear(64, 2)\nopt = torch.optim.Adam(net.parameters())\n");
+            src.push_str(
+                "net = torch.nn.Linear(64, 2)\nopt = torch.optim.Adam(net.parameters())\n",
+            );
             src.push_str("out = net.forward(df)\n");
         }
         _ => {

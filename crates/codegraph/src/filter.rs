@@ -39,11 +39,8 @@ impl PipelineGraph {
         let mut ops = Vec::with_capacity(self.ops.len() + 1);
         ops.push(PipelineOp::Dataset);
         ops.extend(self.ops.iter().copied());
-        let mut edges: Vec<(usize, usize)> = self
-            .edges
-            .iter()
-            .map(|&(f, t)| (f + 1, t + 1))
-            .collect();
+        let mut edges: Vec<(usize, usize)> =
+            self.edges.iter().map(|&(f, t)| (f + 1, t + 1)).collect();
         let mut attached = false;
         for (i, op) in self.ops.iter().enumerate() {
             if *op == PipelineOp::ReadCsv {
@@ -263,7 +260,9 @@ model.fit(X, df_train['Y'])
         for i in 0..15 {
             src.push_str(&format!("df.describe()\nplt.plot(df['c{i}'])\nplt.show()\ndf_{i} = df.fillna({i})\ndf = df_{i}.dropna()\n"));
         }
-        src.push_str("m = GradientBoostingClassifier(n_estimators=100, learning_rate=0.1)\nm.fit(df, df)\n");
+        src.push_str(
+            "m = GradientBoostingClassifier(n_estimators=100, learning_rate=0.1)\nm.fit(df, df)\n",
+        );
         let raw = analyze(&src).unwrap();
         let filtered = filter_graph(&raw);
         let node_reduction = 1.0 - filtered.num_nodes() as f64 / raw.num_nodes() as f64;

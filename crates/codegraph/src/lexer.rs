@@ -151,8 +151,7 @@ fn tokenize_line(
             push(out, Token::Name(chars[start..i].iter().collect()));
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
         {
             let start = i;
             let mut seen_dot = false;
@@ -247,7 +246,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -212,9 +212,7 @@ impl Parser {
                     // variable for dataflow purposes.
                     Expr::Subscript { base, .. } | Expr::Attribute { base, .. } => {
                         match base.dotted_name() {
-                            Some(n) => {
-                                targets.push(n.split('.').next().unwrap_or(&n).to_string())
-                            }
+                            Some(n) => targets.push(n.split('.').next().unwrap_or(&n).to_string()),
                             None => return self.err("unsupported assignment target"),
                         }
                     }
@@ -254,8 +252,20 @@ impl Parser {
                 Token::Op(o)
                     if matches!(
                         o.as_str(),
-                        "+" | "-" | "*" | "/" | "%" | "**" | "//" | "==" | "!=" | "<" | ">"
-                            | "<=" | ">=" | "&" | "|"
+                        "+" | "-"
+                            | "*"
+                            | "/"
+                            | "%"
+                            | "**"
+                            | "//"
+                            | "=="
+                            | "!="
+                            | "<"
+                            | ">"
+                            | "<="
+                            | ">="
+                            | "&"
+                            | "|"
                     ) =>
                 {
                     o.clone()
@@ -431,7 +441,10 @@ model.fit(X, df_train['Y'])
 
     #[test]
     fn imports_and_aliases() {
-        let m = parse("import pandas as pd\nimport xgboost\nfrom sklearn.svm import SVC, LinearSVC as LSVC\n").unwrap();
+        let m = parse(
+            "import pandas as pd\nimport xgboost\nfrom sklearn.svm import SVC, LinearSVC as LSVC\n",
+        )
+        .unwrap();
         assert_eq!(
             m.body[0],
             Stmt::Import {

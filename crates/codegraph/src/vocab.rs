@@ -194,7 +194,10 @@ pub fn canonical_op(api_path: &str) -> Option<PipelineOp> {
         "sklearn.decomposition.PCA" => t(8),
         "sklearn.preprocessing.PolynomialFeatures" => t(9),
         "sklearn.linear_model.LogisticRegression" => e(0),
-        "sklearn.svm.SVC" | "sklearn.svm.LinearSVC" | "sklearn.svm.SVR" | "sklearn.svm.LinearSVR" => e(1),
+        "sklearn.svm.SVC"
+        | "sklearn.svm.LinearSVC"
+        | "sklearn.svm.SVR"
+        | "sklearn.svm.LinearSVR" => e(1),
         "sklearn.linear_model.LinearRegression" => e(2),
         "sklearn.linear_model.Ridge" => e(3),
         "sklearn.linear_model.Lasso" => e(4),
@@ -264,10 +267,7 @@ mod tests {
         );
         assert_eq!(canonical_op("matplotlib.pyplot.plot"), None);
         assert_eq!(canonical_op("torch.nn.Linear"), None);
-        assert_eq!(
-            canonical_op("sklearn.svm.SVC.fit"),
-            Some(PipelineOp::Fit)
-        );
+        assert_eq!(canonical_op("sklearn.svm.SVC.fit"), Some(PipelineOp::Fit));
         assert_eq!(
             canonical_op("xgboost.XGBRegressor.predict"),
             Some(PipelineOp::Predict)

@@ -28,13 +28,13 @@
 //!    (used by the paper's MRR and diversity analyses).
 //!
 //! ```no_run
-//! use kgpip::{Kgpip, KgpipConfig};
-//! use kgpip_hpo::{Flaml, TimeBudget};
+//! use kgpip::prelude::*;
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! # let scripts: Vec<kgpip_codegraph::corpus::ScriptRecord> = vec![];
-//! # let tables: Vec<(String, kgpip_tabular::DataFrame)> = vec![];
-//! # let unseen: kgpip_tabular::Dataset = todo!();
-//! let model = Kgpip::train(&scripts, &tables, KgpipConfig::default())?;
+//! # let tables: Vec<(String, DataFrame)> = vec![];
+//! # let unseen: Dataset = todo!();
+//! let config = KgpipConfig::default().with_k(5).with_seed(7).with_parallelism(4);
+//! let model = Kgpip::train(&scripts, &tables, config)?;
 //! let mut backend = Flaml::new(0);
 //! let run = model.run(&unseen, &mut backend, TimeBudget::seconds(60.0))?;
 //! println!("best: {} -> {:.3}", run.best().spec.describe(), run.best_score());
@@ -48,6 +48,19 @@ pub mod train;
 pub use predict::{KgpipRun, SkeletonResult};
 pub use skeleton::{decode_skeleton, validate_against_capabilities};
 pub use train::{Kgpip, KgpipConfig, TrainingStats};
+
+/// One-stop imports for driving KGpip end to end: the system types, the
+/// HPO engines and their shared evaluation machinery, and the tabular
+/// primitives every example needs.
+pub mod prelude {
+    pub use crate::{Kgpip, KgpipConfig, KgpipError, KgpipRun, SkeletonResult, TrainingStats};
+    pub use kgpip_hpo::{
+        Al, AutoSklearn, BudgetGate, Candidate, Evaluator, Flaml, HpoResult, Optimizer, Skeleton,
+        TimeBudget, TrialOutcome,
+    };
+    pub use kgpip_learners::{EstimatorKind, TransformerKind};
+    pub use kgpip_tabular::{train_test_split, Column, DataFrame, Dataset, Task};
+}
 
 /// Errors produced by the KGpip system.
 #[derive(Debug)]

@@ -9,6 +9,8 @@ use kgpip_graphgen::model::TypedGraph;
 use kgpip_hpo::{HpoResult, Optimizer, Skeleton, TimeBudget};
 use kgpip_learners::EstimatorKind;
 use kgpip_tabular::Dataset;
+use parking_lot::Mutex;
+use rayon::prelude::*;
 use std::time::Duration;
 
 /// The outcome of HPO on one predicted skeleton.
@@ -157,6 +159,12 @@ impl Kgpip {
     }
 
     /// [`Kgpip::run`] with an explicit K (Figure 7 sweeps K ∈ {3, 5, 7}).
+    ///
+    /// With `config.parallelism == 1` skeletons are searched one after the
+    /// other, each getting `(T − t)/K` of the *remaining* budget (unused
+    /// share rolls forward). With `parallelism > 1` skeletons run on
+    /// concurrent lanes, each with an upfront `(T − t)/K` sub-budget drawn
+    /// from the same shared trial pool, so the global cap stays exact.
     pub fn run_k(
         &self,
         train: &Dataset,
@@ -171,19 +179,24 @@ impl Kgpip {
         let generation_time = started.elapsed();
 
         let total = skeletons.len();
-        let mut results = Vec::with_capacity(total);
-        for (i, (skeleton, generation_score)) in skeletons.into_iter().enumerate() {
-            // Sequential (T - t)/K split over both time and trials; the
-            // divisor shrinks as skeletons complete, so unused share rolls
-            // forward.
-            let sub = budget.sub_budget_k(total - i);
-            let hpo = backend.optimize_skeleton(train, &skeleton, &sub).ok();
-            results.push(SkeletonResult {
-                skeleton,
-                generation_score,
-                hpo,
-            });
-        }
+        let results: Vec<SkeletonResult> = if self.config.parallelism <= 1 {
+            let mut results = Vec::with_capacity(total);
+            for (i, (skeleton, generation_score)) in skeletons.into_iter().enumerate() {
+                // Sequential (T - t)/K split over both time and trials;
+                // the divisor shrinks as skeletons complete, so unused
+                // share rolls forward.
+                let sub = budget.sub_budget_k(total - i);
+                let hpo = backend.optimize_skeleton(train, &skeleton, &sub).ok();
+                results.push(SkeletonResult {
+                    skeleton,
+                    generation_score,
+                    hpo,
+                });
+            }
+            results
+        } else {
+            self.run_skeletons_parallel(train, backend, &budget, skeletons)
+        };
         let best_index = results
             .iter()
             .enumerate()
@@ -196,6 +209,55 @@ impl Kgpip {
             generation_time,
             results,
             best_index,
+        })
+    }
+
+    /// Parallel lanes for the per-skeleton `(T − t)/K` searches: each
+    /// skeleton gets a fresh engine clone (configuration only, no search
+    /// state) and a sub-budget sharing the parent's trial pool. The
+    /// configured parallelism is split across lanes, with the remainder
+    /// given to each lane's own trial evaluation.
+    fn run_skeletons_parallel(
+        &self,
+        train: &Dataset,
+        backend: &dyn Optimizer,
+        budget: &TimeBudget,
+        skeletons: Vec<(Skeleton, f64)>,
+    ) -> Vec<SkeletonResult> {
+        let total = skeletons.len();
+        let lanes = self.config.parallelism.min(total).max(1);
+        let per_engine = (self.config.parallelism / lanes).max(1);
+        let engines: Vec<Mutex<Box<dyn Optimizer + Send>>> = (0..total)
+            .map(|_| {
+                let mut engine = backend.clone_boxed();
+                engine.set_parallelism(per_engine);
+                Mutex::new(engine)
+            })
+            .collect();
+        let sub_budgets: Vec<TimeBudget> = (0..total).map(|_| budget.sub_budget_k(total)).collect();
+        let work: Vec<(usize, Skeleton, f64)> = skeletons
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, g))| (i, s, g))
+            .collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(lanes)
+            .build()
+            .expect("thread pool construction");
+        pool.install(|| {
+            work.par_iter()
+                .map(|(i, skeleton, generation_score)| {
+                    let hpo = engines[*i]
+                        .lock()
+                        .optimize_skeleton(train, skeleton, &sub_budgets[*i])
+                        .ok();
+                    SkeletonResult {
+                        skeleton: skeleton.clone(),
+                        generation_score: *generation_score,
+                        hpo,
+                    }
+                })
+                .collect()
         })
     }
 }
@@ -286,7 +348,9 @@ mod tests {
         let model = trained_model();
         let ds = unseen_dataset(150);
         let mut backend = Flaml::new(1);
-        let run = model.run(&ds, &mut backend, TimeBudget::seconds(3.0)).unwrap();
+        let run = model
+            .run(&ds, &mut backend, TimeBudget::seconds(3.0))
+            .unwrap();
         assert!(!run.results.is_empty());
         assert!(run.best_score() > 0.5, "score {}", run.best_score());
         assert!(run.reciprocal_rank() > 0.0 && run.reciprocal_rank() <= 1.0);

@@ -56,7 +56,9 @@ mod tests {
     use kgpip_hpo::space::capabilities_json;
 
     fn graph(ops: Vec<PipelineOp>) -> PipelineGraph {
-        let edges = (0..ops.len().saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges = (0..ops.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         PipelineGraph { ops, edges }
     }
 

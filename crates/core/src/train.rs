@@ -14,6 +14,19 @@ use std::collections::HashMap;
 const CONDITION_GAIN: f64 = 8.0;
 
 /// KGpip system configuration.
+///
+/// Build one fluently from the defaults:
+///
+/// ```
+/// use kgpip::KgpipConfig;
+///
+/// let config = KgpipConfig::default()
+///     .with_k(5)
+///     .with_seed(7)
+///     .with_parallelism(4);
+/// assert_eq!(config.top_k, 5);
+/// assert_eq!(config.parallelism, 4);
+/// ```
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct KgpipConfig {
     /// Number of pipeline graphs to predict per dataset (the paper's K;
@@ -26,6 +39,9 @@ pub struct KgpipConfig {
     pub generator: GeneratorConfig,
     /// Seed for prediction-time sampling.
     pub seed: u64,
+    /// Worker threads for the `(T − t)/K` skeleton searches and their
+    /// trial evaluation (1 = fully sequential, the historical behaviour).
+    pub parallelism: usize,
 }
 
 impl Default for KgpipConfig {
@@ -35,7 +51,41 @@ impl Default for KgpipConfig {
             temperature: 1.2,
             generator: GeneratorConfig::default(),
             seed: 0,
+            parallelism: 1,
         }
+    }
+}
+
+impl KgpipConfig {
+    /// Sets the number of predicted skeletons per dataset (the paper's K).
+    pub fn with_k(mut self, top_k: usize) -> KgpipConfig {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the generation sampling temperature.
+    pub fn with_temperature(mut self, temperature: f64) -> KgpipConfig {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Sets the generator hyperparameters.
+    pub fn with_generator(mut self, generator: GeneratorConfig) -> KgpipConfig {
+        self.generator = generator;
+        self
+    }
+
+    /// Sets the prediction-time sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> KgpipConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for skeleton search and trial
+    /// evaluation (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: usize) -> KgpipConfig {
+        self.parallelism = parallelism.max(1);
+        self
     }
 }
 
@@ -203,6 +253,12 @@ impl Kgpip {
         &self.config
     }
 
+    /// Overrides the run-time parallelism of a trained (or loaded) model
+    /// — a deployment knob, not a training artifact (clamped to ≥ 1).
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.config.parallelism = parallelism.max(1);
+    }
+
     /// The assembled Graph4ML (for corpus analyses like Figure 9).
     pub fn graph4ml(&self) -> &Graph4Ml {
         &self.graph4ml
@@ -233,14 +289,13 @@ impl Kgpip {
 
     /// Saves the trained model to a file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_json()?)
-            .map_err(|e| KgpipError::Persistence(e.to_string()))
+        std::fs::write(path, self.to_json()?).map_err(|e| KgpipError::Persistence(e.to_string()))
     }
 
     /// Loads a trained model from a file produced by [`Kgpip::save`].
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Kgpip> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| KgpipError::Persistence(e.to_string()))?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| KgpipError::Persistence(e.to_string()))?;
         Kgpip::from_json(&json)
     }
 }
@@ -314,7 +369,10 @@ mod tests {
         let stats = model.stats();
         assert_eq!(stats.scripts, 12);
         assert!(stats.valid_pipelines >= 6, "most sklearn scripts survive");
-        assert!(stats.valid_pipelines < 12, "torch/keras scripts are dropped");
+        assert!(
+            stats.valid_pipelines < 12,
+            "torch/keras scripts are dropped"
+        );
         assert_eq!(stats.datasets, 2);
         assert!(stats.total_nodes > 0);
         assert_eq!(stats.epoch_losses.len(), 2);

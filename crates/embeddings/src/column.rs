@@ -49,7 +49,9 @@ pub fn column_embedding(column: &Column) -> [f64; EMBED_DIM] {
     if column.kind() != ColumnKind::Numeric {
         let mut count = 0usize;
         for r in 0..column.len() {
-            let Some(s) = column.as_string(r) else { continue };
+            let Some(s) = column.as_string(r) else {
+                continue;
+            };
             let lowered = s.to_lowercase();
             let bytes = lowered.as_bytes();
             if bytes.len() < 3 {

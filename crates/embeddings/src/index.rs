@@ -102,8 +102,7 @@ impl VectorIndex {
             }
             // Recompute centroids as member means.
             for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| assignment[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }

@@ -41,7 +41,11 @@ mod tests {
         DataFrame::from_columns(vec![
             (
                 "revenue".to_string(),
-                Column::from_f64((0..50).map(|i| offset + i as f64 * 10.0).collect::<Vec<_>>()),
+                Column::from_f64(
+                    (0..50)
+                        .map(|i| offset + i as f64 * 10.0)
+                        .collect::<Vec<_>>(),
+                ),
             ),
             (
                 "region".to_string(),
@@ -61,7 +65,11 @@ mod tests {
                 "review".to_string(),
                 Column::text(
                     (0..50)
-                        .map(|i| Some(format!("this product review number {i} is quite long and wordy")))
+                        .map(|i| {
+                            Some(format!(
+                                "this product review number {i} is quite long and wordy"
+                            ))
+                        })
                         .collect::<Vec<_>>(),
                 ),
             ),

@@ -122,7 +122,11 @@ pub fn tsne(points: &[Vec<f64>], config: &TsneConfig) -> Vec<(f64, f64)> {
         .collect();
     let mut velocity = vec![(0.0f64, 0.0f64); n];
     for iter in 0..config.iterations {
-        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         // Low-dim affinities (Student-t kernel).
         let mut q = vec![0.0f64; n * n];
         let mut q_sum = 0.0f64;
@@ -188,9 +192,8 @@ mod tests {
         let (points, labels) = clustered_points();
         let layout = tsne(&points, &TsneConfig::default());
         // Mean within-cluster distance must be far below between-cluster.
-        let dist = |a: (f64, f64), b: (f64, f64)| {
-            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
-        };
+        let dist =
+            |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
         let mut within = Vec::new();
         let mut between = Vec::new();
         for i in 0..layout.len() {

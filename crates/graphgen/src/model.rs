@@ -140,7 +140,14 @@ impl GraphGenerator {
         let msg_bwd = Mlp::new(&mut store, "msg_bwd", 2 * h, h, h, &mut rng);
         let gru = GruCell::new(&mut store, "gru", h, h, &mut rng);
         let graph_proj = Linear::new(&mut store, "graph_proj", h, h, &mut rng);
-        let head_addnode = Mlp::new(&mut store, "addnode", 2 * h, h, config.vocab_size + 1, &mut rng);
+        let head_addnode = Mlp::new(
+            &mut store,
+            "addnode",
+            2 * h,
+            h,
+            config.vocab_size + 1,
+            &mut rng,
+        );
         let head_addedge = Mlp::new(&mut store, "addedge", 3 * h, h, 1, &mut rng);
         let head_pick = Mlp::new(&mut store, "pick", 2 * h, h, 1, &mut rng);
         GraphGenerator {
@@ -275,11 +282,7 @@ impl GraphGenerator {
     }
 
     /// Teacher-forced loss of one example; returns the scalar loss ref.
-    fn example_loss(
-        &self,
-        tape: &mut Tape,
-        example: &TrainExample,
-    ) -> kgpip_nn::Result<TensorRef> {
+    fn example_loss(&self, tape: &mut Tape, example: &TrainExample) -> kgpip_nn::Result<TensorRef> {
         let ds_input = tape.input(self.ds_tensor(&example.dataset_embedding));
         let decisions = decisions_for(&example.graph.types, &example.graph.edges);
         let mut partial = TypedGraph {
@@ -406,7 +409,14 @@ impl GraphGenerator {
                         .expect("generation shapes are internally consistent");
                     let p = sigmoid(tape.value(logit).get(0, 0) as f64 / temperature);
                     let add = rng.gen::<f64>() < p;
-                    (add, if add { p.max(1e-12).ln() } else { (1.0 - p).max(1e-12).ln() })
+                    (
+                        add,
+                        if add {
+                            p.max(1e-12).ln()
+                        } else {
+                            (1.0 - p).max(1e-12).ln()
+                        },
+                    )
                 };
                 log_prob += lp;
                 if !add {
@@ -481,7 +491,9 @@ fn sample_softmax(
 ) -> (usize, f64) {
     let n = logits.len();
     masked.sort_unstable();
-    let allowed: Vec<usize> = (0..n).filter(|i| masked.binary_search(i).is_err()).collect();
+    let allowed: Vec<usize> = (0..n)
+        .filter(|i| masked.binary_search(i).is_err())
+        .collect();
     debug_assert!(!allowed.is_empty());
     let max = allowed
         .iter()

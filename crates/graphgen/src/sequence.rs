@@ -88,10 +88,7 @@ mod tests {
         assert_eq!(picks, vec![0, 1, 2]);
         // Node 2 (the estimator) has no incoming edge: its edge loop is
         // AddEdge(false) immediately.
-        let node2_at = seq
-            .iter()
-            .position(|d| *d == Decision::AddNode(5))
-            .unwrap();
+        let node2_at = seq.iter().position(|d| *d == Decision::AddNode(5)).unwrap();
         assert_eq!(seq[node2_at + 1], Decision::AddEdge(false));
     }
 

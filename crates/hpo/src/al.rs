@@ -13,7 +13,7 @@
 use crate::budget::TimeBudget;
 use crate::meta::{meta_distance, meta_features, META_DIM};
 use crate::space::{self, Skeleton};
-use crate::trial::{Evaluator, HpoResult, Optimizer};
+use crate::trial::{Candidate, Evaluator, HpoResult, Optimizer};
 use crate::{HpoError, Result};
 use kgpip_learners::{EstimatorKind, TransformerKind};
 use kgpip_tabular::{Dataset, Task};
@@ -36,6 +36,7 @@ pub struct ReplayEntry {
 }
 
 /// The AL baseline.
+#[derive(Clone)]
 pub struct Al {
     seed: u64,
     replay: Vec<ReplayEntry>,
@@ -82,9 +83,7 @@ impl Optimizer for Al {
                     .partial_cmp(&meta_distance(&b.features, &target))
                     .unwrap()
             })
-            .ok_or_else(|| {
-                HpoError::BaselineFailure("no replay entry for this task type".into())
-            })?
+            .ok_or_else(|| HpoError::BaselineFailure("no replay entry for this task type".into()))?
             .clone();
 
         // Dynamic-analysis brittleness: the replayed script only covers
@@ -107,7 +106,8 @@ impl Optimizer for Al {
                 )));
             }
         }
-        if num_cat > 0 && entry.skeleton.transformers.is_empty()
+        if num_cat > 0
+            && entry.skeleton.transformers.is_empty()
             && matches!(
                 entry.skeleton.estimator,
                 EstimatorKind::LogisticRegression | EstimatorKind::LinearSvm | EstimatorKind::Knn
@@ -119,17 +119,22 @@ impl Optimizer for Al {
         }
 
         // Verbatim replay: one evaluation, default hyperparameters, no
-        // search (AL does not do HPO). The budget only gates whether the
-        // single run may proceed.
+        // search (AL does not do HPO). Unlike the search engines, AL has
+        // no anytime contract: an already-expired budget refuses even the
+        // first run.
         if budget.expired() {
             return Err(HpoError::BudgetExhausted);
         }
-        let evaluator = Evaluator::new(train, self.seed)?;
-        budget.consume_trial();
-        let outcome = evaluator.evaluate(
-            &entry.skeleton,
+        let evaluator = Evaluator::new(train, self.seed, budget)?;
+        let replayed = Candidate::new(
+            entry.skeleton.clone(),
             space::default_config(entry.skeleton.estimator),
         );
+        let outcome = evaluator
+            .evaluate_batch(std::slice::from_ref(&replayed))
+            .into_iter()
+            .next()
+            .ok_or(HpoError::BudgetExhausted)?;
         let score = outcome
             .score
             .ok_or_else(|| HpoError::BaselineFailure("replayed pipeline failed to fit".into()))?;
@@ -150,12 +155,13 @@ impl Optimizer for Al {
     }
 
     fn capabilities(&self) -> String {
-        let estimators: Vec<EstimatorKind> = self
-            .replay
-            .iter()
-            .map(|e| e.skeleton.estimator)
-            .collect();
+        let estimators: Vec<EstimatorKind> =
+            self.replay.iter().map(|e| e.skeleton.estimator).collect();
         space::capabilities_json("al", &estimators)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Optimizer + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -276,7 +282,10 @@ mod tests {
         let ds = Dataset::new("reg", f, y, Task::Regression).unwrap();
         let mut al = Al::new(0);
         let result = al.optimize(&ds, &TimeBudget::seconds(2.0)).unwrap();
-        assert!(!result.spec.estimator.supports(Task::Binary) || result.spec.estimator == EstimatorKind::XgBoost);
+        assert!(
+            !result.spec.estimator.supports(Task::Binary)
+                || result.spec.estimator == EstimatorKind::XgBoost
+        );
         assert!(result.valid_score > 0.8, "r2 {}", result.valid_score);
     }
 

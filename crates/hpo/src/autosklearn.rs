@@ -15,7 +15,7 @@
 use crate::budget::TimeBudget;
 use crate::meta::{meta_distance, meta_features, META_DIM};
 use crate::space::{self, Skeleton};
-use crate::trial::{Evaluator, HpoResult, Optimizer, TrialOutcome};
+use crate::trial::{Candidate, Evaluator, HpoResult, Optimizer, TrialOutcome};
 use crate::{HpoError, Result};
 use kgpip_learners::estimators::tree::{Forest, TreeConfig};
 use kgpip_learners::pipeline::PipelineSpec;
@@ -37,6 +37,7 @@ const MAX_ENSEMBLE: usize = 5;
 const PORTFOLIO_SIZE: usize = 6;
 
 /// The Auto-Sklearn-style optimizer.
+#[derive(Clone)]
 pub struct AutoSklearn {
     seed: u64,
     estimators: Vec<EstimatorKind>,
@@ -45,6 +46,8 @@ pub struct AutoSklearn {
     knowledge: Vec<([f64; META_DIM], EstimatorKind)>,
     /// Whether to run ensemble selection after the search.
     pub ensembling: bool,
+    /// Concurrent trials per round (1 = sequential).
+    parallelism: usize,
 }
 
 impl AutoSklearn {
@@ -55,7 +58,14 @@ impl AutoSklearn {
             estimators: EstimatorKind::ALL.to_vec(),
             knowledge: builtin_knowledge(),
             ensembling: true,
+            parallelism: 1,
         }
+    }
+
+    /// Builder-style parallelism knob (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: usize) -> AutoSklearn {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Adds a meta-learning entry (observed: this estimator won on a
@@ -99,7 +109,13 @@ impl AutoSklearn {
         x
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// The batched warm-start + SMAC search driving the shared
+    /// [`Evaluator`]. The portfolio phase proposes default configurations
+    /// in chunks of `parallelism`; the SMAC phase proposes the top-EI
+    /// candidates of each surrogate round as one batch. With
+    /// `parallelism == 1` both phases reproduce the historical
+    /// one-trial-at-a-time loop bit-for-bit for a fixed seed (same rng
+    /// draw order, same strict-improvement argmax).
     fn run(
         &self,
         train: &Dataset,
@@ -111,42 +127,33 @@ impl AutoSklearn {
         if learners.is_empty() {
             return Err(HpoError::NoUsableLearner);
         }
-        let evaluator = Evaluator::new(train, self.seed)?;
+        let evaluator =
+            Evaluator::new(train, self.seed, budget)?.with_parallelism(self.parallelism);
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xa5c1));
-        let mut history: Vec<TrialOutcome> = Vec::new();
-        let mut best: Option<(usize, f64)> = None;
-
-        let record =
-            |outcome: TrialOutcome, history: &mut Vec<TrialOutcome>, best: &mut Option<(usize, f64)>| {
-                history.push(outcome);
-                let idx = history.len() - 1;
-                if let Some(score) = history[idx].score {
-                    if best.is_none_or(|(_, b)| score > b) {
-                        *best = Some((idx, score));
-                    }
-                }
-            };
+        let round = self.parallelism.max(1);
 
         // --- Phase 1: meta-learning warm start (default configs of the
         // portfolio, in knowledge-base order). ---
-        for &kind in portfolio {
-            if !history.is_empty() && budget.expired() {
-                break;
+        for chunk in portfolio.chunks(round) {
+            let batch: Vec<Candidate> = chunk
+                .iter()
+                .map(|&kind| Candidate::new(skeleton_for(kind), space::default_config(kind)))
+                .collect();
+            if evaluator.evaluate_batch(&batch).len() < batch.len() {
+                break; // gate refused: budget exhausted mid-portfolio
             }
-            let outcome =
-                evaluator.evaluate(&skeleton_for(kind), space::default_config(kind));
-            budget.consume_trial();
-            record(outcome, &mut history, &mut best);
         }
 
         // --- Phase 2: SMAC loop. ---
-        while !budget.expired() {
+        while !evaluator.budget_expired() {
             // Fit the surrogate on completed trials.
+            let history = evaluator.history();
             let observed: Vec<(&TrialOutcome, f64)> = history
                 .iter()
                 .filter_map(|t| t.score.map(|s| (t, s)))
                 .collect();
-            let candidate = if observed.len() >= 4 {
+            let proposals = round.min(SMAC_CANDIDATES);
+            let batch: Vec<Candidate> = if observed.len() >= 4 {
                 let xs: Vec<Vec<f64>> = observed
                     .iter()
                     .map(|(t, _)| Self::encode_trial(t.spec.estimator, &t.spec.params))
@@ -167,9 +174,16 @@ impl AutoSklearn {
                 surrogate
                     .fit(&x, &ys, Task::Regression)
                     .map_err(|e| HpoError::Learner(e.to_string()))?;
-                let best_score = best.map(|(_, s)| s).unwrap_or(0.0);
-                // Score random candidates by expected improvement.
-                let mut best_cand: Option<(f64, EstimatorKind, Params)> = None;
+                let best_score = observed
+                    .iter()
+                    .map(|(_, s)| *s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                // Score random candidates by expected improvement and
+                // propose the top `proposals` of them (stable sort: EI
+                // ties keep draw order, so the top pick matches the
+                // sequential strict-improvement argmax).
+                let mut scored: Vec<(f64, EstimatorKind, Params)> =
+                    Vec::with_capacity(SMAC_CANDIDATES);
                 for _ in 0..SMAC_CANDIDATES {
                     let kind = learners[rand::Rng::gen_range(&mut rng, 0..learners.len())];
                     let params = space::sample_config(kind, &mut rng);
@@ -181,32 +195,33 @@ impl AutoSklearn {
                         .map_err(|e| HpoError::Learner(e.to_string()))?;
                     let preds: Vec<f64> = per_tree.iter().map(|t| t[0]).collect();
                     let mu = preds.iter().sum::<f64>() / preds.len() as f64;
-                    let var = preds.iter().map(|p| (p - mu).powi(2)).sum::<f64>()
-                        / preds.len() as f64;
+                    let var =
+                        preds.iter().map(|p| (p - mu).powi(2)).sum::<f64>() / preds.len() as f64;
                     let ei = expected_improvement(mu, var.sqrt(), best_score);
-                    if best_cand.as_ref().is_none_or(|(b, _, _)| ei > *b) {
-                        best_cand = Some((ei, kind, params));
-                    }
+                    scored.push((ei, kind, params));
                 }
-                best_cand.map(|(_, k, p)| (k, p))
+                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                scored
+                    .into_iter()
+                    .take(proposals)
+                    .map(|(_, kind, params)| Candidate::new(skeleton_for(kind), params))
+                    .collect()
             } else {
-                None
+                // Too few observations for a surrogate: random proposals.
+                (0..proposals)
+                    .map(|_| {
+                        let kind = learners[rand::Rng::gen_range(&mut rng, 0..learners.len())];
+                        let params = space::sample_config(kind, &mut rng);
+                        Candidate::new(skeleton_for(kind), params)
+                    })
+                    .collect()
             };
-            let (kind, params) = candidate.unwrap_or_else(|| {
-                let kind = learners[rand::Rng::gen_range(&mut rng, 0..learners.len())];
-                let params = space::sample_config(kind, &mut rng);
-                (kind, params)
-            });
-            let outcome = evaluator.evaluate(&skeleton_for(kind), params);
-            budget.consume_trial();
-            record(outcome, &mut history, &mut best);
+            if evaluator.evaluate_batch(&batch).is_empty() {
+                break;
+            }
         }
 
-        let Some((idx, score)) = best else {
-            return Err(HpoError::BudgetExhausted);
-        };
-        let spec = history[idx].spec.clone();
-        let mut result = HpoResult::single(spec, score, history);
+        let mut result = evaluator.result()?;
         if self.ensembling {
             self.select_ensemble(&evaluator, &mut result);
         }
@@ -240,12 +255,10 @@ impl AutoSklearn {
         while members.len() < MAX_ENSEMBLE {
             let mut best_add: Option<(usize, f64)> = None;
             for cand in 0..pool.len() {
-                let mut preds: Vec<Vec<f64>> =
-                    members.iter().map(|&m| pool[m].1.clone()).collect();
+                let mut preds: Vec<Vec<f64>> = members.iter().map(|&m| pool[m].1.clone()).collect();
                 preds.push(pool[cand].1.clone());
                 let combined = crate::trial::combine_predictions(&preds, classification);
-                let score =
-                    kgpip_learners::pipeline::score_predictions(valid, &combined);
+                let score = kgpip_learners::pipeline::score_predictions(valid, &combined);
                 if best_add.is_none_or(|(_, b)| score > b) {
                     best_add = Some((cand, score));
                 }
@@ -258,10 +271,7 @@ impl AutoSklearn {
             members.push(cand);
         }
         if members.len() >= 2 && best_score >= result.valid_score {
-            result.ensemble = members
-                .into_iter()
-                .map(|m| pool[m].0.clone())
-                .collect();
+            result.ensemble = members.into_iter().map(|m| pool[m].0.clone()).collect();
             result.valid_score = best_score;
         }
     }
@@ -298,8 +308,7 @@ fn erf(x: f64) -> f64 {
 impl Optimizer for AutoSklearn {
     fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult> {
         let learners = self.warm_start_order(train);
-        let portfolio: Vec<EstimatorKind> =
-            learners.iter().copied().take(PORTFOLIO_SIZE).collect();
+        let portfolio: Vec<EstimatorKind> = learners.iter().copied().take(PORTFOLIO_SIZE).collect();
         self.run(train, Skeleton::bare, &portfolio, &learners, budget)
     }
 
@@ -314,11 +323,29 @@ impl Optimizer for AutoSklearn {
         }
         let learners = vec![skeleton.estimator];
         let skeleton = skeleton.clone();
-        self.run(train, move |_| skeleton.clone(), &learners.clone(), &learners, budget)
+        self.run(
+            train,
+            move |_| skeleton.clone(),
+            &learners.clone(),
+            &learners,
+            budget,
+        )
     }
 
     fn capabilities(&self) -> String {
         space::capabilities_json("auto-sklearn", &self.estimators)
+    }
+
+    fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Optimizer + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -329,21 +356,51 @@ impl Optimizer for AutoSklearn {
 fn builtin_knowledge() -> Vec<([f64; META_DIM], EstimatorKind)> {
     vec![
         // Mid-size numeric classification: boosting wins.
-        ([0.6, 0.3, 1.0, 0.0, 0.0, 0.2, 0.1, 0.0, 0.2, 0.5], EstimatorKind::XgBoost),
-        ([0.7, 0.4, 1.0, 0.0, 0.0, 0.2, 0.2, 0.0, 0.3, 0.6], EstimatorKind::Lgbm),
-        ([0.5, 0.3, 0.9, 0.1, 0.0, 0.3, 0.1, 0.0, 0.2, 0.4], EstimatorKind::GradientBoosting),
+        (
+            [0.6, 0.3, 1.0, 0.0, 0.0, 0.2, 0.1, 0.0, 0.2, 0.5],
+            EstimatorKind::XgBoost,
+        ),
+        (
+            [0.7, 0.4, 1.0, 0.0, 0.0, 0.2, 0.2, 0.0, 0.3, 0.6],
+            EstimatorKind::Lgbm,
+        ),
+        (
+            [0.5, 0.3, 0.9, 0.1, 0.0, 0.3, 0.1, 0.0, 0.2, 0.4],
+            EstimatorKind::GradientBoosting,
+        ),
         // Small clean numeric: forests.
-        ([0.4, 0.2, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3], EstimatorKind::RandomForest),
+        (
+            [0.4, 0.2, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3],
+            EstimatorKind::RandomForest,
+        ),
         // Wide (d >> n): linear models.
-        ([0.4, 0.9, 1.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.1, 0.9], EstimatorKind::LogisticRegression),
+        (
+            [0.4, 0.9, 1.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.1, 0.9],
+            EstimatorKind::LogisticRegression,
+        ),
         // Text-heavy: linear SVM.
-        ([0.6, 0.1, 0.3, 0.1, 0.6, 0.2, 0.1, 0.0, 0.0, 0.9], EstimatorKind::LinearSvm),
+        (
+            [0.6, 0.1, 0.3, 0.1, 0.6, 0.2, 0.1, 0.0, 0.0, 0.9],
+            EstimatorKind::LinearSvm,
+        ),
         // Regression, numeric: boosting + ridge.
-        ([0.6, 0.3, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.3, 0.6], EstimatorKind::XgBoost),
-        ([0.5, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.5], EstimatorKind::Ridge),
+        (
+            [0.6, 0.3, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.3, 0.6],
+            EstimatorKind::XgBoost,
+        ),
+        (
+            [0.5, 0.2, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.5],
+            EstimatorKind::Ridge,
+        ),
         // Tiny datasets: naive Bayes / knn are competitive.
-        ([0.25, 0.15, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3], EstimatorKind::GaussianNb),
-        ([0.3, 0.15, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3], EstimatorKind::Knn),
+        (
+            [0.25, 0.15, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3],
+            EstimatorKind::GaussianNb,
+        ),
+        (
+            [0.3, 0.15, 1.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.1, 0.3],
+            EstimatorKind::Knn,
+        ),
     ]
 }
 
@@ -357,7 +414,10 @@ mod tests {
         let rows: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let c = f64::from(i % 2 == 0);
-                (c * 4.0 + (i % 9) as f64 * 0.1, c * 4.0 + (i % 7) as f64 * 0.1)
+                (
+                    c * 4.0 + (i % 9) as f64 * 0.1,
+                    c * 4.0 + (i % 7) as f64 * 0.1,
+                )
             })
             .collect();
         let y: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();

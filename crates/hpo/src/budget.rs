@@ -15,6 +15,7 @@
 //! consume one unit per evaluated configuration, and `(T − t)/K` splitting
 //! divides both resources (see DESIGN.md's substitution table).
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -136,6 +137,74 @@ impl TimeBudget {
     }
 }
 
+/// Thread-safe admission control over a [`TimeBudget`].
+///
+/// The parallel evaluation engine admits trials *before* evaluating them,
+/// possibly from several worker threads at once. Consuming a trial unit at
+/// admission time, inside one lock, is what makes a trial cap exact under
+/// contention: the interleaving "N threads all observe one remaining
+/// trial, then all evaluate" cannot happen, because observation and
+/// consumption are a single critical section.
+///
+/// The gate also carries the engines' *anytime guarantee*: the very first
+/// trial is always admitted, even on an already-expired budget, so a
+/// degenerate budget still produces a result (matching the sequential
+/// engines' historical behaviour).
+#[derive(Debug)]
+pub struct BudgetGate {
+    budget: TimeBudget,
+    state: Mutex<GateState>,
+}
+
+#[derive(Debug)]
+struct GateState {
+    admitted: usize,
+}
+
+impl BudgetGate {
+    /// Wraps a budget. The budget is cloned, which shares its trial pool
+    /// (and its parents' pools) — admission drains the same resources the
+    /// caller's handle observes.
+    pub fn new(budget: &TimeBudget) -> BudgetGate {
+        BudgetGate {
+            budget: budget.clone(),
+            state: Mutex::new(GateState { admitted: 0 }),
+        }
+    }
+
+    /// The underlying budget.
+    pub fn budget(&self) -> &TimeBudget {
+        &self.budget
+    }
+
+    /// Tries to admit one trial, consuming a trial unit on success.
+    /// Returns `false` once the budget is exhausted (except for the very
+    /// first trial, which is always admitted).
+    pub fn admit(&self) -> bool {
+        let mut state = self.state.lock();
+        if state.admitted > 0 && self.budget.expired() {
+            return false;
+        }
+        state.admitted += 1;
+        self.budget.consume_trial();
+        true
+    }
+
+    /// Trials admitted through this gate.
+    pub fn admitted(&self) -> usize {
+        self.state.lock().admitted
+    }
+
+    /// Whether the underlying budget is exhausted. Unlike [`admit`], this
+    /// ignores the anytime guarantee — use it for loop conditions, not
+    /// admission decisions.
+    ///
+    /// [`admit`]: BudgetGate::admit
+    pub fn expired(&self) -> bool {
+        self.budget.expired()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,7 +301,10 @@ mod tests {
         }
         assert_eq!(parent.trials_used(), total);
         assert!(total <= 40);
-        assert!(total >= 38, "roll-forward should use nearly the whole pool, got {total}");
+        assert!(
+            total >= 38,
+            "roll-forward should use nearly the whole pool, got {total}"
+        );
     }
 
     #[test]
@@ -256,5 +328,37 @@ mod tests {
         assert_eq!(b.remaining_trials(), None);
         assert!(!b.expired());
         assert_eq!(b.trial_cap(), None);
+    }
+
+    #[test]
+    fn gate_admission_is_exact() {
+        let budget = TimeBudget::seconds(100.0).with_trial_cap(3);
+        let gate = BudgetGate::new(&budget);
+        assert!(gate.admit());
+        assert!(gate.admit());
+        assert!(gate.admit());
+        assert!(!gate.admit(), "cap reached");
+        assert_eq!(gate.admitted(), 3);
+        assert_eq!(budget.trials_used(), 3);
+    }
+
+    #[test]
+    fn gate_always_admits_the_first_trial() {
+        let gate = BudgetGate::new(&TimeBudget::seconds(0.0));
+        assert!(gate.expired());
+        assert!(gate.admit(), "anytime guarantee");
+        assert!(!gate.admit(), "but only the first");
+        assert_eq!(gate.admitted(), 1);
+    }
+
+    #[test]
+    fn gate_shares_the_trial_pool_with_the_caller() {
+        let budget = TimeBudget::seconds(100.0).with_trial_cap(4);
+        let gate = BudgetGate::new(&budget);
+        budget.consume_trial();
+        budget.consume_trial();
+        budget.consume_trial();
+        assert!(gate.admit());
+        assert!(!gate.admit(), "external consumption drained the pool");
     }
 }

@@ -20,12 +20,28 @@
 
 use crate::budget::TimeBudget;
 use crate::space::{self, Skeleton};
-use crate::trial::{Evaluator, HpoResult, Optimizer, TrialOutcome};
+use crate::trial::{Candidate, Evaluator, HpoResult, Optimizer, TrialOutcome};
 use crate::{HpoError, Result};
 use kgpip_learners::{EstimatorKind, Params};
 use kgpip_tabular::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Deterministic per-trial cost proxy used by the scheduler. Measured
+/// wall-clock cost would make thread priorities — and therefore the
+/// entire search trajectory — irreproducible across runs, so scheduling
+/// uses the learner's static relative cost scaled by the config's
+/// work-controlling parameter (boosting rounds / solver iterations).
+/// The measured wall time stays available in `TrialOutcome::cost` for
+/// reporting.
+fn scheduling_cost(estimator: EstimatorKind, params: &Params) -> f64 {
+    let work = params
+        .get("n_estimators")
+        .or_else(|| params.get("max_iter"))
+        .copied()
+        .unwrap_or(1.0);
+    estimator.relative_cost() * work.max(1.0) * 1e-3
+}
 
 /// One learner's search thread.
 struct Thread {
@@ -33,7 +49,8 @@ struct Thread {
     incumbent: Params,
     best_score: f64,
     step: f64,
-    /// Exponentially weighted average trial cost in seconds.
+    /// Exponentially weighted average scheduling cost (deterministic
+    /// units, see [`scheduling_cost`]).
     avg_cost: f64,
     /// Trials since the last improvement.
     stall: usize,
@@ -66,10 +83,13 @@ impl Thread {
 }
 
 /// The FLAML-style optimizer.
+#[derive(Clone)]
 pub struct Flaml {
     seed: u64,
     /// Learners this engine supports (its §3.6 capability set).
     estimators: Vec<EstimatorKind>,
+    /// Concurrent trials per round (1 = sequential).
+    parallelism: usize,
 }
 
 impl Flaml {
@@ -78,14 +98,53 @@ impl Flaml {
         Flaml {
             seed,
             estimators: EstimatorKind::ALL.to_vec(),
+            parallelism: 1,
         }
     }
 
     /// Restricts the supported learner set (for ablations).
     pub fn with_estimators(seed: u64, estimators: Vec<EstimatorKind>) -> Flaml {
-        Flaml { seed, estimators }
+        Flaml {
+            seed,
+            estimators,
+            parallelism: 1,
+        }
     }
 
+    /// Builder-style parallelism knob (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Flaml {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    fn cold_start_threads(&self, train: &Dataset) -> Vec<Thread> {
+        let mut threads: Vec<Thread> = self
+            .estimators
+            .iter()
+            .filter(|k| k.supports(train.task))
+            .map(|k| Thread::new(Skeleton::bare(*k)))
+            .collect();
+        // Cheap learners first (cost-frugal ordering).
+        threads.sort_by(|a, b| {
+            a.skeleton
+                .estimator
+                .relative_cost()
+                .partial_cmp(&b.skeleton.estimator.relative_cost())
+                .unwrap()
+        });
+        threads
+    }
+
+    /// The batched CFO search driving the shared [`Evaluator`]. Each
+    /// round proposes `parallelism` candidates, spread over up to
+    /// `parallelism` distinct threads scheduled cheapest-estimated-
+    /// improvement first (slots cycle over the picked threads when
+    /// fewer are runnable), and the evaluator admits/evaluates/records
+    /// them. With `parallelism == 1` the rounds collapse to the
+    /// historical one-trial loop (see [`optimize_sequential`]) and
+    /// reproduce it bit-for-bit for a fixed seed.
+    ///
+    /// [`optimize_sequential`]: Flaml::optimize_sequential
     fn run(
         &self,
         train: &Dataset,
@@ -95,14 +154,116 @@ impl Flaml {
         if threads.is_empty() {
             return Err(HpoError::NoUsableLearner);
         }
-        let evaluator = Evaluator::new(train, self.seed)?;
+        let evaluator =
+            Evaluator::new(train, self.seed, budget)?.with_parallelism(self.parallelism);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x1f1a_4d1f));
+
+        loop {
+            // Always complete at least one trial so a result exists even
+            // under a degenerate budget (anytime behaviour); the gate
+            // enforces the same guarantee at admission time.
+            if evaluator.trials() > 0 && evaluator.budget_expired() {
+                break;
+            }
+            // Pick distinct threads by repeated minimum extraction, so
+            // the first pick matches the sequential scheduler's
+            // tie-breaking exactly.
+            let distinct = self.parallelism.min(threads.len());
+            let mut picked: Vec<usize> = Vec::with_capacity(distinct);
+            for _ in 0..distinct {
+                let Some(t_idx) = threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !picked.contains(i))
+                    .min_by(|a, b| a.1.priority().partial_cmp(&b.1.priority()).unwrap())
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                picked.push(t_idx);
+            }
+            if picked.is_empty() {
+                break;
+            }
+            // Fill all `parallelism` batch slots by cycling over the
+            // picked threads: a search with fewer runnable threads than
+            // workers (notably the single-thread skeleton mode driving
+            // KGpip's (T−t)/K split) still proposes a full parallel
+            // batch — extra slots draw additional neighbors.
+            let mut proposed = vec![0usize; threads.len()];
+            let batch: Vec<Candidate> = (0..self.parallelism)
+                .map(|slot| {
+                    let t_idx = picked[slot % picked.len()];
+                    let thread = &threads[t_idx];
+                    let params = if thread.trials == 0 && proposed[t_idx] == 0 {
+                        thread.incumbent.clone()
+                    } else {
+                        space::neighbor(
+                            thread.skeleton.estimator,
+                            &thread.incumbent,
+                            thread.step,
+                            &mut rng,
+                        )
+                    };
+                    proposed[t_idx] += 1;
+                    Candidate::new(thread.skeleton.clone(), params)
+                })
+                .collect();
+            let outcomes = evaluator.evaluate_batch(&batch);
+            if outcomes.is_empty() {
+                break;
+            }
+            for (slot, outcome) in outcomes.iter().enumerate() {
+                let thread = &mut threads[picked[slot % picked.len()]];
+                thread.trials += 1;
+                let cost = scheduling_cost(thread.skeleton.estimator, &batch[slot].params);
+                thread.avg_cost = if thread.avg_cost == 0.0 {
+                    cost
+                } else {
+                    0.7 * thread.avg_cost + 0.3 * cost
+                };
+                match outcome.score {
+                    Some(score) if score > thread.best_score => {
+                        thread.best_score = score;
+                        thread.incumbent = batch[slot].params.clone();
+                        thread.step = (thread.step * 1.3).min(0.8);
+                        thread.stall = 0;
+                    }
+                    _ => {
+                        thread.step = (thread.step * 0.8).max(0.02);
+                        thread.stall += 1;
+                    }
+                }
+            }
+            // A learner whose single-trial cost exceeds the remaining
+            // budget is effectively done; its stall keeps growing so the
+            // scheduler moves past it naturally.
+        }
+        evaluator.result()
+    }
+
+    /// The historical single-trial loop, kept verbatim as a reference
+    /// implementation: it accounts for the budget by hand (pure
+    /// `evaluate` + `consume_trial`) instead of going through the
+    /// [`BudgetGate`]. The determinism suite asserts that `optimize` at
+    /// `parallelism == 1` reproduces this history bit-for-bit.
+    ///
+    /// [`BudgetGate`]: crate::BudgetGate
+    pub fn optimize_sequential(
+        &mut self,
+        train: &Dataset,
+        budget: &TimeBudget,
+    ) -> Result<HpoResult> {
+        let mut threads = self.cold_start_threads(train);
+        if threads.is_empty() {
+            return Err(HpoError::NoUsableLearner);
+        }
+        let evaluator = Evaluator::new(train, self.seed, budget)?;
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x1f1a_4d1f));
         let mut history: Vec<TrialOutcome> = Vec::new();
         let mut best: Option<(usize, f64)> = None; // (history index, score)
 
         loop {
-            // Always complete at least one trial so a result exists even
-            // under a degenerate budget (anytime behaviour).
             if !history.is_empty() && budget.expired() {
                 break;
             }
@@ -131,7 +292,7 @@ impl Flaml {
             budget.consume_trial();
             let thread = &mut threads[t_idx];
             thread.trials += 1;
-            let cost = outcome.cost.as_secs_f64().max(1e-6);
+            let cost = scheduling_cost(thread.skeleton.estimator, &candidate);
             thread.avg_cost = if thread.avg_cost == 0.0 {
                 cost
             } else {
@@ -156,9 +317,6 @@ impl Flaml {
                     best = Some((idx, score));
                 }
             }
-            // A learner whose single-trial cost exceeds the remaining
-            // budget is effectively done; its stall keeps growing so the
-            // scheduler moves past it naturally.
         }
         let Some((idx, score)) = best else {
             return Err(HpoError::BudgetExhausted);
@@ -170,20 +328,7 @@ impl Flaml {
 
 impl Optimizer for Flaml {
     fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult> {
-        let mut threads: Vec<Thread> = self
-            .estimators
-            .iter()
-            .filter(|k| k.supports(train.task))
-            .map(|k| Thread::new(Skeleton::bare(*k)))
-            .collect();
-        // Cheap learners first (cost-frugal ordering).
-        threads.sort_by(|a, b| {
-            a.skeleton
-                .estimator
-                .relative_cost()
-                .partial_cmp(&b.skeleton.estimator.relative_cost())
-                .unwrap()
-        });
+        let threads = self.cold_start_threads(train);
         self.run(train, threads, budget)
     }
 
@@ -201,6 +346,18 @@ impl Optimizer for Flaml {
 
     fn capabilities(&self) -> String {
         space::capabilities_json("flaml", &self.estimators)
+    }
+
+    fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Optimizer + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -241,9 +398,7 @@ mod tests {
     fn cold_start_finds_a_nonlinear_learner_on_xor() {
         let ds = xor_dataset(240);
         let mut engine = Flaml::new(0);
-        let result = engine
-            .optimize(&ds, &TimeBudget::seconds(3.0))
-            .unwrap();
+        let result = engine.optimize(&ds, &TimeBudget::seconds(3.0)).unwrap();
         assert!(
             result.valid_score > 0.9,
             "score {} with {}",
@@ -327,8 +482,7 @@ mod tests {
     fn regression_support() {
         let x: Vec<f64> = (0..200).map(|i| (i % 20) as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| v * v).collect();
-        let f =
-            DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
         let ds = Dataset::new("sq", f, y, Task::Regression).unwrap();
         let mut engine = Flaml::new(4);
         let result = engine.optimize(&ds, &TimeBudget::seconds(2.0)).unwrap();

@@ -22,13 +22,20 @@
 //!   particular preprocessors and estimators supported by the
 //!   hyperparameter optimizer"),
 //! * [`budget::TimeBudget`] — the shared wall-clock budget abstraction,
-//! * [`trial`] — holdout evaluation of pipeline specs.
+//!   with [`budget::BudgetGate`] making trial admission exact under
+//!   concurrency,
+//! * [`trial`] — the shared parallel trial-evaluation engine
+//!   ([`Evaluator`]): holdout evaluation of pipeline specs, a thread-safe
+//!   trial history, and `rayon`-backed batch evaluation.
 //!
-//! Both engines expose two modes with one entry point ([`Optimizer`]):
+//! The engines expose two modes with one entry point ([`Optimizer`]):
 //! *cold* (search over all learners — the standalone baselines of Figure
 //! 5) and *skeleton* (hyperparameter search for a fixed
 //! preprocessor/estimator skeleton — the mode KGpip drives with its
-//! `(T − t)/K` budget split).
+//! `(T − t)/K` budget split). Engines *propose* batches of [`Candidate`]s
+//! and the evaluator admits, evaluates, and records them; with
+//! `parallelism == 1` a run reproduces the historical sequential engines
+//! bit-for-bit for a fixed seed.
 
 pub mod al;
 pub mod autosklearn;
@@ -40,10 +47,10 @@ pub mod trial;
 
 pub use al::Al;
 pub use autosklearn::AutoSklearn;
-pub use budget::TimeBudget;
+pub use budget::{BudgetGate, TimeBudget};
 pub use flaml::Flaml;
 pub use space::{capabilities_json, parse_capabilities, Skeleton};
-pub use trial::{HpoResult, Optimizer, TrialOutcome};
+pub use trial::{Candidate, Evaluator, HpoResult, Optimizer, TrialOutcome};
 
 /// Errors produced by HPO engines.
 #[derive(Debug, Clone, PartialEq)]

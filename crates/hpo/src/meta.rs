@@ -19,7 +19,12 @@ pub fn meta_features(ds: &Dataset) -> [f64; META_DIM] {
     let n = ds.num_rows().max(1) as f64;
     let d = ds.num_features().max(1) as f64;
     let (num, cat, text) = ds.features.kind_counts();
-    let stats: Vec<ColumnStats> = ds.features.columns().iter().map(ColumnStats::compute).collect();
+    let stats: Vec<ColumnStats> = ds
+        .features
+        .columns()
+        .iter()
+        .map(ColumnStats::compute)
+        .collect();
     let missing: usize = stats.iter().map(|s| s.missing).sum();
     let mean_skew = if stats.is_empty() {
         0.0

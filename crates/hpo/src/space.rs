@@ -245,7 +245,11 @@ mod tests {
             for d in param_space(kind) {
                 assert!(d.lo <= d.hi, "{kind} {}", d.name);
                 assert!(d.default >= d.lo && d.default <= d.hi, "{kind} {}", d.name);
-                assert!(d.low_cost >= d.lo && d.low_cost <= d.hi, "{kind} {}", d.name);
+                assert!(
+                    d.low_cost >= d.lo && d.low_cost <= d.hi,
+                    "{kind} {}",
+                    d.name
+                );
                 if d.log {
                     assert!(d.lo > 0.0, "{kind} {} log scale requires lo > 0", d.name);
                 }
@@ -303,15 +307,14 @@ mod tests {
             .map(|d| (d.name.to_string(), d.hi))
             .collect();
         assert!(encode_config(kind, &lo).iter().all(|v| *v == 0.0));
-        assert!(encode_config(kind, &hi).iter().all(|v| (*v - 1.0).abs() < 1e-12));
+        assert!(encode_config(kind, &hi)
+            .iter()
+            .all(|v| (*v - 1.0).abs() < 1e-12));
     }
 
     #[test]
     fn capability_document_roundtrip() {
-        let json = capabilities_json(
-            "flaml",
-            &[EstimatorKind::XgBoost, EstimatorKind::Lgbm],
-        );
+        let json = capabilities_json("flaml", &[EstimatorKind::XgBoost, EstimatorKind::Lgbm]);
         let (est, pre) = parse_capabilities(&json).unwrap();
         assert_eq!(est, vec![EstimatorKind::XgBoost, EstimatorKind::Lgbm]);
         assert_eq!(pre.len(), TransformerKind::ALL.len());

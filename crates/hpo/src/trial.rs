@@ -1,11 +1,23 @@
 //! Trial evaluation and the shared optimizer interface.
+//!
+//! The [`Evaluator`] is the parallel trial-evaluation engine shared by
+//! every optimizer: it owns the holdout split, a thread-safe trial
+//! history, and a [`BudgetGate`] that makes budget accounting exact under
+//! concurrency. Optimizers *propose* batches of [`Candidate`]s and the
+//! evaluator admits, evaluates (with `rayon` when `parallelism > 1`), and
+//! records them — engines no longer hand-roll fit/score/budget
+//! bookkeeping. With `parallelism == 1` the engine reproduces the
+//! sequential evaluation order bit-for-bit, which keeps seeded runs
+//! deterministic.
 
-use crate::budget::TimeBudget;
+use crate::budget::{BudgetGate, TimeBudget};
 use crate::space::Skeleton;
 use crate::Result;
 use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
 use kgpip_learners::Params;
 use kgpip_tabular::{train_test_split, Dataset};
+use parking_lot::Mutex;
+use rayon::prelude::*;
 use std::time::Duration;
 
 /// Fraction of training rows held out for trial validation.
@@ -103,7 +115,7 @@ pub fn combine_predictions(preds: &[Vec<f64>], classification: bool) -> Vec<f64>
         .collect()
 }
 
-/// The uniform optimizer interface shared by both engines.
+/// The uniform optimizer interface shared by every engine.
 pub trait Optimizer {
     /// Cold-start mode: full search over the engine's supported learners.
     fn optimize(&mut self, train: &Dataset, budget: &TimeBudget) -> Result<HpoResult>;
@@ -119,24 +131,99 @@ pub trait Optimizer {
 
     /// The engine's §3.6 JSON capability document.
     fn capabilities(&self) -> String;
+
+    /// Sets how many trials the engine's evaluator may run concurrently
+    /// (1 = sequential, the default; engines without search may ignore
+    /// it).
+    fn set_parallelism(&mut self, _parallelism: usize) {}
+
+    /// The engine's configured evaluation parallelism.
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    /// An owned copy of this engine, for running skeletons on parallel
+    /// lanes. Cloning copies configuration (seed, learner sets,
+    /// parallelism), not search state — each lane starts fresh.
+    fn clone_boxed(&self) -> Box<dyn Optimizer + Send>;
 }
 
-/// A deterministic holdout evaluator: splits the training set once and
-/// scores every trial spec on the same validation part.
+/// One proposed trial: a skeleton plus a hyperparameter configuration.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The pipeline skeleton to instantiate.
+    pub skeleton: Skeleton,
+    /// Hyperparameters for the skeleton's estimator.
+    pub params: Params,
+}
+
+impl Candidate {
+    /// Convenience constructor.
+    pub fn new(skeleton: Skeleton, params: Params) -> Candidate {
+        Candidate { skeleton, params }
+    }
+}
+
+/// The shared trial-evaluation engine: a deterministic holdout split, a
+/// thread-safe trial history, a [`BudgetGate`], and an evaluation worker
+/// pool.
+///
+/// Optimizers call [`evaluate_batch`] with the candidates they want tried
+/// this round. The evaluator admits candidates through the gate in
+/// proposal order (stopping at the first rejection — budgets do not
+/// un-expire), evaluates the admitted ones (concurrently when
+/// `parallelism > 1`), and appends the outcomes to the history *in
+/// proposal order* regardless of which finished first. Batch results are
+/// therefore deterministic for a fixed seed at any parallelism; with
+/// `parallelism == 1` the whole run is bit-for-bit identical to the
+/// historical sequential engines.
+///
+/// [`evaluate_batch`]: Evaluator::evaluate_batch
 pub struct Evaluator {
     train: Dataset,
     valid: Dataset,
+    gate: BudgetGate,
+    history: Mutex<Vec<TrialOutcome>>,
+    parallelism: usize,
 }
 
 impl Evaluator {
-    /// Builds an evaluator with a seeded holdout split.
-    pub fn new(train: &Dataset, seed: u64) -> Result<Evaluator> {
+    /// Builds an evaluator with a seeded holdout split, gated by the
+    /// given budget. Starts sequential; see [`with_parallelism`].
+    ///
+    /// [`with_parallelism`]: Evaluator::with_parallelism
+    pub fn new(train: &Dataset, seed: u64, budget: &TimeBudget) -> Result<Evaluator> {
         let (fit_part, valid) = train_test_split(train, HOLDOUT_FRACTION, seed)
             .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
         Ok(Evaluator {
             train: fit_part,
             valid,
+            gate: BudgetGate::new(budget),
+            history: Mutex::new(Vec::new()),
+            parallelism: 1,
         })
+    }
+
+    /// Sets the number of concurrent trial evaluations (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Evaluator {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// The configured evaluation parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The budget gate.
+    pub fn gate(&self) -> &BudgetGate {
+        &self.gate
+    }
+
+    /// Whether the underlying budget is exhausted (loop condition for
+    /// optimizers; admission itself is the gate's job).
+    pub fn budget_expired(&self) -> bool {
+        self.gate.expired()
     }
 
     /// The validation part (used by ensemble selection).
@@ -149,7 +236,47 @@ impl Evaluator {
         &self.train
     }
 
-    /// Evaluates one spec, returning its outcome. Learner errors become
+    /// Number of recorded trials.
+    pub fn trials(&self) -> usize {
+        self.history.lock().len()
+    }
+
+    /// A snapshot of the trial history, in admission order.
+    pub fn history(&self) -> Vec<TrialOutcome> {
+        self.history.lock().clone()
+    }
+
+    /// Admits and evaluates a batch of candidates. Admission happens in
+    /// proposal order and stops at the first gate rejection; admitted
+    /// candidates are evaluated (in parallel when configured) and their
+    /// outcomes recorded and returned in proposal order. An empty return
+    /// means the budget is exhausted.
+    pub fn evaluate_batch(&self, batch: &[Candidate]) -> Vec<TrialOutcome> {
+        let admitted: Vec<&Candidate> = batch.iter().take_while(|_| self.gate.admit()).collect();
+        let outcomes: Vec<TrialOutcome> = if self.parallelism > 1 && admitted.len() > 1 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.parallelism)
+                .build()
+                .expect("thread pool construction");
+            pool.install(|| {
+                admitted
+                    .par_iter()
+                    .map(|c| self.evaluate(&c.skeleton, c.params.clone()))
+                    .collect()
+            })
+        } else {
+            admitted
+                .iter()
+                .map(|c| self.evaluate(&c.skeleton, c.params.clone()))
+                .collect()
+        };
+        self.history.lock().extend(outcomes.iter().cloned());
+        outcomes
+    }
+
+    /// Evaluates one spec *without* touching the gate or the history —
+    /// the pure scoring primitive (also used by benchmarks and replay
+    /// paths that account for budgets themselves). Learner errors become
     /// `score: None` rather than aborting the search (an optimizer must
     /// survive bad configurations).
     pub fn evaluate(&self, skeleton: &Skeleton, params: Params) -> TrialOutcome {
@@ -173,6 +300,26 @@ impl Evaluator {
         }
     }
 
+    /// Builds the run result from the recorded history: the earliest
+    /// best-scoring trial wins (strict improvement, matching the
+    /// sequential engines). Errors with `BudgetExhausted` when no trial
+    /// scored.
+    pub fn result(&self) -> Result<HpoResult> {
+        let history = self.history();
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, outcome) in history.iter().enumerate() {
+            if let Some(score) = outcome.score {
+                if best.is_none_or(|(_, b)| score > b) {
+                    best = Some((idx, score));
+                }
+            }
+        }
+        let Some((idx, score)) = best else {
+            return Err(crate::HpoError::BudgetExhausted);
+        };
+        Ok(HpoResult::single(history[idx].spec.clone(), score, history))
+    }
+
     /// Per-trial validation predictions for ensemble selection.
     pub fn predictions(&self, spec: &PipelineSpec) -> Option<Vec<f64>> {
         let mut p = Pipeline::from_spec(spec.clone()).ok()?;
@@ -194,38 +341,105 @@ mod tests {
         Dataset::new("toy", f, y, Task::Binary).unwrap()
     }
 
+    fn wide_budget() -> TimeBudget {
+        TimeBudget::seconds(600.0).with_trial_cap(1_000)
+    }
+
     #[test]
     fn evaluator_scores_good_and_bad_specs() {
         let ds = toy(200);
-        let ev = Evaluator::new(&ds, 0).unwrap();
-        let good = ev.evaluate(
-            &Skeleton::bare(EstimatorKind::DecisionTree),
-            Params::new(),
-        );
+        let budget = wide_budget();
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        let good = ev.evaluate(&Skeleton::bare(EstimatorKind::DecisionTree), Params::new());
         assert!(good.score.unwrap() > 0.9);
         // Regression-only learner on classification: survives as None.
         let bad = ev.evaluate(&Skeleton::bare(EstimatorKind::Ridge), Params::new());
         assert_eq!(bad.score, None);
+        // Pure evaluate never touches the gate or history.
+        assert_eq!(ev.trials(), 0);
+        assert_eq!(budget.trials_used(), 0);
     }
 
     #[test]
     fn holdout_is_deterministic() {
         let ds = toy(100);
-        let a = Evaluator::new(&ds, 7).unwrap();
-        let b = Evaluator::new(&ds, 7).unwrap();
+        let budget = wide_budget();
+        let a = Evaluator::new(&ds, 7, &budget).unwrap();
+        let b = Evaluator::new(&ds, 7, &budget).unwrap();
         assert_eq!(a.validation().target, b.validation().target);
         assert_eq!(a.fit_part().num_rows(), 80);
+    }
+
+    #[test]
+    fn evaluate_batch_records_history_and_consumes_trials() {
+        let ds = toy(200);
+        let budget = TimeBudget::seconds(600.0).with_trial_cap(3);
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        let batch: Vec<Candidate> = vec![
+            Candidate::new(Skeleton::bare(EstimatorKind::DecisionTree), Params::new()),
+            Candidate::new(Skeleton::bare(EstimatorKind::Knn), Params::new()),
+            Candidate::new(Skeleton::bare(EstimatorKind::DecisionTree), Params::new()),
+            Candidate::new(Skeleton::bare(EstimatorKind::Knn), Params::new()),
+        ];
+        // Cap is 3: the fourth candidate must be refused at the gate.
+        let outcomes = ev.evaluate_batch(&batch);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(ev.trials(), 3);
+        assert_eq!(budget.trials_used(), 3);
+        // Exhausted: the next batch admits nothing.
+        assert!(ev.evaluate_batch(&batch).is_empty());
+        assert_eq!(ev.trials(), 3);
+    }
+
+    #[test]
+    fn parallel_batch_preserves_proposal_order() {
+        let ds = toy(200);
+        let budget = wide_budget();
+        let kinds = [
+            EstimatorKind::DecisionTree,
+            EstimatorKind::Knn,
+            EstimatorKind::LogisticRegression,
+            EstimatorKind::GradientBoosting,
+        ];
+        let batch: Vec<Candidate> = kinds
+            .iter()
+            .map(|k| Candidate::new(Skeleton::bare(*k), Params::new()))
+            .collect();
+        let seq = Evaluator::new(&ds, 0, &budget).unwrap();
+        let par = Evaluator::new(&ds, 0, &budget).unwrap().with_parallelism(4);
+        let a = seq.evaluate_batch(&batch);
+        let b = par.evaluate_batch(&batch);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec.estimator, y.spec.estimator);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn result_picks_earliest_best_or_errors_when_empty() {
+        let ds = toy(200);
+        let budget = wide_budget();
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        assert!(matches!(ev.result(), Err(crate::HpoError::BudgetExhausted)));
+        let batch = vec![
+            Candidate::new(Skeleton::bare(EstimatorKind::DecisionTree), Params::new()),
+            Candidate::new(Skeleton::bare(EstimatorKind::DecisionTree), Params::new()),
+        ];
+        ev.evaluate_batch(&batch);
+        let result = ev.result().unwrap();
+        assert_eq!(result.trials, 2);
+        assert_eq!(result.history.len(), 2);
+        // Equal scores: the earliest trial wins (strict improvement).
+        assert_eq!(result.valid_score, result.history[0].score.unwrap());
     }
 
     #[test]
     fn refit_score_runs_end_to_end() {
         let ds = toy(200);
         let (train, test) = train_test_split(&ds, 0.3, 1).unwrap();
-        let result = HpoResult::single(
-            PipelineSpec::bare(EstimatorKind::DecisionTree),
-            1.0,
-            vec![],
-        );
+        let result =
+            HpoResult::single(PipelineSpec::bare(EstimatorKind::DecisionTree), 1.0, vec![]);
         let score = result.refit_score(&train, &test).unwrap();
         assert!(score > 0.9);
     }

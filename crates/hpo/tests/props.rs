@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn toy_dataset(n: usize, seed: u64) -> Dataset {
-    let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 7 + seed) % 10) as f64).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i as u64 * 7 + seed) % 10) as f64)
+        .collect();
     let y: Vec<f64> = x.iter().map(|v| f64::from(*v > 4.5)).collect();
     let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
     Dataset::new("prop", f, y, Task::Binary).unwrap()

@@ -162,7 +162,10 @@ mod tests {
         let enc = FeatureEncoder::fit(&f);
         assert_eq!(enc.output_dims(), 2 + TEXT_HASH_DIMS);
         assert_eq!(enc.roles()[0], FeatureRole::Numeric);
-        assert_eq!(enc.roles()[1], FeatureRole::CategoricalCode { cardinality: 2 });
+        assert_eq!(
+            enc.roles()[1],
+            FeatureRole::CategoricalCode { cardinality: 2 }
+        );
         assert_eq!(enc.roles()[2], FeatureRole::TextHash);
     }
 
@@ -196,11 +199,8 @@ mod tests {
     fn transform_rejects_schema_drift() {
         let f = mixed_frame();
         let enc = FeatureEncoder::fit(&f);
-        let other = DataFrame::from_columns(vec![(
-            "n".to_string(),
-            Column::from_f64(vec![1.0]),
-        )])
-        .unwrap();
+        let other =
+            DataFrame::from_columns(vec![("n".to_string(), Column::from_f64(vec![1.0]))]).unwrap();
         assert!(enc.transform(&other).is_err());
     }
 

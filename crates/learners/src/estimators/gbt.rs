@@ -78,7 +78,13 @@ impl GradTree {
                     threshold,
                     left,
                     right,
-                } => at = if row[*feature] <= *threshold { *left } else { *right },
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    }
+                }
                 GNode::Leaf(v) => return *v,
             }
         }
@@ -108,13 +114,7 @@ fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
 // Exact depth-wise builder
 // ---------------------------------------------------------------------------
 
-fn build_exact(
-    x: &Matrix,
-    g: &[f64],
-    h: &[f64],
-    rows: Vec<usize>,
-    cfg: &GbtConfig,
-) -> GradTree {
+fn build_exact(x: &Matrix, g: &[f64], h: &[f64], rows: Vec<usize>, cfg: &GbtConfig) -> GradTree {
     let mut nodes = Vec::new();
     build_exact_node(x, g, h, rows, 0, cfg, &mut nodes);
     GradTree { nodes }
@@ -242,7 +242,11 @@ fn build_hist(
     rows: Vec<usize>,
     cfg: &GbtConfig,
 ) -> GradTree {
-    let max_leaves = if cfg.max_leaves == 0 { usize::MAX } else { cfg.max_leaves };
+    let max_leaves = if cfg.max_leaves == 0 {
+        usize::MAX
+    } else {
+        cfg.max_leaves
+    };
     let mut nodes: Vec<GNode> = Vec::new();
     let root_value = {
         let gs: f64 = rows.iter().map(|&r| g[r]).sum();
@@ -456,7 +460,9 @@ impl Estimator for GradientBoosting {
                 let g: Vec<f64> = (0..n).map(|r| grads[r][head].0).collect();
                 let h: Vec<f64> = (0..n).map(|r| grads[r][head].1).collect();
                 let tree = match &binned {
-                    Some((bins, edges)) => build_hist(bins, edges, &g, &h, rows.clone(), &self.config),
+                    Some((bins, edges)) => {
+                        build_hist(bins, edges, &g, &h, rows.clone(), &self.config)
+                    }
                     None => build_exact(x, &g, &h, rows.clone(), &self.config),
                 };
                 // Update scores in place.
@@ -558,7 +564,11 @@ mod tests {
             learning_rate: 0.2,
             max_depth: 3,
             subsample: 1.0,
-            lambda: if kind == EstimatorKind::GradientBoosting { 0.0 } else { 1.0 },
+            lambda: if kind == EstimatorKind::GradientBoosting {
+                0.0
+            } else {
+                1.0
+            },
             gamma: 0.0,
             min_child_weight: 1.0,
             second_order: kind != EstimatorKind::GradientBoosting,
@@ -744,7 +754,9 @@ mod tests {
     #[test]
     fn quantile_bins_are_monotone_and_bounded() {
         let x = Matrix::from_rows(
-            &(0..100).map(|i| vec![(i as f64).powf(1.5)]).collect::<Vec<_>>(),
+            &(0..100)
+                .map(|i| vec![(i as f64).powf(1.5)])
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let (binned, edges) = quantile_bins(&x, 8);

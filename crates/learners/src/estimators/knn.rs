@@ -151,7 +151,9 @@ mod tests {
         let y = vec![0.0, 10.0, 20.0];
         let mut m = KNearestNeighbors::new(2, false);
         m.fit(&x, &y, Task::Regression).unwrap();
-        let p = m.predict(&Matrix::from_rows(&[vec![0.4]]).unwrap()).unwrap();
+        let p = m
+            .predict(&Matrix::from_rows(&[vec![0.4]]).unwrap())
+            .unwrap();
         // Neighbours are x=0 and x=1 -> mean 5.
         assert!((p[0] - 5.0).abs() < 1e-9);
     }
@@ -162,7 +164,9 @@ mod tests {
         let y = vec![0.0, 10.0];
         let mut m = KNearestNeighbors::new(2, true);
         m.fit(&x, &y, Task::Regression).unwrap();
-        let p = m.predict(&Matrix::from_rows(&[vec![0.1]]).unwrap()).unwrap();
+        let p = m
+            .predict(&Matrix::from_rows(&[vec![0.1]]).unwrap())
+            .unwrap();
         assert!(p[0] < 5.0, "weighted mean should lean to the nearer label");
     }
 
@@ -188,7 +192,8 @@ mod tests {
             .unwrap();
         assert!(m.train_x.as_ref().unwrap().rows() <= MAX_STORED_ROWS);
         // Still predicts without panicking.
-        m.predict(&Matrix::from_rows(&[vec![5.0]]).unwrap()).unwrap();
+        m.predict(&Matrix::from_rows(&[vec![5.0]]).unwrap())
+            .unwrap();
     }
 
     #[test]

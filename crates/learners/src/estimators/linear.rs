@@ -55,7 +55,10 @@ impl Estimator for RidgeRegression {
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
-        let w = self.weights.as_ref().ok_or(LearnError::NotFitted("ridge"))?;
+        let w = self
+            .weights
+            .as_ref()
+            .ok_or(LearnError::NotFitted("ridge"))?;
         with_intercept(x).matvec(w)
     }
 
@@ -163,8 +166,14 @@ impl Estimator for LassoRegression {
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
-        let w = self.weights.as_ref().ok_or(LearnError::NotFitted("lasso"))?;
-        Ok(x.matvec(w)?.into_iter().map(|v| v + self.intercept).collect())
+        let w = self
+            .weights
+            .as_ref()
+            .ok_or(LearnError::NotFitted("lasso"))?;
+        Ok(x.matvec(w)?
+            .into_iter()
+            .map(|v| v + self.intercept)
+            .collect())
     }
 
     fn predict_proba(&self, _x: &Matrix) -> Result<Matrix> {
@@ -431,7 +440,11 @@ impl Estimator for LinearSvm {
                     order.shuffle(&mut rng);
                     for &r in &order {
                         let target = if heads == 1 {
-                            if y[r] > 0.5 { 1.0 } else { -1.0 }
+                            if y[r] > 0.5 {
+                                1.0
+                            } else {
+                                -1.0
+                            }
                         } else if (y[r] as usize) == h {
                             1.0
                         } else {
@@ -523,10 +536,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i % 10) as f64, ((i * 3) % 10) as f64])
             .collect();
-        let y = rows
-            .iter()
-            .map(|r| f64::from(r[0] + r[1] > 6.0))
-            .collect();
+        let y = rows.iter().map(|r| f64::from(r[0] + r[1] > 6.0)).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 

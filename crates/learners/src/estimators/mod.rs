@@ -112,7 +112,10 @@ impl EstimatorKind {
 
     /// Parses a canonical name.
     pub fn from_name(name: &str) -> Option<EstimatorKind> {
-        EstimatorKind::ALL.iter().copied().find(|k| k.name() == name)
+        EstimatorKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
     }
 
     /// Whether this estimator supports the given task.
@@ -187,9 +190,10 @@ pub fn build_estimator(kind: EstimatorKind, params: &Params) -> Result<Box<dyn E
             get_pos("n_neighbors", 5.0)? as usize,
             get("weights", 0.0) > 0.5,
         )),
-        EstimatorKind::GaussianNb => Box::new(naive_bayes::GaussianNb::new(
-            get_pos("var_smoothing", 1e-9)?,
-        )),
+        EstimatorKind::GaussianNb => Box::new(naive_bayes::GaussianNb::new(get_pos(
+            "var_smoothing",
+            1e-9,
+        )?)),
         EstimatorKind::DecisionTree => Box::new(tree::DecisionTree::new(tree::TreeConfig {
             max_depth: get_pos("max_depth", 10.0)? as usize,
             min_samples_split: get_pos("min_samples_split", 2.0)? as usize,
@@ -377,8 +381,7 @@ mod tests {
     #[test]
     fn relative_costs_are_ordered_sensibly() {
         assert!(
-            EstimatorKind::GaussianNb.relative_cost()
-                < EstimatorKind::RandomForest.relative_cost()
+            EstimatorKind::GaussianNb.relative_cost() < EstimatorKind::RandomForest.relative_cost()
         );
         assert!(EstimatorKind::Lgbm.relative_cost() < EstimatorKind::XgBoost.relative_cost());
     }

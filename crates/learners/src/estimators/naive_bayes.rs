@@ -171,8 +171,13 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_blow_up() {
-        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 0.1],
+            vec![1.0, 0.9],
+        ])
+        .unwrap();
         let y = vec![0.0, 1.0, 0.0, 1.0];
         let mut m = GaussianNb::new(1e-9);
         m.fit(&x, &y, Task::Binary).unwrap();

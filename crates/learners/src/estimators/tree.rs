@@ -70,7 +70,11 @@ impl FittedTree {
                     left,
                     right,
                 } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 Node::Leaf(v) => return v,
             }
@@ -434,7 +438,9 @@ impl Estimator for DecisionTree {
     fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
         let task = self.task.ok_or(LearnError::NotFitted("decision_tree"))?;
         if !task.is_classification() {
-            return Err(LearnError::UnsupportedTask("decision_tree (regression proba)"));
+            return Err(LearnError::UnsupportedTask(
+                "decision_tree (regression proba)",
+            ));
         }
         let tree = self.tree.as_ref().unwrap();
         let mut out = Matrix::zeros(x.rows(), tree.outputs);
@@ -702,12 +708,7 @@ mod tests {
     #[test]
     fn forest_proba_rows_sum_to_one() {
         let (x, y) = xor_data();
-        let mut f = Forest::new(
-            10,
-            TreeConfig::default(),
-            true,
-            EstimatorKind::RandomForest,
-        );
+        let mut f = Forest::new(10, TreeConfig::default(), true, EstimatorKind::RandomForest);
         f.fit(&x, &y, Task::Binary).unwrap();
         let p = f.predict_proba(&x).unwrap();
         for r in 0..p.rows() {

@@ -138,7 +138,10 @@ mod tests {
         let p = vec![0.0; 10];
         assert!(accuracy(&t, &p) > 0.89);
         let f1 = macro_f1(&t, &p, 2);
-        assert!(f1 < 0.5, "macro F1 {f1} should punish ignoring the minority");
+        assert!(
+            f1 < 0.5,
+            "macro F1 {f1} should punish ignoring the minority"
+        );
     }
 
     #[test]

@@ -214,11 +214,8 @@ mod tests {
     fn toy_regression(n: usize) -> Dataset {
         let x: Vec<f64> = (0..n).map(|i| (i % 20) as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
-        let features = DataFrame::from_columns(vec![(
-            "x".to_string(),
-            Column::from_f64(x),
-        )])
-        .unwrap();
+        let features =
+            DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(x))]).unwrap();
         Dataset::new("toyreg", features, y, Task::Regression).unwrap()
     }
 

@@ -70,7 +70,10 @@ impl TransformerKind {
 
     /// Parses a canonical name back into a kind.
     pub fn from_name(name: &str) -> Option<TransformerKind> {
-        TransformerKind::ALL.iter().copied().find(|k| k.name() == name)
+        TransformerKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
     }
 }
 
@@ -96,10 +99,7 @@ pub trait Transformer: Send + Sync {
 
 /// Builds a transformer of the given kind from a flat parameter map.
 /// Unknown parameters are ignored; out-of-domain values error.
-pub fn build_transformer(
-    kind: TransformerKind,
-    params: &TParams,
-) -> Result<Box<dyn Transformer>> {
+pub fn build_transformer(kind: TransformerKind, params: &TParams) -> Result<Box<dyn Transformer>> {
     let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
     Ok(match kind {
         TransformerKind::SimpleImputer => {
@@ -292,7 +292,11 @@ impl Transformer for MinMaxScaler {
             let vals: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
             let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
             let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let (min, max) = if min.is_finite() { (min, max) } else { (0.0, 1.0) };
+            let (min, max) = if min.is_finite() {
+                (min, max)
+            } else {
+                (0.0, 1.0)
+            };
             self.min.push(min);
             self.range.push((max - min).max(1e-12));
         }
@@ -335,7 +339,8 @@ impl Transformer for RobustScaler {
                 continue;
             }
             vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let q = |p: f64| vals[((p * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1)];
+            let q =
+                |p: f64| vals[((p * (vals.len() - 1) as f64).round() as usize).min(vals.len() - 1)];
             self.median.push(q(0.5));
             self.iqr.push((q(0.75) - q(0.25)).max(1e-12));
         }
@@ -442,11 +447,7 @@ impl Transformer for OneHotEncoder {
 
     fn transform(&self, x: &Matrix) -> Result<Matrix> {
         check_width("one_hot_encoder", x, self.plan.len())?;
-        let out_cols: usize = self
-            .plan
-            .iter()
-            .map(|p| p.unwrap_or(1))
-            .sum();
+        let out_cols: usize = self.plan.iter().map(|p| p.unwrap_or(1)).sum();
         let mut out = Matrix::zeros(x.rows(), out_cols);
         for r in 0..x.rows() {
             let mut c_out = 0usize;
@@ -578,7 +579,10 @@ impl Transformer for SelectKBest {
         let mut scored: Vec<(usize, f64)> = (0..x.cols())
             .map(|c| {
                 let col = x.col(c);
-                let vals: Vec<f64> = col.iter().map(|v| if v.is_nan() { 0.0 } else { *v }).collect();
+                let vals: Vec<f64> = col
+                    .iter()
+                    .map(|v| if v.is_nan() { 0.0 } else { *v })
+                    .collect();
                 let mean = vals.iter().sum::<f64>() / n;
                 let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
                 if std < 1e-12 || y_std < 1e-12 {
@@ -594,7 +598,11 @@ impl Transformer for SelectKBest {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        self.keep = scored.iter().take(self.k.min(x.cols())).map(|(c, _)| *c).collect();
+        self.keep = scored
+            .iter()
+            .take(self.k.min(x.cols()))
+            .map(|(c, _)| *c)
+            .collect();
         self.keep.sort_unstable();
         Ok(self.keep.iter().map(|&c| roles[c]).collect())
     }
@@ -717,7 +725,11 @@ impl Transformer for Pca {
             let row: Vec<f64> = (0..d)
                 .map(|c| {
                     let v = x.get(r, c);
-                    if v.is_nan() { 0.0 } else { v - self.mean[c] }
+                    if v.is_nan() {
+                        0.0
+                    } else {
+                        v - self.mean[c]
+                    }
                 })
                 .collect();
             for i in 0..d {
@@ -849,18 +861,7 @@ mod tests {
         // Column 0: [NaN, 1, 3, 5, 3] -> mean 3, median 3, mode 3.
         // Column 1: [NaN, 0, 0, 9, 0] -> mean 2.25, median 0, mode 0.
         let x = Matrix::from_vec(
-            vec![
-                f64::NAN,
-                f64::NAN,
-                1.0,
-                0.0,
-                3.0,
-                0.0,
-                5.0,
-                9.0,
-                3.0,
-                0.0,
-            ],
+            vec![f64::NAN, f64::NAN, 1.0, 0.0, 3.0, 0.0, 5.0, 9.0, 3.0, 0.0],
             5,
             2,
         )
@@ -978,12 +979,7 @@ mod tests {
     fn select_k_best_prefers_correlated_feature() {
         // Feature 0 = y exactly, feature 1 = noise-ish constant pattern.
         let y = vec![1.0, 2.0, 3.0, 4.0];
-        let x = Matrix::from_vec(
-            vec![1.0, 9.0, 2.0, 1.0, 3.0, 9.0, 4.0, 1.0],
-            4,
-            2,
-        )
-        .unwrap();
+        let x = Matrix::from_vec(vec![1.0, 9.0, 2.0, 1.0, 3.0, 9.0, 4.0, 1.0], 4, 2).unwrap();
         let mut sel = SelectKBest::new(1);
         sel.fit(&x, &y, &roles_numeric(2)).unwrap();
         let out = sel.transform(&x).unwrap();
@@ -1007,7 +1003,8 @@ mod tests {
         // Projection variance should be close to total variance of the data.
         let proj = out.col(0);
         let mean = proj.iter().sum::<f64>() / proj.len() as f64;
-        let var_proj: f64 = proj.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / proj.len() as f64;
+        let var_proj: f64 =
+            proj.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / proj.len() as f64;
         let total_var: f64 = (0..2)
             .map(|c| {
                 let col = x.col(c);

@@ -14,7 +14,13 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a new linear layer's parameters.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Linear {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Linear {
         Linear {
             w: store.xavier(&format!("{name}.w"), in_dim, out_dim, rng),
             b: store.zeros(&format!("{name}.b"), 1, out_dim),
@@ -41,7 +47,13 @@ pub struct GruCell {
 
 impl GruCell {
     /// Registers a GRU cell with state dim `hidden` and input dim `input`.
-    pub fn new(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> GruCell {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> GruCell {
         GruCell {
             wz: Linear::new(store, &format!("{name}.z"), input + hidden, hidden, rng),
             wr: Linear::new(store, &format!("{name}.r"), input + hidden, hidden, rng),
@@ -140,12 +152,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "m", 2, 16, 2, &mut rng);
         let mut adam = Adam::new(0.05);
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            4,
-            2,
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], 4, 2).unwrap();
         let targets = [0usize, 1, 1, 0];
         let mut last_loss = f32::INFINITY;
         for _ in 0..300 {
@@ -163,6 +170,9 @@ mod tests {
             adam.step(&mut store);
             last_loss = loss_v;
         }
-        assert!(last_loss < 0.05, "XOR should be learned, loss = {last_loss}");
+        assert!(
+            last_loss < 0.05,
+            "XOR should be learned, loss = {last_loss}"
+        );
     }
 }

@@ -426,11 +426,7 @@ impl<'a> Tape<'a> {
                         .zip(y.as_slice())
                         .map(|(gv, yv)| gv * (1.0 - yv * yv))
                         .collect();
-                    accumulate(
-                        &mut grads,
-                        *a,
-                        Tensor::from_vec(data, g.rows(), g.cols())?,
-                    );
+                    accumulate(&mut grads, *a, Tensor::from_vec(data, g.rows(), g.cols())?);
                 }
                 Op::Sigmoid(a) => {
                     let y = &self.values[i];
@@ -440,11 +436,7 @@ impl<'a> Tape<'a> {
                         .zip(y.as_slice())
                         .map(|(gv, yv)| gv * yv * (1.0 - yv))
                         .collect();
-                    accumulate(
-                        &mut grads,
-                        *a,
-                        Tensor::from_vec(data, g.rows(), g.cols())?,
-                    );
+                    accumulate(&mut grads, *a, Tensor::from_vec(data, g.rows(), g.cols())?);
                 }
                 Op::Relu(a) => {
                     let x = &self.values[*a];
@@ -454,11 +446,7 @@ impl<'a> Tape<'a> {
                         .zip(x.as_slice())
                         .map(|(gv, xv)| if *xv > 0.0 { *gv } else { 0.0 })
                         .collect();
-                    accumulate(
-                        &mut grads,
-                        *a,
-                        Tensor::from_vec(data, g.rows(), g.cols())?,
-                    );
+                    accumulate(&mut grads, *a, Tensor::from_vec(data, g.rows(), g.cols())?);
                 }
                 Op::ConcatCols(a, b) => {
                     let ac = self.values[*a].cols();
@@ -487,11 +475,7 @@ impl<'a> Tape<'a> {
                 }
                 Op::Reshape(a) => {
                     let src = &self.values[*a];
-                    let ga = Tensor::from_vec(
-                        g.as_slice().to_vec(),
-                        src.rows(),
-                        src.cols(),
-                    )?;
+                    let ga = Tensor::from_vec(g.as_slice().to_vec(), src.rows(), src.cols())?;
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::SumRows(a) => {

@@ -138,9 +138,7 @@ impl Column {
     pub fn as_f64(&self, i: usize) -> Option<f64> {
         match self {
             Column::Numeric(v) => v.get(i).copied().flatten(),
-            Column::Categorical { codes, .. } => {
-                codes.get(i).copied().flatten().map(|c| c as f64)
-            }
+            Column::Categorical { codes, .. } => codes.get(i).copied().flatten().map(|c| c as f64),
             Column::Text(_) => None,
         }
     }
@@ -164,10 +162,7 @@ impl Column {
     pub fn cardinality(&self) -> usize {
         match self {
             Column::Numeric(v) => {
-                let mut seen: Vec<u64> = v
-                    .iter()
-                    .filter_map(|x| x.map(f64::to_bits))
-                    .collect();
+                let mut seen: Vec<u64> = v.iter().filter_map(|x| x.map(f64::to_bits)).collect();
                 seen.sort_unstable();
                 seen.dedup();
                 seen.len()

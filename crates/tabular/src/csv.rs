@@ -34,11 +34,7 @@ pub fn read_csv_str(input: &str) -> Result<RawCsv> {
     let mut line = 1usize;
     let mut chars = input.chars().peekable();
 
-    fn finish_field(
-        field: &mut String,
-        quoted: &mut bool,
-        record: &mut Vec<Option<String>>,
-    ) {
+    fn finish_field(field: &mut String, quoted: &mut bool, record: &mut Vec<Option<String>>) {
         let value = std::mem::take(field);
         if value.is_empty() && !*quoted {
             record.push(None);
@@ -119,11 +115,7 @@ pub fn read_csv_str(input: &str) -> Result<RawCsv> {
         if row.len() != header.len() {
             return Err(TabularError::Csv {
                 line: i + 2,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    row.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), row.len()),
             });
         }
         cells.push(row);
@@ -137,11 +129,7 @@ pub fn read_frame(input: &str) -> Result<DataFrame> {
     let ncols = raw.header.len();
     let mut frame = DataFrame::new();
     for c in 0..ncols {
-        let values: Vec<Option<&str>> = raw
-            .cells
-            .iter()
-            .map(|row| row[c].as_deref())
-            .collect();
+        let values: Vec<Option<&str>> = raw.cells.iter().map(|row| row[c].as_deref()).collect();
         let column = infer_column(&values);
         // Duplicate headers get positional suffixes rather than failing;
         // keep extending until unique (a file may already contain `a.1`).

@@ -87,7 +87,9 @@ impl Dataset {
             })
             .collect();
         if keep.is_empty() {
-            return Err(TabularError::Empty("dataset after dropping missing targets"));
+            return Err(TabularError::Empty(
+                "dataset after dropping missing targets",
+            ));
         }
         let features = frame.take(&keep);
         let target_col = target_col.take(&keep);
@@ -226,11 +228,8 @@ mod tests {
 
     #[test]
     fn new_validates_lengths() {
-        let f = DataFrame::from_columns(vec![(
-            "x".to_string(),
-            Column::from_f64(vec![1.0, 2.0]),
-        )])
-        .unwrap();
+        let f = DataFrame::from_columns(vec![("x".to_string(), Column::from_f64(vec![1.0, 2.0]))])
+            .unwrap();
         assert!(Dataset::new("bad", f, vec![1.0], Task::Regression).is_err());
     }
 

@@ -44,7 +44,9 @@ impl fmt::Display for TabularError {
             ),
             TabularError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             TabularError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
-            TabularError::Csv { line, message } => write!(f, "csv parse error, line {line}: {message}"),
+            TabularError::Csv { line, message } => {
+                write!(f, "csv parse error, line {line}: {message}")
+            }
             TabularError::Empty(what) => write!(f, "{what} must be non-empty"),
             TabularError::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
         }
@@ -68,8 +70,14 @@ mod tests {
                 },
                 "column `a` has length 2, frame expects 3",
             ),
-            (TabularError::UnknownColumn("x".into()), "unknown column `x`"),
-            (TabularError::DuplicateColumn("x".into()), "duplicate column `x`"),
+            (
+                TabularError::UnknownColumn("x".into()),
+                "unknown column `x`",
+            ),
+            (
+                TabularError::DuplicateColumn("x".into()),
+                "duplicate column `x`",
+            ),
             (
                 TabularError::Csv {
                     line: 4,

@@ -197,7 +197,10 @@ mod tests {
         assert_eq!(removed.kind(), ColumnKind::Categorical);
         assert_eq!(f.num_columns(), 2);
         // "note" shifted left; lookup must still work.
-        assert_eq!(f.column("note").unwrap().as_string(0).as_deref(), Some("a b"));
+        assert_eq!(
+            f.column("note").unwrap().as_string(0).as_deref(),
+            Some("a b")
+        );
         assert_eq!(f.name_at(1), "note");
     }
 

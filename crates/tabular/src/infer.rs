@@ -40,11 +40,7 @@ pub fn infer_column(values: &[Option<&str>]) -> Column {
         .all(|s| parse_number(s).is_some() || is_missing_marker(s))
         && present.iter().any(|s| parse_number(s).is_some());
     if all_numeric {
-        return Column::numeric(
-            values
-                .iter()
-                .map(|v| v.and_then(parse_number)),
-        );
+        return Column::numeric(values.iter().map(|v| v.and_then(parse_number)));
     }
     let mut distinct: Vec<&str> = present.clone();
     distinct.sort_unstable();

@@ -67,8 +67,16 @@ impl ColumnStats {
             let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
             let std = var.sqrt();
             let (skew, kurt) = if std > 1e-12 {
-                let m3 = values.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n;
-                let m4 = values.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n;
+                let m3 = values
+                    .iter()
+                    .map(|x| ((x - mean) / std).powi(3))
+                    .sum::<f64>()
+                    / n;
+                let m4 = values
+                    .iter()
+                    .map(|x| ((x - mean) / std).powi(4))
+                    .sum::<f64>()
+                    / n;
                 (m3, m4 - 3.0)
             } else {
                 (0.0, 0.0)

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("resolved call nodes:");
     for id in graph.nodes_of_kind(NodeKind::Call) {
-        println!("  line {:2}: {}", graph.nodes[id].line, graph.nodes[id].label);
+        println!(
+            "  line {:2}: {}",
+            graph.nodes[id].line, graph.nodes[id].label
+        );
     }
 
     // 2. The §3.4 filter.
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         filtered.num_nodes(),
         filtered.num_edges()
     );
-    println!("filtered ops: {:?}", filtered.ops.iter().map(|o| o.name()).collect::<Vec<_>>());
+    println!(
+        "filtered ops: {:?}",
+        filtered.ops.iter().map(|o| o.name()).collect::<Vec<_>>()
+    );
     println!("filtered edges: {:?}", filtered.edges);
 
     // 3. Skeleton extraction (§3.6).

@@ -32,7 +32,9 @@ fn titanic_csv(rows: usize) -> String {
         // Survival: women and first class mostly survive, with noise.
         let base = f64::from(sex == "female") * 0.6 + f64::from(pclass == 1) * 0.3;
         let survived = usize::from(base + ((i * 17) % 100) as f64 / 400.0 > 0.5);
-        out.push_str(&format!("{pclass},{sex},{age},{fare:.2},{embarked},{survived}\n"));
+        out.push_str(&format!(
+            "{pclass},{sex},{age},{fare:.2},{embarked},{survived}\n"
+        ));
     }
     out
 }
@@ -73,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..CorpusConfig::default()
         },
     );
-    let model = Kgpip::train(&scripts, &setup.tables, KgpipConfig::default())?;
+    // Parallelism 4: skeleton searches and their trials run concurrently
+    // through the shared evaluation engine under the same global budget.
+    let config = KgpipConfig::default().with_k(3).with_parallelism(4);
+    let model = Kgpip::train(&scripts, &setup.tables, config)?;
     let mut backend = Flaml::new(0);
     let run = model.run(&train, &mut backend, TimeBudget::seconds(budget_secs))?;
     let kg_score = run.best().refit_score(&train, &test)?;

@@ -36,19 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Kgpip::train(
         &scripts,
         &setup.tables,
-        KgpipConfig {
-            top_k: 3,
-            generator: GeneratorConfig {
+        KgpipConfig::default()
+            .with_k(3)
+            .with_generator(GeneratorConfig {
                 epochs: 8,
                 ..GeneratorConfig::default()
-            },
-            ..KgpipConfig::default()
-        },
+            }),
     )?;
     let stats = model.stats();
     println!(
         "trained: {}/{} scripts usable, {} datasets, {} graph nodes, {:.1}s",
-        stats.valid_pipelines, stats.scripts, stats.datasets, stats.total_nodes, stats.training_secs
+        stats.valid_pipelines,
+        stats.scripts,
+        stats.datasets,
+        stats.total_nodes,
+        stats.training_secs
     );
 
     // 3. An unseen dataset (binary classification with a nonlinear target).

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let author = i % 3;
         let words = vocab[author];
         let len = 5 + (i * 7) % 6;
-        let sentence: Vec<&str> = (0..len).map(|w| words[(i * 3 + w * 5) % words.len()]).collect();
+        let sentence: Vec<&str> = (0..len)
+            .map(|w| words[(i * 3 + w * 5) % words.len()])
+            .collect();
         let joined = sentence.join(" ");
         lengths.push(joined.len() as f64);
         texts.push(Some(joined));
@@ -65,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..CorpusConfig::default()
         },
     );
-    let model = Kgpip::train(&scripts, &setup.tables, KgpipConfig::default())?;
+    let model = Kgpip::train(&scripts, &setup.tables, KgpipConfig::default().with_k(3))?;
     let mut backend = Flaml::new(0);
     let run = model.run(&train, &mut backend, TimeBudget::seconds(5.0))?;
     let score = run.best().refit_score(&train, &test)?;

@@ -4,8 +4,9 @@
 //! kgpip-cli train   --scripts DIR --tables DIR --out model.json [--epochs N] [--seed S]
 //! kgpip-cli predict --model model.json --data data.csv --target COL [--k 3]
 //! kgpip-cli run     --model model.json --data data.csv --target COL
-//!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn] [--k 3]
-//! kgpip-cli demo    [--budget-secs 5]
+//!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn]
+//!                   [--k 3] [--parallelism N]
+//! kgpip-cli demo    [--budget-secs 5] [--parallelism N]
 //! ```
 //!
 //! Layout expected by `train`:
@@ -103,10 +104,14 @@ fn cmd_train(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         scripts.len(),
         tables.len()
     );
-    let mut config = KgpipConfig::default();
-    config.generator.epochs = epochs;
-    config.generator.seed = seed;
-    config.seed = seed;
+    let config =
+        KgpipConfig::default()
+            .with_seed(seed)
+            .with_generator(kgpip_graphgen::GeneratorConfig {
+                epochs,
+                seed,
+                ..kgpip_graphgen::GeneratorConfig::default()
+            });
     let model = Kgpip::train(&scripts, &tables, config)?;
     let stats = model.stats();
     eprintln!(
@@ -118,7 +123,9 @@ fn cmd_train(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     Ok(())
 }
 
-fn load_dataset(flag: &impl Fn(&str) -> Option<String>) -> Result<Dataset, Box<dyn std::error::Error>> {
+fn load_dataset(
+    flag: &impl Fn(&str) -> Option<String>,
+) -> Result<Dataset, Box<dyn std::error::Error>> {
     let data = require(flag, "--data")?;
     let target = require(flag, "--target")?;
     let frame = read_table(Path::new(&data))?;
@@ -163,9 +170,14 @@ fn cmd_predict(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
 
 fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     let model_path = require(flag, "--model")?;
-    let budget: f64 = flag("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(30.0);
+    let budget: f64 = flag("--budget-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
     let backend_name = flag("--backend").unwrap_or_else(|| "flaml".into());
-    let model = Kgpip::load(&model_path)?;
+    let mut model = Kgpip::load(&model_path)?;
+    if let Some(parallelism) = flag("--parallelism").and_then(|v| v.parse().ok()) {
+        model.set_parallelism(parallelism);
+    }
     let ds = load_dataset(flag)?;
     let mut time_budget = TimeBudget::seconds(budget);
     if let Some(trials) = flag("--trials").and_then(|v| v.parse().ok()) {
@@ -216,7 +228,9 @@ fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
 fn cmd_demo(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     use kgpip_benchdata::{training_setup, ScaleConfig};
     use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig};
-    let budget: f64 = flag("--budget-secs").and_then(|v| v.parse().ok()).unwrap_or(5.0);
+    let budget: f64 = flag("--budget-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
     let setup = training_setup(2, &ScaleConfig::default(), 0);
     let scripts = generate_corpus(
         &setup.profiles,
@@ -226,7 +240,14 @@ fn cmd_demo(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         },
     );
     eprintln!("demo: training KGpip on a synthetic corpus...");
-    let model = Kgpip::train(&scripts, &setup.tables, KgpipConfig::default())?;
+    let parallelism: usize = flag("--parallelism")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let model = Kgpip::train(
+        &scripts,
+        &setup.tables,
+        KgpipConfig::default().with_parallelism(parallelism),
+    )?;
     let entry = kgpip_benchdata::benchmark()
         .iter()
         .find(|e| e.name == "phoneme")

@@ -42,7 +42,11 @@ fn csv_on_disk_roundtrip_feeds_training_and_prediction() {
         std::fs::write(ds_dir.join(format!("nb_{i}.py")), &record.source).unwrap();
     }
     for (name, table) in &setup.tables {
-        std::fs::write(tables_dir.join(format!("{name}.csv")), csv::write_csv(table)).unwrap();
+        std::fs::write(
+            tables_dir.join(format!("{name}.csv")),
+            csv::write_csv(table),
+        )
+        .unwrap();
     }
 
     // Read everything back through the file layer.
@@ -72,15 +76,12 @@ fn csv_on_disk_roundtrip_feeds_training_and_prediction() {
     let model = Kgpip::train(
         &scripts_back,
         &tables_back,
-        KgpipConfig {
-            generator: GeneratorConfig {
-                hidden: 8,
-                prop_rounds: 1,
-                epochs: 2,
-                ..GeneratorConfig::default()
-            },
-            ..KgpipConfig::default()
-        },
+        KgpipConfig::default().with_generator(GeneratorConfig {
+            hidden: 8,
+            prop_rounds: 1,
+            epochs: 2,
+            ..GeneratorConfig::default()
+        }),
     )
     .unwrap();
     let model_path = scratch_dir("model").join("model.json");

@@ -52,8 +52,14 @@ fn al_fails_on_text_and_many_class_datasets_but_works_on_clean_numeric() {
     }
     // The paper's Figure 6 exists precisely because AL fails on a chunk of
     // its own benchmark while working on the rest.
-    assert!(failures >= 3, "AL should fail on several datasets, got {failures}");
-    assert!(successes >= 5, "AL should work on several datasets, got {successes}");
+    assert!(
+        failures >= 3,
+        "AL should fail on several datasets, got {failures}"
+    );
+    assert!(
+        successes >= 5,
+        "AL should work on several datasets, got {successes}"
+    );
 }
 
 #[test]
@@ -116,7 +122,9 @@ fn deterministic_reproduction_across_identical_configs() {
     let (sb, nb) = model_b.predict_skeletons(&ds, 3, &caps, 7);
     assert_eq!(na, nb, "nearest neighbour must be deterministic");
     let names = |v: &[(kgpip_hpo::Skeleton, f64)]| {
-        v.iter().map(|(s, _)| s.estimator.name()).collect::<Vec<_>>()
+        v.iter()
+            .map(|(s, _)| s.estimator.name())
+            .collect::<Vec<_>>()
     };
     assert_eq!(names(&sa), names(&sb), "predictions must be deterministic");
 }

@@ -1,0 +1,137 @@
+//! Cross-crate contracts of the parallel trial-evaluation engine:
+//! sequential bit-reproducibility, exact budget admission under thread
+//! contention, and end-to-end parallel runs through the public prelude.
+
+use kgpip::prelude::*;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn xor_dataset(n: usize) -> Dataset {
+    let rows: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            (
+                f64::from(i % 2 == 0) + (i % 7) as f64 * 0.01,
+                f64::from((i / 2) % 2 == 0) + (i % 5) as f64 * 0.01,
+            )
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|(a, b)| f64::from((*a > 0.5) != (*b > 0.5)))
+        .collect();
+    let f = DataFrame::from_columns(vec![
+        (
+            "a".to_string(),
+            Column::from_f64(rows.iter().map(|r| r.0).collect::<Vec<_>>()),
+        ),
+        (
+            "b".to_string(),
+            Column::from_f64(rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+        ),
+    ])
+    .unwrap();
+    Dataset::new("xor", f, y, Task::Binary).unwrap()
+}
+
+/// A trial-capped budget with slack wall clock, so expiry — and therefore
+/// the whole search trajectory — is deterministic.
+fn capped(trials: usize) -> TimeBudget {
+    TimeBudget::seconds(600.0).with_trial_cap(trials)
+}
+
+#[test]
+fn engine_at_parallelism_one_reproduces_the_sequential_history() {
+    let ds = xor_dataset(240);
+    for seed in [0u64, 7, 42] {
+        let expected = Flaml::new(seed)
+            .optimize_sequential(&ds, &capped(20))
+            .unwrap();
+        let mut engine = Flaml::new(seed);
+        let actual = engine.optimize(&ds, &capped(20)).unwrap();
+        assert_eq!(actual.trials, expected.trials, "seed {seed}");
+        assert_eq!(
+            actual.valid_score.to_bits(),
+            expected.valid_score.to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(actual.spec, expected.spec, "seed {seed}");
+        assert_eq!(actual.history.len(), expected.history.len());
+        for (i, (a, e)) in actual.history.iter().zip(&expected.history).enumerate() {
+            assert_eq!(a.spec, e.spec, "seed {seed}, trial {i}");
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                e.score.map(f64::to_bits),
+                "seed {seed}, trial {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn autosklearn_runs_are_repeatable_at_parallelism_one() {
+    let ds = xor_dataset(200);
+    let run = |seed: u64| {
+        let mut engine = AutoSklearn::new(seed);
+        engine.optimize(&ds, &capped(12)).unwrap()
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a.trials, b.trials);
+    assert_eq!(a.valid_score.to_bits(), b.valid_score.to_bits());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.score.map(f64::to_bits), y.score.map(f64::to_bits));
+    }
+}
+
+#[test]
+fn budget_gate_never_admits_past_the_cap_under_contention() {
+    let budget = capped(37);
+    let gate = BudgetGate::new(&budget);
+    let admitted = AtomicUsize::new(0);
+    let workers: Vec<usize> = (0..8).collect();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        workers.par_iter().for_each(|_| {
+            for _ in 0..100 {
+                if gate.admit() {
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+    // 800 concurrent attempts, exactly 37 admissions, and the shared
+    // trial pool agrees with the gate's own count.
+    assert_eq!(admitted.load(Ordering::Relaxed), 37);
+    assert_eq!(gate.admitted(), 37);
+    assert_eq!(budget.trials_used(), 37);
+}
+
+#[test]
+fn parallel_search_respects_the_trial_cap_exactly() {
+    let ds = xor_dataset(240);
+    let budget = capped(16);
+    let mut engine = Flaml::new(5).with_parallelism(4);
+    let result = engine.optimize(&ds, &budget).unwrap();
+    assert!(result.trials >= 1);
+    assert!(result.trials <= 16);
+    assert_eq!(budget.trials_used(), result.trials);
+    assert!(result.valid_score.is_finite());
+}
+
+#[test]
+fn optimizer_trait_exposes_the_parallelism_knobs() {
+    let mut engine: Box<dyn Optimizer + Send> = Box::new(Flaml::new(0));
+    assert_eq!(engine.parallelism(), 1);
+    engine.set_parallelism(6);
+    assert_eq!(engine.parallelism(), 6);
+    // Cloning copies configuration, including the knob.
+    let clone = engine.clone_boxed();
+    assert_eq!(clone.parallelism(), 6);
+    // Clamped: 0 means sequential, not "no trials".
+    engine.set_parallelism(0);
+    assert_eq!(engine.parallelism(), 1);
+}

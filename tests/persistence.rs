@@ -15,7 +15,10 @@ fn save_load_roundtrip_preserves_predictions() {
     let restored = Kgpip::from_json(&json).unwrap();
 
     // Identical stats.
-    assert_eq!(model.stats().valid_pipelines, restored.stats().valid_pipelines);
+    assert_eq!(
+        model.stats().valid_pipelines,
+        restored.stats().valid_pipelines
+    );
     assert_eq!(model.stats().datasets, restored.stats().datasets);
 
     // Identical predictions on several datasets.
@@ -24,7 +27,11 @@ fn save_load_roundtrip_preserves_predictions() {
         let ds = generate_dataset(entry, &cfg.scale, entry.id as u64);
         let (a, na) = model.predict_skeletons(&ds, 3, &caps, 42);
         let (b, nb) = restored.predict_skeletons(&ds, 3, &caps, 42);
-        assert_eq!(na, nb, "{}: neighbour must survive the roundtrip", entry.name);
+        assert_eq!(
+            na, nb,
+            "{}: neighbour must survive the roundtrip",
+            entry.name
+        );
         let names = |v: &[(kgpip_hpo::Skeleton, f64)]| {
             v.iter()
                 .map(|(s, _)| (s.estimator.name(), s.transformers.len()))

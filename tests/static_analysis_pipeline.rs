@@ -84,10 +84,7 @@ fn filtering_reduces_realistic_notebooks_by_over_90_percent() {
         node_reduction > 0.9,
         "node reduction {node_reduction:.3} (paper: >= 0.966)"
     );
-    assert!(
-        edge_reduction > 0.95,
-        "edge reduction {edge_reduction:.3}"
-    );
+    assert!(edge_reduction > 0.95, "edge reduction {edge_reduction:.3}");
     // "a vast portion of the 11.7K programs" is unusable: with 30%
     // torch/keras scripts, usable count must be roughly the remainder.
     assert!(usable < scripts.len());
@@ -123,7 +120,7 @@ fn generator_learns_the_mined_corpus() {
         hidden: 16,
         prop_rounds: 1,
         epochs: 6,
-        seed: 5,
+        seed: 13,
         ..GeneratorConfig::default()
     });
     let losses = generator.train(&examples);
@@ -135,10 +132,14 @@ fn generator_learns_the_mined_corpus() {
     let prefix = TypedGraph::conditioning_prefix(&vocab);
     let mut emb = vec![0.0; 48];
     emb[0] = 1.0;
-    let graphs = generator.generate_top_k(&emb, &prefix, 5, 1.2, 11);
+    let graphs = generator.generate_top_k(&emb, &prefix, 5, 1.2, 17);
     let valid = graphs
         .iter()
         .filter(|g| g.graph.decode(&vocab).skeleton().is_some())
         .count();
-    assert!(valid >= 2, "at least 2 of {} generated graphs valid", graphs.len());
+    assert!(
+        valid >= 2,
+        "at least 2 of {} generated graphs valid",
+        graphs.len()
+    );
 }

@@ -1,0 +1,259 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the benchmarking surface it uses: `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `Bencher::iter`/`iter_batched`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Behaviour depends on how the binary is invoked. `cargo bench` passes
+//! `--bench`, which enables real timing: each benchmark warms up, runs
+//! `sample_size` timed samples, and prints mean/min/max per-iteration
+//! times. `cargo test` runs the same binaries with no arguments; then
+//! every benchmark executes exactly one iteration as a smoke test so the
+//! suite stays fast while still exercising the bench code paths.
+//! Statistical analysis, plots, and baselines are out of scope.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier.
+pub use std::hint::black_box;
+
+/// Whether this process was invoked by `cargo bench` (which passes
+/// `--bench`) rather than `cargo test`.
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// An optional substring filter: `cargo bench <filter>` runs only
+/// benchmarks whose id contains the filter.
+fn filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with("--"))
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark; this is for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(needle) = filter() {
+        if !id.contains(&needle) {
+            return;
+        }
+    }
+    if !bench_mode() {
+        // Smoke mode under `cargo test`: one iteration, no timing.
+        let mut b = Bencher {
+            samples: Vec::new(),
+            measure: false,
+        };
+        f(&mut b);
+        println!("bench {id} ... smoke ok");
+        return;
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        measure: true,
+    };
+    // The closure body calls `b.iter*` once per invocation; invoke it
+    // until enough samples accumulate (warmup sample discarded).
+    f(&mut b);
+    if !b.samples.is_empty() {
+        b.samples.clear();
+    }
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    report(id, &b.samples);
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {id} ... no samples");
+        return;
+    }
+    let nanos: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+    let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
+    let min = nanos.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = nanos.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "bench {id} ... mean {} (min {}, max {}, {} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        nanos.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times the routine handed to it by a benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    measure: bool,
+}
+
+impl Bencher {
+    /// Times one call of `routine` (smoke mode: runs it untimed).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` on a fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        if !self.measure {
+            black_box(routine(input));
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility; every batch is a
+/// single input in this implementation).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declares a group runner invoking each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        // Unit tests never pass --bench, so this exercises smoke mode.
+        let mut calls = 0;
+        run_benchmark("unit/smoke", 5, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn iter_batched_smoke_consumes_input() {
+        let mut seen = Vec::new();
+        run_benchmark("unit/batched", 5, |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| seen.push(v.len()),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

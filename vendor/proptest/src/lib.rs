@@ -1,0 +1,728 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the property-testing surface it actually uses: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, numeric range and
+//! regex-string strategies, `prop_map`/`prop_flat_map`/`prop_filter`,
+//! `collection::vec`, `option::of`, `bool::ANY`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline vendored
+//! crate: no shrinking (a failing case reports its inputs' seed instead
+//! of a minimized counterexample), `prop_assume!` counts as a pass
+//! rather than drawing a replacement case, and the regex strategy
+//! implements only the subset the workspace's patterns use (character
+//! classes with ranges/escapes and `{m,n}` repetition).
+//!
+//! Cases are fully deterministic: each `(test name, case index)` pair
+//! derives a fixed RNG seed, so failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::*;
+
+    /// How many draws a `prop_filter` makes before giving up.
+    const FILTER_RETRIES: usize = 1000;
+
+    /// A generator of values for property tests. Unlike real proptest
+    /// there is no value tree / shrinking: a strategy just samples.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Rejects values failing `pred`, resampling up to a bounded
+        /// number of times.
+        fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..FILTER_RETRIES {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter exhausted {FILTER_RETRIES} draws: {}",
+                self.reason
+            );
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    /// A bare `&str` is a regex strategy generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let gen = crate::string::RegexGen::compile(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+            gen.sample(rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates a `Vec` whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Generates `None` about a fifth of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..5) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// The strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Generates `true` or `false` uniformly.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-driven string strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Regex compilation error.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Builds a strategy generating strings matching `pattern`
+    /// (supported subset: literals, escapes, `[..]` classes with ranges,
+    /// and `{m}`/`{m,n}` repetition).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        RegexGen::compile(pattern).map(|gen| RegexGeneratorStrategy { gen })
+    }
+
+    /// See [`string_regex`].
+    pub struct RegexGeneratorStrategy {
+        gen: RegexGen,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            self.gen.sample(rng)
+        }
+    }
+
+    /// One regex atom plus its repetition bounds.
+    struct Atom {
+        /// The characters this atom can produce (singleton for literals).
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled pattern: a sequence of atoms.
+    pub(crate) struct RegexGen {
+        atoms: Vec<Atom>,
+    }
+
+    impl RegexGen {
+        pub(crate) fn compile(pattern: &str) -> Result<RegexGen, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut atoms = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let choices = match chars[i] {
+                    '[' => {
+                        let (set, next) = parse_class(&chars, i + 1)?;
+                        i = next;
+                        set
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars
+                            .get(i)
+                            .ok_or_else(|| Error("trailing backslash".into()))?;
+                        i += 1;
+                        vec![unescape(c)]
+                    }
+                    '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                        return Err(Error(format!(
+                            "unsupported regex construct `{}` in {pattern:?}",
+                            chars[i]
+                        )))
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max, next) = parse_repetition(&chars, i)?;
+                i = next;
+                atoms.push(Atom { choices, min, max });
+            }
+            Ok(RegexGen { atoms })
+        }
+
+        pub(crate) fn sample(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let count = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..count {
+                    let idx = rng.gen_range(0..atom.choices.len());
+                    out.push(atom.choices[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parses a `[...]` class starting just after the `[`; returns the
+    /// character set and the index just past the `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .ok_or_else(|| Error("trailing backslash in class".into()))?;
+                unescape(c)
+            } else {
+                chars[i]
+            };
+            // A `-` between two class members is a range; a leading or
+            // trailing `-` is a literal.
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = if chars[i + 2] == '\\' {
+                    i += 1;
+                    unescape(
+                        *chars
+                            .get(i + 2)
+                            .ok_or_else(|| Error("trailing backslash in class".into()))?,
+                    )
+                } else {
+                    chars[i + 2]
+                };
+                if (c as u32) > (hi as u32) {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated character class".into()));
+        }
+        if set.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok((set, i + 1))
+    }
+
+    /// Parses an optional `{m}` / `{m,n}` at `i`; returns `(min, max,
+    /// next index)`.
+    fn parse_repetition(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+        if chars.get(i) != Some(&'{') {
+            return Ok((1, 1, i));
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .ok_or_else(|| Error("unterminated repetition".into()))?
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().map_err(|_| Error(format!("bad bound {lo:?}")))?,
+                hi.parse().map_err(|_| Error(format!("bad bound {hi:?}")))?,
+            ),
+            None => {
+                let n = body
+                    .parse()
+                    .map_err(|_| Error(format!("bad bound {body:?}")))?;
+                (n, n)
+            }
+        };
+        if min > max {
+            return Err(Error(format!("inverted repetition {{{body}}}")));
+        }
+        Ok((min, max, close + 1))
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and deterministic per-case seeding.
+
+    use super::*;
+
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic RNG for one test case: FNV-1a over the test's full
+    /// path, mixed with the case index.
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+/// Defines property tests. Each `fn` becomes a `#[test]` that draws its
+/// arguments from the given strategies for `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@props ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $args:tt $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@props ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $name $args $body $($rest)*);
+    };
+    (@props ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let ($($pat,)+) = ($(
+                    $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng),
+                )+);
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format!($($fmt)+),
+                l,
+                r,
+            ));
+        }
+    }};
+}
+
+/// Skips the current property case when the assumption fails. (No
+/// replacement case is drawn in this vendored subset.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    //! The names property tests import with `use proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let strat = crate::string::string_regex("[a-z_]{3,16}").unwrap();
+        let mut rng = crate::test_runner::case_rng("regex", 0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((3..=16).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_class_with_newline_escape() {
+        let strat = crate::string::string_regex("[ -~\n]{0,200}").unwrap();
+        let mut rng = crate::test_runner::case_rng("printable", 1);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let strat = crate::string::string_regex("[a-c_-]{8}").unwrap();
+        let mut rng = crate::test_runner::case_rng("dash", 2);
+        let mut saw_dash = false;
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(
+                s.chars().all(|c| matches!(c, 'a'..='c' | '_' | '-')),
+                "{s:?}"
+            );
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            v in crate::collection::vec(0u8..255, 2..5),
+            exact in crate::collection::vec(crate::bool::ANY, 3),
+            opt in crate::option::of(0i32..5),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 3);
+            prop_assume!(opt.is_none() || opt.unwrap() < 5);
+        }
+
+        #[test]
+        fn flat_map_and_filter_compose(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0usize..100, n))
+                .prop_filter("nonempty", |v| !v.is_empty()),
+            name in "[a-z_]{3,16}",
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(name.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_rng("t", 3);
+        let b = crate::test_runner::case_rng("t", 3);
+        let mut a = a;
+        let mut b = b;
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline drop-in subset of `rayon`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of rayon it uses: `slice.par_iter().map(f).collect()`
+//! (order-preserving), `for_each`, and a `ThreadPool` whose `install`
+//! scopes the worker count. Work is distributed dynamically over an
+//! atomic index queue and executed on `std::thread::scope` workers, so
+//! uneven per-item cost (the normal case for HPO trials) load-balances
+//! the same way rayon's work stealing does. Results always come back in
+//! input order regardless of completion order.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel iterator will use on this
+/// thread: the installed pool size, else the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) parallelism.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = machine parallelism).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this implementation; the `Result`
+    /// mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type mirroring rayon's builder signature (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: parallel iterators run inside [`ThreadPool::install`]
+/// use its worker count. Workers are scoped per operation rather than
+/// persistent, which preserves rayon's API without a global runtime.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's worker count installed for any parallel
+    /// iterators it creates.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..len` across `threads` workers, feeding
+/// indices through a shared atomic queue, and returns results in index
+/// order.
+fn run_indexed<R, F>(len: usize, threads: usize, f: F) -> Vec<Option<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    if threads <= 1 || len <= 1 {
+        for i in 0..len {
+            slots.push(Some(f(i)));
+        }
+        return slots;
+    }
+    slots.resize_with(len, || None);
+    let results = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(len) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let r = f(i);
+                results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+            });
+        }
+    });
+    results.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element (lazily; executed by a consuming method).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        run_indexed(items.len(), current_num_threads(), |i| f(&items[i]));
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map across the current worker count and collects the
+    /// results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let items = self.items;
+        let f = &self.f;
+        let produced = run_indexed(items.len(), current_num_threads(), |i| f(&items[i]));
+        C::from_ordered(
+            produced
+                .into_iter()
+                .map(|r| r.expect("every index produced"))
+                .collect(),
+        )
+    }
+}
+
+/// Collection target of [`ParMap::collect`].
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Vec<R> {
+        items
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+
+    /// A parallel iterator borrowing `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The rayon prelude: the traits needed for `.par_iter()` chains.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x * x
+            })
+            .collect();
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let out: Vec<usize> = vec![1, 2, 3].par_iter().map(|x| x + 1).collect();
+            assert_eq!(out, vec![2, 3, 4]);
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let input: Vec<usize> = (0..100).collect();
+        input.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..10)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|x| x + 1)
+                .collect()
+        });
+        assert_eq!(out.len(), 10);
+    }
+}

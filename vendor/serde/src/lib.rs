@@ -1,0 +1,439 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of serde the project uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs, newtype structs, and enums (unit and
+//! tuple variants), serialized through an owned JSON [`Value`] tree. The
+//! derive macros live in the sibling `serde_derive` crate and generate
+//! impls of the two traits below; `serde_json` renders and parses the
+//! `Value` tree. The data model matches serde's JSON conventions: structs
+//! become objects, unit enum variants become strings, tuple variants
+//! become `{"Variant": payload}` objects, newtypes are transparent.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned JSON value — the common data model between the `Serialize`
+/// and `Deserialize` traits and the `serde_json` front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float; see [`Number`]).
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A negative (or any signed) integer.
+    I(i64),
+    /// A non-negative integer too large for `i64`, or any `u64`.
+    U(u64),
+    /// A float.
+    F(f64),
+}
+
+impl Value {
+    /// Object field lookup, as a deserialization step.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Human-readable kind tag for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = expect_num(v)?;
+                let wide: i64 = match n {
+                    Number::I(i) => i,
+                    Number::U(u) => i64::try_from(u)
+                        .map_err(|_| DeError(format!("{u} out of range")))?,
+                    Number::F(f) if f.fract() == 0.0 => f as i64,
+                    Number::F(f) => return Err(DeError(format!("{f} is not an integer"))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = expect_num(v)?;
+                let wide: u64 = match n {
+                    Number::U(u) => u,
+                    Number::I(i) => u64::try_from(i)
+                        .map_err(|_| DeError(format!("{i} out of range")))?,
+                    Number::F(f) if f.fract() == 0.0 && f >= 0.0 => f as u64,
+                    Number::F(f) => return Err(DeError(format!("{f} is not an unsigned integer"))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+fn expect_num(v: &Value) -> Result<Number, DeError> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        other => Err(DeError(format!(
+            "expected number, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        Ok(match expect_num(v)? {
+            Number::F(f) => f,
+            Number::I(i) => i as f64,
+            Number::U(u) => u as f64,
+        })
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact; the shortest-round-trip rendering of the
+        // f64 re-parses to the same f32.
+        Value::Num(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!(
+                "expected bool, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!(
+                "expected string, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+// --- container impls -----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of {N}, found {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!(
+                "expected array, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: keys in sorted order.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "expected object, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "expected object, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arity = [$(stringify!($idx)),+].len();
+                match v {
+                    Value::Arr(items) if items.len() == arity => {
+                        let mut it = items.iter();
+                        Ok(($({
+                            let _ = $idx; // positional
+                            $name::from_value(it.next().expect("arity checked"))?
+                        },)+))
+                    }
+                    Value::Arr(items) => Err(DeError(format!(
+                        "expected {arity}-tuple, found array of {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError(format!("expected array, found {}", other.kind_name()))),
+                }
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&3u8.to_value()).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let back = Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), vec![1.0f64, 2.0]);
+        m.insert("b".to_string(), vec![]);
+        let back = HashMap::<String, Vec<f64>>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(e.to_string().contains("expected number"));
+        let e = Value::Bool(true).field("k").unwrap_err();
+        assert!(e.to_string().contains("expected object"));
+    }
+}

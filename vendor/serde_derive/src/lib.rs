@@ -1,0 +1,358 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supported shapes — exactly what this workspace
+//! derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit variants (serialized as `"Variant"`) and tuple
+//!   variants (serialized externally tagged, `{"Variant": payload}`).
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed item shape.
+enum Item {
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Skips one attribute (`#` already consumed is NOT assumed — `idx` must
+/// point at `#`); returns the index after the attribute.
+fn skip_attrs(tokens: &[TokenTree], mut idx: usize) -> usize {
+    while idx + 1 < tokens.len() {
+        match (&tokens[idx], &tokens[idx + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                idx += 2;
+            }
+            _ => break,
+        }
+    }
+    idx
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut idx: usize) -> usize {
+    if let Some(TokenTree::Ident(i)) = tokens.get(idx) {
+        if i.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    idx
+}
+
+/// Counts top-level comma-separated chunks in a token list, tracking
+/// `<...>` nesting (commas inside angle brackets belong to type
+/// arguments, not to the field list).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Parses the derive input into an [`Item`], or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and
+    // the item's visibility.
+    idx = skip_attrs(&tokens, idx);
+    idx = skip_vis(&tokens, idx);
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for chunk in split_top_level(&body) {
+                    let mut fi = skip_attrs(&chunk, 0);
+                    fi = skip_vis(&chunk, fi);
+                    match chunk.get(fi) {
+                        Some(TokenTree::Ident(fname)) => fields.push(fname.to_string()),
+                        other => {
+                            return Err(format!("unsupported field shape in `{name}`: {other:?}"))
+                        }
+                    }
+                }
+                Ok(Item::Named { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Tuple {
+                    name,
+                    arity: split_top_level(&body).len(),
+                })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for chunk in split_top_level(&body) {
+                    let vi = skip_attrs(&chunk, 0);
+                    let vname = match chunk.get(vi) {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        other => {
+                            return Err(format!("unsupported variant shape in `{name}`: {other:?}"))
+                        }
+                    };
+                    let arity = match chunk.get(vi + 1) {
+                        None => 0,
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                            split_top_level(&payload).len()
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Err(format!(
+                                "vendored serde derive does not support struct variants \
+                                 (`{name}::{vname}`)"
+                            ))
+                        }
+                        Some(other) => {
+                            return Err(format!("unsupported variant `{name}::{vname}`: {other:?}"))
+                        }
+                    };
+                    variants.push((vname, arity));
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::Named { fields, .. } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Obj(obj)"
+            )
+        }
+        Item::Tuple { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Tuple { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Obj(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Obj(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Arr(::std::vec![{}]))]),",
+                            binders.join(", "),
+                            values.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = match &item {
+        Item::Named { name, .. } | Item::Tuple { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Item::Tuple { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::Tuple { name, arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Arr(items) if items.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({gets})),\n\
+                   other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                     \"expected array of {arity} for {name}, found {{}}\", other.kind_name()))),\n\
+                 }}",
+                gets = gets.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let gets: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => match payload {{\n\
+                               ::serde::Value::Arr(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{v}({gets})),\n\
+                               other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"bad payload for {name}::{v}: {{}}\", \
+                                 other.kind_name()))),\n\
+                             }},",
+                            gets = gets.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\n\
+                     other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                       \"unknown variant {{other}} for {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     match tag.as_str() {{\n\
+                       {payload_arms}\n\
+                       other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                         \"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                     \"expected variant of {name}, found {{}}\", other.kind_name()))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::Named { name, .. } | Item::Tuple { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+             {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
