@@ -1,0 +1,86 @@
+//! Benchmarks for the new analyzer passes: span-carrying recovering
+//! parse, interprocedural instantiation of `def` helpers, and the
+//! graph-lint verifier. Complements `static_analysis.rs`, which covers
+//! the strict inline-only path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+use kgpip_codegraph::{
+    analyze_with_diagnostics, filter_graph, lint_code_graph, lint_pipeline_graph,
+    parse_with_diagnostics,
+};
+use std::hint::black_box;
+
+fn corpus(n: usize, helper_fraction: f64, malformed_fraction: f64) -> Vec<String> {
+    generate_corpus(
+        &[DatasetProfile::new("bench_lint_ds", false)],
+        &CorpusConfig {
+            scripts_per_dataset: n,
+            eda_noise: 6,
+            unsupported_fraction: 0.1,
+            helper_fraction,
+            malformed_fraction,
+            seed: 7,
+        },
+    )
+    .into_iter()
+    .map(|r| r.source)
+    .collect()
+}
+
+fn bench_codegraph_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegraph_analysis");
+    group.sample_size(20);
+
+    // Recovering parse of a helper-wrapped notebook.
+    let helper = corpus(1, 1.0, 0.0).pop().unwrap();
+    group.bench_function("recovering_parse_helper_notebook", |b| {
+        b.iter(|| parse_with_diagnostics(black_box(&helper)))
+    });
+
+    // Interprocedural analysis: the helper body is instantiated at the
+    // call site, so this measures summary application on top of the walk.
+    group.bench_function("analyze_helper_notebook", |b| {
+        b.iter(|| analyze_with_diagnostics(black_box(&helper)))
+    });
+
+    // Recovery cost on a notebook with an intentional syntax glitch.
+    let malformed = corpus(1, 0.0, 1.0).pop().unwrap();
+    group.bench_function("analyze_malformed_notebook", |b| {
+        b.iter(|| analyze_with_diagnostics(black_box(&malformed)))
+    });
+
+    // Lint verifier on raw and filtered graphs.
+    let (raw, _) = analyze_with_diagnostics(&helper);
+    let filtered = filter_graph(&raw);
+    group.bench_function("lint_code_graph", |b| {
+        b.iter(|| lint_code_graph(black_box(&raw)))
+    });
+    group.bench_function("lint_pipeline_graph", |b| {
+        b.iter(|| lint_pipeline_graph(black_box(&filtered)))
+    });
+
+    // Whole mining path over a mixed 50-notebook corpus: recover,
+    // analyze, filter, lint — the lint-corpus CLI inner loop.
+    let mixed = corpus(50, 0.3, 0.1);
+    group.bench_function("lint_mine_50_mixed_corpus", |b| {
+        b.iter(|| {
+            let mut kept = 0usize;
+            let mut violations = 0usize;
+            for src in &mixed {
+                let (raw, _diags) = analyze_with_diagnostics(black_box(src));
+                violations += lint_code_graph(&raw).len();
+                let filtered = filter_graph(&raw);
+                violations += lint_pipeline_graph(&filtered).len();
+                if filtered.skeleton().is_some() {
+                    kept += 1;
+                }
+            }
+            (kept, violations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegraph_analysis);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ fn training_examples(n: usize) -> (Vec<TrainExample>, Vec<TrainExample>) {
             eda_noise: 4,
             unsupported_fraction: 0.0,
             seed: 2,
+            ..CorpusConfig::default()
         },
     );
     let vocab = OpVocab::new();

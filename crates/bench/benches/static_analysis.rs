@@ -15,6 +15,7 @@ fn scripts(n: usize, noise: usize) -> Vec<String> {
             eda_noise: noise,
             unsupported_fraction: 0.0,
             seed: 1,
+            ..CorpusConfig::default()
         },
     )
     .into_iter()

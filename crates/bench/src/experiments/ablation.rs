@@ -108,6 +108,7 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
             eda_noise: 5,
             unsupported_fraction: 0.0,
             seed: cfg.seed,
+            ..CorpusConfig::default()
         },
     );
     let raw_graphs: Vec<CodeGraph> = scripts

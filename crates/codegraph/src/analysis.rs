@@ -12,31 +12,83 @@
 //! GraphGen4Code emits (locations, parameters, documentation, constants,
 //! transitive-dataflow closure) are attached so that the §3.4 filter has
 //! realistic work to do.
+//!
+//! # Interprocedural pass
+//!
+//! User-defined `def` helpers are summarized at their definition
+//! (parameter list + body) and *instantiated at each call site*: the
+//! arguments are evaluated in the caller's scope, bound to the parameters,
+//! and the body is walked in that environment — so a script that wraps its
+//! preprocessing in a helper produces the same graph skeleton as its
+//! inlined equivalent. No `Call` node is created for user-defined calls.
+//! Recursive or deeply nested helper calls (depth > [`MAX_CALL_DEPTH`])
+//! fall back to an opaque call node plus an analysis warning.
 
 use crate::ast::{Expr, Module, Stmt};
+use crate::diag::{Diagnostic, DiagnosticSink, Pass};
 use crate::graph::{CodeGraph, EdgeKind, NodeId, NodeKind};
-use crate::parser::parse;
+use crate::parser::{parse, parse_with_diagnostics};
+use crate::span::Span;
 use crate::Result;
 use std::collections::HashMap;
 
-/// Parses and analyzes a script into its code graph.
+/// Maximum user-function inlining depth before a call is treated as
+/// opaque (guards against recursion and pathological nesting).
+pub const MAX_CALL_DEPTH: usize = 8;
+
+/// Parses and analyzes a script into its code graph (strict: the first
+/// lex/parse error aborts).
 pub fn analyze(source: &str) -> Result<CodeGraph> {
     let module = parse(source)?;
     Ok(analyze_module(&module))
 }
 
-/// Analyzes an already-parsed module.
+/// Recovering analysis: always produces a graph, however malformed the
+/// input. Malformed statements are skipped by the parser and reported as
+/// diagnostics alongside any analysis warnings.
+pub fn analyze_with_diagnostics(source: &str) -> (CodeGraph, Vec<Diagnostic>) {
+    let (module, mut diags) = parse_with_diagnostics(source);
+    let (graph, analysis_diags) = analyze_module_with_diagnostics(&module);
+    diags.extend(analysis_diags);
+    (graph, diags)
+}
+
+/// Analyzes an already-parsed module, dropping analysis warnings.
 pub fn analyze_module(module: &Module) -> CodeGraph {
+    analyze_module_with_diagnostics(module).0
+}
+
+/// Analyzes an already-parsed module, returning the graph plus any
+/// analysis-pass diagnostics (e.g. `return` outside a function, inlining
+/// depth exceeded).
+pub fn analyze_module_with_diagnostics(module: &Module) -> (CodeGraph, Vec<Diagnostic>) {
     let mut a = Analyzer {
         graph: CodeGraph::new(),
         imports: HashMap::new(),
         env: HashMap::new(),
         types: HashMap::new(),
+        functions: HashMap::new(),
         last_call: None,
+        call_stack: Vec::new(),
+        returning: None,
+        sink: DiagnosticSink::new(),
     };
     a.walk_block(&module.body);
     a.add_transitive_closure();
-    a.graph
+    debug_assert!(
+        crate::lint::lint_code_graph(&a.graph).is_empty(),
+        "analysis produced a graph violating codegraph invariants: {:?}",
+        crate::lint::lint_code_graph(&a.graph)
+    );
+    (a.graph, a.sink.into_diagnostics())
+}
+
+/// A user-defined function summary: parameters plus body, instantiated at
+/// each call site.
+#[derive(Clone)]
+struct FuncSummary {
+    params: Vec<String>,
+    body: Vec<Stmt>,
 }
 
 struct Analyzer {
@@ -49,34 +101,71 @@ struct Analyzer {
     /// Variable → API type of its value (`model` → `sklearn.svm.SVC`,
     /// `df` → `pandas.DataFrame`).
     types: HashMap<String, String>,
+    /// User-defined `def` summaries by name.
+    functions: HashMap<String, FuncSummary>,
     last_call: Option<NodeId>,
+    /// Names of user functions currently being instantiated (recursion
+    /// guard; its length is the inlining depth).
+    call_stack: Vec<String>,
+    /// Set when a `return` executes inside a function body: the producer
+    /// node and API type of the returned value. Stops the block walk.
+    returning: Option<(Option<NodeId>, Option<String>)>,
+    sink: DiagnosticSink,
 }
 
 impl Analyzer {
     fn walk_block(&mut self, body: &[Stmt]) {
         for stmt in body {
+            if self.returning.is_some() {
+                break;
+            }
             self.walk_stmt(stmt);
         }
     }
 
     fn walk_stmt(&mut self, stmt: &Stmt) {
         match stmt {
-            Stmt::Import { module, alias } => {
+            Stmt::Import { module, alias, .. } => {
                 self.imports
                     .insert(alias.clone(), module_root(module, alias));
             }
-            Stmt::FromImport { module, names } => {
+            Stmt::FromImport { module, names, .. } => {
                 for (name, alias) in names {
                     self.imports
                         .insert(alias.clone(), format!("{module}.{name}"));
                 }
             }
+            Stmt::FuncDef {
+                name, params, body, ..
+            } => {
+                // Summarized, not walked: the body is analyzed in the
+                // caller's environment at each call site.
+                self.functions.insert(
+                    name.clone(),
+                    FuncSummary {
+                        params: params.clone(),
+                        body: body.clone(),
+                    },
+                );
+            }
+            Stmt::Return { value, span } => {
+                let result = match value {
+                    Some(v) => self.visit_expr(v, *span),
+                    None => (None, None),
+                };
+                if self.call_stack.is_empty() {
+                    self.sink
+                        .warning(Pass::Analysis, *span, "`return` outside a function");
+                } else {
+                    self.returning = Some(result);
+                }
+            }
             Stmt::Assign {
                 targets,
                 value,
-                line,
+                span,
             } => {
-                let (producer, api_type) = self.visit_expr(value, *line);
+                let (producer, api_type) = self.visit_expr(value, *span);
                 for t in targets {
                     match producer {
                         Some(p) => {
@@ -96,16 +185,16 @@ impl Analyzer {
                     }
                 }
             }
-            Stmt::Expr { value, line } => {
-                self.visit_expr(value, *line);
+            Stmt::Expr { value, span } => {
+                self.visit_expr(value, *span);
             }
             Stmt::For {
                 var,
                 iter,
                 body,
-                line,
+                span,
             } => {
-                let (producer, _) = self.visit_expr(iter, *line);
+                let (producer, _) = self.visit_expr(iter, *span);
                 if let Some(p) = producer {
                     self.env.insert(var.clone(), p);
                 }
@@ -115,9 +204,9 @@ impl Analyzer {
                 cond,
                 body,
                 orelse,
-                line,
+                span,
             } => {
-                self.visit_expr(cond, *line);
+                self.visit_expr(cond, *span);
                 self.walk_block(body);
                 self.walk_block(orelse);
             }
@@ -127,24 +216,24 @@ impl Analyzer {
     /// Visits an expression, creating graph nodes for calls and constants.
     /// Returns the node producing the expression's value (if any) and the
     /// resolved API type of that value (if known).
-    fn visit_expr(&mut self, expr: &Expr, line: usize) -> (Option<NodeId>, Option<String>) {
+    fn visit_expr(&mut self, expr: &Expr, span: Span) -> (Option<NodeId>, Option<String>) {
         match expr {
             Expr::Name(n) => (self.env.get(n).copied(), self.types.get(n).cloned()),
             Expr::Str(_) | Expr::Num(_) | Expr::Keyword(_) => (None, None),
             Expr::Subscript { base, .. } => {
                 // Value flows through the container: `df['x']` carries df's
                 // producer (and dataframe type).
-                let (p, t) = self.visit_expr(base, line);
+                let (p, t) = self.visit_expr(base, span);
                 (p, t)
             }
             Expr::Attribute { base, .. } => {
-                let (p, _) = self.visit_expr(base, line);
+                let (p, _) = self.visit_expr(base, span);
                 (p, None)
             }
             Expr::Sequence(items) => {
                 let mut producer = None;
                 for item in items {
-                    let (p, _) = self.visit_expr(item, line);
+                    let (p, _) = self.visit_expr(item, span);
                     if producer.is_none() {
                         producer = p;
                     }
@@ -152,11 +241,11 @@ impl Analyzer {
                 (producer, None)
             }
             Expr::BinOp { left, right, .. } => {
-                let (pl, tl) = self.visit_expr(left, line);
-                let (pr, tr) = self.visit_expr(right, line);
+                let (pl, tl) = self.visit_expr(left, span);
+                let (pr, tr) = self.visit_expr(right, span);
                 (pl.or(pr), tl.or(tr))
             }
-            Expr::Call { func, args, kwargs } => self.visit_call(func, args, kwargs, line),
+            Expr::Call { func, args, kwargs } => self.visit_call(func, args, kwargs, span),
         }
     }
 
@@ -165,12 +254,31 @@ impl Analyzer {
         func: &Expr,
         args: &[Expr],
         kwargs: &[(String, Expr)],
-        line: usize,
+        span: Span,
     ) -> (Option<NodeId>, Option<String>) {
+        // Interprocedural pass: a call to a user-defined helper is
+        // instantiated in place (no Call node), unless the inlining guard
+        // trips, in which case it degrades to an opaque call below.
+        if let Expr::Name(fname) = func {
+            if self.functions.contains_key(fname) {
+                if self.call_stack.len() >= MAX_CALL_DEPTH
+                    || self.call_stack.iter().any(|n| n == fname)
+                {
+                    self.sink.warning(
+                        Pass::Analysis,
+                        span,
+                        format!("call to `{fname}` exceeds inlining depth; treated as opaque"),
+                    );
+                } else {
+                    return self.apply_function(fname.clone(), args, kwargs, span);
+                }
+            }
+        }
+
         // Resolve the callee to a dotted API path plus the receiver's
         // producing node for method calls.
-        let (path, receiver) = self.resolve_callee(func, line);
-        let call = self.graph.add_node(NodeKind::Call, path.clone(), line);
+        let (path, receiver) = self.resolve_callee(func, span);
+        let call = self.graph.add_node(NodeKind::Call, path.clone(), span);
 
         // Control flow chains consecutive calls (gray edges in Figure 3).
         if let Some(prev) = self.last_call {
@@ -184,24 +292,24 @@ impl Analyzer {
         }
         // Argument dataflow and constant nodes.
         for arg in args {
-            self.flow_arg(arg, call, line);
+            self.flow_arg(arg, call, span);
         }
         for (name, value) in kwargs {
-            self.flow_arg(value, call, line);
+            self.flow_arg(value, call, span);
             // GraphGen4Code-style parameter bookkeeping node.
             let p = self
                 .graph
-                .add_node(NodeKind::Parameter, format!("param:{name}"), line);
+                .add_node(NodeKind::Parameter, format!("param:{name}"), span);
             self.graph.add_edge(call, p, EdgeKind::Parameter);
         }
         // Location and documentation noise attached to every call.
         let loc = self
             .graph
-            .add_node(NodeKind::Location, format!("loc:{line}"), line);
+            .add_node(NodeKind::Location, format!("loc:{}", span.line), span);
         self.graph.add_edge(call, loc, EdgeKind::Location);
         let doc = self
             .graph
-            .add_node(NodeKind::Documentation, format!("doc:{path}"), line);
+            .add_node(NodeKind::Documentation, format!("doc:{path}"), span);
         self.graph.add_edge(call, doc, EdgeKind::Documentation);
 
         // The API type of the call's value, for downstream method
@@ -224,26 +332,101 @@ impl Analyzer {
         (Some(call), value_type)
     }
 
-    fn flow_arg(&mut self, arg: &Expr, call: NodeId, line: usize) {
+    /// Instantiates a user-defined function at a call site: evaluates the
+    /// arguments in the caller's scope, binds them to the parameters, walks
+    /// the body, and yields the returned value's producer/type. The
+    /// caller's variable bindings are restored afterwards (function-local
+    /// scope), but graph nodes created by the body remain — exactly as if
+    /// the body had been inlined.
+    fn apply_function(
+        &mut self,
+        name: String,
+        args: &[Expr],
+        kwargs: &[(String, Expr)],
+        span: Span,
+    ) -> (Option<NodeId>, Option<String>) {
+        let Some(summary) = self.functions.get(&name).cloned() else {
+            return (None, None);
+        };
+        // Evaluate arguments in the caller's environment. A produced value
+        // is the graph node computing it (if any) plus its inferred type.
+        type Produced = (Option<NodeId>, Option<String>);
+        let positional: Vec<Produced> = args.iter().map(|a| self.visit_expr(a, span)).collect();
+        let keyword: Vec<(String, Produced)> = kwargs
+            .iter()
+            .map(|(k, v)| (k.clone(), self.visit_expr(v, span)))
+            .collect();
+
+        let saved_env = self.env.clone();
+        let saved_types = self.types.clone();
+        self.call_stack.push(name);
+
+        for (i, param) in summary.params.iter().enumerate() {
+            let bound = positional.get(i).cloned().or_else(|| {
+                keyword
+                    .iter()
+                    .find(|(k, _)| k == param)
+                    .map(|(_, v)| v.clone())
+            });
+            match bound {
+                Some((Some(p), t)) => {
+                    self.env.insert(param.clone(), p);
+                    match t {
+                        Some(t) => {
+                            self.types.insert(param.clone(), t);
+                        }
+                        None => {
+                            self.types.remove(param);
+                        }
+                    }
+                }
+                Some((None, t)) => {
+                    self.env.remove(param);
+                    match t {
+                        Some(t) => {
+                            self.types.insert(param.clone(), t);
+                        }
+                        None => {
+                            self.types.remove(param);
+                        }
+                    }
+                }
+                None => {
+                    self.env.remove(param);
+                    self.types.remove(param);
+                }
+            }
+        }
+
+        self.walk_block(&summary.body);
+        let result = self.returning.take().unwrap_or((None, None));
+
+        self.call_stack.pop();
+        self.env = saved_env;
+        self.types = saved_types;
+        result
+    }
+
+    fn flow_arg(&mut self, arg: &Expr, call: NodeId, span: Span) {
         match arg {
             Expr::Str(s) => {
                 let c = self
                     .graph
-                    .add_node(NodeKind::Constant, format!("'{s}'"), line);
+                    .add_node(NodeKind::Constant, format!("'{s}'"), span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             Expr::Num(v) => {
                 let c = self
                     .graph
-                    .add_node(NodeKind::Constant, format!("{v}"), line);
+                    .add_node(NodeKind::Constant, format!("{v}"), span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             Expr::Keyword(k) => {
-                let c = self.graph.add_node(NodeKind::Constant, k.clone(), line);
+                let c = self.graph.add_node(NodeKind::Constant, k.clone(), span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             other => {
-                let (p, _) = self.visit_expr(other, line);
+                let (p, _) = self.visit_expr(other, span);
                 if let Some(p) = p {
                     self.graph.add_edge(p, call, EdgeKind::DataFlow);
                 }
@@ -252,7 +435,7 @@ impl Analyzer {
     }
 
     /// Resolves a callee expression to `(dotted API path, receiver node)`.
-    fn resolve_callee(&mut self, func: &Expr, line: usize) -> (String, Option<NodeId>) {
+    fn resolve_callee(&mut self, func: &Expr, span: Span) -> (String, Option<NodeId>) {
         if let Some(dotted) = func.dotted_name() {
             let mut parts = dotted.splitn(2, '.');
             let head = parts.next().unwrap_or_default().to_string();
@@ -296,7 +479,7 @@ impl Analyzer {
         }
         // Callee is itself a complex expression (e.g. chained call):
         // analyze it and call through an opaque label.
-        let (p, _) = self.visit_expr(func, line);
+        let (p, _) = self.visit_expr(func, span);
         ("object.call".to_string(), p)
     }
 
@@ -363,6 +546,7 @@ fn module_root(module: &str, alias: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::Severity;
 
     /// The paper's Figure 2 snippet.
     const FIG2: &str = "\
@@ -428,6 +612,20 @@ model.fit(X, df_train['Y'])
             .filter(|e| e.kind == EdgeKind::ControlFlow)
             .collect();
         assert_eq!(cf.len(), 3);
+    }
+
+    #[test]
+    fn call_nodes_carry_source_spans() {
+        let g = analyze(FIG2).unwrap();
+        let call_ids = g.nodes_of_kind(NodeKind::Call);
+        let read = call_ids
+            .iter()
+            .copied()
+            .find(|&i| g.nodes[i].label == "pandas.read_csv")
+            .unwrap();
+        let span = g.nodes[read].span;
+        assert_eq!(span.line, 4);
+        assert_eq!(span.slice(FIG2), Some("df = pd.read_csv('example.csv')"));
     }
 
     #[test]
@@ -509,6 +707,116 @@ if True:
         let g = analyze(src).unwrap();
         let calls = labels(&g, NodeKind::Call);
         assert!(calls.contains(&"pandas.DataFrame.describe".to_string()));
+    }
+
+    #[test]
+    fn helper_function_is_instantiated_at_the_call_site() {
+        let helper = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+def prepare(data):
+    prep = StandardScaler()
+    out = prep.fit_transform(data)
+    return out
+df = pd.read_csv('a.csv')
+x = prepare(df)
+";
+        let inlined = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+df = pd.read_csv('a.csv')
+prep = StandardScaler()
+out = prep.fit_transform(df)
+x = out
+";
+        let gh = analyze(helper).unwrap();
+        let gi = analyze(inlined).unwrap();
+        assert_eq!(labels(&gh, NodeKind::Call), labels(&gi, NodeKind::Call));
+        assert_eq!(
+            labels(&gh, NodeKind::Call),
+            vec![
+                "pandas.read_csv",
+                "sklearn.preprocessing.StandardScaler",
+                "sklearn.preprocessing.StandardScaler.fit_transform",
+            ]
+        );
+        // The argument's producer flows into the helper's body calls.
+        let call_ids = gh.nodes_of_kind(NodeKind::Call);
+        let read = call_ids[0];
+        let fit_transform = call_ids[2];
+        assert!(gh
+            .edges
+            .iter()
+            .any(|e| e.from == read && e.to == fit_transform && e.kind == EdgeKind::DataFlow));
+    }
+
+    #[test]
+    fn helper_return_type_propagates_to_the_caller() {
+        let src = "\
+import pandas as pd
+def load():
+    df = pd.read_csv('a.csv')
+    return df
+data = load()
+data.describe()
+";
+        let g = analyze(src).unwrap();
+        let calls = labels(&g, NodeKind::Call);
+        assert_eq!(
+            calls,
+            vec!["pandas.read_csv", "pandas.DataFrame.describe"],
+            "the returned dataframe type resolves the method call"
+        );
+    }
+
+    #[test]
+    fn helper_locals_do_not_leak_into_the_caller() {
+        let src = "\
+import pandas as pd
+def load():
+    secret = pd.read_csv('a.csv')
+    return secret
+data = load()
+secret.describe()
+";
+        let g = analyze(src).unwrap();
+        let calls = labels(&g, NodeKind::Call);
+        // `secret` is function-local, so the trailing call is unresolved.
+        assert_eq!(calls, vec!["pandas.read_csv", "secret.describe"]);
+    }
+
+    #[test]
+    fn recursive_helpers_degrade_to_opaque_calls() {
+        let src = "def f(x):\n    y = f(x)\n    return y\nz = f(1)\n";
+        let (g, diags) = analyze_with_diagnostics(src);
+        assert_eq!(labels(&g, NodeKind::Call), vec!["f"]);
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("inlining depth")));
+    }
+
+    #[test]
+    fn return_outside_function_warns() {
+        let (g, diags) = analyze_with_diagnostics("x = 1\nreturn x\n");
+        assert_eq!(g.nodes_of_kind(NodeKind::Call).len(), 0);
+        assert!(diags.iter().any(|d| d.severity == Severity::Warning
+            && d.message.contains("outside a function")
+            && d.span.line == 2));
+    }
+
+    #[test]
+    fn recovering_analysis_survives_malformed_statements() {
+        let src = "import pandas as pd\ndf = pd.read_csv('a.csv')\nx = = 3\ndf.describe()\n";
+        let (g, diags) = analyze_with_diagnostics(src);
+        let calls = labels(&g, NodeKind::Call);
+        assert_eq!(calls, vec!["pandas.read_csv", "pandas.DataFrame.describe"]);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count(),
+            1
+        );
     }
 
     #[test]

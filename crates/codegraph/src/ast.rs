@@ -1,4 +1,11 @@
 //! Abstract syntax tree for the analyzed Python subset.
+//!
+//! Every statement carries the [`Span`] of its first token, so analysis
+//! nodes and diagnostics can point back into the source. Expressions
+//! inherit the span of their enclosing statement (the span model is
+//! documented in DESIGN.md, "Analyzer passes & diagnostics").
+
+use crate::span::Span;
 
 /// A parsed script: a sequence of statements.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +24,8 @@ pub enum Stmt {
         module: String,
         /// Binding name in the script's namespace.
         alias: String,
+        /// Source location.
+        span: Span,
     },
     /// `from sklearn.svm import SVC, LinearSVC as LSVC`.
     FromImport {
@@ -24,22 +33,24 @@ pub enum Stmt {
         module: String,
         /// `(imported name, binding alias)` pairs.
         names: Vec<(String, String)>,
+        /// Source location.
+        span: Span,
     },
     /// `x = expr` or `a, b = expr` (tuple unpacking).
     Assign {
         /// Target variable names, one per unpacked slot.
         targets: Vec<String>,
-        /// Right-hand side, with its source line.
+        /// Right-hand side.
         value: Expr,
-        /// 1-based source line.
-        line: usize,
+        /// Source location.
+        span: Span,
     },
     /// A bare expression statement (typically a call like `model.fit(...)`).
     Expr {
         /// The expression.
         value: Expr,
-        /// 1-based source line.
-        line: usize,
+        /// Source location.
+        span: Span,
     },
     /// `for <var> in <iter>: <body>` — analyzed linearly.
     For {
@@ -49,8 +60,8 @@ pub enum Stmt {
         iter: Expr,
         /// Loop body.
         body: Vec<Stmt>,
-        /// 1-based source line.
-        line: usize,
+        /// Source location.
+        span: Span,
     },
     /// `if <cond>: <body> [else: <orelse>]` — both branches analyzed.
     If {
@@ -60,9 +71,46 @@ pub enum Stmt {
         body: Vec<Stmt>,
         /// Else-branch statements.
         orelse: Vec<Stmt>,
-        /// 1-based source line.
-        line: usize,
+        /// Source location.
+        span: Span,
     },
+    /// `def <name>(<params>): <body>` — a user-defined helper function,
+    /// summarized and applied at call sites by the interprocedural pass.
+    FuncDef {
+        /// Function name.
+        name: String,
+        /// Parameter names in declaration order (default values are
+        /// parsed but not modelled).
+        params: Vec<String>,
+        /// Function body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `return [expr]` — the value (if any) becomes the producer the
+    /// caller's dataflow continues from.
+    Return {
+        /// Returned expression, if present.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Import { span, .. }
+            | Stmt::FromImport { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Expr { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::FuncDef { span, .. }
+            | Stmt::Return { span, .. } => *span,
+        }
+    }
 }
 
 /// An expression.
@@ -144,5 +192,30 @@ mod tests {
             kwargs: vec![],
         };
         assert_eq!(call.dotted_name(), None);
+    }
+
+    #[test]
+    fn stmt_span_accessor_covers_all_variants() {
+        let s = Span::at_line(4);
+        let stmts = vec![
+            Stmt::Import {
+                module: "pandas".into(),
+                alias: "pd".into(),
+                span: s,
+            },
+            Stmt::Return {
+                value: None,
+                span: s,
+            },
+            Stmt::FuncDef {
+                name: "f".into(),
+                params: vec![],
+                body: vec![],
+                span: s,
+            },
+        ];
+        for stmt in stmts {
+            assert_eq!(stmt.span().line, 4);
+        }
     }
 }

@@ -115,6 +115,19 @@ pub struct CorpusConfig {
     /// which the filter must reject — the paper found "a vast portion" of
     /// raw scripts unusable.
     pub unsupported_fraction: f64,
+    /// Fraction of supported scripts that wrap their preprocessing in a
+    /// `def` helper instead of writing it inline — exercised by the
+    /// interprocedural pass. Defaults to 0.0 so existing fixed-seed
+    /// corpora are byte-identical; the corresponding RNG draw only
+    /// happens when the fraction is positive.
+    pub helper_fraction: f64,
+    /// Fraction of scripts containing an intentionally malformed
+    /// statement (real mined notebooks are messy). These scripts fail
+    /// strict `analyze` but the recovering
+    /// [`analyze_with_diagnostics`](crate::analyze_with_diagnostics)
+    /// still produces a graph plus diagnostics. Defaults to 0.0 (same
+    /// stream-preservation rule as `helper_fraction`).
+    pub malformed_fraction: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -125,6 +138,8 @@ impl Default for CorpusConfig {
             scripts_per_dataset: 20,
             eda_noise: 6,
             unsupported_fraction: 0.3,
+            helper_fraction: 0.0,
+            malformed_fraction: 0.0,
             seed: 0,
         }
     }
@@ -146,11 +161,16 @@ pub fn generate_corpus(profiles: &[DatasetProfile], cfg: &CorpusConfig) -> Vec<S
     let mut out = Vec::with_capacity(profiles.len() * cfg.scripts_per_dataset);
     for profile in profiles {
         for _ in 0..cfg.scripts_per_dataset {
-            let source = if rng.gen::<f64>() < cfg.unsupported_fraction {
-                generate_unsupported_script(profile, &mut rng)
-            } else {
-                generate_sklearn_script(profile, cfg, &mut rng)
-            };
+            // Guarded draws: a zero fraction takes nothing from the RNG,
+            // keeping fixed-seed corpora bit-identical across versions.
+            let source =
+                if cfg.malformed_fraction > 0.0 && rng.gen::<f64>() < cfg.malformed_fraction {
+                    generate_malformed_script(profile, &mut rng)
+                } else if rng.gen::<f64>() < cfg.unsupported_fraction {
+                    generate_unsupported_script(profile, &mut rng)
+                } else {
+                    generate_sklearn_script(profile, cfg, &mut rng)
+                };
             out.push(ScriptRecord {
                 dataset: profile.name.clone(),
                 source,
@@ -344,21 +364,44 @@ fn generate_sklearn_script(
     src.push_str("y = df['target']\nX = df.drop('target', 1)\n");
     src.push_str("X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)\n");
 
+    // Interprocedural variant: wrap the whole preprocessing chain in a
+    // `def` helper (the analyzer instantiates it at the call site, so the
+    // filtered skeleton is identical to the inlined form). The RNG draw
+    // is guarded so a zero fraction leaves the stream untouched.
+    let use_helper = cfg.helper_fraction > 0.0
+        && !transformers.is_empty()
+        && rng.gen::<f64>() < cfg.helper_fraction;
     let mut data = "X_train".to_string();
     let mut test_data = "X_test".to_string();
-    for (i, &t) in transformers.iter().enumerate() {
-        let (_, class) = transformer_api(t);
-        let var = format!("prep{i}");
-        let ctor_args = match TRANSFORMER_NAMES[t] {
-            "pca" => format!("n_components={}", rng.gen_range(2..20)),
-            "select_k_best" => format!("k={}", rng.gen_range(5..30)),
-            _ => String::new(),
-        };
-        src.push_str(&format!("{var} = {class}({ctor_args})\n"));
-        src.push_str(&format!("{data}2 = {var}.fit_transform({data})\n"));
-        src.push_str(&format!("{test_data}2 = {var}.transform({test_data})\n"));
-        data = format!("{data}2");
-        test_data = format!("{test_data}2");
+    if use_helper {
+        let mut body = String::new();
+        let mut d = "data".to_string();
+        let mut td = "test".to_string();
+        for (i, &t) in transformers.iter().enumerate() {
+            let (_, class) = transformer_api(t);
+            let ctor_args = transformer_ctor_args(t, rng);
+            body.push_str(&format!("    prep{i} = {class}({ctor_args})\n"));
+            body.push_str(&format!("    {d}2 = prep{i}.fit_transform({d})\n"));
+            body.push_str(&format!("    {td}2 = prep{i}.transform({td})\n"));
+            d = format!("{d}2");
+            td = format!("{td}2");
+        }
+        src.push_str("def preprocess(data, test):\n");
+        src.push_str(&body);
+        src.push_str(&format!("    return {d}\n"));
+        src.push_str("X_train_p = preprocess(X_train, X_test)\n");
+        data = "X_train_p".to_string();
+    } else {
+        for (i, &t) in transformers.iter().enumerate() {
+            let (_, class) = transformer_api(t);
+            let var = format!("prep{i}");
+            let ctor_args = transformer_ctor_args(t, rng);
+            src.push_str(&format!("{var} = {class}({ctor_args})\n"));
+            src.push_str(&format!("{data}2 = {var}.fit_transform({data})\n"));
+            src.push_str(&format!("{test_data}2 = {var}.transform({test_data})\n"));
+            data = format!("{data}2");
+            test_data = format!("{test_data}2");
+        }
     }
 
     let ctor = if est_module.starts_with("sklearn") {
@@ -381,6 +424,38 @@ fn generate_sklearn_script(
     src.push_str(&format!("model.fit({data}, y_train)\n"));
     src.push_str(&format!("preds = model.predict({test_data})\n"));
     src.push_str("print(preds)\n");
+    src
+}
+
+/// Randomized constructor arguments for a transformer (same draw order in
+/// the inline and helper emission paths).
+fn transformer_ctor_args(t: usize, rng: &mut StdRng) -> String {
+    match TRANSFORMER_NAMES[t] {
+        "pca" => format!("n_components={}", rng.gen_range(2..20)),
+        "select_k_best" => format!("k={}", rng.gen_range(5..30)),
+        _ => String::new(),
+    }
+}
+
+/// A notebook with one intentionally malformed statement, mimicking the
+/// messiness of real mined scripts. Strict `analyze` rejects it; the
+/// recovering analysis skips the broken statement with a diagnostic and
+/// still graphs the rest.
+fn generate_malformed_script(profile: &DatasetProfile, rng: &mut StdRng) -> String {
+    let glitches = [
+        "x = = 3",
+        "y = df[",
+        "model = ???",
+        "s = 'unterminated",
+        "for in df:",
+    ];
+    let mut src = String::new();
+    src.push_str("import pandas as pd\n");
+    src.push_str(&format!("df = pd.read_csv('{}.csv')\n", profile.name));
+    src.push_str("df.head()\n");
+    src.push_str(glitches.choose(rng).unwrap());
+    src.push('\n');
+    src.push_str("df.describe()\nprint(df.shape)\n");
     src
 }
 
@@ -527,6 +602,88 @@ mod tests {
                     "classifier {est} on a regression dataset"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn helper_scripts_wrap_preprocessing_and_keep_valid_skeletons() {
+        use crate::lint::{lint_code_graph, lint_pipeline_graph};
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 30,
+            unsupported_fraction: 0.0,
+            helper_fraction: 1.0,
+            ..CorpusConfig::default()
+        };
+        let mut with_helper = 0usize;
+        for record in generate_corpus(&profiles(), &cfg) {
+            let raw = analyze(&record.source).unwrap_or_else(|e| {
+                panic!("helper script failed analysis: {e}\n{}", record.source)
+            });
+            assert_eq!(lint_code_graph(&raw), vec![]);
+            let filtered = filter_graph(&raw);
+            assert_eq!(lint_pipeline_graph(&filtered), vec![]);
+            assert!(
+                filtered.skeleton().is_some(),
+                "helper script must still yield a skeleton:\n{}",
+                record.source
+            );
+            if record.source.contains("def preprocess(") {
+                with_helper += 1;
+                // The helper's transformers survive the filter.
+                let (transformers, _) = filtered.skeleton().unwrap();
+                assert!(!transformers.is_empty());
+            }
+        }
+        assert!(
+            with_helper > 10,
+            "only {with_helper} helper scripts generated"
+        );
+    }
+
+    #[test]
+    fn malformed_scripts_fail_strict_but_recover_with_diagnostics() {
+        use crate::analysis::analyze_with_diagnostics;
+        let cfg = CorpusConfig {
+            scripts_per_dataset: 40,
+            unsupported_fraction: 0.0,
+            malformed_fraction: 1.0,
+            ..CorpusConfig::default()
+        };
+        for record in generate_corpus(&profiles(), &cfg) {
+            assert!(
+                analyze(&record.source).is_err(),
+                "malformed script unexpectedly passed strict analysis:\n{}",
+                record.source
+            );
+            let (g, diags) = analyze_with_diagnostics(&record.source);
+            assert!(
+                g.nodes_of_kind(crate::graph::NodeKind::Call)
+                    .iter()
+                    .any(|&i| g.nodes[i].label == "pandas.read_csv"),
+                "recovery must keep the valid statements"
+            );
+            assert!(!diags.is_empty(), "expected at least one diagnostic");
+        }
+    }
+
+    #[test]
+    fn zero_fractions_preserve_the_legacy_rng_stream() {
+        // The new knobs must not move the RNG when disabled: a config
+        // with explicit zeros generates the same corpus as the seed-era
+        // default-shaped config.
+        let base = CorpusConfig {
+            scripts_per_dataset: 8,
+            ..CorpusConfig::default()
+        };
+        let extended = CorpusConfig {
+            helper_fraction: 0.0,
+            malformed_fraction: 0.0,
+            ..base.clone()
+        };
+        let a = generate_corpus(&profiles(), &base);
+        let b = generate_corpus(&profiles(), &extended);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
         }
     }
 

@@ -1,0 +1,188 @@
+//! Span-carrying diagnostics and the sink that collects them.
+//!
+//! Real mined notebooks are messy: the lexer and parser never abort a
+//! script on malformed input. Instead each recoverable problem becomes a
+//! [`Diagnostic`] pushed into a [`DiagnosticSink`], and the pass
+//! resynchronizes and keeps going. Downstream consumers (corpus mining,
+//! the `lint-corpus` CLI) decide whether diagnostics are fatal.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but analyzable (e.g. `return` outside a function).
+    Warning,
+    /// Malformed input that forced the pass to recover (skip/resync).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The analyzer pass that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Dataflow/control-flow analysis (including the interprocedural
+    /// pass).
+    Analysis,
+    /// Graph-invariant verification ([`crate::lint`]).
+    Lint,
+}
+
+impl std::fmt::Display for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pass::Lex => write!(f, "lex"),
+            Pass::Parse => write!(f, "parse"),
+            Pass::Analysis => write!(f, "analysis"),
+            Pass::Lint => write!(f, "lint"),
+        }
+    }
+}
+
+/// One recovered problem, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The pass that detected it.
+    pub pass: Pass,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.pass, self.span, self.message
+        )
+    }
+}
+
+/// Collects diagnostics across passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagnosticSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticSink {
+    /// An empty sink.
+    pub fn new() -> DiagnosticSink {
+        DiagnosticSink::default()
+    }
+
+    /// Records an error-severity diagnostic.
+    pub fn error(&mut self, pass: Pass, span: Span, message: impl Into<String>) {
+        self.diags.push(Diagnostic {
+            span,
+            severity: Severity::Error,
+            pass,
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning-severity diagnostic.
+    pub fn warning(&mut self, pass: Pass, span: Span, message: impl Into<String>) {
+        self.diags.push(Diagnostic {
+            span,
+            severity: Severity::Warning,
+            pass,
+            message: message.into(),
+        });
+    }
+
+    /// Records an already-built diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Moves every diagnostic out of `other` into this sink.
+    pub fn absorb(&mut self, mut other: DiagnosticSink) {
+        self.diags.append(&mut other.diags);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consumes the sink, yielding its diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// Number of collected diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// True when at least one error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The first error-severity diagnostic, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diags.iter().find(|d| d.severity == Severity::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_collects_and_classifies() {
+        let mut sink = DiagnosticSink::new();
+        assert!(sink.is_empty() && !sink.has_errors());
+        sink.warning(Pass::Analysis, Span::at_line(3), "odd but fine");
+        assert!(!sink.has_errors());
+        sink.error(Pass::Parse, Span::at_line(5), "bad statement");
+        assert!(sink.has_errors());
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.first_error().unwrap().span.line, 5);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = Diagnostic {
+            span: Span::new(10, 12, 2, 5),
+            severity: Severity::Error,
+            pass: Pass::Lex,
+            message: "unterminated string".into(),
+        };
+        assert_eq!(d.to_string(), "error[lex] 2:5: unterminated string");
+    }
+
+    #[test]
+    fn absorb_merges_in_order() {
+        let mut a = DiagnosticSink::new();
+        a.warning(Pass::Lex, Span::at_line(1), "w");
+        let mut b = DiagnosticSink::new();
+        b.error(Pass::Parse, Span::at_line(2), "e");
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.diagnostics()[1].span.line, 2);
+    }
+}

@@ -32,9 +32,18 @@ impl PipelineGraph {
         self.edges.len()
     }
 
-    /// Prepends a dataset node connected to every `read_csv` node (or to
-    /// node 0 if the graph has no read_csv), shifting all indices by one.
+    /// Prepends a dataset node, shifting all existing indices by one.
     /// This is the Graph4ML interconnection step of §3.4/Figure 4.
+    ///
+    /// The dataset node is linked to every `read_csv` op. When the graph
+    /// has no `read_csv` at all (the paper's "the code ... does not
+    /// explicitly mention the dataset name" case, where the dataset
+    /// association comes from portal metadata instead), the dataset node
+    /// falls back to feeding node 0 — the first op of the pipeline — so
+    /// the anchor is never left disconnected. The resulting edge list is
+    /// sorted and deduplicated, so attaching the dataset node can never
+    /// introduce duplicate `dataset -> read_csv` edges even if the input
+    /// edge list already contained duplicates.
     pub fn with_dataset_node(&self) -> PipelineGraph {
         let mut ops = Vec::with_capacity(self.ops.len() + 1);
         ops.push(PipelineOp::Dataset);
@@ -51,6 +60,8 @@ impl PipelineGraph {
         if !attached && !self.ops.is_empty() {
             edges.push((0, 1));
         }
+        edges.sort_unstable();
+        edges.dedup();
         PipelineGraph { ops, edges }
     }
 
@@ -185,6 +196,11 @@ pub fn filter_graph(graph: &CodeGraph) -> PipelineGraph {
     }
     out.edges.sort_unstable();
     out.edges.dedup();
+    debug_assert!(
+        !crate::lint::has_errors(&crate::lint::lint_pipeline_graph(&out)),
+        "filter produced a pipeline graph violating structural invariants: {:?}",
+        crate::lint::lint_pipeline_graph(&out)
+    );
     out
 }
 

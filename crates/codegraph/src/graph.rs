@@ -1,5 +1,6 @@
 //! The code-graph model produced by static analysis.
 
+use crate::span::Span;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node inside a [`CodeGraph`].
@@ -55,8 +56,10 @@ pub struct Node {
     /// Human-readable label: dotted API path for calls, rendered literal
     /// for constants, bookkeeping text for noise nodes.
     pub label: String,
-    /// 1-based source line the node originates from (0 for synthetic).
-    pub line: usize,
+    /// Source location of the statement that produced this node
+    /// ([`Span::synthetic`] for nodes with no source origin, e.g. the
+    /// Graph4ML dataset anchor).
+    pub span: Span,
 }
 
 /// An edge of a code graph.
@@ -86,11 +89,11 @@ impl CodeGraph {
     }
 
     /// Adds a node, returning its id.
-    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>, line: usize) -> NodeId {
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>, span: Span) -> NodeId {
         self.nodes.push(Node {
             kind,
             label: label.into(),
-            line,
+            span,
         });
         self.nodes.len() - 1
     }
@@ -131,8 +134,12 @@ impl CodeGraph {
     }
 
     /// All nodes reachable from `start` via edges of the given kinds
-    /// (including `start`).
+    /// (including `start`). Returns an empty set when `start` is out of
+    /// bounds.
     pub fn reachable(&self, start: NodeId, kinds: &[EdgeKind]) -> Vec<NodeId> {
+        if start >= self.nodes.len() {
+            return Vec::new();
+        }
         let mut seen = vec![false; self.nodes.len()];
         let mut stack = vec![start];
         seen[start] = true;
@@ -140,7 +147,7 @@ impl CodeGraph {
         while let Some(at) = stack.pop() {
             out.push(at);
             for next in self.successors(at, kinds) {
-                if !seen[next] {
+                if next < seen.len() && !seen[next] {
                     seen[next] = true;
                     stack.push(next);
                 }
@@ -158,9 +165,9 @@ mod tests {
     #[test]
     fn build_and_query() {
         let mut g = CodeGraph::new();
-        let a = g.add_node(NodeKind::Call, "pandas.read_csv", 1);
-        let b = g.add_node(NodeKind::Call, "sklearn.svm.SVC", 2);
-        let c = g.add_node(NodeKind::Location, "file:2", 2);
+        let a = g.add_node(NodeKind::Call, "pandas.read_csv", Span::at_line(1));
+        let b = g.add_node(NodeKind::Call, "sklearn.svm.SVC", Span::at_line(2));
+        let c = g.add_node(NodeKind::Location, "file:2", Span::at_line(2));
         g.add_edge(a, b, EdgeKind::DataFlow);
         g.add_edge(b, c, EdgeKind::Location);
         assert_eq!(g.num_nodes(), 3);
@@ -173,9 +180,9 @@ mod tests {
     #[test]
     fn reachability_respects_edge_kinds() {
         let mut g = CodeGraph::new();
-        let a = g.add_node(NodeKind::Call, "a", 1);
-        let b = g.add_node(NodeKind::Call, "b", 2);
-        let c = g.add_node(NodeKind::Call, "c", 3);
+        let a = g.add_node(NodeKind::Call, "a", Span::at_line(1));
+        let b = g.add_node(NodeKind::Call, "b", Span::at_line(2));
+        let c = g.add_node(NodeKind::Call, "c", Span::at_line(3));
         g.add_edge(a, b, EdgeKind::DataFlow);
         g.add_edge(b, c, EdgeKind::ControlFlow);
         assert_eq!(g.reachable(a, &[EdgeKind::DataFlow]), vec![a, b]);
@@ -188,8 +195,8 @@ mod tests {
     #[test]
     fn reachability_handles_cycles() {
         let mut g = CodeGraph::new();
-        let a = g.add_node(NodeKind::Call, "a", 1);
-        let b = g.add_node(NodeKind::Call, "b", 2);
+        let a = g.add_node(NodeKind::Call, "a", Span::at_line(1));
+        let b = g.add_node(NodeKind::Call, "b", Span::at_line(2));
         g.add_edge(a, b, EdgeKind::DataFlow);
         g.add_edge(b, a, EdgeKind::DataFlow);
         assert_eq!(g.reachable(a, &[EdgeKind::DataFlow]), vec![a, b]);
@@ -198,8 +205,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mut g = CodeGraph::new();
-        let a = g.add_node(NodeKind::Call, "pandas.read_csv", 1);
-        let b = g.add_node(NodeKind::Constant, "'x.csv'", 1);
+        let a = g.add_node(NodeKind::Call, "pandas.read_csv", Span::at_line(1));
+        let b = g.add_node(NodeKind::Constant, "'x.csv'", Span::at_line(1));
         g.add_edge(b, a, EdgeKind::ConstantArg);
         let json = serde_json::to_string(&g).unwrap();
         let back: CodeGraph = serde_json::from_str(&json).unwrap();

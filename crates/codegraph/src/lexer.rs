@@ -1,5 +1,14 @@
-//! Tokenizer for the analyzed Python subset, with indentation tracking.
+//! Tokenizer for the analyzed Python subset, with indentation tracking,
+//! byte-span source locations, and error recovery.
+//!
+//! The primary entry point is [`lex`], which never fails: malformed input
+//! (unterminated strings, stray characters, inconsistent dedents) becomes
+//! [`Diagnostic`]s in the returned sink while tokenization continues on
+//! the next character. [`tokenize`] is the strict wrapper that turns the
+//! first error-severity diagnostic into a [`CodeGraphError::Lex`].
 
+use crate::diag::{Diagnostic, DiagnosticSink, Pass};
+use crate::span::Span;
 use crate::{CodeGraphError, Result};
 
 /// A lexical token.
@@ -23,79 +32,126 @@ pub enum Token {
     Eof,
 }
 
-/// A token plus its 1-based source line.
+/// A token plus its source span (byte range and line/column start).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
-    /// 1-based source line.
-    pub line: usize,
+    /// Source location of the token.
+    pub span: Span,
 }
 
-/// Tokenizes a script. Comments (`# ...`) and blank lines are skipped;
-/// indentation produces `Indent`/`Dedent` tokens; parentheses suppress
-/// newline tokens (implicit line joining).
-pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
+/// Tokenizes a script, recovering from malformed input. Comments
+/// (`# ...`) and blank lines are skipped; indentation produces
+/// `Indent`/`Dedent` tokens; parentheses suppress newline tokens
+/// (implicit line joining). Lexical problems are recorded in the
+/// returned sink (severity [`crate::diag::Severity::Error`]) and the
+/// offending characters are skipped, so the token stream always ends in
+/// `Eof` and every `Indent` has a matching `Dedent`.
+pub fn lex(source: &str) -> (Vec<Spanned>, DiagnosticSink) {
     let mut out: Vec<Spanned> = Vec::new();
+    let mut sink = DiagnosticSink::new();
     let mut indents: Vec<usize> = vec![0];
     let mut paren_depth = 0usize;
+    let mut line_start = 0usize; // byte offset of the current line
+    let mut last_line = 1usize;
 
-    for (line_no, raw_line) in source.lines().enumerate() {
-        let line_no = line_no + 1;
-        // Strip comments outside strings.
+    for (line_idx, raw_line) in source.split('\n').enumerate() {
+        let line_no = line_idx + 1;
+        last_line = line_no;
+        // Strip comments outside strings (prefix-preserving, so byte
+        // offsets into the stripped line are valid into the raw line).
         let line = strip_comment(raw_line);
         if line.trim().is_empty() && paren_depth == 0 {
+            line_start += raw_line.len() + 1;
             continue;
         }
         if paren_depth == 0 {
             let indent = line.len() - line.trim_start_matches(' ').len();
-            let current = *indents.last().expect("non-empty indent stack");
+            let here = Span::new(line_start, line_start + indent, line_no, 1);
+            let current = indents.last().copied().unwrap_or(0);
             match indent.cmp(&current) {
                 std::cmp::Ordering::Greater => {
                     indents.push(indent);
                     out.push(Spanned {
                         token: Token::Indent,
-                        line: line_no,
+                        span: here,
                     });
                 }
                 std::cmp::Ordering::Less => {
-                    while *indents.last().unwrap() > indent {
+                    while indents.last().copied().unwrap_or(0) > indent {
                         indents.pop();
                         out.push(Spanned {
                             token: Token::Dedent,
-                            line: line_no,
+                            span: here,
                         });
                     }
-                    if *indents.last().unwrap() != indent {
-                        return Err(CodeGraphError::Lex {
-                            line: line_no,
-                            message: "inconsistent dedent".into(),
+                    if indents.last().copied().unwrap_or(0) != indent {
+                        // Recover by opening a block at the odd level, so
+                        // later dedents stay balanced.
+                        sink.error(Pass::Lex, here, "inconsistent dedent");
+                        indents.push(indent);
+                        out.push(Spanned {
+                            token: Token::Indent,
+                            span: here,
                         });
                     }
                 }
                 std::cmp::Ordering::Equal => {}
             }
         }
-        tokenize_line(&line, line_no, &mut out, &mut paren_depth)?;
+        tokenize_line(
+            &line,
+            line_no,
+            line_start,
+            &mut out,
+            &mut paren_depth,
+            &mut sink,
+        );
         if paren_depth == 0 {
             out.push(Spanned {
                 token: Token::Newline,
-                line: line_no,
+                span: Span::new(
+                    line_start + line.len(),
+                    line_start + line.len(),
+                    line_no,
+                    line.chars().count() + 1,
+                ),
             });
         }
+        line_start += raw_line.len() + 1;
     }
+    let eof_span = Span::new(source.len(), source.len(), last_line.max(1), 1);
     while indents.len() > 1 {
         indents.pop();
         out.push(Spanned {
             token: Token::Dedent,
-            line: source.lines().count(),
+            span: eof_span,
         });
     }
     out.push(Spanned {
         token: Token::Eof,
-        line: source.lines().count().max(1),
+        span: eof_span,
     });
-    Ok(out)
+    (out, sink)
+}
+
+/// Strict tokenization: like [`lex`], but the first error-severity
+/// diagnostic aborts with a [`CodeGraphError::Lex`].
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
+    let (tokens, sink) = lex(source);
+    match sink.first_error() {
+        Some(diag) => Err(lex_error(diag)),
+        None => Ok(tokens),
+    }
+}
+
+/// Converts a lex diagnostic into the strict-API error type.
+pub(crate) fn lex_error(diag: &Diagnostic) -> CodeGraphError {
+    CodeGraphError::Lex {
+        line: diag.span.line,
+        message: diag.message.clone(),
+    }
 }
 
 fn strip_comment(line: &str) -> String {
@@ -126,65 +182,81 @@ fn strip_comment(line: &str) -> String {
 fn tokenize_line(
     line: &str,
     line_no: usize,
+    line_start: usize,
     out: &mut Vec<Spanned>,
     paren_depth: &mut usize,
-) -> Result<()> {
-    let chars: Vec<char> = line.chars().collect();
-    let mut i = 0usize;
-    let push = |out: &mut Vec<Spanned>, token: Token| {
-        out.push(Spanned {
-            token,
-            line: line_no,
-        })
+    sink: &mut DiagnosticSink,
+) {
+    // (byte offset within line, char) pairs; chars[i].0 gives the byte
+    // position of char i, and byte_at(len) == line.len().
+    let chars: Vec<(usize, char)> = line.char_indices().collect();
+    let byte_at = |i: usize| chars.get(i).map(|(b, _)| *b).unwrap_or(line.len());
+    // Span of chars [from..to), absolute into the source.
+    let span_of = |from: usize, to: usize| {
+        Span::new(
+            line_start + byte_at(from),
+            line_start + byte_at(to),
+            line_no,
+            from + 1,
+        )
     };
+    let mut i = 0usize;
     while i < chars.len() {
-        let c = chars[i];
+        let c = chars[i].1;
         if c == ' ' || c == '\t' {
             i += 1;
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            while i < chars.len() && (chars[i].1.is_ascii_alphanumeric() || chars[i].1 == '_') {
                 i += 1;
             }
-            push(out, Token::Name(chars[start..i].iter().collect()));
+            out.push(Spanned {
+                token: Token::Name(chars[start..i].iter().map(|(_, c)| c).collect()),
+                span: span_of(start, i),
+            });
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].1.is_ascii_digit())
         {
             let start = i;
             let mut seen_dot = false;
             while i < chars.len()
-                && (chars[i].is_ascii_digit()
-                    || (chars[i] == '.' && !seen_dot)
-                    || chars[i] == 'e'
-                    || chars[i] == 'E'
-                    || ((chars[i] == '+' || chars[i] == '-')
+                && (chars[i].1.is_ascii_digit()
+                    || (chars[i].1 == '.' && !seen_dot)
+                    || chars[i].1 == 'e'
+                    || chars[i].1 == 'E'
+                    || ((chars[i].1 == '+' || chars[i].1 == '-')
                         && i > start
-                        && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                        && (chars[i - 1].1 == 'e' || chars[i - 1].1 == 'E')))
             {
-                if chars[i] == '.' {
+                if chars[i].1 == '.' {
                     seen_dot = true;
                 }
                 i += 1;
             }
-            let text: String = chars[start..i].iter().collect();
-            let value = text.parse::<f64>().map_err(|_| CodeGraphError::Lex {
-                line: line_no,
-                message: format!("bad number `{text}`"),
-            })?;
-            push(out, Token::Num(value));
+            let text: String = chars[start..i].iter().map(|(_, c)| c).collect();
+            match text.parse::<f64>() {
+                Ok(value) => out.push(Spanned {
+                    token: Token::Num(value),
+                    span: span_of(start, i),
+                }),
+                // Recover by dropping the malformed literal.
+                Err(_) => sink.error(Pass::Lex, span_of(start, i), format!("bad number `{text}`")),
+            }
             continue;
         }
         if c == '\'' || c == '"' {
             let quote = c;
+            let start = i;
             i += 1;
             let mut s = String::new();
             let mut closed = false;
             while i < chars.len() {
-                if chars[i] == '\\' && i + 1 < chars.len() {
-                    let esc = chars[i + 1];
+                if chars[i].1 == '\\' && i + 1 < chars.len() {
+                    let esc = chars[i + 1].1;
                     s.push(match esc {
                         'n' => '\n',
                         't' => '\t',
@@ -193,52 +265,69 @@ fn tokenize_line(
                     i += 2;
                     continue;
                 }
-                if chars[i] == quote {
+                if chars[i].1 == quote {
                     closed = true;
                     i += 1;
                     break;
                 }
-                s.push(chars[i]);
+                s.push(chars[i].1);
                 i += 1;
             }
             if !closed {
-                return Err(CodeGraphError::Lex {
-                    line: line_no,
-                    message: "unterminated string".into(),
-                });
+                // Recover: keep what was collected as the string value.
+                sink.error(Pass::Lex, span_of(start, i), "unterminated string");
             }
-            push(out, Token::Str(s));
+            out.push(Spanned {
+                token: Token::Str(s),
+                span: span_of(start, i),
+            });
             continue;
         }
         // Multi-char operators first.
-        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let two: String = chars[i..(i + 2).min(chars.len())]
+            .iter()
+            .map(|(_, c)| c)
+            .collect();
         if matches!(two.as_str(), "==" | "!=" | "<=" | ">=" | "**" | "//") {
-            push(out, Token::Op(two));
+            out.push(Spanned {
+                token: Token::Op(two),
+                span: span_of(i, i + 2),
+            });
             i += 2;
             continue;
         }
         match c {
             '(' | '[' | '{' => {
                 *paren_depth += 1;
-                push(out, Token::Op(c.to_string()));
+                out.push(Spanned {
+                    token: Token::Op(c.to_string()),
+                    span: span_of(i, i + 1),
+                });
             }
             ')' | ']' | '}' => {
                 *paren_depth = paren_depth.saturating_sub(1);
-                push(out, Token::Op(c.to_string()));
+                out.push(Spanned {
+                    token: Token::Op(c.to_string()),
+                    span: span_of(i, i + 1),
+                });
             }
             '=' | '.' | ',' | ':' | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' => {
-                push(out, Token::Op(c.to_string()));
+                out.push(Spanned {
+                    token: Token::Op(c.to_string()),
+                    span: span_of(i, i + 1),
+                });
             }
             other => {
-                return Err(CodeGraphError::Lex {
-                    line: line_no,
-                    message: format!("unexpected character `{other}`"),
-                });
+                // Recover by skipping the stray character.
+                sink.error(
+                    Pass::Lex,
+                    span_of(i, i + 1),
+                    format!("unexpected character `{other}`"),
+                );
             }
         }
         i += 1;
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -271,6 +360,32 @@ mod tests {
                 Token::Eof,
             ]
         );
+    }
+
+    #[test]
+    fn spans_carry_byte_offsets_and_columns() {
+        let src = "x = pd.read_csv('a.csv')\n";
+        let (tokens, sink) = lex(src);
+        assert!(sink.is_empty());
+        // `read_csv` starts at byte 7, column 8.
+        let read = tokens
+            .iter()
+            .find(|t| t.token == Token::Name("read_csv".into()))
+            .unwrap();
+        assert_eq!(read.span.slice(src), Some("read_csv"));
+        assert_eq!((read.span.line, read.span.col), (1, 8));
+    }
+
+    #[test]
+    fn spans_on_later_lines_are_absolute() {
+        let src = "a = 1\nb = foo(a)\n";
+        let (tokens, _) = lex(src);
+        let foo = tokens
+            .iter()
+            .find(|t| t.token == Token::Name("foo".into()))
+            .unwrap();
+        assert_eq!(foo.span.slice(src), Some("foo"));
+        assert_eq!((foo.span.line, foo.span.col), (2, 5));
     }
 
     #[test]
@@ -330,6 +445,33 @@ mod tests {
             tokenize("x = 'oops\n"),
             Err(CodeGraphError::Lex { line: 1, .. })
         ));
+    }
+
+    #[test]
+    fn unterminated_string_recovers_in_lenient_mode() {
+        let (tokens, sink) = lex("x = 'oops\ny = 2\n");
+        assert!(sink.has_errors());
+        // The collected prefix survives as the string value and lexing
+        // continues on the next line.
+        assert!(tokens.iter().any(|t| t.token == Token::Str("oops".into())));
+        assert!(tokens.iter().any(|t| t.token == Token::Name("y".into())));
+    }
+
+    #[test]
+    fn stray_characters_are_skipped_with_diagnostics() {
+        let (tokens, sink) = lex("x = 1 ; y = 2\n");
+        assert_eq!(sink.len(), 1);
+        assert!(sink.diagnostics()[0].message.contains("`;`"));
+        assert!(tokens.iter().any(|t| t.token == Token::Name("y".into())));
+    }
+
+    #[test]
+    fn inconsistent_dedent_recovers_balanced() {
+        let (tokens, sink) = lex("if x:\n        y = 1\n    z = 2\nw = 3\n");
+        assert!(sink.has_errors());
+        let indents = tokens.iter().filter(|t| t.token == Token::Indent).count();
+        let dedents = tokens.iter().filter(|t| t.token == Token::Dedent).count();
+        assert_eq!(indents, dedents, "recovered stream stays balanced");
     }
 
     #[test]

@@ -27,22 +27,37 @@
 //! * [`vocab`] — the canonical pipeline-op vocabulary shared with the graph
 //!   generator,
 //! * [`corpus`] — a synthetic Kaggle-notebook generator standing in for the
-//!   paper's 11.7K mined scripts (see DESIGN.md, substitution table).
+//!   paper's 11.7K mined scripts (see DESIGN.md, substitution table),
+//! * [`span`] / [`diag`] — byte-span source locations and the
+//!   span-carrying diagnostics the recovering lexer/parser/analyzer emit,
+//! * [`lint`] — invariant verification for every graph representation
+//!   (run under `debug_assert!` inside `analyze`/`filter_graph`, and by
+//!   the `lint-corpus` CLI subcommand).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod ast;
 pub mod corpus;
+pub mod diag;
 pub mod filter;
 pub mod graph;
 pub mod graph4ml;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
+pub mod span;
 pub mod vocab;
 
-pub use analysis::analyze;
+pub use analysis::{analyze, analyze_with_diagnostics};
+pub use diag::{Diagnostic, DiagnosticSink, Pass, Severity};
 pub use filter::{filter_graph, PipelineGraph};
 pub use graph::{CodeGraph, EdgeKind, NodeId, NodeKind};
 pub use graph4ml::Graph4Ml;
+pub use lint::{lint_code_graph, lint_graph4ml, lint_pipeline_graph, lint_reduction, Violation};
+pub use parser::parse_with_diagnostics;
+pub use span::Span;
 pub use vocab::{OpVocab, PipelineOp};
 
 /// Errors produced while parsing or analyzing scripts.

@@ -1,42 +1,114 @@
 //! Recursive-descent parser for the analyzed Python subset.
+//!
+//! The parser is panic-free and error-recovering: [`parse_with_diagnostics`]
+//! always produces a [`Module`], turning each malformed statement into a
+//! [`Diagnostic`] and resynchronizing at the next statement boundary
+//! (the next newline at the current block depth). [`parse`] is the strict
+//! wrapper that fails on the first error-severity diagnostic.
 
 use crate::ast::{Expr, Module, Stmt};
-use crate::lexer::{tokenize, Spanned, Token};
+use crate::diag::{Diagnostic, DiagnosticSink, Pass, Severity};
+use crate::lexer::{lex, lex_error, Spanned, Token};
+use crate::span::Span;
 use crate::{CodeGraphError, Result};
 
-/// Parses a script into a [`Module`].
+/// Internal result type: statement/expression parsers fail with a
+/// span-carrying diagnostic, which the block driver records and recovers
+/// from.
+type PResult<T> = std::result::Result<T, Diagnostic>;
+
+static EOF_TOKEN: Token = Token::Eof;
+
+/// Parses a script into a [`Module`] plus the diagnostics recovered
+/// along the way (lexical problems first, then parse problems). The
+/// module contains every statement that parsed cleanly; malformed
+/// statements are dropped after emitting a diagnostic.
+pub fn parse_with_diagnostics(source: &str) -> (Module, Vec<Diagnostic>) {
+    let (tokens, lex_sink) = lex(source);
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        sink: DiagnosticSink::new(),
+    };
+    let body = p.parse_block_body(true);
+    let mut sink = lex_sink;
+    sink.absorb(p.sink);
+    (Module { body }, sink.into_diagnostics())
+}
+
+/// Strict parsing: like [`parse_with_diagnostics`], but the first
+/// error-severity diagnostic aborts with a [`CodeGraphError`].
 pub fn parse(source: &str) -> Result<Module> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, at: 0 };
-    let body = p.parse_block_body(true)?;
-    Ok(Module { body })
+    let (module, diags) = parse_with_diagnostics(source);
+    if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+        return Err(match d.pass {
+            Pass::Lex => lex_error(d),
+            _ => CodeGraphError::Parse {
+                line: d.span.line,
+                message: d.message.clone(),
+            },
+        });
+    }
+    Ok(module)
 }
 
 struct Parser {
     tokens: Vec<Spanned>,
     at: usize,
+    sink: DiagnosticSink,
 }
 
 impl Parser {
     fn peek(&self) -> &Token {
-        &self.tokens[self.at].token
+        self.tokens
+            .get(self.at)
+            .map(|s| &s.token)
+            .unwrap_or(&EOF_TOKEN)
     }
 
-    fn line(&self) -> usize {
-        self.tokens[self.at].line
+    /// Token after the current one (for two-token lookahead).
+    fn peek2(&self) -> &Token {
+        self.tokens
+            .get(self.at + 1)
+            .map(|s| &s.token)
+            .unwrap_or(&EOF_TOKEN)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens.get(self.at).map(|s| s.span).unwrap_or_default()
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        match self.at.checked_sub(1) {
+            Some(i) => self.tokens.get(i).map(|s| s.span).unwrap_or_default(),
+            None => Span::synthetic(),
+        }
+    }
+
+    /// Full span of a statement that started at `start` and has consumed
+    /// tokens up to (not including) the current position.
+    fn stmt_span(&self, start: Span) -> Span {
+        start.merge(self.prev_span())
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.at].token.clone();
+        let t = self
+            .tokens
+            .get(self.at)
+            .map(|s| s.token.clone())
+            .unwrap_or(Token::Eof);
         if self.at + 1 < self.tokens.len() {
             self.at += 1;
         }
         t
     }
 
-    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(CodeGraphError::Parse {
-            line: self.line(),
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(Diagnostic {
+            span: self.span(),
+            severity: Severity::Error,
+            pass: Pass::Parse,
             message: message.into(),
         })
     }
@@ -50,7 +122,7 @@ impl Parser {
         }
     }
 
-    fn expect_op(&mut self, op: &str) -> Result<()> {
+    fn expect_op(&mut self, op: &str) -> PResult<()> {
         if self.eat_op(op) {
             Ok(())
         } else {
@@ -58,7 +130,7 @@ impl Parser {
         }
     }
 
-    fn expect_name(&mut self) -> Result<String> {
+    fn expect_name(&mut self) -> PResult<String> {
         match self.bump() {
             Token::Name(n) => Ok(n),
             other => self.err(format!("expected name, found {other:?}")),
@@ -71,31 +143,68 @@ impl Parser {
         }
     }
 
-    /// Parses statements until Dedent (nested) or Eof (top level).
-    fn parse_block_body(&mut self, top_level: bool) -> Result<Vec<Stmt>> {
-        let mut body = Vec::new();
+    /// Skips to the next statement boundary after a parse error: consumes
+    /// tokens until a newline at the current block depth (nested blocks
+    /// opened mid-error are skipped whole). Stops before a `Dedent` that
+    /// would close the enclosing block, and at `Eof`.
+    fn resynchronize(&mut self) {
+        let mut depth = 0usize;
         loop {
-            self.skip_newlines();
             match self.peek() {
-                Token::Eof => {
-                    if top_level {
-                        return Ok(body);
+                Token::Eof => return,
+                Token::Newline => {
+                    self.bump();
+                    if depth == 0 {
+                        return;
                     }
-                    return self.err("unexpected end of input inside block");
+                }
+                Token::Indent => {
+                    depth += 1;
+                    self.bump();
                 }
                 Token::Dedent => {
-                    if top_level {
-                        return self.err("unexpected dedent at top level");
+                    if depth == 0 {
+                        return; // let the enclosing block close itself
                     }
+                    depth -= 1;
                     self.bump();
-                    return Ok(body);
                 }
-                _ => body.push(self.parse_stmt()?),
+                _ => {
+                    self.bump();
+                }
             }
         }
     }
 
-    fn parse_indented_block(&mut self) -> Result<Vec<Stmt>> {
+    /// Parses statements until Dedent (nested) or Eof (top level),
+    /// recovering from malformed statements via [`Self::resynchronize`].
+    fn parse_block_body(&mut self, top_level: bool) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Eof => return body,
+                Token::Dedent => {
+                    self.bump();
+                    if top_level {
+                        // A balanced lexer never leaves a stray top-level
+                        // dedent; tolerate one anyway and keep parsing.
+                        continue;
+                    }
+                    return body;
+                }
+                _ => match self.parse_stmt() {
+                    Ok(stmt) => body.push(stmt),
+                    Err(diag) => {
+                        self.sink.push(diag);
+                        self.resynchronize();
+                    }
+                },
+            }
+        }
+    }
+
+    fn parse_indented_block(&mut self) -> PResult<Vec<Stmt>> {
         self.expect_op(":")?;
         if !matches!(self.peek(), Token::Newline) {
             // Single-line suite: `if x: y = 1`.
@@ -106,14 +215,14 @@ impl Parser {
         match self.peek() {
             Token::Indent => {
                 self.bump();
-                self.parse_block_body(false)
+                Ok(self.parse_block_body(false))
             }
             _ => self.err("expected indented block"),
         }
     }
 
-    fn parse_stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.span();
         match self.peek().clone() {
             Token::Name(kw) if kw == "import" => {
                 self.bump();
@@ -128,7 +237,11 @@ impl Parser {
                     // `import a.b` binds `a`; `import a` binds `a`.
                     module.split('.').next().unwrap_or(&module).to_string()
                 };
-                Ok(Stmt::Import { module, alias })
+                Ok(Stmt::Import {
+                    module,
+                    alias,
+                    span: self.stmt_span(start),
+                })
             }
             Token::Name(kw) if kw == "from" => {
                 self.bump();
@@ -154,7 +267,55 @@ impl Parser {
                         break;
                     }
                 }
-                Ok(Stmt::FromImport { module, names })
+                Ok(Stmt::FromImport {
+                    module,
+                    names,
+                    span: self.stmt_span(start),
+                })
+            }
+            Token::Name(kw) if kw == "def" => {
+                self.bump();
+                let name = self.expect_name()?;
+                self.expect_op("(")?;
+                let mut params = Vec::new();
+                if !self.eat_op(")") {
+                    loop {
+                        let param = self.expect_name()?;
+                        if self.eat_op("=") {
+                            // Default value: parsed for resilience, not
+                            // modelled by the dataflow analysis.
+                            let _ = self.parse_expr()?;
+                        }
+                        params.push(param);
+                        if !self.eat_op(",") {
+                            break;
+                        }
+                        if matches!(self.peek(), Token::Op(o) if o == ")") {
+                            break; // trailing comma
+                        }
+                    }
+                    self.expect_op(")")?;
+                }
+                let header = self.stmt_span(start);
+                let body = self.parse_indented_block()?;
+                Ok(Stmt::FuncDef {
+                    name,
+                    params,
+                    body,
+                    span: header,
+                })
+            }
+            Token::Name(kw) if kw == "return" => {
+                self.bump();
+                let value = if matches!(self.peek(), Token::Newline | Token::Eof | Token::Dedent) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                Ok(Stmt::Return {
+                    value,
+                    span: self.stmt_span(start),
+                })
             }
             Token::Name(kw) if kw == "for" => {
                 self.bump();
@@ -164,17 +325,19 @@ impl Parser {
                     other => return self.err(format!("expected `in`, found {other:?}")),
                 }
                 let iter = self.parse_expr()?;
+                let header = self.stmt_span(start);
                 let body = self.parse_indented_block()?;
                 Ok(Stmt::For {
                     var,
                     iter,
                     body,
-                    line,
+                    span: header,
                 })
             }
             Token::Name(kw) if kw == "if" => {
                 self.bump();
                 let cond = self.parse_expr()?;
+                let header = self.stmt_span(start);
                 let body = self.parse_indented_block()?;
                 self.skip_newlines();
                 let orelse = if matches!(self.peek(), Token::Name(n) if n == "else") {
@@ -187,7 +350,7 @@ impl Parser {
                     cond,
                     body,
                     orelse,
-                    line,
+                    span: header,
                 })
             }
             _ => self.parse_simple_stmt(),
@@ -195,8 +358,8 @@ impl Parser {
     }
 
     /// Assignment or expression statement.
-    fn parse_simple_stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+    fn parse_simple_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.span();
         let first = self.parse_expr()?;
         // Tuple target: `a, b = ...`
         let mut targets_exprs = vec![first];
@@ -224,28 +387,29 @@ impl Parser {
                 values.push(self.parse_expr()?);
             }
             let value = if values.len() == 1 {
-                values.into_iter().next().unwrap()
+                values.pop().unwrap_or(Expr::Sequence(Vec::new()))
             } else {
                 Expr::Sequence(values)
             };
             return Ok(Stmt::Assign {
                 targets,
                 value,
-                line,
+                span: self.stmt_span(start),
             });
         }
-        if targets_exprs.len() != 1 {
-            return self.err("bare tuple expression statement");
+        let mut it = targets_exprs.into_iter();
+        match (it.next(), it.next()) {
+            (Some(value), None) => Ok(Stmt::Expr {
+                value,
+                span: self.stmt_span(start),
+            }),
+            _ => self.err("bare tuple expression statement"),
         }
-        Ok(Stmt::Expr {
-            value: targets_exprs.into_iter().next().unwrap(),
-            line,
-        })
     }
 
     /// Binary-operator expression (all operators at one precedence level —
     /// dataflow analysis does not care about arithmetic precedence).
-    fn parse_expr(&mut self) -> Result<Expr> {
+    fn parse_expr(&mut self) -> PResult<Expr> {
         let mut left = self.parse_postfix()?;
         loop {
             let op = match self.peek() {
@@ -285,7 +449,7 @@ impl Parser {
     }
 
     /// Primary expression with `.attr`, `(...)`, `[...]` trailers.
-    fn parse_postfix(&mut self) -> Result<Expr> {
+    fn parse_postfix(&mut self) -> PResult<Expr> {
         let mut e = self.parse_primary()?;
         loop {
             if self.eat_op(".") {
@@ -322,7 +486,7 @@ impl Parser {
     }
 
     #[allow(clippy::type_complexity)] // (positional args, keyword args)
-    fn parse_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>)> {
+    fn parse_args(&mut self) -> PResult<(Vec<Expr>, Vec<(String, Expr)>)> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         if self.eat_op(")") {
@@ -331,7 +495,7 @@ impl Parser {
         loop {
             // kwarg: NAME '=' expr (lookahead two tokens).
             if let Token::Name(n) = self.peek().clone() {
-                if matches!(&self.tokens[self.at + 1].token, Token::Op(o) if o == "=") {
+                if matches!(self.peek2(), Token::Op(o) if o == "=") {
                     self.bump();
                     self.bump();
                     kwargs.push((n, self.parse_expr()?));
@@ -352,7 +516,7 @@ impl Parser {
         Ok((args, kwargs))
     }
 
-    fn parse_primary(&mut self) -> Result<Expr> {
+    fn parse_primary(&mut self) -> PResult<Expr> {
         match self.bump() {
             Token::Name(n) if n == "True" || n == "False" || n == "None" => Ok(Expr::Keyword(n)),
             Token::Name(n) => Ok(Expr::Name(n)),
@@ -371,7 +535,7 @@ impl Parser {
                 }
                 self.expect_op(")")?;
                 if items.len() == 1 {
-                    Ok(items.into_iter().next().unwrap())
+                    Ok(items.pop().unwrap_or(Expr::Sequence(Vec::new())))
                 } else {
                     Ok(Expr::Sequence(items))
                 }
@@ -440,27 +604,39 @@ model.fit(X, df_train['Y'])
     }
 
     #[test]
+    fn statement_spans_locate_source_text() {
+        let src = "df = pd.read_csv('example.csv')\nmodel = svm.SVC()\n";
+        let m = parse(src).unwrap();
+        let s0 = m.body[0].span();
+        assert_eq!((s0.line, s0.col), (1, 1));
+        assert_eq!(s0.slice(src), Some("df = pd.read_csv('example.csv')"));
+        let s1 = m.body[1].span();
+        assert_eq!((s1.line, s1.col), (2, 1));
+        assert_eq!(s1.slice(src), Some("model = svm.SVC()"));
+    }
+
+    #[test]
     fn imports_and_aliases() {
         let m = parse(
             "import pandas as pd\nimport xgboost\nfrom sklearn.svm import SVC, LinearSVC as LSVC\n",
         )
         .unwrap();
-        assert_eq!(
-            m.body[0],
-            Stmt::Import {
-                module: "pandas".into(),
-                alias: "pd".into()
+        match &m.body[0] {
+            Stmt::Import { module, alias, .. } => {
+                assert_eq!(module, "pandas");
+                assert_eq!(alias, "pd");
             }
-        );
-        assert_eq!(
-            m.body[1],
-            Stmt::Import {
-                module: "xgboost".into(),
-                alias: "xgboost".into()
+            other => panic!("{other:?}"),
+        }
+        match &m.body[1] {
+            Stmt::Import { module, alias, .. } => {
+                assert_eq!(module, "xgboost");
+                assert_eq!(alias, "xgboost");
             }
-        );
+            other => panic!("{other:?}"),
+        }
         match &m.body[2] {
-            Stmt::FromImport { module, names } => {
+            Stmt::FromImport { module, names, .. } => {
                 assert_eq!(module, "sklearn.svm");
                 assert_eq!(
                     names,
@@ -477,13 +653,13 @@ model.fit(X, df_train['Y'])
     #[test]
     fn dotted_import_binds_root() {
         let m = parse("import sklearn.svm\n").unwrap();
-        assert_eq!(
-            m.body[0],
-            Stmt::Import {
-                module: "sklearn.svm".into(),
-                alias: "sklearn".into()
+        match &m.body[0] {
+            Stmt::Import { module, alias, .. } => {
+                assert_eq!(module, "sklearn.svm");
+                assert_eq!(alias, "sklearn");
             }
-        );
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -531,6 +707,40 @@ else:
     }
 
     #[test]
+    fn def_and_return_statements() {
+        let src = "\
+def prepare(data, k=5):
+    out = scale(data)
+    return out
+x = prepare(df)
+";
+        let m = parse(src).unwrap();
+        assert_eq!(m.body.len(), 2);
+        match &m.body[0] {
+            Stmt::FuncDef {
+                name, params, body, ..
+            } => {
+                assert_eq!(name, "prepare");
+                assert_eq!(params, &["data".to_string(), "k".to_string()]);
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[1], Stmt::Return { value: Some(_), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_return_has_no_value() {
+        let m = parse("def f():\n    return\n").unwrap();
+        match &m.body[0] {
+            Stmt::FuncDef { body, .. } => {
+                assert!(matches!(body[0], Stmt::Return { value: None, .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn subscript_assignment_targets_base() {
         let m = parse("df['col'] = scaler.fit_transform(df)\n").unwrap();
         match &m.body[0] {
@@ -570,6 +780,39 @@ else:
     fn parse_error_carries_line() {
         let err = parse("x = 1\ny = =\n").unwrap_err();
         assert!(matches!(err, CodeGraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn recovery_keeps_statements_around_a_malformed_one() {
+        let src = "a = 1\nb = = 2\nc = 3\n";
+        let (m, diags) = parse_with_diagnostics(src);
+        assert_eq!(m.body.len(), 2, "a and c survive");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span.line, 2);
+        assert!(
+            matches!(m.body[1], Stmt::Assign { ref targets, .. } if targets == &["c".to_string()])
+        );
+    }
+
+    #[test]
+    fn recovery_skips_malformed_block_headers_with_their_bodies() {
+        let src = "a = 1\nfor in xs:\n    b = 2\nc = 3\n";
+        let (m, diags) = parse_with_diagnostics(src);
+        assert!(!diags.is_empty());
+        // `a` and `c` parse; the broken for-loop (and its body) is skipped.
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn recovery_inside_a_block_preserves_the_block() {
+        let src = "if ok:\n    x = 1\n    y = = 2\n    z = 3\nw = 4\n";
+        let (m, diags) = parse_with_diagnostics(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(m.body.len(), 2);
+        match &m.body[0] {
+            Stmt::If { body, .. } => assert_eq!(body.len(), 2, "x and z survive in the block"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

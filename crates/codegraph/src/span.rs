@@ -1,0 +1,141 @@
+//! Byte-span + line/column source locations.
+//!
+//! Every token, AST statement, and code-graph node carries a [`Span`]
+//! locating it in the original script text. Spans are half-open byte
+//! ranges (`start..end` into the UTF-8 source) plus the 1-based line and
+//! column of the first byte, so diagnostics can be rendered either as
+//! `line:col` (human) or as byte offsets (editor integrations).
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range into the source, plus the 1-based line/column
+/// of its start. The zero span ([`Span::synthetic`]) marks nodes that do
+/// not originate from source text (e.g. the Graph4ML dataset anchor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based source line of `start` (0 for synthetic spans).
+    pub line: usize,
+    /// 1-based source column of `start`, in characters (0 for synthetic).
+    pub col: usize,
+}
+
+impl Span {
+    /// Builds a span from explicit byte offsets and a line/column start.
+    pub fn new(start: usize, end: usize, line: usize, col: usize) -> Span {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// A zero-width span anchored at the start of a 1-based line — used
+    /// where only line granularity is known (e.g. hand-built graphs).
+    pub fn at_line(line: usize) -> Span {
+        Span {
+            start: 0,
+            end: 0,
+            line,
+            col: 1,
+        }
+    }
+
+    /// The span of nodes with no source location (synthetic constructs
+    /// such as dataset anchor nodes). Renders as `<synthetic>`.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+
+    /// True when this span does not point into source text.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`. Synthetic
+    /// spans are absorbed by real ones.
+    pub fn merge(&self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return *self;
+        }
+        let (line, col) = if (other.line, other.col) < (self.line, self.col) {
+            (other.line, other.col)
+        } else {
+            (self.line, self.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Byte length of the spanned text.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for zero-width spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spanned slice of `source`, when the offsets are in bounds and
+    /// on character boundaries.
+    pub fn slice<'s>(&self, source: &'s str) -> Option<&'s str> {
+        source.get(self.start..self.end)
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::new(4, 9, 2, 3).to_string(), "2:3");
+        assert_eq!(Span::synthetic().to_string(), "<synthetic>");
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(10, 14, 2, 5);
+        let b = Span::new(3, 8, 1, 4);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end, m.line, m.col), (3, 14, 1, 4));
+        assert_eq!(a.merge(Span::synthetic()), a);
+        assert_eq!(Span::synthetic().merge(b), b);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "x = read()";
+        assert_eq!(Span::new(4, 8, 1, 5).slice(src), Some("read"));
+        assert_eq!(Span::new(4, 99, 1, 5).slice(src), None);
+    }
+
+    #[test]
+    fn synthetic_detection() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::at_line(7).is_synthetic());
+        assert_eq!(Span::at_line(7).line, 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration tests for the interprocedural pass and the recovering
+//! front end: helper-wrapped preprocessing must yield the same pipeline
+//! skeleton as its inlined equivalent, and malformed notebooks must
+//! degrade to diagnostics instead of failures.
+
+use kgpip_codegraph::{
+    analyze, analyze_with_diagnostics, filter_graph, lint_pipeline_graph, NodeKind, PipelineOp,
+    Severity,
+};
+
+/// A corpus-style script with the preprocessing chain inside a `def`
+/// helper (the shape `CorpusConfig::helper_fraction` generates).
+const HELPER_SCRIPT: &str = "\
+import pandas as pd
+import numpy as np
+from sklearn.model_selection import train_test_split
+from sklearn.preprocessing import StandardScaler
+from sklearn.decomposition import PCA
+from sklearn.ensemble import GradientBoostingClassifier
+df = pd.read_csv('titanic.csv')
+df.describe()
+y = df['target']
+X = df.drop('target', 1)
+X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)
+def preprocess(data, test):
+    prep0 = StandardScaler()
+    data2 = prep0.fit_transform(data)
+    test2 = prep0.transform(test)
+    prep1 = PCA(n_components=5)
+    data22 = prep1.fit_transform(data2)
+    test22 = prep1.transform(test2)
+    return data22
+X_train_p = preprocess(X_train, X_test)
+model = GradientBoostingClassifier(n_estimators=100)
+model.fit(X_train_p, y_train)
+preds = model.predict(X_test)
+print(preds)
+";
+
+/// The same pipeline with the helper body written inline.
+const INLINED_SCRIPT: &str = "\
+import pandas as pd
+import numpy as np
+from sklearn.model_selection import train_test_split
+from sklearn.preprocessing import StandardScaler
+from sklearn.decomposition import PCA
+from sklearn.ensemble import GradientBoostingClassifier
+df = pd.read_csv('titanic.csv')
+df.describe()
+y = df['target']
+X = df.drop('target', 1)
+X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)
+prep0 = StandardScaler()
+data2 = prep0.fit_transform(X_train)
+test2 = prep0.transform(X_test)
+prep1 = PCA(n_components=5)
+data22 = prep1.fit_transform(data2)
+test22 = prep1.transform(test2)
+X_train_p = data22
+model = GradientBoostingClassifier(n_estimators=100)
+model.fit(X_train_p, y_train)
+preds = model.predict(X_test)
+print(preds)
+";
+
+#[test]
+fn helper_script_produces_the_same_skeleton_as_its_inlined_equivalent() {
+    let helper_raw = analyze(HELPER_SCRIPT).unwrap();
+    let inlined_raw = analyze(INLINED_SCRIPT).unwrap();
+
+    // Same resolved call sequence: the def is instantiated in place.
+    let call_labels = |g: &kgpip_codegraph::CodeGraph| -> Vec<String> {
+        g.nodes_of_kind(NodeKind::Call)
+            .into_iter()
+            .map(|i| g.nodes[i].label.clone())
+            .collect()
+    };
+    assert_eq!(call_labels(&helper_raw), call_labels(&inlined_raw));
+
+    let helper_filtered = filter_graph(&helper_raw);
+    let inlined_filtered = filter_graph(&inlined_raw);
+    assert_eq!(helper_filtered.ops, inlined_filtered.ops);
+    assert_eq!(
+        helper_filtered.skeleton(),
+        inlined_filtered.skeleton(),
+        "helper-wrapped preprocessing must not change the skeleton"
+    );
+    let (transformers, estimator) = helper_filtered.skeleton().unwrap();
+    assert_eq!(transformers, vec!["standard_scaler", "pca"]);
+    assert_eq!(estimator, "gradient_boost");
+    assert_eq!(lint_pipeline_graph(&helper_filtered), vec![]);
+}
+
+#[test]
+fn helper_pipeline_contains_the_transformer_ops() {
+    let filtered = filter_graph(&analyze(HELPER_SCRIPT).unwrap());
+    assert!(filtered.ops.contains(&PipelineOp::ReadCsv));
+    assert!(filtered.ops.contains(&PipelineOp::TrainTestSplit));
+    assert!(filtered
+        .ops
+        .iter()
+        .any(|op| matches!(op, PipelineOp::Transformer(_))));
+}
+
+#[test]
+fn malformed_notebook_recovers_with_span_carrying_diagnostics() {
+    let src = "\
+import pandas as pd
+from sklearn.svm import SVC
+df = pd.read_csv('a.csv')
+x = = broken
+m = SVC()
+m.fit(df, df)
+";
+    assert!(analyze(src).is_err(), "strict analysis must reject");
+    let (graph, diags) = analyze_with_diagnostics(src);
+    let errors: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].span.line, 4);
+    assert!(errors[0].span.col >= 1);
+    // The surrounding pipeline still analyzes and filters.
+    let filtered = filter_graph(&graph);
+    let (transformers, estimator) = filtered.skeleton().unwrap();
+    assert!(transformers.is_empty());
+    assert_eq!(estimator, "linear_svm");
+}
+
+#[test]
+fn nested_helpers_are_instantiated_transitively() {
+    let src = "\
+import pandas as pd
+from sklearn.preprocessing import StandardScaler
+def scale(data):
+    s = StandardScaler()
+    out = s.fit_transform(data)
+    return out
+def prepare(data):
+    cleaned = data.fillna(0)
+    scaled = scale(cleaned)
+    return scaled
+df = pd.read_csv('a.csv')
+x = prepare(df)
+";
+    let g = analyze(src).unwrap();
+    let labels: Vec<String> = g
+        .nodes_of_kind(NodeKind::Call)
+        .into_iter()
+        .map(|i| g.nodes[i].label.clone())
+        .collect();
+    assert_eq!(
+        labels,
+        vec![
+            "pandas.read_csv",
+            "pandas.DataFrame.fillna",
+            "sklearn.preprocessing.StandardScaler",
+            "sklearn.preprocessing.StandardScaler.fit_transform",
+        ]
+    );
+}

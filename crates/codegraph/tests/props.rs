@@ -2,7 +2,10 @@
 
 use kgpip_codegraph::lexer::tokenize;
 use kgpip_codegraph::parser::parse;
-use kgpip_codegraph::{analyze, filter_graph, NodeKind, OpVocab, PipelineOp};
+use kgpip_codegraph::{
+    analyze, analyze_with_diagnostics, filter_graph, lint_code_graph, lint_pipeline_graph,
+    lint_reduction, parse_with_diagnostics, NodeKind, OpVocab, PipelineOp, Severity,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -19,6 +22,27 @@ proptest! {
     #[test]
     fn parser_is_total(src in "[ -~\n]{0,200}") {
         let _ = parse(&src);
+    }
+
+    /// The recovering front end is total AND consistent with the strict
+    /// one: strict parse fails exactly when recovery collected an
+    /// error-severity diagnostic.
+    #[test]
+    fn recovering_parse_matches_strict_failure(src in "[ -~\n]{0,200}") {
+        let (_module, diags) = parse_with_diagnostics(&src);
+        let has_error = diags.iter().any(|d| d.severity == Severity::Error);
+        prop_assert_eq!(parse(&src).is_err(), has_error);
+    }
+
+    /// The recovering analyzer never panics on arbitrary near-Python
+    /// input and always produces a structurally valid graph.
+    #[test]
+    fn recovering_analysis_is_total_and_lints_clean(src in "[ -~\n]{0,300}") {
+        let (graph, _diags) = analyze_with_diagnostics(&src);
+        prop_assert!(lint_code_graph(&graph).is_empty());
+        let filtered = filter_graph(&graph);
+        prop_assert!(!kgpip_codegraph::lint::has_errors(&lint_pipeline_graph(&filtered)));
+        prop_assert!(lint_reduction(&graph, &filtered).is_empty());
     }
 
     /// Analysis of syntactically valid assignment chains succeeds and
@@ -94,11 +118,45 @@ proptest! {
                 eda_noise: noise,
                 unsupported_fraction: if seed % 3 == 0 { 1.0 } else { 0.0 },
                 seed,
+                ..CorpusConfig::default()
             },
         );
         for s in scripts {
             let g = analyze(&s.source).unwrap();
             prop_assert!(g.num_nodes() > 0);
         }
+    }
+
+    /// Every graph mined from a corpus — including helper-wrapped and
+    /// malformed scripts — satisfies the lint invariants, at any seed.
+    #[test]
+    fn corpus_graphs_always_lint_clean(seed in 0u64..200) {
+        use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+        use kgpip_codegraph::{lint_graph4ml, Graph4Ml};
+        let mut profile = DatasetProfile::new("prop_lint", seed % 2 == 0);
+        profile.has_missing = true;
+        let scripts = generate_corpus(
+            &[profile],
+            &CorpusConfig {
+                scripts_per_dataset: 4,
+                unsupported_fraction: 0.2,
+                helper_fraction: 0.5,
+                malformed_fraction: 0.25,
+                seed,
+                ..CorpusConfig::default()
+            },
+        );
+        let mut g4 = Graph4Ml::new();
+        for s in &scripts {
+            let (raw, _diags) = analyze_with_diagnostics(&s.source);
+            prop_assert!(lint_code_graph(&raw).is_empty());
+            let filtered = filter_graph(&raw);
+            prop_assert!(lint_pipeline_graph(&filtered).is_empty());
+            prop_assert!(lint_reduction(&raw, &filtered).is_empty());
+            if filtered.skeleton().is_some() {
+                g4.add_pipeline(&s.dataset, &filtered);
+            }
+        }
+        prop_assert!(lint_graph4ml(&g4).is_empty());
     }
 }

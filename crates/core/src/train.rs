@@ -3,7 +3,7 @@
 
 use crate::{KgpipError, Result};
 use kgpip_codegraph::corpus::ScriptRecord;
-use kgpip_codegraph::{analyze, filter_graph, Graph4Ml, OpVocab};
+use kgpip_codegraph::{analyze_with_diagnostics, filter_graph, Graph4Ml, OpVocab, Severity};
 use kgpip_embeddings::{table_embedding, VectorIndex};
 use kgpip_graphgen::model::TypedGraph;
 use kgpip_graphgen::{GeneratorConfig, GraphGenerator, TrainExample};
@@ -158,13 +158,17 @@ impl Kgpip {
             if !embeddings.contains_key(&record.dataset) {
                 continue;
             }
-            // Mining is lenient: a notebook the analyzer cannot handle is
-            // dropped, exactly as the paper's pipeline drops unusable
-            // scripts, rather than failing the whole training run.
-            let Ok(code_graph) = analyze(&record.source) else {
+            // Mining is lenient: a notebook the analyzer cannot cleanly
+            // handle is skipped with a warning count, exactly as the
+            // paper's pipeline drops unusable scripts, rather than
+            // failing the whole training run. The recovering analysis
+            // reports the malformed statements as diagnostics instead of
+            // aborting.
+            let (code_graph, diagnostics) = analyze_with_diagnostics(&record.source);
+            if diagnostics.iter().any(|d| d.severity == Severity::Error) {
                 unparsable += 1;
                 continue;
-            };
+            }
             let filtered = filter_graph(&code_graph);
             if filtered.skeleton().is_none() {
                 continue; // EDA-only or unsupported-framework notebook

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for id in graph.nodes_of_kind(NodeKind::Call) {
         println!(
             "  line {:2}: {}",
-            graph.nodes[id].line, graph.nodes[id].label
+            graph.nodes[id].span.line, graph.nodes[id].label
         );
     }
 

@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> lint-corpus (fixed-seed graph invariant gate)"
+cargo run --release --quiet --bin kgpip-cli -- lint-corpus \
+  --datasets 4 --scripts-per-dataset 50 --seed 0 \
+  --malformed-fraction 0.05 --helper-fraction 0.25
+
 echo "All checks passed."

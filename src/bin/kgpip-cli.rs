@@ -7,7 +7,15 @@
 //!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn]
 //!                   [--k 3] [--parallelism N]
 //! kgpip-cli demo    [--budget-secs 5] [--parallelism N]
+//! kgpip-cli lint-corpus [--datasets 4] [--scripts-per-dataset 50] [--seed 0]
+//!                   [--malformed-fraction 0.05] [--helper-fraction 0.25]
 //! ```
+//!
+//! `lint-corpus` generates a synthetic corpus, runs the recovering
+//! analyzer + filter over every script, and verifies the graph-lint
+//! invariants on every produced graph (raw, filtered, Graph4ML). It
+//! prints recovered diagnostics and exits non-zero if any invariant is
+//! violated.
 //!
 //! Layout expected by `train`:
 //! * `--scripts DIR` — one subdirectory per dataset, each containing the
@@ -35,9 +43,10 @@ fn main() {
         "predict" => cmd_predict(&flag),
         "run" => cmd_run(&flag),
         "demo" => cmd_demo(&flag),
+        "lint-corpus" => cmd_lint_corpus(&flag),
         _ => {
             eprintln!(
-                "usage: kgpip-cli <train|predict|run|demo> [flags]\n\
+                "usage: kgpip-cli <train|predict|run|demo|lint-corpus> [flags]\n\
                  see the module docs (`kgpip-cli --help` output) for flags"
             );
             exit(2);
@@ -222,6 +231,102 @@ fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         run.best_score()
     );
     Ok(())
+}
+
+/// Generates a synthetic corpus (including intentionally malformed and
+/// helper-wrapped scripts), analyzes every script with the recovering
+/// analyzer, and verifies the graph-lint invariants on every graph.
+fn cmd_lint_corpus(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+    use kgpip_codegraph::{
+        analyze_with_diagnostics, filter_graph, lint_code_graph, lint_graph4ml,
+        lint_pipeline_graph, lint_reduction, Graph4Ml, Severity,
+    };
+
+    let n_datasets: usize = flag("--datasets").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let scripts_per_dataset: usize = flag("--scripts-per-dataset")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let malformed_fraction: f64 = flag("--malformed-fraction")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let helper_fraction: f64 = flag("--helper-fraction")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let profiles: Vec<DatasetProfile> = (0..n_datasets)
+        .map(|i| {
+            let mut p = DatasetProfile::new(format!("lintds_{i}"), i % 2 == 1);
+            p.has_missing = i % 2 == 0;
+            p.has_categorical = i % 3 == 0;
+            p
+        })
+        .collect();
+    let cfg = CorpusConfig {
+        scripts_per_dataset,
+        unsupported_fraction: 0.2,
+        helper_fraction,
+        malformed_fraction,
+        seed,
+        ..CorpusConfig::default()
+    };
+    let scripts = generate_corpus(&profiles, &cfg);
+
+    let mut graph4ml = Graph4Ml::new();
+    let mut violations = Vec::new();
+    let mut n_error_diags = 0usize;
+    let mut n_warning_diags = 0usize;
+    let mut scripts_with_diags = 0usize;
+    let mut shown = 0usize;
+    for (i, record) in scripts.iter().enumerate() {
+        let (raw, diags) = analyze_with_diagnostics(&record.source);
+        if !diags.is_empty() {
+            scripts_with_diags += 1;
+        }
+        for d in &diags {
+            match d.severity {
+                Severity::Error => n_error_diags += 1,
+                Severity::Warning => n_warning_diags += 1,
+            }
+            if shown < 8 {
+                println!("script #{i} ({}): {d}", record.dataset);
+                shown += 1;
+            }
+        }
+        let filtered = filter_graph(&raw);
+        violations.extend(lint_code_graph(&raw));
+        violations.extend(lint_pipeline_graph(&filtered));
+        violations.extend(lint_reduction(&raw, &filtered));
+        if filtered.skeleton().is_some() {
+            graph4ml.add_pipeline(&record.dataset, &filtered);
+        }
+    }
+    violations.extend(lint_graph4ml(&graph4ml));
+
+    println!(
+        "lint-corpus: {} scripts over {} datasets (seed {seed})",
+        scripts.len(),
+        profiles.len()
+    );
+    println!(
+        "  recovered diagnostics: {n_error_diags} errors + {n_warning_diags} warnings across {scripts_with_diags} scripts"
+    );
+    println!(
+        "  graph4ml: {} pipelines, {} nodes, {} edges",
+        graph4ml.pipelines().len(),
+        graph4ml.total_nodes(),
+        graph4ml.total_edges()
+    );
+    if violations.is_empty() {
+        println!("  invariant violations: 0");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("  violation: {v}");
+        }
+        Err(format!("{} graph invariant violation(s)", violations.len()).into())
+    }
 }
 
 /// End-to-end demo on synthetic data; no files needed.
