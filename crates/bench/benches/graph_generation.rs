@@ -101,5 +101,100 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation);
+/// Kernel-level benchmarks on matmul shapes drawn from the generator's
+/// real layers: message-MLP forward (n×2h · 2h×h) and the two matmul
+/// gradient products, fused (`matmul_at`/`matmul_bt`) vs the
+/// transpose-then-multiply formulation they replaced.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn_kernels");
+    group.sample_size(40);
+    let h = 32usize; // default hidden width
+    let n = 12usize; // max_nodes rows
+    let fill = |rows: usize, cols: usize, salt: usize| {
+        kgpip_nn::Tensor::from_vec(
+            (0..rows * cols)
+                .map(|i| ((i + salt) as f32 * 0.37).sin())
+                .collect(),
+            rows,
+            cols,
+        )
+        .unwrap()
+    };
+
+    // Forward of the message MLP's first layer: n×2h · 2h×h.
+    let x = fill(n, 2 * h, 0);
+    let w = fill(2 * h, h, 1);
+    group.bench_function("matmul_msg_fwd_12x64_64x32", |b| {
+        b.iter(|| black_box(&x).matmul(black_box(&w)).unwrap())
+    });
+
+    // Backward dW = xᵀ · g (fused vs transpose copy).
+    let g = fill(n, h, 2);
+    group.bench_function("grad_dw_fused_at", |b| {
+        b.iter(|| black_box(&x).matmul_at(black_box(&g)).unwrap())
+    });
+    group.bench_function("grad_dw_transpose_copy", |b| {
+        b.iter(|| black_box(&x).transpose().matmul(black_box(&g)).unwrap())
+    });
+
+    // Backward dX = g · wᵀ (fused vs transpose copy).
+    group.bench_function("grad_dx_fused_bt", |b| {
+        b.iter(|| black_box(&g).matmul_bt(black_box(&w)).unwrap())
+    });
+    group.bench_function("grad_dx_transpose_copy", |b| {
+        b.iter(|| black_box(&g).matmul(&black_box(&w).transpose()).unwrap())
+    });
+
+    // A larger square product where cache blocking matters.
+    let a = fill(96, 96, 3);
+    let bm = fill(96, 96, 4);
+    group.bench_function("matmul_square_96", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&bm)).unwrap())
+    });
+    group.finish();
+}
+
+/// Sequential vs parallel training and sampling. On multi-core hosts the
+/// parallel rows should drop below the sequential ones; on single-core
+/// CI they document the (small) coordination overhead instead. Results
+/// are bit-for-bit identical either way — see
+/// `crates/graphgen/tests/determinism.rs`.
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_vs_sequential");
+    group.sample_size(10);
+    let (filtered, _) = training_examples(10);
+    for workers in [1usize, 2] {
+        let cfg = GeneratorConfig {
+            hidden: 16,
+            prop_rounds: 1,
+            epochs: 1,
+            parallelism: workers,
+            ..GeneratorConfig::default()
+        };
+        group.bench_function(format!("train_epoch_10_graphs_p{workers}"), |b| {
+            b.iter(|| {
+                let mut g = GraphGenerator::new(cfg.clone());
+                g.train(black_box(&filtered))
+            })
+        });
+    }
+    let vocab = OpVocab::new();
+    let prefix = TypedGraph::conditioning_prefix(&vocab);
+    for workers in [1usize, 2] {
+        let mut trained = GraphGenerator::new(GeneratorConfig {
+            hidden: 16,
+            prop_rounds: 1,
+            epochs: 5,
+            parallelism: workers,
+            ..GeneratorConfig::default()
+        });
+        trained.train(&filtered);
+        group.bench_function(format!("generate_top3_p{workers}"), |b| {
+            b.iter(|| trained.generate_top_k(black_box(&vec![0.1; 48]), &prefix, 3, 1.2, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_kernels, bench_parallelism);
 criterion_main!(benches);

@@ -68,10 +68,13 @@ impl KgpipRun {
 
 impl Kgpip {
     /// Embeds an unseen dataset and finds its nearest training dataset
-    /// (name, similarity) by content.
+    /// (name, similarity) by content. Catalogs at or above
+    /// `VectorIndex::IVF_AUTO_THRESHOLD` datasets are probed through the
+    /// IVF partitioning trained by `Kgpip::train`; smaller ones scan
+    /// exactly (`top_k_ivf` falls back to exact when untrained).
     pub fn nearest_dataset(&self, ds: &Dataset) -> Option<(String, f64)> {
         let e = table_embedding(&ds.features);
-        self.index.top_k(&e, 1).into_iter().next()
+        self.index.top_k_ivf(&e, 1).into_iter().next()
     }
 
     /// Predicts up to `k` pipeline skeletons for an unseen dataset,
@@ -369,5 +372,29 @@ mod tests {
         let (name, sim) = model.nearest_dataset(&ds).unwrap();
         assert!(name == "alpha" || name == "beta");
         assert!(sim > 0.5);
+    }
+
+    /// The `nearest_dataset` lookup runs through `top_k_ivf`; above the
+    /// auto-tune threshold, the trained IVF partitioning must choose the
+    /// same neighbour as an exact scan on a synthetic dataset catalog.
+    #[test]
+    fn ivf_lookup_agrees_with_exact_on_synthetic_catalog() {
+        use kgpip_embeddings::{table_embedding, VectorIndex};
+        let catalog = VectorIndex::IVF_AUTO_THRESHOLD + 22;
+        let mut index = VectorIndex::new();
+        for d in 0..catalog {
+            let e = table_embedding(&table_like(d as f64 * 3.0, 24 + d % 9));
+            index.add(format!("ds{d}"), e);
+        }
+        assert!(index.auto_tune(0), "catalog exceeds the IVF threshold");
+        for q in 0..24 {
+            let query = table_embedding(&table_like(q as f64 * 19.0 + 1.5, 31));
+            let exact = index.top_k(&query, 1);
+            let ivf = index.top_k_ivf(&query, 1);
+            assert_eq!(
+                exact[0].0, ivf[0].0,
+                "query {q}: IVF neighbour diverged from exact"
+            );
+        }
     }
 }

@@ -81,10 +81,12 @@ impl KgpipConfig {
         self
     }
 
-    /// Sets the worker-thread count for skeleton search and trial
-    /// evaluation (clamped to ≥ 1).
+    /// Sets the worker-thread count for skeleton search, trial
+    /// evaluation, and the generator's training/sampling loops (clamped
+    /// to ≥ 1).
     pub fn with_parallelism(mut self, parallelism: usize) -> KgpipConfig {
         self.parallelism = parallelism.max(1);
+        self.generator.parallelism = self.parallelism;
         self
     }
 }
@@ -149,6 +151,9 @@ impl Kgpip {
             index.add(name.clone(), e.clone());
             embeddings.insert(name.clone(), e);
         }
+        // Large catalogs get an IVF partitioning so the nearest-dataset
+        // lookup in `predict` stays sublinear; small ones stay exact.
+        index.auto_tune(config.seed);
 
         // Static analysis + filtering → Graph4ML.
         let mut graph4ml = Graph4Ml::new();
@@ -259,8 +264,12 @@ impl Kgpip {
 
     /// Overrides the run-time parallelism of a trained (or loaded) model
     /// — a deployment knob, not a training artifact (clamped to ≥ 1).
+    /// Applies to skeleton search, trial evaluation, and the generator's
+    /// top-K sampling alike.
     pub fn set_parallelism(&mut self, parallelism: usize) {
         self.config.parallelism = parallelism.max(1);
+        self.config.generator.parallelism = self.config.parallelism;
+        self.generator.set_parallelism(self.config.parallelism);
     }
 
     /// The assembled Graph4ML (for corpus analyses like Figure 9).

@@ -26,6 +26,11 @@ struct Ivf {
 }
 
 impl VectorIndex {
+    /// Catalog size at which [`VectorIndex::auto_tune`] switches the
+    /// nearest-dataset lookup from exact scan to IVF probing. Below this,
+    /// an exact scan is both faster and trivially correct.
+    pub const IVF_AUTO_THRESHOLD: usize = 128;
+
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
@@ -133,6 +138,27 @@ impl VectorIndex {
         });
     }
 
+    /// True when an IVF partitioning is currently trained.
+    pub fn has_ivf(&self) -> bool {
+        self.ivf.is_some()
+    }
+
+    /// Trains IVF automatically for large catalogs: when the index holds
+    /// at least [`VectorIndex::IVF_AUTO_THRESHOLD`] vectors, builds
+    /// `√n` partitions probing `max(1, √n/4)` of them (the standard IVF
+    /// sizing rule) and returns `true`; smaller catalogs are left on the
+    /// exact path and return `false`.
+    pub fn auto_tune(&mut self, seed: u64) -> bool {
+        let n = self.vectors.len();
+        if n < Self::IVF_AUTO_THRESHOLD {
+            return false;
+        }
+        let nlist = (n as f64).sqrt().round().max(1.0) as usize;
+        let nprobe = (nlist / 4).max(1);
+        self.train_ivf(nlist, nprobe, seed);
+        true
+    }
+
     /// IVF-approximate top-k: probes the `nprobe` partitions whose
     /// centroids are most similar to the query. Falls back to exact search
     /// when IVF has not been trained.
@@ -227,6 +253,19 @@ mod tests {
         idx.train_ivf(2, 1, 3);
         let hits = idx.top_k_ivf(&unit(0, 8), 3);
         assert!(hits.iter().all(|(n, _)| n.starts_with('a')));
+    }
+
+    #[test]
+    fn auto_tune_respects_threshold() {
+        let mut small = VectorIndex::new();
+        for i in 0..VectorIndex::IVF_AUTO_THRESHOLD - 1 {
+            small.add(format!("v{i}"), unit(i % 8, 8));
+        }
+        assert!(!small.auto_tune(0), "below threshold stays exact");
+        assert!(!small.has_ivf());
+        small.add("last", unit(0, 8));
+        assert!(small.auto_tune(0), "at threshold trains IVF");
+        assert!(small.has_ivf());
     }
 
     #[test]

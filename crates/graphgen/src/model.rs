@@ -10,6 +10,24 @@ use kgpip_codegraph::{OpVocab, PipelineGraph, PipelineOp};
 use kgpip_nn::{Adam, GruCell, Linear, Mlp, ParamId, ParamStore, Tape, Tensor, TensorRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Decorrelates derived RNG streams (the 64-bit golden-ratio constant of
+/// splitmix64): attempt `i` of `generate_top_k` samples from
+/// `seed ⊕ (i · GOLDEN)`, so the candidate set is a pure function of the
+/// seed and attempt index, independent of worker count.
+const RNG_STREAM_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Attempts per sampling wave in [`GraphGenerator::generate_top_k`]. The
+/// wave size is a fixed constant (not tied to `parallelism`) so the
+/// early-exit check fires after the same attempt prefix at any worker
+/// count.
+const SAMPLE_WAVE: usize = 8;
+
+/// One training example's contribution: scalar loss plus its parameter
+/// gradients, exactly as returned by `Tape::backward`.
+type ExampleGrad = (f32, Vec<(ParamId, Tensor)>);
 
 /// A graph over dense type ids — the generator's native representation.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -73,6 +91,20 @@ pub struct GeneratorConfig {
     pub max_edges_per_node: usize,
     /// Parameter-init and training-shuffle seed.
     pub seed: u64,
+    /// Worker threads for training batches, evaluation, and top-K
+    /// sampling (1 = sequential). Results are bit-for-bit identical at
+    /// any setting; see the determinism contract in DESIGN.md.
+    #[serde(default = "default_parallelism")]
+    pub parallelism: usize,
+    /// Optional early exit for [`GraphGenerator::generate_top_k`]: stop
+    /// sampling at the first wave boundary where this many distinct
+    /// graphs have been collected. `None` spends the full attempt budget.
+    #[serde(default)]
+    pub distinct_target: Option<usize>,
+}
+
+fn default_parallelism() -> usize {
+    1
 }
 
 impl Default for GeneratorConfig {
@@ -88,6 +120,8 @@ impl Default for GeneratorConfig {
             max_nodes: 12,
             max_edges_per_node: 3,
             seed: 0,
+            parallelism: 1,
+            distinct_target: None,
         }
     }
 }
@@ -173,6 +207,24 @@ impl GraphGenerator {
     /// Total trainable scalar parameters.
     pub fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    /// Overrides the worker count used by [`GraphGenerator::train`],
+    /// [`GraphGenerator::evaluate`], and
+    /// [`GraphGenerator::generate_top_k`]. Values below 1 clamp to 1.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.config.parallelism = workers.max(1);
+    }
+
+    /// A worker pool when `parallelism > 1`, else `None` (sequential).
+    fn worker_pool(&self) -> Option<ThreadPool> {
+        let workers = self.config.parallelism.max(1);
+        (workers > 1).then(|| {
+            ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .expect("thread pool construction")
+        })
     }
 
     /// Computes node states for a partial graph: initial embeddings (type
@@ -320,10 +372,59 @@ impl GraphGenerator {
         Ok(tape.scale(total, 1.0 / losses.len() as f32))
     }
 
+    /// Teacher-forced loss and parameter gradients for each example index
+    /// in `idxs`, computed on one reusable tape. Each example's result is
+    /// a pure function of the parameters and the example — independent of
+    /// how indices are chunked across workers.
+    fn forward_chunk(&self, idxs: &[usize], examples: &[TrainExample]) -> Vec<ExampleGrad> {
+        let mut tape = Tape::new(&self.store);
+        idxs.iter()
+            .map(|&i| {
+                tape.reset();
+                let loss = self
+                    .example_loss(&mut tape, &examples[i])
+                    .expect("training graph shapes are internally consistent");
+                let value = tape.value(loss).get(0, 0);
+                (value, tape.backward(loss).expect("loss is scalar"))
+            })
+            .collect()
+    }
+
+    /// Per-example `(loss, grads)` for one mini-batch, in batch order.
+    /// With a pool, the batch is split into contiguous chunks (one tape
+    /// per worker) and results are re-flattened in batch-index order, so
+    /// the output is identical to the sequential path.
+    fn batch_forward(
+        &self,
+        batch: &[usize],
+        examples: &[TrainExample],
+        pool: Option<&ThreadPool>,
+    ) -> Vec<ExampleGrad> {
+        match pool {
+            None => self.forward_chunk(batch, examples),
+            Some(pool) => {
+                let per_worker = batch.len().div_ceil(pool.current_num_threads().max(1));
+                let chunks: Vec<&[usize]> = batch.chunks(per_worker.max(1)).collect();
+                let per_chunk: Vec<Vec<ExampleGrad>> = pool.install(|| {
+                    chunks
+                        .par_iter()
+                        .map(|c| self.forward_chunk(c, examples))
+                        .collect()
+                });
+                per_chunk.into_iter().flatten().collect()
+            }
+        }
+    }
+
     /// Trains with Adam over shuffled mini-batches; returns the mean loss
-    /// per epoch.
+    /// per epoch. With `config.parallelism` > 1 the per-example forward
+    /// and backward passes of each batch run on a worker pool; the
+    /// gradient reduction always happens afterwards in batch-index order,
+    /// so losses and parameters are bit-for-bit identical at any worker
+    /// count (proven by `tests/determinism.rs`).
     pub fn train(&mut self, examples: &[TrainExample]) -> Vec<f32> {
         assert!(!examples.is_empty(), "training set must be non-empty");
+        let pool = self.worker_pool();
         let mut adam = Adam::new(self.config.learning_rate);
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let mut order: Vec<usize> = (0..examples.len()).collect();
@@ -334,19 +435,13 @@ impl GraphGenerator {
             let mut epoch_loss = 0.0f32;
             for batch in order.chunks(self.config.batch_size.max(1)) {
                 self.store.zero_grads();
-                let mut batch_grads: Vec<(ParamId, Tensor)> = Vec::new();
-                for &i in batch {
-                    let mut tape = Tape::new(&self.store);
-                    let loss = self
-                        .example_loss(&mut tape, &examples[i])
-                        .expect("training graph shapes are internally consistent");
-                    epoch_loss += tape.value(loss).get(0, 0);
-                    batch_grads.extend(tape.backward(loss).expect("loss is scalar"));
-                }
+                let per_example = self.batch_forward(batch, examples, pool.as_ref());
                 let scale = 1.0 / batch.len() as f32;
-                for (id, mut g) in batch_grads {
-                    g.scale_assign(scale);
-                    self.store.accumulate_grad(id, &g);
+                for (value, grads) in per_example {
+                    epoch_loss += value;
+                    for (id, g) in grads {
+                        self.store.accumulate_grad_scaled(id, &g, scale);
+                    }
                 }
                 self.store.clip_grads(5.0);
                 adam.step(&mut self.store);
@@ -357,16 +452,40 @@ impl GraphGenerator {
     }
 
     /// Mean teacher-forced loss over a set of examples (no training).
+    /// Parallelizes over `config.parallelism` workers; per-example losses
+    /// are summed in example order, so the result is identical at any
+    /// worker count.
     pub fn evaluate(&self, examples: &[TrainExample]) -> f32 {
-        let mut total = 0.0f32;
-        for ex in examples {
-            let mut tape = Tape::new(&self.store);
-            let loss = self
-                .example_loss(&mut tape, ex)
-                .expect("evaluation graph shapes are internally consistent");
-            total += tape.value(loss).get(0, 0);
-        }
-        total / examples.len().max(1) as f32
+        let idxs: Vec<usize> = (0..examples.len()).collect();
+        let per_example: Vec<f32> = match self.worker_pool() {
+            None => self.eval_chunk(&idxs, examples),
+            Some(pool) => {
+                let per_worker = idxs.len().div_ceil(pool.current_num_threads().max(1));
+                let chunks: Vec<&[usize]> = idxs.chunks(per_worker.max(1)).collect();
+                let per_chunk: Vec<Vec<f32>> = pool.install(|| {
+                    chunks
+                        .par_iter()
+                        .map(|c| self.eval_chunk(c, examples))
+                        .collect()
+                });
+                per_chunk.into_iter().flatten().collect()
+            }
+        };
+        per_example.iter().sum::<f32>() / examples.len().max(1) as f32
+    }
+
+    /// Loss of each example index in `idxs` on one reusable tape.
+    fn eval_chunk(&self, idxs: &[usize], examples: &[TrainExample]) -> Vec<f32> {
+        let mut tape = Tape::new(&self.store);
+        idxs.iter()
+            .map(|&i| {
+                tape.reset();
+                let loss = self
+                    .example_loss(&mut tape, &examples[i])
+                    .expect("evaluation graph shapes are internally consistent");
+                tape.value(loss).get(0, 0)
+            })
+            .collect()
     }
 
     /// Generates one graph conditionally from a prefix subgraph and a
@@ -379,16 +498,33 @@ impl GraphGenerator {
         temperature: f64,
         rng: &mut StdRng,
     ) -> GeneratedGraph {
+        let ds = self.ds_tensor(dataset_embedding);
+        let mut tape = Tape::new(&self.store);
+        self.generate_with_tape(&mut tape, &ds, prefix, temperature, rng)
+    }
+
+    /// The autoregressive sampling loop. Every add-node / add-edge /
+    /// pick-source decision resets `tape` and reuses its buffer pool, so
+    /// one generation run performs a bounded number of heap allocations
+    /// regardless of decision count.
+    fn generate_with_tape<'s>(
+        &'s self,
+        tape: &mut Tape<'s>,
+        ds_tensor: &Tensor,
+        prefix: &TypedGraph,
+        temperature: f64,
+        rng: &mut StdRng,
+    ) -> GeneratedGraph {
         let mut graph = prefix.clone();
         let mut log_prob = 0.0f64;
         let stop_class = self.config.vocab_size;
         while graph.types.len() < self.config.max_nodes {
             // Decide the next node type (or stop).
             let (choice, lp) = {
-                let mut tape = Tape::new(&self.store);
-                let ds = tape.input(self.ds_tensor(dataset_embedding));
+                tape.reset();
+                let ds = tape.input_from(ds_tensor);
                 let logits = self
-                    .addnode_logits(&mut tape, &graph, ds)
+                    .addnode_logits(tape, &graph, ds)
                     .expect("generation shapes are internally consistent");
                 sample_softmax(tape.value(logits).row(0), temperature, &mut [], rng)
             };
@@ -402,10 +538,10 @@ impl GraphGenerator {
             let mut edges_added = 0usize;
             while edges_added < self.config.max_edges_per_node {
                 let (add, lp) = {
-                    let mut tape = Tape::new(&self.store);
-                    let ds = tape.input(self.ds_tensor(dataset_embedding));
+                    tape.reset();
+                    let ds = tape.input_from(ds_tensor);
                     let logit = self
-                        .addedge_logit(&mut tape, &graph, ds)
+                        .addedge_logit(tape, &graph, ds)
                         .expect("generation shapes are internally consistent");
                     let p = sigmoid(tape.value(logit).get(0, 0) as f64 / temperature);
                     let add = rng.gen::<f64>() < p;
@@ -430,10 +566,10 @@ impl GraphGenerator {
                     .map(|(u, _)| *u)
                     .collect();
                 let (source, lp) = {
-                    let mut tape = Tape::new(&self.store);
-                    let ds = tape.input(self.ds_tensor(dataset_embedding));
+                    tape.reset();
+                    let ds = tape.input_from(ds_tensor);
                     let logits = self
-                        .pick_logits(&mut tape, &graph, ds)
+                        .pick_logits(tape, &graph, ds)
                         .expect("generation shapes are internally consistent");
                     sample_softmax(tape.value(logits).row(0), temperature, &mut masked, rng)
                 };
@@ -448,9 +584,22 @@ impl GraphGenerator {
         GeneratedGraph { graph, log_prob }
     }
 
-    /// Generates `k` graphs (deduplicated by structure, ranked by score),
-    /// sampling up to `attempts` candidates — the top-K predicted
-    /// pipelines of §3.6.
+    /// Generates `k` graphs (deduplicated by structure, ranked by score) —
+    /// the top-K predicted pipelines of §3.6.
+    ///
+    /// # Sampling budget and determinism
+    ///
+    /// The budget is `attempts = (k·4).max(8)` sampled candidates. Attempt
+    /// `i` draws from its own RNG stream seeded with
+    /// `seed ⊕ (i · GOLDEN)`, so each attempt's graph is a pure function
+    /// of `(seed, i)` — never of worker count or of which attempts ran
+    /// before it. Attempts are processed in fixed waves of [`SAMPLE_WAVE`]
+    /// (parallelized over `config.parallelism` workers, merged in attempt
+    /// order); when `config.distinct_target` is `Some(t)`, sampling stops
+    /// at the first wave boundary with `t` distinct graphs collected,
+    /// otherwise the whole budget is spent. Both the candidate set and the
+    /// early-exit point are therefore bit-for-bit identical at any worker
+    /// count (proven by `tests/determinism.rs`).
     pub fn generate_top_k(
         &self,
         dataset_embedding: &[f64],
@@ -459,15 +608,31 @@ impl GraphGenerator {
         temperature: f64,
         seed: u64,
     ) -> Vec<GeneratedGraph> {
-        let mut rng = StdRng::seed_from_u64(seed);
         let attempts = (k * 4).max(8);
+        let pool = self.worker_pool();
+        let ds = self.ds_tensor(dataset_embedding);
+        let run_attempt = |attempt: u64| -> GeneratedGraph {
+            let mut rng = StdRng::seed_from_u64(seed ^ attempt.wrapping_mul(RNG_STREAM_GOLDEN));
+            let mut tape = Tape::new(&self.store);
+            self.generate_with_tape(&mut tape, &ds, prefix, temperature, &mut rng)
+        };
         let mut out: Vec<GeneratedGraph> = Vec::new();
-        for _ in 0..attempts {
-            let g = self.generate(dataset_embedding, prefix, temperature, &mut rng);
-            if !out.iter().any(|o| o.graph == g.graph) {
-                out.push(g);
+        let mut next = 0usize;
+        while next < attempts {
+            let wave: Vec<u64> = (next..(next + SAMPLE_WAVE).min(attempts))
+                .map(|i| i as u64)
+                .collect();
+            next += wave.len();
+            let sampled: Vec<GeneratedGraph> = match &pool {
+                Some(pool) => pool.install(|| wave.par_iter().map(|&i| run_attempt(i)).collect()),
+                None => wave.iter().map(|&i| run_attempt(i)).collect(),
+            };
+            for g in sampled {
+                if !out.iter().any(|o| o.graph == g.graph) {
+                    out.push(g);
+                }
             }
-            if out.len() >= attempts {
+            if self.config.distinct_target.is_some_and(|t| out.len() >= t) {
                 break;
             }
         }

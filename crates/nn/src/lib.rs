@@ -10,7 +10,8 @@
 //! * [`Tensor`] — dense row-major `f32` matrices,
 //! * [`Tape`] — an eager reverse-mode autodiff tape with matmul, elementwise
 //!   ops, concat, row gather/scatter (embedding lookup and message
-//!   aggregation), softmax cross-entropy and sigmoid BCE losses,
+//!   aggregation), softmax cross-entropy and sigmoid BCE losses; backed by a
+//!   [`BufferPool`] so `Tape::reset` reuses allocations across passes,
 //! * [`ParamStore`] — named parameter storage with Xavier initialization,
 //! * [`layers`] — `Linear`, `GruCell`, `Mlp` built on the tape,
 //! * [`Adam`] — the optimizer used for generator training.
@@ -27,7 +28,7 @@ pub mod tensor;
 pub use layers::{GruCell, Linear, Mlp};
 pub use optim::Adam;
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, TensorRef};
+pub use tape::{BufferPool, Tape, TensorRef};
 pub use tensor::Tensor;
 
 /// Errors produced by tensor and tape operations.

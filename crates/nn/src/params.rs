@@ -82,6 +82,16 @@ impl ParamStore {
             .expect("gradient shape matches parameter shape");
     }
 
+    /// Accumulates `scale * delta` into a parameter's gradient without
+    /// materializing a scaled copy. Bit-for-bit equal to scaling `delta`
+    /// first and then calling [`ParamStore::accumulate_grad`]: both round
+    /// the product once, then the sum once.
+    pub fn accumulate_grad_scaled(&mut self, id: ParamId, delta: &Tensor, scale: f32) {
+        self.grads[id.0]
+            .add_scaled(delta, scale)
+            .expect("gradient shape matches parameter shape");
+    }
+
     /// Zeroes all gradients (call between optimizer steps).
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {

@@ -4,10 +4,84 @@
 //! the graph generator needs to make sampling decisions mid-forward) while
 //! recording themselves on the tape; [`Tape::backward`] then walks the
 //! recorded ops in reverse and returns per-parameter gradients.
+//!
+//! # Allocation reuse
+//!
+//! Every intermediate tensor is backed by a buffer drawn from the tape's
+//! internal [`BufferPool`]. [`Tape::reset`] clears the recorded program and
+//! recycles all value buffers back into the pool, so a caller running many
+//! forward passes in a row (the autoregressive generation loop, the
+//! per-example training loop) reuses the same heap blocks instead of
+//! re-allocating hundreds of tensors per step. Pool state never affects
+//! numerics: a recycled buffer is always zero-filled or fully overwritten
+//! before it becomes visible, so a reset tape is bit-for-bit equivalent to
+//! a freshly constructed one.
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 use crate::{NnError, Result};
+use std::collections::BTreeMap;
+
+/// A recycling pool of `f32` backing buffers for tape intermediates.
+///
+/// Buffers are bucketed by capacity in a [`BTreeMap`], so handing one out
+/// is a best-fit lookup in O(log #sizes) — a forward pass allocates
+/// hundreds of intermediates, and a linear free-list scan would make the
+/// pool slower than the allocator it replaces. The pool only ever grows
+/// to the footprint of the largest forward pass it has served.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// capacity → idle buffers of exactly that capacity.
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
+    idle: usize,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle_buffers(&self) -> usize {
+        self.idle
+    }
+
+    /// An empty (length 0) buffer with capacity at least `cap`: the
+    /// smallest pooled buffer that fits, or a fresh allocation when none
+    /// does. Callers fill it completely.
+    fn take_empty(&mut self, cap: usize) -> Vec<f32> {
+        let fit = self.free.range_mut(cap..).next().map(|(c, _)| *c);
+        match fit {
+            Some(c) => {
+                let bucket = self.free.get_mut(&c).expect("bucket exists");
+                let mut b = bucket.pop().expect("buckets are never left empty");
+                if bucket.is_empty() {
+                    self.free.remove(&c);
+                }
+                self.idle -= 1;
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// A zero-filled buffer of exactly `len` elements.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut b = self.take_empty(len);
+        b.resize(len, 0.0);
+        b
+    }
+
+    /// Returns a buffer to the pool.
+    fn give(&mut self, b: Vec<f32>) {
+        if b.capacity() > 0 {
+            self.free.entry(b.capacity()).or_default().push(b);
+            self.idle += 1;
+        }
+    }
+}
 
 /// Handle to an intermediate value on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,27 +123,83 @@ enum Op {
     },
 }
 
-/// The autodiff tape. Create one per forward pass.
+/// The autodiff tape. Create one per forward pass, or keep one around and
+/// [`Tape::reset`] it between passes to reuse allocations.
 pub struct Tape<'a> {
     store: &'a ParamStore,
     values: Vec<Tensor>,
     ops: Vec<Op>,
+    pool: BufferPool,
 }
 
 impl<'a> Tape<'a> {
     /// Creates an empty tape reading parameters from `store`.
     pub fn new(store: &'a ParamStore) -> Tape<'a> {
+        Tape::with_pool(store, BufferPool::new())
+    }
+
+    /// Creates an empty tape that draws intermediate buffers from `pool`
+    /// (recovered later with [`Tape::into_pool`]).
+    pub fn with_pool(store: &'a ParamStore, pool: BufferPool) -> Tape<'a> {
         Tape {
             store,
             values: Vec::new(),
             ops: Vec::new(),
+            pool,
         }
+    }
+
+    /// Clears the recorded program, recycling every intermediate buffer
+    /// into the pool. All outstanding [`TensorRef`]s are invalidated; the
+    /// next forward pass reuses the recycled allocations.
+    pub fn reset(&mut self) {
+        for t in self.values.drain(..) {
+            self.pool.give(t.into_vec());
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                Op::SoftmaxCe { probs, .. } | Op::SigmoidBce { probs, .. } => {
+                    self.pool.give(probs.into_vec());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes the tape, recycling all buffers, and returns its pool for
+    /// reuse by a later tape (e.g. across training batches).
+    pub fn into_pool(mut self) -> BufferPool {
+        self.reset();
+        self.pool
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> TensorRef {
         self.values.push(value);
         self.ops.push(op);
         TensorRef(self.values.len() - 1)
+    }
+
+    /// A zero-filled pooled tensor.
+    fn alloc_zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(self.pool.take_zeroed(rows * cols), rows, cols)
+            .expect("pooled buffer sized to shape")
+    }
+
+    /// A pooled copy of an existing tensor's contents.
+    fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut buf = self.pool.take_empty(src.len());
+        buf.extend_from_slice(src.as_slice());
+        Tensor::from_vec(buf, src.rows(), src.cols()).expect("pooled buffer sized to shape")
+    }
+
+    /// A pooled copy of tape value `a` (split-borrow friendly variant of
+    /// [`Tape::alloc_copy`] for on-tape sources).
+    fn alloc_copy_idx(&mut self, a: usize) -> Tensor {
+        let src = &self.values[a];
+        let (rows, cols, len) = (src.rows(), src.cols(), src.len());
+        let mut buf = self.pool.take_empty(len);
+        buf.extend_from_slice(self.values[a].as_slice());
+        Tensor::from_vec(buf, rows, cols).expect("pooled buffer sized to shape")
     }
 
     /// The computed value behind a ref.
@@ -79,41 +209,59 @@ impl<'a> Tape<'a> {
 
     /// Registers a parameter as a tape leaf (its value is copied).
     pub fn param(&mut self, id: ParamId) -> TensorRef {
-        self.push(self.store.value(id).clone(), Op::Leaf(Some(id)))
+        let mut buf = self.pool.take_empty(self.store.value(id).len());
+        let src = self.store.value(id);
+        buf.extend_from_slice(src.as_slice());
+        let v = Tensor::from_vec(buf, src.rows(), src.cols()).expect("pooled buffer sized");
+        self.push(v, Op::Leaf(Some(id)))
     }
 
-    /// Registers a constant input (no gradient).
+    /// Registers a constant input (no gradient). The tensor is adopted as
+    /// is; prefer [`Tape::input_from`] when the source outlives the tape.
     pub fn input(&mut self, t: Tensor) -> TensorRef {
         self.push(t, Op::Leaf(None))
     }
 
+    /// Registers a constant input by copying `t` into a pooled buffer —
+    /// the allocation-free variant of [`Tape::input`] for values fed into
+    /// every pass of a reset loop.
+    pub fn input_from(&mut self, t: &Tensor) -> TensorRef {
+        let v = self.alloc_copy(t);
+        self.push(v, Op::Leaf(None))
+    }
+
     /// Matrix product.
     pub fn matmul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
-        let v = self.values[a.0].matmul(&self.values[b.0])?;
-        Ok(self.push(v, Op::Matmul(a.0, b.0)))
+        let (ar, bc) = (self.values[a.0].rows(), self.values[b.0].cols());
+        let mut out = self.alloc_zeroed(ar, bc);
+        self.values[a.0].matmul_into(&self.values[b.0], &mut out)?;
+        Ok(self.push(out, Op::Matmul(a.0, b.0)))
     }
 
     /// Elementwise sum of same-shape tensors.
     pub fn add(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
-        let mut v = self.values[a.0].clone();
+        let mut v = self.alloc_copy_idx(a.0);
         v.add_assign(&self.values[b.0])?;
         Ok(self.push(v, Op::Add(a.0, b.0)))
     }
 
     /// Adds a 1×c bias row to every row of `a`.
     pub fn add_bias(&mut self, a: TensorRef, bias: TensorRef) -> Result<TensorRef> {
-        let at = &self.values[a.0];
-        let bt = &self.values[bias.0];
-        if bt.rows() != 1 || bt.cols() != at.cols() {
-            return Err(NnError::Shape(format!(
-                "add_bias: bias {}x{} for value {}x{}",
-                bt.rows(),
-                bt.cols(),
-                at.rows(),
-                at.cols()
-            )));
+        {
+            let at = &self.values[a.0];
+            let bt = &self.values[bias.0];
+            if bt.rows() != 1 || bt.cols() != at.cols() {
+                return Err(NnError::Shape(format!(
+                    "add_bias: bias {}x{} for value {}x{}",
+                    bt.rows(),
+                    bt.cols(),
+                    at.rows(),
+                    at.cols()
+                )));
+            }
         }
-        let mut v = at.clone();
+        let mut v = self.alloc_copy_idx(a.0);
+        let bt = &self.values[bias.0];
         for r in 0..v.rows() {
             for (o, b) in v.row_mut(r).iter_mut().zip(bt.row(0)) {
                 *o += b;
@@ -124,103 +272,115 @@ impl<'a> Tape<'a> {
 
     /// Elementwise product.
     pub fn mul(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
-        let at = &self.values[a.0];
-        let bt = &self.values[b.0];
-        if at.rows() != bt.rows() || at.cols() != bt.cols() {
-            return Err(NnError::Shape("mul: shape mismatch".into()));
+        {
+            let at = &self.values[a.0];
+            let bt = &self.values[b.0];
+            if at.rows() != bt.rows() || at.cols() != bt.cols() {
+                return Err(NnError::Shape("mul: shape mismatch".into()));
+            }
         }
-        let data: Vec<f32> = at
-            .as_slice()
-            .iter()
-            .zip(bt.as_slice())
-            .map(|(x, y)| x * y)
-            .collect();
-        let v = Tensor::from_vec(data, at.rows(), at.cols())?;
+        let at = &self.values[a.0];
+        let mut buf = self.pool.take_empty(at.len());
+        buf.extend(
+            at.as_slice()
+                .iter()
+                .zip(self.values[b.0].as_slice())
+                .map(|(x, y)| x * y),
+        );
+        let v = Tensor::from_vec(buf, at.rows(), at.cols())?;
         Ok(self.push(v, Op::Mul(a.0, b.0)))
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: TensorRef, s: f32) -> TensorRef {
-        let mut v = self.values[a.0].clone();
+        let mut v = self.alloc_copy_idx(a.0);
         v.scale_assign(s);
         self.push(v, Op::Scale(a.0, s))
     }
 
+    /// A pooled tensor holding `f` applied elementwise to `a`'s value.
+    fn alloc_map(&mut self, a: usize, f: impl Fn(f32) -> f32) -> Tensor {
+        let at = &self.values[a];
+        let mut buf = self.pool.take_empty(at.len());
+        buf.extend(at.as_slice().iter().map(|v| f(*v)));
+        Tensor::from_vec(buf, at.rows(), at.cols()).expect("same shape")
+    }
+
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: TensorRef) -> TensorRef {
-        let at = &self.values[a.0];
-        let data: Vec<f32> = at.as_slice().iter().map(|v| v.tanh()).collect();
-        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        let v = self.alloc_map(a.0, f32::tanh);
         self.push(v, Op::Tanh(a.0))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: TensorRef) -> TensorRef {
-        let at = &self.values[a.0];
-        let data: Vec<f32> = at
-            .as_slice()
-            .iter()
-            .map(|v| 1.0 / (1.0 + (-v).exp()))
-            .collect();
-        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        let v = self.alloc_map(a.0, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a.0))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: TensorRef) -> TensorRef {
-        let at = &self.values[a.0];
-        let data: Vec<f32> = at.as_slice().iter().map(|v| v.max(0.0)).collect();
-        let v = Tensor::from_vec(data, at.rows(), at.cols()).expect("same shape");
+        let v = self.alloc_map(a.0, |x| x.max(0.0));
         self.push(v, Op::Relu(a.0))
     }
 
     /// Concatenates two matrices with equal row counts along columns.
     pub fn concat_cols(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        {
+            let at = &self.values[a.0];
+            let bt = &self.values[b.0];
+            if at.rows() != bt.rows() {
+                return Err(NnError::Shape("concat_cols: row mismatch".into()));
+            }
+        }
         let at = &self.values[a.0];
         let bt = &self.values[b.0];
-        if at.rows() != bt.rows() {
-            return Err(NnError::Shape("concat_cols: row mismatch".into()));
-        }
-        let mut v = Tensor::zeros(at.rows(), at.cols() + bt.cols());
+        let mut buf = self.pool.take_empty(at.len() + bt.len());
         for r in 0..at.rows() {
-            let row = v.row_mut(r);
-            row[..at.cols()].copy_from_slice(at.row(r));
-            row[at.cols()..].copy_from_slice(bt.row(r));
+            buf.extend_from_slice(at.row(r));
+            buf.extend_from_slice(bt.row(r));
         }
+        let v = Tensor::from_vec(buf, at.rows(), at.cols() + bt.cols())?;
         Ok(self.push(v, Op::ConcatCols(a.0, b.0)))
     }
 
     /// Stacks two matrices with equal column counts along rows.
     pub fn concat_rows(&mut self, a: TensorRef, b: TensorRef) -> Result<TensorRef> {
+        {
+            let at = &self.values[a.0];
+            let bt = &self.values[b.0];
+            if at.cols() != bt.cols() {
+                return Err(NnError::Shape("concat_rows: column mismatch".into()));
+            }
+        }
         let at = &self.values[a.0];
         let bt = &self.values[b.0];
-        if at.cols() != bt.cols() {
-            return Err(NnError::Shape("concat_rows: column mismatch".into()));
-        }
-        let mut data = Vec::with_capacity(at.len() + bt.len());
-        data.extend_from_slice(at.as_slice());
-        data.extend_from_slice(bt.as_slice());
-        let v = Tensor::from_vec(data, at.rows() + bt.rows(), at.cols())?;
+        let mut buf = self.pool.take_empty(at.len() + bt.len());
+        buf.extend_from_slice(at.as_slice());
+        buf.extend_from_slice(bt.as_slice());
+        let v = Tensor::from_vec(buf, at.rows() + bt.rows(), at.cols())?;
         Ok(self.push(v, Op::ConcatRows(a.0, b.0)))
     }
 
     /// Reinterprets a tensor with a new shape of equal element count.
     pub fn reshape(&mut self, a: TensorRef, rows: usize, cols: usize) -> Result<TensorRef> {
-        let at = &self.values[a.0];
-        if at.len() != rows * cols {
+        if self.values[a.0].len() != rows * cols {
             return Err(NnError::Shape(format!(
                 "reshape: {} elements into {rows}x{cols}",
-                at.len()
+                self.values[a.0].len()
             )));
         }
-        let v = Tensor::from_vec(at.as_slice().to_vec(), rows, cols)?;
+        let len = self.values[a.0].len();
+        let mut buf = self.pool.take_empty(len);
+        buf.extend_from_slice(self.values[a.0].as_slice());
+        let v = Tensor::from_vec(buf, rows, cols)?;
         Ok(self.push(v, Op::Reshape(a.0)))
     }
 
     /// Sums all rows into a 1×c vector.
     pub fn sum_rows(&mut self, a: TensorRef) -> TensorRef {
+        let mut v = self.alloc_zeroed(1, self.values[a.0].cols());
         let at = &self.values[a.0];
-        let mut v = Tensor::zeros(1, at.cols());
         for r in 0..at.rows() {
             for (o, x) in v.row_mut(0).iter_mut().zip(at.row(r)) {
                 *o += x;
@@ -231,9 +391,9 @@ impl<'a> Tape<'a> {
 
     /// Averages all rows into a 1×c vector.
     pub fn mean_rows(&mut self, a: TensorRef) -> TensorRef {
+        let mut v = self.alloc_zeroed(1, self.values[a.0].cols());
         let at = &self.values[a.0];
         let n = at.rows().max(1) as f32;
-        let mut v = Tensor::zeros(1, at.cols());
         for r in 0..at.rows() {
             for (o, x) in v.row_mut(0).iter_mut().zip(at.row(r)) {
                 *o += x / n;
@@ -244,19 +404,8 @@ impl<'a> Tape<'a> {
 
     /// Selects rows by index (embedding lookup; indices may repeat).
     pub fn gather_rows(&mut self, a: TensorRef, idx: &[usize]) -> Result<TensorRef> {
-        let at = &self.values[a.0];
-        for &i in idx {
-            if i >= at.rows() {
-                return Err(NnError::Index(format!(
-                    "gather_rows: row {i} of {}",
-                    at.rows()
-                )));
-            }
-        }
-        let mut v = Tensor::zeros(idx.len(), at.cols());
-        for (r, &i) in idx.iter().enumerate() {
-            v.row_mut(r).copy_from_slice(at.row(i));
-        }
+        let mut v = self.alloc_zeroed(idx.len(), self.values[a.0].cols());
+        self.values[a.0].gather_rows_into(idx, &mut v)?;
         Ok(self.push(v, Op::GatherRows(a.0, idx.to_vec())))
     }
 
@@ -268,27 +417,15 @@ impl<'a> Tape<'a> {
         idx: &[usize],
         out_rows: usize,
     ) -> Result<TensorRef> {
-        let at = &self.values[a.0];
-        if idx.len() != at.rows() {
+        if idx.len() != self.values[a.0].rows() {
             return Err(NnError::Shape(format!(
                 "scatter_sum_rows: {} indices for {} rows",
                 idx.len(),
-                at.rows()
+                self.values[a.0].rows()
             )));
         }
-        for &i in idx {
-            if i >= out_rows {
-                return Err(NnError::Index(format!(
-                    "scatter_sum_rows: target {i} of {out_rows}"
-                )));
-            }
-        }
-        let mut v = Tensor::zeros(out_rows, at.cols());
-        for (e, &i) in idx.iter().enumerate() {
-            for (o, x) in v.row_mut(i).iter_mut().zip(at.row(e)) {
-                *o += x;
-            }
-        }
+        let mut v = self.alloc_zeroed(out_rows, self.values[a.0].cols());
+        self.values[a.0].scatter_sum_rows_into(idx, &mut v)?;
         Ok(self.push(v, Op::ScatterSumRows(a.0, idx.to_vec())))
     }
 
@@ -296,16 +433,17 @@ impl<'a> Tape<'a> {
     /// returns a 1×1 loss.
     #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
     pub fn softmax_ce(&mut self, logits: TensorRef, targets: &[usize]) -> Result<TensorRef> {
-        let lt = &self.values[logits.0];
-        if targets.len() != lt.rows() {
+        if targets.len() != self.values[logits.0].rows() {
             return Err(NnError::Shape(format!(
                 "softmax_ce: {} targets for {} rows",
                 targets.len(),
-                lt.rows()
+                self.values[logits.0].rows()
             )));
         }
+        let mut probs =
+            self.alloc_zeroed(self.values[logits.0].rows(), self.values[logits.0].cols());
+        let lt = &self.values[logits.0];
         let k = lt.cols();
-        let mut probs = Tensor::zeros(lt.rows(), k);
         let mut loss = 0.0f32;
         for r in 0..lt.rows() {
             let t = targets[r];
@@ -326,7 +464,8 @@ impl<'a> Tape<'a> {
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= lt.rows().max(1) as f32;
-        let v = Tensor::from_vec(vec![loss], 1, 1)?;
+        let mut v = self.alloc_zeroed(1, 1);
+        v.set(0, 0, loss);
         Ok(self.push(
             v,
             Op::SoftmaxCe {
@@ -341,16 +480,19 @@ impl<'a> Tape<'a> {
     /// returns a 1×1 loss.
     #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
     pub fn sigmoid_bce(&mut self, logits: TensorRef, targets: &[f32]) -> Result<TensorRef> {
-        let lt = &self.values[logits.0];
-        if lt.cols() != 1 || targets.len() != lt.rows() {
-            return Err(NnError::Shape(format!(
-                "sigmoid_bce: logits {}x{}, {} targets",
-                lt.rows(),
-                lt.cols(),
-                targets.len()
-            )));
+        {
+            let lt = &self.values[logits.0];
+            if lt.cols() != 1 || targets.len() != lt.rows() {
+                return Err(NnError::Shape(format!(
+                    "sigmoid_bce: logits {}x{}, {} targets",
+                    lt.rows(),
+                    lt.cols(),
+                    targets.len()
+                )));
+            }
         }
-        let mut probs = Tensor::zeros(lt.rows(), 1);
+        let mut probs = self.alloc_zeroed(self.values[logits.0].rows(), 1);
+        let lt = &self.values[logits.0];
         let mut loss = 0.0f32;
         for r in 0..lt.rows() {
             let p = 1.0 / (1.0 + (-lt.get(r, 0)).exp());
@@ -359,7 +501,8 @@ impl<'a> Tape<'a> {
             loss -= t * p.max(1e-12).ln() + (1.0 - t) * (1.0 - p).max(1e-12).ln();
         }
         loss /= lt.rows().max(1) as f32;
-        let v = Tensor::from_vec(vec![loss], 1, 1)?;
+        let mut v = self.alloc_zeroed(1, 1);
+        v.set(0, 0, loss);
         Ok(self.push(
             v,
             Op::SigmoidBce {
@@ -372,6 +515,10 @@ impl<'a> Tape<'a> {
 
     /// Runs backward from a scalar loss, returning `(param, gradient)`
     /// pairs for every parameter leaf reached.
+    ///
+    /// The matmul gradients use the transpose-aware kernels
+    /// [`Tensor::matmul_bt`] / [`Tensor::matmul_at`], so no transposed
+    /// copies of the operands are materialized.
     #[allow(clippy::needless_range_loop)] // targets/rows indexed in lockstep
     pub fn backward(&self, loss: TensorRef) -> Result<Vec<(ParamId, Tensor)>> {
         let lt = &self.values[loss.0];
@@ -388,8 +535,11 @@ impl<'a> Tape<'a> {
                 Op::Leaf(Some(id)) => out.push((*id, g)),
                 Op::Leaf(None) => {}
                 Op::Matmul(a, b) => {
-                    let ga = g.matmul(&self.values[*b].transpose())?;
-                    let gb = self.values[*a].transpose().matmul(&g)?;
+                    // dL/dA = g · Bᵀ and dL/dB = Aᵀ · g, both via the
+                    // transpose-free kernels (bit-for-bit equal to the
+                    // transpose-copy formulation).
+                    let ga = g.matmul_bt(&self.values[*b])?;
+                    let gb = self.values[*a].matmul_at(&g)?;
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
                 }
@@ -760,5 +910,49 @@ mod tests {
         let grads = tape.backward(loss).unwrap();
         assert_eq!(grads.len(), 1);
         assert_eq!(grads[0].0, w);
+    }
+
+    /// A reset tape produces bit-for-bit identical results to a fresh one,
+    /// and actually reuses buffers across passes.
+    #[test]
+    fn reset_reuses_buffers_without_changing_numerics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let w = store.xavier("w", 3, 3, &mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1], 1, 3).unwrap();
+        let run = |tape: &mut Tape| -> (f32, Vec<(ParamId, Tensor)>) {
+            let xi = tape.input_from(&x);
+            let wp = tape.param(w);
+            let z = tape.matmul(xi, wp).unwrap();
+            let h = tape.tanh(z);
+            let l = tape.softmax_ce(h, &[2]).unwrap();
+            (tape.value(l).get(0, 0), tape.backward(l).unwrap())
+        };
+        let (fresh_loss, fresh_grads) = run(&mut Tape::new(&store));
+        let mut tape = Tape::new(&store);
+        for _ in 0..5 {
+            tape.reset();
+            let (loss, grads) = run(&mut tape);
+            assert_eq!(loss.to_bits(), fresh_loss.to_bits());
+            assert_eq!(grads, fresh_grads);
+        }
+        let pool = tape.into_pool();
+        assert!(pool.idle_buffers() > 0, "reset recycled buffers");
+    }
+
+    /// Pools survive moving between tapes via `with_pool`/`into_pool`.
+    #[test]
+    fn pool_roundtrips_between_tapes() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Tensor::full(4, 4, 2.0));
+        let _ = tape.tanh(a);
+        let pool = tape.into_pool();
+        let recycled = pool.idle_buffers();
+        assert!(recycled >= 1);
+        let mut tape2 = Tape::with_pool(&store, pool);
+        let b = tape2.input(Tensor::full(4, 4, 0.5));
+        let t = tape2.sigmoid(b);
+        assert!(tape2.value(t).get(0, 0) > 0.0);
     }
 }

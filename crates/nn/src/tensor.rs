@@ -2,6 +2,17 @@
 
 use crate::{NnError, Result};
 
+/// Tile edge for the cache-blocked matmul kernels. A 64×64 `f32` tile is
+/// 16 KiB, so one tile of each operand fits comfortably in a 32 KiB L1
+/// data cache alongside the output rows being accumulated.
+const MM_BLOCK: usize = 64;
+
+/// Output columns processed together by [`Tensor::matmul_bt`]. Eight
+/// independent accumulator chains are enough to cover scalar FP-add
+/// latency on current x86/aarch64 cores; each chain still adds its terms
+/// in ascending-`k` order, so lane count never changes results.
+const BT_LANES: usize = 8;
+
 /// A dense row-major matrix of `f32`. Vectors are 1×n or n×1 matrices.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
@@ -99,26 +110,135 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` (cache-blocked; see [`Tensor::matmul_into`]).
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Accumulates `self · other` into a pre-zeroed `out` tensor.
+    ///
+    /// The kernel is tiled over `MM_BLOCK`-sized row/depth blocks so one
+    /// block of each operand stays L1-resident, but every `out[i][j]`
+    /// still accumulates its `k` terms in ascending order with the same
+    /// zero-coefficient skip as the naive triple loop — results are
+    /// bit-for-bit identical to the unblocked kernel.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
         if self.cols != other.rows {
             return Err(NnError::Shape(format!(
                 "matmul: {}x{} · {}x{}",
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
+        if out.rows != self.rows || out.cols != other.cols {
+            return Err(NnError::Shape(format!(
+                "matmul_into: out {}x{} for {}x{} product",
+                out.rows, out.cols, self.rows, other.cols
+            )));
+        }
+        for ib in (0..self.rows).step_by(MM_BLOCK) {
+            let iend = (ib + MM_BLOCK).min(self.rows);
+            for kb in (0..self.cols).step_by(MM_BLOCK) {
+                let kend = (kb + MM_BLOCK).min(self.cols);
+                for i in ib..iend {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = out.row_mut(i);
+                    for (k, &a) in arow.iter().enumerate().take(kend).skip(kb) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, b) in orow.iter_mut().zip(other.row(k)) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// `self` is k×m and `other` is k×n; the result is m×n. Bit-for-bit
+    /// equal to `self.transpose().matmul(other)`: for each output cell the
+    /// `k` terms accumulate in ascending order with the same zero skip,
+    /// but all three operands are scanned row-major (no strided reads and
+    /// no transpose copy).
+    pub fn matmul_at(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rows != other.rows {
+            return Err(NnError::Shape(format!(
+                "matmul_at: {}x{}ᵀ · {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, b) in out_row.iter_mut().zip(orow) {
+                for (o, b) in out.row_mut(i).iter_mut().zip(brow) {
                     *o += a * b;
                 }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// `self` is m×k and `other` is n×k; the result is m×n. Each output
+    /// cell is a dot product of two contiguous rows, accumulated in the
+    /// same ascending-`k` order (with the same zero skip) as
+    /// `self.matmul(&other.transpose())`, so results are bit-for-bit
+    /// identical to the transpose-copy path. Output columns are processed
+    /// [`BT_LANES`] at a time with one accumulator per column: the chains
+    /// are independent, which hides FP-add latency without reordering any
+    /// single cell's additions.
+    pub fn matmul_bt(&self, other: &Tensor) -> Result<Tensor> {
+        if self.cols != other.cols {
+            return Err(NnError::Shape(format!(
+                "matmul_bt: {}x{} · {}x{}ᵀ",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let k = self.cols;
+        let n = other.rows;
+        let mut out = Tensor::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + BT_LANES <= n {
+                let mut bs = [&other.data[0..0]; BT_LANES];
+                for (l, b) in bs.iter_mut().enumerate() {
+                    *b = &other.data[(j + l) * k..(j + l + 1) * k];
+                }
+                let mut acc = [0.0f32; BT_LANES];
+                for (ki, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (acc_l, b) in acc.iter_mut().zip(&bs) {
+                        *acc_l += a * b[ki];
+                    }
+                }
+                orow[j..j + BT_LANES].copy_from_slice(&acc);
+                j += BT_LANES;
+            }
+            for (o, jj) in orow[j..].iter_mut().zip(j..n) {
+                let brow = &other.data[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * b;
+                }
+                *o = acc;
             }
         }
         Ok(out)
@@ -151,6 +271,74 @@ impl Tensor {
         for v in &mut self.data {
             *v *= s;
         }
+    }
+
+    /// Fused scale-add: `self += s · other` in one pass (no scaled copy).
+    pub fn add_scaled(&mut self, other: &Tensor, s: f32) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NnError::Shape("add_scaled: shape mismatch".into()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Copies row `idx[r]` of `self` into row `r` of `out` for every `r`
+    /// (embedding lookup). `out` must be `idx.len()`×`self.cols`; indices
+    /// are range-checked.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) -> Result<()> {
+        if out.rows != idx.len() || out.cols != self.cols {
+            return Err(NnError::Shape(format!(
+                "gather_rows_into: out {}x{} for {} indices of width {}",
+                out.rows,
+                out.cols,
+                idx.len(),
+                self.cols
+            )));
+        }
+        for (r, &i) in idx.iter().enumerate() {
+            if i >= self.rows {
+                return Err(NnError::Index(format!(
+                    "gather_rows: row {i} of {}",
+                    self.rows
+                )));
+            }
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        Ok(())
+    }
+
+    /// Scatter-adds row `e` of `self` into row `idx[e]` of the pre-zeroed
+    /// `out` (message aggregation). Indices are range-checked against
+    /// `out.rows()`.
+    pub fn scatter_sum_rows_into(&self, idx: &[usize], out: &mut Tensor) -> Result<()> {
+        if idx.len() != self.rows || out.cols != self.cols {
+            return Err(NnError::Shape(format!(
+                "scatter_sum_rows_into: {} indices for {} rows (width {} vs {})",
+                idx.len(),
+                self.rows,
+                out.cols,
+                self.cols
+            )));
+        }
+        for (e, &i) in idx.iter().enumerate() {
+            if i >= out.rows {
+                return Err(NnError::Index(format!(
+                    "scatter_sum_rows: target {i} of {}",
+                    out.rows
+                )));
+            }
+            for (o, x) in out.row_mut(i).iter_mut().zip(self.row(e)) {
+                *o += x;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the tensor, releasing its backing buffer (for reuse pools).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
     }
 
     /// Frobenius norm.
@@ -199,5 +387,75 @@ mod tests {
     #[test]
     fn shape_validation() {
         assert!(Tensor::from_vec(vec![1.0], 2, 2).is_err());
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u32) -> Tensor {
+        // Deterministic fill with some exact zeros to exercise skip paths.
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) % 17;
+                if x == 0 {
+                    0.0
+                } else {
+                    x as f32 / 7.0 - 1.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, rows, cols).unwrap()
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_beyond_one_block() {
+        // 70 > MM_BLOCK so multiple tiles are exercised in every dimension.
+        let a = pseudo_random(70, 70, 1);
+        let b = pseudo_random(70, 70, 2);
+        let blocked = a.matmul(&b).unwrap();
+        let mut naive = Tensor::zeros(70, 70);
+        for i in 0..70 {
+            for k in 0..70 {
+                let av = a.get(i, k);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..70 {
+                    let v = naive.get(i, j) + av * b.get(k, j);
+                    naive.set(i, j, v);
+                }
+            }
+        }
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn matmul_at_bt_match_transpose_paths() {
+        let a = pseudo_random(5, 7, 3);
+        let b = pseudo_random(5, 4, 4);
+        assert_eq!(a.matmul_at(&b).unwrap(), a.transpose().matmul(&b).unwrap());
+        let c = pseudo_random(6, 7, 5);
+        assert_eq!(a.matmul_bt(&c).unwrap(), a.matmul(&c.transpose()).unwrap());
+        assert!(a.matmul_at(&c).is_err());
+        assert!(a.matmul_bt(&b).is_err());
+    }
+
+    #[test]
+    fn add_scaled_fuses() {
+        let mut a = Tensor::full(2, 2, 1.0);
+        a.add_scaled(&Tensor::full(2, 2, 4.0), 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+        assert!(a.add_scaled(&Tensor::zeros(1, 1), 1.0).is_err());
+    }
+
+    #[test]
+    fn gather_scatter_into_kernels() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2).unwrap();
+        let mut g = Tensor::zeros(2, 2);
+        a.gather_rows_into(&[2, 0], &mut g).unwrap();
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+        assert!(a.gather_rows_into(&[9, 0], &mut g).is_err());
+        let mut s = Tensor::zeros(2, 2);
+        a.scatter_sum_rows_into(&[1, 1, 0], &mut s).unwrap();
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 4.0, 6.0]);
+        assert!(a.scatter_sum_rows_into(&[0, 0], &mut s).is_err());
+        assert!(a.scatter_sum_rows_into(&[0, 0, 9], &mut s).is_err());
     }
 }

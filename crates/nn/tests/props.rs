@@ -91,6 +91,77 @@ proptest! {
         }
     }
 
+    /// The blocked matmul and the transpose-aware variants are bit-for-bit
+    /// equal to the naive transpose-then-multiply reference on random
+    /// shapes: `matmul_at(a, b) = aᵀ·b` and `matmul_bt(a, b) = a·bᵀ`.
+    #[test]
+    fn transpose_aware_kernels_match_reference(
+        m in 1usize..9,
+        k in 1usize..9,
+        n in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let gen = |rows: usize, cols: usize, salt: u64| -> Tensor {
+            let data: Vec<f32> = (0..rows * cols)
+                .map(|i| ((i as f64 + salt as f64 * 0.61803) * 0.733).sin() as f32)
+                .collect();
+            Tensor::from_vec(data, rows, cols).unwrap()
+        };
+        // matmul_at: (k×m)ᵀ · (k×n)
+        let a = gen(k, m, seed);
+        let b = gen(k, n, seed + 1);
+        let fused = a.matmul_at(&b).unwrap();
+        let reference = a.transpose().matmul(&b).unwrap();
+        prop_assert_eq!(fused.rows(), m);
+        for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "matmul_at diverged");
+        }
+        // matmul_bt: (m×k) · (n×k)ᵀ
+        let a = gen(m, k, seed + 2);
+        let b = gen(n, k, seed + 3);
+        let fused = a.matmul_bt(&b).unwrap();
+        let reference = a.matmul(&b.transpose()).unwrap();
+        prop_assert_eq!(fused.cols(), n);
+        for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "matmul_bt diverged");
+        }
+    }
+
+    /// A tape reused via `reset()` computes bit-identical losses and
+    /// gradients to a freshly allocated tape, for random shapes.
+    #[test]
+    fn reset_tape_is_bitwise_equal_to_fresh(
+        rows in 1usize..5,
+        inner in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w1 = store.xavier("w1", 3, inner, &mut rng);
+        let w2 = store.xavier("w2", inner, 2, &mut rng);
+        let x_data: Vec<f32> = (0..rows * 3).map(|i| (i as f32 * 0.41).cos()).collect();
+        let x = Tensor::from_vec(x_data, rows, 3).unwrap();
+        let targets: Vec<usize> = (0..rows).map(|i| i % 2).collect();
+        let run = |tape: &mut Tape| -> (f32, Vec<(kgpip_nn::ParamId, Tensor)>) {
+            let xi = tape.input_from(&x);
+            let w1p = tape.param(w1);
+            let h = tape.matmul(xi, w1p).unwrap();
+            let h = tape.tanh(h);
+            let w2p = tape.param(w2);
+            let logits = tape.matmul(h, w2p).unwrap();
+            let loss = tape.softmax_ce(logits, &targets).unwrap();
+            (tape.value(loss).get(0, 0), tape.backward(loss).unwrap())
+        };
+        let (fresh_loss, fresh_grads) = run(&mut Tape::new(&store));
+        let mut reused = Tape::new(&store);
+        for _ in 0..3 {
+            reused.reset();
+            let (loss, grads) = run(&mut reused);
+            prop_assert_eq!(loss.to_bits(), fresh_loss.to_bits());
+            prop_assert_eq!(&grads, &fresh_grads);
+        }
+    }
+
     /// Gradient clipping caps the global norm without changing direction.
     #[test]
     fn clip_preserves_direction(

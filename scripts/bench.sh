@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the graph-generation criterion suite and emits BENCH_graphgen.json —
+# a machine-readable summary so the perf trajectory is tracked across PRs.
+#   scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_graphgen.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> cargo bench -p kgpip-bench --bench graph_generation"
+cargo bench -p kgpip-bench --bench graph_generation -- --bench | tee "$raw"
+
+# The vendored criterion prints one `BENCH_JSON {...}` line per benchmark.
+{
+  echo '{'
+  echo "  \"suite\": \"graph_generation\","
+  echo "  \"host\": \"$(uname -sm) ($(nproc) cpu)\","
+  echo '  "results": ['
+  grep '^BENCH_JSON ' "$raw" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "==> wrote $out ($(grep -c '^BENCH_JSON ' "$raw") benchmarks)"

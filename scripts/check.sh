@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run (kernel changes must keep benches compiling)"
+cargo bench --workspace --no-run
+
+echo "==> determinism suite (parallel engine bit-for-bit reproducibility)"
+cargo test -p kgpip-graphgen --test determinism -q
+cargo test -p kgpip-nn --test props -q
+
 echo "==> lint-corpus (fixed-seed graph invariant gate)"
 cargo run --release --quiet --bin kgpip-cli -- lint-corpus \
   --datasets 4 --scripts-per-dataset 50 --seed 0 \

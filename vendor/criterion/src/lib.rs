@@ -140,6 +140,14 @@ fn report(id: &str, samples: &[Duration]) {
         fmt_ns(max),
         nanos.len()
     );
+    // Machine-readable line for tooling (scripts/bench.sh): one JSON
+    // object per benchmark, nanosecond units, prefixed so it is easy to
+    // grep out of the human-readable stream.
+    println!(
+        "BENCH_JSON {{\"id\":{id:?},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\
+         \"max_ns\":{max:.1},\"samples\":{}}}",
+        nanos.len()
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -59,6 +59,19 @@ impl Value {
         }
     }
 
+    /// Looks up a field in an object, returning `None` when the key is
+    /// absent (used by `#[serde(default)]` fields in the derive). Still
+    /// an error when `self` is not an object.
+    pub fn field_opt(&self, name: &str) -> Result<Option<&Value>, DeError> {
+        match self {
+            Value::Obj(entries) => Ok(entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
     /// Human-readable kind tag for error messages.
     pub fn kind_name(&self) -> &'static str {
         match self {

@@ -10,16 +10,27 @@
 //! * enums with unit variants (serialized as `"Variant"`) and tuple
 //!   variants (serialized externally tagged, `{"Variant": payload}`).
 //!
-//! Generics, struct variants, and `#[serde(...)]` attributes are not
-//! supported and produce a compile error naming the limitation.
+//! The only supported `#[serde(...)]` attributes are `#[serde(default)]`
+//! and `#[serde(default = "path")]` on named struct fields (a missing key
+//! deserializes to `Default::default()` or `path()`; serialization always
+//! emits the field). Generics, struct variants, and other `#[serde(...)]`
+//! attributes are not supported and produce a compile error naming the
+//! limitation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field with its optional `#[serde(default)]` expression.
+struct Field {
+    name: String,
+    /// Rust expression producing the value when the key is absent.
+    default: Option<String>,
+}
 
 /// A parsed item shape.
 enum Item {
     Named {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Tuple {
         name: String,
@@ -51,6 +62,56 @@ fn skip_attrs(tokens: &[TokenTree], mut idx: usize) -> usize {
         }
     }
     idx
+}
+
+/// Extracts the default expression from a field's leading attributes:
+/// `#[serde(default)]` → `Default::default()`, `#[serde(default =
+/// "path")]` → `path()`. Other `#[serde(...)]` shapes are an error; non-
+/// serde attributes (doc comments) are ignored.
+fn field_default(tokens: &[TokenTree]) -> Result<Option<String>, String> {
+    let mut idx = 0;
+    let mut default = None;
+    while idx + 1 < tokens.len() {
+        match (&tokens[idx], &tokens[idx + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        return Err("malformed #[serde(...)] attribute".into());
+                    };
+                    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                    match args.as_slice() {
+                        [TokenTree::Ident(i)] if i.to_string() == "default" => {
+                            default = Some("::std::default::Default::default()".to_string());
+                        }
+                        [TokenTree::Ident(i), TokenTree::Punct(eq), TokenTree::Literal(path)]
+                            if i.to_string() == "default" && eq.as_char() == '=' =>
+                        {
+                            let raw = path.to_string();
+                            let path = raw.trim_matches('"');
+                            if path.is_empty() || path.len() == raw.len() {
+                                return Err(format!(
+                                    "expected string literal in #[serde(default = ...)], \
+                                     found {raw}"
+                                ));
+                            }
+                            default = Some(format!("{path}()"));
+                        }
+                        _ => {
+                            return Err("only #[serde(default)] and #[serde(default = \"path\")] \
+                                 are supported by the vendored derive"
+                                .into())
+                        }
+                    }
+                }
+                idx += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(default)
 }
 
 /// Skips a visibility modifier (`pub`, `pub(crate)`, …).
@@ -128,10 +189,14 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 let body: Vec<TokenTree> = g.stream().into_iter().collect();
                 let mut fields = Vec::new();
                 for chunk in split_top_level(&body) {
+                    let default = field_default(&chunk)?;
                     let mut fi = skip_attrs(&chunk, 0);
                     fi = skip_vis(&chunk, fi);
                     match chunk.get(fi) {
-                        Some(TokenTree::Ident(fname)) => fields.push(fname.to_string()),
+                        Some(TokenTree::Ident(fname)) => fields.push(Field {
+                            name: fname.to_string(),
+                            default,
+                        }),
                         other => {
                             return Err(format!("unsupported field shape in `{name}`: {other:?}"))
                         }
@@ -187,7 +252,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 }
 
 /// `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -198,6 +263,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "obj.push((::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_value(&self.{f})));"
@@ -260,7 +326,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -270,7 +336,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Named { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
+                .map(|f| match (&f.name, &f.default) {
+                    (n, None) => {
+                        format!("{n}: ::serde::Deserialize::from_value(v.field({n:?})?)?,")
+                    }
+                    (n, Some(d)) => format!(
+                        "{n}: match v.field_opt({n:?})? {{\n\
+                           ::std::option::Option::Some(fv) => \
+                             ::serde::Deserialize::from_value(fv)?,\n\
+                           ::std::option::Option::None => {d},\n\
+                         }},"
+                    ),
+                })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
         }
