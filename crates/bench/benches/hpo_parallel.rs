@@ -13,6 +13,18 @@
 //!   intentionally explores several learner families per round, so the
 //!   per-trial work mix differs from the sequential arm; these arms
 //!   document overhead parity at parallelism 1, not speedup.
+//! * `*_nocache` — the same search with trial caching disabled (the
+//!   literal pre-cache raw-frame path). The cached/nocache ratio is the
+//!   trial hot-path speedup; the cache-equivalence suite proves the two
+//!   arms compute bit-identical results.
+//! * `flaml_chain_*` — fixed skeleton with a transformer chain, so every
+//!   trial re-fits the same scaler prefix: the arm that exercises the
+//!   transformer-prefix cache (bare skeletons bypass it).
+//!
+//! After the criterion arms, the harness runs one instrumented search per
+//! configuration and emits `BENCH_JSON` summary lines with trials/sec and
+//! the transform-cache hit rate — `scripts/bench.sh` collects these into
+//! `BENCH_hpo.json`.
 //!
 //! Run `cargo bench --bench hpo_parallel -- --bench` for timed results;
 //! the smoke mode (plain `cargo bench`) only checks the harness runs.
@@ -21,8 +33,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kgpip_benchdata::generate::{synthesize, SynthSpec};
 use kgpip_hpo::space::Skeleton;
 use kgpip_hpo::{Flaml, Optimizer, TimeBudget};
-use kgpip_learners::EstimatorKind;
+use kgpip_learners::{EstimatorKind, TransformerKind};
 use std::hint::black_box;
+use std::time::Instant;
 
 /// Trials allowed per engine run — high enough that scheduling overhead
 /// amortizes, low enough that a sample finishes quickly.
@@ -72,6 +85,41 @@ fn bench_parallel_hpo(c: &mut Criterion) {
         });
     }
 
+    // --- Cached vs uncached: the trial hot-path speedup itself ---
+    group.bench_function("flaml_skeleton_p1_24_trials_nocache", |b| {
+        b.iter_batched(
+            || Flaml::new(0).with_trial_cache(false),
+            |mut engine| {
+                engine
+                    .optimize_skeleton(black_box(&ds), &skeleton, &budget())
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let chain = Skeleton {
+        transformers: vec![TransformerKind::StandardScaler],
+        estimator: EstimatorKind::Lgbm,
+    };
+    for cache in [true, false] {
+        let id = if cache {
+            "flaml_chain_p1_24_trials"
+        } else {
+            "flaml_chain_p1_24_trials_nocache"
+        };
+        group.bench_function(id, |b| {
+            b.iter_batched(
+                || Flaml::new(0).with_trial_cache(cache),
+                |mut engine| {
+                    engine
+                        .optimize_skeleton(black_box(&ds), &chain, &budget())
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
     // --- Overhead-parity arms: historical sequential loop vs the
     // engine at parallelism 1 (the determinism tests prove the trial
     // histories are identical; this shows the gate adds no cost). ---
@@ -94,6 +142,32 @@ fn bench_parallel_hpo(c: &mut Criterion) {
         )
     });
     group.finish();
+
+    // --- Machine-readable summary: trials/sec + cache hit rate ---
+    // One instrumented search per configuration, reported in the same
+    // `BENCH_JSON` stream the criterion arms use so `scripts/bench.sh`
+    // folds everything into one BENCH_hpo.json.
+    let configs: [(&str, &Skeleton, bool); 4] = [
+        ("hpo_summary_skeleton_cached", &skeleton, true),
+        ("hpo_summary_skeleton_nocache", &skeleton, false),
+        ("hpo_summary_chain_cached", &chain, true),
+        ("hpo_summary_chain_nocache", &chain, false),
+    ];
+    for (id, sk, cache) in configs {
+        let mut engine = Flaml::new(0).with_trial_cache(cache);
+        let started = Instant::now();
+        let result = engine.optimize_skeleton(&ds, sk, &budget()).unwrap();
+        let secs = started.elapsed().as_secs_f64();
+        let trials_per_sec = result.trials as f64 / secs.max(1e-9);
+        println!(
+            "BENCH_JSON {{\"id\":{id:?},\"trials\":{},\"trials_per_sec\":{trials_per_sec:.1},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}",
+            result.trials,
+            result.report.cache_hits,
+            result.report.cache_misses,
+            result.report.cache_hit_rate()
+        );
+    }
 }
 
 criterion_group!(benches, bench_parallel_hpo);

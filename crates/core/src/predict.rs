@@ -176,6 +176,7 @@ impl Kgpip {
         k: usize,
     ) -> Result<KgpipRun> {
         let started = std::time::Instant::now();
+        backend.set_trial_cache(!self.config.disable_trial_cache);
         let capabilities = backend.capabilities();
         let (skeletons, neighbour) =
             self.predict_skeletons(train, k, &capabilities, self.config.seed);

@@ -48,6 +48,8 @@ pub struct AutoSklearn {
     pub ensembling: bool,
     /// Concurrent trials per round (1 = sequential).
     parallelism: usize,
+    /// Trial caching (encoded datasets + transformer-prefix memo).
+    trial_cache: bool,
 }
 
 impl AutoSklearn {
@@ -59,12 +61,20 @@ impl AutoSklearn {
             knowledge: builtin_knowledge(),
             ensembling: true,
             parallelism: 1,
+            trial_cache: true,
         }
     }
 
     /// Builder-style parallelism knob (clamped to ≥ 1).
     pub fn with_parallelism(mut self, parallelism: usize) -> AutoSklearn {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Builder-style trial-cache knob (on by default; off runs every
+    /// trial on the original raw-frame path).
+    pub fn with_trial_cache(mut self, enabled: bool) -> AutoSklearn {
+        self.trial_cache = enabled;
         self
     }
 
@@ -127,8 +137,9 @@ impl AutoSklearn {
         if learners.is_empty() {
             return Err(HpoError::NoUsableLearner);
         }
-        let evaluator =
-            Evaluator::new(train, self.seed, budget)?.with_parallelism(self.parallelism);
+        let evaluator = Evaluator::new(train, self.seed, budget)?
+            .with_parallelism(self.parallelism)
+            .with_cache(self.trial_cache);
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xa5c1));
         let round = self.parallelism.max(1);
 
@@ -342,6 +353,10 @@ impl Optimizer for AutoSklearn {
 
     fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    fn set_trial_cache(&mut self, enabled: bool) {
+        self.trial_cache = enabled;
     }
 
     fn clone_boxed(&self) -> Box<dyn Optimizer + Send> {

@@ -50,7 +50,7 @@ pub use autosklearn::AutoSklearn;
 pub use budget::{BudgetGate, TimeBudget};
 pub use flaml::Flaml;
 pub use space::{capabilities_json, parse_capabilities, Skeleton};
-pub use trial::{Candidate, Evaluator, HpoResult, Optimizer, TrialOutcome};
+pub use trial::{Candidate, Evaluator, HpoResult, Optimizer, SearchReport, TrialOutcome};
 
 /// Errors produced by HPO engines.
 #[derive(Debug, Clone, PartialEq)]

@@ -14,14 +14,18 @@ use crate::budget::{BudgetGate, TimeBudget};
 use crate::space::Skeleton;
 use crate::Result;
 use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
-use kgpip_learners::Params;
+use kgpip_learners::{EncodedDataset, Params, TransformCache};
 use kgpip_tabular::{train_test_split, Dataset};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Fraction of training rows held out for trial validation.
 pub const HOLDOUT_FRACTION: f64 = 0.2;
+
+/// Cap on distinct failure messages kept in a [`SearchReport`].
+pub const MAX_REPORT_ERRORS: usize = 8;
 
 /// The outcome of one pipeline-spec evaluation.
 #[derive(Debug, Clone)]
@@ -30,8 +34,62 @@ pub struct TrialOutcome {
     pub spec: PipelineSpec,
     /// Validation score (macro-F1 / R²); `None` when the fit failed.
     pub score: Option<f64>,
+    /// The learner error when the fit failed (set iff `score` is `None`),
+    /// so degenerate configs and cache bugs leave a trace.
+    pub error: Option<String>,
     /// Wall-clock cost of the trial.
     pub cost: Duration,
+}
+
+/// Aggregate diagnostics of a search run: trial and failure counts, a
+/// capped sample of distinct failure messages, and the transform-cache
+/// hit/miss counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchReport {
+    /// Trials recorded in the history.
+    pub trials: usize,
+    /// Trials whose fit failed (`score == None`).
+    pub failures: usize,
+    /// Distinct failure messages, at most [`MAX_REPORT_ERRORS`].
+    pub errors: Vec<String>,
+    /// Transformer-prefix cache hits.
+    pub cache_hits: u64,
+    /// Transformer-prefix cache misses.
+    pub cache_misses: u64,
+}
+
+impl SearchReport {
+    /// Failure accounting from a trial history (cache counters stay 0; the
+    /// [`Evaluator`] fills them in).
+    pub fn from_history(history: &[TrialOutcome]) -> SearchReport {
+        let mut report = SearchReport {
+            trials: history.len(),
+            ..SearchReport::default()
+        };
+        for outcome in history {
+            if outcome.score.is_some() {
+                continue;
+            }
+            report.failures += 1;
+            if let Some(err) = &outcome.error {
+                if report.errors.len() < MAX_REPORT_ERRORS && !report.errors.contains(err) {
+                    report.errors.push(err.clone());
+                }
+            }
+        }
+        report
+    }
+
+    /// Transform-cache hit rate in `[0, 1]` (0 when nothing was looked
+    /// up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The result of a full optimization run.
@@ -48,6 +106,8 @@ pub struct HpoResult {
     /// Optional ensemble members (Auto-Sklearn-style greedy selection);
     /// empty means deploy `spec` alone. Members may repeat (weighting).
     pub ensemble: Vec<PipelineSpec>,
+    /// Failure and cache diagnostics for the run.
+    pub report: SearchReport,
 }
 
 impl HpoResult {
@@ -57,6 +117,7 @@ impl HpoResult {
             spec,
             valid_score,
             trials: history.len(),
+            report: SearchReport::from_history(&history),
             history,
             ensemble: Vec::new(),
         }
@@ -64,25 +125,44 @@ impl HpoResult {
 
     /// Refits the deployed model (ensemble if present, else the best
     /// single spec) on the full training set and scores it on a held-out
-    /// test set with the paper's metric.
+    /// test set with the paper's metric. Member refits run in parallel
+    /// (rayon) but predictions are combined — and the first error
+    /// surfaced — in member order, so the result does not depend on
+    /// completion order.
     pub fn refit_score(&self, train: &Dataset, test: &Dataset) -> Result<f64> {
         let members: Vec<&PipelineSpec> = if self.ensemble.is_empty() {
             vec![&self.spec]
         } else {
             self.ensemble.iter().collect()
         };
-        let mut all_preds: Vec<Vec<f64>> = Vec::new();
-        for spec in members {
-            let mut pipeline = Pipeline::from_spec(spec.clone())
-                .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
-            pipeline
-                .fit(train)
-                .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
-            all_preds.push(
-                pipeline
-                    .predict(test)
-                    .map_err(|e| crate::HpoError::Learner(e.to_string()))?,
-            );
+        // Encode once and share a transform cache across member refits;
+        // fall back to the raw-dataset path if encoding itself fails.
+        let encoded = EncodedDataset::from_dataset(train).ok().and_then(|tr| {
+            EncodedDataset::with_encoder(tr.encoder(), test)
+                .ok()
+                .map(|te| (tr, te))
+        });
+        let cache = TransformCache::default();
+        let refit = |spec: &&PipelineSpec| -> std::result::Result<Vec<f64>, String> {
+            let mut pipeline = Pipeline::from_spec((*spec).clone()).map_err(|e| e.to_string())?;
+            match &encoded {
+                Some((tr, te)) => pipeline
+                    .fit_predict_encoded(tr, te, Some(&cache))
+                    .map_err(|e| e.to_string()),
+                None => pipeline
+                    .fit(train)
+                    .and_then(|()| pipeline.predict(test))
+                    .map_err(|e| e.to_string()),
+            }
+        };
+        let results: Vec<std::result::Result<Vec<f64>, String>> = if members.len() > 1 {
+            members.par_iter().map(refit).collect()
+        } else {
+            members.iter().map(refit).collect()
+        };
+        let mut all_preds: Vec<Vec<f64>> = Vec::with_capacity(results.len());
+        for result in results {
+            all_preds.push(result.map_err(crate::HpoError::Learner)?);
         }
         let combined = combine_predictions(&all_preds, train.task.is_classification());
         Ok(kgpip_learners::pipeline::score_predictions(test, &combined))
@@ -142,6 +222,12 @@ pub trait Optimizer {
         1
     }
 
+    /// Enables or disables the trial caches (pre-encoded datasets +
+    /// transformer-prefix memoization). On by default; caching changes
+    /// trial cost, never trial values. Engines without an evaluator may
+    /// ignore it.
+    fn set_trial_cache(&mut self, _enabled: bool) {}
+
     /// An owned copy of this engine, for running skeletons on parallel
     /// lanes. Cloning copies configuration (seed, learner sets,
     /// parallelism), not search state — each lane starts fresh.
@@ -182,6 +268,12 @@ impl Candidate {
 pub struct Evaluator {
     train: Dataset,
     valid: Dataset,
+    /// Train/holdout splits pre-encoded with the training split's encoder
+    /// (`None` when encoding failed; trials then fall back to raw frames).
+    encoded: Option<(Arc<EncodedDataset>, Arc<EncodedDataset>)>,
+    /// Transformer-prefix memo shared by all trials of this evaluator.
+    cache: Arc<TransformCache>,
+    caching: bool,
     gate: BudgetGate,
     history: Mutex<Vec<TrialOutcome>>,
     parallelism: usize,
@@ -189,15 +281,25 @@ pub struct Evaluator {
 
 impl Evaluator {
     /// Builds an evaluator with a seeded holdout split, gated by the
-    /// given budget. Starts sequential; see [`with_parallelism`].
+    /// given budget. Starts sequential with trial caching on; see
+    /// [`with_parallelism`] and [`with_cache`].
     ///
     /// [`with_parallelism`]: Evaluator::with_parallelism
+    /// [`with_cache`]: Evaluator::with_cache
     pub fn new(train: &Dataset, seed: u64, budget: &TimeBudget) -> Result<Evaluator> {
         let (fit_part, valid) = train_test_split(train, HOLDOUT_FRACTION, seed)
             .map_err(|e| crate::HpoError::Learner(e.to_string()))?;
+        let encoded = EncodedDataset::from_dataset(&fit_part).ok().and_then(|tr| {
+            EncodedDataset::with_encoder(tr.encoder(), &valid)
+                .ok()
+                .map(|va| (Arc::new(tr), Arc::new(va)))
+        });
         Ok(Evaluator {
             train: fit_part,
             valid,
+            encoded,
+            cache: Arc::new(TransformCache::default()),
+            caching: true,
             gate: BudgetGate::new(budget),
             history: Mutex::new(Vec::new()),
             parallelism: 1,
@@ -208,6 +310,20 @@ impl Evaluator {
     pub fn with_parallelism(mut self, parallelism: usize) -> Evaluator {
         self.parallelism = parallelism.max(1);
         self
+    }
+
+    /// Enables or disables trial caching. Disabled, every trial runs the
+    /// original raw-frame `fit_score` path — caching can only change what
+    /// a trial *costs*, never what it scores (the cache-equivalence suite
+    /// pins this down bit-for-bit).
+    pub fn with_cache(mut self, enabled: bool) -> Evaluator {
+        self.caching = enabled;
+        self
+    }
+
+    /// Whether trial caching is enabled.
+    pub fn caching(&self) -> bool {
+        self.caching
     }
 
     /// The configured evaluation parallelism.
@@ -246,6 +362,15 @@ impl Evaluator {
         self.history.lock().clone()
     }
 
+    /// Failure accounting over the recorded history plus the live
+    /// transform-cache counters.
+    pub fn report(&self) -> SearchReport {
+        let mut report = SearchReport::from_history(&self.history());
+        report.cache_hits = self.cache.hits();
+        report.cache_misses = self.cache.misses();
+        report
+    }
+
     /// Admits and evaluates a batch of candidates. Admission happens in
     /// proposal order and stops at the first gate rejection; admitted
     /// candidates are evaluated (in parallel when configured) and their
@@ -277,8 +402,12 @@ impl Evaluator {
     /// Evaluates one spec *without* touching the gate or the history —
     /// the pure scoring primitive (also used by benchmarks and replay
     /// paths that account for budgets themselves). Learner errors become
-    /// `score: None` rather than aborting the search (an optimizer must
-    /// survive bad configurations).
+    /// `score: None` with the message in `error` rather than aborting the
+    /// search (an optimizer must survive bad configurations).
+    ///
+    /// With caching on, the trial runs against the pre-encoded splits and
+    /// the shared transform cache — bit-for-bit the score of the raw
+    /// `fit_score` path, minus the repeated encode/preprocess work.
     pub fn evaluate(&self, skeleton: &Skeleton, params: Params) -> TrialOutcome {
         let spec = PipelineSpec {
             transformers: skeleton
@@ -290,12 +419,20 @@ impl Evaluator {
             params,
         };
         let started = std::time::Instant::now();
-        let score = Pipeline::from_spec(spec.clone())
-            .and_then(|mut p| p.fit_score(&self.train, &self.valid))
-            .ok();
+        let fit = Pipeline::from_spec(spec.clone()).and_then(|mut p| {
+            match (self.caching, &self.encoded) {
+                (true, Some((tr, va))) => p.fit_score_encoded(tr, va, Some(&self.cache)),
+                _ => p.fit_score(&self.train, &self.valid),
+            }
+        });
+        let (score, error) = match fit {
+            Ok(score) => (Some(score), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
         TrialOutcome {
             spec,
             score,
+            error,
             cost: started.elapsed(),
         }
     }
@@ -317,14 +454,24 @@ impl Evaluator {
         let Some((idx, score)) = best else {
             return Err(crate::HpoError::BudgetExhausted);
         };
-        Ok(HpoResult::single(history[idx].spec.clone(), score, history))
+        let mut result = HpoResult::single(history[idx].spec.clone(), score, history);
+        result.report = self.report();
+        Ok(result)
     }
 
-    /// Per-trial validation predictions for ensemble selection.
+    /// Per-trial validation predictions for ensemble selection (same
+    /// cached fast path as [`evaluate`]).
+    ///
+    /// [`evaluate`]: Evaluator::evaluate
     pub fn predictions(&self, spec: &PipelineSpec) -> Option<Vec<f64>> {
         let mut p = Pipeline::from_spec(spec.clone()).ok()?;
-        p.fit(&self.train).ok()?;
-        p.predict(&self.valid).ok()
+        match (self.caching, &self.encoded) {
+            (true, Some((tr, va))) => p.fit_predict_encoded(tr, va, Some(&self.cache)).ok(),
+            _ => {
+                p.fit(&self.train).ok()?;
+                p.predict(&self.valid).ok()
+            }
+        }
     }
 }
 
@@ -469,8 +616,51 @@ mod tests {
                 PipelineSpec::bare(EstimatorKind::DecisionTree),
                 PipelineSpec::bare(EstimatorKind::Knn),
             ],
+            report: SearchReport::default(),
         };
         let score = result.refit_score(&train, &test).unwrap();
         assert!(score > 0.8);
+    }
+
+    #[test]
+    fn failed_trials_record_errors_and_report_counts() {
+        let ds = toy(200);
+        let budget = wide_budget();
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        let batch = vec![
+            Candidate::new(Skeleton::bare(EstimatorKind::DecisionTree), Params::new()),
+            // Regression-only learner on a binary task: must fail visibly.
+            Candidate::new(Skeleton::bare(EstimatorKind::Ridge), Params::new()),
+            Candidate::new(Skeleton::bare(EstimatorKind::Ridge), Params::new()),
+        ];
+        let outcomes = ev.evaluate_batch(&batch);
+        assert!(outcomes[0].error.is_none());
+        let err = outcomes[1].error.as_ref().expect("failure recorded");
+        assert!(err.contains("ridge"), "unexpected error: {err}");
+        let report = ev.report();
+        assert_eq!(report.trials, 3);
+        assert_eq!(report.failures, 2);
+        // The duplicate failure message is deduplicated.
+        assert_eq!(report.errors.len(), 1);
+    }
+
+    #[test]
+    fn report_surfaces_cache_counters() {
+        let ds = toy(200);
+        let budget = wide_budget();
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        let skel = Skeleton {
+            transformers: vec![kgpip_learners::TransformerKind::StandardScaler],
+            estimator: EstimatorKind::DecisionTree,
+        };
+        ev.evaluate_batch(&[
+            Candidate::new(skel.clone(), Params::new()),
+            Candidate::new(skel, Params::new()),
+        ]);
+        let report = ev.report();
+        // Same chain prefix twice: first trial misses, second hits.
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.cache_hits, 1);
+        assert!((report.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 }

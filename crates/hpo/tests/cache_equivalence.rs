@@ -1,0 +1,281 @@
+//! Cached-vs-uncached equivalence: the trial caches (dataset-level encode
+//! cache + transformer-prefix cache) may only change what a trial *costs*,
+//! never what it computes. With caching disabled the evaluator runs the
+//! literal pre-cache raw-frame `fit_score` path, so every comparison here
+//! is against the historical behaviour — and every score is compared
+//! through `f64::to_bits`, not a tolerance.
+//!
+//! This is valid run-to-run because engine scheduling is wall-clock-free:
+//! FLAML prioritizes learners by a static cost model and both engines stop
+//! on a trial cap, so cache-on and cache-off runs propose identical trial
+//! sequences.
+
+use kgpip_hpo::{
+    AutoSklearn, Candidate, Evaluator, Flaml, HpoResult, Optimizer, Skeleton, TimeBudget,
+    TrialOutcome,
+};
+use kgpip_learners::pipeline::{score_predictions, PipelineSpec};
+use kgpip_learners::{EstimatorKind, Params, Pipeline, TransformerKind};
+use kgpip_tabular::{Column, DataFrame, Dataset, Task};
+
+/// Binary dataset with numeric, categorical, and NaN-bearing columns —
+/// exercises the feature encoder, the implicit imputer prepend, and any
+/// user transformer chain on top.
+fn messy_dataset(n: usize) -> Dataset {
+    let a: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 11 == 3 {
+                f64::NAN
+            } else {
+                ((i * 13 % 29) as f64) / 29.0
+            }
+        })
+        .collect();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+    let cat: Vec<Option<&str>> = (0..n)
+        .map(|i| Some(["red", "green", "blue"][i % 3]))
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| f64::from((i * 13 % 29) as f64 / 29.0 + ((i * 7 % 23) as f64 - 11.0) * 0.05 > 0.4))
+        .collect();
+    let f = DataFrame::from_columns(vec![
+        ("a".to_string(), Column::from_f64(a)),
+        ("b".to_string(), Column::from_f64(b)),
+        ("color".to_string(), Column::categorical(cat)),
+    ])
+    .unwrap();
+    Dataset::new("messy", f, y, Task::Binary).unwrap()
+}
+
+/// Clean regression dataset (no NaN, numeric only).
+fn regression_dataset(n: usize) -> Dataset {
+    let x1: Vec<f64> = (0..n).map(|i| ((i * 17 % 31) as f64) / 31.0).collect();
+    let x2: Vec<f64> = (0..n).map(|i| ((i * 5 % 19) as f64) / 19.0).collect();
+    let y: Vec<f64> = x1
+        .iter()
+        .zip(&x2)
+        .map(|(a, b)| 3.0 * a - 2.0 * b + (a * b))
+        .collect();
+    let f = DataFrame::from_columns(vec![
+        ("x1".to_string(), Column::from_f64(x1)),
+        ("x2".to_string(), Column::from_f64(x2)),
+    ])
+    .unwrap();
+    Dataset::new("reg", f, y, Task::Regression).unwrap()
+}
+
+/// Trial-capped budget with slack wall clock so expiry is deterministic.
+fn capped(trials: usize) -> TimeBudget {
+    TimeBudget::seconds(3600.0).with_trial_cap(trials)
+}
+
+fn assert_same_history(cached: &[TrialOutcome], uncached: &[TrialOutcome], ctx: &str) {
+    assert_eq!(cached.len(), uncached.len(), "{ctx}: trial counts differ");
+    for (i, (c, u)) in cached.iter().zip(uncached).enumerate() {
+        assert_eq!(c.spec, u.spec, "{ctx}: trial {i} spec");
+        assert_eq!(
+            c.score.map(f64::to_bits),
+            u.score.map(f64::to_bits),
+            "{ctx}: trial {i} score"
+        );
+        assert_eq!(c.error, u.error, "{ctx}: trial {i} error");
+    }
+}
+
+fn assert_same_result(cached: &HpoResult, uncached: &HpoResult, ctx: &str) {
+    assert_same_history(&cached.history, &uncached.history, ctx);
+    assert_eq!(cached.spec, uncached.spec, "{ctx}: best spec");
+    assert_eq!(
+        cached.valid_score.to_bits(),
+        uncached.valid_score.to_bits(),
+        "{ctx}: valid score"
+    );
+    assert_eq!(cached.ensemble, uncached.ensemble, "{ctx}: ensemble");
+    assert_eq!(cached.report.trials, uncached.report.trials, "{ctx}");
+    assert_eq!(cached.report.failures, uncached.report.failures, "{ctx}");
+}
+
+#[test]
+fn flaml_skeleton_search_is_bit_identical_with_and_without_caching() {
+    let ds = messy_dataset(160);
+    let skeleton = Skeleton {
+        transformers: vec![TransformerKind::StandardScaler],
+        estimator: EstimatorKind::Lgbm,
+    };
+    let cached = Flaml::new(11)
+        .optimize_skeleton(&ds, &skeleton, &capped(14))
+        .unwrap();
+    let uncached = Flaml::new(11)
+        .with_trial_cache(false)
+        .optimize_skeleton(&ds, &skeleton, &capped(14))
+        .unwrap();
+    assert_same_result(&cached, &uncached, "flaml skeleton");
+    // The chain skeleton re-fits the same scaler prefix across trials, so
+    // the cached run must actually have exercised the transform cache...
+    assert!(
+        cached.report.cache_hits > 0,
+        "expected transform-cache hits, got {:?}",
+        cached.report
+    );
+    // ...while the uncached run never touched it.
+    assert_eq!(uncached.report.cache_hits, 0);
+    assert_eq!(uncached.report.cache_misses, 0);
+}
+
+#[test]
+fn flaml_cold_search_is_bit_identical_with_and_without_caching() {
+    let ds = messy_dataset(140);
+    let cached = Flaml::new(3).optimize(&ds, &capped(12)).unwrap();
+    let uncached = Flaml::new(3)
+        .with_trial_cache(false)
+        .optimize(&ds, &capped(12))
+        .unwrap();
+    assert_same_result(&cached, &uncached, "flaml cold");
+}
+
+#[test]
+fn flaml_regression_search_is_bit_identical_with_and_without_caching() {
+    let ds = regression_dataset(150);
+    let skeleton = Skeleton {
+        transformers: vec![TransformerKind::MinMaxScaler],
+        estimator: EstimatorKind::XgBoost,
+    };
+    let cached = Flaml::new(5)
+        .optimize_skeleton(&ds, &skeleton, &capped(10))
+        .unwrap();
+    let uncached = Flaml::new(5)
+        .with_trial_cache(false)
+        .optimize_skeleton(&ds, &skeleton, &capped(10))
+        .unwrap();
+    assert_same_result(&cached, &uncached, "flaml regression skeleton");
+}
+
+#[test]
+fn autosklearn_search_is_bit_identical_with_and_without_caching() {
+    let ds = messy_dataset(150);
+    let cached = AutoSklearn::new(7).optimize(&ds, &capped(10)).unwrap();
+    let uncached = AutoSklearn::new(7)
+        .with_trial_cache(false)
+        .optimize(&ds, &capped(10))
+        .unwrap();
+    assert_same_result(&cached, &uncached, "autosklearn cold");
+}
+
+#[test]
+fn evaluator_outcomes_match_the_manual_pipeline_path() {
+    // The cached evaluator must score a candidate exactly as a
+    // hand-constructed `Pipeline::fit_score` over the same split does.
+    let ds = messy_dataset(160);
+    let budget = capped(100);
+    let eval = Evaluator::new(&ds, 9, &budget).unwrap();
+    let chain = Skeleton {
+        transformers: vec![TransformerKind::StandardScaler, TransformerKind::Pca],
+        estimator: EstimatorKind::DecisionTree,
+    };
+    let bare = Skeleton::bare(EstimatorKind::Lgbm);
+    for skeleton in [&chain, &bare, &chain] {
+        let outcome = eval.evaluate(skeleton, Params::new());
+        let mut manual = Pipeline::from_spec(PipelineSpec {
+            transformers: skeleton
+                .transformers
+                .iter()
+                .map(|t| (*t, Params::new()))
+                .collect(),
+            estimator: skeleton.estimator,
+            params: Params::new(),
+        })
+        .unwrap();
+        let expected = manual
+            .fit_score(eval.fit_part(), eval.validation())
+            .unwrap();
+        assert_eq!(
+            outcome.score.map(f64::to_bits),
+            Some(expected.to_bits()),
+            "{}",
+            skeleton.estimator.name()
+        );
+        assert_eq!(outcome.error, None);
+    }
+    // Third pass over `chain` hit the prefix cache.
+    let report = eval.report();
+    assert!(report.cache_hits > 0, "{report:?}");
+}
+
+#[test]
+fn evaluator_batches_agree_bit_for_bit_with_and_without_caching() {
+    let ds = messy_dataset(140);
+    let budget_a = capped(100);
+    let budget_b = capped(100);
+    let cached = Evaluator::new(&ds, 4, &budget_a).unwrap();
+    let uncached = Evaluator::new(&ds, 4, &budget_b).unwrap().with_cache(false);
+    let chain = Skeleton {
+        transformers: vec![TransformerKind::RobustScaler],
+        estimator: EstimatorKind::RandomForest,
+    };
+    let batch: Vec<Candidate> = vec![
+        Candidate::new(chain.clone(), Params::new()),
+        Candidate::new(Skeleton::bare(EstimatorKind::Lgbm), Params::new()),
+        Candidate::new(chain, Params::new()),
+        // Ridge on a binary task fails: the error string must be
+        // identical on both paths, not just the failure itself.
+        Candidate::new(Skeleton::bare(EstimatorKind::Ridge), Params::new()),
+    ];
+    let a = cached.evaluate_batch(&batch);
+    let b = uncached.evaluate_batch(&batch);
+    assert_same_history(&a, &b, "evaluator batch");
+    assert_eq!(cached.report().failures, 1);
+    assert_eq!(uncached.report().failures, 1);
+}
+
+#[test]
+fn ensemble_refit_matches_a_sequential_uncached_refit() {
+    let ds = messy_dataset(160);
+    let test = messy_dataset(90);
+    let members = vec![
+        PipelineSpec::bare(EstimatorKind::DecisionTree),
+        PipelineSpec {
+            transformers: vec![(TransformerKind::StandardScaler, Params::new())],
+            estimator: EstimatorKind::Lgbm,
+            params: Params::new(),
+        },
+        PipelineSpec::bare(EstimatorKind::DecisionTree),
+    ];
+    let mut result = HpoResult::single(members[0].clone(), 0.0, Vec::new());
+    result.ensemble = members.clone();
+
+    // Hand-rolled pre-cache reference: sequential raw-frame fit + predict
+    // per member, then the same vote/mean combination.
+    let preds: Vec<Vec<f64>> = members
+        .iter()
+        .map(|spec| {
+            let mut p = Pipeline::from_spec(spec.clone()).unwrap();
+            p.fit(&ds).unwrap();
+            p.predict(&test).unwrap()
+        })
+        .collect();
+    let combined = kgpip_hpo::trial::combine_predictions(&preds, true);
+    let expected = score_predictions(&test, &combined);
+
+    let actual = result.refit_score(&ds, &test).unwrap();
+    assert_eq!(actual.to_bits(), expected.to_bits());
+}
+
+#[test]
+fn single_spec_refit_matches_the_raw_pipeline_score() {
+    let ds = regression_dataset(150);
+    let test = regression_dataset(80);
+    let spec = PipelineSpec {
+        transformers: vec![(TransformerKind::StandardScaler, Params::new())],
+        estimator: EstimatorKind::XgBoost,
+        params: Params::new(),
+    };
+    let result = HpoResult::single(spec.clone(), 0.0, Vec::new());
+
+    let mut p = Pipeline::from_spec(spec).unwrap();
+    p.fit(&ds).unwrap();
+    let pred = p.predict(&test).unwrap();
+    let expected = score_predictions(&test, &pred);
+
+    let actual = result.refit_score(&ds, &test).unwrap();
+    assert_eq!(actual.to_bits(), expected.to_bits());
+}

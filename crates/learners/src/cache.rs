@@ -1,0 +1,243 @@
+//! Transformer-prefix memoization for the trial hot path.
+//!
+//! HPO engines evaluate many pipeline specs that share a skeleton and
+//! differ only in estimator hyperparameters — for those trials the entire
+//! preprocessing chain is recomputed on identical input. The
+//! [`TransformCache`] memoizes fitted-transformer *outputs*, keyed on the
+//! chain prefix applied so far (transformer kinds plus exact parameter
+//! bits) and the content fingerprints of the encoded train/valid matrices.
+//! A hit replaces fit + transform of the whole prefix with three `Arc`
+//! clones; a miss computes and stores the prefix so later trials (and
+//! longer chains sharing the prefix) reuse it.
+//!
+//! The cache can only change *cost*, never *values*: entries are keyed by
+//! every input that influences a deterministic transformer fit, so a hit
+//! returns bit-for-bit the matrices a recomputation would produce. The
+//! cache-equivalence suite in `kgpip-hpo` asserts exactly that. Capacity is
+//! bounded (LRU eviction) and hit/miss counters feed `SearchReport`.
+
+use crate::matrix::Matrix;
+use crate::preprocess::TransformerKind;
+use crate::{encode::FeatureRole, Params};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of cached chain prefixes.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// One applied transformer step: its kind and exact parameter bits
+/// (`BTreeMap` iteration gives a canonical order).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StepId {
+    kind: TransformerKind,
+    params: Vec<(String, u64)>,
+}
+
+impl StepId {
+    /// Canonical identity of a `(kind, params)` chain step.
+    pub fn new(kind: TransformerKind, params: &Params) -> StepId {
+        StepId {
+            kind,
+            params: params
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_bits()))
+                .collect(),
+        }
+    }
+}
+
+/// Cache key: the chain prefix applied so far plus the fingerprints of the
+/// two input matrices it was applied to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChainKey {
+    /// Fingerprint of the encoded training matrix (+ target + task).
+    pub train_fingerprint: u64,
+    /// Fingerprint of the encoded validation/test matrix.
+    pub valid_fingerprint: u64,
+    /// The steps applied, in order (including any implicit imputers the
+    /// pipeline inserts, so the key names the *effective* chain).
+    pub steps: Vec<StepId>,
+}
+
+/// The memoized output of one chain prefix: transformed train and valid
+/// matrices plus the feature roles after the prefix.
+#[derive(Debug, Clone)]
+pub struct ChainState {
+    /// Transformed training matrix.
+    pub x_train: Arc<Matrix>,
+    /// Transformed validation matrix (raw transformer output; predict-time
+    /// NaN filling happens at use, matching the uncached path).
+    pub x_valid: Arc<Matrix>,
+    /// Feature roles after the prefix.
+    pub roles: Arc<Vec<FeatureRole>>,
+}
+
+struct Inner {
+    map: HashMap<ChainKey, (u64, ChainState)>,
+    stamp: u64,
+}
+
+/// A thread-safe, bounded (LRU) memo of transformer-chain prefix outputs.
+pub struct TransformCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TransformCache {
+    /// Creates a cache holding up to `capacity` chain prefixes.
+    pub fn new(capacity: usize) -> TransformCache {
+        TransformCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                stamp: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a chain prefix, counting a hit or miss.
+    pub fn get(&self, key: &ChainKey) -> Option<ChainState> {
+        let mut inner = self.inner.lock().expect("transform cache poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(key) {
+            Some((used, state)) => {
+                *used = stamp;
+                let state = state.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(state)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a chain prefix, evicting the least-recently-used entry when
+    /// over capacity.
+    pub fn insert(&self, key: ChainKey, state: ChainState) {
+        let mut inner = self.inner.lock().expect("transform cache poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner.map.insert(key, (stamp, state));
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("transform cache poisoned")
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TransformCache {
+    fn default() -> TransformCache {
+        TransformCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for TransformCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransformCache")
+            .field("entries", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rows: usize) -> ChainState {
+        ChainState {
+            x_train: Arc::new(Matrix::zeros(rows, 2)),
+            x_valid: Arc::new(Matrix::zeros(rows / 2, 2)),
+            roles: Arc::new(vec![FeatureRole::Numeric, FeatureRole::Numeric]),
+        }
+    }
+
+    fn key(tag: u64) -> ChainKey {
+        ChainKey {
+            train_fingerprint: tag,
+            valid_fingerprint: tag.wrapping_add(1),
+            steps: vec![StepId::new(TransformerKind::StandardScaler, &Params::new())],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = TransformCache::new(4);
+        assert!(cache.get(&key(0)).is_none());
+        cache.insert(key(0), state(10));
+        assert!(cache.get(&key(0)).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn params_are_part_of_the_key() {
+        let cache = TransformCache::new(4);
+        let mut params = Params::new();
+        params.insert("k".into(), 3.0);
+        let with_params = ChainKey {
+            steps: vec![StepId::new(TransformerKind::SelectKBest, &params)],
+            ..key(7)
+        };
+        cache.insert(key(7), state(10));
+        assert!(
+            cache.get(&with_params).is_none(),
+            "params must disambiguate"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let cache = TransformCache::new(2);
+        cache.insert(key(1), state(4));
+        cache.insert(key(2), state(4));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), state(4));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+    }
+}

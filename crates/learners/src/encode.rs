@@ -10,7 +10,8 @@
 
 use crate::matrix::Matrix;
 use crate::{LearnError, Result};
-use kgpip_tabular::{fnv1a, Column, ColumnKind, DataFrame};
+use kgpip_tabular::{fnv1a, Column, ColumnKind, DataFrame, Dataset, Task};
+use std::sync::Arc;
 
 /// Number of hashed dimensions each text column expands to.
 pub const TEXT_HASH_DIMS: usize = 16;
@@ -108,6 +109,113 @@ impl FeatureEncoder {
         }
         Ok(out)
     }
+}
+
+/// A dataset pre-encoded into matrix form: the trial hot path's unit of
+/// caching. Built once per evaluator (or refit) and shared via [`Arc`], it
+/// lets every trial skip `FeatureEncoder::fit`/`transform` on the raw frame
+/// and start at the transformer chain instead.
+///
+/// Encoding is *schema-driven* ([`FeatureEncoder`] records column kinds,
+/// not values; categorical codes come from each column's own shared
+/// dictionary), so encoding a holdout split with the training split's
+/// encoder is bit-for-bit identical to the per-trial path that fits a fresh
+/// encoder on the training split and transforms both — the invariant the
+/// cache-equivalence suite pins down.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    encoder: Arc<FeatureEncoder>,
+    x: Arc<Matrix>,
+    roles: Arc<Vec<FeatureRole>>,
+    target: Arc<Vec<f64>>,
+    task: Task,
+    fingerprint: u64,
+}
+
+impl EncodedDataset {
+    /// Encodes a dataset with an encoder fitted to its own schema (the
+    /// training-split form).
+    pub fn from_dataset(ds: &Dataset) -> Result<EncodedDataset> {
+        let encoder = Arc::new(FeatureEncoder::fit(&ds.features));
+        Self::build(encoder, ds)
+    }
+
+    /// Encodes a dataset with an *existing* encoder — the holdout/test
+    /// form, so both splits share the training split's schema exactly as
+    /// `Pipeline::fit` + `predict` would.
+    pub fn with_encoder(encoder: &Arc<FeatureEncoder>, ds: &Dataset) -> Result<EncodedDataset> {
+        Self::build(Arc::clone(encoder), ds)
+    }
+
+    fn build(encoder: Arc<FeatureEncoder>, ds: &Dataset) -> Result<EncodedDataset> {
+        let x = encoder.transform(&ds.features)?;
+        let fingerprint = content_fingerprint(&x, &ds.target, ds.task);
+        Ok(EncodedDataset {
+            roles: Arc::new(encoder.roles().to_vec()),
+            encoder,
+            x: Arc::new(x),
+            target: Arc::new(ds.target.clone()),
+            task: ds.task,
+            fingerprint,
+        })
+    }
+
+    /// The encoder that produced this matrix.
+    pub fn encoder(&self) -> &Arc<FeatureEncoder> {
+        &self.encoder
+    }
+
+    /// The encoded feature matrix.
+    pub fn x(&self) -> &Arc<Matrix> {
+        &self.x
+    }
+
+    /// Roles of the matrix columns.
+    pub fn roles(&self) -> &Arc<Vec<FeatureRole>> {
+        &self.roles
+    }
+
+    /// The target vector.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// The dataset's task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Content fingerprint over the encoded matrix bits, target bits and
+    /// task — the cache-key component identifying this input.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a over the matrix dimensions and raw `f64` bit patterns (NaN cells
+/// hash by their bit pattern, so missing values are covered too).
+fn content_fingerprint(x: &Matrix, target: &[f64], task: Task) -> u64 {
+    let mut h = fnv1a(b"encoded-dataset");
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(x.rows() as u64);
+    mix(x.cols() as u64);
+    for v in x.as_slice() {
+        mix(v.to_bits());
+    }
+    for v in target {
+        mix(v.to_bits());
+    }
+    mix(match task {
+        Task::Regression => 1,
+        Task::Binary => 2,
+        Task::MultiClass(k) => 3 + k as u64,
+    });
+    h
 }
 
 /// Hashes a text cell into `TEXT_HASH_DIMS` signed token counts, normalized

@@ -12,13 +12,25 @@
 //! the task loss, fit a regression tree to (g, h), and add `learning_rate ×
 //! tree` to F. Losses: squared error (regression), logistic (binary),
 //! softmax (multi-class, one tree per class per round).
+//!
+//! The histogram engine is the trial hot path: bin edges are quantile-fit
+//! once per matrix content and memoized process-wide, per-node histograms
+//! accumulate in row order with feature scans fanned over rayon past a
+//! feature-count threshold, sibling nodes reuse the parent histogram by
+//! subtraction, and in-bag rows take their leaf value from the builder's
+//! assignments instead of re-traversing the tree. Every reduction has a
+//! fixed order, so fitted models are bit-identical at any worker count
+//! (`tests/gbt_determinism.rs`). The exact-split path stays available
+//! behind the `exact` hyperparameter.
 
 use super::{argmax_rows, check_fit_inputs, Estimator, EstimatorKind};
 use crate::matrix::Matrix;
 use crate::{LearnError, Result};
-use kgpip_tabular::Task;
+use kgpip_tabular::{fnv1a, Task};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Hyperparameters of the boosting engine.
 #[derive(Debug, Clone)]
@@ -225,59 +237,244 @@ pub(crate) fn quantile_bins(x: &Matrix, max_bins: usize) -> (Vec<Vec<u16>>, Vec<
     (binned, edges_all)
 }
 
-struct LeafCandidate {
-    node: usize,
-    rows: Vec<usize>,
-    depth: usize,
-    gain: f64,
-    feature: usize,
-    bin: usize,
+/// A matrix pre-binned for histogram split finding: per-feature bin indices
+/// plus the (strictly increasing) upper-inclusive bin edges.
+struct BinnedMatrix {
+    bins: Vec<Vec<u16>>,
+    edges: Vec<Vec<f64>>,
 }
 
+/// Entries kept in the process-wide bin cache. Small: one entry per live
+/// encoded training matrix; HPO trials against the same split all hit the
+/// same entry.
+const BIN_CACHE_CAPACITY: usize = 8;
+
+/// Features at or above this count fan histogram accumulation / split scans
+/// out over rayon. Below it the parallel dispatch overhead dominates (and
+/// the trial-level engine already runs whole pipelines in parallel).
+const PAR_FEATURE_THRESHOLD: usize = 16;
+
+/// FNV-1a over the matrix dimensions and raw `f64` bit patterns.
+fn matrix_fingerprint(x: &Matrix) -> u64 {
+    let mut hash = fnv1a(b"gbt-bins");
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(x.rows() as u64);
+    mix(x.cols() as u64);
+    for v in x.as_slice() {
+        mix(v.to_bits());
+    }
+    hash
+}
+
+/// Returns the binned form of `x`, memoized process-wide so bin edges are
+/// fit once per (matrix content, `max_bins`) — every HPO trial sharing a
+/// cached encoded matrix skips the per-feature sorts entirely.
+fn binned_for(x: &Matrix, max_bins: usize) -> Arc<BinnedMatrix> {
+    type BinKey = (u64, usize, usize, usize);
+    type BinCache = Mutex<Vec<(BinKey, Arc<BinnedMatrix>)>>;
+    static CACHE: OnceLock<BinCache> = OnceLock::new();
+    let key: BinKey = (matrix_fingerprint(x), x.rows(), x.cols(), max_bins);
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let mut cache = cache.lock().expect("bin cache poisoned");
+        if let Some(i) = cache.iter().position(|(k, _)| *k == key) {
+            let entry = cache.remove(i);
+            let out = Arc::clone(&entry.1);
+            cache.push(entry); // most-recently-used at the back
+            return out;
+        }
+    }
+    // Bin outside the lock; a racing fit of the same matrix computes the
+    // same bins (binning is deterministic), so losing the race is harmless.
+    let (bins, edges) = quantile_bins(x, max_bins);
+    let binned = Arc::new(BinnedMatrix { bins, edges });
+    let mut cache = cache.lock().expect("bin cache poisoned");
+    if !cache.iter().any(|(k, _)| *k == key) {
+        if cache.len() >= BIN_CACHE_CAPACITY {
+            cache.remove(0);
+        }
+        cache.push((key, Arc::clone(&binned)));
+    }
+    binned
+}
+
+/// Per-node histogram: `hist[feature][bin] = (Σg, Σh)` over the node's rows.
+type Hist = Vec<Vec<(f64, f64)>>;
+
+/// Builds a node's histogram, one feature at a time (rayon-parallel across
+/// features past [`PAR_FEATURE_THRESHOLD`]). Within a feature, rows
+/// accumulate in row order; features are independent — so the result is
+/// bit-identical at any worker count.
+fn node_hist(bm: &BinnedMatrix, g: &[f64], h: &[f64], rows: &[usize]) -> Hist {
+    let build = |f: usize| {
+        let bins = &bm.bins[f];
+        let mut hist = vec![(0.0f64, 0.0f64); bm.edges[f].len()];
+        for &r in rows {
+            let cell = &mut hist[bins[r] as usize];
+            cell.0 += g[r];
+            cell.1 += h[r];
+        }
+        hist
+    };
+    if bm.bins.len() >= PAR_FEATURE_THRESHOLD {
+        let features: Vec<usize> = (0..bm.bins.len()).collect();
+        features.par_iter().map(|&f| build(f)).collect()
+    } else {
+        (0..bm.bins.len()).map(build).collect()
+    }
+}
+
+/// Sibling histogram by subtraction: `parent − child`, elementwise.
+fn subtract_hist(parent: &Hist, child: &Hist) -> Hist {
+    parent
+        .iter()
+        .zip(child)
+        .map(|(p, c)| {
+            p.iter()
+                .zip(c)
+                .map(|(&(pg, ph), &(cg, ch))| (pg - cg, ph - ch))
+                .collect()
+        })
+        .collect()
+}
+
+/// Best `(gain, feature, bin)` split of a node given its histogram.
+/// Deterministic total order: strictly higher gain wins; ties keep the
+/// lowest feature, then the lowest bin. The per-feature scans are
+/// independent (rayon-parallel past [`PAR_FEATURE_THRESHOLD`]) and the
+/// reduction folds per-feature bests in feature order, so the winner is
+/// bit-identical at any worker count.
+fn best_split_from_hist(
+    hist: &Hist,
+    g_sum: f64,
+    h_sum: f64,
+    cfg: &GbtConfig,
+) -> Option<(f64, usize, usize)> {
+    let scan = |f: usize| -> Option<(f64, usize, usize)> {
+        let bins = &hist[f];
+        let mut best: Option<(f64, usize, usize)> = None;
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for (b, &(bg, bh)) in bins.iter().enumerate().take(bins.len().saturating_sub(1)) {
+            gl += bg;
+            hl += bh;
+            let hr = h_sum - hl;
+            if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                continue;
+            }
+            let gain = split_gain(gl, hl, g_sum - gl, hr, cfg.lambda);
+            if gain > cfg.gamma && best.is_none_or(|(prev, _, _)| gain > prev) {
+                best = Some((gain, f, b));
+            }
+        }
+        best
+    };
+    let per_feature: Vec<Option<(f64, usize, usize)>> = if hist.len() >= PAR_FEATURE_THRESHOLD {
+        let features: Vec<usize> = (0..hist.len()).collect();
+        features.par_iter().map(|&f| scan(f)).collect()
+    } else {
+        (0..hist.len()).map(scan).collect()
+    };
+    per_feature
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, cand| match acc {
+            Some((best_gain, _, _)) if cand.0 <= best_gain => acc,
+            _ => Some(cand),
+        })
+}
+
+/// A frontier leaf that has a viable split waiting to be applied.
+struct HistNode {
+    node: usize,
+    depth: usize,
+    rows: Vec<usize>,
+    hist: Hist,
+    /// `(gain, feature, bin)` of this node's best split.
+    split: (f64, usize, usize),
+}
+
+/// Leaf-wise (best-gain-first) histogram tree builder. Returns the tree
+/// plus the in-bag leaf assignments — `(leaf node index, rows routed
+/// there)` for every training row in `rows` — so the boosting loop can
+/// update scores without re-traversing the tree. Assignment-by-bin equals
+/// assignment-by-threshold: bin edges are upper-inclusive, so
+/// `bin(x) ≤ b ⇔ x ≤ edges[b]`, exactly the routing `predict_row` applies.
 fn build_hist(
-    binned: &[Vec<u16>],
-    edges: &[Vec<f64>],
+    bm: &BinnedMatrix,
     g: &[f64],
     h: &[f64],
     rows: Vec<usize>,
     cfg: &GbtConfig,
-) -> GradTree {
+) -> (GradTree, Vec<(usize, Vec<usize>)>) {
     let max_leaves = if cfg.max_leaves == 0 {
         usize::MAX
     } else {
         cfg.max_leaves
     };
     let mut nodes: Vec<GNode> = Vec::new();
-    let root_value = {
-        let gs: f64 = rows.iter().map(|&r| g[r]).sum();
-        let hs: f64 = rows.iter().map(|&r| h[r]).sum();
-        leaf_weight(gs, hs, cfg.lambda)
+    let mut frontier: Vec<HistNode> = Vec::new();
+    let mut done: Vec<(usize, Vec<usize>)> = Vec::new();
+
+    // Scans a fresh leaf: either it joins the frontier (has a viable split)
+    // or it is final.
+    let enqueue = |node: usize,
+                   depth: usize,
+                   rows: Vec<usize>,
+                   g_sum: f64,
+                   h_sum: f64,
+                   hist: Hist,
+                   frontier: &mut Vec<HistNode>,
+                   done: &mut Vec<(usize, Vec<usize>)>| {
+        match best_split_from_hist(&hist, g_sum, h_sum, cfg) {
+            Some(split) => frontier.push(HistNode {
+                node,
+                depth,
+                rows,
+                hist,
+                split,
+            }),
+            None => done.push((node, rows)),
+        }
     };
-    nodes.push(GNode::Leaf(root_value));
-    let mut frontier: Vec<LeafCandidate> = Vec::new();
-    if let Some(c) = best_hist_split(binned, g, h, &rows, 0, 0, cfg) {
-        frontier.push(c);
+
+    let g_sum: f64 = rows.iter().map(|&r| g[r]).sum();
+    let h_sum: f64 = rows.iter().map(|&r| h[r]).sum();
+    nodes.push(GNode::Leaf(leaf_weight(g_sum, h_sum, cfg.lambda)));
+    if cfg.max_depth == 0 || rows.len() < 2 {
+        done.push((0, rows));
+    } else {
+        let hist = node_hist(bm, g, h, &rows);
+        enqueue(0, 0, rows, g_sum, h_sum, hist, &mut frontier, &mut done);
     }
+
     let mut leaves = 1usize;
-    while leaves < max_leaves {
-        // Pop the candidate with the highest gain.
-        let Some(best_idx) = frontier
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.gain.partial_cmp(&b.1.gain).unwrap())
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
-        let cand = frontier.swap_remove(best_idx);
-        let threshold = edges[cand.feature][cand.bin];
+    while leaves < max_leaves && !frontier.is_empty() {
+        // Highest gain wins; on exact ties the earliest frontier entry.
+        let mut best_i = 0usize;
+        for i in 1..frontier.len() {
+            if frontier[i].split.0 > frontier[best_i].split.0 {
+                best_i = i;
+            }
+        }
+        let cand = frontier.swap_remove(best_i);
+        let (_, feature, bin) = cand.split;
         let (lrows, rrows): (Vec<usize>, Vec<usize>) = cand
             .rows
             .iter()
-            .partition(|&&r| (binned[cand.feature][r] as usize) <= cand.bin);
+            .partition(|&&r| (bm.bins[feature][r] as usize) <= bin);
         if lrows.is_empty() || rrows.is_empty() {
+            done.push((cand.node, cand.rows));
             continue;
         }
+        // Leaf weights from direct row-order sums (not histogram bins), so
+        // leaf values do not depend on the binning granularity's summation
+        // order.
         let lg: f64 = lrows.iter().map(|&r| g[r]).sum();
         let lh: f64 = lrows.iter().map(|&r| h[r]).sum();
         let rg: f64 = rrows.iter().map(|&r| g[r]).sum();
@@ -287,71 +484,89 @@ fn build_hist(
         let right = nodes.len();
         nodes.push(GNode::Leaf(leaf_weight(rg, rh, cfg.lambda)));
         nodes[cand.node] = GNode::Split {
-            feature: cand.feature,
-            threshold,
+            feature,
+            threshold: bm.edges[feature][bin],
             left,
             right,
         };
         leaves += 1;
-        if cand.depth + 1 < cfg.max_depth {
-            if let Some(c) = best_hist_split(binned, g, h, &lrows, left, cand.depth + 1, cfg) {
-                frontier.push(c);
-            }
-            if let Some(c) = best_hist_split(binned, g, h, &rrows, right, cand.depth + 1, cfg) {
-                frontier.push(c);
-            }
-        }
-    }
-    GradTree { nodes }
-}
 
-fn best_hist_split(
-    binned: &[Vec<u16>],
-    g: &[f64],
-    h: &[f64],
-    rows: &[usize],
-    node: usize,
-    depth: usize,
-    cfg: &GbtConfig,
-) -> Option<LeafCandidate> {
-    if rows.len() < 2 {
-        return None;
-    }
-    let g_sum: f64 = rows.iter().map(|&r| g[r]).sum();
-    let h_sum: f64 = rows.iter().map(|&r| h[r]).sum();
-    let mut best: Option<(f64, usize, usize)> = None;
-    for (f, bins) in binned.iter().enumerate() {
-        let nbins = bins.iter().map(|b| *b as usize).max().unwrap_or(0) + 1;
-        let mut hist_g = vec![0.0f64; nbins];
-        let mut hist_h = vec![0.0f64; nbins];
-        for &r in rows {
-            let b = bins[r] as usize;
-            hist_g[b] += g[r];
-            hist_h[b] += h[r];
-        }
-        let mut gl = 0.0;
-        let mut hl = 0.0;
-        for b in 0..nbins.saturating_sub(1) {
-            gl += hist_g[b];
-            hl += hist_h[b];
-            let hr = h_sum - hl;
-            if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
-                continue;
+        let child_depth = cand.depth + 1;
+        let l_splittable = child_depth < cfg.max_depth && lrows.len() >= 2;
+        let r_splittable = child_depth < cfg.max_depth && rrows.len() >= 2;
+        match (l_splittable, r_splittable) {
+            (false, false) => {
+                done.push((left, lrows));
+                done.push((right, rrows));
             }
-            let gain = split_gain(gl, hl, g_sum - gl, hr, cfg.lambda);
-            if gain > cfg.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
-                best = Some((gain, f, b));
+            (true, false) => {
+                let lhist = node_hist(bm, g, h, &lrows);
+                enqueue(
+                    left,
+                    child_depth,
+                    lrows,
+                    lg,
+                    lh,
+                    lhist,
+                    &mut frontier,
+                    &mut done,
+                );
+                done.push((right, rrows));
+            }
+            (false, true) => {
+                done.push((left, lrows));
+                let rhist = node_hist(bm, g, h, &rrows);
+                enqueue(
+                    right,
+                    child_depth,
+                    rrows,
+                    rg,
+                    rh,
+                    rhist,
+                    &mut frontier,
+                    &mut done,
+                );
+            }
+            (true, true) => {
+                // Histogram subtraction: accumulate the smaller child
+                // directly, derive the larger as parent − smaller.
+                let (lhist, rhist) = if lrows.len() <= rrows.len() {
+                    let lhist = node_hist(bm, g, h, &lrows);
+                    let rhist = subtract_hist(&cand.hist, &lhist);
+                    (lhist, rhist)
+                } else {
+                    let rhist = node_hist(bm, g, h, &rrows);
+                    let lhist = subtract_hist(&cand.hist, &rhist);
+                    (lhist, rhist)
+                };
+                enqueue(
+                    left,
+                    child_depth,
+                    lrows,
+                    lg,
+                    lh,
+                    lhist,
+                    &mut frontier,
+                    &mut done,
+                );
+                enqueue(
+                    right,
+                    child_depth,
+                    rrows,
+                    rg,
+                    rh,
+                    rhist,
+                    &mut frontier,
+                    &mut done,
+                );
             }
         }
     }
-    best.map(|(gain, feature, bin)| LeafCandidate {
-        node,
-        rows: rows.to_vec(),
-        depth,
-        gain,
-        feature,
-        bin,
-    })
+    // Leaves still on the frontier when the cap hits stay leaves.
+    for n in frontier {
+        done.push((n.node, n.rows));
+    }
+    (GradTree { nodes }, done)
 }
 
 // ---------------------------------------------------------------------------
@@ -432,14 +647,20 @@ impl Estimator for GradientBoosting {
             }
             Task::MultiClass(k) => vec![0.0; k],
         };
-        let binned = if self.config.histogram {
-            Some(quantile_bins(x, self.config.max_bins.max(2)))
+        // Bin edges are fit once per (matrix content, max_bins) and shared
+        // process-wide: HPO trials hammering the same cached encoded matrix
+        // skip the per-feature sorts after the first fit.
+        let binned: Option<Arc<BinnedMatrix>> = if self.config.histogram {
+            Some(binned_for(x, self.config.max_bins.max(2)))
         } else {
             None
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        // Current raw scores per row per head.
-        let mut f_scores = vec![self.base_score.clone(); n];
+        // Current raw scores, flat `[row * heads + head]`.
+        let mut f_scores: Vec<f64> = Vec::with_capacity(n * heads);
+        for _ in 0..n {
+            f_scores.extend_from_slice(&self.base_score);
+        }
         self.trees = Vec::with_capacity(self.config.n_estimators);
         for _round in 0..self.config.n_estimators {
             // Subsample rows once per round.
@@ -453,22 +674,52 @@ impl Estimator for GradientBoosting {
             if rows.len() < 2 {
                 continue;
             }
+            let in_bag = rows.len() == n;
             let mut round_trees = Vec::with_capacity(heads);
-            // Gradients for all heads computed from the *same* scores.
-            let grads = gradients(&f_scores, y, task, self.config.second_order);
+            // Gradients for all heads computed from the *same* scores, flat
+            // `[head * n + row]` so each head's slice is contiguous.
+            let (g_all, h_all) = gradients(&f_scores, heads, y, task, self.config.second_order);
             for head in 0..heads {
-                let g: Vec<f64> = (0..n).map(|r| grads[r][head].0).collect();
-                let h: Vec<f64> = (0..n).map(|r| grads[r][head].1).collect();
+                let g = &g_all[head * n..(head + 1) * n];
+                let h = &h_all[head * n..(head + 1) * n];
                 let tree = match &binned {
-                    Some((bins, edges)) => {
-                        build_hist(bins, edges, &g, &h, rows.clone(), &self.config)
+                    Some(bm) => {
+                        let (tree, assignments) = build_hist(bm, g, h, rows.clone(), &self.config);
+                        // In-bag rows take their leaf value straight from
+                        // the assignment (identical to routing the row:
+                        // bin(x) ≤ b ⇔ x ≤ edges[b]); out-of-bag rows are
+                        // routed through the tree as before.
+                        for (node, leaf_rows) in &assignments {
+                            let GNode::Leaf(value) = tree.nodes[*node] else {
+                                continue;
+                            };
+                            for &r in leaf_rows {
+                                f_scores[r * heads + head] += self.config.learning_rate * value;
+                            }
+                        }
+                        if !in_bag {
+                            let mut bagged = vec![false; n];
+                            for &r in &rows {
+                                bagged[r] = true;
+                            }
+                            for (r, b) in bagged.iter().enumerate() {
+                                if !b {
+                                    f_scores[r * heads + head] +=
+                                        self.config.learning_rate * tree.predict_row(x.row(r));
+                                }
+                            }
+                        }
+                        tree
                     }
-                    None => build_exact(x, &g, &h, rows.clone(), &self.config),
+                    None => {
+                        let tree = build_exact(x, g, h, rows.clone(), &self.config);
+                        for r in 0..n {
+                            f_scores[r * heads + head] +=
+                                self.config.learning_rate * tree.predict_row(x.row(r));
+                        }
+                        tree
+                    }
                 };
-                // Update scores in place.
-                for (r, fs) in f_scores.iter_mut().enumerate() {
-                    fs[head] += self.config.learning_rate * tree.predict_row(x.row(r));
-                }
                 round_trees.push(tree);
             }
             self.trees.push(round_trees);
@@ -512,46 +763,52 @@ impl Estimator for GradientBoosting {
     }
 }
 
-/// Per-row, per-head (gradient, hessian) of the task loss at the current
-/// scores. With `second_order == false`, hessians are 1.
+/// Per-row, per-head gradients and hessians of the task loss at the current
+/// scores (`f_scores` flat `[row * heads + head]`). Returned flat as
+/// `[head * n + row]` so each head's slice is contiguous for the tree
+/// builders. With `second_order == false`, hessians are 1.
 fn gradients(
-    f_scores: &[Vec<f64>],
+    f_scores: &[f64],
+    heads: usize,
     y: &[f64],
     task: Task,
     second_order: bool,
-) -> Vec<Vec<(f64, f64)>> {
-    f_scores
-        .iter()
-        .zip(y)
-        .map(|(fs, &t)| match task {
-            Task::Regression => vec![(fs[0] - t, 1.0)],
+) -> (Vec<f64>, Vec<f64>) {
+    let n = y.len();
+    let mut g = vec![0.0f64; n * heads];
+    let mut h = vec![0.0f64; n * heads];
+    let hess = |p: f64| {
+        if second_order {
+            (p * (1.0 - p)).max(1e-6)
+        } else {
+            1.0
+        }
+    };
+    for (r, &t) in y.iter().enumerate() {
+        let fs = &f_scores[r * heads..(r + 1) * heads];
+        match task {
+            Task::Regression => {
+                g[r] = fs[0] - t;
+                h[r] = 1.0;
+            }
             Task::Binary => {
                 let p = 1.0 / (1.0 + (-fs[0]).exp());
-                let h = if second_order {
-                    (p * (1.0 - p)).max(1e-6)
-                } else {
-                    1.0
-                };
-                vec![(p - t, h)]
+                g[r] = p - t;
+                h[r] = hess(p);
             }
             Task::MultiClass(k) => {
                 let max = fs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let exps: Vec<f64> = fs.iter().map(|v| (v - max).exp()).collect();
                 let sum: f64 = exps.iter().sum();
-                (0..k)
-                    .map(|c| {
-                        let p = exps[c] / sum;
-                        let h = if second_order {
-                            (p * (1.0 - p)).max(1e-6)
-                        } else {
-                            1.0
-                        };
-                        (p - f64::from(c == t as usize), h)
-                    })
-                    .collect()
+                for c in 0..k {
+                    let p = exps[c] / sum;
+                    g[c * n + r] = p - f64::from(c == t as usize);
+                    h[c * n + r] = hess(p);
+                }
             }
-        })
-        .collect()
+        }
+    }
+    (g, h)
 }
 
 #[cfg(test)]
@@ -749,6 +1006,34 @@ mod tests {
         a.fit(&x, &y, Task::Binary).unwrap();
         b.fit(&x, &y, Task::Binary).unwrap();
         assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn in_bag_assignments_match_tree_routing() {
+        let (x, y) = friedman_like(120);
+        let c = cfg(EstimatorKind::Lgbm);
+        let bm = binned_for(&x, c.max_bins);
+        // First-round gradients at raw score 0: g = −y, h = 1.
+        let g: Vec<f64> = y.iter().map(|v| -v).collect();
+        let h = vec![1.0; y.len()];
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let (tree, assignments) = build_hist(&bm, &g, &h, rows, &c);
+        let mut covered = vec![false; x.rows()];
+        for (node, leaf_rows) in &assignments {
+            let GNode::Leaf(value) = tree.nodes[*node] else {
+                panic!("assignment points at a split node");
+            };
+            for &r in leaf_rows {
+                assert!(!covered[r], "row {r} assigned twice");
+                covered[r] = true;
+                assert_eq!(
+                    value.to_bits(),
+                    tree.predict_row(x.row(r)).to_bits(),
+                    "row {r}: assignment disagrees with tree routing"
+                );
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every in-bag row assigned");
     }
 
     #[test]

@@ -237,8 +237,8 @@ pub fn build_estimator(kind: EstimatorKind, params: &Params) -> Result<Box<dyn E
             gamma: 0.0,
             min_child_weight: get_pos("min_child_weight", 1.0)?,
             second_order: false,
-            histogram: false,
-            max_bins: 32,
+            histogram: get("exact", 0.0) < 0.5,
+            max_bins: 256,
             max_leaves: 0,
             seed: get("seed", 0.0) as u64,
             kind: EstimatorKind::GradientBoosting,
@@ -252,8 +252,8 @@ pub fn build_estimator(kind: EstimatorKind, params: &Params) -> Result<Box<dyn E
             gamma: get("gamma", 0.0).max(0.0),
             min_child_weight: get_pos("min_child_weight", 1.0)?,
             second_order: true,
-            histogram: false,
-            max_bins: 32,
+            histogram: get("exact", 0.0) < 0.5,
+            max_bins: 256,
             max_leaves: 0,
             seed: get("seed", 0.0) as u64,
             kind: EstimatorKind::XgBoost,
@@ -267,7 +267,7 @@ pub fn build_estimator(kind: EstimatorKind, params: &Params) -> Result<Box<dyn E
             gamma: get("gamma", 0.0).max(0.0),
             min_child_weight: get_pos("min_child_weight", 1.0)?,
             second_order: true,
-            histogram: true,
+            histogram: get("exact", 0.0) < 0.5,
             max_bins: get_pos("max_bins", 32.0)? as usize,
             max_leaves: get_pos("max_leaves", 31.0)? as usize,
             seed: get("seed", 0.0) as u64,

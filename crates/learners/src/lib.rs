@@ -26,6 +26,7 @@
 //!   form of a KGpip "pipeline skeleton" (paper §3.6),
 //! * [`metrics`] — macro-F1, accuracy, log-loss, R², MSE, MAE.
 
+pub mod cache;
 pub mod encode;
 pub mod estimators;
 pub mod matrix;
@@ -33,7 +34,8 @@ pub mod metrics;
 pub mod pipeline;
 pub mod preprocess;
 
-pub use encode::FeatureEncoder;
+pub use cache::TransformCache;
+pub use encode::{EncodedDataset, FeatureEncoder};
 pub use estimators::{build_estimator, Estimator, EstimatorKind, Params};
 pub use matrix::Matrix;
 pub use pipeline::Pipeline;

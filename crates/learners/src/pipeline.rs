@@ -13,12 +13,14 @@
 //! 3. fits each transformer in order, threading feature roles through,
 //! 4. fits the estimator on the transformed matrix.
 
-use crate::encode::FeatureEncoder;
+use crate::cache::{ChainKey, ChainState, StepId, TransformCache};
+use crate::encode::{EncodedDataset, FeatureEncoder, FeatureRole};
 use crate::estimators::{build_estimator, Estimator, EstimatorKind, Params};
 use crate::matrix::Matrix;
 use crate::preprocess::{build_transformer, Transformer, TransformerKind};
 use crate::{metrics, LearnError, Result};
 use kgpip_tabular::{Dataset, Task};
+use std::sync::Arc;
 
 /// Declarative description of a pipeline: transformer steps then estimator,
 /// each with hyperparameters. This is what HPO engines and the KGpip graph
@@ -164,13 +166,157 @@ impl Pipeline {
         let pred = self.predict(valid)?;
         Ok(score_predictions(valid, &pred))
     }
+
+    /// The trial hot path: fits the chain + estimator on a pre-encoded
+    /// training split and predicts a pre-encoded test split, optionally
+    /// memoizing transformer-chain prefixes in `cache`.
+    ///
+    /// Produces bit-for-bit the predictions of [`fit`] + [`predict`] on the
+    /// source datasets (both splits encoded with the *training* encoder,
+    /// the same implicit-imputer rules, the same predict-time NaN fill) —
+    /// it only skips re-encoding the raw frames and, on cache hits,
+    /// re-fitting chain prefixes. The fitted transformer steps are *not*
+    /// retained (a cache hit never materializes them), so the pipeline is
+    /// not usable for later [`predict`] calls on raw frames; callers that
+    /// need a deployable pipeline use [`fit`].
+    ///
+    /// [`fit`]: Pipeline::fit
+    /// [`predict`]: Pipeline::predict
+    pub fn fit_predict_encoded(
+        &mut self,
+        train: &EncodedDataset,
+        test: &EncodedDataset,
+        cache: Option<&TransformCache>,
+    ) -> Result<Vec<f64>> {
+        if !self.spec.estimator.supports(train.task()) {
+            return Err(LearnError::UnsupportedTask(self.spec.estimator.name()));
+        }
+        let (x_train, x_test) = run_chain(&self.spec.transformers, train, test, cache)?;
+        self.estimator.fit(&x_train, train.target(), train.task())?;
+        self.task = Some(train.task());
+        // Predict-time NaN fill, as in `transform` (clone only when needed).
+        let pred_input: Arc<Matrix> = if x_test.has_nan() {
+            let mut filled = (*x_test).clone();
+            for r in 0..filled.rows() {
+                for c in 0..filled.cols() {
+                    if filled.get(r, c).is_nan() {
+                        filled.set(r, c, 0.0);
+                    }
+                }
+            }
+            Arc::new(filled)
+        } else {
+            x_test
+        };
+        self.estimator.predict(&pred_input)
+    }
+
+    /// [`fit_predict_encoded`] + the paper's metric on the test split.
+    ///
+    /// [`fit_predict_encoded`]: Pipeline::fit_predict_encoded
+    pub fn fit_score_encoded(
+        &mut self,
+        train: &EncodedDataset,
+        valid: &EncodedDataset,
+        cache: Option<&TransformCache>,
+    ) -> Result<f64> {
+        let pred = self.fit_predict_encoded(train, valid, cache)?;
+        Ok(score_parts(valid.task(), valid.target(), &pred))
+    }
+}
+
+/// Runs the *effective* transformer chain (implicit imputers included) on
+/// pre-encoded train/test matrices, memoizing each chain prefix in `cache`
+/// when given. Mirrors `Pipeline::fit` exactly: an imputer is prepended
+/// when the training matrix has NaN and the user chain does not start with
+/// one, and a defensive imputer is appended when NaN survives the chain.
+fn run_chain(
+    transformers: &[(TransformerKind, Params)],
+    train: &EncodedDataset,
+    test: &EncodedDataset,
+    cache: Option<&TransformCache>,
+) -> Result<(Arc<Matrix>, Arc<Matrix>)> {
+    let mut x_train = Arc::clone(train.x());
+    let mut x_test = Arc::clone(test.x());
+    let mut roles: Arc<Vec<FeatureRole>> = Arc::clone(train.roles());
+    let mut applied: Vec<StepId> = Vec::with_capacity(transformers.len() + 2);
+    let default_params = Params::new();
+
+    let mut apply = |kind: TransformerKind,
+                     params: &Params,
+                     x_train: &mut Arc<Matrix>,
+                     x_test: &mut Arc<Matrix>,
+                     roles: &mut Arc<Vec<FeatureRole>>|
+     -> Result<()> {
+        applied.push(StepId::new(kind, params));
+        let key = cache.map(|_| ChainKey {
+            train_fingerprint: train.fingerprint(),
+            valid_fingerprint: test.fingerprint(),
+            steps: applied.clone(),
+        });
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            if let Some(state) = cache.get(key) {
+                *x_train = state.x_train;
+                *x_test = state.x_valid;
+                *roles = state.roles;
+                return Ok(());
+            }
+        }
+        let mut step = build_transformer(kind, params)?;
+        *roles = Arc::new(step.fit(x_train, train.target(), roles)?);
+        *x_train = Arc::new(step.transform(x_train)?);
+        *x_test = Arc::new(step.transform(x_test)?);
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(
+                key,
+                ChainState {
+                    x_train: Arc::clone(x_train),
+                    x_valid: Arc::clone(x_test),
+                    roles: Arc::clone(roles),
+                },
+            );
+        }
+        Ok(())
+    };
+
+    let user_starts_with_imputer = transformers
+        .first()
+        .is_some_and(|(k, _)| *k == TransformerKind::SimpleImputer);
+    if x_train.has_nan() && !user_starts_with_imputer {
+        apply(
+            TransformerKind::SimpleImputer,
+            &default_params,
+            &mut x_train,
+            &mut x_test,
+            &mut roles,
+        )?;
+    }
+    for (kind, params) in transformers {
+        apply(*kind, params, &mut x_train, &mut x_test, &mut roles)?;
+    }
+    if x_train.has_nan() {
+        apply(
+            TransformerKind::SimpleImputer,
+            &default_params,
+            &mut x_train,
+            &mut x_test,
+            &mut roles,
+        )?;
+    }
+    Ok((x_train, x_test))
 }
 
 /// Scores predictions with the paper's metric for the dataset's task.
 pub fn score_predictions(ds: &Dataset, pred: &[f64]) -> f64 {
-    match ds.task {
-        Task::Regression => metrics::r2(&ds.target, pred),
-        task => metrics::macro_f1(&ds.target, pred, task.num_classes().max(2)),
+    score_parts(ds.task, &ds.target, pred)
+}
+
+/// [`score_predictions`] for callers holding a task + target without a
+/// `Dataset` (the encoded trial hot path).
+pub fn score_parts(task: Task, target: &[f64], pred: &[f64]) -> f64 {
+    match task {
+        Task::Regression => metrics::r2(target, pred),
+        task => metrics::macro_f1(target, pred, task.num_classes().max(2)),
     }
 }
 

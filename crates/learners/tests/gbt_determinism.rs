@@ -1,0 +1,142 @@
+//! Histogram-GBT parallel determinism (mirrors
+//! `crates/graphgen/tests/determinism.rs`).
+//!
+//! The histogram engine fans per-feature histogram accumulation and split
+//! scans over rayon once the feature count crosses its parallel threshold.
+//! Every reduction has a fixed order (per-feature work is independent;
+//! per-feature bests fold in feature order), so a fitted model — and every
+//! prediction — must be bit-for-bit identical at any worker count.
+
+use kgpip_learners::estimators::gbt::{GbtConfig, GradientBoosting};
+use kgpip_learners::{Estimator, EstimatorKind, Matrix};
+use kgpip_tabular::Task;
+
+/// Enough features to cross the engine's parallel-scan threshold.
+const FEATURES: usize = 24;
+
+fn wide_matrix(n: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..FEATURES)
+                .map(|f| (((i * (2 * f + 3) + f * f) % 97) as f64) / 97.0)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn regression_target(x: &Matrix) -> Vec<f64> {
+    (0..x.rows())
+        .map(|r| {
+            let row = x.row(r);
+            10.0 * (std::f64::consts::PI * row[0] * row[1]).sin() + 5.0 * row[2] - 3.0 * row[17]
+        })
+        .collect()
+}
+
+fn lgbm_config(subsample: f64) -> GbtConfig {
+    GbtConfig {
+        n_estimators: 20,
+        learning_rate: 0.2,
+        max_depth: 16,
+        subsample,
+        lambda: 1.0,
+        gamma: 0.0,
+        min_child_weight: 1.0,
+        second_order: true,
+        histogram: true,
+        max_bins: 32,
+        max_leaves: 31,
+        seed: 7,
+        kind: EstimatorKind::Lgbm,
+    }
+}
+
+/// Fits `cfg` on (x, y) under a rayon pool of `workers` threads and
+/// returns the predictions' raw bits.
+fn fit_predict_bits(
+    cfg: &GbtConfig,
+    x: &Matrix,
+    y: &[f64],
+    task: Task,
+    workers: usize,
+) -> Vec<u64> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("thread pool construction");
+    pool.install(|| {
+        let mut model = GradientBoosting::new(cfg.clone());
+        model.fit(x, y, task).unwrap();
+        model
+            .predict(x)
+            .unwrap()
+            .into_iter()
+            .map(f64::to_bits)
+            .collect()
+    })
+}
+
+#[test]
+fn regression_fit_is_bit_identical_across_worker_counts() {
+    let x = wide_matrix(300);
+    let y = regression_target(&x);
+    let cfg = lgbm_config(1.0);
+    let baseline = fit_predict_bits(&cfg, &x, &y, Task::Regression, 1);
+    for workers in [2, 4, 8] {
+        let bits = fit_predict_bits(&cfg, &x, &y, Task::Regression, workers);
+        assert_eq!(baseline, bits, "{workers} workers diverged from 1");
+    }
+}
+
+#[test]
+fn subsampled_binary_fit_is_bit_identical_across_worker_counts() {
+    let x = wide_matrix(240);
+    // Out-of-bag rows exercise the predict_row fallback in the score loop.
+    let y: Vec<f64> = (0..x.rows())
+        .map(|r| f64::from(x.get(r, 0) + x.get(r, 5) > 1.0))
+        .collect();
+    let cfg = lgbm_config(0.7);
+    let baseline = fit_predict_bits(&cfg, &x, &y, Task::Binary, 1);
+    for workers in [2, 4, 8] {
+        let bits = fit_predict_bits(&cfg, &x, &y, Task::Binary, workers);
+        assert_eq!(baseline, bits, "{workers} workers diverged from 1");
+    }
+}
+
+#[test]
+fn multiclass_histogram_fit_is_bit_identical_across_worker_counts() {
+    let x = wide_matrix(270);
+    let y: Vec<f64> = (0..x.rows())
+        .map(|r| {
+            let v = x.get(r, 3);
+            if v < 0.33 {
+                0.0
+            } else if v < 0.66 {
+                1.0
+            } else {
+                2.0
+            }
+        })
+        .collect();
+    let mut cfg = lgbm_config(1.0);
+    cfg.n_estimators = 10;
+    let baseline = fit_predict_bits(&cfg, &x, &y, Task::MultiClass(3), 1);
+    for workers in [2, 4, 8] {
+        let bits = fit_predict_bits(&cfg, &x, &y, Task::MultiClass(3), workers);
+        assert_eq!(baseline, bits, "{workers} workers diverged from 1");
+    }
+}
+
+#[test]
+fn repeated_fits_are_bit_identical_under_the_shared_bin_cache() {
+    // The process-wide bin cache must hand back the same bins a fresh
+    // binning would produce: two fits of the same config on the same data
+    // (second fit hits the cache) must agree bit-for-bit.
+    let x = wide_matrix(200);
+    let y = regression_target(&x);
+    let cfg = lgbm_config(1.0);
+    let first = fit_predict_bits(&cfg, &x, &y, Task::Regression, 1);
+    let second = fit_predict_bits(&cfg, &x, &y, Task::Regression, 1);
+    assert_eq!(first, second);
+}

@@ -1,26 +1,36 @@
 #!/usr/bin/env bash
-# Runs the graph-generation criterion suite and emits BENCH_graphgen.json —
-# a machine-readable summary so the perf trajectory is tracked across PRs.
-#   scripts/bench.sh [output.json]
+# Runs the criterion suites and emits machine-readable summaries so the
+# perf trajectory is tracked across PRs:
+#   BENCH_graphgen.json — graph-generation kernels
+#   BENCH_hpo.json      — HPO trial throughput (trials/sec, cache hit rate)
+#   scripts/bench.sh [graphgen_out.json] [hpo_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_graphgen.json}"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+graphgen_out="${1:-BENCH_graphgen.json}"
+hpo_out="${2:-BENCH_hpo.json}"
 
-echo "==> cargo bench -p kgpip-bench --bench graph_generation"
-cargo bench -p kgpip-bench --bench graph_generation -- --bench | tee "$raw"
+# Runs one criterion bench target and folds its `BENCH_JSON {...}` lines
+# (one per benchmark, printed by the vendored criterion plus any summary
+# lines the bench emits itself) into a single JSON document.
+run_suite() {
+  local bench="$1" out="$2"
+  local raw
+  raw="$(mktemp)"
+  echo "==> cargo bench -p kgpip-bench --bench $bench"
+  cargo bench -p kgpip-bench --bench "$bench" -- --bench | tee "$raw"
+  {
+    echo '{'
+    echo "  \"suite\": \"$bench\","
+    echo "  \"host\": \"$(uname -sm) ($(nproc) cpu)\","
+    echo '  "results": ['
+    grep '^BENCH_JSON ' "$raw" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+  } > "$out"
+  echo "==> wrote $out ($(grep -c '^BENCH_JSON ' "$raw") benchmarks)"
+  rm -f "$raw"
+}
 
-# The vendored criterion prints one `BENCH_JSON {...}` line per benchmark.
-{
-  echo '{'
-  echo "  \"suite\": \"graph_generation\","
-  echo "  \"host\": \"$(uname -sm) ($(nproc) cpu)\","
-  echo '  "results": ['
-  grep '^BENCH_JSON ' "$raw" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
-  echo '  ]'
-  echo '}'
-} > "$out"
-
-echo "==> wrote $out ($(grep -c '^BENCH_JSON ' "$raw") benchmarks)"
+run_suite graph_generation "$graphgen_out"
+run_suite hpo_parallel "$hpo_out"
