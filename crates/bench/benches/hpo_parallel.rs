@@ -159,13 +159,20 @@ fn bench_parallel_hpo(c: &mut Criterion) {
         let result = engine.optimize_skeleton(&ds, sk, &budget()).unwrap();
         let secs = started.elapsed().as_secs_f64();
         let trials_per_sec = result.trials as f64 / secs.max(1e-9);
+        // Bare-skeleton searches never consult the transform cache (no
+        // transformer chain to memoize) — their hit rate is `null`, not
+        // 0%. `encoded_trials` shows the caching that did happen there.
+        let hit_rate = result
+            .report
+            .cache_hit_rate()
+            .map_or("null".to_string(), |r| format!("{r:.4}"));
         println!(
             "BENCH_JSON {{\"id\":{id:?},\"trials\":{},\"trials_per_sec\":{trials_per_sec:.1},\
-             \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}",
+             \"encoded_trials\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{hit_rate}}}",
             result.trials,
+            result.report.encoded_trials,
             result.report.cache_hits,
             result.report.cache_misses,
-            result.report.cache_hit_rate()
         );
     }
 }

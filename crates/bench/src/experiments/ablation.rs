@@ -47,7 +47,7 @@ pub fn encode_raw_graphs(graphs: &[CodeGraph]) -> (Vec<String>, Vec<TypedGraph>)
             let mut types = vec![0usize];
             for node in &g.nodes {
                 let label = match node.kind {
-                    NodeKind::Call => node.label.clone(),
+                    NodeKind::Call => node.label.to_string(),
                     NodeKind::Constant => "<const>".to_string(),
                     NodeKind::Location => "<loc>".to_string(),
                     NodeKind::Parameter => "<param>".to_string(),

@@ -26,7 +26,7 @@
 
 use crate::ast::{Expr, Module, Stmt};
 use crate::diag::{Diagnostic, DiagnosticSink, Pass};
-use crate::graph::{CodeGraph, EdgeKind, NodeId, NodeKind};
+use crate::graph::{CodeGraph, EdgeKind, LabelInterner, NodeId, NodeKind};
 use crate::parser::{parse, parse_with_diagnostics};
 use crate::span::Span;
 use crate::Result;
@@ -64,6 +64,7 @@ pub fn analyze_module(module: &Module) -> CodeGraph {
 pub fn analyze_module_with_diagnostics(module: &Module) -> (CodeGraph, Vec<Diagnostic>) {
     let mut a = Analyzer {
         graph: CodeGraph::new(),
+        interner: LabelInterner::new(),
         imports: HashMap::new(),
         env: HashMap::new(),
         types: HashMap::new(),
@@ -93,6 +94,11 @@ struct FuncSummary {
 
 struct Analyzer {
     graph: CodeGraph,
+    /// Label pool: one allocation per distinct node-label string. Raw
+    /// graphs repeat the same labels (API paths, `loc:`/`doc:`/`param:`
+    /// bookkeeping) hundreds of times; interning makes each repeat a
+    /// refcount bump instead of a fresh `String`.
+    interner: LabelInterner,
     /// Alias → dotted module/object path (`pd` → `pandas`,
     /// `SVC` → `sklearn.svm.SVC`).
     imports: HashMap<String, String>,
@@ -278,7 +284,8 @@ impl Analyzer {
         // Resolve the callee to a dotted API path plus the receiver's
         // producing node for method calls.
         let (path, receiver) = self.resolve_callee(func, span);
-        let call = self.graph.add_node(NodeKind::Call, path.clone(), span);
+        let call_label = self.interner.intern(&path);
+        let call = self.graph.add_node(NodeKind::Call, call_label, span);
 
         // Control flow chains consecutive calls (gray edges in Figure 3).
         if let Some(prev) = self.last_call {
@@ -297,19 +304,16 @@ impl Analyzer {
         for (name, value) in kwargs {
             self.flow_arg(value, call, span);
             // GraphGen4Code-style parameter bookkeeping node.
-            let p = self
-                .graph
-                .add_node(NodeKind::Parameter, format!("param:{name}"), span);
+            let label = self.interner.intern_owned(format!("param:{name}"));
+            let p = self.graph.add_node(NodeKind::Parameter, label, span);
             self.graph.add_edge(call, p, EdgeKind::Parameter);
         }
         // Location and documentation noise attached to every call.
-        let loc = self
-            .graph
-            .add_node(NodeKind::Location, format!("loc:{}", span.line), span);
+        let label = self.interner.intern_owned(format!("loc:{}", span.line));
+        let loc = self.graph.add_node(NodeKind::Location, label, span);
         self.graph.add_edge(call, loc, EdgeKind::Location);
-        let doc = self
-            .graph
-            .add_node(NodeKind::Documentation, format!("doc:{path}"), span);
+        let label = self.interner.intern_owned(format!("doc:{path}"));
+        let doc = self.graph.add_node(NodeKind::Documentation, label, span);
         self.graph.add_edge(call, doc, EdgeKind::Documentation);
 
         // The API type of the call's value, for downstream method
@@ -410,19 +414,18 @@ impl Analyzer {
     fn flow_arg(&mut self, arg: &Expr, call: NodeId, span: Span) {
         match arg {
             Expr::Str(s) => {
-                let c = self
-                    .graph
-                    .add_node(NodeKind::Constant, format!("'{s}'"), span);
+                let label = self.interner.intern_owned(format!("'{s}'"));
+                let c = self.graph.add_node(NodeKind::Constant, label, span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             Expr::Num(v) => {
-                let c = self
-                    .graph
-                    .add_node(NodeKind::Constant, format!("{v}"), span);
+                let label = self.interner.intern_owned(format!("{v}"));
+                let c = self.graph.add_node(NodeKind::Constant, label, span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             Expr::Keyword(k) => {
-                let c = self.graph.add_node(NodeKind::Constant, k.clone(), span);
+                let label = self.interner.intern(k);
+                let c = self.graph.add_node(NodeKind::Constant, label, span);
                 self.graph.add_edge(c, call, EdgeKind::ConstantArg);
             }
             other => {
@@ -563,7 +566,7 @@ model.fit(X, df_train['Y'])
     fn labels(g: &CodeGraph, kind: NodeKind) -> Vec<String> {
         g.nodes_of_kind(kind)
             .into_iter()
-            .map(|i| g.nodes[i].label.clone())
+            .map(|i| g.nodes[i].label.to_string())
             .collect()
     }
 

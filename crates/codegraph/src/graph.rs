@@ -2,9 +2,164 @@
 
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Identifier of a node inside a [`CodeGraph`].
 pub type NodeId = usize;
+
+/// An interned node label: a shared, immutable string.
+///
+/// Raw code graphs repeat the same handful of strings thousands of times
+/// (`pandas.read_csv`, `loc:12`, `doc:...`); storing each occurrence as an
+/// owned `String` made node construction and graph clones allocation-bound.
+/// A `Label` is an `Arc<str>` — cloning is a reference-count bump, and the
+/// analyzer's [`LabelInterner`] hands out one allocation per *distinct*
+/// string. Serialization is a plain JSON string, byte-identical to the
+/// pre-interning `String` representation, so persisted graphs from either
+/// era load interchangeably.
+#[derive(Debug, Clone, Eq)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Creates a fresh (un-pooled) label.
+    pub fn new(s: &str) -> Label {
+        Label(Arc::from(s))
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Label) -> bool {
+        // Pointer equality first: interned duplicates share the allocation.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Label {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Label {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Label {
+        Label(Arc::from(s))
+    }
+}
+
+impl From<&Label> for String {
+    fn from(l: &Label) -> String {
+        l.as_str().to_string()
+    }
+}
+
+impl Serialize for Label {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Label {
+    fn from_value(v: &serde::Value) -> Result<Label, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Ok(Label::new(s)),
+            other => Err(serde::DeError(format!(
+                "expected string label, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+/// A pool of interned [`Label`]s: one allocation per distinct string.
+///
+/// The analyzer keeps one interner per script; every `add_node` label goes
+/// through it, so the thousands of repeated noise labels a raw graph
+/// carries collapse to reference-count bumps on a few dozen allocations.
+#[derive(Debug, Default)]
+pub struct LabelInterner {
+    pool: HashSet<Arc<str>>,
+}
+
+impl LabelInterner {
+    /// Creates an empty pool.
+    pub fn new() -> LabelInterner {
+        LabelInterner::default()
+    }
+
+    /// Returns the pooled label for `s`, allocating on first sight.
+    pub fn intern(&mut self, s: &str) -> Label {
+        if let Some(existing) = self.pool.get(s) {
+            return Label(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.pool.insert(arc.clone());
+        Label(arc)
+    }
+
+    /// Interns an owned string without re-copying on first sight.
+    pub fn intern_owned(&mut self, s: String) -> Label {
+        if let Some(existing) = self.pool.get(s.as_str()) {
+            return Label(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.pool.insert(arc.clone());
+        Label(arc)
+    }
+
+    /// Number of distinct strings pooled.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
 
 /// The kind of a code-graph node. The kinds mirror GraphGen4Code's node
 /// vocabulary as described in paper §3.3: call nodes, constants, plus the
@@ -54,8 +209,9 @@ pub struct Node {
     /// The node's kind.
     pub kind: NodeKind,
     /// Human-readable label: dotted API path for calls, rendered literal
-    /// for constants, bookkeeping text for noise nodes.
-    pub label: String,
+    /// for constants, bookkeeping text for noise nodes. Interned — clones
+    /// share one allocation per distinct string.
+    pub label: Label,
     /// Source location of the statement that produced this node
     /// ([`Span::synthetic`] for nodes with no source origin, e.g. the
     /// Graph4ML dataset anchor).
@@ -88,8 +244,10 @@ impl CodeGraph {
         Self::default()
     }
 
-    /// Adds a node, returning its id.
-    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>, span: Span) -> NodeId {
+    /// Adds a node, returning its id. Callers with many repeated labels
+    /// should pass pre-interned [`Label`]s (see [`LabelInterner`]); plain
+    /// `&str`/`String` labels allocate individually.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<Label>, span: Span) -> NodeId {
         self.nodes.push(Node {
             kind,
             label: label.into(),
@@ -211,5 +369,31 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: CodeGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(back, g);
+    }
+
+    #[test]
+    fn interner_shares_allocations() {
+        let mut pool = LabelInterner::new();
+        let a = pool.intern("pandas.read_csv");
+        let b = pool.intern("pandas.read_csv");
+        let c = pool.intern_owned("loc:1".to_string());
+        assert!(Arc::ptr_eq(&a.0, &b.0), "duplicates share one allocation");
+        assert_eq!(pool.len(), 2);
+        assert_eq!(a, "pandas.read_csv");
+        assert_eq!(c, "loc:1");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_serialize_as_plain_strings() {
+        // The interned representation must stay byte-compatible with the
+        // pre-interning `String` field: a label is a bare JSON string.
+        let label = Label::new("sklearn.svm.SVC");
+        assert_eq!(
+            serde_json::to_string(&label).unwrap(),
+            "\"sklearn.svm.SVC\""
+        );
+        let back: Label = serde_json::from_str("\"sklearn.svm.SVC\"").unwrap();
+        assert_eq!(back, label);
     }
 }

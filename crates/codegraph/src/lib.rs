@@ -46,6 +46,7 @@ pub mod graph;
 pub mod graph4ml;
 pub mod lexer;
 pub mod lint;
+pub mod mining;
 pub mod parser;
 pub mod span;
 pub mod vocab;
@@ -53,9 +54,10 @@ pub mod vocab;
 pub use analysis::{analyze, analyze_with_diagnostics};
 pub use diag::{Diagnostic, DiagnosticSink, Pass, Severity};
 pub use filter::{filter_graph, PipelineGraph};
-pub use graph::{CodeGraph, EdgeKind, NodeId, NodeKind};
+pub use graph::{CodeGraph, EdgeKind, Label, LabelInterner, NodeId, NodeKind};
 pub use graph4ml::Graph4Ml;
 pub use lint::{lint_code_graph, lint_graph4ml, lint_pipeline_graph, lint_reduction, Violation};
+pub use mining::{mine_script, source_fingerprint, MineOutcome, MiningCache};
 pub use parser::parse_with_diagnostics;
 pub use span::Span;
 pub use vocab::{OpVocab, PipelineOp};

@@ -72,7 +72,7 @@ fn helper_script_produces_the_same_skeleton_as_its_inlined_equivalent() {
     let call_labels = |g: &kgpip_codegraph::CodeGraph| -> Vec<String> {
         g.nodes_of_kind(NodeKind::Call)
             .into_iter()
-            .map(|i| g.nodes[i].label.clone())
+            .map(|i| g.nodes[i].label.to_string())
             .collect()
     };
     assert_eq!(call_labels(&helper_raw), call_labels(&inlined_raw));
@@ -148,7 +148,7 @@ x = prepare(df)
     let labels: Vec<String> = g
         .nodes_of_kind(NodeKind::Call)
         .into_iter()
-        .map(|i| g.nodes[i].label.clone())
+        .map(|i| g.nodes[i].label.to_string())
         .collect();
     assert_eq!(
         labels,

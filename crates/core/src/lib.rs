@@ -45,6 +45,7 @@ pub mod predict;
 pub mod skeleton;
 pub mod train;
 
+pub use kgpip_codegraph::{MineOutcome, MiningCache};
 pub use predict::{KgpipRun, SkeletonResult};
 pub use skeleton::{decode_skeleton, validate_against_capabilities};
 pub use train::{Kgpip, KgpipConfig, TrainingStats};
@@ -53,7 +54,9 @@ pub use train::{Kgpip, KgpipConfig, TrainingStats};
 /// HPO engines and their shared evaluation machinery, and the tabular
 /// primitives every example needs.
 pub mod prelude {
-    pub use crate::{Kgpip, KgpipConfig, KgpipError, KgpipRun, SkeletonResult, TrainingStats};
+    pub use crate::{
+        Kgpip, KgpipConfig, KgpipError, KgpipRun, MiningCache, SkeletonResult, TrainingStats,
+    };
     pub use kgpip_hpo::{
         Al, AutoSklearn, BudgetGate, Candidate, Evaluator, Flaml, HpoResult, Optimizer, Skeleton,
         TimeBudget, TrialOutcome,

@@ -183,7 +183,10 @@ impl Kgpip {
         let generation_time = started.elapsed();
 
         let total = skeletons.len();
-        let results: Vec<SkeletonResult> = if self.config.parallelism <= 1 {
+        // Clamp at the use site: directly-constructed configs can carry
+        // `parallelism: 0`, bypassing the builder's `.max(1)`.
+        let workers = self.config.parallelism.max(1);
+        let results: Vec<SkeletonResult> = if workers <= 1 {
             let mut results = Vec::with_capacity(total);
             for (i, (skeleton, generation_score)) in skeletons.into_iter().enumerate() {
                 // Sequential (T - t)/K split over both time and trials;
@@ -229,8 +232,9 @@ impl Kgpip {
         skeletons: Vec<(Skeleton, f64)>,
     ) -> Vec<SkeletonResult> {
         let total = skeletons.len();
-        let lanes = self.config.parallelism.min(total).max(1);
-        let per_engine = (self.config.parallelism / lanes).max(1);
+        let workers = self.config.parallelism.max(1);
+        let lanes = workers.min(total).max(1);
+        let per_engine = (workers / lanes).max(1);
         let engines: Vec<Mutex<Box<dyn Optimizer + Send>>> = (0..total)
             .map(|_| {
                 let mut engine = backend.clone_boxed();

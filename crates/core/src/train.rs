@@ -3,12 +3,15 @@
 
 use crate::{KgpipError, Result};
 use kgpip_codegraph::corpus::ScriptRecord;
-use kgpip_codegraph::{analyze_with_diagnostics, filter_graph, Graph4Ml, OpVocab, Severity};
-use kgpip_embeddings::{table_embedding, VectorIndex};
+use kgpip_codegraph::{
+    mine_script, source_fingerprint, Graph4Ml, MineOutcome, MiningCache, OpVocab,
+};
+use kgpip_embeddings::{table_embeddings, VectorIndex};
 use kgpip_graphgen::model::TypedGraph;
 use kgpip_graphgen::{GeneratorConfig, GraphGenerator, TrainExample};
 use kgpip_tabular::DataFrame;
-use std::collections::HashMap;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
 
 /// Amplification applied to centred conditioning embeddings.
 const CONDITION_GAIN: f64 = 8.0;
@@ -116,14 +119,34 @@ pub struct TrainingStats {
     /// Scripts that failed static analysis entirely (skipped, as the
     /// paper's mining pipeline skips unusable notebooks).
     pub unparsable: usize,
+    /// Scripts skipped because they reference a dataset with no table in
+    /// the training catalog (previously a silent `continue`).
+    #[serde(default)]
+    pub skipped_unknown_dataset: usize,
     /// Datasets with at least one valid pipeline.
     pub datasets: usize,
     /// Total nodes across the filtered training graphs.
     pub total_nodes: usize,
     /// Total edges across the filtered training graphs.
     pub total_edges: usize,
+    /// Wall-clock seconds spent embedding the training tables.
+    #[serde(default)]
+    pub embedding_secs: f64,
+    /// Wall-clock seconds spent mining scripts into the Graph4ML
+    /// (fingerprinting, cache probes, static analysis, assembly).
+    #[serde(default)]
+    pub mining_secs: f64,
     /// Wall-clock seconds spent training the generator.
     pub training_secs: f64,
+    /// Eligible scripts whose mining outcome was served from the
+    /// [`MiningCache`] — including intra-corpus duplicates, which are
+    /// analyzed once and replayed for every later occurrence.
+    #[serde(default)]
+    pub mining_cache_hits: u64,
+    /// Eligible scripts that actually went through static analysis this
+    /// run (unique sources absent from the cache).
+    #[serde(default)]
+    pub mining_cache_misses: u64,
     /// Per-epoch generator losses.
     pub epoch_losses: Vec<f32>,
 }
@@ -151,60 +174,146 @@ impl Kgpip {
     /// Trains KGpip from a script corpus and the content of the training
     /// datasets (`tables` maps dataset name → its table, used for content
     /// embeddings; scripts referencing unknown datasets are skipped).
+    ///
+    /// Mining and embedding run on `config.parallelism` workers; results
+    /// are merged in input order, so the trained model is bit-for-bit
+    /// identical at any worker count. Script analysis is memoized in a
+    /// run-local [`MiningCache`]; use [`Kgpip::train_with_cache`] to
+    /// share (or persist) the cache across training runs.
     pub fn train(
         scripts: &[ScriptRecord],
         tables: &[(String, DataFrame)],
         config: KgpipConfig,
     ) -> Result<Kgpip> {
+        Kgpip::train_with_cache(scripts, tables, config, &MiningCache::default())
+    }
+
+    /// [`Kgpip::train`] with a caller-owned [`MiningCache`]: script
+    /// analysis outcomes are looked up by source fingerprint before any
+    /// static analysis runs, so re-training, K-sweeps, and ablations over
+    /// the same corpus skip mining entirely. The cache may only change
+    /// what mining costs, never what it produces — warm and cold runs are
+    /// bit-for-bit identical (proven by `tests/mining_determinism.rs`).
+    pub fn train_with_cache(
+        scripts: &[ScriptRecord],
+        tables: &[(String, DataFrame)],
+        config: KgpipConfig,
+        cache: &MiningCache,
+    ) -> Result<Kgpip> {
+        // Directly-constructed configs can carry `parallelism: 0`,
+        // bypassing the builder's clamp; treat that as sequential.
+        let workers = config.parallelism.max(1);
         let vocab = OpVocab::new();
-        // Content embeddings + similarity index over training datasets.
+
+        // Content embeddings + similarity index over training datasets,
+        // computed in parallel and registered in catalog order.
+        let embedding_started = std::time::Instant::now();
+        let vectors = table_embeddings(tables, workers);
         let mut embeddings: HashMap<String, Vec<f64>> = HashMap::new();
         let mut index = VectorIndex::new();
-        for (name, table) in tables {
-            let e = table_embedding(table);
+        for ((name, _), e) in tables.iter().zip(vectors) {
             index.add(name.clone(), e.clone());
             embeddings.insert(name.clone(), e);
         }
         // Large catalogs get an IVF partitioning so the nearest-dataset
         // lookup in `predict` stays sublinear; small ones stay exact.
         index.auto_tune(config.seed);
+        let embedding_secs = embedding_started.elapsed().as_secs_f64();
 
-        // Static analysis + filtering → Graph4ML.
+        // Static analysis + filtering → Graph4ML. Mining an individual
+        // script is pure in its source, so the corpus is deduplicated by
+        // source fingerprint, probed against the cache in first-occurrence
+        // order, and only the unique misses are analyzed — on a rayon pool
+        // when `workers > 1`, merged back in submission order. Assembly
+        // then walks the corpus in input order, so the Graph4ML, indices,
+        // and stats are identical to the historical sequential loop.
+        let mining_started = std::time::Instant::now();
+        let mut skipped_unknown_dataset = 0usize;
+        let mut fingerprints: Vec<Option<u64>> = Vec::with_capacity(scripts.len());
+        let mut outcomes: HashMap<u64, MineOutcome> = HashMap::new();
+        let mut pending: HashSet<u64> = HashSet::new();
+        let mut to_mine: Vec<(u64, &str)> = Vec::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for record in scripts {
+            if !embeddings.contains_key(&record.dataset) {
+                skipped_unknown_dataset += 1;
+                fingerprints.push(None);
+                continue;
+            }
+            let fp = source_fingerprint(&record.source);
+            fingerprints.push(Some(fp));
+            if outcomes.contains_key(&fp) || pending.contains(&fp) {
+                // Intra-corpus duplicate: analyzed once, replayed here.
+                cache_hits += 1;
+                continue;
+            }
+            match cache.get(fp) {
+                Some(outcome) => {
+                    cache_hits += 1;
+                    outcomes.insert(fp, outcome);
+                }
+                None => {
+                    cache_misses += 1;
+                    pending.insert(fp);
+                    to_mine.push((fp, record.source.as_str()));
+                }
+            }
+        }
+        // Mining is lenient: a notebook the analyzer cannot cleanly
+        // handle is skipped with a warning count, exactly as the paper's
+        // pipeline drops unusable scripts, rather than failing the whole
+        // training run.
+        let mined: Vec<MineOutcome> = if workers > 1 && to_mine.len() > 1 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .expect("thread pool construction");
+            pool.install(|| {
+                to_mine
+                    .par_iter()
+                    .map(|(_, src)| mine_script(src))
+                    .collect()
+            })
+        } else {
+            to_mine.iter().map(|(_, src)| mine_script(src)).collect()
+        };
+        for ((fp, _), outcome) in to_mine.iter().zip(mined) {
+            cache.insert(*fp, outcome.clone());
+            outcomes.insert(*fp, outcome);
+        }
         let mut graph4ml = Graph4Ml::new();
         let mut valid_pipelines = 0usize;
         let mut unparsable = 0usize;
-        for record in scripts {
-            if !embeddings.contains_key(&record.dataset) {
-                continue;
+        for (record, fp) in scripts.iter().zip(&fingerprints) {
+            let Some(fp) = fp else { continue };
+            match &outcomes[fp] {
+                MineOutcome::Unparsable => unparsable += 1,
+                MineOutcome::NoSkeleton => {} // EDA-only or unsupported framework
+                MineOutcome::Pipeline(filtered) => {
+                    graph4ml.add_pipeline(&record.dataset, filtered);
+                    valid_pipelines += 1;
+                }
             }
-            // Mining is lenient: a notebook the analyzer cannot cleanly
-            // handle is skipped with a warning count, exactly as the
-            // paper's pipeline drops unusable scripts, rather than
-            // failing the whole training run. The recovering analysis
-            // reports the malformed statements as diagnostics instead of
-            // aborting.
-            let (code_graph, diagnostics) = analyze_with_diagnostics(&record.source);
-            if diagnostics.iter().any(|d| d.severity == Severity::Error) {
-                unparsable += 1;
-                continue;
-            }
-            let filtered = filter_graph(&code_graph);
-            if filtered.skeleton().is_none() {
-                continue; // EDA-only or unsupported-framework notebook
-            }
-            graph4ml.add_pipeline(&record.dataset, &filtered);
-            valid_pipelines += 1;
         }
+        let mining_secs = mining_started.elapsed().as_secs_f64();
         if graph4ml.pipelines().is_empty() {
             return Err(KgpipError::EmptyTrainingSet);
         }
 
         // Whitening for the conditioning pathway (see `embedding_center`).
+        // The mean is accumulated over distinct datasets in catalog order:
+        // float addition is order-sensitive and HashMap iteration order is
+        // not deterministic, so summing `embeddings.values()` would leak
+        // run-to-run noise into every conditioned embedding.
         let dim = embeddings.values().next().map(Vec::len).unwrap_or(0);
         let mut embedding_center = vec![0.0f64; dim];
-        for e in embeddings.values() {
-            for (c, x) in embedding_center.iter_mut().zip(e) {
-                *c += x;
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (name, _) in tables {
+            if seen.insert(name.as_str()) {
+                for (c, x) in embedding_center.iter_mut().zip(&embeddings[name]) {
+                    *c += x;
+                }
             }
         }
         for c in &mut embedding_center {
@@ -240,10 +349,15 @@ impl Kgpip {
             scripts: scripts.len(),
             valid_pipelines,
             unparsable,
+            skipped_unknown_dataset,
             datasets: graph4ml.datasets().len(),
             total_nodes: graph4ml.total_nodes(),
             total_edges: graph4ml.total_edges(),
+            embedding_secs,
+            mining_secs,
             training_secs,
+            mining_cache_hits: cache_hits,
+            mining_cache_misses: cache_misses,
             epoch_losses,
         };
         Ok(Kgpip {

@@ -23,5 +23,5 @@ pub mod tsne;
 
 pub use column::{column_embedding, EMBED_DIM};
 pub use index::VectorIndex;
-pub use table::table_embedding;
+pub use table::{table_embedding, table_embeddings};
 pub use tsne::tsne;

@@ -2,6 +2,7 @@
 
 use crate::column::{column_embedding, EMBED_DIM};
 use kgpip_tabular::DataFrame;
+use rayon::prelude::*;
 
 /// Embeds a table by mean-pooling its column embeddings and L2-normalizing
 /// the result (paper §3.2: "Table embeddings are computed by pooling over
@@ -28,6 +29,31 @@ pub fn table_embedding(frame: &DataFrame) -> Vec<f64> {
         }
     }
     pooled
+}
+
+/// Embeds every table of a named catalog, in input order. With
+/// `parallelism > 1` the per-table embeddings are computed on a rayon
+/// worker pool of that many threads; results are merged back in input
+/// order, so the output is bit-for-bit identical at any worker count
+/// (each embedding depends only on its own table).
+pub fn table_embeddings(tables: &[(String, DataFrame)], parallelism: usize) -> Vec<Vec<f64>> {
+    if parallelism > 1 && tables.len() > 1 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(parallelism)
+            .build()
+            .expect("thread pool construction");
+        pool.install(|| {
+            tables
+                .par_iter()
+                .map(|(_, frame)| table_embedding(frame))
+                .collect()
+        })
+    } else {
+        tables
+            .iter()
+            .map(|(_, frame)| table_embedding(frame))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use kgpip_learners::{EncodedDataset, Params, TransformCache};
 use kgpip_tabular::{train_test_split, Dataset};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -56,6 +57,11 @@ pub struct SearchReport {
     pub cache_hits: u64,
     /// Transformer-prefix cache misses.
     pub cache_misses: u64,
+    /// Trials that ran against the pre-encoded splits (the encode-once
+    /// fast path). Skeleton-only searches with no transformers never
+    /// consult the transform cache — this counter shows the caching that
+    /// *did* happen there, instead of a misleading 0% hit rate.
+    pub encoded_trials: u64,
 }
 
 impl SearchReport {
@@ -80,14 +86,22 @@ impl SearchReport {
         report
     }
 
-    /// Transform-cache hit rate in `[0, 1]` (0 when nothing was looked
-    /// up).
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+    /// Total transform-cache lookups (hits + misses). Zero means the
+    /// search never consulted the cache at all — a hit *rate* is
+    /// meaningless then, not 0%.
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Transform-cache hit rate in `[0, 1]`; `None` when the cache was
+    /// never looked up (e.g. skeleton-only searches with no transformer
+    /// chains), so callers cannot mistake "unused" for "0% effective".
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_lookups();
         if total == 0 {
-            0.0
+            None
         } else {
-            self.cache_hits as f64 / total as f64
+            Some(self.cache_hits as f64 / total as f64)
         }
     }
 }
@@ -277,6 +291,9 @@ pub struct Evaluator {
     gate: BudgetGate,
     history: Mutex<Vec<TrialOutcome>>,
     parallelism: usize,
+    /// Trials that took the pre-encoded fast path (see
+    /// [`SearchReport::encoded_trials`]).
+    encoded_trials: AtomicU64,
 }
 
 impl Evaluator {
@@ -303,6 +320,7 @@ impl Evaluator {
             gate: BudgetGate::new(budget),
             history: Mutex::new(Vec::new()),
             parallelism: 1,
+            encoded_trials: AtomicU64::new(0),
         })
     }
 
@@ -368,6 +386,7 @@ impl Evaluator {
         let mut report = SearchReport::from_history(&self.history());
         report.cache_hits = self.cache.hits();
         report.cache_misses = self.cache.misses();
+        report.encoded_trials = self.encoded_trials.load(Ordering::Relaxed);
         report
     }
 
@@ -421,7 +440,10 @@ impl Evaluator {
         let started = std::time::Instant::now();
         let fit = Pipeline::from_spec(spec.clone()).and_then(|mut p| {
             match (self.caching, &self.encoded) {
-                (true, Some((tr, va))) => p.fit_score_encoded(tr, va, Some(&self.cache)),
+                (true, Some((tr, va))) => {
+                    self.encoded_trials.fetch_add(1, Ordering::Relaxed);
+                    p.fit_score_encoded(tr, va, Some(&self.cache))
+                }
                 _ => p.fit_score(&self.train, &self.valid),
             }
         });
@@ -661,6 +683,19 @@ mod tests {
         // Same chain prefix twice: first trial misses, second hits.
         assert_eq!(report.cache_misses, 1);
         assert_eq!(report.cache_hits, 1);
-        assert!((report.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(report.encoded_trials, 2, "both trials took the fast path");
+        let rate = report.cache_hit_rate().expect("cache was consulted");
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_cache_reports_no_hit_rate() {
+        let report = SearchReport::default();
+        assert_eq!(report.cache_lookups(), 0);
+        assert_eq!(
+            report.cache_hit_rate(),
+            None,
+            "an unconsulted cache has no hit rate, not a 0% one"
+        );
     }
 }

@@ -3,12 +3,14 @@
 # perf trajectory is tracked across PRs:
 #   BENCH_graphgen.json — graph-generation kernels
 #   BENCH_hpo.json      — HPO trial throughput (trials/sec, cache hit rate)
-#   scripts/bench.sh [graphgen_out.json] [hpo_out.json]
+#   BENCH_mining.json   — corpus mining (scripts/sec cold vs warm, p1 vs pN)
+#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 graphgen_out="${1:-BENCH_graphgen.json}"
 hpo_out="${2:-BENCH_hpo.json}"
+mining_out="${3:-BENCH_mining.json}"
 
 # Runs one criterion bench target and folds its `BENCH_JSON {...}` lines
 # (one per benchmark, printed by the vendored criterion plus any summary
@@ -34,3 +36,4 @@ run_suite() {
 
 run_suite graph_generation "$graphgen_out"
 run_suite hpo_parallel "$hpo_out"
+run_suite corpus_mining "$mining_out"

@@ -20,6 +20,7 @@ echo "==> determinism suite (parallel engine bit-for-bit reproducibility)"
 cargo test -p kgpip-graphgen --test determinism -q
 cargo test -p kgpip-nn --test props -q
 cargo test -p kgpip-learners --test gbt_determinism -q
+cargo test -p kgpip --test mining_determinism -q
 
 echo "==> cache-equivalence suite (trial caches change cost, never results)"
 cargo test -p kgpip-hpo --test cache_equivalence -q
