@@ -1,0 +1,231 @@
+//! Throughput and latency of `kgpip-serve`, the concurrent batched
+//! prediction service over an immutable [`TrainedModel`] artifact.
+//!
+//! Arms:
+//!
+//! * `direct_predict` — `TrainedModel::predict_table` with no server in
+//!   the loop: the floor any serving overhead is measured against.
+//! * `serve_roundtrip_w1_b1` — one worker, batch 1, cache off: the full
+//!   submit → queue → worker → reply round trip for a single request.
+//! * `serve_wave_w2_b8` — a wave of simultaneous requests against two
+//!   workers with batching on: the coalesced path.
+//!
+//! After the criterion arms, instrumented passes emit `BENCH_JSON`
+//! summary lines (QPS, p50/p99 latency, cache hit rate) per server
+//! configuration — `scripts/bench.sh` collects these into
+//! `BENCH_serve.json`. The serve-identity suite proves every
+//! configuration returns bit-identical answers; these numbers are
+//! therefore pure cost, never quality.
+//!
+//! Run `cargo bench --bench serve_bench -- --bench` for timed results;
+//! the smoke mode (plain `cargo bench`) only checks the harness runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgpip::TrainedModel;
+use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};
+use kgpip_graphgen::GeneratorConfig;
+use kgpip_hpo::{Flaml, Optimizer};
+use kgpip_serve::{ServeConfig, ServeHandle, ServeRequest};
+use kgpip_tabular::{Column, DataFrame, Task};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Distinct query tables per pass; repeats beyond this count are cache
+/// hits when caching is enabled.
+const DISTINCT_TABLES: usize = 8;
+/// Sequential round trips measured for the latency percentiles.
+const LATENCY_REQUESTS: usize = 24;
+/// Wave size for the throughput measurement.
+const WAVE_REQUESTS: usize = 32;
+
+fn table_like(offset: f64, n: usize) -> DataFrame {
+    DataFrame::from_columns(vec![
+        (
+            "f0".to_string(),
+            Column::from_f64((0..n).map(|i| offset + (i % 10) as f64).collect::<Vec<_>>()),
+        ),
+        (
+            "f1".to_string(),
+            Column::from_f64((0..n).map(|i| offset + (i % 7) as f64).collect::<Vec<_>>()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn trained_artifact() -> TrainedModel {
+    let profiles = vec![
+        DatasetProfile::new("alpha", false),
+        DatasetProfile::new("beta", false),
+    ];
+    let scripts = generate_corpus(
+        &profiles,
+        &CorpusConfig {
+            scripts_per_dataset: 6,
+            unsupported_fraction: 0.0,
+            seed: 0,
+            ..CorpusConfig::default()
+        },
+    );
+    let tables = vec![
+        ("alpha".to_string(), table_like(0.0, 30)),
+        ("beta".to_string(), table_like(500.0, 30)),
+    ];
+    let config = kgpip::KgpipConfig::default().with_generator(GeneratorConfig {
+        hidden: 10,
+        prop_rounds: 1,
+        epochs: 3,
+        seed: 0,
+        ..GeneratorConfig::default()
+    });
+    kgpip::Kgpip::train(&scripts, &tables, config)
+        .unwrap()
+        .into_artifact()
+}
+
+fn query_tables() -> Vec<DataFrame> {
+    (0..DISTINCT_TABLES)
+        .map(|i| table_like(i as f64 * 37.0, 20 + i))
+        .collect()
+}
+
+fn request_for(table: &DataFrame) -> ServeRequest {
+    ServeRequest {
+        table: table.clone(),
+        task: Task::Binary,
+        k: 3,
+        seed: 5,
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let model = trained_artifact();
+    let caps = Flaml::new(0).capabilities();
+    let tables = query_tables();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // --- Baseline: the prediction itself, no server in the loop ---
+    let mut cursor = 0usize;
+    group.bench_function("direct_predict", |b| {
+        b.iter(|| {
+            let t = &tables[cursor % tables.len()];
+            cursor += 1;
+            model
+                .predict_table(black_box(t), Task::Binary, 3, &caps, 5)
+                .unwrap()
+        })
+    });
+
+    // --- Full round trip, one request at a time, cache off ---
+    {
+        let server = ServeHandle::start(
+            model.share(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_cache_capacity(0),
+        );
+        let mut i = 0usize;
+        group.bench_function("serve_roundtrip_w1_b1", |b| {
+            b.iter(|| {
+                let t = &tables[i % tables.len()];
+                i += 1;
+                server.predict(request_for(black_box(t))).unwrap()
+            })
+        });
+        server.shutdown();
+    }
+
+    // --- Coalesced wave: simultaneous submits, batching on ---
+    {
+        let server = ServeHandle::start(
+            model.share(),
+            ServeConfig::default()
+                .with_workers(2)
+                .with_max_batch(8)
+                .with_cache_capacity(0),
+        );
+        group.bench_function("serve_wave_w2_b8", |b| {
+            b.iter(|| {
+                let pending: Vec<_> = tables
+                    .iter()
+                    .map(|t| server.submit(request_for(black_box(t))))
+                    .collect();
+                pending
+                    .into_iter()
+                    .map(|p| p.wait().unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+
+    // --- Machine-readable summary: QPS, p50/p99 latency, cache hits ---
+    // One instrumented pass per configuration: a sequential phase for
+    // honest per-request latency percentiles, then a wave phase for
+    // coalesced throughput. Repeats past the distinct-table count are
+    // cache hits when caching is on, so the cached configuration's hit
+    // rate and QPS show the cache working.
+    let configs: [(&str, usize, usize, usize); 3] = [
+        ("serve_summary_w1_b1_nocache", 1, 1, 0),
+        ("serve_summary_w2_b8_nocache", 2, 8, 0),
+        ("serve_summary_w2_b8_cached", 2, 8, 256),
+    ];
+    for (id, workers, max_batch, cache_capacity) in configs {
+        let server = ServeHandle::start(
+            model.share(),
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_cache_capacity(cache_capacity),
+        );
+
+        // Latency phase: strict round trips, one in flight at a time.
+        let mut latencies: Vec<Duration> = Vec::with_capacity(LATENCY_REQUESTS);
+        for i in 0..LATENCY_REQUESTS {
+            let t = &tables[i % tables.len()];
+            let started = Instant::now();
+            black_box(server.predict(request_for(t)).unwrap());
+            latencies.push(started.elapsed());
+        }
+        latencies.sort();
+
+        // Throughput phase: the whole wave in flight at once.
+        let started = Instant::now();
+        let pending: Vec<_> = (0..WAVE_REQUESTS)
+            .map(|i| server.submit(request_for(&tables[i % tables.len()])))
+            .collect();
+        for p in pending {
+            black_box(p.wait().unwrap());
+        }
+        let wave_secs = started.elapsed().as_secs_f64();
+
+        let stats = server.shutdown();
+        let probes = stats.cache.hits + stats.cache.misses;
+        let hit_rate = if probes == 0 {
+            0.0
+        } else {
+            stats.cache.hits as f64 / probes as f64
+        };
+        println!(
+            "BENCH_JSON {{\"id\":{id:?},\"workers\":{workers},\"max_batch\":{max_batch},\
+             \"requests\":{},\"qps\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"batches\":{},\"cache_hit_rate\":{hit_rate:.4}}}",
+            stats.served,
+            WAVE_REQUESTS as f64 / wave_secs.max(1e-9),
+            percentile_ms(&latencies, 50.0),
+            percentile_ms(&latencies, 99.0),
+            stats.batches,
+        );
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

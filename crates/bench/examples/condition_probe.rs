@@ -16,7 +16,9 @@ fn main() {
     let names: Vec<String> = model.graph4ml().datasets().to_vec();
     for name in names {
         let emb = model.embedding_of(&name).unwrap().to_vec();
-        let sk = model.predict_with_embedding(&emb, Task::Binary, 3, &caps, 9);
+        let sk = model
+            .predict_with_embedding(&emb, Task::Binary, 3, &caps, 9)
+            .expect("k > 0");
         let tops: Vec<&str> = sk.iter().map(|(s, _)| s.estimator.name()).collect();
         println!(
             "{name:14} dom {} {:?} -> {:?}",

@@ -27,7 +27,9 @@ fn main() {
         let (name, sim) = model.nearest_dataset(&ds).unwrap();
         let want = domain_of(entry.name);
         let got = domain_of(&name);
-        let (skeletons, _) = model.predict_skeletons(&ds, 3, &caps, cfg.seed);
+        let (skeletons, _) = model
+            .predict_skeletons(&ds, 3, &caps, cfg.seed)
+            .expect("trained catalog is non-empty and k > 0");
         let shape = shape_of(want);
         let fam: &[&str] = match shape {
             DataShape::Boost => &["xgboost", "gradient_boost", "lgbm", "random_forest"],

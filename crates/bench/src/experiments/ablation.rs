@@ -358,8 +358,12 @@ pub fn conditioning_ablation(cfg: &ExperimentConfig, limit: usize) -> String {
     let mut zero_hits = 0usize;
     for entry in &entries {
         let ds = generate_dataset(entry, &cfg.scale, cfg.seed.wrapping_add(entry.id as u64));
-        let (content, _) = model.predict_skeletons(&ds, 3, &caps, cfg.seed);
-        let zero = model.predict_with_embedding(&vec![0.0; 48], ds.task, 3, &caps, cfg.seed);
+        let (content, _) = model
+            .predict_skeletons(&ds, 3, &caps, cfg.seed)
+            .expect("trained catalog is non-empty and k > 0");
+        let zero = model
+            .predict_with_embedding(&vec![0.0; 48], ds.task, 3, &caps, cfg.seed)
+            .expect("k > 0");
         let prefs = preferred(entry.name);
         if content
             .first()

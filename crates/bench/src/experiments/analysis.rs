@@ -176,7 +176,9 @@ pub fn diversity(cfg: &ExperimentConfig, limit: Option<usize>) -> String {
         // Three prediction runs with different sampling seeds.
         let lists: Vec<Vec<f64>> = (0..3)
             .map(|run| {
-                let (sk, _) = model.predict_skeletons(&ds, 5, &caps, cfg.seed + 100 + run);
+                let (sk, _) = model
+                    .predict_skeletons(&ds, 5, &caps, cfg.seed + 100 + run)
+                    .expect("trained catalog is non-empty and k > 0");
                 sk.iter()
                     .map(|(s, _)| {
                         EstimatorKind::ALL

@@ -41,13 +41,17 @@
 //! # Ok(()) }
 //! ```
 
+pub mod artifact;
 pub mod predict;
 pub mod skeleton;
+pub mod snapshot;
 pub mod train;
 
+pub use artifact::TrainedModel;
 pub use kgpip_codegraph::{MineOutcome, MiningCache};
 pub use predict::{KgpipRun, SkeletonResult};
 pub use skeleton::{decode_skeleton, validate_against_capabilities};
+pub use snapshot::Snapshot;
 pub use train::{Kgpip, KgpipConfig, TrainingStats};
 
 /// One-stop imports for driving KGpip end to end: the system types, the
@@ -55,7 +59,8 @@ pub use train::{Kgpip, KgpipConfig, TrainingStats};
 /// primitives every example needs.
 pub mod prelude {
     pub use crate::{
-        Kgpip, KgpipConfig, KgpipError, KgpipRun, MiningCache, SkeletonResult, TrainingStats,
+        Kgpip, KgpipConfig, KgpipError, KgpipRun, MiningCache, SkeletonResult, Snapshot,
+        TrainedModel, TrainingStats,
     };
     pub use kgpip_hpo::{
         Al, AutoSklearn, BudgetGate, Candidate, Evaluator, Flaml, HpoResult, Optimizer, Skeleton,
@@ -70,6 +75,11 @@ pub mod prelude {
 pub enum KgpipError {
     /// The training corpus yielded no usable pipelines after filtering.
     EmptyTrainingSet,
+    /// The model's similarity catalog holds no training datasets, so
+    /// nearest-neighbour retrieval cannot answer.
+    EmptyCatalog,
+    /// The request cannot yield a pipeline skeleton (currently: `k == 0`).
+    NoValidSkeleton,
     /// A script failed static analysis.
     Analysis(kgpip_codegraph::CodeGraphError),
     /// The backend optimizer failed on every predicted skeleton.
@@ -87,6 +97,15 @@ impl std::fmt::Display for KgpipError {
         match self {
             KgpipError::EmptyTrainingSet => {
                 write!(f, "no valid pipelines survived filtering; cannot train")
+            }
+            KgpipError::EmptyCatalog => {
+                write!(
+                    f,
+                    "the similarity catalog is empty; no neighbour to retrieve"
+                )
+            }
+            KgpipError::NoValidSkeleton => {
+                write!(f, "the request cannot produce a pipeline skeleton (k = 0)")
             }
             KgpipError::Analysis(e) => write!(f, "static analysis failed: {e}"),
             KgpipError::AllSkeletonsFailed => {

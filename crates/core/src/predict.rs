@@ -1,14 +1,25 @@
 //! The online KGpip workflow: embed → nearest neighbour → conditional
 //! generation → skeleton decoding → `(T − t)/K` hyperparameter search.
+//!
+//! Every entry point is a method on [`&TrainedModel`](TrainedModel) — the
+//! immutable serving artifact — so one `Arc<TrainedModel>` serves any
+//! number of threads. [`Kgpip`] keeps thin delegations for callers that
+//! hold a full training run. The pipeline is deliberately factored into
+//! pure stages ([`TrainedModel::embed_table`] →
+//! [`TrainedModel::predict_from_query_embedding`]) so a batching server
+//! can interleave stages across requests and still produce bit-identical
+//! answers to the direct [`TrainedModel::predict_skeletons`] call.
 
+use crate::artifact::TrainedModel;
 use crate::skeleton::{decode_skeleton, validate_against_capabilities};
 use crate::train::Kgpip;
 use crate::{KgpipError, Result};
 use kgpip_embeddings::table_embedding;
+use kgpip_graphgen::effective_parallelism;
 use kgpip_graphgen::model::TypedGraph;
 use kgpip_hpo::{HpoResult, Optimizer, Skeleton, TimeBudget};
 use kgpip_learners::EstimatorKind;
-use kgpip_tabular::Dataset;
+use kgpip_tabular::{DataFrame, Dataset, Task};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::time::Duration;
@@ -39,7 +50,9 @@ pub struct KgpipRun {
 }
 
 impl KgpipRun {
-    /// The best HPO result.
+    /// The best HPO result. (`run_k` only constructs a `KgpipRun` when at
+    /// least one skeleton search succeeded, so `best_index` always points
+    /// at a populated result.)
     pub fn best(&self) -> &HpoResult {
         self.results[self.best_index]
             .hpo
@@ -66,15 +79,34 @@ impl KgpipRun {
     }
 }
 
-impl Kgpip {
-    /// Embeds an unseen dataset and finds its nearest training dataset
-    /// (name, similarity) by content. Catalogs at or above
+impl TrainedModel {
+    /// Embeds an unseen table by content — the first stage of the online
+    /// workflow, exposed separately so a batching server can embed a
+    /// whole wave of tables before any generation runs.
+    pub fn embed_table(&self, frame: &DataFrame) -> Vec<f64> {
+        table_embedding(frame)
+    }
+
+    /// Finds the nearest training dataset `(name, similarity)` for an
+    /// already-computed query embedding. Catalogs at or above
     /// `VectorIndex::IVF_AUTO_THRESHOLD` datasets are probed through the
     /// IVF partitioning trained by `Kgpip::train`; smaller ones scan
     /// exactly (`top_k_ivf` falls back to exact when untrained).
-    pub fn nearest_dataset(&self, ds: &Dataset) -> Option<(String, f64)> {
-        let e = table_embedding(&ds.features);
-        self.index.top_k_ivf(&e, 1).into_iter().next()
+    ///
+    /// Errors with [`KgpipError::EmptyCatalog`] when the model has no
+    /// training datasets — a state a server must report, not panic on.
+    pub fn nearest_by_embedding(&self, embedding: &[f64]) -> Result<(String, f64)> {
+        self.index
+            .top_k_ivf(embedding, 1)
+            .into_iter()
+            .next()
+            .ok_or(KgpipError::EmptyCatalog)
+    }
+
+    /// Embeds an unseen dataset and finds its nearest training dataset
+    /// (name, similarity) by content.
+    pub fn nearest_dataset(&self, ds: &Dataset) -> Result<(String, f64)> {
+        self.nearest_by_embedding(&self.embed_table(&ds.features))
     }
 
     /// Predicts up to `k` pipeline skeletons for an unseen dataset,
@@ -88,32 +120,69 @@ impl Kgpip {
         k: usize,
         capabilities_json: &str,
         seed: u64,
-    ) -> (Vec<(Skeleton, f64)>, String) {
-        let (neighbour, _) = self
-            .nearest_dataset(ds)
-            .expect("training set is non-empty by construction");
+    ) -> Result<(Vec<(Skeleton, f64)>, String)> {
+        let query = self.embed_table(&ds.features);
+        self.predict_from_query_embedding(&query, ds.task, k, capabilities_json, seed)
+    }
+
+    /// [`TrainedModel::predict_skeletons`] for a table without labels —
+    /// the serving layer's entry point, where requests carry a bare table
+    /// and a task kind.
+    pub fn predict_table(
+        &self,
+        frame: &DataFrame,
+        task: Task,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Result<(Vec<(Skeleton, f64)>, String)> {
+        let query = self.embed_table(frame);
+        self.predict_from_query_embedding(&query, task, k, capabilities_json, seed)
+    }
+
+    /// Second stage of the online workflow: nearest-neighbour lookup and
+    /// conditional generation from an already-computed query embedding.
+    /// `predict_skeletons` ≡ `embed_table` + this method, which is what
+    /// lets `kgpip-serve` batch the embedding stage across requests while
+    /// staying bit-identical to the direct call.
+    pub fn predict_from_query_embedding(
+        &self,
+        query: &[f64],
+        task: Task,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Result<(Vec<(Skeleton, f64)>, String)> {
+        let (neighbour, _) = self.nearest_by_embedding(query)?;
         // Seed generation with the *neighbour's* stored content embedding
         // (§3.5: generation starts from "the closest seen dataset node —
         // more specifically, its content embedding").
         let embedding = self.embeddings[&neighbour].clone();
         let skeletons =
-            self.predict_with_embedding(&embedding, ds.task, k, capabilities_json, seed);
-        (skeletons, neighbour)
+            self.predict_with_embedding(&embedding, task, k, capabilities_json, seed)?;
+        Ok((skeletons, neighbour))
         // (predict_with_embedding centres the vector; passing the raw
         // stored embedding here keeps the two paths consistent.)
     }
 
-    /// Like [`Kgpip::predict_skeletons`] but with an explicit conditioning
-    /// embedding — the hook for the content-vs-random conditioning
-    /// ablation (DESIGN.md).
+    /// Like [`TrainedModel::predict_skeletons`] but with an explicit
+    /// conditioning embedding — the hook for the content-vs-random
+    /// conditioning ablation (DESIGN.md).
+    ///
+    /// Errors with [`KgpipError::NoValidSkeleton`] when `k == 0` — the
+    /// one request shape that cannot produce a pipeline (for `k ≥ 1` the
+    /// corpus-dominant fallback guarantees a result).
     pub fn predict_with_embedding(
         &self,
         embedding: &[f64],
-        task: kgpip_tabular::Task,
+        task: Task,
         k: usize,
         capabilities_json: &str,
         seed: u64,
-    ) -> Vec<(Skeleton, f64)> {
+    ) -> Result<Vec<(Skeleton, f64)>> {
+        if k == 0 {
+            return Err(KgpipError::NoValidSkeleton);
+        }
         let prefix = TypedGraph::conditioning_prefix(&self.vocab);
         let conditioned = self.condition_vector(embedding);
         // Oversample: generated graphs can be invalid or unsupported.
@@ -143,10 +212,13 @@ impl Kgpip {
         }
         if out.is_empty() {
             // Fallback: the corpus' dominant learner with no transformers
-            // (boosting, which supports both tasks).
+            // (boosting, which supports both tasks). Deliberately not
+            // gated on the capability document — a backend that cannot
+            // run it will fail the skeleton search and report that,
+            // which beats serving nothing.
             out.push((Skeleton::bare(EstimatorKind::XgBoost), f64::NEG_INFINITY));
         }
-        out
+        Ok(out)
     }
 
     /// Runs the full KGpip workflow on one dataset: predict K skeletons,
@@ -161,7 +233,8 @@ impl Kgpip {
         self.run_k(train, backend, budget, self.config.top_k)
     }
 
-    /// [`Kgpip::run`] with an explicit K (Figure 7 sweeps K ∈ {3, 5, 7}).
+    /// [`TrainedModel::run`] with an explicit K (Figure 7 sweeps
+    /// K ∈ {3, 5, 7}).
     ///
     /// With `config.parallelism == 1` skeletons are searched one after the
     /// other, each getting `(T − t)/K` of the *remaining* budget (unused
@@ -179,13 +252,16 @@ impl Kgpip {
         backend.set_trial_cache(!self.config.disable_trial_cache);
         let capabilities = backend.capabilities();
         let (skeletons, neighbour) =
-            self.predict_skeletons(train, k, &capabilities, self.config.seed);
+            self.predict_skeletons(train, k, &capabilities, self.config.seed)?;
         let generation_time = started.elapsed();
 
         let total = skeletons.len();
         // Clamp at the use site: directly-constructed configs can carry
-        // `parallelism: 0`, bypassing the builder's `.max(1)`.
-        let workers = self.config.parallelism.max(1);
+        // `parallelism: 0`, bypassing the builder's `.max(1)` — and a
+        // config asking for more workers than the host has CPUs must take
+        // the sequential path rather than pay pool overhead for nothing
+        // (the 1-CPU-container regression).
+        let workers = effective_parallelism(self.config.parallelism);
         let results: Vec<SkeletonResult> = if workers <= 1 {
             let mut results = Vec::with_capacity(total);
             for (i, (skeleton, generation_score)) in skeletons.into_iter().enumerate() {
@@ -202,7 +278,7 @@ impl Kgpip {
             }
             results
         } else {
-            self.run_skeletons_parallel(train, backend, &budget, skeletons)
+            self.run_skeletons_parallel(train, backend, &budget, skeletons, workers)
         };
         let best_index = results
             .iter()
@@ -222,7 +298,7 @@ impl Kgpip {
     /// Parallel lanes for the per-skeleton `(T − t)/K` searches: each
     /// skeleton gets a fresh engine clone (configuration only, no search
     /// state) and a sub-budget sharing the parent's trial pool. The
-    /// configured parallelism is split across lanes, with the remainder
+    /// effective parallelism is split across lanes, with the remainder
     /// given to each lane's own trial evaluation.
     fn run_skeletons_parallel(
         &self,
@@ -230,9 +306,9 @@ impl Kgpip {
         backend: &dyn Optimizer,
         budget: &TimeBudget,
         skeletons: Vec<(Skeleton, f64)>,
+        workers: usize,
     ) -> Vec<SkeletonResult> {
         let total = skeletons.len();
-        let workers = self.config.parallelism.max(1);
         let lanes = workers.min(total).max(1);
         let per_engine = (workers / lanes).max(1);
         let engines: Vec<Mutex<Box<dyn Optimizer + Send>>> = (0..total)
@@ -267,6 +343,61 @@ impl Kgpip {
                 })
                 .collect()
         })
+    }
+}
+
+/// Thin delegations so a full training run answers predictions without
+/// first extracting its artifact.
+impl Kgpip {
+    /// See [`TrainedModel::nearest_dataset`].
+    pub fn nearest_dataset(&self, ds: &Dataset) -> Result<(String, f64)> {
+        self.artifact.nearest_dataset(ds)
+    }
+
+    /// See [`TrainedModel::predict_skeletons`].
+    pub fn predict_skeletons(
+        &self,
+        ds: &Dataset,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Result<(Vec<(Skeleton, f64)>, String)> {
+        self.artifact
+            .predict_skeletons(ds, k, capabilities_json, seed)
+    }
+
+    /// See [`TrainedModel::predict_with_embedding`].
+    pub fn predict_with_embedding(
+        &self,
+        embedding: &[f64],
+        task: Task,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Result<Vec<(Skeleton, f64)>> {
+        self.artifact
+            .predict_with_embedding(embedding, task, k, capabilities_json, seed)
+    }
+
+    /// See [`TrainedModel::run`].
+    pub fn run(
+        &self,
+        train: &Dataset,
+        backend: &mut dyn Optimizer,
+        budget: TimeBudget,
+    ) -> Result<KgpipRun> {
+        self.artifact.run(train, backend, budget)
+    }
+
+    /// See [`TrainedModel::run_k`].
+    pub fn run_k(
+        &self,
+        train: &Dataset,
+        backend: &mut dyn Optimizer,
+        budget: TimeBudget,
+        k: usize,
+    ) -> Result<KgpipRun> {
+        self.artifact.run_k(train, backend, budget, k)
     }
 }
 
@@ -340,7 +471,7 @@ mod tests {
         use kgpip_hpo::Optimizer as _;
         let caps = backend.capabilities();
         let started = std::time::Instant::now();
-        let (skeletons, neighbour) = model.predict_skeletons(&ds, 3, &caps, 0);
+        let (skeletons, neighbour) = model.predict_skeletons(&ds, 3, &caps, 0).unwrap();
         assert!(!skeletons.is_empty());
         assert!(skeletons.len() <= 3);
         assert!(neighbour == "alpha" || neighbour == "beta");
@@ -349,6 +480,56 @@ mod tests {
         }
         // "almost instantaneously" — generation without HPO is fast.
         assert!(started.elapsed().as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn artifact_predictions_match_the_training_run() {
+        let model = trained_model();
+        let ds = unseen_dataset(80);
+        let artifact = model.artifact();
+        let caps = {
+            use kgpip_hpo::Optimizer as _;
+            Flaml::new(0).capabilities()
+        };
+        let (via_run, n1) = model.predict_skeletons(&ds, 3, &caps, 7).unwrap();
+        let (via_artifact, n2) = artifact.predict_skeletons(&ds, 3, &caps, 7).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(via_run.len(), via_artifact.len());
+        for ((s1, g1), (s2, g2)) in via_run.iter().zip(&via_artifact) {
+            assert_eq!(s1, s2);
+            assert_eq!(g1.to_bits(), g2.to_bits());
+        }
+        // Staged path (embed, then generate) is bit-identical too — the
+        // contract the batching server relies on.
+        let query = artifact.embed_table(&ds.features);
+        let (staged, n3) = artifact
+            .predict_from_query_embedding(&query, ds.task, 3, &caps, 7)
+            .unwrap();
+        assert_eq!(n2, n3);
+        for ((s1, g1), (s2, g2)) in via_artifact.iter().zip(&staged) {
+            assert_eq!(s1, s2);
+            assert_eq!(g1.to_bits(), g2.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_k_is_a_typed_error() {
+        let model = trained_model();
+        let ds = unseen_dataset(40);
+        let err = model.predict_skeletons(&ds, 0, "{}", 0).unwrap_err();
+        assert!(matches!(err, KgpipError::NoValidSkeleton));
+    }
+
+    #[test]
+    fn empty_catalog_is_a_typed_error() {
+        let model = trained_model();
+        let mut artifact = model.into_artifact();
+        artifact.index = kgpip_embeddings::VectorIndex::new();
+        let ds = unseen_dataset(40);
+        let err = artifact.nearest_dataset(&ds).unwrap_err();
+        assert!(matches!(err, KgpipError::EmptyCatalog));
+        let err = artifact.predict_skeletons(&ds, 3, "{}", 0).unwrap_err();
+        assert!(matches!(err, KgpipError::EmptyCatalog));
     }
 
     #[test]

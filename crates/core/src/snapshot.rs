@@ -1,0 +1,348 @@
+//! The versioned binary snapshot format for [`TrainedModel`] artifacts.
+//!
+//! JSON persistence (the [`Kgpip::save`] compatibility path) re-parses
+//! every parameter scalar through a text representation — fine for
+//! reproduction runs, wrong for a serving fleet that reloads models behind
+//! traffic. The snapshot format is a flat, little-endian, single-pass
+//! layout:
+//!
+//! ```text
+//! magic  b"KGPS"                      (4 bytes)
+//! u32    format version               (currently 1)
+//! then length-prefixed sections until end of input:
+//!   u32 tag, u64 payload length, payload bytes
+//!     tag 1  system config            (KgpipConfig, JSON — tiny)
+//!     tag 2  conditioning center      (u64 dim + f64 each)
+//!     tag 3  op vocabulary            (u64 count + length-prefixed names)
+//!     tag 4  generator                (JSON GeneratorConfig + raw f32
+//!                                      parameter tensors in registration
+//!                                      order)
+//!     tag 5  similarity index         (VectorIndex::to_bytes payload)
+//!     tag 6  per-dataset embeddings   (u64 count + name + f64 vector)
+//! ```
+//!
+//! Versioning rules: readers accept exactly the versions they know;
+//! *unknown section tags* within a known version are skipped (room for
+//! additive sections without a version bump), while any layout change to
+//! an existing section requires bumping [`Snapshot::FORMAT_VERSION`]. The
+//! vocabulary section exists purely as a guard — type ids in the generator
+//! parameters are meaningless if the op vocabulary ever drifts, so loading
+//! fails loudly instead of decoding garbage pipelines.
+//!
+//! [`Kgpip::save`]: crate::Kgpip::save
+
+use crate::artifact::TrainedModel;
+use crate::train::{Kgpip, KgpipConfig};
+use crate::{KgpipError, Result};
+use kgpip_codegraph::OpVocab;
+use kgpip_embeddings::VectorIndex;
+use kgpip_graphgen::{GeneratorConfig, GraphGenerator};
+use kgpip_nn::Tensor;
+use std::collections::HashMap;
+
+const TAG_CONFIG: u32 = 1;
+const TAG_CENTER: u32 = 2;
+const TAG_VOCAB: u32 = 3;
+const TAG_GENERATOR: u32 = 4;
+const TAG_INDEX: u32 = 5;
+const TAG_EMBEDDINGS: u32 = 6;
+
+/// A parsed model snapshot: the format version it was written with plus
+/// the decoded artifact.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Format version of the source bytes.
+    pub version: u32,
+    /// The decoded model.
+    pub model: TrainedModel,
+}
+
+impl Snapshot {
+    /// File magic identifying a KGpip binary snapshot.
+    pub const MAGIC: [u8; 4] = *b"KGPS";
+    /// The snapshot format version this build reads and writes.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Parses a snapshot from bytes produced by
+    /// [`TrainedModel::snapshot_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != Self::MAGIC {
+            return Err(persist("not a KGpip snapshot (bad magic)"));
+        }
+        let version = r.u32()?;
+        if version != Self::FORMAT_VERSION {
+            return Err(persist(format!(
+                "unsupported snapshot format version {version} (this build reads {})",
+                Self::FORMAT_VERSION
+            )));
+        }
+
+        let mut config: Option<KgpipConfig> = None;
+        let mut center: Option<Vec<f64>> = None;
+        let mut vocab_names: Option<Vec<String>> = None;
+        let mut generator: Option<GraphGenerator> = None;
+        let mut index: Option<VectorIndex> = None;
+        let mut embeddings: Option<HashMap<String, Vec<f64>>> = None;
+        while !r.at_end() {
+            let tag = r.u32()?;
+            let len = r.u64()? as usize;
+            let payload = r.take(len)?;
+            let mut s = Reader::new(payload);
+            match tag {
+                TAG_CONFIG => {
+                    let json = std::str::from_utf8(payload).map_err(persist)?;
+                    config = Some(serde_json::from_str(json).map_err(persist)?);
+                }
+                TAG_CENTER => {
+                    center = Some(s.f64s()?);
+                    s.expect_end("conditioning center")?;
+                }
+                TAG_VOCAB => {
+                    let n = s.u64()? as usize;
+                    let mut names = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        names.push(s.str()?);
+                    }
+                    s.expect_end("vocabulary")?;
+                    vocab_names = Some(names);
+                }
+                TAG_GENERATOR => {
+                    let cfg_len = s.u64()? as usize;
+                    let cfg_json = std::str::from_utf8(s.take(cfg_len)?).map_err(persist)?;
+                    let cfg: GeneratorConfig = serde_json::from_str(cfg_json).map_err(persist)?;
+                    let count = s.u64()? as usize;
+                    let mut params = Vec::with_capacity(count.min(1 << 16));
+                    for _ in 0..count {
+                        let _name = s.str()?;
+                        let rows = s.u32()? as usize;
+                        let cols = s.u32()? as usize;
+                        let mut data = Vec::with_capacity((rows * cols).min(1 << 24));
+                        for _ in 0..rows * cols {
+                            data.push(f32::from_le_bytes(s.take(4)?.try_into().unwrap()));
+                        }
+                        params.push(Tensor::from_vec(data, rows, cols).map_err(persist)?);
+                    }
+                    s.expect_end("generator")?;
+                    generator = Some(GraphGenerator::from_params(cfg, params).map_err(persist)?);
+                }
+                TAG_INDEX => {
+                    index = Some(VectorIndex::from_bytes(payload).map_err(persist)?);
+                }
+                TAG_EMBEDDINGS => {
+                    let n = s.u64()? as usize;
+                    let mut map = HashMap::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        let name = s.str()?;
+                        let vector = s.f64s()?;
+                        map.insert(name, vector);
+                    }
+                    s.expect_end("embeddings")?;
+                    embeddings = Some(map);
+                }
+                // Unknown additive section from a newer writer of the same
+                // format version: skip.
+                _ => {}
+            }
+        }
+
+        let vocab = OpVocab::new();
+        let stored =
+            vocab_names.ok_or_else(|| persist("snapshot is missing the vocabulary section"))?;
+        let current: Vec<&str> = vocab.ops().iter().map(|op| op.name()).collect();
+        if stored != current {
+            return Err(persist(format!(
+                "snapshot vocabulary ({} ops) does not match this build ({} ops); \
+                 the model cannot be decoded safely",
+                stored.len(),
+                current.len()
+            )));
+        }
+        let model = TrainedModel {
+            config: config.ok_or_else(|| persist("snapshot is missing the config section"))?,
+            embedding_center: center
+                .ok_or_else(|| persist("snapshot is missing the conditioning-center section"))?,
+            vocab,
+            generator: generator
+                .ok_or_else(|| persist("snapshot is missing the generator section"))?,
+            index: index.ok_or_else(|| persist("snapshot is missing the index section"))?,
+            embeddings: embeddings
+                .ok_or_else(|| persist("snapshot is missing the embeddings section"))?,
+        };
+        Ok(Snapshot { version, model })
+    }
+
+    /// Reads a snapshot file written by [`TrainedModel::snapshot`].
+    pub fn read(path: impl AsRef<std::path::Path>) -> Result<Snapshot> {
+        let bytes = std::fs::read(path).map_err(persist)?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+impl TrainedModel {
+    /// Serializes the artifact into the binary snapshot format.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&Snapshot::MAGIC);
+        out.extend_from_slice(&Snapshot::FORMAT_VERSION.to_le_bytes());
+
+        let config_json = serde_json::to_string(&self.config).map_err(persist)?;
+        section(&mut out, TAG_CONFIG, config_json.as_bytes());
+
+        let mut center = Vec::new();
+        write_f64s(&mut center, &self.embedding_center);
+        section(&mut out, TAG_CENTER, &center);
+
+        let mut vocab = Vec::new();
+        write_u64(&mut vocab, self.vocab.ops().len() as u64);
+        for op in self.vocab.ops() {
+            write_str(&mut vocab, op.name());
+        }
+        section(&mut out, TAG_VOCAB, &vocab);
+
+        let mut generator = Vec::new();
+        let cfg_json = serde_json::to_string(self.generator.config()).map_err(persist)?;
+        write_u64(&mut generator, cfg_json.len() as u64);
+        generator.extend_from_slice(cfg_json.as_bytes());
+        let params: Vec<_> = self.generator.params().collect();
+        write_u64(&mut generator, params.len() as u64);
+        for (name, tensor) in params {
+            write_str(&mut generator, name);
+            generator.extend_from_slice(&(tensor.rows() as u32).to_le_bytes());
+            generator.extend_from_slice(&(tensor.cols() as u32).to_le_bytes());
+            for x in tensor.as_slice() {
+                generator.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        section(&mut out, TAG_GENERATOR, &generator);
+
+        section(&mut out, TAG_INDEX, &self.index.to_bytes());
+
+        // Embeddings are written in catalog (index) order so identical
+        // models produce identical snapshot bytes.
+        let mut embeddings = Vec::new();
+        write_u64(&mut embeddings, self.embeddings.len() as u64);
+        let mut written = 0usize;
+        for i in 0..self.index.len() {
+            let name = self.index.name(i);
+            if let Some(vector) = self.embeddings.get(name) {
+                write_str(&mut embeddings, name);
+                write_f64s(&mut embeddings, vector);
+                written += 1;
+            }
+        }
+        debug_assert_eq!(written, self.embeddings.len(), "catalog covers embeddings");
+        section(&mut out, TAG_EMBEDDINGS, &embeddings);
+
+        Ok(out)
+    }
+
+    /// Writes the artifact to a snapshot file (see [`Snapshot`] for the
+    /// format).
+    pub fn snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.snapshot_bytes()?).map_err(persist)
+    }
+
+    /// Opens a model artifact from disk, accepting either a binary
+    /// snapshot (sniffed by magic) or a JSON-era [`Kgpip::save`] file —
+    /// the single loader deployments should use.
+    ///
+    /// [`Kgpip::save`]: crate::Kgpip::save
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<TrainedModel> {
+        let bytes = std::fs::read(path).map_err(persist)?;
+        if bytes.len() >= 4 && bytes[..4] == Snapshot::MAGIC {
+            return Ok(Snapshot::from_bytes(&bytes)?.model);
+        }
+        let json = std::str::from_utf8(&bytes)
+            .map_err(|_| persist("file is neither a KGPS snapshot nor UTF-8 JSON"))?;
+        Ok(Kgpip::from_wire_json(json)?.into_artifact())
+    }
+}
+
+fn persist(e: impl ToString) -> KgpipError {
+    KgpipError::Persistence(e.to_string())
+}
+
+fn section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    write_u64(out, xs.len() as u64);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| persist(format!("snapshot truncated at byte {}", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u64()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(persist)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let len = self.u64()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn expect_end(&self, what: &str) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(persist(format!(
+                "trailing bytes in {what} section ({} of {})",
+                self.pos,
+                self.bytes.len()
+            )))
+        }
+    }
+}

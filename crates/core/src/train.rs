@@ -1,6 +1,7 @@
 //! The offline KGpip workflow: corpus → code graphs → filtered Graph4ML →
 //! dataset embeddings → trained graph generator.
 
+use crate::artifact::TrainedModel;
 use crate::{KgpipError, Result};
 use kgpip_codegraph::corpus::ScriptRecord;
 use kgpip_codegraph::{
@@ -8,13 +9,11 @@ use kgpip_codegraph::{
 };
 use kgpip_embeddings::{table_embeddings, VectorIndex};
 use kgpip_graphgen::model::TypedGraph;
-use kgpip_graphgen::{GeneratorConfig, GraphGenerator, TrainExample};
+use kgpip_graphgen::{effective_parallelism, GeneratorConfig, GraphGenerator, TrainExample};
 use kgpip_tabular::DataFrame;
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
-
-/// Amplification applied to centred conditioning embeddings.
-const CONDITION_GAIN: f64 = 8.0;
+use std::sync::Arc;
 
 /// KGpip system configuration.
 ///
@@ -151,23 +150,33 @@ pub struct TrainingStats {
     pub epoch_losses: Vec<f32>,
 }
 
-/// A trained KGpip model.
-#[derive(serde::Serialize, serde::Deserialize)]
+/// A trained KGpip training *run*: the immutable serving artifact (the
+/// [`TrainedModel`]) plus train-time state — the assembled Graph4ML and
+/// the run's [`TrainingStats`] — kept for corpus analyses and ablations.
+///
+/// Prediction entry points remain available on `Kgpip` as thin
+/// delegations, but the artifact is the canonical home of the online
+/// workflow: call [`Kgpip::artifact`] (or [`Kgpip::into_artifact`]) to
+/// extract it for serving.
 pub struct Kgpip {
-    // (GraphGenerator holds its parameter store, which has no meaningful
-    // Debug rendering; a manual impl below summarizes instead.)
-    pub(crate) config: KgpipConfig,
-    /// Mean of the training-dataset embeddings. Raw table embeddings share
-    /// large common components (type indicators, size features), leaving
-    /// the between-dataset signal microscopic; the generator is therefore
-    /// conditioned on centred, amplified embeddings instead.
-    pub(crate) embedding_center: Vec<f64>,
-    pub(crate) vocab: OpVocab,
-    pub(crate) generator: GraphGenerator,
-    pub(crate) index: VectorIndex,
-    pub(crate) embeddings: HashMap<String, Vec<f64>>,
+    pub(crate) artifact: TrainedModel,
     pub(crate) graph4ml: Graph4Ml,
     pub(crate) stats: TrainingStats,
+}
+
+/// The JSON wire layout of the original monolithic `Kgpip` struct, kept
+/// verbatim so models saved by earlier builds keep loading (and new JSON
+/// saves stay readable by them). Binary snapshots do not go through this.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct KgpipWire {
+    config: KgpipConfig,
+    embedding_center: Vec<f64>,
+    vocab: OpVocab,
+    generator: GraphGenerator,
+    index: VectorIndex,
+    embeddings: HashMap<String, Vec<f64>>,
+    graph4ml: Graph4Ml,
+    stats: TrainingStats,
 }
 
 impl Kgpip {
@@ -201,8 +210,11 @@ impl Kgpip {
         cache: &MiningCache,
     ) -> Result<Kgpip> {
         // Directly-constructed configs can carry `parallelism: 0`,
-        // bypassing the builder's clamp; treat that as sequential.
-        let workers = config.parallelism.max(1);
+        // bypassing the builder's clamp; treat that as sequential. The
+        // clamp also caps at the CPUs actually available, so an
+        // over-provisioned config on a small host takes the sequential
+        // path instead of paying pool overhead.
+        let workers = effective_parallelism(config.parallelism);
         let vocab = OpVocab::new();
 
         // Content embeddings + similarity index over training datasets,
@@ -301,10 +313,11 @@ impl Kgpip {
             return Err(KgpipError::EmptyTrainingSet);
         }
 
-        // Whitening for the conditioning pathway (see `embedding_center`).
-        // The mean is accumulated over distinct datasets in catalog order:
-        // float addition is order-sensitive and HashMap iteration order is
-        // not deterministic, so summing `embeddings.values()` would leak
+        // Whitening for the conditioning pathway (see
+        // `TrainedModel::embedding_center`). The mean is accumulated over
+        // distinct datasets in catalog order: float addition is
+        // order-sensitive and HashMap iteration order is not
+        // deterministic, so summing `embeddings.values()` would leak
         // run-to-run noise into every conditioned embedding.
         let dim = embeddings.values().next().map(Vec::len).unwrap_or(0);
         let mut embedding_center = vec![0.0f64; dim];
@@ -319,10 +332,11 @@ impl Kgpip {
         for c in &mut embedding_center {
             *c /= embeddings.len().max(1) as f64;
         }
+
         let condition = |e: &[f64]| -> Vec<f64> {
             e.iter()
                 .zip(&embedding_center)
-                .map(|(x, c)| (x - c) * CONDITION_GAIN)
+                .map(|(x, c)| (x - c) * crate::artifact::CONDITION_GAIN)
                 .collect()
         };
 
@@ -361,23 +375,34 @@ impl Kgpip {
             epoch_losses,
         };
         Ok(Kgpip {
-            config,
-            embedding_center,
-            vocab,
-            generator,
-            index,
-            embeddings,
+            artifact: TrainedModel {
+                config,
+                embedding_center,
+                vocab,
+                generator,
+                index,
+                embeddings,
+            },
             graph4ml,
             stats,
         })
     }
 
-    /// Centres and amplifies an embedding for the conditioning pathway.
-    pub(crate) fn condition_vector(&self, e: &[f64]) -> Vec<f64> {
-        e.iter()
-            .zip(&self.embedding_center)
-            .map(|(x, c)| (x - c) * CONDITION_GAIN)
-            .collect()
+    /// The immutable serving artifact of this run, borrowed.
+    pub fn artifact(&self) -> &TrainedModel {
+        &self.artifact
+    }
+
+    /// Consumes the run and returns the serving artifact, dropping the
+    /// train-time state (Graph4ML, stats).
+    pub fn into_artifact(self) -> TrainedModel {
+        self.artifact
+    }
+
+    /// Wraps a clone of the serving artifact in an [`Arc`] for lock-free
+    /// sharing across threads.
+    pub fn share(&self) -> Arc<TrainedModel> {
+        self.artifact.share()
     }
 
     /// Training statistics.
@@ -387,7 +412,7 @@ impl Kgpip {
 
     /// The system configuration.
     pub fn config(&self) -> &KgpipConfig {
-        &self.config
+        self.artifact.config()
     }
 
     /// Overrides the run-time parallelism of a trained (or loaded) model
@@ -395,9 +420,7 @@ impl Kgpip {
     /// Applies to skeleton search, trial evaluation, and the generator's
     /// top-K sampling alike.
     pub fn set_parallelism(&mut self, parallelism: usize) {
-        self.config.parallelism = parallelism.max(1);
-        self.config.generator.parallelism = self.config.parallelism;
-        self.generator.set_parallelism(self.config.parallelism);
+        self.artifact.set_parallelism(parallelism);
     }
 
     /// The assembled Graph4ML (for corpus analyses like Figure 9).
@@ -407,37 +430,79 @@ impl Kgpip {
 
     /// The op vocabulary.
     pub fn vocab(&self) -> &OpVocab {
-        &self.vocab
+        self.artifact.vocab()
     }
 
     /// Content embedding of a training dataset, if known.
     pub fn embedding_of(&self, dataset: &str) -> Option<&[f64]> {
-        self.embeddings.get(dataset).map(Vec::as_slice)
+        self.artifact.embedding_of(dataset)
     }
 }
 
 impl Kgpip {
-    /// Serializes the trained model (generator parameters, embedding
-    /// index, Graph4ML, configuration) to JSON.
+    /// Serializes the full training run (serving artifact + Graph4ML +
+    /// stats) to the JSON-era wire format.
+    #[deprecated(note = "use TrainedModel::snapshot/open for the serving artifact")]
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| KgpipError::Persistence(e.to_string()))
+        self.wire_json()
     }
 
-    /// Restores a model from [`Kgpip::to_json`] output.
+    /// Restores a training run from [`Kgpip::to_json`] output.
+    #[deprecated(note = "use TrainedModel::snapshot/open for the serving artifact")]
     pub fn from_json(json: &str) -> Result<Kgpip> {
-        serde_json::from_str(json).map_err(|e| KgpipError::Persistence(e.to_string()))
+        Kgpip::from_wire_json(json)
     }
 
-    /// Saves the trained model to a file.
+    /// Saves the training run to a JSON file.
+    #[deprecated(note = "use TrainedModel::snapshot/open for the serving artifact")]
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_json()?).map_err(|e| KgpipError::Persistence(e.to_string()))
+        std::fs::write(path, self.wire_json()?).map_err(|e| KgpipError::Persistence(e.to_string()))
     }
 
-    /// Loads a trained model from a file produced by [`Kgpip::save`].
+    /// Loads a training run from a file produced by [`Kgpip::save`].
+    #[deprecated(note = "use TrainedModel::snapshot/open for the serving artifact")]
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Kgpip> {
         let json =
             std::fs::read_to_string(path).map_err(|e| KgpipError::Persistence(e.to_string()))?;
-        Kgpip::from_json(&json)
+        Kgpip::from_wire_json(&json)
+    }
+
+    /// Non-deprecated implementation shared by the shims above (and the
+    /// CLI's compatibility path).
+    pub(crate) fn wire_json(&self) -> Result<String> {
+        // The vendored serde_derive cannot derive on borrowing structs, so
+        // the deprecated JSON path pays one clone into the owned wire
+        // layout; binary snapshots serialize without copies.
+        let wire = KgpipWire {
+            config: self.artifact.config.clone(),
+            embedding_center: self.artifact.embedding_center.clone(),
+            vocab: self.artifact.vocab.clone(),
+            generator: self.artifact.generator.clone(),
+            index: self.artifact.index.clone(),
+            embeddings: self.artifact.embeddings.clone(),
+            graph4ml: self.graph4ml.clone(),
+            stats: self.stats.clone(),
+        };
+        serde_json::to_string(&wire).map_err(|e| KgpipError::Persistence(e.to_string()))
+    }
+
+    /// Non-deprecated implementation of [`Kgpip::from_json`]; also the
+    /// JSON fallback of [`TrainedModel::open`].
+    pub(crate) fn from_wire_json(json: &str) -> Result<Kgpip> {
+        let wire: KgpipWire =
+            serde_json::from_str(json).map_err(|e| KgpipError::Persistence(e.to_string()))?;
+        Ok(Kgpip {
+            artifact: TrainedModel {
+                config: wire.config,
+                embedding_center: wire.embedding_center,
+                vocab: wire.vocab,
+                generator: wire.generator,
+                index: wire.index,
+                embeddings: wire.embeddings,
+            },
+            graph4ml: wire.graph4ml,
+            stats: wire.stats,
+        })
     }
 }
 
@@ -446,7 +511,10 @@ impl std::fmt::Debug for Kgpip {
         f.debug_struct("Kgpip")
             .field("datasets", &self.graph4ml.datasets().len())
             .field("pipelines", &self.graph4ml.pipelines().len())
-            .field("generator_params", &self.generator.num_parameters())
+            .field(
+                "generator_params",
+                &self.artifact.generator.num_parameters(),
+            )
             .finish()
     }
 }
@@ -535,5 +603,17 @@ mod tests {
         let tables = vec![("alpha".to_string(), tiny_table(0.0))];
         let model = Kgpip::train(&scripts, &tables, fast_config()).unwrap();
         assert_eq!(model.stats().datasets, 1);
+    }
+
+    #[test]
+    fn artifact_extraction_preserves_the_model() {
+        let (scripts, tables) = tiny_setup();
+        let model = Kgpip::train(&scripts, &tables, fast_config()).unwrap();
+        let borrowed_params = model.artifact().generator.num_parameters();
+        let shared = model.share();
+        assert_eq!(shared.catalog_len(), 2);
+        let artifact = model.into_artifact();
+        assert_eq!(artifact.generator.num_parameters(), borrowed_params);
+        assert!(artifact.embedding_of("alpha").is_some());
     }
 }

@@ -182,6 +182,7 @@ fn pre_upgrade_stats_json_loads_with_defaulted_fields() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn model_json_roundtrips_after_label_interning() {
     // Label interning changed CodeGraph's in-memory representation; the
     // serialized model (which embeds the Graph4ML built from those

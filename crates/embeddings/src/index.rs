@@ -159,6 +159,89 @@ impl VectorIndex {
         true
     }
 
+    /// Serializes the index (names, vectors, and any trained IVF state)
+    /// to a self-contained little-endian binary payload — the section
+    /// format used inside KGpip model snapshots. Round-trips bit-for-bit
+    /// through [`VectorIndex::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_u64(&mut out, self.names.len() as u64);
+        for (name, vector) in self.names.iter().zip(&self.vectors) {
+            write_str(&mut out, name);
+            write_f64s(&mut out, vector);
+        }
+        match &self.ivf {
+            None => out.push(0),
+            Some(ivf) => {
+                out.push(1);
+                write_u64(&mut out, ivf.centroids.len() as u64);
+                for centroid in &ivf.centroids {
+                    write_f64s(&mut out, centroid);
+                }
+                for members in &ivf.members {
+                    write_u64(&mut out, members.len() as u64);
+                    for &m in members {
+                        write_u64(&mut out, m as u64);
+                    }
+                }
+                write_u64(&mut out, ivf.nprobe as u64);
+            }
+        }
+        out
+    }
+
+    /// Restores an index from [`VectorIndex::to_bytes`] output. Strict:
+    /// trailing bytes, truncation, or malformed UTF-8 all fail rather
+    /// than producing a partially-loaded index.
+    pub fn from_bytes(bytes: &[u8]) -> Result<VectorIndex, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let n = r.u64()? as usize;
+        let mut names = Vec::with_capacity(n.min(1 << 20));
+        let mut vectors = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            names.push(r.str()?);
+            vectors.push(r.f64s()?);
+        }
+        let ivf = match r.u8()? {
+            0 => None,
+            1 => {
+                let nlist = r.u64()? as usize;
+                let mut centroids = Vec::with_capacity(nlist.min(1 << 20));
+                for _ in 0..nlist {
+                    centroids.push(r.f64s()?);
+                }
+                let mut members = Vec::with_capacity(nlist.min(1 << 20));
+                for _ in 0..nlist {
+                    let len = r.u64()? as usize;
+                    let mut list = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        list.push(r.u64()? as usize);
+                    }
+                    members.push(list);
+                }
+                let nprobe = r.u64()? as usize;
+                Some(Ivf {
+                    centroids,
+                    members,
+                    nprobe,
+                })
+            }
+            tag => return Err(format!("unknown IVF tag {tag}")),
+        };
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "trailing bytes after index payload ({} of {} consumed)",
+                r.pos,
+                bytes.len()
+            ));
+        }
+        Ok(VectorIndex {
+            names,
+            vectors,
+            ivf,
+        })
+    }
+
     /// IVF-approximate top-k: probes the `nprobe` partitions whose
     /// centroids are most similar to the query. Falls back to exact search
     /// when IVF has not been trained.
@@ -185,6 +268,63 @@ impl VectorIndex {
             .take(k)
             .map(|(i, s)| (self.names[i].clone(), s))
             .collect()
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    write_u64(out, xs.len() as u64);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor for [`VectorIndex::from_bytes`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("index payload truncated at byte {}", self.pos))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u64()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|e| e.to_string())
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let len = self.u64()? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+        }
+        Ok(out)
     }
 }
 
@@ -266,6 +406,47 @@ mod tests {
         small.add("last", unit(0, 8));
         assert!(small.auto_tune(0), "at threshold trains IVF");
         assert!(small.has_ivf());
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_index_bitwise() {
+        let mut idx = VectorIndex::new();
+        for i in 0..40 {
+            let mut v = vec![0.125 * i as f64; 8];
+            v[i % 8] = 1.0 + i as f64 * 0.001;
+            idx.add(format!("v{i}"), v);
+        }
+        idx.train_ivf(4, 2, 9);
+        let restored = VectorIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(restored.names, idx.names);
+        for (a, b) in idx.vectors.iter().zip(&restored.vectors) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b));
+        }
+        assert!(restored.has_ivf());
+        let q = unit(3, 8);
+        let before: Vec<_> = idx.top_k_ivf(&q, 5);
+        let after: Vec<_> = restored.top_k_ivf(&q, 5);
+        assert_eq!(before.len(), after.len());
+        for ((na, sa), (nb, sb)) in before.iter().zip(&after) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_payloads() {
+        let mut idx = VectorIndex::new();
+        idx.add("a", unit(0, 4));
+        let bytes = idx.to_bytes();
+        assert!(VectorIndex::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(VectorIndex::from_bytes(&trailing).is_err());
+        assert!(VectorIndex::from_bytes(&[0xff; 4]).is_err());
+        let empty = VectorIndex::new();
+        let restored = VectorIndex::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(restored.is_empty());
     }
 
     #[test]

@@ -35,8 +35,17 @@ pub fn table_embedding(frame: &DataFrame) -> Vec<f64> {
 /// `parallelism > 1` the per-table embeddings are computed on a rayon
 /// worker pool of that many threads; results are merged back in input
 /// order, so the output is bit-for-bit identical at any worker count
-/// (each embedding depends only on its own table).
+/// (each embedding depends only on its own table). The worker count is
+/// clamped to the CPUs actually available, so over-provisioned configs
+/// (e.g. `parallelism = 2` on a 1-CPU host) take the sequential path
+/// instead of paying pool-construction and contention overhead.
 pub fn table_embeddings(tables: &[(String, DataFrame)], parallelism: usize) -> Vec<Vec<f64>> {
+    let parallelism = parallelism.clamp(
+        1,
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    );
     if parallelism > 1 && tables.len() > 1 {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(parallelism)

@@ -26,5 +26,7 @@
 pub mod model;
 pub mod sequence;
 
-pub use model::{GeneratedGraph, GeneratorConfig, GraphGenerator, TrainExample};
+pub use model::{
+    effective_parallelism, GeneratedGraph, GeneratorConfig, GraphGenerator, TrainExample,
+};
 pub use sequence::{decisions_for, Decision};

@@ -147,7 +147,7 @@ pub struct GeneratedGraph {
 }
 
 /// The deep graph generator.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct GraphGenerator {
     config: GeneratorConfig,
     store: ParamStore,
@@ -217,14 +217,57 @@ impl GraphGenerator {
     }
 
     /// A worker pool when `parallelism > 1`, else `None` (sequential).
+    ///
+    /// The requested worker count is clamped to the CPUs actually
+    /// available: on a 1-CPU host, `parallelism = 2` used to *cost* (pool
+    /// threads contending for one core plus per-batch scheduling) without
+    /// buying any concurrency. Clamping routes such configs onto the exact
+    /// sequential path — a pure cost change; results are bit-for-bit
+    /// identical at every worker count by construction.
     fn worker_pool(&self) -> Option<ThreadPool> {
-        let workers = self.config.parallelism.max(1);
+        let workers = effective_parallelism(self.config.parallelism);
         (workers > 1).then(|| {
             ThreadPoolBuilder::new()
                 .num_threads(workers)
                 .build()
                 .expect("thread pool construction")
         })
+    }
+
+    /// Parameter tensors with their names, in registration order — the
+    /// stable layout contract of the binary model snapshot. Registration
+    /// order is fixed by [`GraphGenerator::new`], so index `i` here always
+    /// denotes the same logical parameter for a given config.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.store
+            .iter_ids()
+            .map(|(id, name)| (name, self.store.value(id)))
+    }
+
+    /// Rebuilds a generator from its configuration and a parameter
+    /// snapshot (tensors in registration order, as produced by
+    /// [`GraphGenerator::params`]). Fails if the tensor count or any shape
+    /// disagrees with what the config registers — the guard that a
+    /// snapshot written by an incompatible config cannot silently load.
+    pub fn from_params(
+        config: GeneratorConfig,
+        params: Vec<Tensor>,
+    ) -> Result<GraphGenerator, String> {
+        let mut generator = GraphGenerator::new(config);
+        if params.len() != generator.store.len() {
+            return Err(format!(
+                "parameter snapshot holds {} tensors, config registers {}",
+                params.len(),
+                generator.store.len()
+            ));
+        }
+        for (i, tensor) in params.into_iter().enumerate() {
+            generator
+                .store
+                .load_tensor_at(i, tensor)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(generator)
     }
 
     /// Computes node states for a partial graph: initial embeddings (type
@@ -644,6 +687,17 @@ impl GraphGenerator {
 
 fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Requested parallelism clamped to the CPUs the host actually has.
+/// Worker counts above the hardware width only add contention (the 1-CPU
+/// p2-vs-p1 regression tracked in ROADMAP); results never depend on the
+/// worker count, so clamping is invisible except in cost.
+pub fn effective_parallelism(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    requested.clamp(1, available)
 }
 
 /// Temperature softmax sample over logits with class masking. Returns

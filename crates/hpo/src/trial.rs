@@ -397,9 +397,19 @@ impl Evaluator {
     /// means the budget is exhausted.
     pub fn evaluate_batch(&self, batch: &[Candidate]) -> Vec<TrialOutcome> {
         let admitted: Vec<&Candidate> = batch.iter().take_while(|_| self.gate.admit()).collect();
-        let outcomes: Vec<TrialOutcome> = if self.parallelism > 1 && admitted.len() > 1 {
+        // Clamp to the CPUs actually present: on a 1-CPU host a
+        // `parallelism = 2` config would pay pool construction and
+        // contention for zero concurrency (outcomes are recorded in
+        // proposal order either way, so only the cost changes).
+        let workers = self.parallelism.clamp(
+            1,
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        );
+        let outcomes: Vec<TrialOutcome> = if workers > 1 && admitted.len() > 1 {
             let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(self.parallelism)
+                .num_threads(workers)
                 .build()
                 .expect("thread pool construction");
             pool.install(|| {

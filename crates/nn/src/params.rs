@@ -9,7 +9,7 @@ use rand::Rng;
 pub struct ParamId(pub(crate) usize);
 
 /// Owns all trainable tensors of a model plus their accumulated gradients.
-#[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ParamStore {
     values: Vec<Tensor>,
     grads: Vec<Tensor>,
@@ -128,6 +128,43 @@ impl ParamStore {
             .iter()
             .enumerate()
             .map(|(i, n)| (ParamId(i), n.as_str()))
+    }
+
+    /// Name of the i-th registered parameter (registration order).
+    pub fn name_at(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Value of the i-th registered parameter (registration order).
+    pub fn tensor_at(&self, i: usize) -> &Tensor {
+        &self.values[i]
+    }
+
+    /// Replaces the value of the i-th registered parameter, verifying the
+    /// shape matches the registered one. The snapshot-restore path: a
+    /// store is rebuilt with the registration sequence of the model
+    /// constructor, then each value is overwritten from the snapshot.
+    pub fn load_tensor_at(&mut self, i: usize, value: Tensor) -> crate::Result<()> {
+        let Some(current) = self.values.get(i) else {
+            return Err(crate::NnError::Index(format!(
+                "parameter index {i} out of range ({} registered)",
+                self.values.len()
+            )));
+        };
+        if current.rows() != value.rows() || current.cols() != value.cols() {
+            return Err(crate::NnError::Shape(format!(
+                "parameter {} ({}): snapshot shape {}x{} != registered {}x{}",
+                i,
+                self.names[i],
+                value.rows(),
+                value.cols(),
+                current.rows(),
+                current.cols()
+            )));
+        }
+        self.values[i] = value;
+        self.grads[i] = Tensor::zeros(self.grads[i].rows(), self.grads[i].cols());
+        Ok(())
     }
 }
 

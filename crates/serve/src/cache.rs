@@ -1,0 +1,196 @@
+//! The per-request result cache: bounded stamp-LRU keyed by table
+//! *content*, mirroring the design of the mining and transform caches —
+//! a `Mutex`-guarded map with logical-time stamps plus lock-free hit/miss
+//! counters. Like every cache in this codebase, it may only change what a
+//! request costs, never what it answers: keys include everything the
+//! prediction depends on (table fingerprint, task, K, seed, and the
+//! serving epoch of the model that answered), so a hit replays exactly
+//! the bytes a fresh computation would produce.
+
+use kgpip_hpo::Skeleton;
+use kgpip_tabular::Task;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Everything a skeleton prediction depends on. `epoch` is the serving
+/// epoch of the model that computed the entry; hot-swapping the model
+/// bumps the epoch, so stale entries simply stop being addressable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ResultKey {
+    pub fingerprint: u64,
+    pub task: Task,
+    pub k: usize,
+    pub seed: u64,
+    pub epoch: u64,
+}
+
+/// A cached prediction: the ranked skeletons and the neighbour that
+/// seeded generation.
+pub(crate) type CachedPrediction = (Vec<(Skeleton, f64)>, String);
+
+/// Counter snapshot of the result cache (returned inside `ServeStats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to compute their prediction.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Inner {
+    map: HashMap<ResultKey, (u64, CachedPrediction)>,
+    stamp: u64,
+}
+
+/// Bounded least-recently-used map from request content to prediction.
+pub(crate) struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `capacity` entries; `capacity == 0`
+    /// disables caching (every probe misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                stamp: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a prediction, refreshing its recency stamp on hit.
+    pub fn get(&self, key: &ResultKey) -> Option<CachedPrediction> {
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(key) {
+            Some((when, value)) => {
+                *when = stamp;
+                let value = value.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a prediction, evicting the least-recently-used entry when
+    /// the capacity bound is hit.
+    pub fn insert(&self, key: ResultKey, value: CachedPrediction) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("result cache poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (when, _))| *when)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, (stamp, value));
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("result cache poisoned").map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpip_learners::EstimatorKind;
+
+    fn key(fingerprint: u64) -> ResultKey {
+        ResultKey {
+            fingerprint,
+            task: Task::Binary,
+            k: 3,
+            seed: 0,
+            epoch: 0,
+        }
+    }
+
+    fn value(tag: &str) -> CachedPrediction {
+        (
+            vec![(Skeleton::bare(EstimatorKind::XgBoost), -1.0)],
+            tag.to_string(),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), value("a"));
+        cache.insert(key(2), value("b"));
+        assert!(cache.get(&key(1)).is_some()); // refresh 1 → 2 is stalest
+        cache.insert(key(3), value("c"));
+        assert!(cache.get(&key(2)).is_none(), "2 was evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn keys_discriminate_every_request_dimension() {
+        let cache = ResultCache::new(16);
+        cache.insert(key(1), value("a"));
+        for other in [
+            ResultKey {
+                fingerprint: 2,
+                ..key(1)
+            },
+            ResultKey { k: 4, ..key(1) },
+            ResultKey { seed: 9, ..key(1) },
+            ResultKey { epoch: 1, ..key(1) },
+            ResultKey {
+                task: Task::Regression,
+                ..key(1)
+            },
+        ] {
+            assert!(cache.get(&other).is_none(), "{other:?} must not alias");
+        }
+        assert_eq!(cache.get(&key(1)).unwrap().1, "a");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1), value("a"));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The serving loop: a thread pool draining a shared request queue in
+//! batches, answering against an atomically hot-swappable
+//! [`Arc<TrainedModel>`].
+//!
+//! # Design
+//!
+//! * **Batching.** Requests enqueue onto one queue; each worker drains up
+//!   to `max_batch` jobs at a time and pins one model snapshot for the
+//!   whole batch. Within a batch the worker first probes the result cache
+//!   for every job, then runs the embedding stage for all misses (the
+//!   "embedding wave"), then the generation stage per miss. The stages
+//!   are the same pure [`TrainedModel`] methods the direct
+//!   `predict_skeletons` call composes, so batching changes *scheduling*,
+//!   never *results*.
+//! * **Hot swap.** The current model lives in an `RwLock<(Arc, epoch)>`
+//!   slot. [`ServeHandle::swap_model`] replaces the `Arc` and bumps the
+//!   epoch; in-flight batches keep the snapshot they pinned, and the
+//!   epoch is part of every cache key, so entries computed by an old
+//!   model are never replayed for a new one.
+//! * **Determinism.** The house invariant — concurrency and caches change
+//!   cost, never answers — holds end to end: at any worker count and any
+//!   batch size, `predict` returns bit-for-bit what
+//!   [`TrainedModel::predict_skeletons`] returns directly (proven by
+//!   `tests/serve_identity.rs`).
+
+use crate::cache::{CacheStats, ResultCache, ResultKey};
+use kgpip::{KgpipError, TrainedModel};
+use kgpip_hpo::{Flaml, Optimizer, Skeleton};
+use kgpip_tabular::{DataFrame, Task};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Configuration of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Most jobs a worker takes per batch (≥ 1). Larger batches amortize
+    /// queue traffic and keep one model snapshot hot across requests.
+    pub max_batch: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// The §3.6 capability document predictions are validated against.
+    /// Defaults to the FLAML-style engine's document.
+    pub capabilities_json: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            cache_capacity: 256,
+            capabilities_json: Flaml::new(0).capabilities(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the batch-size cap (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the result-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the capability document.
+    pub fn with_capabilities(mut self, capabilities_json: impl Into<String>) -> ServeConfig {
+        self.capabilities_json = capabilities_json.into();
+        self
+    }
+}
+
+/// One prediction request: a bare table plus the task to solve for.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The unseen table (features only; no labels are needed to predict
+    /// skeletons).
+    pub table: DataFrame,
+    /// The supervised task the pipelines must support.
+    pub task: Task,
+    /// How many ranked skeletons to return (the paper's K).
+    pub k: usize,
+    /// Sampling seed for generation.
+    pub seed: u64,
+}
+
+/// The answer to one [`ServeRequest`].
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Ranked `(skeleton, generation score)` pairs, best first.
+    pub skeletons: Vec<(Skeleton, f64)>,
+    /// The nearest seen dataset that seeded generation.
+    pub neighbour: String,
+    /// Whether this answer was replayed from the result cache.
+    pub cached: bool,
+    /// Size of the batch this request was processed in (1 = alone).
+    pub batch_size: usize,
+    /// Serving epoch of the model that answered.
+    pub model_epoch: u64,
+}
+
+/// Failures surfaced to a serving client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server shut down before this request was answered.
+    Shutdown,
+    /// The prediction itself failed (empty catalog, `k == 0`, …).
+    Predict(KgpipError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shutdown => write!(f, "server shut down before answering"),
+            ServeError::Predict(e) => write!(f, "prediction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate serving counters (all monotone; read at any time).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    /// Requests answered (success or typed failure).
+    pub served: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Model hot-swaps performed.
+    pub swaps: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+struct Job {
+    request: ServeRequest,
+    reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    /// The hot-swap slot: current model + its serving epoch.
+    slot: RwLock<(Arc<TrainedModel>, u64)>,
+    queue: Mutex<Queue>,
+    available: Condvar,
+    cache: ResultCache,
+    capabilities: String,
+    max_batch: usize,
+    served: AtomicU64,
+    batches: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// A still-pending [`ServeHandle::submit`]; redeem with
+/// [`Pending::wait`].
+pub struct Pending {
+    receiver: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.receiver.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// Handle to a running serving instance. Cloneless by design: drop (or
+/// [`ServeHandle::shutdown`]) stops the workers after the queue drains.
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Starts a serving instance over the given artifact.
+    pub fn start(model: Arc<TrainedModel>, config: ServeConfig) -> ServeHandle {
+        let shared = Arc::new(Shared {
+            slot: RwLock::new((model, 0)),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            capabilities: config.capabilities_json,
+            max_batch: config.max_batch.max(1),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("kgpip-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeHandle { shared, workers }
+    }
+
+    /// Enqueues a request and blocks for its response.
+    pub fn predict(&self, request: ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.submit(request).wait()
+    }
+
+    /// Enqueues a request without blocking; lets tests and pipelined
+    /// clients pile up a wave of requests so workers actually batch them.
+    pub fn submit(&self, request: ServeRequest) -> Pending {
+        let (reply, receiver) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            if queue.open {
+                queue.jobs.push_back(Job { request, reply });
+            } else {
+                let _ = reply.send(Err(ServeError::Shutdown));
+            }
+        }
+        self.shared.available.notify_one();
+        Pending { receiver }
+    }
+
+    /// Atomically replaces the served model. In-flight batches finish on
+    /// the model they pinned; subsequent batches (and cache keys) use the
+    /// new one. Returns the new serving epoch.
+    pub fn swap_model(&self, model: Arc<TrainedModel>) -> u64 {
+        let mut slot = self.shared.slot.write().expect("serve slot poisoned");
+        slot.0 = model;
+        slot.1 += 1;
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        slot.1
+    }
+
+    /// The current serving epoch (starts at 0, bumped per swap).
+    pub fn model_epoch(&self) -> u64 {
+        self.shared.slot.read().expect("serve slot poisoned").1
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            swaps: self.shared.swaps.load(Ordering::Relaxed),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.open = false;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+            loop {
+                if !queue.jobs.is_empty() {
+                    let n = queue.jobs.len().min(shared.max_batch);
+                    break queue.jobs.drain(..n).collect();
+                }
+                if !queue.open {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("serve queue poisoned");
+            }
+        };
+        process_batch(shared, batch);
+    }
+}
+
+/// Answers one batch against a single pinned model snapshot: cache probe
+/// per job, one embedding wave over the misses, then generation per miss.
+fn process_batch(shared: &Shared, batch: Vec<Job>) {
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    let batch_size = batch.len();
+    let (model, epoch) = {
+        let slot = shared.slot.read().expect("serve slot poisoned");
+        (Arc::clone(&slot.0), slot.1)
+    };
+
+    // Stage 1: fingerprint + cache probe. Hits answer immediately.
+    let mut misses: Vec<(Job, ResultKey)> = Vec::with_capacity(batch_size);
+    for job in batch {
+        let key = ResultKey {
+            fingerprint: job.request.table.fingerprint(),
+            task: job.request.task,
+            k: job.request.k,
+            seed: job.request.seed,
+            epoch,
+        };
+        if let Some((skeletons, neighbour)) = shared.cache.get(&key) {
+            respond(
+                shared,
+                job,
+                Ok(ServeResponse {
+                    skeletons,
+                    neighbour,
+                    cached: true,
+                    batch_size,
+                    model_epoch: epoch,
+                }),
+            );
+        } else {
+            misses.push((job, key));
+        }
+    }
+
+    // Stage 2: the embedding wave — embed every miss's table before any
+    // generation runs (each embedding is pure in its own table, so order
+    // is irrelevant to results).
+    let queries: Vec<Vec<f64>> = misses
+        .iter()
+        .map(|(job, _)| model.embed_table(&job.request.table))
+        .collect();
+
+    // Stage 3: generation per miss. Identical requests inside one batch
+    // dedup against the entry their predecessor just inserted.
+    for ((job, key), query) in misses.into_iter().zip(queries) {
+        if let Some((skeletons, neighbour)) = shared.cache.get(&key) {
+            respond(
+                shared,
+                job,
+                Ok(ServeResponse {
+                    skeletons,
+                    neighbour,
+                    cached: true,
+                    batch_size,
+                    model_epoch: epoch,
+                }),
+            );
+            continue;
+        }
+        let outcome = model.predict_from_query_embedding(
+            &query,
+            job.request.task,
+            job.request.k,
+            &shared.capabilities,
+            job.request.seed,
+        );
+        let response = match outcome {
+            Ok((skeletons, neighbour)) => {
+                shared
+                    .cache
+                    .insert(key, (skeletons.clone(), neighbour.clone()));
+                Ok(ServeResponse {
+                    skeletons,
+                    neighbour,
+                    cached: false,
+                    batch_size,
+                    model_epoch: epoch,
+                })
+            }
+            Err(e) => Err(ServeError::Predict(e)),
+        };
+        respond(shared, job, response);
+    }
+}
+
+fn respond(shared: &Shared, job: Job, response: Result<ServeResponse, ServeError>) {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    // A dropped receiver just means the client stopped waiting.
+    let _ = job.reply.send(response);
+}

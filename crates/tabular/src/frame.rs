@@ -143,6 +143,66 @@ impl DataFrame {
     pub fn missing_cells(&self) -> usize {
         self.columns.iter().map(Column::missing_count).sum()
     }
+
+    /// FNV-1a content fingerprint over the frame's schema and every cell
+    /// (column names, kinds, exact value bits, missingness). Two frames
+    /// share a fingerprint exactly when a deterministic computation over
+    /// their content is interchangeable — the cache key contract of the
+    /// serving layer's result cache.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.columns.len() as u64).to_le_bytes());
+        eat(&(self.rows as u64).to_le_bytes());
+        for (name, column) in self.names.iter().zip(&self.columns) {
+            eat(&(name.len() as u64).to_le_bytes());
+            eat(name.as_bytes());
+            match column {
+                Column::Numeric(values) => {
+                    eat(&[1]);
+                    for v in values {
+                        match v {
+                            Some(x) => eat(&x.to_bits().to_le_bytes()),
+                            None => eat(&[0xff]),
+                        }
+                    }
+                }
+                Column::Categorical { codes, dictionary } => {
+                    eat(&[2]);
+                    for label in dictionary.iter() {
+                        eat(&(label.len() as u64).to_le_bytes());
+                        eat(label.as_bytes());
+                    }
+                    for c in codes {
+                        match c {
+                            Some(code) => eat(&code.to_le_bytes()),
+                            None => eat(&[0xff]),
+                        }
+                    }
+                }
+                Column::Text(values) => {
+                    eat(&[3]);
+                    for v in values {
+                        match v {
+                            Some(s) => {
+                                eat(&(s.len() as u64).to_le_bytes());
+                                eat(s.as_bytes());
+                            }
+                            None => eat(&[0xff]),
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +277,31 @@ mod tests {
     fn missing_cells_counts_across_columns() {
         let f = sample();
         assert_eq!(f.missing_cells(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let f = sample();
+        assert_eq!(f.fingerprint(), sample().fingerprint(), "pure in content");
+        let mut renamed = DataFrame::new();
+        for (name, col) in f.names().iter().zip(f.columns()) {
+            let name = if name == "age" { "age2" } else { name };
+            renamed.push(name.to_string(), col.clone()).unwrap();
+        }
+        assert_ne!(f.fingerprint(), renamed.fingerprint(), "names matter");
+        let mut cell_changed = DataFrame::from_columns(vec![(
+            "age".to_string(),
+            Column::from_f64(vec![1.0, 2.0, 4.0]),
+        )])
+        .unwrap();
+        let one_col = DataFrame::from_columns(vec![(
+            "age".to_string(),
+            Column::from_f64(vec![1.0, 2.0, 3.0]),
+        )])
+        .unwrap();
+        assert_ne!(one_col.fingerprint(), cell_changed.fingerprint());
+        cell_changed.remove("age").unwrap();
+        assert_eq!(cell_changed.fingerprint(), DataFrame::new().fingerprint());
     }
 
     #[test]

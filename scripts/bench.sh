@@ -4,13 +4,22 @@
 #   BENCH_graphgen.json — graph-generation kernels
 #   BENCH_hpo.json      — HPO trial throughput (trials/sec, cache hit rate)
 #   BENCH_mining.json   — corpus mining (scripts/sec cold vs warm, p1 vs pN)
-#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json]
+#   BENCH_serve.json    — kgpip-serve (QPS, p50/p99 latency, cache hit rate)
+#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json] [serve_out.json]
+#
+# Guard: parallel arms (pN mining, p4/p8 HPO, multi-worker serving) are
+# requested worker counts, not guarantees. Every rayon entry point clamps
+# through effective_parallelism() to the host's available cores, so on a
+# 1-CPU box the pN arms measure the same sequential schedule as p1 (plus
+# pool overhead) instead of oversubscribing — compare speedup ratios only
+# against the core count recorded in the "host" field below.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 graphgen_out="${1:-BENCH_graphgen.json}"
 hpo_out="${2:-BENCH_hpo.json}"
 mining_out="${3:-BENCH_mining.json}"
+serve_out="${4:-BENCH_serve.json}"
 
 # Runs one criterion bench target and folds its `BENCH_JSON {...}` lines
 # (one per benchmark, printed by the vendored criterion plus any summary
@@ -37,3 +46,4 @@ run_suite() {
 run_suite graph_generation "$graphgen_out"
 run_suite hpo_parallel "$hpo_out"
 run_suite corpus_mining "$mining_out"
+run_suite serve_bench "$serve_out"

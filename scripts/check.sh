@@ -25,6 +25,10 @@ cargo test -p kgpip --test mining_determinism -q
 echo "==> cache-equivalence suite (trial caches change cost, never results)"
 cargo test -p kgpip-hpo --test cache_equivalence -q
 
+echo "==> artifact suite (snapshot round-trips bit-for-bit; serving is bit-identical to direct prediction)"
+cargo test -p kgpip --test snapshot_roundtrip -q
+cargo test -p kgpip-serve -q
+
 echo "==> lint-corpus (fixed-seed graph invariant gate)"
 cargo run --release --quiet --bin kgpip-cli -- lint-corpus \
   --datasets 4 --scripts-per-dataset 50 --seed 0 \

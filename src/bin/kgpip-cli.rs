@@ -1,15 +1,29 @@
-//! `kgpip-cli` — train and use KGpip models from the command line.
+//! `kgpip-cli` — train, snapshot, and serve KGpip models from the command
+//! line.
 //!
 //! ```text
-//! kgpip-cli train   --scripts DIR --tables DIR --out model.json [--epochs N] [--seed S]
-//! kgpip-cli predict --model model.json --data data.csv --target COL [--k 3]
-//! kgpip-cli run     --model model.json --data data.csv --target COL
+//! kgpip-cli train   --scripts DIR --tables DIR --out model.kgps [--epochs N] [--seed S]
+//! kgpip-cli snapshot --model model.json --out model.kgps
+//! kgpip-cli predict --model model.kgps --data data.csv --target COL [--k 3]
+//! kgpip-cli run     --model model.kgps --data data.csv --target COL
 //!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn]
 //!                   [--k 3] [--parallelism N]
+//! kgpip-cli serve   --model model.kgps [--workers 2] [--batch 8] [--k 3]
+//!                   [--task binary|multiclass:N|regression] [--seed 0]
 //! kgpip-cli demo    [--budget-secs 5] [--parallelism N]
 //! kgpip-cli lint-corpus [--datasets 4] [--scripts-per-dataset 50] [--seed 0]
 //!                   [--malformed-fraction 0.05] [--helper-fraction 0.25]
 //! ```
+//!
+//! Model files: `--model` everywhere accepts both the binary snapshot
+//! format (`.kgps`, written by `train`/`snapshot`) and the JSON-era
+//! format — the loader sniffs the file magic. `train` writes a snapshot
+//! unless `--out` ends in `.json`; `snapshot` converts either format to a
+//! snapshot.
+//!
+//! `serve` starts the batched prediction service and reads requests from
+//! stdin, one CSV path per line; each line is answered with the top-K
+//! pipeline skeletons for that table.
 //!
 //! `lint-corpus` generates a synthetic corpus, runs the recovering
 //! analyzer + filter over every script, and verifies the graph-lint
@@ -23,10 +37,11 @@
 //! * `--tables DIR` — one `<dataset>.csv` per dataset for content
 //!   embeddings.
 
-use kgpip::{Kgpip, KgpipConfig};
+use kgpip::{Kgpip, KgpipConfig, TrainedModel};
 use kgpip_codegraph::corpus::ScriptRecord;
 use kgpip_hpo::{AutoSklearn, Flaml, Optimizer, TimeBudget};
-use kgpip_tabular::{csv, DataFrame, Dataset};
+use kgpip_serve::{ServeConfig, ServeHandle, ServeRequest};
+use kgpip_tabular::{csv, DataFrame, Dataset, Task};
 use std::path::Path;
 use std::process::exit;
 
@@ -40,13 +55,15 @@ fn main() {
     };
     let result = match command {
         "train" => cmd_train(&flag),
+        "snapshot" => cmd_snapshot(&flag),
         "predict" => cmd_predict(&flag),
         "run" => cmd_run(&flag),
+        "serve" => cmd_serve(&flag),
         "demo" => cmd_demo(&flag),
         "lint-corpus" => cmd_lint_corpus(&flag),
         _ => {
             eprintln!(
-                "usage: kgpip-cli <train|predict|run|demo|lint-corpus> [flags]\n\
+                "usage: kgpip-cli <train|snapshot|predict|run|serve|demo|lint-corpus> [flags]\n\
                  see the module docs (`kgpip-cli --help` output) for flags"
             );
             exit(2);
@@ -127,8 +144,30 @@ fn cmd_train(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         "trained: {}/{} scripts usable, {} datasets, {:.1}s generator training",
         stats.valid_pipelines, stats.scripts, stats.datasets, stats.training_secs
     );
-    model.save(&out)?;
+    if out.ends_with(".json") {
+        // JSON-era compatibility output (keeps the full training run,
+        // Graph4ML and stats included).
+        #[allow(deprecated)]
+        model.save(&out)?;
+    } else {
+        model.artifact().snapshot(&out)?;
+    }
     eprintln!("model written to {out}");
+    Ok(())
+}
+
+/// Converts a model file (JSON-era or snapshot) into the binary snapshot
+/// format.
+fn cmd_snapshot(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    let model_path = require(flag, "--model")?;
+    let out = require(flag, "--out")?;
+    let model = TrainedModel::open(&model_path)?;
+    model.snapshot(&out)?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "snapshot written to {out} ({} datasets, {bytes} bytes)",
+        model.catalog_len()
+    );
     Ok(())
 }
 
@@ -151,7 +190,7 @@ fn load_dataset(
 fn cmd_predict(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     let model_path = require(flag, "--model")?;
     let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
-    let model = Kgpip::load(&model_path)?;
+    let model = TrainedModel::open(&model_path)?;
     let ds = load_dataset(flag)?;
     eprintln!(
         "dataset: {} rows, {} features, task {}",
@@ -160,7 +199,7 @@ fn cmd_predict(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         ds.task
     );
     let caps = Flaml::new(0).capabilities();
-    let (skeletons, neighbour) = model.predict_skeletons(&ds, k, &caps, 0);
+    let (skeletons, neighbour) = model.predict_skeletons(&ds, k, &caps, 0)?;
     println!("nearest seen dataset: {neighbour}");
     for (i, (s, score)) in skeletons.iter().enumerate() {
         println!(
@@ -183,7 +222,7 @@ fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         .and_then(|v| v.parse().ok())
         .unwrap_or(30.0);
     let backend_name = flag("--backend").unwrap_or_else(|| "flaml".into());
-    let mut model = Kgpip::load(&model_path)?;
+    let mut model = TrainedModel::open(&model_path)?;
     if let Some(parallelism) = flag("--parallelism").and_then(|v| v.parse().ok()) {
         model.set_parallelism(parallelism);
     }
@@ -229,6 +268,92 @@ fn cmd_run(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
         "\nbest pipeline: {}  (validation {:.3})",
         run.best().spec.describe(),
         run.best_score()
+    );
+    Ok(())
+}
+
+/// Starts the batched prediction service over a model file and answers
+/// requests read from stdin (one CSV path per line) until EOF.
+fn cmd_serve(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    let model_path = require(flag, "--model")?;
+    let workers: usize = flag("--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let batch: usize = flag("--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let task = match flag("--task").as_deref() {
+        None | Some("binary") => Task::Binary,
+        Some("regression") => Task::Regression,
+        Some(spec) => match spec
+            .strip_prefix("multiclass:")
+            .and_then(|n| n.parse().ok())
+        {
+            Some(classes) => Task::MultiClass(classes),
+            None => return Err(format!("unknown task {spec}").into()),
+        },
+    };
+
+    let model = TrainedModel::open(&model_path)?;
+    eprintln!(
+        "serving {model_path} ({} datasets) on {workers} worker(s), batch ≤ {batch}",
+        model.catalog_len()
+    );
+    let server = ServeHandle::start(
+        model.share(),
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_max_batch(batch),
+    );
+    eprintln!("enter one CSV path per line (EOF to stop):");
+    for line in std::io::stdin().lines() {
+        let line = line?;
+        let path = line.trim();
+        if path.is_empty() {
+            continue;
+        }
+        let table = match read_table(Path::new(path)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read table: {e}");
+                continue;
+            }
+        };
+        match server.predict(ServeRequest {
+            table,
+            task,
+            k,
+            seed,
+        }) {
+            Ok(response) => {
+                println!(
+                    "{path}: nearest {} ({}, batch of {})",
+                    response.neighbour,
+                    if response.cached {
+                        "cached"
+                    } else {
+                        "computed"
+                    },
+                    response.batch_size
+                );
+                for (i, (s, score)) in response.skeletons.iter().enumerate() {
+                    let mut stages: Vec<&str> = s.transformers.iter().map(|t| t.name()).collect();
+                    stages.push(s.estimator.name());
+                    println!(
+                        "  {}. {}   (generation score {score:.2})",
+                        i + 1,
+                        stages.join(" > ")
+                    );
+                }
+            }
+            Err(e) => eprintln!("{path}: {e}"),
+        }
+    }
+    let stats = server.shutdown();
+    eprintln!(
+        "served {} request(s) in {} batch(es); cache {}/{} hit(s)",
+        stats.served,
+        stats.batches,
+        stats.cache.hits,
+        stats.cache.hits + stats.cache.misses
     );
     Ok(())
 }

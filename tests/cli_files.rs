@@ -85,7 +85,9 @@ fn csv_on_disk_roundtrip_feeds_training_and_prediction() {
     )
     .unwrap();
     let model_path = scratch_dir("model").join("model.json");
+    #[allow(deprecated)]
     model.save(&model_path).unwrap();
+    #[allow(deprecated)]
     let model = Kgpip::load(&model_path).unwrap();
 
     // An "unseen" CSV with a target column, as a user would provide.

@@ -95,7 +95,7 @@ fn capability_document_gates_skeletons() {
     // knn or the fallback.
     let narrow = Flaml::with_estimators(0, vec![kgpip_learners::EstimatorKind::Knn]);
     let caps = narrow.capabilities();
-    let (skeletons, _) = model.predict_skeletons(&ds, 3, &caps, 0);
+    let (skeletons, _) = model.predict_skeletons(&ds, 3, &caps, 0).unwrap();
     for (s, _) in &skeletons {
         assert!(
             s.estimator == kgpip_learners::EstimatorKind::Knn
@@ -106,7 +106,7 @@ fn capability_document_gates_skeletons() {
     }
     // The full document admits everything the generator emits.
     let full = AutoSklearn::new(0).capabilities();
-    let (skeletons, _) = model.predict_skeletons(&ds, 3, &full, 0);
+    let (skeletons, _) = model.predict_skeletons(&ds, 3, &full, 0).unwrap();
     assert!(!skeletons.is_empty());
 }
 
@@ -118,8 +118,8 @@ fn deterministic_reproduction_across_identical_configs() {
     let entry = benchmark().iter().find(|e| e.name == "quake").unwrap();
     let ds = generate_dataset(entry, &cfg.scale, 3);
     let caps = Flaml::new(0).capabilities();
-    let (sa, na) = model_a.predict_skeletons(&ds, 3, &caps, 7);
-    let (sb, nb) = model_b.predict_skeletons(&ds, 3, &caps, 7);
+    let (sa, na) = model_a.predict_skeletons(&ds, 3, &caps, 7).unwrap();
+    let (sb, nb) = model_b.predict_skeletons(&ds, 3, &caps, 7).unwrap();
     assert_eq!(na, nb, "nearest neighbour must be deterministic");
     let names = |v: &[(kgpip_hpo::Skeleton, f64)]| {
         v.iter()

@@ -1,7 +1,10 @@
 //! Model persistence: a trained KGpip saved to JSON must reload and make
-//! identical predictions.
+//! identical predictions — through the deprecated `Kgpip` shims *and*
+//! through the new universal [`TrainedModel::open`] loader, proving
+//! JSON-era model files load into the new artifact unchanged.
+#![allow(deprecated)]
 
-use kgpip::Kgpip;
+use kgpip::{Kgpip, TrainedModel};
 use kgpip_bench::runner::{build_model, ExperimentConfig};
 use kgpip_benchdata::{benchmark, generate_dataset};
 use kgpip_hpo::{Flaml, Optimizer};
@@ -25,8 +28,8 @@ fn save_load_roundtrip_preserves_predictions() {
     let caps = Flaml::new(0).capabilities();
     for entry in benchmark().iter().take(5) {
         let ds = generate_dataset(entry, &cfg.scale, entry.id as u64);
-        let (a, na) = model.predict_skeletons(&ds, 3, &caps, 42);
-        let (b, nb) = restored.predict_skeletons(&ds, 3, &caps, 42);
+        let (a, na) = model.predict_skeletons(&ds, 3, &caps, 42).unwrap();
+        let (b, nb) = restored.predict_skeletons(&ds, 3, &caps, 42).unwrap();
         assert_eq!(
             na, nb,
             "{}: neighbour must survive the roundtrip",
@@ -57,8 +60,39 @@ fn save_to_disk_and_reload() {
     std::fs::remove_file(&path).ok();
 }
 
+/// A JSON-era model file must load into the new `TrainedModel` artifact
+/// with *bit-identical* prediction behaviour — the compatibility contract
+/// of the API split.
+#[test]
+fn json_era_file_opens_as_trained_model_unchanged() {
+    let cfg = ExperimentConfig::quick();
+    let model = build_model(&cfg);
+    let dir = std::env::temp_dir().join("kgpip_persistence_compat_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    model.save(&path).unwrap();
+
+    let artifact = TrainedModel::open(&path).unwrap();
+    assert_eq!(artifact.catalog_len(), model.artifact().catalog_len());
+    assert!(artifact.catalog_len() > 0);
+    let caps = Flaml::new(0).capabilities();
+    for entry in benchmark().iter().take(3) {
+        let ds = generate_dataset(entry, &cfg.scale, entry.id as u64);
+        let (a, na) = model.predict_skeletons(&ds, 3, &caps, 42).unwrap();
+        let (b, nb) = artifact.predict_skeletons(&ds, 3, &caps, 42).unwrap();
+        assert_eq!(na, nb, "{}", entry.name);
+        assert_eq!(a.len(), b.len(), "{}", entry.name);
+        for ((s1, g1), (s2, g2)) in a.iter().zip(&b) {
+            assert_eq!(s1, s2, "{}", entry.name);
+            assert_eq!(g1.to_bits(), g2.to_bits(), "{}", entry.name);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn load_rejects_garbage() {
     assert!(Kgpip::from_json("{not json").is_err());
     assert!(Kgpip::load("/nonexistent/path/model.json").is_err());
+    assert!(TrainedModel::open("/nonexistent/path/model.kgps").is_err());
 }
