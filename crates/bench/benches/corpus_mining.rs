@@ -20,6 +20,9 @@
 //! results; the smoke mode (plain `cargo bench`) only checks the
 //! harness runs.
 
+// This bench times wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile, ScriptRecord};
 use kgpip_codegraph::{mine_script, source_fingerprint, MiningCache};

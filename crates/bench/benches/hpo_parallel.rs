@@ -29,6 +29,9 @@
 //! Run `cargo bench --bench hpo_parallel -- --bench` for timed results;
 //! the smoke mode (plain `cargo bench`) only checks the harness runs.
 
+// This bench times wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kgpip_benchdata::generate::{synthesize, SynthSpec};
 use kgpip_hpo::space::Skeleton;

@@ -20,6 +20,9 @@
 //! Run `cargo bench --bench serve_bench -- --bench` for timed results;
 //! the smoke mode (plain `cargo bench`) only checks the harness runs.
 
+// This bench times wall-clock throughput by design.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use kgpip::TrainedModel;
 use kgpip_codegraph::corpus::{generate_corpus, CorpusConfig, DatasetProfile};

@@ -8,6 +8,12 @@
 //! *shape* — who wins, by roughly what factor, where crossovers fall — is
 //! what each report asserts and records (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The harness measures wall-clock cost by design; xlint scopes this
+// crate to the seeding/guard rules for the same reason.
+#![allow(clippy::disallowed_methods)]
+
 pub mod experiments;
 pub mod runner;
 pub mod stats;

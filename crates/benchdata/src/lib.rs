@@ -21,6 +21,9 @@
 //!   distribution reflects each domain's winning family, standing in for
 //!   the mined Kaggle corpus.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod generate;
 pub mod training;

@@ -135,14 +135,10 @@ impl MiningCache {
         let stamp = inner.stamp;
         inner.map.insert(fingerprint, (stamp, outcome));
         while inner.map.len() > self.capacity {
-            let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (used, _))| *used)
-                .map(|(k, _)| *k)
-            else {
-                break;
-            };
+            // xlint: allow(nondeterministic-iteration): stamps are unique, so min_by_key has one well-defined answer regardless of visit order; eviction changes cost only, never answers
+            let oldest = inner.map.iter().min_by_key(|(_, (used, _))| *used);
+            let oldest = oldest.map(|(k, _)| *k);
+            let Some(oldest) = oldest else { break };
             inner.map.remove(&oldest);
         }
     }
@@ -184,6 +180,7 @@ impl MiningCache {
     pub fn to_json(&self) -> Result<String, String> {
         let inner = self.inner.lock().expect("mining cache poisoned");
         let mut entries: Vec<(u64, u64, MineOutcome)> = inner
+            // xlint: allow(nondeterministic-iteration): entries are re-sorted by their unique stamps immediately below, erasing map order
             .map
             .iter()
             .map(|(k, (used, outcome))| (*used, *k, outcome.clone()))

@@ -41,6 +41,9 @@
 //! # Ok(()) }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod artifact;
 pub mod predict;
 pub mod skeleton;
@@ -90,6 +93,10 @@ pub enum KgpipError {
     Tabular(kgpip_tabular::TabularError),
     /// Saving or loading a trained model failed.
     Persistence(String),
+    /// The trained artifact's internal tables disagree with each other
+    /// (e.g. the similarity index names a dataset the embedding store
+    /// does not hold) — a corrupted or hand-edited model file.
+    InconsistentArtifact(String),
 }
 
 impl std::fmt::Display for KgpipError {
@@ -114,6 +121,9 @@ impl std::fmt::Display for KgpipError {
             KgpipError::Hpo(e) => write!(f, "hpo failure: {e}"),
             KgpipError::Tabular(e) => write!(f, "tabular failure: {e}"),
             KgpipError::Persistence(m) => write!(f, "model persistence failure: {m}"),
+            KgpipError::InconsistentArtifact(m) => {
+                write!(f, "inconsistent trained artifact: {m}")
+            }
         }
     }
 }

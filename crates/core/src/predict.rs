@@ -54,10 +54,10 @@ impl KgpipRun {
     /// least one skeleton search succeeded, so `best_index` always points
     /// at a populated result.)
     pub fn best(&self) -> &HpoResult {
-        self.results[self.best_index]
-            .hpo
-            .as_ref()
-            .expect("best_index points at a successful result")
+        // xlint: allow(panic-in-serve-path): run_k only builds a KgpipRun after at least one skeleton search succeeded, and sets best_index to that entry
+        let best = &self.results[self.best_index];
+        // xlint: allow(panic-in-serve-path): the same invariant: the entry at best_index always holds a populated hpo result
+        best.hpo.as_ref().expect("populated at best_index")
     }
 
     /// The best validation score.
@@ -156,8 +156,19 @@ impl TrainedModel {
         let (neighbour, _) = self.nearest_by_embedding(query)?;
         // Seed generation with the *neighbour's* stored content embedding
         // (§3.5: generation starts from "the closest seen dataset node —
-        // more specifically, its content embedding").
-        let embedding = self.embeddings[&neighbour].clone();
+        // more specifically, its content embedding"). The index and the
+        // embedding store are built together by `Kgpip::train`, but a
+        // hand-edited model file can desynchronize them — a state a
+        // server must report, not panic on.
+        let embedding = self
+            .embeddings
+            .get(&neighbour)
+            .ok_or_else(|| {
+                KgpipError::InconsistentArtifact(format!(
+                    "similarity index returned dataset `{neighbour}` but the embedding store has no entry for it"
+                ))
+            })?
+            .clone();
         let skeletons =
             self.predict_with_embedding(&embedding, task, k, capabilities_json, seed)?;
         Ok((skeletons, neighbour))
@@ -248,6 +259,8 @@ impl TrainedModel {
         budget: TimeBudget,
         k: usize,
     ) -> Result<KgpipRun> {
+        #[allow(clippy::disallowed_methods)]
+        // xlint: allow(wall-clock-in-compute): measures the paper's generation time `t`, reported in KgpipRun; budget accounting lives in TimeBudget
         let started = std::time::Instant::now();
         backend.set_trial_cache(!self.config.disable_trial_cache);
         let capabilities = backend.capabilities();
@@ -284,7 +297,7 @@ impl TrainedModel {
             .iter()
             .enumerate()
             .filter_map(|(i, r)| r.hpo.as_ref().map(|h| (i, h.valid_score)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
             .ok_or(KgpipError::AllSkeletonsFailed)?;
         Ok(KgpipRun {
@@ -309,6 +322,10 @@ impl TrainedModel {
         workers: usize,
     ) -> Vec<SkeletonResult> {
         let total = skeletons.len();
+        // Re-clamp at the fan-out site: `workers` already passed through
+        // the caller's clamp, but re-applying is idempotent and keeps
+        // this function safe to call from new paths.
+        let workers = effective_parallelism(workers);
         let lanes = workers.min(total).max(1);
         let per_engine = (workers / lanes).max(1);
         let engines: Vec<Mutex<Box<dyn Optimizer + Send>>> = (0..total)
@@ -324,25 +341,24 @@ impl TrainedModel {
             .enumerate()
             .map(|(i, (s, g))| (i, s, g))
             .collect();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(lanes)
-            .build()
-            .expect("thread pool construction");
-        pool.install(|| {
-            work.par_iter()
-                .map(|(i, skeleton, generation_score)| {
-                    let hpo = engines[*i]
-                        .lock()
-                        .optimize_skeleton(train, skeleton, &sub_budgets[*i])
-                        .ok();
-                    SkeletonResult {
-                        skeleton: skeleton.clone(),
-                        generation_score: *generation_score,
-                        hpo,
-                    }
-                })
-                .collect()
-        })
+        let run_lane = |(i, skeleton, generation_score): &(usize, Skeleton, f64)| {
+            // xlint: allow(panic-in-serve-path): i < total by construction and both vectors are built with len total
+            let (engine, sub) = (&engines[*i], &sub_budgets[*i]);
+            let hpo = engine.lock().optimize_skeleton(train, skeleton, sub).ok();
+            SkeletonResult {
+                skeleton: skeleton.clone(),
+                generation_score: *generation_score,
+                hpo,
+            }
+        };
+        match rayon::ThreadPoolBuilder::new().num_threads(lanes).build() {
+            Ok(pool) => pool.install(|| work.par_iter().map(run_lane).collect()),
+            // Pool construction only fails on thread-resource exhaustion;
+            // the lanes are order-independent and each carries its own
+            // upfront sub-budget, so running them sequentially returns
+            // the same results rather than killing the serving thread.
+            Err(_) => work.iter().map(run_lane).collect(),
+        }
     }
 }
 
@@ -470,6 +486,7 @@ mod tests {
         let backend = Flaml::new(0);
         use kgpip_hpo::Optimizer as _;
         let caps = backend.capabilities();
+        #[allow(clippy::disallowed_methods)]
         let started = std::time::Instant::now();
         let (skeletons, neighbour) = model.predict_skeletons(&ds, 3, &caps, 0).unwrap();
         assert!(!skeletons.is_empty());

@@ -120,7 +120,7 @@ impl Snapshot {
                         let cols = s.u32()? as usize;
                         let mut data = Vec::with_capacity((rows * cols).min(1 << 24));
                         for _ in 0..rows * cols {
-                            data.push(f32::from_le_bytes(s.take(4)?.try_into().unwrap()));
+                            data.push(f32::from_le_bytes(s.array()?));
                         }
                         params.push(Tensor::from_vec(data, rows, cols).map_err(persist)?);
                     }
@@ -251,7 +251,7 @@ impl TrainedModel {
     /// [`Kgpip::save`]: crate::Kgpip::save
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<TrainedModel> {
         let bytes = std::fs::read(path).map_err(persist)?;
-        if bytes.len() >= 4 && bytes[..4] == Snapshot::MAGIC {
+        if bytes.get(..4).is_some_and(|magic| magic == Snapshot::MAGIC) {
             return Ok(Snapshot::from_bytes(&bytes)?.model);
         }
         let json = std::str::from_utf8(&bytes)
@@ -307,17 +307,28 @@ impl<'a> Reader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| persist(format!("snapshot truncated at byte {}", self.pos)))?;
+        // xlint: allow(panic-in-serve-path): end was bounds-checked against bytes.len() on the line above
         let slice = &self.bytes[self.pos..end];
         self.pos = end;
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes into an array, with the same truncation
+    /// error as [`Reader::take`] — the panic-free alternative to
+    /// `take(N)?.try_into().unwrap()` on the serve/load path.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn str(&mut self) -> Result<String> {
@@ -329,7 +340,7 @@ impl<'a> Reader<'a> {
         let len = self.u64()? as usize;
         let mut out = Vec::with_capacity(len.min(1 << 20));
         for _ in 0..len {
-            out.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+            out.push(f64::from_le_bytes(self.array()?));
         }
         Ok(out)
     }

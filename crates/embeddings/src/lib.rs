@@ -16,6 +16,9 @@
 //!   search — the FAISS substitute,
 //! * [`tsne`] — exact t-SNE for the Figure-10 qualitative analysis.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod column;
 pub mod index;
 pub mod table;

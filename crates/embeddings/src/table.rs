@@ -1,7 +1,7 @@
 //! Table-level embeddings via column pooling.
 
 use crate::column::{column_embedding, EMBED_DIM};
-use kgpip_tabular::DataFrame;
+use kgpip_tabular::{effective_parallelism, DataFrame};
 use rayon::prelude::*;
 
 /// Embeds a table by mean-pooling its column embeddings and L2-normalizing
@@ -40,12 +40,7 @@ pub fn table_embedding(frame: &DataFrame) -> Vec<f64> {
 /// (e.g. `parallelism = 2` on a 1-CPU host) take the sequential path
 /// instead of paying pool-construction and contention overhead.
 pub fn table_embeddings(tables: &[(String, DataFrame)], parallelism: usize) -> Vec<Vec<f64>> {
-    let parallelism = parallelism.clamp(
-        1,
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    );
+    let parallelism = effective_parallelism(parallelism);
     if parallelism > 1 && tables.len() > 1 {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(parallelism)

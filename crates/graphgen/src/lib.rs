@@ -23,6 +23,9 @@
 //!   updates, and MLP decision heads; trained with Adam, sampled with
 //!   temperature.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod model;
 pub mod sequence;
 

@@ -437,6 +437,7 @@ impl GraphGenerator {
     /// With a pool, the batch is split into contiguous chunks (one tape
     /// per worker) and results are re-flattened in batch-index order, so
     /// the output is identical to the sequential path.
+    // xlint: allow(unclamped-rayon): the pool argument is built by worker_pool(), which clamps through effective_parallelism; `None` means sequential
     fn batch_forward(
         &self,
         batch: &[usize],
@@ -689,16 +690,10 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// Requested parallelism clamped to the CPUs the host actually has.
-/// Worker counts above the hardware width only add contention (the 1-CPU
-/// p2-vs-p1 regression tracked in ROADMAP); results never depend on the
-/// worker count, so clamping is invisible except in cost.
-pub fn effective_parallelism(requested: usize) -> usize {
-    let available = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    requested.clamp(1, available)
-}
+// The worker-count clamp moved to the bottom crate so every parallel
+// stage (embeddings, trial evaluation, mining) can consult one canonical
+// definition; re-exported here under its historical path.
+pub use kgpip_tabular::effective_parallelism;
 
 /// Temperature softmax sample over logits with class masking. Returns
 /// `(choice, log probability of the choice at temperature 1)`.

@@ -35,8 +35,10 @@ pub struct TimeBudget {
 
 impl TimeBudget {
     /// Starts a budget of the given total duration now.
+    #[allow(clippy::disallowed_methods)]
     pub fn start(total: Duration) -> TimeBudget {
         TimeBudget {
+            // xlint: allow(wall-clock-in-compute): the audited budget anchor — the ONE place HPO reads the clock to enforce the paper's (T − t)/K contract; trial selection itself is time-free
             start: Instant::now(),
             total,
             trial_cap: None,

@@ -37,6 +37,9 @@
 //! `parallelism == 1` a run reproduces the historical sequential engines
 //! bit-for-bit for a fixed seed.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod al;
 pub mod autosklearn;
 pub mod budget;

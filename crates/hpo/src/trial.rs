@@ -15,7 +15,7 @@ use crate::space::Skeleton;
 use crate::Result;
 use kgpip_learners::pipeline::{Pipeline, PipelineSpec};
 use kgpip_learners::{EncodedDataset, Params, TransformCache};
-use kgpip_tabular::{train_test_split, Dataset};
+use kgpip_tabular::{effective_parallelism, train_test_split, Dataset};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -169,11 +169,14 @@ impl HpoResult {
                     .map_err(|e| e.to_string()),
             }
         };
-        let results: Vec<std::result::Result<Vec<f64>, String>> = if members.len() > 1 {
-            members.par_iter().map(refit).collect()
-        } else {
-            members.iter().map(refit).collect()
-        };
+        // Member refits ride the global rayon pool, gated on the clamp so
+        // a 1-CPU host takes the sequential path outright.
+        let results: Vec<std::result::Result<Vec<f64>, String>> =
+            if effective_parallelism(members.len()) > 1 {
+                members.par_iter().map(refit).collect()
+            } else {
+                members.iter().map(refit).collect()
+            };
         let mut all_preds: Vec<Vec<f64>> = Vec::with_capacity(results.len());
         for result in results {
             all_preds.push(result.map_err(crate::HpoError::Learner)?);
@@ -401,12 +404,7 @@ impl Evaluator {
         // `parallelism = 2` config would pay pool construction and
         // contention for zero concurrency (outcomes are recorded in
         // proposal order either way, so only the cost changes).
-        let workers = self.parallelism.clamp(
-            1,
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        );
+        let workers = effective_parallelism(self.parallelism);
         let outcomes: Vec<TrialOutcome> = if workers > 1 && admitted.len() > 1 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(workers)
@@ -447,6 +445,8 @@ impl Evaluator {
             estimator: skeleton.estimator,
             params,
         };
+        #[allow(clippy::disallowed_methods)]
+        // xlint: allow(wall-clock-in-compute): trial duration is a reported statistic on the HPO result; the search never branches on it
         let started = std::time::Instant::now();
         let fit = Pipeline::from_spec(spec.clone()).and_then(|mut p| {
             match (self.caching, &self.encoded) {

@@ -127,14 +127,10 @@ impl TransformCache {
         let stamp = inner.stamp;
         inner.map.insert(key, (stamp, state));
         while inner.map.len() > self.capacity {
-            let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (used, _))| *used)
-                .map(|(k, _)| k.clone())
-            else {
-                break;
-            };
+            // xlint: allow(nondeterministic-iteration): stamps are unique, so min_by_key has one well-defined answer regardless of visit order; eviction changes cost only, never answers
+            let oldest = inner.map.iter().min_by_key(|(_, (used, _))| *used);
+            let oldest = oldest.map(|(k, _)| k.clone());
+            let Some(oldest) = oldest else { break };
             inner.map.remove(&oldest);
         }
     }

@@ -26,6 +26,9 @@
 //!   form of a KGpip "pipeline skeleton" (paper §3.6),
 //! * [`metrics`] — macro-F1, accuracy, log-loss, R², MSE, MAE.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod encode;
 pub mod estimators;

@@ -19,6 +19,9 @@
 //! Gradient correctness is enforced by finite-difference tests on every
 //! operator (see `tape::tests`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod layers;
 pub mod optim;
 pub mod params;

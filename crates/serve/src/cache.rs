@@ -56,6 +56,14 @@ pub(crate) struct ResultCache {
     evictions: AtomicU64,
 }
 
+/// Recovers the guard from a poisoned cache lock. Every mutation under
+/// this lock is a single `HashMap` call plus a stamp bump, so a panicking
+/// holder cannot leave the map torn; at worst the cache loses one insert,
+/// which only costs a recomputation.
+fn recover<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl ResultCache {
     /// Creates a cache bounded to `capacity` entries; `capacity == 0`
     /// disables caching (every probe misses, inserts are dropped).
@@ -74,7 +82,7 @@ impl ResultCache {
 
     /// Looks up a prediction, refreshing its recency stamp on hit.
     pub fn get(&self, key: &ResultKey) -> Option<CachedPrediction> {
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = recover(self.inner.lock());
         inner.stamp += 1;
         let stamp = inner.stamp;
         match inner.map.get_mut(key) {
@@ -97,16 +105,14 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = recover(self.inner.lock());
         inner.stamp += 1;
         let stamp = inner.stamp;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (when, _))| *when)
-                .map(|(k, _)| *k)
-            {
+            // xlint: allow(nondeterministic-iteration): stamps are unique, so min_by_key has one well-defined answer regardless of visit order; eviction changes cost only, never answers
+            let oldest = inner.map.iter().min_by_key(|(_, (when, _))| *when);
+            let oldest = oldest.map(|(k, _)| *k);
+            if let Some(oldest) = oldest {
                 inner.map.remove(&oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -120,7 +126,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("result cache poisoned").map.len(),
+            entries: recover(self.inner.lock()).map.len(),
         }
     }
 }

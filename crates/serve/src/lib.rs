@@ -31,6 +31,9 @@
 //! # Ok(()) }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod server;
 

@@ -213,6 +213,7 @@ impl ServeHandle {
                 std::thread::Builder::new()
                     .name(format!("kgpip-serve-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // xlint: allow(panic-in-serve-path): runs once at startup, before any request is accepted; spawn failure means the host cannot run the service at all
                     .expect("spawn serve worker")
             })
             .collect();
@@ -229,7 +230,7 @@ impl ServeHandle {
     pub fn submit(&self, request: ServeRequest) -> Pending {
         let (reply, receiver) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            let mut queue = recover(self.shared.queue.lock());
             if queue.open {
                 queue.jobs.push_back(Job { request, reply });
             } else {
@@ -244,7 +245,7 @@ impl ServeHandle {
     /// the model they pinned; subsequent batches (and cache keys) use the
     /// new one. Returns the new serving epoch.
     pub fn swap_model(&self, model: Arc<TrainedModel>) -> u64 {
-        let mut slot = self.shared.slot.write().expect("serve slot poisoned");
+        let mut slot = recover(self.shared.slot.write());
         slot.0 = model;
         slot.1 += 1;
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
@@ -253,7 +254,7 @@ impl ServeHandle {
 
     /// The current serving epoch (starts at 0, bumped per swap).
     pub fn model_epoch(&self) -> u64 {
-        self.shared.slot.read().expect("serve slot poisoned").1
+        recover(self.shared.slot.read()).1
     }
 
     /// Counter snapshot.
@@ -275,7 +276,7 @@ impl ServeHandle {
 
     fn close_and_join(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            let mut queue = recover(self.shared.queue.lock());
             queue.open = false;
         }
         self.shared.available.notify_all();
@@ -291,10 +292,20 @@ impl Drop for ServeHandle {
     }
 }
 
+/// Recovers the guard from a poisoned serve lock instead of propagating
+/// the panic. A worker that panics mid-batch abandons its own jobs but
+/// never leaves the protected state torn — queue mutations are single
+/// `VecDeque` calls and the model slot is an `(Arc, epoch)` pair swapped
+/// whole — so continuing to serve the remaining traffic beats letting one
+/// bad request take the whole service down.
+fn recover<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let batch: Vec<Job> = {
-            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+            let mut queue = recover(shared.queue.lock());
             loop {
                 if !queue.jobs.is_empty() {
                     let n = queue.jobs.len().min(shared.max_batch);
@@ -303,7 +314,7 @@ fn worker_loop(shared: &Shared) {
                 if !queue.open {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("serve queue poisoned");
+                queue = recover(shared.available.wait(queue));
             }
         };
         process_batch(shared, batch);
@@ -316,7 +327,7 @@ fn process_batch(shared: &Shared, batch: Vec<Job>) {
     shared.batches.fetch_add(1, Ordering::Relaxed);
     let batch_size = batch.len();
     let (model, epoch) = {
-        let slot = shared.slot.read().expect("serve slot poisoned");
+        let slot = recover(shared.slot.read());
         (Arc::clone(&slot.0), slot.1)
     };
 

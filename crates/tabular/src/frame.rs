@@ -104,6 +104,7 @@ impl DataFrame {
         self.names.remove(pos);
         let col = self.columns.remove(pos);
         self.index.remove(name);
+        // xlint: allow(nondeterministic-iteration): each position is adjusted independently and the updates commute, so visit order cannot affect the resulting index
         for v in self.index.values_mut() {
             if *v > pos {
                 *v -= 1;

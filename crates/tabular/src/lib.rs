@@ -16,10 +16,15 @@
 //! * [`split`] — train/test and (stratified) k-fold splitting,
 //! * [`stats`] — column summary statistics shared by the dataset-embedding
 //!   and meta-feature components,
+//! * [`parallel`] — the [`effective_parallelism`] worker-count clamp every
+//!   rayon entry point in the workspace consults,
 //! * [`Dataset`] — a feature frame plus a supervised target.
 //!
 //! Everything is deterministic given an RNG seed; nothing performs I/O
 //! besides the explicit CSV helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod column;
 pub mod csv;
@@ -27,6 +32,7 @@ pub mod dataset;
 pub mod error;
 pub mod frame;
 pub mod infer;
+pub mod parallel;
 pub mod split;
 pub mod stats;
 
@@ -35,6 +41,7 @@ pub use dataset::{Dataset, Task};
 pub use error::TabularError;
 pub use frame::DataFrame;
 pub use infer::{infer_column, infer_task};
+pub use parallel::effective_parallelism;
 pub use split::{kfold, stratified_kfold, train_test_split};
 pub use stats::{fnv1a, ColumnStats};
 

@@ -1,0 +1,53 @@
+//! The canonical worker-count clamp every parallel stage consults.
+//!
+//! The house invariant — parallelism changes what a stage *costs*, never
+//! what it *computes* — has a corollary about worker counts: asking for
+//! more workers than the host has CPUs only adds contention (the 1-CPU
+//! `parallelism = 2` regression tracked in ROADMAP), so every rayon entry
+//! point in the workspace routes its requested parallelism through
+//! [`effective_parallelism`] before building a pool. The `xlint`
+//! `unclamped-rayon` rule enforces this statically: a function that
+//! constructs a pool or enters `par_iter` without consulting this clamp
+//! (directly or through a sanctioned pool constructor) fails the
+//! workspace lint.
+//!
+//! The function lives in `kgpip-tabular` — the bottom crate of the
+//! workspace — so every compute crate can reach it without dependency
+//! cycles; `kgpip-graphgen` re-exports it under its historical path.
+
+/// Requested parallelism clamped to the CPUs the host actually has.
+///
+/// `0` (a directly-constructed config bypassing the builder's clamp) is
+/// treated as sequential. Worker counts above the hardware width only add
+/// contention; results never depend on the worker count, so clamping is
+/// invisible except in cost.
+pub fn effective_parallelism(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    requested.clamp(1, available)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_clamped_to_sequential() {
+        assert_eq!(effective_parallelism(0), 1);
+    }
+
+    #[test]
+    fn one_is_identity() {
+        assert_eq!(effective_parallelism(1), 1);
+    }
+
+    #[test]
+    fn never_exceeds_the_host_width() {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(effective_parallelism(usize::MAX), available);
+        assert!(effective_parallelism(2) <= available.max(2));
+    }
+}

@@ -1,0 +1,148 @@
+//! Rule identifiers and span-carrying lint diagnostics.
+//!
+//! Mirrors the `kgpip-codegraph` diagnostic style (`error[pass] line:col:
+//! message`) but adds the file path — xlint walks the whole workspace,
+//! not a single script — and the kebab-case rule name in place of the
+//! analyzer pass.
+
+use kgpip_codegraph::{Severity, Span};
+use serde::{Deserialize, Serialize};
+
+/// Every rule xlint knows. The first six are configurable per crate; the
+/// two `*Suppression` meta-rules are always on — they police the allow
+/// comments themselves and cannot be suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// HashMap/HashSet iteration feeding arithmetic, ordering, or
+    /// serialization in a compute crate (violates bit-identity).
+    NondeterministicIteration,
+    /// Rayon pool construction or `par_iter` in a function that never
+    /// consults `effective_parallelism()` (or another sanctioned clamp).
+    UnclampedRayon,
+    /// `Instant::now` / `SystemTime` outside the stats/bench allowlist.
+    WallClockInCompute,
+    /// `thread_rng` / `from_entropy` / `OsRng` — unseeded randomness.
+    UnseededRng,
+    /// `unwrap` / `expect` / `panic!` / slice indexing in the serving
+    /// path, which must return typed `KgpipError`s instead.
+    PanicInServePath,
+    /// A library crate missing `#![forbid(unsafe_code)]` or
+    /// `#![warn(missing_docs)]` at the top of its `lib.rs`.
+    MissingCrateGuards,
+    /// An `xlint: allow(...)` comment with a missing justification or an
+    /// unknown rule name. Always on.
+    BadSuppression,
+    /// An `xlint: allow(...)` comment that matched no diagnostic — stale
+    /// suppressions must be deleted, not accumulated. Always on.
+    UnusedSuppression,
+}
+
+/// The six crate-configurable rules, in canonical order.
+pub const CONFIGURABLE_RULES: [Rule; 6] = [
+    Rule::NondeterministicIteration,
+    Rule::UnclampedRayon,
+    Rule::WallClockInCompute,
+    Rule::UnseededRng,
+    Rule::PanicInServePath,
+    Rule::MissingCrateGuards,
+];
+
+impl Rule {
+    /// The kebab-case name used in config files, `allow(...)` comments,
+    /// and rendered diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NondeterministicIteration => "nondeterministic-iteration",
+            Rule::UnclampedRayon => "unclamped-rayon",
+            Rule::WallClockInCompute => "wall-clock-in-compute",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::PanicInServePath => "panic-in-serve-path",
+            Rule::MissingCrateGuards => "missing-crate-guards",
+            Rule::BadSuppression => "bad-suppression",
+            Rule::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// Parses a kebab-case rule name. Only the six configurable rules are
+    /// accepted — the meta-rules cannot be named in configs or allows.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        CONFIGURABLE_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name() == name)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding, anchored to a file + span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintDiagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// Location within the file.
+    pub span: Span,
+    /// Severity (every house rule is an error; there are no warnings).
+    pub severity: Severity,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl LintDiagnostic {
+    /// Builds an error-severity diagnostic (the only severity the house
+    /// rules emit — a violation either exists or it does not).
+    pub fn error(file: &str, span: Span, rule: Rule, message: impl Into<String>) -> LintDiagnostic {
+        LintDiagnostic {
+            file: file.to_string(),
+            span,
+            severity: Severity::Error,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.severity, self.rule, self.file, self.span, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for rule in CONFIGURABLE_RULES {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("bad-suppression"), None);
+        assert_eq!(Rule::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn display_matches_codegraph_style() {
+        let d = LintDiagnostic::error(
+            "crates/core/src/train.rs",
+            Span::new(10, 15, 322, 19),
+            Rule::NondeterministicIteration,
+            "HashMap::values() feeds arithmetic",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[nondeterministic-iteration] crates/core/src/train.rs:322:19: \
+             HashMap::values() feeds arithmetic"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! The lint driver: single files for fixtures, the whole workspace for
+//! the `kgpip-cli xlint` gate.
+//!
+//! Per file the pipeline is lex → scan suppressions (from the comment
+//! tokens) → build the [`FileContext`] (comments stripped, test regions
+//! masked) → run the crate's configured rules → apply suppressions.
+//! Surviving diagnostics plus the two meta-rules (`bad-suppression`,
+//! `unused-suppression`) are what the gate counts; suppressed
+//! diagnostics are reported with their justifications so the audit trail
+//! is visible in `--json` output.
+
+use crate::config::{CrateRules, WorkspaceConfig};
+use crate::diag::LintDiagnostic;
+use crate::lexer::lex;
+use crate::rules::{run_rules, FileContext};
+use crate::suppress;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A diagnostic silenced by a justified allow — kept in the report so
+/// reviewers can audit every justification without grepping the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuppressedDiagnostic {
+    /// The silenced finding.
+    pub diagnostic: LintDiagnostic,
+    /// The mandatory justification text from the allow comment.
+    pub justification: String,
+}
+
+/// The outcome of linting one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileOutcome {
+    /// Diagnostics that survive suppression (these fail the gate).
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Diagnostics silenced by a justified allow.
+    pub suppressed: Vec<SuppressedDiagnostic>,
+}
+
+/// Lints one source string under one crate's rule set. `file` is the
+/// label stamped onto diagnostics (workspace-relative in real runs);
+/// `crate_file` is the crate-relative path used for `panic_files`
+/// scoping and the lib.rs guard check.
+pub fn lint_source(
+    file: &str,
+    crate_file: &str,
+    source: &str,
+    rules: &CrateRules,
+    pool_sanctioned: &[String],
+) -> FileOutcome {
+    let tokens = lex(source);
+    let (sups, mut bad) = suppress::scan(file, &tokens);
+    let ctx = FileContext::new(&tokens);
+    let raw = run_rules(file, crate_file, &ctx, rules, pool_sanctioned);
+    let (mut surviving, suppressed, unused) = suppress::apply(file, raw, &sups);
+    surviving.append(&mut bad);
+    surviving.extend(unused);
+    FileOutcome {
+        diagnostics: surviving,
+        suppressed: suppressed
+            .into_iter()
+            .map(|(diagnostic, justification)| SuppressedDiagnostic {
+                diagnostic,
+                justification,
+            })
+            .collect(),
+    }
+}
+
+/// The aggregate result of a workspace lint run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Source files scanned, across every configured crate.
+    pub files_scanned: usize,
+    /// Unsuppressed diagnostics, in (crate, file, emission) order. Empty
+    /// means the gate passes.
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Suppressed diagnostics with their justifications.
+    pub suppressed: Vec<SuppressedDiagnostic>,
+}
+
+impl LintReport {
+    /// True when no unsuppressed diagnostic remains — the gate condition.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering: one diagnostic per line, then a summary
+    /// line counting findings, suppressions, and files.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "xlint: {} finding(s), {} suppressed (justified), {} file(s) scanned\n",
+            self.diagnostics.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// JSON rendering for tooling (`kgpip-cli xlint --json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lint report serializes")
+    }
+}
+
+/// Lints every configured crate under `root` (the workspace directory).
+/// Files are visited in sorted path order within each crate, crates in
+/// config order, so output is stable run to run.
+pub fn lint_workspace(root: &Path, config: &WorkspaceConfig) -> Result<LintReport, String> {
+    let unknown = config.unknown_rules();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "config names unknown rule(s): {}",
+            unknown.join(", ")
+        ));
+    }
+    let mut report = LintReport::default();
+    for crate_rules in &config.crates {
+        let crate_dir = if crate_rules.path == "." {
+            root.to_path_buf()
+        } else {
+            root.join(&crate_rules.path)
+        };
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            return Err(format!(
+                "configured crate `{}` has no src/ under {}",
+                crate_rules.path,
+                crate_dir.display()
+            ));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let crate_file = rel_label(&path, &crate_dir);
+            let file_label = if crate_rules.path == "." {
+                crate_file.clone()
+            } else {
+                format!("{}/{}", crate_rules.path, crate_file)
+            };
+            let outcome = lint_source(
+                &file_label,
+                &crate_file,
+                &source,
+                crate_rules,
+                &config.pool_sanctioned,
+            );
+            report.files_scanned += 1;
+            report.diagnostics.extend(outcome.diagnostics);
+            report.suppressed.extend(outcome.suppressed);
+        }
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `base`, with forward slashes.
+fn rel_label(path: &Path, base: &Path) -> String {
+    let rel = path.strip_prefix(base).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    fn compute_rules() -> CrateRules {
+        CrateRules {
+            path: "crates/fake".to_string(),
+            rules: vec![
+                "nondeterministic-iteration".to_string(),
+                "unseeded-rng".to_string(),
+            ],
+            panic_files: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn suppression_with_justification_silences_and_is_reported() {
+        let src = "fn f() {\n\
+                   // xlint: allow(unseeded-rng): demo only; value is discarded\n\
+                   let r = thread_rng();\n}";
+        let out = lint_source("f.rs", "src/f.rs", src, &compute_rules(), &[]);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].diagnostic.rule, Rule::UnseededRng);
+        assert!(out.suppressed[0].justification.contains("demo only"));
+    }
+
+    #[test]
+    fn unjustified_suppression_fails_even_if_it_would_match() {
+        let src = "fn f() {\n// xlint: allow(unseeded-rng)\nlet r = thread_rng();\n}";
+        let out = lint_source("f.rs", "src/f.rs", src, &compute_rules(), &[]);
+        // The malformed allow is itself an error AND the violation it
+        // failed to cover still fires.
+        assert_eq!(out.diagnostics.len(), 2, "{:?}", out.diagnostics);
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::BadSuppression));
+        assert!(out.diagnostics.iter().any(|d| d.rule == Rule::UnseededRng));
+    }
+
+    #[test]
+    fn stale_suppression_is_an_error() {
+        let src = "// xlint: allow(unseeded-rng): no longer true\nfn f() { g(); }";
+        let out = lint_source("f.rs", "src/f.rs", src, &compute_rules(), &[]);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, Rule::UnusedSuppression);
+    }
+
+    #[test]
+    fn report_renders_both_forms() {
+        let report = LintReport {
+            files_scanned: 3,
+            diagnostics: vec![LintDiagnostic::error(
+                "a.rs",
+                kgpip_codegraph::Span::at_line(4),
+                Rule::UnseededRng,
+                "thread_rng",
+            )],
+            suppressed: Vec::new(),
+        };
+        assert!(!report.is_clean());
+        let human = report.render_human();
+        assert!(human.contains("error[unseeded-rng] a.rs:4:1"));
+        assert!(human.contains("1 finding(s)"));
+        let back: LintReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back.files_scanned, 3);
+        assert_eq!(back.diagnostics[0].file, "a.rs");
+        assert_eq!(back.diagnostics[0].rule, Rule::UnseededRng);
+    }
+}

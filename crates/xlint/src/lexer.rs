@@ -1,0 +1,397 @@
+//! A hand-rolled Rust lexer: just enough tokenization for lint rules.
+//!
+//! The rule engine needs to see identifiers, punctuation, and comments
+//! with accurate [`Span`]s — and crucially it must *not* see into string
+//! literals (rule patterns like `HashMap` appear as string data in this
+//! very crate) or into comments (except the suppression scanner, which
+//! reads them deliberately). This lexer handles the full Rust surface the
+//! workspace uses: nested block comments, raw strings with `#` fences,
+//! byte/char literals, lifetimes, raw identifiers, and numeric literals
+//! with suffixes. It never fails: unexpected bytes become single-character
+//! punctuation tokens, so the rules always get a token stream to walk.
+
+use kgpip_codegraph::Span;
+
+/// What a token is. Rules match mostly on [`TokenKind::Ident`] and
+/// [`TokenKind::Punct`]; the suppression scanner reads
+/// [`TokenKind::LineComment`] / [`TokenKind::BlockComment`] text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal, suffix included (`1_000u64`, `0.5`, `0xff`).
+    Number,
+    /// A string, raw-string, byte-string, or char literal.
+    Literal,
+    /// A `// …` comment (doc comments included), text without newline.
+    LineComment,
+    /// A `/* … */` comment (possibly nested), full text.
+    BlockComment,
+    /// A single punctuation character (`.`, `::` arrives as two tokens).
+    Punct,
+}
+
+/// One lexed token: kind, source text, and the span locating it.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification used by the rule matchers.
+    pub kind: TokenKind,
+    /// The exact source slice.
+    pub text: String,
+    /// Byte range + 1-based line/column of the token start.
+    pub span: Span,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True for line or block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes Rust source. Total: every byte of input is consumed and the
+/// lexer never panics on malformed input (stray bytes become punctuation).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    source: &'s str,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Lexer<'s> {
+        Lexer {
+            src: source.as_bytes(),
+            source,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining the line/column cursor. Column
+    /// counts bytes within the line — adequate for diagnostics, exact for
+    /// the ASCII source this workspace is written in.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            text: self.source[start..self.pos].to_string(),
+            span: Span::new(start, self.pos, line, col),
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump_n(2);
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump_n(2);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                b'r' | b'b' if self.raw_or_byte_prefix() => {
+                    self.emit(TokenKind::Literal, start, line, col);
+                }
+                b'r' if self.peek(1) == b'#' && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#type`.
+                    self.bump_n(2);
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                b'\'' => {
+                    // Lifetime (`'a` not followed by a closing quote) or
+                    // char literal (everything else).
+                    if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.emit(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.bump();
+                        while self.pos < self.src.len() {
+                            match self.peek(0) {
+                                b'\\' => self.bump_n(2),
+                                b'\'' => {
+                                    self.bump();
+                                    break;
+                                }
+                                _ => self.bump(),
+                            }
+                        }
+                        self.emit(TokenKind::Literal, start, line, col);
+                    }
+                }
+                c if is_ident_start(c) => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    // A fractional part: `.` followed by a digit (never
+                    // consume `..` range syntax or `.method()` calls).
+                    if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokenKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, or `b'…'` when the
+    /// cursor sits on such a prefix; returns false (consuming nothing)
+    /// otherwise.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let mut ahead = 0usize;
+        let mut raw = false;
+        if self.peek(ahead) == b'b' {
+            ahead += 1;
+        }
+        if self.peek(ahead) == b'r' {
+            raw = true;
+            ahead += 1;
+        }
+        let mut fences = 0usize;
+        if raw {
+            while self.peek(ahead) == b'#' {
+                fences += 1;
+                ahead += 1;
+            }
+        }
+        match self.peek(ahead) {
+            b'"' => {
+                self.bump_n(ahead + 1);
+                if raw {
+                    // Scan for `"` followed by `fences` hashes.
+                    'outer: while self.pos < self.src.len() {
+                        if self.peek(0) == b'"' {
+                            for f in 0..fences {
+                                if self.peek(1 + f) != b'#' {
+                                    self.bump();
+                                    continue 'outer;
+                                }
+                            }
+                            self.bump_n(1 + fences);
+                            break;
+                        }
+                        self.bump();
+                    }
+                } else {
+                    self.string_tail();
+                }
+                true
+            }
+            b'\'' if !raw && ahead == 1 => {
+                // Byte literal `b'x'`.
+                self.bump_n(2);
+                while self.pos < self.src.len() {
+                    match self.peek(0) {
+                        b'\\' => self.bump_n(2),
+                        b'\'' => {
+                            self.bump();
+                            break;
+                        }
+                        _ => self.bump(),
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump();
+        self.string_tail();
+    }
+
+    /// Consumes up to and including the closing `"`, honoring escapes.
+    fn string_tail(&mut self) {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = map.values();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "map".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "values".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap.values() thread_rng";"#);
+        assert!(toks
+            .iter()
+            .all(|(_, t)| t != "HashMap" && t != "thread_rng"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r##"let s = r#"Instant::now() "quoted" inside"#; x"##);
+        assert!(toks.iter().all(|(_, t)| t != "Instant"));
+        assert!(toks.iter().any(|(_, t)| t == "x"), "lexing continues after");
+    }
+
+    #[test]
+    fn comments_are_captured_whole() {
+        let toks = lex("a // xlint: allow(unseeded-rng): test data only\nb");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[1].text.contains("allow(unseeded-rng)"));
+        assert_eq!(toks[1].span.line, 1);
+        assert_eq!(toks[2].span.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'y'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..5 1.5 2.max(3) 0xffu64");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"5"));
+        assert!(texts.contains(&"1.5"));
+        assert!(texts.contains(&"max"));
+        assert!(texts.contains(&"0xffu64"));
+    }
+
+    #[test]
+    fn byte_and_raw_idents() {
+        let toks = kinds(r#"b"KGPS" b'\n' r#type"#);
+        assert_eq!(toks[0].0, TokenKind::Literal);
+        assert_eq!(toks[1].0, TokenKind::Literal);
+        assert_eq!(toks[2], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn spans_locate_tokens() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+        assert_eq!(&"ab\n  cd"[toks[1].span.start..toks[1].span.end], "cd");
+    }
+}

@@ -1,0 +1,44 @@
+//! kgpip-xlint: a workspace static-analysis pass that enforces the
+//! determinism & serving house invariants.
+//!
+//! The workspace's north-star invariant — parallelism and caches may
+//! change what a stage *costs*, never what it *computes* — cannot be
+//! checked by the type system, and clippy has no notion of "this crate
+//! is a compute stage". This crate closes the gap with a hand-rolled
+//! Rust lexer ([`lexer`]) and six token-stream rules ([`rules`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `nondeterministic-iteration` | hash-container iteration must not feed arithmetic/ordering/serialization |
+//! | `unclamped-rayon` | every rayon fan-out consults `effective_parallelism()` |
+//! | `wall-clock-in-compute` | clock reads confined to audited stats sites |
+//! | `unseeded-rng` | all randomness flows from an explicit u64 seed |
+//! | `panic-in-serve-path` | the serving path returns typed errors, never panics |
+//! | `missing-crate-guards` | every lib.rs carries `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//!
+//! False positives are silenced in-source with a **justified** allow —
+//! `// xlint: allow(<rule>): <why this is sound>` — covering its own
+//! line and the next ([`suppress`]). Justifications are mandatory and
+//! audited: a bare allow, an unknown rule name, or a stale allow that no
+//! longer matches anything are all themselves errors.
+//!
+//! Entry points: [`lint_source`] for one file (fixtures, tests) and
+//! [`lint_workspace`] for the whole tree (the `kgpip-cli xlint` gate,
+//! wired into `scripts/check.sh`). Diagnostics reuse the
+//! `kgpip-codegraph` span/severity machinery and render in its style:
+//! `error[unclamped-rayon] crates/hpo/src/trial.rs:118:8: …`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use config::{CrateRules, WorkspaceConfig};
+pub use diag::{LintDiagnostic, Rule, CONFIGURABLE_RULES};
+pub use engine::{lint_source, lint_workspace, FileOutcome, LintReport, SuppressedDiagnostic};
+pub use suppress::Suppression;

@@ -1,0 +1,228 @@
+//! In-source suppressions: `// xlint: allow(<rule>): <justification>`.
+//!
+//! A suppression silences one rule on its own line and the line directly
+//! below it (so it can sit at the end of the offending line or on the
+//! line above). The justification is mandatory — an allow without one is
+//! itself an error ([`Rule::BadSuppression`]), as is naming a rule xlint
+//! does not know. A suppression that silences nothing is also an error
+//! ([`Rule::UnusedSuppression`]): stale allows must be deleted, not
+//! accumulated, or the audit trail rots.
+
+use crate::diag::{LintDiagnostic, Rule};
+use crate::lexer::Token;
+use kgpip_codegraph::Span;
+use serde::{Deserialize, Serialize};
+
+/// The marker that introduces a suppression inside a comment.
+const MARKER: &str = "xlint:";
+
+/// One parsed `allow` comment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// Why the violation is acceptable (mandatory, audited in review).
+    pub justification: String,
+    /// 1-based line of the comment; the suppression covers this line and
+    /// the next one.
+    pub line: usize,
+    /// Span of the comment token carrying the allow.
+    pub span: Span,
+}
+
+impl Suppression {
+    /// True when this suppression covers a diagnostic for `rule` at
+    /// `line`.
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Scans comment tokens for suppressions. Returns the well-formed ones
+/// plus a `bad-suppression` diagnostic for each malformed allow.
+pub fn scan(file: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<LintDiagnostic>) {
+    let mut found = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        // The marker must open the comment (after the `//`/`/*` sigils):
+        // prose that merely *mentions* `xlint:` — like this sentence, or
+        // the grammar documentation in this module — is not an allow.
+        let body = tok.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        match parse_allow(rest) {
+            Ok((rule, justification)) => found.push(Suppression {
+                rule,
+                justification,
+                line: tok.span.line,
+                span: tok.span,
+            }),
+            Err(problem) => bad.push(LintDiagnostic::error(
+                file,
+                tok.span,
+                Rule::BadSuppression,
+                problem,
+            )),
+        }
+    }
+    (found, bad)
+}
+
+/// Parses `allow(<rule>): <justification>` (the text after `xlint:`).
+fn parse_allow(rest: &str) -> Result<(Rule, String), String> {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed xlint comment: expected `xlint: allow(<rule>): <justification>`, got `xlint: {}`",
+            rest.trim_end()
+        ));
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("malformed xlint comment: unclosed `allow(`".to_string());
+    };
+    let name = inner[..close].trim();
+    let Some(rule) = Rule::from_name(name) else {
+        return Err(format!("unknown rule `{name}` in xlint allow"));
+    };
+    let after = inner[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix(':') else {
+        return Err(format!(
+            "suppression of `{name}` is missing its justification: write `allow({name}): <why this is sound>`"
+        ));
+    };
+    let just = just.trim();
+    if just.is_empty() {
+        return Err(format!(
+            "suppression of `{name}` has an empty justification: say why this is sound"
+        ));
+    }
+    Ok((rule, just.to_string()))
+}
+
+/// Splits `diags` into (surviving, suppressed-with-justification)
+/// against `sups`, and appends an `unused-suppression` error for every
+/// allow that matched nothing. Each suppression may cover any number of
+/// diagnostics on its two lines; "used" means it covered at least one.
+pub fn apply(
+    file: &str,
+    diags: Vec<LintDiagnostic>,
+    sups: &[Suppression],
+) -> (
+    Vec<LintDiagnostic>,
+    Vec<(LintDiagnostic, String)>,
+    Vec<LintDiagnostic>,
+) {
+    let mut used = vec![false; sups.len()];
+    let mut surviving = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in diags {
+        let hit = sups.iter().position(|s| s.covers(d.rule, d.span.line));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push((d, sups[i].justification.clone()));
+            }
+            None => surviving.push(d),
+        }
+    }
+    let mut unused = Vec::new();
+    for (s, was_used) in sups.iter().zip(used) {
+        if !was_used {
+            unused.push(LintDiagnostic::error(
+                file,
+                s.span,
+                Rule::UnusedSuppression,
+                format!(
+                    "suppression of `{}` matched no diagnostic on lines {}-{}: delete it",
+                    s.rule,
+                    s.line,
+                    s.line + 1
+                ),
+            ));
+        }
+    }
+    (surviving, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> (Vec<Suppression>, Vec<LintDiagnostic>) {
+        scan("test.rs", &lex(src))
+    }
+
+    #[test]
+    fn well_formed_allow_parses() {
+        let (sups, bad) = scan_src(
+            "// xlint: allow(unseeded-rng): fixture generation, output is asserted exactly\nlet x = 1;",
+        );
+        assert!(bad.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, Rule::UnseededRng);
+        assert!(sups[0].justification.starts_with("fixture generation"));
+        assert!(sups[0].covers(Rule::UnseededRng, 1));
+        assert!(sups[0].covers(Rule::UnseededRng, 2));
+        assert!(!sups[0].covers(Rule::UnseededRng, 3));
+        assert!(!sups[0].covers(Rule::WallClockInCompute, 1));
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let (sups, bad) = scan_src("// xlint: allow(unseeded-rng)\n");
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::BadSuppression);
+        assert!(bad[0].message.contains("missing its justification"));
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let (sups, bad) = scan_src("// xlint: allow(unseeded-rng):   \n");
+        assert!(sups.is_empty());
+        assert!(bad[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let (_, bad) = scan_src("// xlint: allow(made-up): because\n");
+        assert!(bad[0].message.contains("unknown rule `made-up`"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_marker_is_not_an_allow() {
+        let (sups, bad) =
+            scan_src("// the `xlint: allow(...)` grammar is documented in suppress.rs\n");
+        assert!(sups.is_empty() && bad.is_empty());
+        let (sups, bad) = scan_src("//! kgpip-xlint: a workspace static-analysis pass\n");
+        assert!(sups.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_allowed() {
+        let (_, bad) = scan_src("// xlint: allow(bad-suppression): ha\n");
+        assert_eq!(bad.len(), 1, "meta-rules are not suppressible");
+    }
+
+    #[test]
+    fn apply_partitions_and_flags_unused() {
+        let src = "\n// xlint: allow(unseeded-rng): demo entropy, not in any compute path\n\n// xlint: allow(wall-clock-in-compute): never matches\n";
+        let (sups, bad) = scan_src(src);
+        assert!(bad.is_empty());
+        let diags = vec![LintDiagnostic::error(
+            "test.rs",
+            Span::at_line(3),
+            Rule::UnseededRng,
+            "thread_rng",
+        )];
+        let (surviving, suppressed, unused) = apply("test.rs", diags, &sups);
+        assert!(surviving.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert!(suppressed[0].1.starts_with("demo entropy"));
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].rule, Rule::UnusedSuppression);
+        assert_eq!(unused[0].span.line, 4);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a crate root carrying both house hardening attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The answer.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing the house hardening attributes.
+
+pub fn answer() -> u32 {
+    42
+}

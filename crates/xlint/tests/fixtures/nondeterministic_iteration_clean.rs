@@ -1,0 +1,21 @@
+//! Fixture: hash containers used only through order-erasing operations,
+//! plus iteration over an ordered catalog instead of the map itself.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn feature_means(catalog: &[String], stats: &HashMap<String, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for name in catalog {
+        if let Some(v) = stats.get(name) {
+            out.push(*v);
+        }
+    }
+    out
+}
+
+pub fn population(stats: &HashMap<String, f64>) -> usize {
+    stats.keys().count()
+}
+
+pub fn ordered_view(stats: &HashMap<String, f64>) -> BTreeMap<String, f64> {
+    stats.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<_, _>>()
+}

@@ -1,0 +1,15 @@
+//! Fixture: iterates a HashMap in arbitrary order inside compute code.
+use std::collections::HashMap;
+
+pub fn feature_means(stats: &HashMap<String, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_, v) in stats.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn drop_stale(mut cache: HashMap<u64, f64>) -> HashMap<u64, f64> {
+    cache.retain(|_, v| *v > 0.0);
+    cache
+}

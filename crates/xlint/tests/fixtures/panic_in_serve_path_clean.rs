@@ -1,0 +1,30 @@
+//! Fixture: serving-path code that surfaces every failure as a typed
+//! error the caller can handle.
+use std::collections::HashMap;
+
+pub enum ServeError {
+    MissingEmbedding(String),
+    EmptyBatch,
+    Truncated,
+}
+
+pub fn lookup(
+    embeddings: &HashMap<String, Vec<f32>>,
+    name: &str,
+) -> Result<Vec<f32>, ServeError> {
+    embeddings
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ServeError::MissingEmbedding(name.to_string()))
+}
+
+pub fn first_row(rows: &[Vec<f32>]) -> Result<&Vec<f32>, ServeError> {
+    rows.first().ok_or(ServeError::EmptyBatch)
+}
+
+pub fn decode(bytes: &[u8]) -> Result<u32, ServeError> {
+    let arr = bytes.get(..4).ok_or(ServeError::Truncated)?;
+    let mut out = [0u8; 4];
+    out.copy_from_slice(arr);
+    Ok(u32::from_le_bytes(out))
+}

@@ -1,0 +1,23 @@
+//! Fixture: serving-path code that can abort the process instead of
+//! returning a typed error.
+use std::collections::HashMap;
+
+pub fn lookup(embeddings: &HashMap<String, Vec<f32>>, name: &str) -> Vec<f32> {
+    embeddings.get(name).unwrap().clone()
+}
+
+pub fn first_row(rows: &[Vec<f32>]) -> &Vec<f32> {
+    &rows[0]
+}
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let arr: [u8; 4] = bytes[..4].try_into().expect("four bytes");
+    u32::from_le_bytes(arr)
+}
+
+pub fn must_have(model: Option<&str>) -> &str {
+    match model {
+        Some(m) => m,
+        None => panic!("no model loaded"),
+    }
+}

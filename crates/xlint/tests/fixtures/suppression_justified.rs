@@ -1,0 +1,10 @@
+//! Fixture: a real violation silenced by a correctly-formed allow with a
+//! justification — the gate must pass and report it as suppressed.
+use std::time::Instant;
+
+pub fn timed(xs: &[f64]) -> (f64, u128) {
+    // xlint: allow(wall-clock-in-compute): duration feeds a reported statistic only, never a computed value
+    let started = Instant::now();
+    let s = xs.iter().sum();
+    (s, started.elapsed().as_millis())
+}

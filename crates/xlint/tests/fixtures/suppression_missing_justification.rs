@@ -1,0 +1,10 @@
+//! Fixture: an allow with no justification — the gate must reject the
+//! suppression itself and keep the underlying finding alive.
+use std::time::Instant;
+
+pub fn timed(xs: &[f64]) -> (f64, u128) {
+    // xlint: allow(wall-clock-in-compute)
+    let started = Instant::now();
+    let s = xs.iter().sum();
+    (s, started.elapsed().as_millis())
+}

@@ -1,0 +1,7 @@
+//! Fixture: a justified allow sitting above a line that never produced a
+//! finding — the stale suppression must itself be reported.
+
+pub fn sum(xs: &[f64]) -> f64 {
+    // xlint: allow(wall-clock-in-compute): stale claim, nothing here reads the clock
+    xs.iter().sum()
+}

@@ -1,0 +1,17 @@
+//! Fixture: rayon usage that mentions the sanctioned clamp in the same
+//! function body.
+use kgpip_tabular::effective_parallelism;
+use rayon::prelude::*;
+
+pub fn score_all(xs: &[f64], requested: usize) -> f64 {
+    let workers = effective_parallelism(requested);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("pool");
+    pool.install(|| xs.par_iter().map(|x| x * x).sum::<f64>())
+}
+
+pub fn plain_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

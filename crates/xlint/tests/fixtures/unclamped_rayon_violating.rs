@@ -1,0 +1,14 @@
+//! Fixture: spins up rayon work without routing the worker count through
+//! the canonical clamp.
+use rayon::prelude::*;
+
+pub fn score_all(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum::<f64>()
+}
+
+pub fn build_pool(requested: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(requested)
+        .build()
+        .unwrap()
+}

@@ -1,0 +1,9 @@
+//! Fixture: all randomness flows from an explicit caller-provided seed.
+use rand::prelude::*;
+
+pub fn jitter(xs: &mut [f64], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for x in xs.iter_mut() {
+        *x += rng.gen::<f64>() * 1e-9;
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: ambient randomness in compute code.
+use rand::prelude::*;
+
+pub fn jitter(xs: &mut [f64]) {
+    let mut rng = rand::thread_rng();
+    for x in xs.iter_mut() {
+        *x += rng.gen::<f64>() * 1e-9;
+    }
+}
+
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}

@@ -1,0 +1,12 @@
+//! Fixture: reads the wall clock inside compute code.
+use std::time::{Instant, SystemTime};
+
+pub fn timed_fit(xs: &[f64]) -> (f64, u128) {
+    let started = Instant::now();
+    let s = xs.iter().sum();
+    (s, started.elapsed().as_millis())
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

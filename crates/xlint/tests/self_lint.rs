@@ -1,0 +1,50 @@
+//! The gate applied to the gatekeeper: the whole workspace — xlint
+//! included — must lint clean under the compiled-in house configuration,
+//! with every suppression justified. This is the same run `kgpip-cli
+//! xlint` and `scripts/check.sh` perform.
+
+use kgpip_xlint::{lint_workspace, WorkspaceConfig};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/xlint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xlint lives two levels below the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean_under_house_config() {
+    let report = lint_workspace(workspace_root(), &WorkspaceConfig::house())
+        .expect("house config resolves every configured crate");
+    assert!(
+        report.files_scanned > 50,
+        "expected to scan the whole workspace, got {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must be xlint-clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn every_workspace_suppression_carries_a_justification() {
+    let report = lint_workspace(workspace_root(), &WorkspaceConfig::house())
+        .expect("house config resolves every configured crate");
+    assert!(
+        !report.suppressed.is_empty(),
+        "the audited allow sites (budget pacing, stats timing, ...) should appear"
+    );
+    for s in &report.suppressed {
+        assert!(
+            s.justification.split_whitespace().count() >= 3,
+            "justification for {} in {} is too thin: {:?}",
+            s.diagnostic.rule,
+            s.diagnostic.file,
+            s.justification
+        );
+    }
+}

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xlint (house invariants: determinism, clamped parallelism, typed serve errors)"
+cargo run --release --quiet --bin kgpip-cli -- xlint
+
 echo "==> cargo test"
 cargo test --workspace -q
 

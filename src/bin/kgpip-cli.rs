@@ -13,6 +13,7 @@
 //! kgpip-cli demo    [--budget-secs 5] [--parallelism N]
 //! kgpip-cli lint-corpus [--datasets 4] [--scripts-per-dataset 50] [--seed 0]
 //!                   [--malformed-fraction 0.05] [--helper-fraction 0.25]
+//! kgpip-cli xlint   [--json] [--config rules.json] [--root DIR]
 //! ```
 //!
 //! Model files: `--model` everywhere accepts both the binary snapshot
@@ -30,6 +31,12 @@
 //! invariants on every produced graph (raw, filtered, Graph4ML). It
 //! prints recovered diagnostics and exits non-zero if any invariant is
 //! violated.
+//!
+//! `xlint` runs the workspace's own static-analysis pass (`kgpip-xlint`)
+//! over every crate's Rust sources, enforcing the determinism & serving
+//! house rules. Exits non-zero when any unsuppressed diagnostic remains;
+//! `--json` emits the full machine-readable report (findings plus every
+//! justified suppression).
 //!
 //! Layout expected by `train`:
 //! * `--scripts DIR` — one subdirectory per dataset, each containing the
@@ -61,9 +68,10 @@ fn main() {
         "serve" => cmd_serve(&flag),
         "demo" => cmd_demo(&flag),
         "lint-corpus" => cmd_lint_corpus(&flag),
+        "xlint" => cmd_xlint(&args, &flag),
         _ => {
             eprintln!(
-                "usage: kgpip-cli <train|snapshot|predict|run|serve|demo|lint-corpus> [flags]\n\
+                "usage: kgpip-cli <train|snapshot|predict|run|serve|demo|lint-corpus|xlint> [flags]\n\
                  see the module docs (`kgpip-cli --help` output) for flags"
             );
             exit(2);
@@ -451,6 +459,28 @@ fn cmd_lint_corpus(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
             eprintln!("  violation: {v}");
         }
         Err(format!("{} graph invariant violation(s)", violations.len()).into())
+    }
+}
+
+/// Runs the kgpip-xlint house rules over the workspace sources and exits
+/// non-zero if any unsuppressed diagnostic remains.
+fn cmd_xlint(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    use kgpip_xlint::{lint_workspace, WorkspaceConfig};
+    let config = match flag("--config") {
+        Some(path) => WorkspaceConfig::from_json(&std::fs::read_to_string(&path)?)?,
+        None => WorkspaceConfig::house(),
+    };
+    let root = flag("--root").unwrap_or_else(|| ".".to_string());
+    let report = lint_workspace(Path::new(&root), &config)?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} unsuppressed xlint finding(s)", report.diagnostics.len()).into())
     }
 }
 

@@ -22,6 +22,11 @@
 //! | [`kgpip_hpo`] | FLAML-style and Auto-Sklearn-style HPO engines, AL baseline |
 //! | [`kgpip_benchdata`] | synthetic reproduction of the 77-dataset benchmark |
 //! | [`kgpip_bench`] | the experiment harness regenerating every table and figure |
+//! | [`kgpip_serve`] | batched concurrent prediction service over a trained model |
+//! | [`kgpip_xlint`] | workspace static-analysis pass enforcing the house invariants |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use kgpip;
 pub use kgpip_bench;
@@ -32,4 +37,6 @@ pub use kgpip_graphgen;
 pub use kgpip_hpo;
 pub use kgpip_learners;
 pub use kgpip_nn;
+pub use kgpip_serve;
 pub use kgpip_tabular;
+pub use kgpip_xlint;

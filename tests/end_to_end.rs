@@ -70,6 +70,7 @@ fn budget_split_is_respected_end_to_end() {
     let ds = generate_dataset(entry, &cfg.scale, 1);
     let (train, _) = train_test_split(&ds, 0.3, 1).unwrap();
     let total = 2.0f64;
+    #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
     let mut backend = Flaml::new(0);
     let run = model

@@ -14,6 +14,9 @@
 //! suite stays fast while still exercising the bench code paths.
 //! Statistical analysis, plots, and baselines are out of scope.
 
+// Timing is this crate's entire job; exempt from the workspace clock ban.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque value barrier.
