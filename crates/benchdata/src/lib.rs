@@ -19,15 +19,20 @@
 //! * [`training`] — the training-side setup: domain-matched training
 //!   tables plus [`kgpip_codegraph::corpus`] profiles whose learner
 //!   distribution reflects each domain's winning family, standing in for
-//!   the mined Kaggle corpus.
+//!   the mined Kaggle corpus,
+//! * [`embeddings`] — seeded synthetic embedding catalogs (clustered
+//!   Gaussian mixture) and the recall@K harness that scores the
+//!   approximate similarity-index tiers against the exact scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod embeddings;
 pub mod generate;
 pub mod training;
 
 pub use catalog::{benchmark, table1_counts, CatalogEntry, PaperScores, Source, TaskKind};
+pub use embeddings::{recall_at_k, synthetic_embeddings};
 pub use generate::{generate_dataset, DataShape, ScaleConfig};
 pub use training::{training_setup, TrainingSetup};

@@ -17,9 +17,11 @@
 //! [`TrainingStats`]: crate::TrainingStats
 
 use crate::train::KgpipConfig;
+use crate::{KgpipError, Result};
 use kgpip_codegraph::OpVocab;
-use kgpip_embeddings::VectorIndex;
+use kgpip_embeddings::{table_embedding, HnswConfig, VectorIndex};
 use kgpip_graphgen::GraphGenerator;
+use kgpip_tabular::DataFrame;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -80,6 +82,45 @@ impl TrainedModel {
     /// Number of training datasets in the similarity catalog.
     pub fn catalog_len(&self) -> usize {
         self.index.len()
+    }
+
+    /// The similarity index (read-only; exposed so tooling can inspect
+    /// the active tier and export mapped catalog files).
+    pub fn index(&self) -> &VectorIndex {
+        &self.index
+    }
+
+    /// Registers an unseen dataset in the similarity catalog online:
+    /// embeds `frame` by content, extends the active index tier
+    /// incrementally (`VectorIndex::register` — an HNSW graph takes an
+    /// insert, IVF assigns to its nearest centroid; no retrain), and
+    /// stores the embedding for future conditional generation. Returns
+    /// the stored embedding.
+    ///
+    /// The conditioning center is deliberately *not* recomputed: it is a
+    /// training-time statistic, and shifting it would perturb generation
+    /// for every existing dataset. Retraining refreshes it.
+    ///
+    /// Errors with [`KgpipError::DuplicateDataset`] when `name` is
+    /// already cataloged. Note this mutates the model — serving stacks
+    /// clone the current artifact, register, and hot-swap (see
+    /// `kgpip-serve`'s `register_dataset`).
+    pub fn register_dataset(&mut self, name: &str, frame: &DataFrame) -> Result<Vec<f64>> {
+        if self.embeddings.contains_key(name) {
+            return Err(KgpipError::DuplicateDataset(name.to_string()));
+        }
+        let embedding = table_embedding(frame);
+        self.index.register(name, embedding.clone());
+        self.embeddings.insert(name.to_string(), embedding.clone());
+        Ok(embedding)
+    }
+
+    /// Builds (or rebuilds) an HNSW graph over the similarity catalog,
+    /// promoting it to the active search tier regardless of catalog size
+    /// — the manual override for deployments that register datasets
+    /// online and want graph-tier lookups before the auto-tune threshold.
+    pub fn build_hnsw_index(&mut self, config: HnswConfig) {
+        self.index.build_hnsw(config);
     }
 
     /// Overrides the run-time parallelism — a deployment knob, not a

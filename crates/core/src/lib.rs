@@ -97,6 +97,9 @@ pub enum KgpipError {
     /// (e.g. the similarity index names a dataset the embedding store
     /// does not hold) — a corrupted or hand-edited model file.
     InconsistentArtifact(String),
+    /// An online registration named a dataset the catalog already holds;
+    /// re-registering would shadow the original's embedding.
+    DuplicateDataset(String),
 }
 
 impl std::fmt::Display for KgpipError {
@@ -123,6 +126,9 @@ impl std::fmt::Display for KgpipError {
             KgpipError::Persistence(m) => write!(f, "model persistence failure: {m}"),
             KgpipError::InconsistentArtifact(m) => {
                 write!(f, "inconsistent trained artifact: {m}")
+            }
+            KgpipError::DuplicateDataset(name) => {
+                write!(f, "dataset `{name}` is already in the similarity catalog")
             }
         }
     }

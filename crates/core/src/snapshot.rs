@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic  b"KGPS"                      (4 bytes)
-//! u32    format version               (currently 1)
+//! u32    format version               (currently 2)
 //! then length-prefixed sections until end of input:
 //!   u32 tag, u64 payload length, payload bytes
 //!     tag 1  system config            (KgpipConfig, JSON — tiny)
@@ -28,6 +28,11 @@
 //! vocabulary section exists purely as a guard — type ids in the generator
 //! parameters are meaningless if the op vocabulary ever drifts, so loading
 //! fails loudly instead of decoding garbage pipelines.
+//!
+//! Version history: v2 extended the tag-5 index payload with an optional
+//! trailing HNSW graph block. `VectorIndex::from_bytes` tolerates the
+//! tail's absence, so this build still reads v1 snapshots; it always
+//! writes v2.
 //!
 //! [`Kgpip::save`]: crate::Kgpip::save
 
@@ -60,8 +65,12 @@ pub struct Snapshot {
 impl Snapshot {
     /// File magic identifying a KGpip binary snapshot.
     pub const MAGIC: [u8; 4] = *b"KGPS";
-    /// The snapshot format version this build reads and writes.
-    pub const FORMAT_VERSION: u32 = 1;
+    /// The snapshot format version this build writes.
+    pub const FORMAT_VERSION: u32 = 2;
+    /// The oldest snapshot format version this build still reads (v1
+    /// lacks the HNSW tail in the index section, which the index decoder
+    /// tolerates).
+    pub const MIN_READ_VERSION: u32 = 1;
 
     /// Parses a snapshot from bytes produced by
     /// [`TrainedModel::snapshot_bytes`].
@@ -72,9 +81,10 @@ impl Snapshot {
             return Err(persist("not a KGpip snapshot (bad magic)"));
         }
         let version = r.u32()?;
-        if version != Self::FORMAT_VERSION {
+        if !(Self::MIN_READ_VERSION..=Self::FORMAT_VERSION).contains(&version) {
             return Err(persist(format!(
-                "unsupported snapshot format version {version} (this build reads {})",
+                "unsupported snapshot format version {version} (this build reads {}..={})",
+                Self::MIN_READ_VERSION,
                 Self::FORMAT_VERSION
             )));
         }

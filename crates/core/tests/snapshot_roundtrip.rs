@@ -175,6 +175,89 @@ fn from_bytes_rejects_malformed_payloads() {
 }
 
 #[test]
+fn snapshot_roundtrips_hnsw_graph_bitwise() {
+    use kgpip_embeddings::HnswConfig;
+    let mut artifact = trained_artifact();
+    artifact.build_hnsw_index(HnswConfig::default());
+    assert!(artifact.index().has_hnsw());
+    let bytes = artifact.snapshot_bytes().unwrap();
+    let restored = Snapshot::from_bytes(&bytes).unwrap().model;
+    assert!(
+        restored.index().has_hnsw(),
+        "the HNSW graph must survive the snapshot"
+    );
+    assert_eq!(
+        restored.snapshot_bytes().unwrap(),
+        bytes,
+        "re-serializing the restored model must be bit-identical"
+    );
+    let caps = Flaml::new(0).capabilities();
+    let ds = unseen(60);
+    let (a, na) = artifact.predict_skeletons(&ds, 3, &caps, 11).unwrap();
+    let (b, nb) = restored.predict_skeletons(&ds, 3, &caps, 11).unwrap();
+    assert_eq!(na, nb);
+    assert_eq!(a, b);
+}
+
+/// A v1 snapshot is a v2 snapshot whose index section stops right after
+/// the IVF block. Rewrite a fresh snapshot into that shape and check this
+/// build still opens it.
+#[test]
+fn reader_accepts_version_1_snapshots() {
+    let artifact = trained_artifact();
+    let bytes = artifact.snapshot_bytes().unwrap();
+    let mut v1 = Vec::with_capacity(bytes.len());
+    v1.extend_from_slice(&bytes[..4]);
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    let mut pos = 8usize;
+    while pos < bytes.len() {
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        let payload = if tag == 5 {
+            // Drop the trailing HNSW tag byte (0 = no graph) to recover
+            // the v1 index layout.
+            assert_eq!(*payload.last().unwrap(), 0, "fixture expects no graph");
+            &payload[..len - 1]
+        } else {
+            payload
+        };
+        v1.extend_from_slice(&tag.to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(payload);
+        pos += 12 + len;
+    }
+    let snapshot = Snapshot::from_bytes(&v1).unwrap();
+    assert_eq!(snapshot.version, 1);
+    assert!(!snapshot.model.index().has_hnsw());
+    assert_eq!(snapshot.model.catalog_len(), artifact.catalog_len());
+}
+
+#[test]
+fn register_dataset_grows_the_catalog_online() {
+    let mut artifact = trained_artifact();
+    let before = artifact.catalog_len();
+    let frame = table_like(900.0, 28);
+    let embedding = artifact.register_dataset("delta", &frame).unwrap();
+    assert_eq!(artifact.catalog_len(), before + 1);
+    assert_eq!(artifact.embedding_of("delta").unwrap(), &embedding[..]);
+    // The new dataset is retrievable as its own nearest neighbour.
+    let (name, sim) = artifact.nearest_by_embedding(&embedding).unwrap();
+    assert_eq!(name, "delta");
+    assert!(sim > 0.999);
+    // Duplicate registration is refused, catalog unchanged.
+    let err = artifact.register_dataset("delta", &frame).unwrap_err();
+    assert!(matches!(err, KgpipError::DuplicateDataset(_)));
+    assert_eq!(artifact.catalog_len(), before + 1);
+    // The grown model still snapshots and reloads.
+    let restored = Snapshot::from_bytes(&artifact.snapshot_bytes().unwrap())
+        .unwrap()
+        .model;
+    assert_eq!(restored.catalog_len(), before + 1);
+    assert!(restored.embedding_of("delta").is_some());
+}
+
+#[test]
 fn open_rejects_files_that_are_neither_format() {
     let dir = std::env::temp_dir().join("kgpip_snapshot_garbage_test");
     std::fs::create_dir_all(&dir).unwrap();

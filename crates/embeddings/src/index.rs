@@ -1,21 +1,54 @@
 //! Vector similarity index — the FAISS substitute.
 //!
-//! Exact cosine top-k by default; an IVF (inverted file) mode partitions
-//! vectors with k-means and probes only the nearest partitions, the same
-//! accuracy/speed trade FAISS's `IndexIVFFlat` makes.
+//! Three tiers, auto-selected by catalog size ([`VectorIndex::auto_tune`]):
+//! exact cosine top-k for small catalogs; an IVF (inverted file) mode that
+//! partitions vectors with k-means and probes only the nearest partitions
+//! (FAISS's `IndexIVFFlat`); and a deterministic HNSW graph
+//! ([`crate::hnsw`], FAISS's `IndexHNSWFlat`) for the 100K–1M-vector
+//! catalogs where even coarse IVF probes pay a near-linear scan.
+//! [`VectorIndex::search`] dispatches to the active tier;
+//! [`VectorIndex::register`] grows the catalog online without retraining
+//! whichever tier is active.
 
 use crate::column::cosine;
+use crate::hnsw::{Hnsw, HnswConfig, SliceSource};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-/// A named-vector index with exact and IVF-approximate top-k search.
+/// Which search structure a [`VectorIndex`] currently answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexTier {
+    /// Linear scan — trivially correct, fastest below ~hundreds.
+    Exact,
+    /// k-means partitions with `nprobe` probing.
+    Ivf,
+    /// Hierarchical navigable small-world graph.
+    Hnsw,
+}
+
+impl std::fmt::Display for IndexTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexTier::Exact => write!(f, "exact"),
+            IndexTier::Ivf => write!(f, "ivf"),
+            IndexTier::Hnsw => write!(f, "hnsw"),
+        }
+    }
+}
+
+/// A named-vector index with exact, IVF-approximate, and HNSW-approximate
+/// top-k search.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct VectorIndex {
-    names: Vec<String>,
-    vectors: Vec<Vec<f64>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) vectors: Vec<Vec<f64>>,
     /// IVF state: centroid vectors and per-partition member lists.
     ivf: Option<Ivf>,
+    /// HNSW state: the layered proximity graph (adjacency only; vectors
+    /// stay in `vectors`). Absent in pre-HNSW serialized indexes.
+    #[serde(default)]
+    pub(crate) hnsw: Option<Hnsw>,
 }
 
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -31,16 +64,56 @@ impl VectorIndex {
     /// an exact scan is both faster and trivially correct.
     pub const IVF_AUTO_THRESHOLD: usize = 128;
 
+    /// Catalog size at which [`VectorIndex::auto_tune`] switches from IVF
+    /// to the HNSW graph. At √n-list sizing, IVF probes ~n/4 vectors per
+    /// query; past a few thousand entries the graph's near-logarithmic
+    /// descent wins.
+    pub const HNSW_AUTO_THRESHOLD: usize = 4096;
+
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds a named vector. Invalidates any trained IVF partitioning.
+    /// Adds a named vector at build time. Invalidates any trained IVF
+    /// partitioning or HNSW graph — callers retune once after bulk adds.
+    /// For online growth that *extends* the current tier instead, use
+    /// [`VectorIndex::register`].
     pub fn add(&mut self, name: impl Into<String>, vector: Vec<f64>) {
         self.names.push(name.into());
         self.vectors.push(vector);
         self.ivf = None;
+        self.hnsw = None;
+    }
+
+    /// Registers a named vector online, extending whichever tier is
+    /// active instead of invalidating it: HNSW gets an incremental
+    /// [`Hnsw::insert`] (bit-identical to a from-scratch rebuild with the
+    /// same order), IVF assigns the vector to its nearest centroid
+    /// without re-running k-means, and the exact tier just appends.
+    pub fn register(&mut self, name: impl Into<String>, vector: Vec<f64>) {
+        self.names.push(name.into());
+        self.vectors.push(vector);
+        if let Some(mut hnsw) = self.hnsw.take() {
+            hnsw.insert(&SliceSource(&self.vectors));
+            self.hnsw = Some(hnsw);
+        }
+        let id = self.vectors.len() - 1;
+        if let (Some(ivf), Some(v)) = (&mut self.ivf, self.vectors.last()) {
+            let best = ivf
+                .centroids
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    cosine(v, a.1)
+                        .total_cmp(&cosine(v, b.1))
+                        .then_with(|| b.0.cmp(&a.0))
+                })
+                .map(|(c, _)| c);
+            if let Some(members) = best.and_then(|c| ivf.members.get_mut(c)) {
+                members.push(id);
+            }
+        }
     }
 
     /// Number of stored vectors.
@@ -58,7 +131,14 @@ impl VectorIndex {
         &self.names[i]
     }
 
+    /// The i-th stored vector, when in range.
+    pub fn vector(&self, i: usize) -> Option<&[f64]> {
+        self.vectors.get(i).map(Vec::as_slice)
+    }
+
     /// Exact top-k by cosine similarity: `(name, similarity)` descending.
+    /// Ties order by insertion id via `(score, id)` `total_cmp`, so equal
+    /// scores (and NaN-scored entries) rank identically across rebuilds.
     pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
         let mut scored: Vec<(usize, f64)> = self
             .vectors
@@ -66,7 +146,7 @@ impl VectorIndex {
             .enumerate()
             .map(|(i, v)| (i, cosine(query, v)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
             .into_iter()
             .take(k)
@@ -97,7 +177,11 @@ impl VectorIndex {
                 let best = centroids
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| cosine(v, a.1).partial_cmp(&cosine(v, b.1)).unwrap())
+                    .max_by(|a, b| {
+                        cosine(v, a.1)
+                            .total_cmp(&cosine(v, b.1))
+                            .then_with(|| b.0.cmp(&a.0))
+                    })
                     .map(|(c, _)| c)
                     .unwrap_or(0);
                 if assignment[i] != best {
@@ -143,20 +227,84 @@ impl VectorIndex {
         self.ivf.is_some()
     }
 
-    /// Trains IVF automatically for large catalogs: when the index holds
-    /// at least [`VectorIndex::IVF_AUTO_THRESHOLD`] vectors, builds
-    /// `√n` partitions probing `max(1, √n/4)` of them (the standard IVF
-    /// sizing rule) and returns `true`; smaller catalogs are left on the
-    /// exact path and return `false`.
-    pub fn auto_tune(&mut self, seed: u64) -> bool {
-        let n = self.vectors.len();
-        if n < Self::IVF_AUTO_THRESHOLD {
-            return false;
+    /// True when an HNSW graph is currently built.
+    pub fn has_hnsw(&self) -> bool {
+        self.hnsw.is_some()
+    }
+
+    /// The search structure [`VectorIndex::search`] currently dispatches
+    /// to: HNSW when built, else IVF when trained, else the exact scan.
+    pub fn tier(&self) -> IndexTier {
+        if self.hnsw.is_some() {
+            IndexTier::Hnsw
+        } else if self.ivf.is_some() {
+            IndexTier::Ivf
+        } else {
+            IndexTier::Exact
         }
-        let nlist = (n as f64).sqrt().round().max(1.0) as usize;
-        let nprobe = (nlist / 4).max(1);
-        self.train_ivf(nlist, nprobe, seed);
-        true
+    }
+
+    /// The HNSW graph, when built — for stats reporting and mapped-file
+    /// export.
+    pub fn hnsw(&self) -> Option<&Hnsw> {
+        self.hnsw.as_ref()
+    }
+
+    /// Builds (or rebuilds) the HNSW graph over the current catalog by
+    /// inserting vectors in id order; replaces any IVF partitioning as
+    /// the active tier.
+    pub fn build_hnsw(&mut self, config: HnswConfig) {
+        self.hnsw = Some(Hnsw::build(config, &SliceSource(&self.vectors)));
+    }
+
+    /// Selects and trains the search tier for the current catalog size:
+    /// `n < 128` stays exact, `128 ≤ n < 4096` trains `√n`-list IVF
+    /// probing `max(1, √n/4)` partitions (the standard sizing rule), and
+    /// `n ≥ 4096` builds a default-parameter HNSW graph seeded with
+    /// `seed`. Returns the chosen tier. The losing tiers are dropped so
+    /// [`VectorIndex::tier`] always reflects the policy's pick.
+    pub fn auto_tune(&mut self, seed: u64) -> IndexTier {
+        let n = self.vectors.len();
+        if n >= Self::HNSW_AUTO_THRESHOLD {
+            self.ivf = None;
+            self.build_hnsw(HnswConfig {
+                seed,
+                ..HnswConfig::default()
+            });
+            return IndexTier::Hnsw;
+        }
+        self.hnsw = None;
+        if n >= Self::IVF_AUTO_THRESHOLD {
+            let nlist = (n as f64).sqrt().round().max(1.0) as usize;
+            let nprobe = (nlist / 4).max(1);
+            self.train_ivf(nlist, nprobe, seed);
+            return IndexTier::Ivf;
+        }
+        self.ivf = None;
+        IndexTier::Exact
+    }
+
+    /// Top-k through the active tier — the serve-path entry point.
+    /// Results are `(name, similarity)` in `(score desc, id asc)` order
+    /// for every tier.
+    pub fn search(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        match self.tier() {
+            IndexTier::Hnsw => self.top_k_hnsw(query, k),
+            IndexTier::Ivf => self.top_k_ivf(query, k),
+            IndexTier::Exact => self.top_k(query, k),
+        }
+    }
+
+    /// HNSW-approximate top-k. Falls back to exact search when no graph
+    /// has been built.
+    pub fn top_k_hnsw(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        let Some(hnsw) = &self.hnsw else {
+            return self.top_k(query, k);
+        };
+        hnsw.search(query, k, &SliceSource(&self.vectors))
+            .into_iter()
+            .filter_map(|(i, s)| self.names.get(i).map(|n| (n.clone(), s)))
+            .collect()
     }
 
     /// Serializes the index (names, vectors, and any trained IVF state)
@@ -187,14 +335,26 @@ impl VectorIndex {
                 write_u64(&mut out, ivf.nprobe as u64);
             }
         }
+        match &self.hnsw {
+            None => out.push(0),
+            Some(hnsw) => {
+                out.push(1);
+                let payload = hnsw.to_bytes();
+                write_u64(&mut out, payload.len() as u64);
+                out.extend_from_slice(&payload);
+            }
+        }
         out
     }
 
     /// Restores an index from [`VectorIndex::to_bytes`] output. Strict:
     /// trailing bytes, truncation, or malformed UTF-8 all fail rather
-    /// than producing a partially-loaded index.
+    /// than producing a partially-loaded index. One tolerance: payloads
+    /// written before the HNSW tier existed end right after the IVF
+    /// block; those load with `hnsw = None` so old snapshots keep
+    /// opening.
     pub fn from_bytes(bytes: &[u8]) -> Result<VectorIndex, String> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         let n = r.u64()? as usize;
         let mut names = Vec::with_capacity(n.min(1 << 20));
         let mut vectors = Vec::with_capacity(n.min(1 << 20));
@@ -228,23 +388,39 @@ impl VectorIndex {
             }
             tag => return Err(format!("unknown IVF tag {tag}")),
         };
-        if r.pos != bytes.len() {
-            return Err(format!(
-                "trailing bytes after index payload ({} of {} consumed)",
-                r.pos,
-                bytes.len()
-            ));
-        }
+        let hnsw = if r.at_end() {
+            None
+        } else {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u64()? as usize;
+                    let graph = Hnsw::from_bytes(r.take(len)?)?;
+                    if graph.len() != names.len() {
+                        return Err(format!(
+                            "HNSW graph indexes {} nodes but catalog holds {}",
+                            graph.len(),
+                            names.len()
+                        ));
+                    }
+                    Some(graph)
+                }
+                tag => return Err(format!("unknown HNSW tag {tag}")),
+            }
+        };
+        r.expect_end("index")?;
         Ok(VectorIndex {
             names,
             vectors,
             ivf,
+            hnsw,
         })
     }
 
     /// IVF-approximate top-k: probes the `nprobe` partitions whose
     /// centroids are most similar to the query. Falls back to exact search
-    /// when IVF has not been trained.
+    /// when IVF has not been trained. Tie-breaking matches
+    /// [`VectorIndex::top_k`]: `(score, id)` under `total_cmp`.
     pub fn top_k_ivf(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
         let Some(ivf) = &self.ivf else {
             return self.top_k(query, k);
@@ -255,14 +431,14 @@ impl VectorIndex {
             .enumerate()
             .map(|(c, v)| (c, cosine(query, v)))
             .collect();
-        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        parts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut scored: Vec<(usize, f64)> = Vec::new();
         for &(c, _) in parts.iter().take(ivf.nprobe) {
             for &i in &ivf.members[c] {
                 scored.push((i, cosine(query, &self.vectors[i])));
             }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
             .into_iter()
             .take(k)
@@ -271,58 +447,106 @@ impl VectorIndex {
     }
 }
 
-fn write_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn write_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn write_str(out: &mut Vec<u8>, s: &str) {
     write_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn write_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+pub(crate) fn write_f64s(out: &mut Vec<u8>, xs: &[f64]) {
     write_u64(out, xs.len() as u64);
     for x in xs {
         out.extend_from_slice(&x.to_le_bytes());
     }
 }
 
-/// Bounds-checked little-endian cursor for [`VectorIndex::from_bytes`].
-struct Reader<'a> {
+/// Bounds-checked little-endian cursor shared by the binary decoders in
+/// this crate ([`VectorIndex::from_bytes`], `Hnsw::from_bytes`, and the
+/// mapped-catalog opener).
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed so far).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Fails with a `what`-labelled error unless the payload is fully
+    /// consumed — the strict "no trailing bytes" check every decoder
+    /// finishes with.
+    pub(crate) fn expect_end(&self, what: &str) -> Result<(), String> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(format!(
+                "trailing bytes after {what} payload ({} of {} consumed)",
+                self.pos,
+                self.bytes.len()
+            ))
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| format!("index payload truncated at byte {}", self.pos))?;
-        let slice = &self.bytes[self.pos..end];
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let slice = self.bytes.get(self.pos..end).unwrap_or(&[]);
         self.pos = end;
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        let bytes = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(buf))
     }
 
-    fn str(&mut self) -> Result<String, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let bytes = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, String> {
         let len = self.u64()? as usize;
         String::from_utf8(self.take(len)?.to_vec()).map_err(|e| e.to_string())
     }
 
-    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, String> {
         let len = self.u64()? as usize;
         let mut out = Vec::with_capacity(len.min(1 << 20));
         for _ in 0..len {
-            out.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+            let bytes = self.take(8)?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(bytes);
+            out.push(f64::from_le_bytes(buf));
         }
         Ok(out)
     }
@@ -401,11 +625,110 @@ mod tests {
         for i in 0..VectorIndex::IVF_AUTO_THRESHOLD - 1 {
             small.add(format!("v{i}"), unit(i % 8, 8));
         }
-        assert!(!small.auto_tune(0), "below threshold stays exact");
+        assert_eq!(
+            small.auto_tune(0),
+            IndexTier::Exact,
+            "below threshold stays exact"
+        );
         assert!(!small.has_ivf());
+        assert_eq!(small.tier(), IndexTier::Exact);
         small.add("last", unit(0, 8));
-        assert!(small.auto_tune(0), "at threshold trains IVF");
+        assert_eq!(
+            small.auto_tune(0),
+            IndexTier::Ivf,
+            "at threshold trains IVF"
+        );
         assert!(small.has_ivf());
+        assert_eq!(small.tier(), IndexTier::Ivf);
+    }
+
+    #[test]
+    fn search_dispatches_to_built_hnsw() {
+        let mut idx = VectorIndex::new();
+        for i in 0..60 {
+            let mut v = vec![0.05 * (i % 7) as f64; 8];
+            v[i % 8] = 1.0;
+            idx.add(format!("v{i}"), v);
+        }
+        assert_eq!(idx.tier(), IndexTier::Exact);
+        idx.build_hnsw(HnswConfig::default());
+        assert_eq!(idx.tier(), IndexTier::Hnsw);
+        let q = unit(3, 8);
+        let exact = idx.top_k(&q, 5);
+        let approx = idx.search(&q, 5);
+        assert_eq!(exact.len(), approx.len());
+        for ((na, sa), (nb, sb)) in exact.iter().zip(&approx) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "scores must match bitwise");
+        }
+    }
+
+    #[test]
+    fn register_extends_ivf_without_retrain() {
+        let mut idx = VectorIndex::new();
+        for i in 0..40 {
+            idx.add(format!("v{i}"), unit(i % 8, 8));
+        }
+        idx.train_ivf(4, 4, 7);
+        idx.register("fresh", unit(2, 8));
+        assert!(idx.has_ivf(), "register must not invalidate IVF");
+        let hits = idx.top_k_ivf(&unit(2, 8), 41);
+        assert!(hits.iter().any(|(n, _)| n == "fresh"));
+    }
+
+    #[test]
+    fn register_into_hnsw_matches_scratch_build() {
+        let n = 50;
+        let vecs: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..6).map(|d| ((i * 6 + d) as f64 * 0.61).sin()).collect())
+            .collect();
+        let mut grown = VectorIndex::new();
+        for (i, v) in vecs.iter().take(n - 5).enumerate() {
+            grown.add(format!("v{i}"), v.clone());
+        }
+        grown.build_hnsw(HnswConfig::default());
+        for (i, v) in vecs.iter().enumerate().skip(n - 5) {
+            grown.register(format!("v{i}"), v.clone());
+        }
+        let mut scratch = VectorIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            scratch.add(format!("v{i}"), v.clone());
+        }
+        scratch.build_hnsw(HnswConfig::default());
+        let (Some(a), Some(b)) = (grown.hnsw(), scratch.hnsw()) else {
+            panic!("both indexes must hold a graph");
+        };
+        assert_eq!(
+            a.to_bytes(),
+            b.to_bytes(),
+            "incremental insertion must equal a from-scratch build bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_insertion_id() {
+        let mut idx = VectorIndex::new();
+        for i in 0..6 {
+            idx.add(format!("dup{i}"), unit(0, 4));
+        }
+        idx.add("other", unit(1, 4));
+        let names: Vec<String> = idx
+            .top_k(&unit(0, 4), 4)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["dup0", "dup1", "dup2", "dup3"]);
+        idx.train_ivf(2, 2, 0);
+        let ivf_names: Vec<String> = idx
+            .top_k_ivf(&unit(0, 4), 4)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(ivf_names, ["dup0", "dup1", "dup2", "dup3"]);
+        // NaN scores must rank deterministically instead of panicking the
+        // comparator (the pre-total_cmp sort unwrapped partial_cmp).
+        let nan_hits = idx.top_k(&[f64::NAN; 4], 3);
+        assert_eq!(nan_hits.len(), 3);
     }
 
     #[test]
@@ -439,7 +762,8 @@ mod tests {
         let mut idx = VectorIndex::new();
         idx.add("a", unit(0, 4));
         let bytes = idx.to_bytes();
-        assert!(VectorIndex::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Dropping both trailing tag bytes truncates mid-structure.
+        assert!(VectorIndex::from_bytes(&bytes[..bytes.len() - 2]).is_err());
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(VectorIndex::from_bytes(&trailing).is_err());
@@ -447,6 +771,34 @@ mod tests {
         let empty = VectorIndex::new();
         let restored = VectorIndex::from_bytes(&empty.to_bytes()).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn pre_hnsw_payloads_load_without_a_graph() {
+        let mut idx = VectorIndex::new();
+        idx.add("a", unit(0, 4));
+        let bytes = idx.to_bytes();
+        // A payload ending right after the IVF block is the pre-HNSW
+        // snapshot format; it must load with no graph, not error.
+        let legacy = VectorIndex::from_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(!legacy.has_hnsw());
+        assert_eq!(legacy.len(), 1);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_hnsw_graph() {
+        let mut idx = VectorIndex::new();
+        for i in 0..30 {
+            let mut v = vec![0.01 * i as f64; 6];
+            v[i % 6] = 1.0;
+            idx.add(format!("v{i}"), v);
+        }
+        idx.build_hnsw(HnswConfig::default());
+        let restored = VectorIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(restored.has_hnsw());
+        assert_eq!(restored.to_bytes(), idx.to_bytes());
+        let q = unit(2, 6);
+        assert_eq!(idx.search(&q, 5), restored.search(&q, 5));
     }
 
     #[test]

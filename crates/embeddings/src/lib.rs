@@ -12,19 +12,26 @@
 //!   from actual values (distribution sketches for numerics, hashed
 //!   character n-grams for strings) — the KGLac substitute,
 //! * [`table_embedding`] — mean-pooled, L2-normalized table vectors,
-//! * [`index::VectorIndex`] — exact and IVF-partitioned top-k cosine
-//!   search — the FAISS substitute,
+//! * [`index::VectorIndex`] — tiered top-k cosine search (exact scan,
+//!   IVF partitions, deterministic HNSW graph) — the FAISS substitute,
+//! * [`hnsw`] — the deterministic HNSW graph layer itself,
+//! * [`mapped`] — a read-only mapped catalog file (`KGVI`) so serve
+//!   replicas warm-start without copying vectors into owned buffers,
 //! * [`tsne`] — exact t-SNE for the Figure-10 qualitative analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod column;
+pub mod hnsw;
 pub mod index;
+pub mod mapped;
 pub mod table;
 pub mod tsne;
 
 pub use column::{column_embedding, EMBED_DIM};
-pub use index::VectorIndex;
+pub use hnsw::{Hnsw, HnswConfig, SliceSource, VectorSource};
+pub use index::{IndexTier, VectorIndex};
+pub use mapped::MappedIndex;
 pub use table::{table_embedding, table_embeddings};
 pub use tsne::tsne;

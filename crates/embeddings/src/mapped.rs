@@ -1,0 +1,556 @@
+//! Mapped read-only catalog files (`KGVI`) for serve-replica warm starts.
+//!
+//! A serve replica that loads a million-table catalog through
+//! [`VectorIndex::from_bytes`] pays an owned allocation per vector and per
+//! name before it can answer its first query. The `KGVI` file sidesteps
+//! that: the whole catalog is read once into a single shared immutable
+//! buffer and *decoded in place* — vectors and names are addressed through
+//! in-file offset tables and never copied into owned buffers. (The
+//! workspace forbids `unsafe`, so the buffer comes from one `fs::read`
+//! rather than an OS `mmap(2)`; the layout is position-independent and
+//! page-aligned-friendly so a real mapping could drop in without a format
+//! change.)
+//!
+//! # Layout
+//!
+//! Little-endian, KGPS-style framing (`crates/core/src/snapshot.rs`):
+//!
+//! ```text
+//! magic "KGVI" · u32 version
+//! repeated sections: u32 tag · u64 payload_len · payload
+//!   tag 1 header:  u64 count · u32 dim
+//!   tag 2 vectors: count × dim f64, catalog order (zero-copy scanned)
+//!   tag 3 names:   u64 count · (count+1) × u64 offsets · UTF-8 blob
+//!   tag 4 hnsw:    Hnsw::to_bytes payload (optional section)
+//! ```
+//!
+//! Unknown tags are skipped, mirroring the snapshot reader's
+//! forward-compatibility rule. Offsets and UTF-8 are validated once at
+//! [`MappedIndex::open`]; afterwards every accessor is panic-free and
+//! allocation-free.
+//!
+//! # Bit-identity
+//!
+//! [`MappedIndex::top_k`] must answer **bit-identically** to the owned
+//! [`VectorIndex::search`] over the same catalog. Cosine over mapped bytes
+//! therefore replays the exact operation order of [`cosine`]: dot over the
+//! zip-truncated prefix, then the two norms (the stored-vector norm over
+//! *all* of its elements), the `1e-12` zero guards, then `dot / (na·nb)`.
+//!
+//! [`cosine`]: crate::column::cosine
+
+use crate::hnsw::{Hnsw, VectorSource};
+use crate::index::{write_u32, write_u64, Reader, VectorIndex};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic, the mapped-catalog sibling of the `KGPS` snapshot magic.
+pub const MAGIC: &[u8; 4] = b"KGVI";
+
+/// Mapped-catalog format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_HEADER: u32 = 1;
+const TAG_VECTORS: u32 = 2;
+const TAG_NAMES: u32 = 3;
+const TAG_HNSW: u32 = 4;
+
+/// A read-only vector catalog decoded in place over one shared buffer.
+/// Cloning is cheap (an `Arc` bump), so one loaded file can back many
+/// concurrent readers.
+#[derive(Debug, Clone)]
+pub struct MappedIndex {
+    buf: Arc<[u8]>,
+    count: usize,
+    dim: usize,
+    /// Byte offset of the vectors payload (`count * dim * 8` bytes).
+    vec_start: usize,
+    /// Byte offset of the `(count+1)`-entry name offset table.
+    name_off_start: usize,
+    /// Byte offset and length of the UTF-8 name blob.
+    name_blob_start: usize,
+    name_blob_len: usize,
+    /// HNSW adjacency, parsed owned — it is small next to the vectors,
+    /// which stay zero-copy.
+    hnsw: Option<Hnsw>,
+}
+
+impl MappedIndex {
+    /// Opens a `KGVI` file read-only: one read into a shared buffer, one
+    /// validation pass, no per-vector copies.
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedIndex, String> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+        MappedIndex::from_vec(bytes)
+    }
+
+    /// Decodes a `KGVI` payload already in memory, taking ownership of the
+    /// buffer (no copy).
+    pub fn from_vec(bytes: Vec<u8>) -> Result<MappedIndex, String> {
+        let mut r = Reader::new(&bytes);
+        if r.take(4)? != MAGIC {
+            return Err("not a KGVI mapped catalog (bad magic)".into());
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported KGVI version {version} (reader supports {FORMAT_VERSION})"
+            ));
+        }
+        let mut header: Option<(usize, usize)> = None;
+        let mut vec_range: Option<(usize, usize)> = None;
+        let mut name_range: Option<(usize, usize)> = None;
+        let mut hnsw: Option<Hnsw> = None;
+        while !r.at_end() {
+            let tag = r.u32()?;
+            let len = r.u64()? as usize;
+            let start = r.pos();
+            let payload = r.take(len)?;
+            match tag {
+                TAG_HEADER => {
+                    let mut h = Reader::new(payload);
+                    let count = h.u64()? as usize;
+                    let dim = h.u32()? as usize;
+                    h.expect_end("KGVI header")?;
+                    header = Some((count, dim));
+                }
+                TAG_VECTORS => vec_range = Some((start, len)),
+                TAG_NAMES => name_range = Some((start, len)),
+                TAG_HNSW => hnsw = Some(Hnsw::from_bytes(payload)?),
+                _ => {} // Forward compatibility: skip unknown sections.
+            }
+        }
+        let (count, dim) = header.ok_or("KGVI missing header section")?;
+        let (vec_start, vec_len) = vec_range.ok_or("KGVI missing vectors section")?;
+        let (name_start, name_len) = name_range.ok_or("KGVI missing names section")?;
+        let expected = count
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or("KGVI vector section size overflows")?;
+        if vec_len != expected {
+            return Err(format!(
+                "KGVI vectors section holds {vec_len} bytes, header implies {expected}"
+            ));
+        }
+        // Names: u64 count · (count+1) offsets · blob. Validate offsets
+        // are monotone, end-anchored, and each slice is UTF-8 — after
+        // this pass `name()` can never fail on a well-formed handle.
+        let mut n = Reader::new(bytes.get(name_start..name_start + name_len).unwrap_or(&[]));
+        let name_count = n.u64()? as usize;
+        if name_count != count {
+            return Err(format!(
+                "KGVI names section lists {name_count} names for {count} vectors"
+            ));
+        }
+        let name_off_start = name_start + n.pos();
+        let offsets = count
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or("KGVI name offset table size overflows")?;
+        let table = n.take(offsets)?;
+        let name_blob_start = name_start + n.pos();
+        let blob = n.take(name_len.saturating_sub(n.pos()))?;
+        n.expect_end("KGVI names")?;
+        let mut prev = 0u64;
+        for (i, chunk) in table.chunks_exact(8).enumerate() {
+            let mut buf8 = [0u8; 8];
+            buf8.copy_from_slice(chunk);
+            let off = u64::from_le_bytes(buf8);
+            if off < prev || off as usize > blob.len() {
+                return Err(format!("KGVI name offset {i} out of order or out of range"));
+            }
+            if std::str::from_utf8(blob.get(prev as usize..off as usize).unwrap_or(&[])).is_err() {
+                return Err(format!("KGVI name {i} is not valid UTF-8"));
+            }
+            prev = off;
+        }
+        if prev as usize != blob.len() {
+            return Err("KGVI name offsets do not cover the blob".into());
+        }
+        if let Some(graph) = &hnsw {
+            if graph.len() != count {
+                return Err(format!(
+                    "KGVI HNSW graph indexes {} nodes but catalog holds {count}",
+                    graph.len()
+                ));
+            }
+        }
+        let name_blob_len = blob.len();
+        Ok(MappedIndex {
+            buf: bytes.into(),
+            count,
+            dim,
+            vec_start,
+            name_off_start,
+            name_blob_start,
+            name_blob_len,
+            hnsw,
+        })
+    }
+
+    /// Number of catalog entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when the file carried an HNSW graph section.
+    pub fn has_hnsw(&self) -> bool {
+        self.hnsw.is_some()
+    }
+
+    /// The HNSW graph, when the file carried one.
+    pub fn hnsw(&self) -> Option<&Hnsw> {
+        self.hnsw.as_ref()
+    }
+
+    /// Raw little-endian bytes of the i-th vector (no decode, no copy).
+    fn vector_bytes(&self, i: usize) -> Option<&[u8]> {
+        if i >= self.count {
+            return None;
+        }
+        let start = self.vec_start + i * self.dim * 8;
+        self.buf.get(start..start + self.dim * 8)
+    }
+
+    /// The i-th vector decoded into an owned buffer — for callers that
+    /// need `&[f64]` semantics; the query path never calls this.
+    pub fn vector(&self, i: usize) -> Option<Vec<f64>> {
+        let bytes = self.vector_bytes(i)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(c);
+                    f64::from_le_bytes(buf)
+                })
+                .collect(),
+        )
+    }
+
+    /// Name of the i-th entry, borrowed straight from the mapped buffer.
+    pub fn name(&self, i: usize) -> Option<&str> {
+        if i >= self.count {
+            return None;
+        }
+        let lo = self.offset_entry(i)?;
+        let hi = self.offset_entry(i + 1)?;
+        if lo > hi || hi > self.name_blob_len {
+            return None;
+        }
+        let blob = self
+            .buf
+            .get(self.name_blob_start..self.name_blob_start + self.name_blob_len)?;
+        std::str::from_utf8(blob.get(lo..hi)?).ok()
+    }
+
+    fn offset_entry(&self, i: usize) -> Option<usize> {
+        let start = self.name_off_start + i * 8;
+        let chunk = self.buf.get(start..start + 8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(chunk);
+        Some(u64::from_le_bytes(buf) as usize)
+    }
+
+    /// Top-k through the mapped catalog: HNSW when the file carries a
+    /// graph, exact scan otherwise. Answers bit-identically to
+    /// [`VectorIndex::search`] over the same catalog and tier.
+    pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        match &self.hnsw {
+            Some(hnsw) => hnsw
+                .search(query, k, self)
+                .into_iter()
+                .filter_map(|(i, s)| self.name(i).map(|n| (n.to_string(), s)))
+                .collect(),
+            None => self.top_k_exact(query, k),
+        }
+    }
+
+    /// Exact top-k over the mapped vectors, mirroring
+    /// [`VectorIndex::top_k`]'s scoring and `(score, id)` ordering.
+    pub fn top_k_exact(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..self.count)
+            .map(|i| (i, self.similarity(i, query)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .filter_map(|(i, s)| self.name(i).map(|n| (n.to_string(), s)))
+            .collect()
+    }
+}
+
+impl VectorSource for MappedIndex {
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn similarity(&self, i: usize, query: &[f64]) -> f64 {
+        self.vector_bytes(i)
+            .map_or(0.0, |bytes| cosine_bytes(query, bytes))
+    }
+
+    fn pair_similarity(&self, i: usize, j: usize) -> f64 {
+        // Argument order mirrors `SliceSource`: cosine(vec_j, vec_i).
+        match (self.vector_bytes(i), self.vector_bytes(j)) {
+            (Some(a), Some(b)) => cosine_bytes_pair(b, a),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Cosine between an owned query and a little-endian vector payload,
+/// replaying [`cosine`]'s operation order exactly: dot over the zipped
+/// prefix, query norm over the full query, stored norm over **all** stored
+/// elements (not just the zipped prefix), the `1e-12` guards, then
+/// `dot / (na * nb)` — so mapped and owned scores agree to the bit.
+///
+/// [`cosine`]: crate::column::cosine
+fn cosine_bytes(query: &[f64], bytes: &[u8]) -> f64 {
+    let dot: f64 = query
+        .iter()
+        .zip(bytes.chunks_exact(8))
+        .map(|(x, c)| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            x * f64::from_le_bytes(buf)
+        })
+        .sum();
+    let na: f64 = query.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = bytes
+        .chunks_exact(8)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            let y = f64::from_le_bytes(buf);
+            y * y
+        })
+        .sum::<f64>()
+        .sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// [`cosine_bytes`] where both sides are mapped payloads (`a` plays the
+/// query role).
+fn cosine_bytes_pair(a: &[u8], b: &[u8]) -> f64 {
+    let decode = |c: &[u8]| {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(c);
+        f64::from_le_bytes(buf)
+    };
+    let dot: f64 = a
+        .chunks_exact(8)
+        .zip(b.chunks_exact(8))
+        .map(|(x, y)| decode(x) * decode(y))
+        .sum();
+    let na: f64 = a
+        .chunks_exact(8)
+        .map(|c| {
+            let x = decode(c);
+            x * x
+        })
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .chunks_exact(8)
+        .map(|c| {
+            let y = decode(c);
+            y * y
+        })
+        .sum::<f64>()
+        .sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    write_u32(out, tag);
+    write_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+impl VectorIndex {
+    /// Serializes the catalog (and any built HNSW graph) to the `KGVI`
+    /// mapped format. Deterministic: the same index always produces the
+    /// same bytes. Fails when vectors have mixed dimensionality, which
+    /// the flat layout cannot represent.
+    pub fn to_mapped_bytes(&self) -> Result<Vec<u8>, String> {
+        let dim = self.vectors.first().map_or(0, Vec::len);
+        if self.vectors.iter().any(|v| v.len() != dim) {
+            return Err("catalog vectors have mixed dimensions; cannot map".into());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, FORMAT_VERSION);
+        let mut header = Vec::new();
+        write_u64(&mut header, self.vectors.len() as u64);
+        write_u32(&mut header, dim as u32);
+        section(&mut out, TAG_HEADER, &header);
+        let mut vecs = Vec::with_capacity(self.vectors.len() * dim * 8);
+        for v in &self.vectors {
+            for x in v {
+                vecs.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        section(&mut out, TAG_VECTORS, &vecs);
+        let mut names = Vec::new();
+        write_u64(&mut names, self.names.len() as u64);
+        let mut off = 0u64;
+        for n in &self.names {
+            write_u64(&mut names, off);
+            off += n.len() as u64;
+        }
+        write_u64(&mut names, off);
+        for n in &self.names {
+            names.extend_from_slice(n.as_bytes());
+        }
+        section(&mut out, TAG_NAMES, &names);
+        if let Some(hnsw) = self.hnsw() {
+            section(&mut out, TAG_HNSW, &hnsw.to_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Writes the `KGVI` mapped catalog to `path` for serve replicas to
+    /// [`MappedIndex::open`].
+    pub fn write_mapped(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_mapped_bytes()?)
+            .map_err(|e| format!("write {}: {e}", path.as_ref().display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::HnswConfig;
+
+    fn catalog(n: usize, dim: usize) -> VectorIndex {
+        let mut idx = VectorIndex::new();
+        for i in 0..n {
+            let v: Vec<f64> = (0..dim)
+                .map(|d| ((i * dim + d) as f64 * 0.41).sin())
+                .collect();
+            idx.add(format!("table-{i}"), v);
+        }
+        idx
+    }
+
+    #[test]
+    fn mapped_exact_matches_owned_bitwise() {
+        let idx = catalog(80, 7);
+        let mapped = MappedIndex::from_vec(idx.to_mapped_bytes().unwrap()).unwrap();
+        assert_eq!(mapped.len(), 80);
+        assert_eq!(mapped.dim(), 7);
+        for q in 0..10 {
+            let query = idx.vector(q).unwrap().to_vec();
+            let owned = idx.top_k(&query, 5);
+            let via_map = mapped.top_k(&query, 5);
+            assert_eq!(owned.len(), via_map.len());
+            for ((na, sa), (nb, sb)) in owned.iter().zip(&via_map) {
+                assert_eq!(na, nb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "query {q} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_hnsw_matches_owned_bitwise() {
+        let mut idx = catalog(100, 6);
+        idx.build_hnsw(HnswConfig::default());
+        let mapped = MappedIndex::from_vec(idx.to_mapped_bytes().unwrap()).unwrap();
+        assert!(mapped.has_hnsw());
+        for q in 0..10 {
+            let query = idx.vector(q).unwrap().to_vec();
+            let owned = idx.search(&query, 5);
+            let via_map = mapped.top_k(&query, 5);
+            assert_eq!(owned.len(), via_map.len());
+            for ((na, sa), (nb, sb)) in owned.iter().zip(&via_map) {
+                assert_eq!(na, nb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "query {q} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_bytes_are_deterministic() {
+        let mut idx = catalog(30, 4);
+        idx.build_hnsw(HnswConfig::default());
+        assert_eq!(
+            idx.to_mapped_bytes().unwrap(),
+            idx.to_mapped_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn names_and_vectors_decode_in_place() {
+        let idx = catalog(12, 3);
+        let mapped = MappedIndex::from_vec(idx.to_mapped_bytes().unwrap()).unwrap();
+        for i in 0..12 {
+            assert_eq!(mapped.name(i), Some(format!("table-{i}").as_str()));
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&mapped.vector(i).unwrap()),
+                bits(idx.vector(i).unwrap())
+            );
+        }
+        assert_eq!(mapped.name(12), None);
+        assert_eq!(mapped.vector(12), None);
+    }
+
+    #[test]
+    fn open_rejects_malformed_files() {
+        let idx = catalog(5, 3);
+        let bytes = idx.to_mapped_bytes().unwrap();
+        assert!(MappedIndex::from_vec(bytes[..bytes.len() - 3].to_vec()).is_err());
+        assert!(MappedIndex::from_vec(b"NOPE".to_vec()).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFF;
+        assert!(MappedIndex::from_vec(bad_version).is_err());
+        let mut ragged = VectorIndex::new();
+        ragged.add("a", vec![1.0, 0.0]);
+        ragged.add("b", vec![1.0]);
+        assert!(ragged.to_mapped_bytes().is_err());
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let idx = catalog(4, 2);
+        let mut bytes = idx.to_mapped_bytes().unwrap();
+        // Append an unknown tag-99 section; the reader must ignore it.
+        section(&mut bytes, 99, b"future data");
+        let mapped = MappedIndex::from_vec(bytes).unwrap();
+        assert_eq!(mapped.len(), 4);
+    }
+
+    #[test]
+    fn file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join("kgpip-mapped-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.kgvi");
+        let mut idx = catalog(20, 4);
+        idx.build_hnsw(HnswConfig::default());
+        idx.write_mapped(&path).unwrap();
+        let mapped = MappedIndex::open(&path).unwrap();
+        let query = idx.vector(3).unwrap().to_vec();
+        assert_eq!(idx.search(&query, 3), mapped.top_k(&query, 3));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -143,6 +143,8 @@ pub struct ServeStats {
     pub batches: u64,
     /// Model hot-swaps performed.
     pub swaps: u64,
+    /// Datasets registered online via [`ServeHandle::register_dataset`].
+    pub registered: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -168,6 +170,7 @@ struct Shared {
     served: AtomicU64,
     batches: AtomicU64,
     swaps: AtomicU64,
+    registered: AtomicU64,
 }
 
 /// A still-pending [`ServeHandle::submit`]; redeem with
@@ -206,6 +209,7 @@ impl ServeHandle {
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            registered: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -252,6 +256,29 @@ impl ServeHandle {
         slot.1
     }
 
+    /// Registers an unseen dataset in the served catalog online, without
+    /// a full model hot-swap: clones the current artifact, registers the
+    /// table (`TrainedModel::register_dataset` — the active similarity
+    /// tier grows incrementally, no retrain), and installs the grown
+    /// model under a new epoch. In-flight batches keep the snapshot they
+    /// pinned; the epoch bump keys the cache so pre-registration answers
+    /// are never replayed against the grown catalog.
+    ///
+    /// Errors with [`ServeError::Predict`] wrapping
+    /// `KgpipError::DuplicateDataset` when the name is already cataloged
+    /// (the slot is left untouched). Returns the new serving epoch.
+    pub fn register_dataset(&self, name: &str, table: &DataFrame) -> Result<u64, ServeError> {
+        let mut slot = recover(self.shared.slot.write());
+        let mut grown = (*slot.0).clone();
+        grown
+            .register_dataset(name, table)
+            .map_err(ServeError::Predict)?;
+        slot.0 = Arc::new(grown);
+        slot.1 += 1;
+        self.shared.registered.fetch_add(1, Ordering::Relaxed);
+        Ok(slot.1)
+    }
+
     /// The current serving epoch (starts at 0, bumped per swap).
     pub fn model_epoch(&self) -> u64 {
         recover(self.shared.slot.read()).1
@@ -263,6 +290,7 @@ impl ServeHandle {
             served: self.shared.served.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             swaps: self.shared.swaps.load(Ordering::Relaxed),
+            registered: self.shared.registered.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
         }
     }

@@ -269,6 +269,65 @@ fn prediction_errors_are_typed_not_fatal() {
     server.shutdown();
 }
 
+/// Online dataset registration grows the served catalog under a new
+/// epoch: post-registration queries can retrieve the new dataset, the
+/// cache never replays pre-registration answers for the grown model, and
+/// duplicate names are refused without touching the slot.
+#[test]
+fn register_dataset_grows_the_served_catalog() {
+    let model = trained_artifact(0);
+    let server = ServeHandle::start(
+        model.share(),
+        ServeConfig::default()
+            .with_workers(2)
+            .with_cache_capacity(16),
+    );
+    // A table very unlike the training ones; before registration its
+    // neighbour is whatever the trained catalog offers.
+    let novel = table_like(9000.0, 26);
+    let before = server
+        .predict(ServeRequest {
+            table: novel.clone(),
+            task: Task::Binary,
+            k: 2,
+            seed: 3,
+        })
+        .unwrap();
+    assert_eq!(before.model_epoch, 0);
+
+    let epoch = server.register_dataset("novel", &novel).unwrap();
+    assert_eq!(epoch, 1);
+    let after = server
+        .predict(ServeRequest {
+            table: novel.clone(),
+            task: Task::Binary,
+            k: 2,
+            seed: 3,
+        })
+        .unwrap();
+    assert_eq!(after.model_epoch, 1);
+    assert!(
+        !after.cached,
+        "epoch bump must keep pre-registration cache entries out"
+    );
+    assert_eq!(
+        after.neighbour, "novel",
+        "the registered dataset is its own nearest neighbour"
+    );
+
+    // Duplicate registration is a typed error and does not bump epochs.
+    let err = server.register_dataset("novel", &novel).unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Predict(kgpip::KgpipError::DuplicateDataset(_))
+    ));
+    assert_eq!(server.model_epoch(), 1);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.registered, 1);
+    assert_eq!(stats.swaps, 0, "registration is not a hot-swap");
+}
+
 /// Dropping the handle closes the queue but drains every request that
 /// was already submitted — no request is silently lost.
 #[test]

@@ -76,12 +76,20 @@ impl WorkspaceConfig {
             compute("crates/learners"),
             compute("crates/nn"),
             compute("crates/codegraph"),
-            compute("crates/embeddings"),
             compute("crates/graphgen"),
             compute("crates/hpo"),
             compute("crates/benchdata"),
             compute("crates/xlint"),
         ];
+        // kgpip-embeddings: compute rules plus the serve-path panic rule
+        // on the similarity tiers a serving process runs — the HNSW graph
+        // and the mapped (`KGVI`) catalog. A malformed index file or a
+        // query of any shape must surface as a Result or an empty answer,
+        // never a panic in a worker.
+        let mut embeddings = compute("crates/embeddings");
+        embeddings.rules.push("panic-in-serve-path".to_string());
+        embeddings.panic_files = vec!["src/hnsw.rs".to_string(), "src/mapped.rs".to_string()];
+        crates.push(embeddings);
         // kgpip-core: compute rules plus the serve-path panic rule on the
         // artifact read/predict path (training may still assert).
         let mut core = compute("crates/core");
@@ -166,6 +174,15 @@ mod tests {
         let core = cfg.crates.iter().find(|c| c.path == "crates/core").unwrap();
         assert!(core.panic_file_in_scope("src/predict.rs"));
         assert!(!core.panic_file_in_scope("src/train.rs"));
+        let embeddings = cfg
+            .crates
+            .iter()
+            .find(|c| c.path == "crates/embeddings")
+            .unwrap();
+        assert!(embeddings.parsed_rules().contains(&Rule::PanicInServePath));
+        assert!(embeddings.panic_file_in_scope("src/hnsw.rs"));
+        assert!(embeddings.panic_file_in_scope("src/mapped.rs"));
+        assert!(!embeddings.panic_file_in_scope("src/tsne.rs"));
     }
 
     #[test]

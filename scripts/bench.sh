@@ -5,7 +5,10 @@
 #   BENCH_hpo.json      — HPO trial throughput (trials/sec, cache hit rate)
 #   BENCH_mining.json   — corpus mining (scripts/sec cold vs warm, p1 vs pN)
 #   BENCH_serve.json    — kgpip-serve (QPS, p50/p99 latency, cache hit rate)
-#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json] [serve_out.json]
+#   BENCH_embeddings.json — similarity tiers (build secs, insert/sec, QPS,
+#                           recall@10 per tier; KGPIP_BENCH_EMBED_N sizes
+#                           the catalog, default 100K)
+#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json] [serve_out.json] [embeddings_out.json]
 #
 # Guard: parallel arms (pN mining, p4/p8 HPO, multi-worker serving) are
 # requested worker counts, not guarantees. Every rayon entry point clamps
@@ -20,6 +23,7 @@ graphgen_out="${1:-BENCH_graphgen.json}"
 hpo_out="${2:-BENCH_hpo.json}"
 mining_out="${3:-BENCH_mining.json}"
 serve_out="${4:-BENCH_serve.json}"
+embeddings_out="${5:-BENCH_embeddings.json}"
 
 # Runs one criterion bench target and folds its `BENCH_JSON {...}` lines
 # (one per benchmark, printed by the vendored criterion plus any summary
@@ -47,3 +51,4 @@ run_suite graph_generation "$graphgen_out"
 run_suite hpo_parallel "$hpo_out"
 run_suite corpus_mining "$mining_out"
 run_suite serve_bench "$serve_out"
+run_suite embeddings "$embeddings_out"

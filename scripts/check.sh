@@ -25,6 +25,10 @@ cargo test -p kgpip-nn --test props -q
 cargo test -p kgpip-learners --test gbt_determinism -q
 cargo test -p kgpip --test mining_determinism -q
 
+echo "==> similarity-tier suite (HNSW determinism; mapped ≡ owned; recall gate)"
+cargo test -p kgpip-embeddings --test hnsw -q
+cargo test -p kgpip-benchdata --test recall -q
+
 echo "==> cache-equivalence suite (trial caches change cost, never results)"
 cargo test -p kgpip-hpo --test cache_equivalence -q
 

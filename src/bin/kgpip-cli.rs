@@ -14,6 +14,11 @@
 //! kgpip-cli lint-corpus [--datasets 4] [--scripts-per-dataset 50] [--seed 0]
 //!                   [--malformed-fraction 0.05] [--helper-fraction 0.25]
 //! kgpip-cli xlint   [--json] [--config rules.json] [--root DIR]
+//! kgpip-cli index build --out catalog.kgvi (--model model.kgps | --n 100000)
+//!                   [--dim 32] [--clusters 64] [--seed 0] [--tier auto|exact|hnsw]
+//! kgpip-cli index query --index catalog.kgvi [--k 10] [--queries 200]
+//!                   [--seed 1] [--recall]
+//! kgpip-cli index stats --index catalog.kgvi
 //! ```
 //!
 //! Model files: `--model` everywhere accepts both the binary snapshot
@@ -37,6 +42,16 @@
 //! house rules. Exits non-zero when any unsuppressed diagnostic remains;
 //! `--json` emits the full machine-readable report (findings plus every
 //! justified suppression).
+//!
+//! `index` manages standalone `.kgvi` similarity-catalog files, the
+//! mmap-backed format a serving process opens read-only for warm starts.
+//! `build` exports a model's catalog (`--model`) or a seeded synthetic
+//! one (`--n/--dim/--clusters`); `--tier auto` builds the HNSW graph
+//! once the catalog crosses the auto-tune threshold. (IVF is an
+//! in-memory mid-band tier and is not serialized to `.kgvi` files.)
+//! `query` measures queries/sec over seeded synthetic probes and, with
+//! `--recall`, scores the graph tier's recall@K against the exact scan.
+//! `stats` prints the catalog's shape and tier without loading vectors.
 //!
 //! Layout expected by `train`:
 //! * `--scripts DIR` — one subdirectory per dataset, each containing the
@@ -69,9 +84,10 @@ fn main() {
         "demo" => cmd_demo(&flag),
         "lint-corpus" => cmd_lint_corpus(&flag),
         "xlint" => cmd_xlint(&args, &flag),
+        "index" => cmd_index(&args, &flag),
         _ => {
             eprintln!(
-                "usage: kgpip-cli <train|snapshot|predict|run|serve|demo|lint-corpus|xlint> [flags]\n\
+                "usage: kgpip-cli <train|snapshot|predict|run|serve|demo|lint-corpus|xlint|index> [flags]\n\
                  see the module docs (`kgpip-cli --help` output) for flags"
             );
             exit(2);
@@ -481,6 +497,129 @@ fn cmd_xlint(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResu
         Ok(())
     } else {
         Err(format!("{} unsuppressed xlint finding(s)", report.diagnostics.len()).into())
+    }
+}
+
+/// Builds, queries, and inspects standalone `.kgvi` similarity-catalog
+/// files (`kgpip_embeddings::MappedIndex`).
+// The CLI prints build times and queries/sec for humans; wall-clock here
+// never reaches a compute result.
+#[allow(clippy::disallowed_methods)]
+fn cmd_index(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+    use kgpip_benchdata::{recall_at_k, synthetic_embeddings};
+    use kgpip_embeddings::{HnswConfig, MappedIndex, VectorIndex};
+    use std::time::Instant;
+
+    match args.get(1).map(String::as_str) {
+        Some("build") => {
+            let out = require(flag, "--out")?;
+            let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let tier = flag("--tier").unwrap_or_else(|| "auto".into());
+            let started = Instant::now();
+            let mut index = if let Some(model_path) = flag("--model") {
+                TrainedModel::open(&model_path)?.index().clone()
+            } else {
+                let n: usize = require(flag, "--n")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+                let dim: usize = flag("--dim").and_then(|v| v.parse().ok()).unwrap_or(32);
+                let clusters: usize = flag("--clusters")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64);
+                let mut idx = VectorIndex::new();
+                for (i, v) in synthetic_embeddings(n, dim, clusters, seed)
+                    .into_iter()
+                    .enumerate()
+                {
+                    idx.add(format!("t{i}"), v);
+                }
+                idx
+            };
+            let want_hnsw = match tier.as_str() {
+                "hnsw" => true,
+                "exact" => false,
+                "auto" => index.len() >= VectorIndex::HNSW_AUTO_THRESHOLD,
+                other => return Err(format!("unknown tier `{other}` (auto|exact|hnsw)").into()),
+            };
+            if want_hnsw {
+                index.build_hnsw(HnswConfig {
+                    seed,
+                    ..HnswConfig::default()
+                });
+            }
+            index.write_mapped(&out)?;
+            let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+            eprintln!(
+                "index written to {out}: {} vectors, tier {}, {bytes} bytes, {:.2}s",
+                index.len(),
+                if want_hnsw { "hnsw" } else { "exact" },
+                started.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Some("query") => {
+            let path = require(flag, "--index")?;
+            let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(10);
+            let queries: usize = flag("--queries")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200);
+            let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let mapped = MappedIndex::open(&path)?;
+            if mapped.is_empty() {
+                return Err("index holds no vectors".into());
+            }
+            // A distinct derived seed keeps probes off the catalog points
+            // even when both were synthesized with the same base seed.
+            let probes = synthetic_embeddings(queries, mapped.dim(), 32, seed ^ 0x9e37_79b9);
+            let started = Instant::now();
+            let mut retrieved = 0usize;
+            for q in &probes {
+                retrieved += mapped.top_k(q, k).len();
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            println!(
+                "{} probes x top-{k} over {} vectors (tier {}): {:.0} queries/sec ({retrieved} results)",
+                probes.len(),
+                mapped.len(),
+                if mapped.has_hnsw() { "hnsw" } else { "exact" },
+                probes.len() as f64 / elapsed.max(1e-9),
+            );
+            if args.iter().any(|a| a == "--recall") {
+                let mut total = 0.0;
+                for q in &probes {
+                    total += recall_at_k(&mapped.top_k_exact(q, k), &mapped.top_k(q, k), k);
+                }
+                println!(
+                    "recall@{k} vs exact scan: {:.3}",
+                    total / probes.len() as f64
+                );
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let path = require(flag, "--index")?;
+            let bytes = std::fs::metadata(&path)?.len();
+            let mapped = MappedIndex::open(&path)?;
+            println!(
+                "{path}: {} vectors x {} dims, {bytes} bytes",
+                mapped.len(),
+                mapped.dim()
+            );
+            match mapped.hnsw() {
+                Some(h) => println!(
+                    "  tier: hnsw — {} layers, {} links, m={}, ef_construction={}, ef_search={}, seed={}",
+                    h.num_layers(),
+                    h.num_links(),
+                    h.config().m,
+                    h.config().ef_construction,
+                    h.config().ef_search,
+                    h.config().seed
+                ),
+                None => println!("  tier: exact (no graph section)"),
+            }
+            Ok(())
+        }
+        _ => Err("usage: kgpip-cli index <build|query|stats> [flags]".into()),
     }
 }
 
