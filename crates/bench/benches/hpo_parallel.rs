@@ -157,11 +157,26 @@ fn bench_parallel_hpo(c: &mut Criterion) {
         ("hpo_summary_chain_nocache", &chain, false),
     ];
     for (id, sk, cache) in configs {
-        let mut engine = Flaml::new(0).with_trial_cache(cache);
-        let started = Instant::now();
-        let result = engine.optimize_skeleton(&ds, sk, &budget()).unwrap();
-        let secs = started.elapsed().as_secs_f64();
-        let trials_per_sec = result.trials as f64 / secs.max(1e-9);
+        // One warm-up search, then best-of-3: a single 24-trial search
+        // finishes in milliseconds, so a one-shot timing is dominated by
+        // scheduler jitter — the best of three repeats is the stable
+        // estimate of the hot path (the searches are deterministic, so
+        // every repeat runs identical trials).
+        let mut result = Flaml::new(0)
+            .with_trial_cache(cache)
+            .optimize_skeleton(&ds, sk, &budget())
+            .unwrap();
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..3 {
+            let mut engine = Flaml::new(0).with_trial_cache(cache);
+            let started = Instant::now();
+            result = engine.optimize_skeleton(&ds, sk, &budget()).unwrap();
+            let secs = started.elapsed().as_secs_f64();
+            if secs < best_secs {
+                best_secs = secs;
+            }
+        }
+        let trials_per_sec = result.trials as f64 / best_secs.max(1e-9);
         // Bare-skeleton searches never consult the transform cache (no
         // transformer chain to memoize) — their hit rate is `null`, not
         // 0%. `encoded_trials` shows the caching that did happen there.

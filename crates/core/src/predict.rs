@@ -14,15 +14,25 @@ use crate::artifact::TrainedModel;
 use crate::skeleton::{decode_skeleton, validate_against_capabilities};
 use crate::train::Kgpip;
 use crate::{KgpipError, Result};
-use kgpip_embeddings::table_embedding;
+use kgpip_embeddings::{table_embedding, table_embedding_chunked};
 use kgpip_graphgen::effective_parallelism;
 use kgpip_graphgen::model::TypedGraph;
 use kgpip_hpo::{HpoResult, Optimizer, Skeleton, TimeBudget};
 use kgpip_learners::EstimatorKind;
-use kgpip_tabular::{DataFrame, Dataset, Task};
+use kgpip_tabular::{ChunkedFrame, DataFrame, Dataset, Task};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::time::Duration;
+
+/// Row-sample bound for chunked table embeddings: tables at or below this
+/// many rows embed from every row (bit-identical to [`TrainedModel::embed_table`]);
+/// larger tables embed from a deterministic bottom-k row sample so the
+/// embedding cost stops growing with the table.
+pub const EMBED_SAMPLE_BOUND: usize = 100_000;
+
+/// Seed of the deterministic embedding row sample. Fixed so the same table
+/// always embeds identically regardless of who asks.
+pub const EMBED_SAMPLE_SEED: u64 = 0x006b_6770_6970; // "kgpip"
 
 /// The outcome of HPO on one predicted skeleton.
 #[derive(Debug)]
@@ -85,6 +95,33 @@ impl TrainedModel {
     /// whole wave of tables before any generation runs.
     pub fn embed_table(&self, frame: &DataFrame) -> Vec<f64> {
         table_embedding(frame)
+    }
+
+    /// Embeds a chunked table without materializing it: column statistics
+    /// accumulate chunk-by-chunk and the string trigram scan visits a
+    /// deterministic row sample bounded by [`EMBED_SAMPLE_BOUND`]. At or
+    /// below the bound the result is bit-identical to
+    /// [`TrainedModel::embed_table`] on the assembled frame; above it the
+    /// embedding is invariant to the chunk size, so out-of-core ingest and
+    /// in-memory ingest answer the same query.
+    pub fn embed_table_chunked(&self, frame: &ChunkedFrame) -> Vec<f64> {
+        table_embedding_chunked(frame, EMBED_SAMPLE_BOUND, EMBED_SAMPLE_SEED)
+    }
+
+    /// [`TrainedModel::predict_table`] for a chunked (streamed-in) table —
+    /// the larger-than-RAM serving path: embed from chunk statistics and a
+    /// bounded row sample, then run the usual nearest-neighbour →
+    /// generation stages on the query embedding.
+    pub fn predict_table_chunked(
+        &self,
+        frame: &ChunkedFrame,
+        task: Task,
+        k: usize,
+        capabilities_json: &str,
+        seed: u64,
+    ) -> Result<(Vec<(Skeleton, f64)>, String)> {
+        let query = self.embed_table_chunked(frame);
+        self.predict_from_query_embedding(&query, task, k, capabilities_json, seed)
     }
 
     /// Finds the nearest training dataset `(name, similarity)` for an
@@ -527,6 +564,40 @@ mod tests {
         for ((s1, g1), (s2, g2)) in via_artifact.iter().zip(&staged) {
             assert_eq!(s1, s2);
             assert_eq!(g1.to_bits(), g2.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_prediction_matches_the_in_memory_path() {
+        let model = trained_model();
+        let artifact = model.artifact();
+        let frame = table_like(1.0, 80);
+        let caps = {
+            use kgpip_hpo::Optimizer as _;
+            Flaml::new(0).capabilities()
+        };
+        let (dense, n1) = artifact
+            .predict_table(&frame, Task::Binary, 3, &caps, 7)
+            .unwrap();
+        for chunk_rows in [1, 7, 100] {
+            let chunked_frame = kgpip_tabular::ChunkedFrame::from_frame(&frame, chunk_rows);
+            // 80 rows is far below EMBED_SAMPLE_BOUND: the chunked
+            // embedding — and everything downstream — must be
+            // bit-identical to the in-memory path.
+            assert_eq!(
+                artifact.embed_table(&frame),
+                artifact.embed_table_chunked(&chunked_frame),
+                "chunk_rows {chunk_rows}"
+            );
+            let (chunked, n2) = artifact
+                .predict_table_chunked(&chunked_frame, Task::Binary, 3, &caps, 7)
+                .unwrap();
+            assert_eq!(n1, n2);
+            assert_eq!(dense.len(), chunked.len());
+            for ((s1, g1), (s2, g2)) in dense.iter().zip(&chunked) {
+                assert_eq!(s1, s2);
+                assert_eq!(g1.to_bits(), g2.to_bits());
+            }
         }
     }
 

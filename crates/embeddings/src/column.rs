@@ -23,11 +23,31 @@ const KIND_OFFSET: usize = 44;
 
 /// Embeds a single column from its content.
 pub fn column_embedding(column: &Column) -> [f64; EMBED_DIM] {
-    let mut v = [0.0f64; EMBED_DIM];
     let stats = ColumnStats::compute(column);
+    let strings = (0..column.len()).filter_map(|r| column.as_string(r));
+    column_embedding_parts(column.kind(), &stats, strings)
+}
+
+/// Embeds a column from precomputed summary statistics plus a row-order
+/// iterator over its present string views. This is the shared core of
+/// [`column_embedding`] and the chunk-streaming sampled variant: the
+/// numeric sketch reads only `stats`, the trigram sketch folds over
+/// `strings` in the order given. Feeding it `ColumnStats::compute` and the
+/// full row-order string sequence reproduces [`column_embedding`] to the
+/// bit; a chunked caller passes streamed stats and a bounded sample of
+/// string views instead.
+pub fn column_embedding_parts<I>(
+    kind: ColumnKind,
+    stats: &ColumnStats,
+    strings: I,
+) -> [f64; EMBED_DIM]
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut v = [0.0f64; EMBED_DIM];
 
     // --- numeric distribution sketch ---
-    if column.kind() == ColumnKind::Numeric {
+    if kind == ColumnKind::Numeric {
         let scale = stats.std.max(1e-9);
         // Magnitude features: value ranges are content (a revenue column
         // and an age column genuinely live at different scales); without
@@ -46,12 +66,9 @@ pub fn column_embedding(column: &Column) -> [f64; EMBED_DIM] {
     }
 
     // --- hashed character trigrams over string values ---
-    if column.kind() != ColumnKind::Numeric {
+    if kind != ColumnKind::Numeric {
         let mut count = 0usize;
-        for r in 0..column.len() {
-            let Some(s) = column.as_string(r) else {
-                continue;
-            };
+        for s in strings {
             let lowered = s.to_lowercase();
             let bytes = lowered.as_bytes();
             if bytes.len() < 3 {
@@ -79,7 +96,7 @@ pub fn column_embedding(column: &Column) -> [f64; EMBED_DIM] {
     }
 
     // --- kind indicator + token shape ---
-    match column.kind() {
+    match kind {
         ColumnKind::Numeric => v[KIND_OFFSET] = 1.0,
         ColumnKind::Categorical => v[KIND_OFFSET + 1] = 1.0,
         ColumnKind::Text => v[KIND_OFFSET + 2] = 1.0,

@@ -29,9 +29,9 @@ pub mod mapped;
 pub mod table;
 pub mod tsne;
 
-pub use column::{column_embedding, EMBED_DIM};
+pub use column::{column_embedding, column_embedding_parts, EMBED_DIM};
 pub use hnsw::{Hnsw, HnswConfig, SliceSource, VectorSource};
 pub use index::{IndexTier, VectorIndex};
 pub use mapped::MappedIndex;
-pub use table::{table_embedding, table_embeddings};
+pub use table::{table_embedding, table_embedding_chunked, table_embeddings};
 pub use tsne::tsne;

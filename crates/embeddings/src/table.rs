@@ -1,7 +1,7 @@
 //! Table-level embeddings via column pooling.
 
-use crate::column::{column_embedding, EMBED_DIM};
-use kgpip_tabular::{effective_parallelism, DataFrame};
+use crate::column::{column_embedding, column_embedding_parts, EMBED_DIM};
+use kgpip_tabular::{effective_parallelism, ChunkedFrame, Column, ColumnKind, DataFrame};
 use rayon::prelude::*;
 
 /// Embeds a table by mean-pooling its column embeddings and L2-normalizing
@@ -29,6 +29,70 @@ pub fn table_embedding(frame: &DataFrame) -> Vec<f64> {
         }
     }
     pooled
+}
+
+/// Embeds a chunked table without materializing any column: per-column
+/// moments are accumulated chunk-by-chunk (exact, bit-identical to the
+/// in-memory stats), while the trigram sketch and the quantiles fold over
+/// a deterministic seeded sample of at most `sample_bound` rows. Whenever
+/// the table fits under the bound the sample is the full row set and the
+/// result is bit-for-bit identical to [`table_embedding`] on the
+/// concatenated frame; above the bound, memory stays proportional to the
+/// sample instead of the table, and the result is still invariant to chunk
+/// size and worker count because the sample is keyed by global row index.
+pub fn table_embedding_chunked(frame: &ChunkedFrame, sample_bound: usize, seed: u64) -> Vec<f64> {
+    let mut pooled = vec![0.0f64; EMBED_DIM];
+    if frame.num_columns() == 0 {
+        return pooled;
+    }
+    let sample = frame.sample(sample_bound, seed);
+    for c in 0..frame.num_columns() {
+        let chunks = frame.column_chunks(c);
+        let kind = chunks
+            .first()
+            .map(Column::kind)
+            .unwrap_or(ColumnKind::Numeric);
+        let stats = frame.column_stats_sampled(c, &sample);
+        let strings = sampled_strings(chunks, &sample);
+        let e = column_embedding_parts(kind, &stats, strings);
+        for (p, x) in pooled.iter_mut().zip(e.iter()) {
+            *p += x;
+        }
+    }
+    let n = frame.num_columns() as f64;
+    for p in &mut pooled {
+        *p /= n;
+    }
+    let norm = pooled.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for p in &mut pooled {
+            *p /= norm;
+        }
+    }
+    pooled
+}
+
+/// Collects the present string views of the sampled rows, visiting the
+/// ascending sample through the chunks with a single cursor — the same
+/// row order `column_embedding` scans, restricted to the sample.
+fn sampled_strings(chunks: &[Column], sample: &[usize]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cursor = sample.iter().peekable();
+    let mut base = 0usize;
+    for c in chunks {
+        let len = c.len();
+        while let Some(&&r) = cursor.peek() {
+            if r < base || r >= base + len {
+                break;
+            }
+            if let Some(s) = c.as_string(r - base) {
+                out.push(s);
+            }
+            cursor.next();
+        }
+        base += len;
+    }
+    out
 }
 
 /// Embeds every table of a named catalog, in input order. With
@@ -129,6 +193,34 @@ mod tests {
             cosine(&a, &b),
             cosine(&a, &c)
         );
+    }
+
+    #[test]
+    fn chunked_embedding_matches_in_memory_under_the_bound() {
+        for f in [sales_table(3), review_table()] {
+            let full = table_embedding(&f);
+            for chunk_rows in [1, 3, 7, 100] {
+                let cf = ChunkedFrame::from_frame(&f, chunk_rows);
+                let chunked = table_embedding_chunked(&cf, 1_000, 7);
+                assert_eq!(chunked, full, "chunk_rows {chunk_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_embedding_is_chunk_size_invariant_above_the_bound() {
+        let f = sales_table(3);
+        let reference = table_embedding_chunked(&ChunkedFrame::from_frame(&f, 1), 10, 42);
+        assert!(reference.iter().all(|x| x.is_finite()));
+        assert!(reference.iter().any(|x| *x != 0.0));
+        for chunk_rows in [3, 7, 100] {
+            let cf = ChunkedFrame::from_frame(&f, chunk_rows);
+            assert_eq!(
+                table_embedding_chunked(&cf, 10, 42),
+                reference,
+                "chunk_rows {chunk_rows}"
+            );
+        }
     }
 
     #[test]

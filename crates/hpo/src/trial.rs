@@ -25,6 +25,13 @@ use std::time::Duration;
 /// Fraction of training rows held out for trial validation.
 pub const HOLDOUT_FRACTION: f64 = 0.2;
 
+/// Holdout prediction block size for streamed trial scoring. Predictions
+/// are scored block-by-block so a trial never materializes the full
+/// holdout prediction matrix; every estimator predicts row-independently
+/// and the score accumulator replays the unstreamed fold order, so the
+/// block size changes peak memory, never the score.
+pub const SCORE_BLOCK_ROWS: usize = 4096;
+
 /// Cap on distinct failure messages kept in a [`SearchReport`].
 pub const MAX_REPORT_ERRORS: usize = 8;
 
@@ -452,7 +459,7 @@ impl Evaluator {
             match (self.caching, &self.encoded) {
                 (true, Some((tr, va))) => {
                     self.encoded_trials.fetch_add(1, Ordering::Relaxed);
-                    p.fit_score_encoded(tr, va, Some(&self.cache))
+                    p.fit_score_encoded_streamed(tr, va, Some(&self.cache), SCORE_BLOCK_ROWS)
                 }
                 _ => p.fit_score(&self.train, &self.valid),
             }
@@ -696,6 +703,38 @@ mod tests {
         assert_eq!(report.encoded_trials, 2, "both trials took the fast path");
         let rate = report.cache_hit_rate().expect("cache was consulted");
         assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streamed_holdout_scoring_matches_the_unstreamed_score() {
+        let ds = toy(200);
+        let budget = wide_budget();
+        let ev = Evaluator::new(&ds, 0, &budget).unwrap();
+        let skel = Skeleton {
+            transformers: vec![kgpip_learners::TransformerKind::StandardScaler],
+            estimator: EstimatorKind::DecisionTree,
+        };
+        for skeleton in [Skeleton::bare(EstimatorKind::DecisionTree), skel] {
+            let streamed = ev
+                .evaluate(&skeleton, Params::new())
+                .score
+                .expect("trial scores");
+            let spec = PipelineSpec {
+                transformers: skeleton
+                    .transformers
+                    .iter()
+                    .map(|k| (*k, Params::new()))
+                    .collect(),
+                estimator: skeleton.estimator,
+                params: Params::new(),
+            };
+            let (tr, va) = ev.encoded.as_ref().expect("toy data encodes");
+            let unstreamed = Pipeline::from_spec(spec)
+                .unwrap()
+                .fit_score_encoded(tr, va, None)
+                .unwrap();
+            assert_eq!(streamed.to_bits(), unstreamed.to_bits());
+        }
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub struct EncodedDataset {
     target: Arc<Vec<f64>>,
     task: Task,
     fingerprint: u64,
+    has_nan: bool,
 }
 
 impl EncodedDataset {
@@ -150,6 +151,7 @@ impl EncodedDataset {
     fn build(encoder: Arc<FeatureEncoder>, ds: &Dataset) -> Result<EncodedDataset> {
         let x = encoder.transform(&ds.features)?;
         let fingerprint = content_fingerprint(&x, &ds.target, ds.task);
+        let has_nan = x.has_nan();
         Ok(EncodedDataset {
             roles: Arc::new(encoder.roles().to_vec()),
             encoder,
@@ -157,6 +159,7 @@ impl EncodedDataset {
             target: Arc::new(ds.target.clone()),
             task: ds.task,
             fingerprint,
+            has_nan,
         })
     }
 
@@ -189,6 +192,15 @@ impl EncodedDataset {
     /// task — the cache-key component identifying this input.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Whether the encoded matrix contains NaN (missing values), computed
+    /// once at encode time. The trial hot path consults this instead of
+    /// rescanning the matrix per trial: for bare-estimator specs on
+    /// NaN-free data it lets the whole transformer-chain bookkeeping be
+    /// skipped.
+    pub fn has_nan(&self) -> bool {
+        self.has_nan
     }
 }
 

@@ -24,7 +24,7 @@
 //! behind the `exact` hyperparameter.
 
 use super::{argmax_rows, check_fit_inputs, Estimator, EstimatorKind};
-use crate::matrix::Matrix;
+use crate::matrix::{ChunkedMatrix, Matrix};
 use crate::{LearnError, Result};
 use kgpip_tabular::{fnv1a, Task};
 use rand::rngs::StdRng;
@@ -200,6 +200,35 @@ fn build_exact_node(
 // Histogram leaf-wise builder
 // ---------------------------------------------------------------------------
 
+/// Quantile bin edges of one feature from its (unsorted) values: sort,
+/// dedup, then up to `max_bins` upper-inclusive edges. The edges depend
+/// only on the *set* of values, so any full-coverage sample of a column
+/// yields the same edges as the column itself.
+fn quantile_edges(mut vals: Vec<f64>, max_bins: usize) -> Vec<f64> {
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.dedup();
+    if vals.len() <= max_bins {
+        vals
+    } else {
+        (1..=max_bins)
+            .map(|b| {
+                let idx = b * (vals.len() - 1) / max_bins;
+                vals[idx]
+            })
+            .collect()
+    }
+}
+
+/// Bin index of `v` against strictly increasing upper-inclusive `edges`:
+/// the first edge ≥ v, clamped to the last bin.
+#[inline]
+fn bin_value(v: f64, edges: &[f64]) -> u16 {
+    match edges.binary_search_by(|e| e.partial_cmp(&v).unwrap()) {
+        Ok(i) => i as u16,
+        Err(i) => (i.min(edges.len() - 1)) as u16,
+    }
+}
+
 /// Global quantile binning of the training matrix: per feature, up to
 /// `max_bins` bin edges; returns (bin index matrix as u16, per-feature bin
 /// upper edges).
@@ -207,30 +236,8 @@ pub(crate) fn quantile_bins(x: &Matrix, max_bins: usize) -> (Vec<Vec<u16>>, Vec<
     let mut binned = Vec::with_capacity(x.cols());
     let mut edges_all = Vec::with_capacity(x.cols());
     for f in 0..x.cols() {
-        let mut vals = x.col(f);
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        vals.dedup();
-        let edges: Vec<f64> = if vals.len() <= max_bins {
-            vals.clone()
-        } else {
-            (1..=max_bins)
-                .map(|b| {
-                    let idx = b * (vals.len() - 1) / max_bins;
-                    vals[idx]
-                })
-                .collect()
-        };
-        let col = x.col(f);
-        let bins: Vec<u16> = col
-            .iter()
-            .map(|v| {
-                // First edge ≥ v (edges are upper-inclusive bounds).
-                match edges.binary_search_by(|e| e.partial_cmp(v).unwrap()) {
-                    Ok(i) => i as u16,
-                    Err(i) => (i.min(edges.len() - 1)) as u16,
-                }
-            })
-            .collect();
+        let edges = quantile_edges(x.col(f), max_bins);
+        let bins: Vec<u16> = x.col(f).iter().map(|&v| bin_value(v, &edges)).collect();
         binned.push(bins);
         edges_all.push(edges);
     }
@@ -301,6 +308,56 @@ fn binned_for(x: &Matrix, max_bins: usize) -> Arc<BinnedMatrix> {
         cache.push((key, Arc::clone(&binned)));
     }
     binned
+}
+
+/// Binned form of a chunked matrix for the chunk-streaming fit. Bin edges
+/// are fit on a deterministic bottom-k row sample (ascending global row
+/// order); each chunk is then binned against those edges in chunk order and
+/// the per-feature bin vectors concatenate into exactly the layout
+/// [`quantile_bins`] produces. Whenever `sample_bound >= rows` the sample
+/// is every row, the per-feature value sets match the full columns, and the
+/// edges — hence the bins, hence the fitted trees — are bit-identical to
+/// the dense fit. Above the bound the edges are approximate but still
+/// invariant to chunk size, because the sample is keyed by global row
+/// index.
+fn binned_chunked(
+    x: &ChunkedMatrix,
+    max_bins: usize,
+    sample_bound: usize,
+    seed: u64,
+) -> BinnedMatrix {
+    let sample = kgpip_tabular::sample_rows(x.rows(), sample_bound, seed);
+    // Per-feature sampled values, gathered chunk-by-chunk in row order.
+    let mut sampled: Vec<Vec<f64>> = vec![Vec::with_capacity(sample.len()); x.cols()];
+    let mut cursor = sample.iter().peekable();
+    let mut base = 0usize;
+    for chunk in x.chunks() {
+        let len = chunk.rows();
+        while let Some(&&r) = cursor.peek() {
+            if r < base || r >= base + len {
+                break;
+            }
+            for (f, vals) in sampled.iter_mut().enumerate() {
+                vals.push(chunk.get(r - base, f));
+            }
+            cursor.next();
+        }
+        base += len;
+    }
+    let edges: Vec<Vec<f64>> = sampled
+        .into_iter()
+        .map(|vals| quantile_edges(vals, max_bins))
+        .collect();
+    // Bin chunk-by-chunk, concatenating per feature in chunk order.
+    let mut bins: Vec<Vec<u16>> = vec![Vec::with_capacity(x.rows()); x.cols()];
+    for chunk in x.chunks() {
+        for (f, (feature_bins, feature_edges)) in bins.iter_mut().zip(edges.iter()).enumerate() {
+            for r in 0..chunk.rows() {
+                feature_bins.push(bin_value(chunk.get(r, f), feature_edges));
+            }
+        }
+    }
+    BinnedMatrix { bins, edges }
 }
 
 /// Per-node histogram: `hist[feature][bin] = (Σg, Σh)` over the node's rows.
@@ -632,9 +689,88 @@ impl GradientBoosting {
     }
 }
 
-impl Estimator for GradientBoosting {
-    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
-        check_fit_inputs("gbt", x, y)?;
+/// The rows a fit reads feature values from: either a dense matrix (the
+/// classic path, required for exact splits) or a chunked one (the
+/// streaming path, histogram mode only — only out-of-bag routing touches
+/// individual rows, resolved chunk-locally).
+enum FitRows<'a> {
+    Dense(&'a Matrix),
+    Chunked(&'a ChunkedMatrix),
+}
+
+impl FitRows<'_> {
+    #[inline]
+    fn row(&self, r: usize) -> &[f64] {
+        match self {
+            FitRows::Dense(x) => x.row(r),
+            FitRows::Chunked(x) => x.row(r),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            FitRows::Dense(x) => x.rows(),
+            FitRows::Chunked(x) => x.rows(),
+        }
+    }
+}
+
+impl GradientBoosting {
+    /// Fits from a chunked matrix without ever materializing the dense
+    /// form (histogram configurations): bin edges come from a
+    /// deterministic sample of at most `sample_bound` rows, each chunk is
+    /// binned against them in chunk order, and the boosting loop then runs
+    /// on the compact `u16` bins. Whenever `sample_bound >= rows` the
+    /// fitted model is bit-identical to [`Estimator::fit`] on the
+    /// concatenated matrix (`tests/gbt_chunked.rs` asserts this via
+    /// `to_bits`); above the bound the edges are sample-approximate but
+    /// still chunk-size invariant. Exact-split configurations need full
+    /// per-feature sorts, so they concatenate and delegate to the dense
+    /// fit.
+    pub fn fit_chunked(
+        &mut self,
+        x: &ChunkedMatrix,
+        y: &[f64],
+        task: Task,
+        sample_bound: usize,
+    ) -> Result<()> {
+        if !self.config.histogram {
+            let dense = x.to_matrix();
+            return self.fit(&dense, y, task);
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(LearnError::Shape("gbt: empty training matrix".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(LearnError::Shape(format!(
+                "gbt: {} rows vs {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if x.has_nan() {
+            return Err(LearnError::Shape(
+                "gbt: training matrix contains NaN; impute first".into(),
+            ));
+        }
+        let binned = binned_chunked(
+            x,
+            self.config.max_bins.max(2),
+            sample_bound.max(1),
+            self.config.seed,
+        );
+        self.boost(&FitRows::Chunked(x), Some(Arc::new(binned)), y, task)
+    }
+
+    /// The shared additive-boosting loop; `binned` is `Some` exactly when
+    /// the configuration is in histogram mode.
+    fn boost(
+        &mut self,
+        x: &FitRows<'_>,
+        binned: Option<Arc<BinnedMatrix>>,
+        y: &[f64],
+        task: Task,
+    ) -> Result<()> {
         let n = x.rows();
         let heads = match task {
             Task::Regression | Task::Binary => 1,
@@ -648,14 +784,6 @@ impl Estimator for GradientBoosting {
                 vec![(p / (1.0 - p)).ln()]
             }
             Task::MultiClass(k) => vec![0.0; k],
-        };
-        // Bin edges are fit once per (matrix content, max_bins) and shared
-        // process-wide: HPO trials hammering the same cached encoded matrix
-        // skip the per-feature sorts after the first fit.
-        let binned: Option<Arc<BinnedMatrix>> = if self.config.histogram {
-            Some(binned_for(x, self.config.max_bins.max(2)))
-        } else {
-            None
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Current raw scores, flat `[row * heads + head]`.
@@ -714,10 +842,15 @@ impl Estimator for GradientBoosting {
                         tree
                     }
                     None => {
-                        let tree = build_exact(x, g, h, rows.clone(), &self.config);
+                        let FitRows::Dense(xm) = x else {
+                            return Err(LearnError::Shape(
+                                "gbt: exact splits require a dense matrix".into(),
+                            ));
+                        };
+                        let tree = build_exact(xm, g, h, rows.clone(), &self.config);
                         for r in 0..n {
                             f_scores[r * heads + head] +=
-                                self.config.learning_rate * tree.predict_row(x.row(r));
+                                self.config.learning_rate * tree.predict_row(xm.row(r));
                         }
                         tree
                     }
@@ -728,6 +861,21 @@ impl Estimator for GradientBoosting {
         }
         self.task = Some(task);
         Ok(())
+    }
+}
+
+impl Estimator for GradientBoosting {
+    fn fit(&mut self, x: &Matrix, y: &[f64], task: Task) -> Result<()> {
+        check_fit_inputs("gbt", x, y)?;
+        // Bin edges are fit once per (matrix content, max_bins) and shared
+        // process-wide: HPO trials hammering the same cached encoded matrix
+        // skip the per-feature sorts after the first fit.
+        let binned: Option<Arc<BinnedMatrix>> = if self.config.histogram {
+            Some(binned_for(x, self.config.max_bins.max(2)))
+        } else {
+            None
+        };
+        self.boost(&FitRows::Dense(x), binned, y, task)
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {

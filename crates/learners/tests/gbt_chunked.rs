@@ -1,0 +1,172 @@
+//! Chunk-streaming GBT fit identity (mirrors `gbt_determinism.rs`).
+//!
+//! `fit_chunked` bins each chunk against sample-fit edges instead of
+//! materializing the dense matrix. Whenever the edge sample covers every
+//! row, the fitted model — and every prediction — must be bit-for-bit
+//! identical to the dense fit at any chunk size; above the bound the model
+//! may differ from the dense fit (the edges are approximate) but must
+//! still be invariant to the chunk size.
+
+use kgpip_learners::estimators::gbt::{GbtConfig, GradientBoosting};
+use kgpip_learners::{ChunkedMatrix, Estimator, EstimatorKind, Matrix};
+use kgpip_tabular::Task;
+
+const FEATURES: usize = 8;
+
+fn matrix(n: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..FEATURES)
+                .map(|f| (((i * (2 * f + 3) + f * f) % 89) as f64) / 89.0)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows).unwrap()
+}
+
+fn regression_target(x: &Matrix) -> Vec<f64> {
+    (0..x.rows())
+        .map(|r| {
+            let row = x.row(r);
+            10.0 * (std::f64::consts::PI * row[0] * row[1]).sin() + 5.0 * row[2]
+        })
+        .collect()
+}
+
+fn lgbm_config(subsample: f64) -> GbtConfig {
+    GbtConfig {
+        n_estimators: 15,
+        learning_rate: 0.2,
+        max_depth: 16,
+        subsample,
+        lambda: 1.0,
+        gamma: 0.0,
+        min_child_weight: 1.0,
+        second_order: true,
+        histogram: true,
+        max_bins: 16,
+        max_leaves: 31,
+        seed: 7,
+        kind: EstimatorKind::Lgbm,
+    }
+}
+
+fn predict_bits(model: &GradientBoosting, x: &Matrix) -> Vec<u64> {
+    model
+        .predict(x)
+        .unwrap()
+        .into_iter()
+        .map(f64::to_bits)
+        .collect()
+}
+
+#[test]
+fn chunked_fit_matches_dense_fit_under_full_coverage() {
+    let x = matrix(150);
+    let y = regression_target(&x);
+    let cfg = lgbm_config(1.0);
+    let mut dense = GradientBoosting::new(cfg.clone());
+    dense.fit(&x, &y, Task::Regression).unwrap();
+    let baseline = predict_bits(&dense, &x);
+    for chunk_rows in [1, 7, 64, 1000] {
+        let cm = ChunkedMatrix::from_matrix(&x, chunk_rows);
+        let mut chunked = GradientBoosting::new(cfg.clone());
+        chunked
+            .fit_chunked(&cm, &y, Task::Regression, 10_000)
+            .unwrap();
+        assert_eq!(
+            baseline,
+            predict_bits(&chunked, &x),
+            "chunk_rows {chunk_rows} diverged from the dense fit"
+        );
+    }
+}
+
+#[test]
+fn subsampled_chunked_fit_routes_out_of_bag_rows_identically() {
+    // subsample < 1 exercises the out-of-bag predict_row path, which in
+    // the chunked fit resolves rows chunk-locally.
+    let x = matrix(120);
+    let y: Vec<f64> = (0..x.rows())
+        .map(|r| f64::from(x.get(r, 0) + x.get(r, 5) > 1.0))
+        .collect();
+    let cfg = lgbm_config(0.7);
+    let mut dense = GradientBoosting::new(cfg.clone());
+    dense.fit(&x, &y, Task::Binary).unwrap();
+    let baseline = predict_bits(&dense, &x);
+    for chunk_rows in [1, 7, 64] {
+        let cm = ChunkedMatrix::from_matrix(&x, chunk_rows);
+        let mut chunked = GradientBoosting::new(cfg.clone());
+        chunked.fit_chunked(&cm, &y, Task::Binary, 10_000).unwrap();
+        assert_eq!(
+            baseline,
+            predict_bits(&chunked, &x),
+            "chunk_rows {chunk_rows} diverged from the dense fit"
+        );
+    }
+}
+
+#[test]
+fn sampled_edges_are_chunk_size_invariant_above_the_bound() {
+    let x = matrix(200);
+    let y = regression_target(&x);
+    let cfg = lgbm_config(1.0);
+    let fit_at = |chunk_rows: usize| -> Vec<u64> {
+        let cm = ChunkedMatrix::from_matrix(&x, chunk_rows);
+        let mut m = GradientBoosting::new(cfg.clone());
+        m.fit_chunked(&cm, &y, Task::Regression, 50).unwrap();
+        predict_bits(&m, &x)
+    };
+    let reference = fit_at(1);
+    for chunk_rows in [7, 64, 1000] {
+        assert_eq!(reference, fit_at(chunk_rows), "chunk_rows {chunk_rows}");
+    }
+    // The sampled model still learns the signal.
+    let cm = ChunkedMatrix::from_matrix(&x, 64);
+    let mut m = GradientBoosting::new(cfg);
+    m.fit_chunked(&cm, &y, Task::Regression, 50).unwrap();
+    let r2 = {
+        let p = m.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_res: f64 = y.iter().zip(&p).map(|(t, q)| (t - q).powi(2)).sum();
+        let ss_tot: f64 = y.iter().map(|t| (t - mean).powi(2)).sum();
+        1.0 - ss_res / ss_tot
+    };
+    assert!(r2 > 0.8, "sampled-edge fit r2 = {r2}");
+}
+
+#[test]
+fn exact_configurations_delegate_to_the_dense_fit() {
+    let x = matrix(100);
+    let y = regression_target(&x);
+    let mut cfg = lgbm_config(1.0);
+    cfg.histogram = false;
+    cfg.max_depth = 3;
+    cfg.kind = EstimatorKind::XgBoost;
+    let mut dense = GradientBoosting::new(cfg.clone());
+    dense.fit(&x, &y, Task::Regression).unwrap();
+    let cm = ChunkedMatrix::from_matrix(&x, 16);
+    let mut chunked = GradientBoosting::new(cfg);
+    chunked
+        .fit_chunked(&cm, &y, Task::Regression, 10_000)
+        .unwrap();
+    assert_eq!(predict_bits(&dense, &x), predict_bits(&chunked, &x));
+}
+
+#[test]
+fn chunked_fit_validates_inputs() {
+    let x = matrix(10);
+    let cm = ChunkedMatrix::from_matrix(&x, 4);
+    let mut m = GradientBoosting::new(lgbm_config(1.0));
+    // Target length mismatch.
+    assert!(m
+        .fit_chunked(&cm, &[0.0; 3], Task::Regression, 100)
+        .is_err());
+    // NaN features are rejected just like the dense path.
+    let mut bad = matrix(10);
+    bad.set(3, 2, f64::NAN);
+    let bad_cm = ChunkedMatrix::from_matrix(&bad, 4);
+    assert!(m
+        .fit_chunked(&bad_cm, &[0.0; 10], Task::Regression, 100)
+        .is_err());
+}

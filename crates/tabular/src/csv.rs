@@ -11,6 +11,7 @@ use crate::error::TabularError;
 use crate::frame::DataFrame;
 use crate::infer::infer_column;
 use crate::Result;
+use std::borrow::Cow;
 
 /// A parsed CSV document: a header row plus raw string cells.
 /// Empty cells are `None` (missing).
@@ -22,50 +23,61 @@ pub struct RawCsv {
     pub cells: Vec<Vec<Option<String>>>,
 }
 
-/// Parses a CSV document with a header row. Supports quoted fields with
-/// embedded commas, newlines, and doubled quotes; both `\n` and `\r\n` line
-/// endings are accepted.
-pub fn read_csv_str(input: &str) -> Result<RawCsv> {
-    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
-    let mut field = String::new();
-    let mut record: Vec<Option<String>> = Vec::new();
+/// One record located by [`scan_records`]: the byte range of its content
+/// (record terminator excluded) and the 1-based source line its first byte
+/// is on. Quoted fields may make the range span several source lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RecordSpan {
+    /// First content byte.
+    pub start: usize,
+    /// One past the last content byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+}
+
+/// Locates record boundaries without materializing any field: a quote-aware
+/// scan that ends records at unquoted `\n`, `\r\n`, or bare `\r`. All
+/// structural errors the field parser could hit (a quote opening inside a
+/// non-empty unquoted field, an unterminated quoted field) are detected
+/// here, at the same source line the legacy single-pass machine reported,
+/// so [`parse_span`] on a returned span cannot fail. This is the piece the
+/// chunked reader parallelizes over: spans are cheap to compute
+/// sequentially and parse independently.
+pub(crate) fn scan_records(input: &str) -> Result<Vec<RecordSpan>> {
+    let mut spans = Vec::new();
     let mut in_quotes = false;
+    // Any content char accumulated in the current field (quoted or not).
+    let mut field_has_content = false;
     let mut field_was_quoted = false;
+    // A `,` has finished at least one field in the current record.
+    let mut record_has_fields = false;
+    let mut record_start = 0usize;
+    let mut record_line = 1usize;
     let mut line = 1usize;
-    let mut chars = input.chars().peekable();
-
-    fn finish_field(field: &mut String, quoted: &mut bool, record: &mut Vec<Option<String>>) {
-        let value = std::mem::take(field);
-        if value.is_empty() && !*quoted {
-            record.push(None);
-        } else {
-            record.push(Some(value));
-        }
-        *quoted = false;
-    }
-
-    while let Some(ch) = chars.next() {
+    let mut chars = input.char_indices().peekable();
+    while let Some((i, ch)) = chars.next() {
         if in_quotes {
             match ch {
                 '"' => {
-                    if chars.peek() == Some(&'"') {
+                    if chars.peek().map(|&(_, c)| c) == Some('"') {
                         chars.next();
-                        field.push('"');
+                        field_has_content = true;
                     } else {
                         in_quotes = false;
                     }
                 }
                 '\n' => {
-                    field.push(ch);
+                    field_has_content = true;
                     line += 1;
                 }
-                _ => field.push(ch),
+                _ => field_has_content = true,
             }
             continue;
         }
         match ch {
             '"' => {
-                if !field.is_empty() {
+                if field_has_content {
                     return Err(TabularError::Csv {
                         line,
                         message: "quote inside unquoted field".into(),
@@ -74,22 +86,50 @@ pub fn read_csv_str(input: &str) -> Result<RawCsv> {
                 in_quotes = true;
                 field_was_quoted = true;
             }
-            ',' => finish_field(&mut field, &mut field_was_quoted, &mut record),
+            ',' => {
+                record_has_fields = true;
+                field_has_content = false;
+                field_was_quoted = false;
+            }
             '\r' => {
-                // Consumed as part of \r\n; a bare \r is treated as a newline.
-                if chars.peek() == Some(&'\n') {
+                // Consumed as part of \r\n (the following \n ends the
+                // record and excludes this byte); a bare \r is a newline.
+                if chars.peek().map(|&(_, c)| c) == Some('\n') {
                     continue;
                 }
-                finish_field(&mut field, &mut field_was_quoted, &mut record);
-                rows.push(std::mem::take(&mut record));
+                spans.push(RecordSpan {
+                    start: record_start,
+                    end: i,
+                    line: record_line,
+                });
+                record_start = i + 1;
                 line += 1;
+                record_line = line;
+                field_has_content = false;
+                field_was_quoted = false;
+                record_has_fields = false;
             }
             '\n' => {
-                finish_field(&mut field, &mut field_was_quoted, &mut record);
-                rows.push(std::mem::take(&mut record));
+                // A directly preceding \r was skipped above and is not
+                // part of the record content.
+                let end = if i > record_start && input.as_bytes()[i - 1] == b'\r' {
+                    i - 1
+                } else {
+                    i
+                };
+                spans.push(RecordSpan {
+                    start: record_start,
+                    end,
+                    line: record_line,
+                });
+                record_start = i + 1;
                 line += 1;
+                record_line = line;
+                field_has_content = false;
+                field_was_quoted = false;
+                record_has_fields = false;
             }
-            _ => field.push(ch),
+            _ => field_has_content = true,
         }
     }
     if in_quotes {
@@ -98,42 +138,213 @@ pub fn read_csv_str(input: &str) -> Result<RawCsv> {
             message: "unterminated quoted field".into(),
         });
     }
-    if !field.is_empty() || field_was_quoted || !record.is_empty() {
-        finish_field(&mut field, &mut field_was_quoted, &mut record);
-        rows.push(record);
+    if field_has_content || field_was_quoted || record_has_fields {
+        spans.push(RecordSpan {
+            start: record_start,
+            end: input.len(),
+            line: record_line,
+        });
     }
-
-    let mut iter = rows.into_iter();
-    let header_row = iter.next().ok_or(TabularError::Empty("csv document"))?;
-    let header: Vec<String> = header_row
-        .into_iter()
-        .enumerate()
-        .map(|(i, h)| h.unwrap_or_else(|| format!("col{i}")))
-        .collect();
-    let mut cells = Vec::new();
-    for (i, row) in iter.enumerate() {
-        if row.len() != header.len() {
-            return Err(TabularError::Csv {
-                line: i + 2,
-                message: format!("expected {} fields, found {}", header.len(), row.len()),
-            });
-        }
-        cells.push(row);
-    }
-    Ok(RawCsv { header, cells })
+    Ok(spans)
 }
 
-/// Parses a CSV document and infers a typed [`DataFrame`] from it.
+/// Parses one record span into fields. Unquoted fields (and quoted fields
+/// without escaped quotes) borrow directly from `input`; only fields whose
+/// content is non-contiguous in the source (doubled quotes, text resuming
+/// after a closing quote) allocate. Empty-unquoted is `None` (missing),
+/// quoted-empty is `Some("")` — same semantics as the legacy machine.
+pub(crate) fn parse_span(input: &str, span: RecordSpan) -> Result<Vec<Option<Cow<'_, str>>>> {
+    let content = &input[span.start..span.end];
+    let mut record: Vec<Option<Cow<'_, str>>> = Vec::new();
+    let mut line = span.line;
+    // Field representation: a contiguous byte range of `content` until the
+    // content goes non-contiguous, then an owned spill buffer.
+    let mut seg: Option<(usize, usize)> = None;
+    let mut owned: Option<String> = None;
+    let mut field_was_quoted = false;
+    let mut in_quotes = false;
+    let mut chars = content.char_indices().peekable();
+
+    fn push_char(
+        content: &str,
+        seg: &mut Option<(usize, usize)>,
+        owned: &mut Option<String>,
+        i: usize,
+        ch: char,
+    ) {
+        if let Some(buf) = owned {
+            buf.push(ch);
+            return;
+        }
+        match seg {
+            None => *seg = Some((i, i + ch.len_utf8())),
+            Some((start, end)) => {
+                if *end == i {
+                    *end = i + ch.len_utf8();
+                } else {
+                    let mut buf = content[*start..*end].to_string();
+                    buf.push(ch);
+                    *owned = Some(buf);
+                }
+            }
+        }
+    }
+
+    fn finish_field<'a>(
+        content: &'a str,
+        seg: &mut Option<(usize, usize)>,
+        owned: &mut Option<String>,
+        quoted: &mut bool,
+        record: &mut Vec<Option<Cow<'a, str>>>,
+    ) {
+        let value = match (owned.take(), seg.take()) {
+            (Some(buf), _) => Some(Cow::Owned(buf)),
+            (None, Some((start, end))) => Some(Cow::Borrowed(&content[start..end])),
+            (None, None) => {
+                if *quoted {
+                    Some(Cow::Borrowed(""))
+                } else {
+                    None
+                }
+            }
+        };
+        record.push(value);
+        *quoted = false;
+    }
+
+    while let Some((i, ch)) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek().map(|&(_, c)| c) == Some('"') {
+                        // Escaped quote: the first quote of the pair is at
+                        // `i`, so a contiguous segment can still absorb it;
+                        // the skipped second quote forces a spill only when
+                        // more content follows.
+                        push_char(content, &mut seg, &mut owned, i, '"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    push_char(content, &mut seg, &mut owned, i, ch);
+                    line += 1;
+                }
+                _ => push_char(content, &mut seg, &mut owned, i, ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if seg.is_some() || owned.is_some() {
+                    return Err(TabularError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+                field_was_quoted = true;
+            }
+            ',' => finish_field(
+                content,
+                &mut seg,
+                &mut owned,
+                &mut field_was_quoted,
+                &mut record,
+            ),
+            _ => push_char(content, &mut seg, &mut owned, i, ch),
+        }
+    }
+    if in_quotes {
+        // Unreachable for spans produced by scan_records (records only end
+        // outside quotes), kept as a typed error for defense in depth.
+        return Err(TabularError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    finish_field(
+        content,
+        &mut seg,
+        &mut owned,
+        &mut field_was_quoted,
+        &mut record,
+    );
+    Ok(record)
+}
+
+/// Derives header names from the parsed header record: missing cells get
+/// positional `col{i}` names.
+pub(crate) fn header_names(header_row: Vec<Option<Cow<'_, str>>>) -> Vec<String> {
+    header_row
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| h.map(Cow::into_owned).unwrap_or_else(|| format!("col{i}")))
+        .collect()
+}
+
+/// The ragged-row error the legacy reader raised: record index `i` (0-based
+/// among data rows) reports as line `i + 2`.
+pub(crate) fn ragged_row_error(index: usize, expected: usize, found: usize) -> TabularError {
+    TabularError::Csv {
+        line: index + 2,
+        message: format!("expected {expected} fields, found {found}"),
+    }
+}
+
+/// A fully parsed document with borrowed cells: the zero-copy core shared
+/// by [`read_csv_str`], [`read_frame`] and the chunked reader.
+struct ParsedCsv<'a> {
+    header: Vec<String>,
+    rows: Vec<Vec<Option<Cow<'a, str>>>>,
+}
+
+fn parse_csv(input: &str) -> Result<ParsedCsv<'_>> {
+    let spans = scan_records(input)?;
+    let mut iter = spans.into_iter();
+    let header_span = iter.next().ok_or(TabularError::Empty("csv document"))?;
+    let header = header_names(parse_span(input, header_span)?);
+    let mut rows = Vec::new();
+    for (i, span) in iter.enumerate() {
+        let row = parse_span(input, span)?;
+        if row.len() != header.len() {
+            return Err(ragged_row_error(i, header.len(), row.len()));
+        }
+        rows.push(row);
+    }
+    Ok(ParsedCsv { header, rows })
+}
+
+/// Parses a CSV document with a header row. Supports quoted fields with
+/// embedded commas, newlines, and doubled quotes; both `\n` and `\r\n` line
+/// endings are accepted.
+pub fn read_csv_str(input: &str) -> Result<RawCsv> {
+    let parsed = parse_csv(input)?;
+    let cells = parsed
+        .rows
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c.map(Cow::into_owned)).collect())
+        .collect();
+    Ok(RawCsv {
+        header: parsed.header,
+        cells,
+    })
+}
+
+/// Parses a CSV document and infers a typed [`DataFrame`] from it. Cells
+/// stay borrowed from `input` until typed decode — no per-cell `String` is
+/// allocated for unquoted fields.
 pub fn read_frame(input: &str) -> Result<DataFrame> {
-    let raw = read_csv_str(input)?;
-    let ncols = raw.header.len();
+    let parsed = parse_csv(input)?;
+    let ncols = parsed.header.len();
     let mut frame = DataFrame::new();
     for c in 0..ncols {
-        let values: Vec<Option<&str>> = raw.cells.iter().map(|row| row[c].as_deref()).collect();
+        let values: Vec<Option<&str>> = parsed.rows.iter().map(|row| row[c].as_deref()).collect();
         let column = infer_column(&values);
         // Duplicate headers get positional suffixes rather than failing;
         // keep extending until unique (a file may already contain `a.1`).
-        let mut name = raw.header[c].clone();
+        let mut name = parsed.header[c].clone();
         while frame.names().contains(&name) {
             name = format!("{name}.{c}");
         }
@@ -253,6 +464,44 @@ mod tests {
     fn duplicate_headers_get_suffixes() {
         let f = read_frame("a,a\n1,2\n").unwrap();
         assert_eq!(f.names(), &["a".to_string(), "a.1".to_string()]);
+    }
+
+    #[test]
+    fn borrowed_cells_for_unquoted_fields() {
+        let input = "a,b\nplain,\"quo,ted\"\n\"he said \"\"hi\"\"\",tail\n";
+        let spans = scan_records(input).unwrap();
+        assert_eq!(spans.len(), 3);
+        let row1 = parse_span(input, spans[1]).unwrap();
+        assert!(matches!(row1[0], Some(Cow::Borrowed("plain"))));
+        assert!(matches!(row1[1], Some(Cow::Borrowed("quo,ted"))));
+        let row2 = parse_span(input, spans[2]).unwrap();
+        // Doubled quotes force an owned spill; the value is unchanged.
+        assert_eq!(row2[0].as_deref(), Some("he said \"hi\""));
+        assert!(matches!(row2[0], Some(Cow::Owned(_))));
+        assert!(matches!(row2[1], Some(Cow::Borrowed("tail"))));
+    }
+
+    #[test]
+    fn scanner_matches_machine_on_bare_cr_and_blank_lines() {
+        // Bare \r ends a record; "\r\n" is one terminator; a lone "\n"
+        // yields a single missing field (the legacy machine's behavior).
+        let raw = read_csv_str("a\rx\r\ny\n").unwrap();
+        assert_eq!(raw.header, vec!["a"]);
+        assert_eq!(raw.cells.len(), 2);
+        assert_eq!(raw.cells[0][0].as_deref(), Some("x"));
+        let raw2 = read_csv_str("\n\n").unwrap();
+        assert_eq!(raw2.header, vec!["col0"]);
+        assert_eq!(raw2.cells.len(), 1);
+        assert_eq!(raw2.cells[0][0], None);
+    }
+
+    #[test]
+    fn text_after_closing_quote_joins_field() {
+        let raw = read_csv_str("a\n\"x\"y\n").unwrap();
+        assert_eq!(raw.cells[0][0].as_deref(), Some("xy"));
+        // ...but a quote opening after content is still an error.
+        let err = read_csv_str("a\nx\"y\"\n").unwrap_err();
+        assert!(matches!(err, TabularError::Csv { line: 2, .. }));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   and meta-feature components,
 //! * [`parallel`] — the [`effective_parallelism`] worker-count clamp every
 //!   rayon entry point in the workspace consults,
+//! * [`chunk`] — [`ChunkedFrame`], the out-of-core chunked columnar
+//!   substrate with deterministic row sampling and streamed statistics,
+//! * [`stream`] — chunk-parallel CSV ingest, bit-identical to the
+//!   in-memory reader at any chunk size × worker count,
 //! * [`Dataset`] — a feature frame plus a supervised target.
 //!
 //! Everything is deterministic given an RNG seed; nothing performs I/O
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod dataset;
@@ -35,7 +40,9 @@ pub mod infer;
 pub mod parallel;
 pub mod split;
 pub mod stats;
+pub mod stream;
 
+pub use chunk::{concat_column, row_priority, sample_rows, ChunkedFrame};
 pub use column::{Column, ColumnKind};
 pub use dataset::{Dataset, Task};
 pub use error::TabularError;
@@ -44,6 +51,9 @@ pub use infer::{infer_column, infer_task};
 pub use parallel::effective_parallelism;
 pub use split::{kfold, stratified_kfold, train_test_split};
 pub use stats::{fnv1a, ColumnStats};
+pub use stream::{
+    read_chunked, read_chunked_with_report, read_frame_chunked, ChunkedReadOptions, IngestReport,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TabularError>;

@@ -174,6 +174,18 @@ mod tests {
         let core = cfg.crates.iter().find(|c| c.path == "crates/core").unwrap();
         assert!(core.panic_file_in_scope("src/predict.rs"));
         assert!(!core.panic_file_in_scope("src/train.rs"));
+        // The chunked engine (stream.rs/chunk.rs) rides the tabular
+        // crate's full compute rule set: its rayon pool must be clamped
+        // and its accumulator merges must iterate deterministically.
+        let tabular = cfg
+            .crates
+            .iter()
+            .find(|c| c.path == "crates/tabular")
+            .unwrap();
+        assert!(tabular.parsed_rules().contains(&Rule::UnclampedRayon));
+        assert!(tabular
+            .parsed_rules()
+            .contains(&Rule::NondeterministicIteration));
         let embeddings = cfg
             .crates
             .iter()

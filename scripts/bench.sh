@@ -8,7 +8,11 @@
 #   BENCH_embeddings.json — similarity tiers (build secs, insert/sec, QPS,
 #                           recall@10 per tier; KGPIP_BENCH_EMBED_N sizes
 #                           the catalog, default 100K)
-#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json] [serve_out.json] [embeddings_out.json]
+#   BENCH_tabular.json  — chunked tabular engine (ingest rows/sec vs
+#                         read_frame at p1/p2/p4 + bounded mode with its
+#                         resident-chunk cap, GBT chunk-fit vs dense fit,
+#                         sampled vs in-memory table embeddings)
+#   scripts/bench.sh [graphgen_out.json] [hpo_out.json] [mining_out.json] [serve_out.json] [embeddings_out.json] [tabular_out.json]
 #
 # Guard: parallel arms (pN mining, p4/p8 HPO, multi-worker serving) are
 # requested worker counts, not guarantees. Every rayon entry point clamps
@@ -24,6 +28,7 @@ hpo_out="${2:-BENCH_hpo.json}"
 mining_out="${3:-BENCH_mining.json}"
 serve_out="${4:-BENCH_serve.json}"
 embeddings_out="${5:-BENCH_embeddings.json}"
+tabular_out="${6:-BENCH_tabular.json}"
 
 # Runs one criterion bench target and folds its `BENCH_JSON {...}` lines
 # (one per benchmark, printed by the vendored criterion plus any summary
@@ -52,3 +57,4 @@ run_suite hpo_parallel "$hpo_out"
 run_suite corpus_mining "$mining_out"
 run_suite serve_bench "$serve_out"
 run_suite embeddings "$embeddings_out"
+run_suite tabular_chunked "$tabular_out"

@@ -25,6 +25,10 @@ cargo test -p kgpip-nn --test props -q
 cargo test -p kgpip-learners --test gbt_determinism -q
 cargo test -p kgpip --test mining_determinism -q
 
+echo "==> chunked-identity suite (chunking changes cost, never results)"
+cargo test -p kgpip-tabular --test chunked_identity -q
+cargo test -p kgpip-learners --test gbt_chunked -q
+
 echo "==> similarity-tier suite (HNSW determinism; mapped ≡ owned; recall gate)"
 cargo test -p kgpip-embeddings --test hnsw -q
 cargo test -p kgpip-benchdata --test recall -q

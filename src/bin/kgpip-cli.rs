@@ -5,6 +5,9 @@
 //! kgpip-cli train   --scripts DIR --tables DIR --out model.kgps [--epochs N] [--seed S]
 //! kgpip-cli snapshot --model model.json --out model.kgps
 //! kgpip-cli predict --model model.kgps --data data.csv --target COL [--k 3]
+//! kgpip-cli predict --model model.kgps --data big.csv --chunked
+//!                   [--chunk-rows 8192] [--workers N]
+//!                   [--task binary|multiclass:N|regression] [--k 3]
 //! kgpip-cli run     --model model.kgps --data data.csv --target COL
 //!                   [--budget-secs 30] [--trials 100] [--backend flaml|autosklearn]
 //!                   [--k 3] [--parallelism N]
@@ -30,6 +33,15 @@
 //! `serve` starts the batched prediction service and reads requests from
 //! stdin, one CSV path per line; each line is answered with the top-K
 //! pipeline skeletons for that table.
+//!
+//! `predict --chunked` is the larger-than-RAM path: the CSV is ingested
+//! through the streaming chunked reader (`--chunk-rows` rows per chunk,
+//! `--workers` parse workers, bounded resident buffers) and the table is
+//! embedded from chunk statistics plus a bounded row sample — the
+//! assembled `DataFrame` is never materialized. No `--target` is needed;
+//! pass the task kind via `--task` (default `binary`). For tables at or
+//! below the embedding sample bound the predictions are bit-identical to
+//! the in-memory path on the same columns.
 //!
 //! `lint-corpus` generates a synthetic corpus, runs the recovering
 //! analyzer + filter over every script, and verifies the graph-lint
@@ -78,7 +90,7 @@ fn main() {
     let result = match command {
         "train" => cmd_train(&flag),
         "snapshot" => cmd_snapshot(&flag),
-        "predict" => cmd_predict(&flag),
+        "predict" => cmd_predict(&args, &flag),
         "run" => cmd_run(&flag),
         "serve" => cmd_serve(&flag),
         "demo" => cmd_demo(&flag),
@@ -211,19 +223,57 @@ fn load_dataset(
     )?)
 }
 
-fn cmd_predict(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
+/// Parses the `--task` flag shared by `predict --chunked` and `serve`.
+fn parse_task(spec: Option<&str>) -> Result<Task, String> {
+    match spec {
+        None | Some("binary") => Ok(Task::Binary),
+        Some("regression") => Ok(Task::Regression),
+        Some(spec) => match spec
+            .strip_prefix("multiclass:")
+            .and_then(|n| n.parse().ok())
+        {
+            Some(classes) => Ok(Task::MultiClass(classes)),
+            None => Err(format!("unknown task {spec}")),
+        },
+    }
+}
+
+fn cmd_predict(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     let model_path = require(flag, "--model")?;
     let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
     let model = TrainedModel::open(&model_path)?;
-    let ds = load_dataset(flag)?;
-    eprintln!(
-        "dataset: {} rows, {} features, task {}",
-        ds.num_rows(),
-        ds.num_features(),
-        ds.task
-    );
     let caps = Flaml::new(0).capabilities();
-    let (skeletons, neighbour) = model.predict_skeletons(&ds, k, &caps, 0)?;
+    let (skeletons, neighbour) = if args.iter().any(|a| a == "--chunked") {
+        // Larger-than-RAM path: chunked ingest with bounded resident parse
+        // buffers, then embedding from chunk statistics — the assembled
+        // frame never exists.
+        let data = require(flag, "--data")?;
+        let task = parse_task(flag("--task").as_deref())?;
+        let opts = kgpip_tabular::ChunkedReadOptions {
+            chunk_rows: flag("--chunk-rows")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8192),
+            parallelism: flag("--workers").and_then(|v| v.parse().ok()).unwrap_or(1),
+            bounded_memory: true,
+        };
+        let text = std::fs::read_to_string(&data)?;
+        let (frame, report) = kgpip_tabular::read_chunked_with_report(&text, &opts)?;
+        drop(text);
+        eprintln!(
+            "chunked ingest: {} rows in {} chunk(s) of ≤ {} rows on {} worker(s), peak {} resident chunk(s)",
+            report.rows, report.chunks, opts.chunk_rows, report.workers, report.peak_resident_chunks
+        );
+        model.predict_table_chunked(&frame, task, k, &caps, 0)?
+    } else {
+        let ds = load_dataset(flag)?;
+        eprintln!(
+            "dataset: {} rows, {} features, task {}",
+            ds.num_rows(),
+            ds.num_features(),
+            ds.task
+        );
+        model.predict_skeletons(&ds, k, &caps, 0)?
+    };
     println!("nearest seen dataset: {neighbour}");
     for (i, (s, score)) in skeletons.iter().enumerate() {
         println!(
@@ -304,17 +354,7 @@ fn cmd_serve(flag: &impl Fn(&str) -> Option<String>) -> CliResult {
     let batch: usize = flag("--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
     let k: usize = flag("--k").and_then(|v| v.parse().ok()).unwrap_or(3);
     let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
-    let task = match flag("--task").as_deref() {
-        None | Some("binary") => Task::Binary,
-        Some("regression") => Task::Regression,
-        Some(spec) => match spec
-            .strip_prefix("multiclass:")
-            .and_then(|n| n.parse().ok())
-        {
-            Some(classes) => Task::MultiClass(classes),
-            None => return Err(format!("unknown task {spec}").into()),
-        },
-    };
+    let task = parse_task(flag("--task").as_deref())?;
 
     let model = TrainedModel::open(&model_path)?;
     eprintln!(
