@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic  b"KGPS"                      (4 bytes)
-//! u32    format version               (currently 2)
+//! u32    format version               (currently 3)
 //! then length-prefixed sections until end of input:
 //!   u32 tag, u64 payload length, payload bytes
 //!     tag 1  system config            (KgpipConfig, JSON — tiny)
@@ -30,9 +30,10 @@
 //! fails loudly instead of decoding garbage pipelines.
 //!
 //! Version history: v2 extended the tag-5 index payload with an optional
-//! trailing HNSW graph block. `VectorIndex::from_bytes` tolerates the
-//! tail's absence, so this build still reads v1 snapshots; it always
-//! writes v2.
+//! trailing HNSW graph block; v3 appended an optional product-quantized
+//! store (codebooks + code matrix) after it. `VectorIndex::from_bytes`
+//! tolerates each tail's absence, so this build still reads v1 and v2
+//! snapshots; it always writes v3.
 //!
 //! [`Kgpip::save`]: crate::Kgpip::save
 
@@ -66,10 +67,10 @@ impl Snapshot {
     /// File magic identifying a KGpip binary snapshot.
     pub const MAGIC: [u8; 4] = *b"KGPS";
     /// The snapshot format version this build writes.
-    pub const FORMAT_VERSION: u32 = 2;
+    pub const FORMAT_VERSION: u32 = 3;
     /// The oldest snapshot format version this build still reads (v1
-    /// lacks the HNSW tail in the index section, which the index decoder
-    /// tolerates).
+    /// lacks the HNSW tail in the index section and v2 lacks the PQ tail
+    /// after it; the index decoder tolerates both absences).
     pub const MIN_READ_VERSION: u32 = 1;
 
     /// Parses a snapshot from bytes produced by

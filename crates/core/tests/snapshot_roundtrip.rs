@@ -215,10 +215,14 @@ fn reader_accepts_version_1_snapshots() {
         let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
         let payload = &bytes[pos + 12..pos + 12 + len];
         let payload = if tag == 5 {
-            // Drop the trailing HNSW tag byte (0 = no graph) to recover
-            // the v1 index layout.
-            assert_eq!(*payload.last().unwrap(), 0, "fixture expects no graph");
-            &payload[..len - 1]
+            // Drop the trailing PQ and HNSW tag bytes (0 = absent, 0 =
+            // no graph) to recover the v1 index layout.
+            assert_eq!(
+                &payload[len - 2..],
+                &[0, 0],
+                "fixture expects no graph and no PQ store"
+            );
+            &payload[..len - 2]
         } else {
             payload
         };
@@ -231,6 +235,37 @@ fn reader_accepts_version_1_snapshots() {
     assert_eq!(snapshot.version, 1);
     assert!(!snapshot.model.index().has_hnsw());
     assert_eq!(snapshot.model.catalog_len(), artifact.catalog_len());
+}
+
+#[test]
+fn quantized_artifacts_snapshot_roundtrip() {
+    use kgpip_embeddings::PqConfig;
+    let mut artifact = trained_artifact();
+    // Tiny catalog, tiny geometry — the round-trip mechanics are what's
+    // under test, not recall.
+    artifact
+        .quantize_index(PqConfig {
+            m: 4,
+            rerank: 8,
+            seed: 0,
+        })
+        .unwrap();
+    assert!(artifact.index().is_quantized());
+    let bytes = artifact.snapshot_bytes().unwrap();
+    let snapshot = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snapshot.version, Snapshot::FORMAT_VERSION);
+    assert!(snapshot.model.index().is_quantized());
+    assert_eq!(
+        snapshot.model.snapshot_bytes().unwrap(),
+        bytes,
+        "quantized snapshots must round-trip bit-for-bit"
+    );
+    // The quantized catalog answers nearest-dataset lookups identically:
+    // with rerank × k covering the 3-entry catalog, answers are exact.
+    let frame = table_like(900.0, 28);
+    let direct = artifact.register_dataset("delta", &frame).unwrap();
+    let (name, _) = artifact.nearest_by_embedding(&direct).unwrap();
+    assert_eq!(name, "delta", "registered vector is served from codes");
 }
 
 #[test]

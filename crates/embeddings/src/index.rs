@@ -12,6 +12,7 @@
 
 use crate::column::cosine;
 use crate::hnsw::{Hnsw, HnswConfig, SliceSource};
+use crate::pq::{par_map_indices, AdcSource, Pq, PqConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -37,6 +38,48 @@ impl std::fmt::Display for IndexTier {
     }
 }
 
+/// Resident byte accounting for a vector index, per storage component —
+/// so the PQ memory win is a tracked number, not a claim. Reported by
+/// `kgpip-cli index stats` and the embeddings bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// The active search tier.
+    pub tier: IndexTier,
+    /// True when a product-quantized store backs the tier's scans.
+    pub quantized: bool,
+    /// Catalog size.
+    pub count: usize,
+    /// Embedding dimensionality (of the first vector; 0 when empty).
+    pub dim: usize,
+    /// Bytes of the full-precision `f64` vector block.
+    pub vector_bytes: usize,
+    /// Bytes of IVF state (centroids + member lists).
+    pub ivf_bytes: usize,
+    /// Bytes of the HNSW adjacency (serialized size — the graph stores
+    /// no vectors).
+    pub hnsw_bytes: usize,
+    /// Bytes of the PQ state (code matrix + codebooks) — the block a
+    /// quantized scan actually reads.
+    pub pq_bytes: usize,
+}
+
+impl IndexStats {
+    /// Total resident bytes across all components.
+    pub fn resident_bytes(&self) -> usize {
+        self.vector_bytes + self.ivf_bytes + self.hnsw_bytes + self.pq_bytes
+    }
+
+    /// Bytes the active tier's candidate scan touches per full pass: the
+    /// code matrix when quantized, the `f64` block otherwise.
+    pub fn scan_bytes(&self) -> usize {
+        if self.quantized {
+            self.pq_bytes
+        } else {
+            self.vector_bytes
+        }
+    }
+}
+
 /// A named-vector index with exact, IVF-approximate, and HNSW-approximate
 /// top-k search.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -49,6 +92,19 @@ pub struct VectorIndex {
     /// stay in `vectors`). Absent in pre-HNSW serialized indexes.
     #[serde(default)]
     pub(crate) hnsw: Option<Hnsw>,
+    /// Product-quantization state: per-subspace codebooks plus the `u8`
+    /// code matrix. A storage/scoring layer under the tiers, not a tier —
+    /// when present, beam/list scans read codes and the top `rerank × k`
+    /// candidates are re-ranked with exact cosine. Absent in pre-PQ
+    /// serialized indexes.
+    #[serde(default)]
+    pub(crate) pq: Option<Pq>,
+    /// Requested worker count for k-means assignment and PQ encoding
+    /// (clamped through `effective_parallelism`; 0 means sequential).
+    /// Ephemeral build-time state — any value produces bit-identical
+    /// results, so round-tripping it is harmless.
+    #[serde(default)]
+    parallelism: usize,
 }
 
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -70,6 +126,13 @@ impl VectorIndex {
     /// descent wins.
     pub const HNSW_AUTO_THRESHOLD: usize = 4096;
 
+    /// Catalog size at which [`VectorIndex::auto_tune`] additionally
+    /// quantizes the vector store ([`PqConfig::default`]): below this the
+    /// full-`f64` block fits comfortably in cache and PQ's codebook
+    /// training isn't worth the build time; at and above it the compact
+    /// code matrix keeps beam scans cache-resident.
+    pub const PQ_AUTO_THRESHOLD: usize = 100_000;
+
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
@@ -84,19 +147,38 @@ impl VectorIndex {
         self.vectors.push(vector);
         self.ivf = None;
         self.hnsw = None;
+        self.pq = None;
+    }
+
+    /// Sets the requested worker count for k-means assignment and PQ
+    /// encoding (clamped through `effective_parallelism`; 0 or 1 means
+    /// sequential). Parallelism changes build *cost* only — results are
+    /// bit-identical at any setting.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers;
+    }
+
+    /// The requested build worker count (0 means sequential).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Registers a named vector online, extending whichever tier is
     /// active instead of invalidating it: HNSW gets an incremental
     /// [`Hnsw::insert`] (bit-identical to a from-scratch rebuild with the
     /// same order), IVF assigns the vector to its nearest centroid
-    /// without re-running k-means, and the exact tier just appends.
+    /// without re-running k-means, and the exact tier just appends. A
+    /// quantized store encodes the new vector against the frozen
+    /// codebooks — no retrain.
     pub fn register(&mut self, name: impl Into<String>, vector: Vec<f64>) {
         self.names.push(name.into());
         self.vectors.push(vector);
         if let Some(mut hnsw) = self.hnsw.take() {
             hnsw.insert(&SliceSource(&self.vectors));
             self.hnsw = Some(hnsw);
+        }
+        if let (Some(pq), Some(v)) = (&mut self.pq, self.vectors.last()) {
+            pq.append(v);
         }
         let id = self.vectors.len() - 1;
         if let (Some(ivf), Some(v)) = (&mut self.ivf, self.vectors.last()) {
@@ -170,42 +252,52 @@ impl VectorIndex {
             .iter()
             .map(|&i| self.vectors[i].clone())
             .collect();
+        let vectors = &self.vectors;
         let mut assignment = vec![0usize; n];
         for _iter in 0..20 {
-            let mut changed = false;
-            for (i, v) in self.vectors.iter().enumerate() {
-                let best = centroids
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| {
-                        cosine(v, a.1)
-                            .total_cmp(&cosine(v, b.1))
-                            .then_with(|| b.0.cmp(&a.0))
-                    })
-                    .map(|(c, _)| c)
-                    .unwrap_or(0);
-                if assignment[i] != best {
-                    assignment[i] = best;
-                    changed = true;
-                }
-            }
-            // Recompute centroids as member means.
-            for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
-                if members.is_empty() {
-                    continue;
-                }
-                let dim = centroid.len();
-                let mut mean = vec![0.0; dim];
-                for &m in &members {
-                    for (s, x) in mean.iter_mut().zip(&self.vectors[m]) {
+            // Assignment is embarrassingly parallel: each vector's best
+            // centroid is independent, and `par_map_indices` reduces in
+            // input order, so any worker count is bit-identical to the
+            // sequential scan.
+            let next: Vec<usize> = par_map_indices(n, self.parallelism, |i| {
+                vectors.get(i).map_or(0, |v| {
+                    centroids
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| {
+                            cosine(v, a.1)
+                                .total_cmp(&cosine(v, b.1))
+                                .then_with(|| b.0.cmp(&a.0))
+                        })
+                        .map(|(c, _)| c)
+                        .unwrap_or(0)
+                })
+            });
+            let changed = next != assignment;
+            assignment = next;
+            // Recompute centroids as member means in one pass over the
+            // catalog: per-centroid sums accumulate in ascending id order
+            // (the same fold order as a per-centroid member walk), so the
+            // result is bit-identical to the old O(nlist·n) recompute.
+            let mut sums: Vec<Vec<f64>> = centroids.iter().map(|c| vec![0.0; c.len()]).collect();
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, &c) in assignment.iter().enumerate() {
+                if let (Some(sum), Some(v)) = (sums.get_mut(c), vectors.get(i)) {
+                    for (s, x) in sum.iter_mut().zip(v) {
                         *s += x;
                     }
                 }
-                for s in &mut mean {
-                    *s /= members.len() as f64;
+                if let Some(cnt) = counts.get_mut(c) {
+                    *cnt += 1;
                 }
-                *centroid = mean;
+            }
+            for ((centroid, sum), &cnt) in centroids.iter_mut().zip(sums).zip(&counts) {
+                if cnt == 0 {
+                    continue;
+                }
+                for (dst, s) in centroid.iter_mut().zip(sum) {
+                    *dst = s / cnt as f64;
+                }
             }
             if !changed {
                 break;
@@ -263,36 +355,175 @@ impl VectorIndex {
     /// `n ≥ 4096` builds a default-parameter HNSW graph seeded with
     /// `seed`. Returns the chosen tier. The losing tiers are dropped so
     /// [`VectorIndex::tier`] always reflects the policy's pick.
+    ///
+    /// Orthogonally, catalogs of [`VectorIndex::PQ_AUTO_THRESHOLD`] or
+    /// more vectors also get a product-quantized vector store
+    /// ([`PqConfig::default`] geometry, this `seed`) so the tier's scans
+    /// read compact codes; smaller catalogs drop any quantization.
     pub fn auto_tune(&mut self, seed: u64) -> IndexTier {
         let n = self.vectors.len();
-        if n >= Self::HNSW_AUTO_THRESHOLD {
+        let tier = if n >= Self::HNSW_AUTO_THRESHOLD {
             self.ivf = None;
             self.build_hnsw(HnswConfig {
                 seed,
                 ..HnswConfig::default()
             });
-            return IndexTier::Hnsw;
-        }
-        self.hnsw = None;
-        if n >= Self::IVF_AUTO_THRESHOLD {
+            IndexTier::Hnsw
+        } else if n >= Self::IVF_AUTO_THRESHOLD {
+            self.hnsw = None;
             let nlist = (n as f64).sqrt().round().max(1.0) as usize;
             let nprobe = (nlist / 4).max(1);
             self.train_ivf(nlist, nprobe, seed);
-            return IndexTier::Ivf;
+            IndexTier::Ivf
+        } else {
+            self.hnsw = None;
+            self.ivf = None;
+            IndexTier::Exact
+        };
+        self.pq = None;
+        if n >= Self::PQ_AUTO_THRESHOLD {
+            // Mixed-dimension catalogs cannot quantize (the flat codebook
+            // layout needs one geometry); they keep full vectors.
+            let _ = self.quantize(PqConfig {
+                seed,
+                ..PqConfig::default()
+            });
         }
-        self.ivf = None;
-        IndexTier::Exact
+        tier
+    }
+
+    /// Quantizes the vector store: trains per-subspace codebooks over the
+    /// current catalog and encodes every vector into the `u8` code
+    /// matrix. The active tier is unchanged — its scans switch to ADC
+    /// over codes with an exact re-rank ([`VectorIndex::search`]).
+    /// Full-precision vectors are retained for the re-rank, graph
+    /// maintenance, and mapped export.
+    pub fn quantize(&mut self, config: PqConfig) -> Result<(), String> {
+        self.pq = Some(Pq::fit(&self.vectors, &config, self.parallelism)?);
+        Ok(())
+    }
+
+    /// Drops any product-quantized store; scans return to full precision.
+    pub fn dequantize(&mut self) {
+        self.pq = None;
+    }
+
+    /// True when a product-quantized store is active.
+    pub fn is_quantized(&self) -> bool {
+        self.pq.is_some()
+    }
+
+    /// The product-quantized store, when trained — for stats reporting
+    /// and mapped-file export.
+    pub fn pq(&self) -> Option<&Pq> {
+        self.pq.as_ref()
+    }
+
+    /// Resident byte accounting per storage component.
+    pub fn stats(&self) -> IndexStats {
+        let vector_bytes: usize = self.vectors.iter().map(|v| v.len() * 8).sum();
+        let ivf_bytes = self.ivf.as_ref().map_or(0, |ivf| {
+            let cents: usize = ivf.centroids.iter().map(|c| c.len() * 8).sum();
+            let members: usize = ivf.members.iter().map(|m| m.len() * 8).sum();
+            cents + members
+        });
+        let hnsw_bytes = self.hnsw.as_ref().map_or(0, |h| h.to_bytes().len());
+        let pq_bytes = self.pq.as_ref().map_or(0, Pq::resident_bytes);
+        IndexStats {
+            tier: self.tier(),
+            quantized: self.pq.is_some(),
+            count: self.vectors.len(),
+            dim: self.vectors.first().map_or(0, Vec::len),
+            vector_bytes,
+            ivf_bytes,
+            hnsw_bytes,
+            pq_bytes,
+        }
     }
 
     /// Top-k through the active tier — the serve-path entry point.
     /// Results are `(name, similarity)` in `(score desc, id asc)` order
-    /// for every tier.
+    /// for every tier. When the store is quantized, the tier's scan reads
+    /// PQ codes and the answer is re-ranked with exact cosine
+    /// ([`VectorIndex::search_quantized`]); the reported similarities are
+    /// always exact.
     pub fn search(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        if let Some(pq) = &self.pq {
+            return self.search_quantized(pq, query, k);
+        }
         match self.tier() {
             IndexTier::Hnsw => self.top_k_hnsw(query, k),
             IndexTier::Ivf => self.top_k_ivf(query, k),
             IndexTier::Exact => self.top_k(query, k),
         }
+    }
+
+    /// Top-k over the quantized store: the active tier's candidate scan
+    /// (HNSW beam, IVF probed lists, or the full scan) scores PQ codes
+    /// via one per-query ADC table, then the top `rerank × k` candidates
+    /// are re-scored with exact [`cosine`] over the retained
+    /// full-precision vectors and ordered `(score desc, id asc)` —
+    /// compression changes what a query costs, never what it returns.
+    /// Whenever the rerank window covers the candidate pool the answer is
+    /// bit-identical to the unquantized index.
+    ///
+    /// [`cosine`]: crate::column::cosine
+    fn search_quantized(&self, pq: &Pq, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let table = pq.adc_table(query);
+        let fetch = k.saturating_mul(pq.rerank());
+        let candidates: Vec<usize> = match (&self.hnsw, &self.ivf) {
+            (Some(hnsw), _) => {
+                // The beam descends over codes: `AdcSource::similarity`
+                // reads the prebuilt table, never the f64 block. The
+                // graph itself was built over full-precision vectors, so
+                // it is the same graph an unquantized index searches.
+                let source = AdcSource { pq, table: &table };
+                hnsw.search(query, fetch, &source)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            (None, Some(ivf)) => {
+                // Probe selection stays full-precision (centroids are
+                // few); member scans read codes.
+                let mut parts: Vec<(usize, f64)> = ivf
+                    .centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, v)| (c, cosine(query, v)))
+                    .collect();
+                parts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                let mut scored: Vec<(usize, f64)> = parts
+                    .iter()
+                    .take(ivf.nprobe)
+                    .filter_map(|&(c, _)| ivf.members.get(c))
+                    .flatten()
+                    .map(|&i| (i, pq.score(&table, i)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scored.into_iter().take(fetch).map(|(i, _)| i).collect()
+            }
+            (None, None) => {
+                let mut scored: Vec<(usize, f64)> = (0..self.vectors.len())
+                    .map(|i| (i, pq.score(&table, i)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scored.into_iter().take(fetch).map(|(i, _)| i).collect()
+            }
+        };
+        let mut reranked: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, self.vectors.get(i).map_or(0.0, |v| cosine(query, v))))
+            .collect();
+        reranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        reranked
+            .into_iter()
+            .take(k)
+            .filter_map(|(i, s)| self.names.get(i).map(|n| (n.clone(), s)))
+            .collect()
     }
 
     /// HNSW-approximate top-k. Falls back to exact search when no graph
@@ -344,14 +575,25 @@ impl VectorIndex {
                 out.extend_from_slice(&payload);
             }
         }
+        match &self.pq {
+            None => out.push(0),
+            Some(pq) => {
+                out.push(1);
+                let payload = pq.to_bytes();
+                write_u64(&mut out, payload.len() as u64);
+                out.extend_from_slice(&payload);
+            }
+        }
         out
     }
 
     /// Restores an index from [`VectorIndex::to_bytes`] output. Strict:
     /// trailing bytes, truncation, or malformed UTF-8 all fail rather
-    /// than producing a partially-loaded index. One tolerance: payloads
-    /// written before the HNSW tier existed end right after the IVF
-    /// block; those load with `hnsw = None` so old snapshots keep
+    /// than producing a partially-loaded index. Two tolerances for older
+    /// writers: payloads written before the HNSW tier existed end right
+    /// after the IVF block (those load with `hnsw = None`), and payloads
+    /// written before product quantization end right after the HNSW
+    /// block (those load with `pq = None`) — so old snapshots keep
     /// opening.
     pub fn from_bytes(bytes: &[u8]) -> Result<VectorIndex, String> {
         let mut r = Reader::new(bytes);
@@ -408,12 +650,34 @@ impl VectorIndex {
                 tag => return Err(format!("unknown HNSW tag {tag}")),
             }
         };
+        let pq = if r.at_end() {
+            None
+        } else {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u64()? as usize;
+                    let pq = Pq::from_bytes(r.take(len)?)?;
+                    if pq.len() != names.len() {
+                        return Err(format!(
+                            "PQ code matrix holds {} rows but catalog holds {}",
+                            pq.len(),
+                            names.len()
+                        ));
+                    }
+                    Some(pq)
+                }
+                tag => return Err(format!("unknown PQ tag {tag}")),
+            }
+        };
         r.expect_end("index")?;
         Ok(VectorIndex {
             names,
             vectors,
             ivf,
             hnsw,
+            pq,
+            parallelism: 0,
         })
     }
 
@@ -762,8 +1026,9 @@ mod tests {
         let mut idx = VectorIndex::new();
         idx.add("a", unit(0, 4));
         let bytes = idx.to_bytes();
-        // Dropping both trailing tag bytes truncates mid-structure.
-        assert!(VectorIndex::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        // Dropping all three trailing tag bytes (IVF, HNSW, PQ) truncates
+        // mid-structure: the mandatory IVF tag itself is gone.
+        assert!(VectorIndex::from_bytes(&bytes[..bytes.len() - 3]).is_err());
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(VectorIndex::from_bytes(&trailing).is_err());
@@ -780,9 +1045,59 @@ mod tests {
         let bytes = idx.to_bytes();
         // A payload ending right after the IVF block is the pre-HNSW
         // snapshot format; it must load with no graph, not error.
-        let legacy = VectorIndex::from_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        let legacy = VectorIndex::from_bytes(&bytes[..bytes.len() - 2]).unwrap();
         assert!(!legacy.has_hnsw());
+        assert!(!legacy.is_quantized());
         assert_eq!(legacy.len(), 1);
+        // A payload ending right after the HNSW block is the pre-PQ
+        // format; it must load unquantized.
+        let pre_pq = VectorIndex::from_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(!pre_pq.is_quantized());
+        assert_eq!(pre_pq.len(), 1);
+    }
+
+    #[test]
+    fn quantized_search_with_covering_rerank_matches_exact_bitwise() {
+        let mut idx = VectorIndex::new();
+        for i in 0..90 {
+            let v: Vec<f64> = (0..8).map(|d| ((i * 8 + d) as f64 * 0.43).sin()).collect();
+            idx.add(format!("v{i}"), v);
+        }
+        // rerank × k covers the whole catalog, so the exact re-rank sees
+        // every id the exact scan sees — bit-identity is guaranteed, not
+        // merely empirical.
+        idx.quantize(PqConfig {
+            m: 4,
+            rerank: 30,
+            seed: 1,
+        })
+        .unwrap();
+        let q: Vec<f64> = (0..8).map(|d| (d as f64 * 0.9).cos()).collect();
+        let exact = idx.top_k(&q, 5);
+        let quantized = idx.search(&q, 5);
+        assert_eq!(exact.len(), quantized.len());
+        for ((na, sa), (nb, sb)) in exact.iter().zip(&quantized) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "scores must match bitwise");
+        }
+    }
+
+    #[test]
+    fn quantized_byte_roundtrip_is_bitwise() {
+        let mut idx = VectorIndex::new();
+        for i in 0..60 {
+            let v: Vec<f64> = (0..6).map(|d| ((i * 6 + d) as f64 * 0.29).sin()).collect();
+            idx.add(format!("v{i}"), v);
+        }
+        idx.build_hnsw(HnswConfig::default());
+        idx.quantize(PqConfig::default()).unwrap();
+        let restored = VectorIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(restored.is_quantized());
+        assert_eq!(restored.to_bytes(), idx.to_bytes());
+        let q = unit(2, 6);
+        let a = idx.search(&q, 5);
+        let b = restored.search(&q, 5);
+        assert_eq!(a, b);
     }
 
     #[test]

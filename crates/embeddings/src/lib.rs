@@ -17,6 +17,8 @@
 //! * [`hnsw`] — the deterministic HNSW graph layer itself,
 //! * [`mapped`] — a read-only mapped catalog file (`KGVI`) so serve
 //!   replicas warm-start without copying vectors into owned buffers,
+//! * [`pq`] — product quantization: compressed `u8` code storage with
+//!   ADC scoring under the tiers and an exact re-rank on top,
 //! * [`tsne`] — exact t-SNE for the Figure-10 qualitative analysis.
 
 #![forbid(unsafe_code)]
@@ -26,12 +28,14 @@ pub mod column;
 pub mod hnsw;
 pub mod index;
 pub mod mapped;
+pub mod pq;
 pub mod table;
 pub mod tsne;
 
 pub use column::{column_embedding, column_embedding_parts, EMBED_DIM};
 pub use hnsw::{Hnsw, HnswConfig, SliceSource, VectorSource};
-pub use index::{IndexTier, VectorIndex};
+pub use index::{IndexStats, IndexTier, VectorIndex};
 pub use mapped::MappedIndex;
+pub use pq::{Pq, PqConfig};
 pub use table::{table_embedding, table_embedding_chunked, table_embeddings};
 pub use tsne::tsne;

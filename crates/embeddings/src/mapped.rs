@@ -22,6 +22,9 @@
 //!   tag 2 vectors: count × dim f64, catalog order (zero-copy scanned)
 //!   tag 3 names:   u64 count · (count+1) × u64 offsets · UTF-8 blob
 //!   tag 4 hnsw:    Hnsw::to_bytes payload (optional section)
+//!   tag 5 pq book: PqCodebook::to_bytes payload (optional section)
+//!   tag 6 pq codes: count × m u8 code matrix (zero-copy scanned;
+//!                   requires tag 5 and vice versa)
 //! ```
 //!
 //! Unknown tags are skipped, mirroring the snapshot reader's
@@ -40,7 +43,8 @@
 //! [`cosine`]: crate::column::cosine
 
 use crate::hnsw::{Hnsw, VectorSource};
-use crate::index::{write_u32, write_u64, Reader, VectorIndex};
+use crate::index::{write_u32, write_u64, IndexStats, IndexTier, Reader, VectorIndex};
+use crate::pq::{AdcTable, PqCodebook};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -54,6 +58,8 @@ const TAG_HEADER: u32 = 1;
 const TAG_VECTORS: u32 = 2;
 const TAG_NAMES: u32 = 3;
 const TAG_HNSW: u32 = 4;
+const TAG_PQ_BOOK: u32 = 5;
+const TAG_PQ_CODES: u32 = 6;
 
 /// A read-only vector catalog decoded in place over one shared buffer.
 /// Cloning is cheap (an `Arc` bump), so one loaded file can back many
@@ -73,6 +79,12 @@ pub struct MappedIndex {
     /// HNSW adjacency, parsed owned — it is small next to the vectors,
     /// which stay zero-copy.
     hnsw: Option<Hnsw>,
+    /// PQ codebooks, parsed owned (a few KB); the `count × m` code
+    /// matrix stays zero-copy in the buffer at `codes_start`.
+    pq_book: Option<PqCodebook>,
+    /// Byte offset of the PQ code matrix payload (`count × m` bytes);
+    /// meaningful only when `pq_book` is present.
+    codes_start: usize,
 }
 
 impl MappedIndex {
@@ -101,6 +113,8 @@ impl MappedIndex {
         let mut vec_range: Option<(usize, usize)> = None;
         let mut name_range: Option<(usize, usize)> = None;
         let mut hnsw: Option<Hnsw> = None;
+        let mut pq_book: Option<PqCodebook> = None;
+        let mut codes_range: Option<(usize, usize)> = None;
         while !r.at_end() {
             let tag = r.u32()?;
             let len = r.u64()? as usize;
@@ -117,6 +131,8 @@ impl MappedIndex {
                 TAG_VECTORS => vec_range = Some((start, len)),
                 TAG_NAMES => name_range = Some((start, len)),
                 TAG_HNSW => hnsw = Some(Hnsw::from_bytes(payload)?),
+                TAG_PQ_BOOK => pq_book = Some(PqCodebook::from_bytes(payload)?),
+                TAG_PQ_CODES => codes_range = Some((start, len)),
                 _ => {} // Forward compatibility: skip unknown sections.
             }
         }
@@ -175,6 +191,38 @@ impl MappedIndex {
                 ));
             }
         }
+        // PQ sections come in pairs: codebooks (owned, small) + the
+        // zero-copy code matrix. Validate geometry and code range once so
+        // every later scan is panic-free.
+        let codes_start = match (&pq_book, codes_range) {
+            (None, None) => 0,
+            (Some(book), Some((start, len))) => {
+                if book.dim() != dim {
+                    return Err(format!(
+                        "KGVI PQ codebooks cover dim {} but catalog is dim {dim}",
+                        book.dim()
+                    ));
+                }
+                let expected = count
+                    .checked_mul(book.m())
+                    .ok_or("KGVI PQ code section size overflows")?;
+                if len != expected {
+                    return Err(format!(
+                        "KGVI PQ code section holds {len} bytes, geometry implies {expected}"
+                    ));
+                }
+                let codes = bytes.get(start..start + len).unwrap_or(&[]);
+                if codes.iter().any(|&c| c as usize >= book.ksub()) {
+                    return Err("KGVI PQ code out of codebook range".into());
+                }
+                start
+            }
+            _ => {
+                return Err(
+                    "KGVI PQ sections must appear in pairs (codebooks + code matrix)".into(),
+                )
+            }
+        };
         let name_blob_len = blob.len();
         Ok(MappedIndex {
             buf: bytes.into(),
@@ -185,6 +233,8 @@ impl MappedIndex {
             name_blob_start,
             name_blob_len,
             hnsw,
+            pq_book,
+            codes_start,
         })
     }
 
@@ -211,6 +261,52 @@ impl MappedIndex {
     /// The HNSW graph, when the file carried one.
     pub fn hnsw(&self) -> Option<&Hnsw> {
         self.hnsw.as_ref()
+    }
+
+    /// True when the file carried a product-quantized store.
+    pub fn is_quantized(&self) -> bool {
+        self.pq_book.is_some()
+    }
+
+    /// The PQ codebooks, when the file carried them.
+    pub fn pq_book(&self) -> Option<&PqCodebook> {
+        self.pq_book.as_ref()
+    }
+
+    /// The code row of the i-th vector, borrowed straight from the
+    /// mapped buffer (no decode, no copy).
+    fn code_row(&self, i: usize) -> Option<&[u8]> {
+        let book = self.pq_book.as_ref()?;
+        if i >= self.count {
+            return None;
+        }
+        let start = self.codes_start + i * book.m();
+        self.buf.get(start..start + book.m())
+    }
+
+    /// Resident byte accounting per storage component, mirroring
+    /// [`VectorIndex::stats`]. The tier is HNSW when the file carries a
+    /// graph, exact otherwise (`KGVI` files do not serialize IVF).
+    pub fn stats(&self) -> IndexStats {
+        let tier = if self.hnsw.is_some() {
+            IndexTier::Hnsw
+        } else {
+            IndexTier::Exact
+        };
+        let pq_bytes = self
+            .pq_book
+            .as_ref()
+            .map_or(0, |book| self.count * book.m() + book.codebook_bytes());
+        IndexStats {
+            tier,
+            quantized: self.pq_book.is_some(),
+            count: self.count,
+            dim: self.dim,
+            vector_bytes: self.count * self.dim * 8,
+            ivf_bytes: 0,
+            hnsw_bytes: self.hnsw.as_ref().map_or(0, |h| h.to_bytes().len()),
+            pq_bytes,
+        }
     }
 
     /// Raw little-endian bytes of the i-th vector (no decode, no copy).
@@ -264,8 +360,14 @@ impl MappedIndex {
 
     /// Top-k through the mapped catalog: HNSW when the file carries a
     /// graph, exact scan otherwise. Answers bit-identically to
-    /// [`VectorIndex::search`] over the same catalog and tier.
+    /// [`VectorIndex::search`] over the same catalog and tier —
+    /// including quantized catalogs, where the beam reads the zero-copy
+    /// code matrix and the answer is re-ranked with exact cosine over
+    /// the mapped full-precision vectors.
     pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        if let Some(book) = &self.pq_book {
+            return self.top_k_quantized(book, query, k);
+        }
         match &self.hnsw {
             Some(hnsw) => hnsw
                 .search(query, k, self)
@@ -274,6 +376,55 @@ impl MappedIndex {
                 .collect(),
             None => self.top_k_exact(query, k),
         }
+    }
+
+    /// Quantized top-k, mirroring the owned `search_quantized` path: the
+    /// beam (or full scan) scores mapped code rows through one per-query
+    /// ADC table, then the top `rerank × k` candidates are re-scored
+    /// with [`cosine_bytes`] (bit-identical to owned `cosine`) and
+    /// ordered `(score desc, id asc)`.
+    fn top_k_quantized(&self, book: &PqCodebook, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        if k == 0 || self.count == 0 {
+            return Vec::new();
+        }
+        let table = book.adc_table(query);
+        let fetch = k.saturating_mul(book.rerank().max(1));
+        let candidates: Vec<usize> = match &self.hnsw {
+            Some(hnsw) => {
+                let source = MappedAdcSource {
+                    index: self,
+                    book,
+                    table: &table,
+                };
+                hnsw.search(query, fetch, &source)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            None => {
+                let mut scored: Vec<(usize, f64)> = (0..self.count)
+                    .map(|i| (i, self.adc_score(book, &table, i)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scored.into_iter().take(fetch).map(|(i, _)| i).collect()
+            }
+        };
+        let mut reranked: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|i| (i, self.similarity(i, query)))
+            .collect();
+        reranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        reranked
+            .into_iter()
+            .take(k)
+            .filter_map(|(i, s)| self.name(i).map(|n| (n.to_string(), s)))
+            .collect()
+    }
+
+    /// ADC score of the i-th mapped code row (0.0 out of range).
+    fn adc_score(&self, book: &PqCodebook, table: &AdcTable, i: usize) -> f64 {
+        self.code_row(i)
+            .map_or(0.0, |row| book.score_codes(table, row))
     }
 
     /// Exact top-k over the mapped vectors, mirroring
@@ -288,6 +439,30 @@ impl MappedIndex {
             .take(k)
             .filter_map(|(i, s)| self.name(i).map(|n| (n.to_string(), s)))
             .collect()
+    }
+}
+
+/// A [`VectorSource`] over a mapped quantized catalog: `similarity`
+/// scores zero-copy code rows through the prebuilt ADC tables (the query
+/// argument is already folded in). Search-only — `pair_similarity` is
+/// never called by `Hnsw::search` and answers 0.0.
+struct MappedAdcSource<'a> {
+    index: &'a MappedIndex,
+    book: &'a PqCodebook,
+    table: &'a AdcTable,
+}
+
+impl VectorSource for MappedAdcSource<'_> {
+    fn count(&self) -> usize {
+        self.index.count
+    }
+
+    fn similarity(&self, i: usize, _query: &[f64]) -> f64 {
+        self.index.adc_score(self.book, self.table, i)
+    }
+
+    fn pair_similarity(&self, _i: usize, _j: usize) -> f64 {
+        0.0
     }
 }
 
@@ -388,10 +563,12 @@ fn section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
 }
 
 impl VectorIndex {
-    /// Serializes the catalog (and any built HNSW graph) to the `KGVI`
-    /// mapped format. Deterministic: the same index always produces the
-    /// same bytes. Fails when vectors have mixed dimensionality, which
-    /// the flat layout cannot represent.
+    /// Serializes the catalog (plus any built HNSW graph and any
+    /// product-quantized store) to the `KGVI` mapped format.
+    /// Deterministic: the same index always produces the same bytes.
+    /// Fails when vectors have mixed dimensionality, which the flat
+    /// layout cannot represent. PQ rides as two tagged sections that
+    /// pre-PQ readers skip.
     pub fn to_mapped_bytes(&self) -> Result<Vec<u8>, String> {
         let dim = self.vectors.first().map_or(0, Vec::len);
         if self.vectors.iter().any(|v| v.len() != dim) {
@@ -425,6 +602,10 @@ impl VectorIndex {
         section(&mut out, TAG_NAMES, &names);
         if let Some(hnsw) = self.hnsw() {
             section(&mut out, TAG_HNSW, &hnsw.to_bytes());
+        }
+        if let Some(pq) = self.pq() {
+            section(&mut out, TAG_PQ_BOOK, &pq.book().to_bytes());
+            section(&mut out, TAG_PQ_CODES, pq.codes());
         }
         Ok(out)
     }
@@ -538,6 +719,83 @@ mod tests {
         section(&mut bytes, 99, b"future data");
         let mapped = MappedIndex::from_vec(bytes).unwrap();
         assert_eq!(mapped.len(), 4);
+    }
+
+    #[test]
+    fn mapped_quantized_matches_owned_bitwise() {
+        use crate::pq::PqConfig;
+        for build_graph in [false, true] {
+            let mut idx = catalog(120, 8);
+            if build_graph {
+                idx.build_hnsw(HnswConfig::default());
+            }
+            idx.quantize(PqConfig {
+                m: 4,
+                rerank: 4,
+                seed: 0,
+            })
+            .unwrap();
+            let mapped = MappedIndex::from_vec(idx.to_mapped_bytes().unwrap()).unwrap();
+            assert!(mapped.is_quantized());
+            for q in 0..12 {
+                let query = idx.vector(q).unwrap().to_vec();
+                let owned = idx.search(&query, 5);
+                let via_map = mapped.top_k(&query, 5);
+                assert_eq!(owned.len(), via_map.len());
+                for ((na, sa), (nb, sb)) in owned.iter().zip(&via_map) {
+                    assert_eq!(na, nb);
+                    assert_eq!(
+                        sa.to_bits(),
+                        sb.to_bits(),
+                        "query {q} diverged (graph={build_graph})"
+                    );
+                }
+            }
+            assert_eq!(mapped.stats().pq_bytes, idx.stats().pq_bytes);
+        }
+    }
+
+    #[test]
+    fn pq_sections_must_pair() {
+        use crate::pq::PqConfig;
+        let mut idx = catalog(20, 6);
+        idx.quantize(PqConfig {
+            m: 3,
+            rerank: 2,
+            seed: 0,
+        })
+        .unwrap();
+        let full = idx.to_mapped_bytes().unwrap();
+        // Rebuild the file keeping every section except tag-6 codes: a
+        // book without its matrix must be rejected, not half-loaded.
+        let mut r = Reader::new(&full);
+        r.take(8).unwrap(); // magic + version
+        let mut stripped = full[..8].to_vec();
+        while !r.at_end() {
+            let tag = r.u32().unwrap();
+            let len = r.u64().unwrap() as usize;
+            let payload = r.take(len).unwrap();
+            if tag != TAG_PQ_CODES {
+                section(&mut stripped, tag, payload);
+            }
+        }
+        assert!(MappedIndex::from_vec(stripped).is_err());
+        // Dropping both PQ sections is the pre-PQ file: loads, answers
+        // full-precision.
+        let mut r = Reader::new(&full);
+        r.take(8).unwrap();
+        let mut pre_pq = full[..8].to_vec();
+        while !r.at_end() {
+            let tag = r.u32().unwrap();
+            let len = r.u64().unwrap() as usize;
+            let payload = r.take(len).unwrap();
+            if tag != TAG_PQ_CODES && tag != TAG_PQ_BOOK {
+                section(&mut pre_pq, tag, payload);
+            }
+        }
+        let mapped = MappedIndex::from_vec(pre_pq).unwrap();
+        assert!(!mapped.is_quantized());
+        assert_eq!(mapped.len(), 20);
     }
 
     #[test]

@@ -82,13 +82,18 @@ impl WorkspaceConfig {
             compute("crates/xlint"),
         ];
         // kgpip-embeddings: compute rules plus the serve-path panic rule
-        // on the similarity tiers a serving process runs — the HNSW graph
-        // and the mapped (`KGVI`) catalog. A malformed index file or a
-        // query of any shape must surface as a Result or an empty answer,
-        // never a panic in a worker.
+        // on the similarity tiers a serving process runs — the HNSW
+        // graph, the mapped (`KGVI`) catalog, and the product-quantized
+        // store its scans read. A malformed index file or a query of any
+        // shape must surface as a Result or an empty answer, never a
+        // panic in a worker.
         let mut embeddings = compute("crates/embeddings");
         embeddings.rules.push("panic-in-serve-path".to_string());
-        embeddings.panic_files = vec!["src/hnsw.rs".to_string(), "src/mapped.rs".to_string()];
+        embeddings.panic_files = vec![
+            "src/hnsw.rs".to_string(),
+            "src/mapped.rs".to_string(),
+            "src/pq.rs".to_string(),
+        ];
         crates.push(embeddings);
         // kgpip-core: compute rules plus the serve-path panic rule on the
         // artifact read/predict path (training may still assert).
@@ -194,6 +199,7 @@ mod tests {
         assert!(embeddings.parsed_rules().contains(&Rule::PanicInServePath));
         assert!(embeddings.panic_file_in_scope("src/hnsw.rs"));
         assert!(embeddings.panic_file_in_scope("src/mapped.rs"));
+        assert!(embeddings.panic_file_in_scope("src/pq.rs"));
         assert!(!embeddings.panic_file_in_scope("src/tsne.rs"));
     }
 

@@ -33,6 +33,9 @@ echo "==> similarity-tier suite (HNSW determinism; mapped ≡ owned; recall gate
 cargo test -p kgpip-embeddings --test hnsw -q
 cargo test -p kgpip-benchdata --test recall -q
 
+echo "==> product-quantization suite (rerank ≡ exact; codebooks bit-stable across workers; .kgvi PQ round-trip)"
+cargo test -p kgpip-embeddings --test pq -q
+
 echo "==> cache-equivalence suite (trial caches change cost, never results)"
 cargo test -p kgpip-hpo --test cache_equivalence -q
 

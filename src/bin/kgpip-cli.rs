@@ -19,6 +19,7 @@
 //! kgpip-cli xlint   [--json] [--config rules.json] [--root DIR]
 //! kgpip-cli index build --out catalog.kgvi (--model model.kgps | --n 100000)
 //!                   [--dim 32] [--clusters 64] [--seed 0] [--tier auto|exact|hnsw]
+//!                   [--pq m=8,rerank=4]
 //! kgpip-cli index query --index catalog.kgvi [--k 10] [--queries 200]
 //!                   [--seed 1] [--recall]
 //! kgpip-cli index stats --index catalog.kgvi
@@ -61,9 +62,13 @@
 //! one (`--n/--dim/--clusters`); `--tier auto` builds the HNSW graph
 //! once the catalog crosses the auto-tune threshold. (IVF is an
 //! in-memory mid-band tier and is not serialized to `.kgvi` files.)
+//! `--pq m=8,rerank=4` product-quantizes the vector store before export:
+//! tier scans read compact codes with an exact top-`rerank × k` re-rank,
+//! so answers stay exact-ordered while resident bytes shrink.
 //! `query` measures queries/sec over seeded synthetic probes and, with
 //! `--recall`, scores the graph tier's recall@K against the exact scan.
-//! `stats` prints the catalog's shape and tier without loading vectors.
+//! `stats` prints the catalog's shape, tier, and per-component resident
+//! bytes without loading vectors.
 //!
 //! Layout expected by `train`:
 //! * `--scripts DIR` — one subdirectory per dataset, each containing the
@@ -587,12 +592,17 @@ fn cmd_index(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResu
                     ..HnswConfig::default()
                 });
             }
+            if let Some(spec) = flag("--pq") {
+                let config = parse_pq_spec(&spec, seed)?;
+                index.quantize(config).map_err(|e| format!("--pq: {e}"))?;
+            }
             index.write_mapped(&out)?;
             let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
             eprintln!(
-                "index written to {out}: {} vectors, tier {}, {bytes} bytes, {:.2}s",
+                "index written to {out}: {} vectors, tier {}{}, {bytes} bytes, {:.2}s",
                 index.len(),
                 if want_hnsw { "hnsw" } else { "exact" },
+                if index.is_quantized() { "+pq" } else { "" },
                 started.elapsed().as_secs_f64()
             );
             Ok(())
@@ -618,10 +628,11 @@ fn cmd_index(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResu
             }
             let elapsed = started.elapsed().as_secs_f64();
             println!(
-                "{} probes x top-{k} over {} vectors (tier {}): {:.0} queries/sec ({retrieved} results)",
+                "{} probes x top-{k} over {} vectors (tier {}{}): {:.0} queries/sec ({retrieved} results)",
                 probes.len(),
                 mapped.len(),
                 if mapped.has_hnsw() { "hnsw" } else { "exact" },
+                if mapped.is_quantized() { "+pq" } else { "" },
                 probes.len() as f64 / elapsed.max(1e-9),
             );
             if args.iter().any(|a| a == "--recall") {
@@ -641,7 +652,7 @@ fn cmd_index(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResu
             let bytes = std::fs::metadata(&path)?.len();
             let mapped = MappedIndex::open(&path)?;
             println!(
-                "{path}: {} vectors x {} dims, {bytes} bytes",
+                "{path}: {} vectors x {} dims, {bytes} bytes on disk",
                 mapped.len(),
                 mapped.dim()
             );
@@ -657,10 +668,57 @@ fn cmd_index(args: &[String], flag: &impl Fn(&str) -> Option<String>) -> CliResu
                 ),
                 None => println!("  tier: exact (no graph section)"),
             }
+            let stats = mapped.stats();
+            println!(
+                "  resident: {} bytes total — vectors {}, hnsw {}, pq {}",
+                stats.resident_bytes(),
+                stats.vector_bytes,
+                stats.hnsw_bytes,
+                stats.pq_bytes
+            );
+            if let Some(book) = mapped.pq_book() {
+                println!(
+                    "  pq: m={}, ksub={}, rerank={}, seed={} — tier scans read {} bytes (vs {} full-precision)",
+                    book.m(),
+                    book.ksub(),
+                    book.rerank(),
+                    book.seed(),
+                    stats.scan_bytes(),
+                    stats.vector_bytes
+                );
+            }
             Ok(())
         }
         _ => Err("usage: kgpip-cli index <build|query|stats> [flags]".into()),
     }
+}
+
+/// Parses a `--pq m=8,rerank=4` geometry spec. Both keys are optional
+/// (defaults from [`kgpip_embeddings::PqConfig`]); the codebook seed is
+/// the build's `--seed`.
+fn parse_pq_spec(
+    spec: &str,
+    seed: u64,
+) -> Result<kgpip_embeddings::PqConfig, Box<dyn std::error::Error>> {
+    let mut config = kgpip_embeddings::PqConfig {
+        seed,
+        ..kgpip_embeddings::PqConfig::default()
+    };
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--pq: expected key=value, got `{part}`"))?;
+        let parsed: usize = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("--pq {key}: {e}"))?;
+        match key.trim() {
+            "m" => config.m = parsed,
+            "rerank" => config.rerank = parsed,
+            other => return Err(format!("--pq: unknown key `{other}` (m|rerank)").into()),
+        }
+    }
+    Ok(config)
 }
 
 /// End-to-end demo on synthetic data; no files needed.
